@@ -1,0 +1,92 @@
+// Ablation (beyond the paper): how much of FAE's speedup survives against
+// a *pipelined* hybrid baseline that overlaps the CPU's embedding work
+// with the GPUs' dense work (software prefetching) — the strongest
+// baseline a reviewer would ask for, since the paper's baseline is fully
+// synchronous.
+//
+// Expected: overlap hides the smaller of the two paths, but the CPU path
+// (embedding gathers + the sparse optimizer) stays on the critical path
+// for embedding-heavy workloads, so FAE keeps a meaningful win.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "engine/trainer.h"
+#include "models/factory.h"
+#include "util/string_util.h"
+
+namespace fae {
+namespace {
+
+void Run(const bench::Args& args) {
+  const DatasetScale scale =
+      bench::ParseScale(args.GetString("scale", "tiny"));
+  const size_t inputs = args.GetInt("inputs", 60000);
+  const int gpus = static_cast<int>(args.GetInt("gpus", 4));
+
+  bench::PrintHeader("Ablation: FAE vs a pipelined (overlapping) baseline");
+  std::printf("%d GPUs\n\n", gpus);
+  std::printf("%-22s %12s %12s %12s %10s %10s\n", "workload", "serial",
+              "pipelined", "fae", "vs-serial", "vs-piped");
+
+  for (WorkloadKind kind : bench::AllWorkloads()) {
+    Dataset dataset = bench::MakeWorkloadDataset(kind, scale, inputs);
+    Dataset::Split split = dataset.MakeSplit(0.1);
+    FaeConfig cfg;
+    cfg.sample_rate = 0.25;
+    cfg.large_table_bytes = bench::LargeTableCutoff(scale);
+    cfg.gpu_memory_budget =
+        bench::HotBudget(scale, dataset.schema().embedding_dim);
+    cfg.num_threads = 2;
+    FaePipeline pipeline(cfg);
+    auto plan = pipeline.Prepare(dataset, split.train);
+    if (!plan.ok()) continue;
+
+    TrainOptions opt;
+    opt.per_gpu_batch = kind == WorkloadKind::kTaobaoTbsm ? 256 : 1024;
+    opt.epochs = 1;
+    opt.run_math = false;
+
+    SystemSpec sys = MakePaperServer(gpus);
+    sys.hot_embedding_budget = cfg.gpu_memory_budget;
+
+    auto serial_model = MakeModel(dataset.schema(), true, 5);
+    Trainer serial_trainer(serial_model.get(), sys, opt);
+    TrainReport serial = serial_trainer.TrainBaseline(dataset, split);
+
+    TrainOptions piped_opt = opt;
+    piped_opt.pipelined_baseline = true;
+    auto piped_model = MakeModel(dataset.schema(), true, 5);
+    Trainer piped_trainer(piped_model.get(), sys, piped_opt);
+    TrainReport piped = piped_trainer.TrainBaseline(dataset, split);
+
+    // FAE compared against the pipelined world: its own cold batches
+    // pipeline too.
+    auto fae_model = MakeModel(dataset.schema(), true, 5);
+    Trainer fae_trainer(fae_model.get(), sys, piped_opt);
+    auto fae = fae_trainer.TrainFaeWithPlan(dataset, split, cfg, *plan);
+    if (!fae.ok()) continue;
+
+    std::printf("%-22s %12s %12s %12s %9.2fx %9.2fx\n",
+                std::string(WorkloadName(kind)).c_str(),
+                HumanSeconds(serial.modeled_seconds).c_str(),
+                HumanSeconds(piped.modeled_seconds).c_str(),
+                HumanSeconds(fae->modeled_seconds).c_str(),
+                serial.modeled_seconds / fae->modeled_seconds,
+                piped.modeled_seconds / fae->modeled_seconds);
+  }
+  std::printf(
+      "\nReading: prefetching hides the GPU path under the CPU path (or\n"
+      "vice versa) but cannot hide the CPU sparse optimizer or the\n"
+      "transfers; FAE removes those for hot batches, so a meaningful win\n"
+      "remains against even the overlapped baseline.\n");
+}
+
+}  // namespace
+}  // namespace fae
+
+int main(int argc, char** argv) {
+  fae::bench::Args args(argc, argv);
+  fae::Run(args);
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Ablation: the Sparse Input Sampler's rate x (paper fixes x = 5%).
+//
+// For each rate, the sampled profile drives the Embedding Classifier at a
+// fixed threshold t and we measure what actually matters downstream: the
+// hot-input fraction and the hot-access share the resulting hot set
+// achieves (evaluated against the *full* profile), plus profiling latency.
+//
+// Expected: the downstream quantities converge well below x = 100% while
+// latency keeps growing linearly — x = 5% sits on the flat part.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/embedding_classifier.h"
+#include "core/embedding_logger.h"
+#include "core/input_processor.h"
+#include "stats/sampling.h"
+#include "util/random.h"
+#include "util/string_util.h"
+
+namespace fae {
+namespace {
+
+void Run(const bench::Args& args) {
+  const DatasetScale scale =
+      bench::ParseScale(args.GetString("scale", "tiny"));
+  const size_t inputs = args.GetInt("inputs", 60000);
+  const double t = args.GetDouble("threshold", 1e-3);
+
+  bench::PrintHeader("Ablation: input-sampler rate x");
+  Dataset dataset = bench::MakeWorkloadDataset(WorkloadKind::kKaggleDlrm,
+                                               scale, inputs);
+  std::vector<uint64_t> all_ids(dataset.size());
+  for (size_t i = 0; i < all_ids.size(); ++i) all_ids[i] = i;
+  AccessProfile full = EmbeddingLogger::Profile(dataset, all_ids).profile;
+  InputProcessor processor(2);
+  const uint64_t cutoff = bench::LargeTableCutoff(scale);
+
+  std::printf("%zu inputs, fixed threshold t = %.0e\n\n", dataset.size(), t);
+  std::printf("%-8s %10s %12s %14s %14s\n", "rate", "sampled", "latency",
+              "hot-inputs%", "hot-access%");
+
+  for (double rate : {0.01, 0.02, 0.05, 0.10, 0.25, 0.50, 1.0}) {
+    Xoshiro256 rng(4);
+    std::vector<uint64_t> ids =
+        BernoulliSampleIndices(dataset.size(), rate, rng);
+    EmbeddingLogger::Result logged = EmbeddingLogger::Profile(dataset, ids);
+    const uint64_t h_zt = std::max<uint64_t>(
+        1, static_cast<uint64_t>(t * static_cast<double>(ids.size())));
+    HotSet hot = EmbeddingClassifier::Classify(logged.profile,
+                                               dataset.schema(), h_zt,
+                                               cutoff);
+    ProcessedInputs split = processor.Classify(dataset, hot, all_ids);
+    std::printf("%-8.2f %10zu %12s %13.1f%% %13.1f%%\n", rate, ids.size(),
+                HumanSeconds(logged.seconds).c_str(),
+                100 * split.HotFraction(),
+                100 * hot.HotAccessShare(full));
+  }
+  std::printf(
+      "\nPaper reference: x = 5%% reproduces the full access signature\n"
+      "(Fig 7) at 19x-55x lower profiling cost (Fig 8); the downstream\n"
+      "hot/cold split is already stable at that rate.\n");
+}
+
+}  // namespace
+}  // namespace fae
+
+int main(int argc, char** argv) {
+  fae::bench::Args args(argc, argv);
+  fae::Run(args);
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Extension (paper §IV-A3): the paper evaluates a single server ("the
+// open-sourced DLRM and TBSM models do not support multi-server
+// implementations. However, even in a multi-server scenario, we expect our
+// insights to hold true"). This harness tests that expectation on the
+// simulated cluster: N paper servers over a 100 GbE RDMA fabric, with the
+// baseline's embedding tables sharded parameter-server style across the
+// per-node CPUs.
+//
+// Expected: FAE's advantage persists (and typically grows) with node
+// count — the baseline ships pooled embeddings across the network every
+// batch, while FAE's hot batches only pay the gradient all-reduce.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "engine/trainer.h"
+#include "models/factory.h"
+#include "util/string_util.h"
+
+namespace fae {
+namespace {
+
+void Run(const bench::Args& args) {
+  const DatasetScale scale =
+      bench::ParseScale(args.GetString("scale", "tiny"));
+  const size_t inputs = args.GetInt("inputs", 60000);
+  const int gpus = static_cast<int>(args.GetInt("gpus", 4));
+
+  bench::PrintHeader(
+      "Extension: multi-node scaling (N paper servers over 100GbE)");
+  std::printf("%d GPUs per node, weak scaling\n\n", gpus);
+  std::printf("%-22s %6s %14s %14s %9s %16s\n", "workload", "nodes",
+              "baseline", "fae", "speedup", "base net-share");
+
+  for (WorkloadKind kind : bench::AllWorkloads()) {
+    Dataset dataset = bench::MakeWorkloadDataset(kind, scale, inputs);
+    Dataset::Split split = dataset.MakeSplit(0.1);
+    FaeConfig cfg;
+    cfg.sample_rate = 0.25;
+    cfg.large_table_bytes = bench::LargeTableCutoff(scale);
+    cfg.gpu_memory_budget =
+        bench::HotBudget(scale, dataset.schema().embedding_dim);
+    cfg.num_threads = 2;
+    FaePipeline pipeline(cfg);
+    auto plan = pipeline.Prepare(dataset, split.train);
+    if (!plan.ok()) continue;
+
+    for (int nodes : {1, 2, 4}) {
+      TrainOptions opt;
+      opt.per_gpu_batch = kind == WorkloadKind::kTaobaoTbsm ? 256 : 1024;
+      opt.epochs = 1;
+      opt.run_math = false;
+
+      SystemSpec sys = MakeMultiNodeCluster(nodes, gpus);
+      sys.hot_embedding_budget = cfg.gpu_memory_budget;
+      auto base_model = MakeModel(dataset.schema(), true, 5);
+      Trainer base_trainer(base_model.get(), sys, opt);
+      TrainReport base = base_trainer.TrainBaseline(dataset, split);
+      auto fae_model = MakeModel(dataset.schema(), true, 5);
+      Trainer fae_trainer(fae_model.get(), sys, opt);
+      auto fae = fae_trainer.TrainFaeWithPlan(dataset, split, cfg, *plan);
+      if (!fae.ok()) continue;
+
+      const double net_share =
+          base.timeline.seconds(Phase::kNetwork) / base.modeled_seconds;
+      std::printf("%-22s %6d %14s %14s %8.2fx %15.1f%%\n",
+                  std::string(WorkloadName(kind)).c_str(), nodes,
+                  HumanSeconds(base.modeled_seconds).c_str(),
+                  HumanSeconds(fae->modeled_seconds).c_str(),
+                  base.modeled_seconds / fae->modeled_seconds,
+                  100 * net_share);
+    }
+  }
+  std::printf(
+      "\nReading: the baseline's per-batch embedding exchange makes the\n"
+      "network a first-order cost as nodes are added; FAE hot batches pay\n"
+      "only the (hierarchical) gradient all-reduce, preserving its win —\n"
+      "the paper's multi-server expectation, made concrete.\n");
+}
+
+}  // namespace
+}  // namespace fae
+
+int main(int argc, char** argv) {
+  fae::bench::Args args(argc, argv);
+  fae::Run(args);
+  return 0;
+}

@@ -1,0 +1,147 @@
+// google-benchmark microbenchmarks for the compute kernels underlying the
+// training engine: embedding-bag gather, sparse SGD scatter, MLP GEMMs,
+// Zipf sampling, and the Rand-Em Box estimator.
+
+#include <benchmark/benchmark.h>
+
+#include "core/rand_em_box.h"
+#include "embedding/embedding_bag.h"
+#include "embedding/sparse_sgd.h"
+#include "stats/zipf.h"
+#include "tensor/mlp.h"
+#include "tensor/ops.h"
+#include "util/random.h"
+
+namespace fae {
+namespace {
+
+void BM_EmbeddingBagForward(benchmark::State& state) {
+  const size_t batch = static_cast<size_t>(state.range(0));
+  Xoshiro256 rng(1);
+  EmbeddingTable table(100000, 16, rng);
+  std::vector<uint32_t> indices(batch);
+  std::vector<uint32_t> offsets(batch + 1);
+  for (size_t i = 0; i < batch; ++i) {
+    indices[i] = static_cast<uint32_t>(rng.NextBounded(table.rows()));
+    offsets[i + 1] = static_cast<uint32_t>(i + 1);
+  }
+  for (auto _ : state) {
+    Tensor out = EmbeddingBag::Forward(table, indices, offsets);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_EmbeddingBagForward)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_SparseSgdStep(benchmark::State& state) {
+  const size_t rows = static_cast<size_t>(state.range(0));
+  Xoshiro256 rng(2);
+  EmbeddingTable table(100000, 16, rng);
+  SparseGrad grad;
+  grad.dim = 16;
+  for (size_t i = 0; i < rows; ++i) {
+    grad.rows[rng.NextBounded(table.rows())] = std::vector<float>(16, 0.1f);
+  }
+  SparseSgd sgd(0.05f);
+  for (auto _ : state) {
+    sgd.Step(table, grad);
+    benchmark::DoNotOptimize(table.raw().data());
+  }
+  state.SetItemsProcessed(state.iterations() * grad.rows.size());
+}
+BENCHMARK(BM_SparseSgdStep)->Arg(256)->Arg(4096);
+
+void BM_MatMulNaive(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Xoshiro256 rng(11);
+  Tensor a = Tensor::Randn(n, n, 1.0f, rng);
+  Tensor b = Tensor::Randn(n, n, 1.0f, rng);
+  for (auto _ : state) {
+    Tensor c = MatMulNaive(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_MatMulNaive)->Arg(128)->Arg(512);
+
+void BM_MatMulBlocked(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Xoshiro256 rng(11);
+  Tensor a = Tensor::Randn(n, n, 1.0f, rng);
+  Tensor b = Tensor::Randn(n, n, 1.0f, rng);
+  for (auto _ : state) {
+    Tensor c = MatMulBlocked(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_MatMulBlocked)->Arg(128)->Arg(512);
+
+void BM_MlpForward(benchmark::State& state) {
+  const size_t batch = static_cast<size_t>(state.range(0));
+  Xoshiro256 rng(3);
+  Mlp mlp({13, 512, 256, 64, 16}, rng);
+  Tensor x = Tensor::Randn(batch, 13, 1.0f, rng);
+  for (auto _ : state) {
+    Tensor y = mlp.ForwardInference(x);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_MlpForward)->Arg(64)->Arg(256);
+
+void BM_PairwiseInteraction(benchmark::State& state) {
+  const size_t features = static_cast<size_t>(state.range(0));
+  Xoshiro256 rng(4);
+  std::vector<Tensor> feats;
+  std::vector<const Tensor*> ptrs;
+  for (size_t i = 0; i < features; ++i) {
+    feats.push_back(Tensor::Randn(256, 16, 1.0f, rng));
+  }
+  for (auto& f : feats) ptrs.push_back(&f);
+  for (auto _ : state) {
+    Tensor out = PairwiseDotInteraction(ptrs);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_PairwiseInteraction)->Arg(8)->Arg(27);
+
+void BM_ZipfSample(benchmark::State& state) {
+  const uint64_t n = static_cast<uint64_t>(state.range(0));
+  Xoshiro256 rng(5);
+  ZipfSampler zipf(n, 1.05);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.Sample(rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ZipfSample)->Arg(100000)->Arg(73100000);
+
+void BM_RandEmBoxEstimate(benchmark::State& state) {
+  const uint64_t rows = static_cast<uint64_t>(state.range(0));
+  Xoshiro256 rng(6);
+  std::vector<uint64_t> counts(rows);
+  for (auto& c : counts) c = rng.NextBounded(100);
+  RandEmBox box(35, 1024, 0.999, 7);
+  for (auto _ : state) {
+    auto est = box.EstimateTable(counts, 50);
+    benchmark::DoNotOptimize(est.mean_hot_entries);
+  }
+}
+BENCHMARK(BM_RandEmBoxEstimate)->Arg(1000000)->Arg(10000000);
+
+void BM_RandEmBoxExactScan(benchmark::State& state) {
+  const uint64_t rows = static_cast<uint64_t>(state.range(0));
+  Xoshiro256 rng(8);
+  std::vector<uint64_t> counts(rows);
+  for (auto& c : counts) c = rng.NextBounded(100);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RandEmBox::ExactCount(counts, 50));
+  }
+}
+BENCHMARK(BM_RandEmBoxExactScan)->Arg(1000000)->Arg(10000000);
+
+}  // namespace
+}  // namespace fae
+
+BENCHMARK_MAIN();

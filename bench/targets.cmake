@@ -1,0 +1,46 @@
+# One binary per reproduced table/figure (DESIGN.md §4). Every binary runs
+# in seconds with its defaults; --scale/--inputs grow the workload.
+#
+# Included from the top-level CMakeLists (not add_subdirectory) so that
+# ${CMAKE_BINARY_DIR}/bench holds *only* the bench executables and
+# `for b in build/bench/*; do $b; done` works unmodified.
+
+set(FAE_BENCHES
+  fig02_hot_sizes
+  fig04_minibatch_probability
+  fig06_threshold_sweep
+  fig07_sampling_profile
+  fig08_sampling_latency
+  fig09_randem_accuracy
+  fig10_randem_latency
+  fig11_input_processor_latency
+  fig12_accuracy
+  fig13_training_time
+  fig14_latency_breakdown
+  fig15_batch_size_sweep
+  tab06_power
+  nvopt_comparison
+  abl_scheduler_policy
+  abl_sample_rate
+  abl_sync_strategy
+  abl_placements
+  ext_multinode
+  abl_popularity_drift
+  abl_pipelined
+  abl_mixed_precision
+  abl_randem_params
+)
+
+foreach(bench ${FAE_BENCHES})
+  add_executable(${bench} ${CMAKE_SOURCE_DIR}/bench/${bench}.cc)
+  target_link_libraries(${bench} PRIVATE fae)
+  target_include_directories(${bench} PRIVATE ${CMAKE_SOURCE_DIR})
+  set_target_properties(${bench} PROPERTIES
+    RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+endforeach()
+
+add_executable(micro_kernels ${CMAKE_SOURCE_DIR}/bench/micro_kernels.cc)
+target_link_libraries(micro_kernels PRIVATE fae benchmark::benchmark)
+target_include_directories(micro_kernels PRIVATE ${CMAKE_SOURCE_DIR})
+set_target_properties(micro_kernels PROPERTIES
+  RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)

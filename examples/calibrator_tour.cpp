@@ -1,0 +1,95 @@
+// A guided tour of the Calibrator's internals (paper §III-A): how the
+// Sparse Input Sampler, Embedding Logger, Rand-Em Box, and Statistical
+// Optimizer cooperate to pick the access threshold without scanning the
+// whole dataset or the whole tables.
+//
+// Build & run:  ./build/examples/calibrator_tour
+
+#include <cstdio>
+
+#include "core/calibrator.h"
+#include "core/embedding_classifier.h"
+#include "core/embedding_logger.h"
+#include "core/rand_em_box.h"
+#include "data/synthetic.h"
+#include "stats/sampling.h"
+#include "util/random.h"
+#include "util/string_util.h"
+
+int main() {
+  using namespace fae;
+
+  DatasetSchema schema = MakeKaggleLikeSchema(DatasetScale::kTiny);
+  SyntheticGenerator generator(schema, {.seed = 5});
+  Dataset dataset = generator.Generate(30000);
+
+  std::printf("== Step 1: Sparse Input Sampler (x = 5%%)\n");
+  Xoshiro256 rng(17);
+  std::vector<uint64_t> sample_ids =
+      BernoulliSampleIndices(dataset.size(), 0.05, rng);
+  std::printf("   sampled %zu of %zu inputs\n", sample_ids.size(),
+              dataset.size());
+
+  std::printf("\n== Step 2: Embedding Logger (per-entry access counts)\n");
+  EmbeddingLogger::Result logged = EmbeddingLogger::Profile(dataset, sample_ids);
+  std::printf("   replayed %llu lookups in %s\n",
+              static_cast<unsigned long long>(logged.num_lookups),
+              HumanSeconds(logged.seconds).c_str());
+  std::printf("   largest table: top 5%% of entries hold %.1f%% of accesses\n",
+              100 * logged.profile.TopShare(0, 0.05));
+
+  std::printf("\n== Step 3: Rand-Em Box (CLT size estimates, n=35, m=1024)\n");
+  const RandEmBox box(35, 1024, 0.999, 3);
+  for (uint64_t h_zt : {2ull, 8ull, 32ull}) {
+    const auto est = box.EstimateTable(logged.profile.counts(0), h_zt);
+    const uint64_t exact = RandEmBox::ExactCount(logged.profile.counts(0), h_zt);
+    std::printf(
+        "   H_zt=%2llu: estimate %.0f entries (CI upper %.0f), exact %llu%s\n",
+        static_cast<unsigned long long>(h_zt), est.mean_hot_entries,
+        est.upper_hot_entries, static_cast<unsigned long long>(exact),
+        est.exact ? " [small table: full scan]" : "");
+  }
+
+  std::printf("\n== Step 4: Statistical Optimizer (threshold sweep vs L)\n");
+  FaeConfig config;
+  config.sample_rate = 0.05;
+  config.gpu_memory_budget = 384 << 10;
+  config.large_table_bytes = 4 << 10;
+  Calibrator calibrator(config);
+  auto result = calibrator.Calibrate(dataset);
+  if (!result.ok()) {
+    std::printf("   calibration failed: %s\n",
+                result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("   budget L = %s\n",
+              HumanBytes(config.gpu_memory_budget).c_str());
+  for (const ThresholdPoint& p : result->sweep) {
+    std::printf("   t=%-8.0e H_zt=%-6llu est %-12s %s\n", p.threshold,
+                static_cast<unsigned long long>(p.h_zt),
+                HumanBytes(p.estimated_hot_bytes).c_str(),
+                p.fits ? "fits" : "over budget");
+  }
+  std::printf("   -> final threshold t = %.1e (H_zt = %llu)\n",
+              result->threshold,
+              static_cast<unsigned long long>(result->h_zt));
+
+  std::printf("\n== Step 5: Embedding Classifier (hot bags)\n");
+  HotSet hot = EmbeddingClassifier::Classify(
+      result->profile, schema, result->h_zt, config.large_table_bytes);
+  uint64_t hot_rows = 0;
+  uint64_t total_rows = 0;
+  for (size_t t = 0; t < schema.num_tables(); ++t) {
+    hot_rows += hot.HotCount(t);
+    total_rows += schema.table_rows[t];
+  }
+  std::printf(
+      "   %llu of %llu rows hot (%.2f%%) -> %s replicated per GPU,\n"
+      "   capturing %.1f%% of all embedding accesses\n",
+      static_cast<unsigned long long>(hot_rows),
+      static_cast<unsigned long long>(total_rows),
+      100.0 * static_cast<double>(hot_rows) / static_cast<double>(total_rows),
+      HumanBytes(hot.HotBytes(schema.embedding_dim)).c_str(),
+      100 * hot.HotAccessShare(result->profile));
+  return 0;
+}

@@ -1,0 +1,116 @@
+#include "core/calibrator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/embedding_logger.h"
+#include "core/rand_em_box.h"
+#include "stats/sampling.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+
+namespace fae {
+
+uint64_t SmallTableBytes(const DatasetSchema& schema,
+                         uint64_t large_table_bytes) {
+  uint64_t bytes = 0;
+  for (size_t t = 0; t < schema.num_tables(); ++t) {
+    if (schema.TableBytes(t) < large_table_bytes) {
+      bytes += schema.TableBytes(t);
+    }
+  }
+  return bytes;
+}
+
+Calibrator::Calibrator(FaeConfig config) : config_(std::move(config)) {}
+
+StatusOr<CalibrationResult> Calibrator::Calibrate(
+    const Dataset& dataset) const {
+  if (config_.sample_rate <= 0.0 || config_.sample_rate > 1.0) {
+    return Status::InvalidArgument("sample_rate must be in (0, 1]");
+  }
+  if (config_.thresholds.empty()) {
+    return Status::InvalidArgument("no candidate thresholds");
+  }
+  for (size_t i = 1; i < config_.thresholds.size(); ++i) {
+    if (config_.thresholds[i] >= config_.thresholds[i - 1]) {
+      return Status::InvalidArgument("thresholds must be strictly descending");
+    }
+  }
+  if (dataset.size() == 0) {
+    return Status::InvalidArgument("empty dataset");
+  }
+
+  CalibrationResult result;
+
+  // 1) Sparse Input Sampler + Embedding Logger (x% of the inputs).
+  Stopwatch sample_watch;
+  Xoshiro256 rng(config_.seed);
+  std::vector<uint64_t> sample_ids =
+      BernoulliSampleIndices(dataset.size(), config_.sample_rate, rng);
+  if (sample_ids.empty()) {
+    // Degenerate tiny dataset: profile everything.
+    sample_ids.resize(dataset.size());
+    for (size_t i = 0; i < sample_ids.size(); ++i) sample_ids[i] = i;
+  }
+  EmbeddingLogger::Result logged = EmbeddingLogger::Profile(dataset, sample_ids);
+  result.sampling_seconds = sample_watch.ElapsedSeconds();
+  result.sampled_inputs = logged.num_inputs;
+
+  // 2) Statistical Optimizer: sweep thresholds coarse-to-fine with the
+  // Rand-Em Box; keep the finest threshold whose CI-upper hot size fits L.
+  Stopwatch estimate_watch;
+  const DatasetSchema& schema = dataset.schema();
+  const uint64_t small_bytes =
+      SmallTableBytes(schema, config_.large_table_bytes);
+  const RandEmBox box(config_.num_chunks, config_.chunk_len,
+                      config_.confidence, config_.seed + 1);
+  const size_t dim_bytes = schema.embedding_dim * sizeof(float);
+
+  bool found = false;
+  for (double t : config_.thresholds) {
+    ThresholdPoint point;
+    point.threshold = t;
+    point.h_zt = std::max<uint64_t>(
+        1, static_cast<uint64_t>(std::llround(
+               t * static_cast<double>(result.sampled_inputs))));  // Eq 1
+    double hot_bytes = static_cast<double>(small_bytes);
+    for (size_t z = 0; z < schema.num_tables(); ++z) {
+      // Partition by the *configured* cutoff — the same one the Embedding
+      // Classifier will use — or the estimate and the realized hot slice
+      // diverge.
+      if (schema.TableBytes(z) < config_.large_table_bytes) continue;
+      RandEmBox::Estimate est =
+          box.EstimateTable(logged.profile.counts(z), point.h_zt);
+      hot_bytes += est.upper_hot_entries * static_cast<double>(dim_bytes);
+      point.scanned_entries += est.scanned_entries;
+    }
+    point.estimated_hot_bytes = static_cast<uint64_t>(hot_bytes);
+    point.fits = point.estimated_hot_bytes <= config_.gpu_memory_budget;
+    result.sweep.push_back(point);
+    if (point.fits) {
+      result.threshold = point.threshold;
+      result.h_zt = point.h_zt;
+      result.estimated_hot_bytes = point.estimated_hot_bytes;
+      found = true;
+    } else if (found) {
+      // Sizes grow monotonically as t decreases; once we have a fit and
+      // the next candidate overflows, stop refining.
+      break;
+    }
+  }
+  result.estimation_seconds = estimate_watch.ElapsedSeconds();
+
+  if (!found) {
+    return Status::ResourceExhausted(StrFormat(
+        "no threshold fits hot-embedding budget %s (smallest estimate %s); "
+        "raise the budget L or add coarser thresholds",
+        HumanBytes(config_.gpu_memory_budget).c_str(),
+        HumanBytes(result.sweep.front().estimated_hot_bytes).c_str()));
+  }
+  result.profile = std::move(logged.profile);
+  return result;
+}
+
+}  // namespace fae

@@ -1,0 +1,66 @@
+#ifndef FAE_CORE_CALIBRATOR_H_
+#define FAE_CORE_CALIBRATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/fae_config.h"
+#include "data/dataset.h"
+#include "stats/access_profile.h"
+#include "util/statusor.h"
+
+namespace fae {
+
+/// One threshold the Statistical Optimizer evaluated, for Fig 6/9-style
+/// sweeps.
+struct ThresholdPoint {
+  double threshold = 0.0;          // t, fraction of sampled inputs
+  uint64_t h_zt = 0;               // absolute access cutoff (Eq 1)
+  uint64_t estimated_hot_bytes = 0;  // CI upper bound incl. small tables
+  uint64_t scanned_entries = 0;    // Rand-Em Box work for this iteration
+  bool fits = false;               // estimated_hot_bytes <= L
+};
+
+/// Calibrate() output: the chosen knob plus everything downstream
+/// components need (sampled profile, sizes, timing).
+struct CalibrationResult {
+  double threshold = 0.0;
+  uint64_t h_zt = 0;
+  uint64_t estimated_hot_bytes = 0;
+  size_t sampled_inputs = 0;
+  /// Sampled access profile (Embedding Logger output), reused by the
+  /// Embedding Classifier so the dataset is not re-scanned.
+  AccessProfile profile{std::vector<uint64_t>{}};
+  /// Every threshold iteration, in sweep order.
+  std::vector<ThresholdPoint> sweep;
+  double sampling_seconds = 0.0;
+  double estimation_seconds = 0.0;
+};
+
+/// The paper's Calibrator (§III-A): picks the access threshold that makes
+/// the hot embedding slice as large as possible while fitting the per-GPU
+/// budget L, using input sampling + the Rand-Em Box so neither the full
+/// dataset nor the full tables are scanned.
+class Calibrator {
+ public:
+  explicit Calibrator(FaeConfig config);
+
+  /// Runs sampler -> logger -> statistical optimizer. Fails with
+  /// ResourceExhausted when even the coarsest threshold's hot slice
+  /// exceeds L (the caller should raise the budget or add thresholds).
+  StatusOr<CalibrationResult> Calibrate(const Dataset& dataset) const;
+
+  const FaeConfig& config() const { return config_; }
+
+ private:
+  FaeConfig config_;
+};
+
+/// Bytes of all de-facto-hot small tables (< large_table_bytes) of
+/// `schema` — they ride along with every threshold's hot slice.
+uint64_t SmallTableBytes(const DatasetSchema& schema,
+                         uint64_t large_table_bytes);
+
+}  // namespace fae
+
+#endif  // FAE_CORE_CALIBRATOR_H_

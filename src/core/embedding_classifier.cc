@@ -1,0 +1,76 @@
+#include "core/embedding_classifier.h"
+
+#include "util/logging.h"
+
+namespace fae {
+
+std::vector<uint32_t> HotSet::HotRows(size_t table) const {
+  std::vector<uint32_t> rows;
+  rows.reserve(hot_counts_[table]);
+  if (all_hot_[table]) {
+    for (uint64_t r = 0; r < table_rows_[table]; ++r) {
+      rows.push_back(static_cast<uint32_t>(r));
+    }
+    return rows;
+  }
+  const auto& mask = mask_[table];
+  for (uint64_t r = 0; r < mask.size(); ++r) {
+    if (mask[r]) rows.push_back(static_cast<uint32_t>(r));
+  }
+  return rows;
+}
+
+uint64_t HotSet::HotBytes(size_t embedding_dim) const {
+  uint64_t rows = 0;
+  for (uint64_t c : hot_counts_) rows += c;
+  return rows * embedding_dim * sizeof(float);
+}
+
+double HotSet::HotAccessShare(const AccessProfile& profile) const {
+  FAE_CHECK_EQ(profile.num_tables(), num_tables());
+  uint64_t hot = 0;
+  uint64_t total = 0;
+  for (size_t t = 0; t < num_tables(); ++t) {
+    const auto& counts = profile.counts(t);
+    for (uint64_t r = 0; r < counts.size(); ++r) {
+      total += counts[r];
+      if (IsHot(t, r)) hot += counts[r];
+    }
+  }
+  return total == 0 ? 0.0
+                    : static_cast<double>(hot) / static_cast<double>(total);
+}
+
+HotSet EmbeddingClassifier::Classify(const AccessProfile& profile,
+                                     const DatasetSchema& schema,
+                                     uint64_t h_zt,
+                                     uint64_t large_table_bytes) {
+  FAE_CHECK_EQ(profile.num_tables(), schema.num_tables());
+  HotSet hot;
+  const size_t n = schema.num_tables();
+  hot.mask_.resize(n);
+  hot.all_hot_.assign(n, 0);
+  hot.hot_counts_.assign(n, 0);
+  hot.table_rows_ = schema.table_rows;
+  for (size_t t = 0; t < n; ++t) {
+    if (schema.TableBytes(t) < large_table_bytes) {
+      hot.all_hot_[t] = 1;
+      hot.hot_counts_[t] = schema.table_rows[t];
+      continue;
+    }
+    const auto& counts = profile.counts(t);
+    auto& mask = hot.mask_[t];
+    mask.assign(counts.size(), 0);
+    uint64_t hot_count = 0;
+    for (uint64_t r = 0; r < counts.size(); ++r) {
+      if (counts[r] >= h_zt) {
+        mask[r] = 1;
+        ++hot_count;
+      }
+    }
+    hot.hot_counts_[t] = hot_count;
+  }
+  return hot;
+}
+
+}  // namespace fae

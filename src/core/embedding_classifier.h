@@ -1,0 +1,66 @@
+#ifndef FAE_CORE_EMBEDDING_CLASSIFIER_H_
+#define FAE_CORE_EMBEDDING_CLASSIFIER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/schema.h"
+#include "stats/access_profile.h"
+
+namespace fae {
+
+/// The hot/cold partition of every embedding table — the "Hot-Embedding
+/// Bag" the paper ships to each GPU (§III-B).
+///
+/// Small tables (< large_table_bytes) are entirely hot. For large tables a
+/// byte-mask gives O(1) membership tests during input classification.
+class HotSet {
+ public:
+  HotSet() = default;
+
+  bool IsHot(size_t table, uint64_t row) const {
+    return all_hot_[table] != 0 || mask_[table][row] != 0;
+  }
+
+  /// Number of hot rows of `table`.
+  uint64_t HotCount(size_t table) const { return hot_counts_[table]; }
+
+  /// Sorted hot row ids of `table` (materialized; for small all-hot tables
+  /// this is every row).
+  std::vector<uint32_t> HotRows(size_t table) const;
+
+  size_t num_tables() const { return mask_.size(); }
+  bool table_all_hot(size_t table) const { return all_hot_[table] != 0; }
+
+  /// Bytes of the hot slice given the embedding dim (what the replicator
+  /// will allocate per GPU).
+  uint64_t HotBytes(size_t embedding_dim) const;
+
+  /// Fraction of `profile`'s accesses that fall on hot entries — the
+  /// paper's "hot indices account for 75% to 92% of the total accesses".
+  double HotAccessShare(const AccessProfile& profile) const;
+
+ private:
+  friend class EmbeddingClassifier;
+  friend class FaeFormat;
+
+  std::vector<std::vector<uint8_t>> mask_;  // empty for all-hot tables
+  std::vector<uint8_t> all_hot_;
+  std::vector<uint64_t> hot_counts_;
+  std::vector<uint64_t> table_rows_;
+};
+
+/// The paper's Embedding Classifier (§III-B): one pass over each table's
+/// (sampled) access counts tagging entries with count >= H_zt as hot.
+class EmbeddingClassifier {
+ public:
+  /// `h_zt` is the Calibrator's absolute cutoff (Eq 1). Tables smaller
+  /// than `large_table_bytes` are marked entirely hot.
+  static HotSet Classify(const AccessProfile& profile,
+                         const DatasetSchema& schema, uint64_t h_zt,
+                         uint64_t large_table_bytes);
+};
+
+}  // namespace fae
+
+#endif  // FAE_CORE_EMBEDDING_CLASSIFIER_H_

@@ -1,0 +1,25 @@
+#include "core/embedding_logger.h"
+
+#include "util/stopwatch.h"
+
+namespace fae {
+
+EmbeddingLogger::Result EmbeddingLogger::Profile(
+    const Dataset& dataset, const std::vector<uint64_t>& sample_ids) {
+  Stopwatch watch;
+  Result result{AccessProfile(dataset.schema().table_rows)};
+  for (uint64_t id : sample_ids) {
+    const SparseInput& s = dataset.sample(id);
+    for (size_t t = 0; t < s.indices.size(); ++t) {
+      for (uint32_t row : s.indices[t]) {
+        result.profile.Record(t, row);
+        ++result.num_lookups;
+      }
+    }
+  }
+  result.num_inputs = sample_ids.size();
+  result.seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace fae

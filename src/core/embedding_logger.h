@@ -1,0 +1,35 @@
+#ifndef FAE_CORE_EMBEDDING_LOGGER_H_
+#define FAE_CORE_EMBEDDING_LOGGER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+#include "stats/access_profile.h"
+
+namespace fae {
+
+/// The paper's Embedding Logger (§III-A2): replays the sampled sparse
+/// inputs against the embedding tables and records per-entry access
+/// counts, producing the sampled access profile the Rand-Em Box and the
+/// Embedding Classifier consume.
+class EmbeddingLogger {
+ public:
+  struct Result {
+    AccessProfile profile;
+    /// Inputs profiled (|sampled S_I|).
+    size_t num_inputs = 0;
+    /// Total embedding lookups replayed.
+    uint64_t num_lookups = 0;
+    /// Wall time of the profiling pass (Fig 8's metric).
+    double seconds = 0.0;
+  };
+
+  /// Profiles the samples at `sample_ids`.
+  static Result Profile(const Dataset& dataset,
+                        const std::vector<uint64_t>& sample_ids);
+};
+
+}  // namespace fae
+
+#endif  // FAE_CORE_EMBEDDING_LOGGER_H_

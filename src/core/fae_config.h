@@ -1,0 +1,52 @@
+#ifndef FAE_CORE_FAE_CONFIG_H_
+#define FAE_CORE_FAE_CONFIG_H_
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace fae {
+
+/// Knobs of the FAE framework's static (preprocessing) components,
+/// defaulted to the paper's choices.
+struct FaeConfig {
+  /// Sparse Input Sampler rate x (§III-A1: "we iterate through x=5% of the
+  /// entire dataset").
+  double sample_rate = 0.05;
+
+  /// GPU memory allocated to hot embeddings, L (§III-A3: "our experiments
+  /// show that L=256MB suffices").
+  uint64_t gpu_memory_budget = 256ULL << 20;
+
+  /// Rand-Em Box parameters (§III-A3): n samples of m entries each with a
+  /// t-interval at this confidence.
+  size_t num_chunks = 35;        // n
+  size_t chunk_len = 1024;       // m
+  double confidence = 0.999;
+
+  /// Tables below this size are de-facto hot (§III-A1: "any embedding
+  /// table that is greater than or equal to 1MB to be large").
+  uint64_t large_table_bytes = 1ULL << 20;
+
+  /// Candidate access thresholds t (fractions of the sampled input count),
+  /// swept from coarse to fine by the Statistical Optimizer. Must be
+  /// strictly descending.
+  std::vector<double> thresholds = {3e-2, 1e-2, 3e-3, 1e-3, 3e-4,
+                                    1e-4, 3e-5, 1e-5, 3e-6, 1e-6};
+
+  /// Shuffle Scheduler (§III-C / Eq 7).
+  double initial_rate = 50.0;  // R(50): alternate cold and hot
+  double min_rate = 1.0;       // R(1)
+  double max_rate = 100.0;     // R(100)
+  int loss_patience = 4;       // u
+
+  uint64_t seed = 0x5eed;
+
+  /// Worker threads for the Input Processor's parallel classification
+  /// (§III-B; the paper uses a 16-core machine).
+  size_t num_threads = std::thread::hardware_concurrency();
+};
+
+}  // namespace fae
+
+#endif  // FAE_CORE_FAE_CONFIG_H_

@@ -1,0 +1,116 @@
+#include "core/fae_format.h"
+
+#include "util/file_io.h"
+#include "util/string_util.h"
+
+namespace fae {
+namespace {
+
+constexpr uint32_t kMagic = 0x46414546;  // "FAEF"
+constexpr uint32_t kVersion = 1;
+constexpr uint32_t kTrailer = 0x444e4546;  // "FEND"
+
+uint64_t Fnv1a(uint64_t h, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xff;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+uint64_t FaeFormat::Fingerprint(const Dataset& dataset) {
+  const DatasetSchema& s = dataset.schema();
+  uint64_t h = 0xcbf29ce484222325ULL;
+  h = Fnv1a(h, dataset.size());
+  h = Fnv1a(h, s.num_dense);
+  h = Fnv1a(h, s.embedding_dim);
+  h = Fnv1a(h, s.sequential ? 1 : 0);
+  h = Fnv1a(h, s.max_history);
+  for (uint64_t rows : s.table_rows) h = Fnv1a(h, rows);
+  return h;
+}
+
+Status FaeFormat::Save(const std::string& path, const FaePreprocessed& data) {
+  FAE_ASSIGN_OR_RETURN(BinaryWriter w, BinaryWriter::Open(path));
+  FAE_RETURN_IF_ERROR(w.WriteU32(kMagic));
+  FAE_RETURN_IF_ERROR(w.WriteU32(kVersion));
+  FAE_RETURN_IF_ERROR(w.WriteU64(data.fingerprint));
+  FAE_RETURN_IF_ERROR(w.WriteF64(data.threshold));
+  FAE_RETURN_IF_ERROR(w.WriteU64(data.h_zt));
+
+  const HotSet& hs = data.hot_set;
+  FAE_RETURN_IF_ERROR(w.WriteU64(hs.num_tables()));
+  for (size_t t = 0; t < hs.num_tables(); ++t) {
+    FAE_RETURN_IF_ERROR(w.WriteU32(hs.all_hot_[t]));
+    FAE_RETURN_IF_ERROR(w.WriteU64(hs.table_rows_[t]));
+    FAE_RETURN_IF_ERROR(w.WriteU64(hs.hot_counts_[t]));
+    FAE_RETURN_IF_ERROR(w.WriteVector(hs.mask_[t]));
+  }
+  FAE_RETURN_IF_ERROR(w.WriteVector(data.hot_ids));
+  FAE_RETURN_IF_ERROR(w.WriteVector(data.cold_ids));
+  FAE_RETURN_IF_ERROR(w.WriteU32(kTrailer));
+  return w.Close();
+}
+
+StatusOr<FaePreprocessed> FaeFormat::Load(const std::string& path,
+                                          const Dataset& dataset) {
+  FAE_ASSIGN_OR_RETURN(BinaryReader r, BinaryReader::Open(path));
+  FAE_ASSIGN_OR_RETURN(uint32_t magic, r.ReadU32());
+  if (magic != kMagic) {
+    return Status::DataLoss("not a FAE preprocessed file: " + path);
+  }
+  FAE_ASSIGN_OR_RETURN(uint32_t version, r.ReadU32());
+  if (version != kVersion) {
+    return Status::DataLoss(
+        StrFormat("unsupported FAE format version %u", version));
+  }
+  FaePreprocessed data;
+  FAE_ASSIGN_OR_RETURN(data.fingerprint, r.ReadU64());
+  if (data.fingerprint != Fingerprint(dataset)) {
+    return Status::FailedPrecondition(
+        "FAE preprocessed data was built from a different dataset");
+  }
+  FAE_ASSIGN_OR_RETURN(data.threshold, r.ReadF64());
+  FAE_ASSIGN_OR_RETURN(data.h_zt, r.ReadU64());
+
+  FAE_ASSIGN_OR_RETURN(uint64_t num_tables, r.ReadU64());
+  if (num_tables != dataset.schema().num_tables()) {
+    return Status::DataLoss("table count mismatch in FAE file");
+  }
+  HotSet& hs = data.hot_set;
+  hs.mask_.resize(num_tables);
+  hs.all_hot_.resize(num_tables);
+  hs.hot_counts_.resize(num_tables);
+  hs.table_rows_.resize(num_tables);
+  for (size_t t = 0; t < num_tables; ++t) {
+    FAE_ASSIGN_OR_RETURN(uint32_t all_hot, r.ReadU32());
+    hs.all_hot_[t] = static_cast<uint8_t>(all_hot);
+    FAE_ASSIGN_OR_RETURN(hs.table_rows_[t], r.ReadU64());
+    FAE_ASSIGN_OR_RETURN(hs.hot_counts_[t], r.ReadU64());
+    FAE_ASSIGN_OR_RETURN(hs.mask_[t], r.ReadVector<uint8_t>());
+    if (hs.table_rows_[t] != dataset.schema().table_rows[t]) {
+      return Status::DataLoss("table rows mismatch in FAE file");
+    }
+    if (!hs.all_hot_[t]) {
+      if (hs.mask_[t].size() != hs.table_rows_[t]) {
+        return Status::DataLoss("hot mask size mismatch in FAE file");
+      }
+      uint64_t recount = 0;
+      for (uint8_t m : hs.mask_[t]) recount += m != 0;
+      if (recount != hs.hot_counts_[t]) {
+        return Status::DataLoss("hot count does not match mask in FAE file");
+      }
+    }
+  }
+  FAE_ASSIGN_OR_RETURN(data.hot_ids, r.ReadVector<uint64_t>());
+  FAE_ASSIGN_OR_RETURN(data.cold_ids, r.ReadVector<uint64_t>());
+  FAE_ASSIGN_OR_RETURN(uint32_t trailer, r.ReadU32());
+  if (trailer != kTrailer) {
+    return Status::DataLoss("FAE file trailer missing (truncated?)");
+  }
+  return data;
+}
+
+}  // namespace fae

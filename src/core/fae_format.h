@@ -1,0 +1,43 @@
+#ifndef FAE_CORE_FAE_FORMAT_H_
+#define FAE_CORE_FAE_FORMAT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/embedding_classifier.h"
+#include "data/dataset.h"
+#include "util/statusor.h"
+
+namespace fae {
+
+/// Everything the static FAE passes produce, stored "in the FAE format for
+/// any subsequent training runs" (paper §III-B) so calibration and
+/// classification run once per dataset.
+struct FaePreprocessed {
+  /// Hash of the source dataset's schema and size; Load refuses data whose
+  /// fingerprint does not match the dataset it is applied to.
+  uint64_t fingerprint = 0;
+  double threshold = 0.0;
+  uint64_t h_zt = 0;
+  HotSet hot_set;
+  std::vector<uint64_t> hot_ids;
+  std::vector<uint64_t> cold_ids;
+};
+
+/// Binary (de)serialization of FaePreprocessed with corruption checks.
+class FaeFormat {
+ public:
+  static Status Save(const std::string& path, const FaePreprocessed& data);
+
+  /// Load + fingerprint check against `dataset`.
+  static StatusOr<FaePreprocessed> Load(const std::string& path,
+                                        const Dataset& dataset);
+
+  /// FNV-1a over the schema's structural fields and the sample count.
+  static uint64_t Fingerprint(const Dataset& dataset);
+};
+
+}  // namespace fae
+
+#endif  // FAE_CORE_FAE_FORMAT_H_

@@ -1,0 +1,67 @@
+#include "core/input_processor.h"
+
+#include <algorithm>
+
+#include "util/random.h"
+#include "util/stopwatch.h"
+#include "util/thread_pool.h"
+
+namespace fae {
+
+ProcessedInputs InputProcessor::Classify(
+    const Dataset& dataset, const HotSet& hot_set,
+    const std::vector<uint64_t>& which) const {
+  Stopwatch watch;
+  ProcessedInputs out;
+  std::vector<uint8_t> is_hot(which.size(), 0);
+
+  auto classify_range = [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      const SparseInput& s = dataset.sample(which[i]);
+      bool hot = true;
+      for (size_t t = 0; t < s.indices.size() && hot; ++t) {
+        for (uint32_t row : s.indices[t]) {
+          if (!hot_set.IsHot(t, row)) {
+            hot = false;
+            break;
+          }
+        }
+      }
+      is_hot[i] = hot ? 1 : 0;
+    }
+  };
+
+  if (num_threads_ > 1 && which.size() > 1024) {
+    ThreadPool pool(num_threads_);
+    pool.ParallelFor(which.size(), classify_range);
+  } else {
+    classify_range(0, which.size());
+  }
+
+  for (size_t i = 0; i < which.size(); ++i) {
+    (is_hot[i] ? out.hot_ids : out.cold_ids).push_back(which[i]);
+  }
+  out.seconds = watch.ElapsedSeconds();
+  return out;
+}
+
+InputProcessor::PackedBatches InputProcessor::Pack(
+    const Dataset& dataset, const ProcessedInputs& inputs, size_t batch_size,
+    uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<uint64_t> hot = inputs.hot_ids;
+  std::vector<uint64_t> cold = inputs.cold_ids;
+  // Fisher-Yates within each class keeps batches pure but random.
+  for (size_t i = hot.size(); i > 1; --i) {
+    std::swap(hot[i - 1], hot[rng.NextBounded(i)]);
+  }
+  for (size_t i = cold.size(); i > 1; --i) {
+    std::swap(cold[i - 1], cold[rng.NextBounded(i)]);
+  }
+  PackedBatches packed;
+  packed.hot = AssembleBatches(dataset, hot, batch_size, /*hot=*/true);
+  packed.cold = AssembleBatches(dataset, cold, batch_size, /*hot=*/false);
+  return packed;
+}
+
+}  // namespace fae

@@ -1,0 +1,72 @@
+#include "core/rand_em_box.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/descriptive.h"
+#include "stats/sampling.h"
+#include "stats/t_table.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace fae {
+
+RandEmBox::RandEmBox(size_t num_chunks, size_t chunk_len, double confidence,
+                     uint64_t seed)
+    : num_chunks_(num_chunks), chunk_len_(chunk_len), seed_(seed) {
+  FAE_CHECK_GE(num_chunks, 2u);
+  FAE_CHECK_GE(chunk_len, 1u);
+  // Paper convention: 3.340 at 99.9% / n=35 is the one-sided quantile with
+  // df = n (see stats/t_table.h).
+  t_critical_ =
+      OneSidedTCritical(confidence, static_cast<double>(num_chunks));
+}
+
+uint64_t RandEmBox::ExactCount(const std::vector<uint64_t>& counts,
+                               uint64_t h_zt) {
+  uint64_t n = 0;
+  for (uint64_t c : counts) {
+    if (c >= h_zt) ++n;
+  }
+  return n;
+}
+
+RandEmBox::Estimate RandEmBox::EstimateTable(
+    const std::vector<uint64_t>& counts, uint64_t h_zt) const {
+  Estimate est;
+  const uint64_t rows = counts.size();
+  // Small tables: sampling would cover most rows anyway; scan exactly.
+  if (rows <= num_chunks_ * chunk_len_) {
+    const uint64_t exact = ExactCount(counts, h_zt);
+    est.mean_hot_entries = static_cast<double>(exact);
+    est.upper_hot_entries = static_cast<double>(exact);
+    est.scanned_entries = rows;
+    est.exact = true;
+    return est;
+  }
+
+  Xoshiro256 rng(seed_ ^ (rows * 0x9e3779b97f4a7c15ULL));
+  const std::vector<uint64_t> starts =
+      RandomChunkStarts(rows, chunk_len_, num_chunks_, rng);
+  std::vector<double> y(starts.size(), 0.0);
+  for (size_t i = 0; i < starts.size(); ++i) {
+    uint64_t hits = 0;
+    for (uint64_t r = starts[i]; r < starts[i] + chunk_len_; ++r) {
+      if (counts[r] >= h_zt) ++hits;  // Eq 2/3
+    }
+    y[i] = static_cast<double>(hits);
+    est.scanned_entries += chunk_len_;
+  }
+  const double ybar = Mean(y);                  // Eq 4
+  const double s = SampleStdDev(y);
+  const double margin =
+      t_critical_ * s / std::sqrt(static_cast<double>(y.size()));  // Eq 6
+  const double scale = static_cast<double>(rows) /
+                       static_cast<double>(chunk_len_);
+  est.mean_hot_entries = ybar * scale;
+  est.upper_hot_entries =
+      std::min(static_cast<double>(rows), (ybar + margin) * scale);
+  return est;
+}
+
+}  // namespace fae

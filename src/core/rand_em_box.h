@@ -1,0 +1,55 @@
+#ifndef FAE_CORE_RAND_EM_BOX_H_
+#define FAE_CORE_RAND_EM_BOX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace fae {
+
+/// The paper's Rand-Em Box (§III-A3, Eq 1-6): estimates how many entries of
+/// an embedding table exceed an access threshold — hence the hot-slice size
+/// — from n random chunks of m consecutive entries instead of a full scan.
+///
+/// Statistics: per chunk i, y_i counts entries with access count >= H_zt
+/// (Eq 2/3). The chunk means follow ~normal behaviour by the CLT for
+/// n >= 30 (Eq 4), and a t-interval (Eq 5/6) upper-bounds the estimate at
+/// the requested confidence so the Calibrator never under-provisions L.
+class RandEmBox {
+ public:
+  struct Estimate {
+    /// Point estimate of hot entries in the table (N * ybar / m).
+    double mean_hot_entries = 0.0;
+    /// Confidence-interval upper bound on the same quantity.
+    double upper_hot_entries = 0.0;
+    /// Entries actually inspected (n*m, or N for small tables).
+    uint64_t scanned_entries = 0;
+    /// True when the whole table was scanned (estimate is exact).
+    bool exact = false;
+  };
+
+  /// `num_chunks` = n (>= 2 for a defined stddev), `chunk_len` = m.
+  RandEmBox(size_t num_chunks, size_t chunk_len, double confidence,
+            uint64_t seed);
+
+  /// Estimates the hot-entry count of a table whose per-entry access counts
+  /// are `counts`, for an absolute access cutoff `h_zt` (Eq 1's t * S_I).
+  /// Tables not much larger than one chunk are scanned exactly.
+  Estimate EstimateTable(const std::vector<uint64_t>& counts,
+                         uint64_t h_zt) const;
+
+  /// Exact hot-entry count by full scan (the naive baseline the paper's
+  /// Fig 10 compares against).
+  static uint64_t ExactCount(const std::vector<uint64_t>& counts,
+                             uint64_t h_zt);
+
+ private:
+  size_t num_chunks_;
+  size_t chunk_len_;
+  double t_critical_;
+  uint64_t seed_;
+};
+
+}  // namespace fae
+
+#endif  // FAE_CORE_RAND_EM_BOX_H_

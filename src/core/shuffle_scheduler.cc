@@ -1,0 +1,86 @@
+#include "core/shuffle_scheduler.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace fae {
+
+ShuffleScheduler::ShuffleScheduler(size_t num_cold, size_t num_hot,
+                                   const FaeConfig& config)
+    : num_cold_(num_cold),
+      num_hot_(num_hot),
+      min_rate_(config.min_rate),
+      max_rate_(config.max_rate),
+      patience_(config.loss_patience),
+      rate_(config.initial_rate) {
+  FAE_CHECK_GT(min_rate_, 0.0);
+  FAE_CHECK_GE(max_rate_, min_rate_);
+  rate_ = std::clamp(rate_, min_rate_, max_rate_);
+}
+
+size_t ShuffleScheduler::ChunkSize(size_t total) const {
+  if (total == 0) return 0;
+  return std::max<size_t>(
+      1, static_cast<size_t>(
+             std::ceil(rate_ / 100.0 * static_cast<double>(total))));
+}
+
+std::optional<ShuffleScheduler::Chunk> ShuffleScheduler::Next() {
+  const size_t cold_left = num_cold_ - issued_cold_;
+  const size_t hot_left = num_hot_ - issued_hot_;
+  if (cold_left == 0 && hot_left == 0) return std::nullopt;
+
+  bool hot = next_is_hot_;
+  if (hot && hot_left == 0) hot = false;
+  if (!hot && cold_left == 0) hot = true;
+
+  Chunk chunk;
+  chunk.hot = hot;
+  if (hot) {
+    chunk.begin = issued_hot_;
+    chunk.count = std::min(hot_left, ChunkSize(num_hot_));
+    issued_hot_ += chunk.count;
+  } else {
+    chunk.begin = issued_cold_;
+    chunk.count = std::min(cold_left, ChunkSize(num_cold_));
+    issued_cold_ += chunk.count;
+  }
+  if (any_issued_ && hot != last_was_hot_) ++transitions_;
+  any_issued_ = true;
+  last_was_hot_ = hot;
+  next_is_hot_ = !hot;
+  return chunk;
+}
+
+void ShuffleScheduler::ReportTestLoss(double loss) {
+  if (!has_prev_loss_) {
+    has_prev_loss_ = true;
+    prev_loss_ = loss;
+    return;
+  }
+  if (loss > prev_loss_) {
+    // Test loss regressed: shuffle harder (Eq 7 first case).
+    rate_ = std::max(rate_ / 2.0, min_rate_);
+    consecutive_decreases_ = 0;
+  } else if (loss < prev_loss_) {
+    if (++consecutive_decreases_ >= patience_) {
+      // Converging steadily: coarsen chunks to amortize sync (second case).
+      rate_ = std::min(rate_ * 2.0, max_rate_);
+      consecutive_decreases_ = 0;
+    }
+  } else {
+    consecutive_decreases_ = 0;
+  }
+  prev_loss_ = loss;
+}
+
+void ShuffleScheduler::ResetEpoch() {
+  issued_cold_ = 0;
+  issued_hot_ = 0;
+  next_is_hot_ = false;
+  any_issued_ = false;
+}
+
+}  // namespace fae

@@ -1,0 +1,71 @@
+#ifndef FAE_CORE_SHUFFLE_SCHEDULER_H_
+#define FAE_CORE_SHUFFLE_SCHEDULER_H_
+
+#include <cstddef>
+#include <optional>
+
+#include "core/fae_config.h"
+
+namespace fae {
+
+/// The paper's Shuffle Scheduler (§III-C, Eq 7): decides the runtime
+/// interleaving of cold and hot mini-batches.
+///
+/// The rate r is the percentage of each class issued per schedule chunk:
+/// R(100) runs all cold batches then all hot; R(1) alternates after every
+/// ~1% slice. Scheduling always *starts with cold* inputs ("the scheduler
+/// always begins with training on cold inputs"). After each chunk the
+/// caller reports the test loss:
+///   - loss increased            -> r halves (more shuffling), floor R(1);
+///   - loss decreased u=4 times  -> r doubles (less sync), cap R(100);
+///   - otherwise                 -> r unchanged.
+class ShuffleScheduler {
+ public:
+  struct Chunk {
+    bool hot = false;
+    /// Index of the first batch of this chunk within its class's list.
+    size_t begin = 0;
+    size_t count = 0;
+  };
+
+  ShuffleScheduler(size_t num_cold, size_t num_hot, const FaeConfig& config);
+
+  /// Next chunk to execute, or nullopt when every batch was issued.
+  std::optional<Chunk> Next();
+
+  /// Feedback after finishing a chunk (Eq 7's Tst_L(i)).
+  void ReportTestLoss(double loss);
+
+  /// Starts a fresh epoch over the same batch counts; the adapted rate is
+  /// retained across epochs.
+  void ResetEpoch();
+
+  double rate() const { return rate_; }
+  /// Completed hot<->cold switches so far (each costs one embedding sync).
+  size_t transitions() const { return transitions_; }
+
+ private:
+  size_t ChunkSize(size_t total) const;
+
+  size_t num_cold_;
+  size_t num_hot_;
+  double min_rate_;
+  double max_rate_;
+  int patience_;
+
+  double rate_;
+  size_t issued_cold_ = 0;
+  size_t issued_hot_ = 0;
+  bool next_is_hot_ = false;  // start with cold
+  bool any_issued_ = false;
+  bool last_was_hot_ = false;
+  size_t transitions_ = 0;
+
+  bool has_prev_loss_ = false;
+  double prev_loss_ = 0.0;
+  int consecutive_decreases_ = 0;
+};
+
+}  // namespace fae
+
+#endif  // FAE_CORE_SHUFFLE_SCHEDULER_H_

@@ -1,0 +1,91 @@
+#include "data/batch_loader.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace fae {
+
+BatchLoader::BatchLoader(const Dataset* dataset,
+                         std::vector<uint64_t> sample_ids, size_t batch_size,
+                         size_t prefetch_depth)
+    : dataset_(dataset),
+      sample_ids_(std::move(sample_ids)),
+      batch_size_(batch_size),
+      prefetch_depth_(std::max<size_t>(1, prefetch_depth)) {
+  FAE_CHECK(dataset != nullptr);
+  FAE_CHECK_GE(batch_size, 1u);
+  num_batches_ = (sample_ids_.size() + batch_size_ - 1) / batch_size_;
+  producer_ = std::thread([this] { ProducerLoop(); });
+}
+
+BatchLoader::~BatchLoader() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  consumed_.notify_all();
+  produced_.notify_all();
+  producer_.join();
+}
+
+void BatchLoader::ProducerLoop() {
+  for (;;) {
+    uint64_t my_generation;
+    size_t batch_index;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      consumed_.wait(lock, [this] {
+        return shutdown_ || (next_to_produce_ < num_batches_ &&
+                             queue_.size() < prefetch_depth_);
+      });
+      if (shutdown_) return;
+      my_generation = generation_;
+      batch_index = next_to_produce_;
+    }
+
+    // Assemble outside the lock — this is the expensive part the loader
+    // overlaps with training.
+    const size_t begin = batch_index * batch_size_;
+    const size_t end = std::min(sample_ids_.size(), begin + batch_size_);
+    std::vector<uint64_t> ids(sample_ids_.begin() + begin,
+                              sample_ids_.begin() + end);
+    MiniBatch batch = AssembleBatch(*dataset_, ids);
+
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (shutdown_) return;
+      // A Reset raced with assembly: drop the stale batch.
+      if (my_generation != generation_) continue;
+      queue_.push_back(std::move(batch));
+      ++next_to_produce_;
+    }
+    produced_.notify_one();
+  }
+}
+
+std::optional<MiniBatch> BatchLoader::Next() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (next_to_consume_ >= num_batches_) return std::nullopt;
+  produced_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+  if (queue_.empty()) return std::nullopt;  // shut down mid-epoch
+  MiniBatch batch = std::move(queue_.front());
+  queue_.pop_front();
+  ++next_to_consume_;
+  lock.unlock();
+  consumed_.notify_one();
+  return batch;
+}
+
+void BatchLoader::Reset() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++generation_;
+    queue_.clear();
+    next_to_produce_ = 0;
+    next_to_consume_ = 0;
+  }
+  consumed_.notify_all();
+}
+
+}  // namespace fae

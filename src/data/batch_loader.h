@@ -1,0 +1,71 @@
+#ifndef FAE_DATA_BATCH_LOADER_H_
+#define FAE_DATA_BATCH_LOADER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "data/minibatch.h"
+
+namespace fae {
+
+/// Background mini-batch assembly: a producer thread builds batches ahead
+/// of the training loop into a bounded queue, overlapping input
+/// preparation with compute — the input-pipeline piece a production
+/// trainer puts in front of the engine.
+///
+/// Batch *contents and order* are identical to calling AssembleBatches on
+/// the same ids (determinism is preserved; only the timing changes).
+/// Thread-compatible: one consumer thread calls Next()/Reset().
+class BatchLoader {
+ public:
+  /// Batches `sample_ids` in order, `batch_size` at a time (last batch may
+  /// be short). Keeps at most `prefetch_depth` assembled batches queued.
+  /// `dataset` must outlive the loader.
+  BatchLoader(const Dataset* dataset, std::vector<uint64_t> sample_ids,
+              size_t batch_size, size_t prefetch_depth = 4);
+
+  /// Joins the producer.
+  ~BatchLoader();
+
+  BatchLoader(const BatchLoader&) = delete;
+  BatchLoader& operator=(const BatchLoader&) = delete;
+
+  /// Blocks for the next batch; nullopt once the epoch is exhausted.
+  std::optional<MiniBatch> Next();
+
+  /// Restarts the epoch from the first batch (same ids, same order).
+  /// Discards anything prefetched.
+  void Reset();
+
+  size_t num_batches() const { return num_batches_; }
+  size_t batch_size() const { return batch_size_; }
+
+ private:
+  void ProducerLoop();
+
+  const Dataset* dataset_;
+  std::vector<uint64_t> sample_ids_;
+  size_t batch_size_;
+  size_t prefetch_depth_;
+  size_t num_batches_;
+
+  std::mutex mu_;
+  std::condition_variable produced_;
+  std::condition_variable consumed_;
+  std::deque<MiniBatch> queue_;
+  size_t next_to_produce_ = 0;  // batch index the producer builds next
+  size_t next_to_consume_ = 0;  // batch index Next() hands out next
+  uint64_t generation_ = 0;     // bumped by Reset to invalidate prefetches
+  bool shutdown_ = false;
+
+  std::thread producer_;
+};
+
+}  // namespace fae
+
+#endif  // FAE_DATA_BATCH_LOADER_H_

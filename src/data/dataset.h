@@ -1,0 +1,48 @@
+#ifndef FAE_DATA_DATASET_H_
+#define FAE_DATA_DATASET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/sample.h"
+#include "data/schema.h"
+#include "stats/access_profile.h"
+
+namespace fae {
+
+/// In-memory dataset: a schema plus its training inputs. The paper
+/// preprocesses the whole dataset once (§III-B); keeping it in memory makes
+/// the static FAE passes and the training epochs deterministic and fast.
+class Dataset {
+ public:
+  Dataset(DatasetSchema schema, std::vector<SparseInput> samples)
+      : schema_(std::move(schema)), samples_(std::move(samples)) {}
+
+  const DatasetSchema& schema() const { return schema_; }
+  size_t size() const { return samples_.size(); }
+  const SparseInput& sample(size_t i) const { return samples_[i]; }
+  const std::vector<SparseInput>& samples() const { return samples_; }
+
+  /// Builds an access profile from the given sample indices (the Embedding
+  /// Logger's job, §III-A2). Passing all indices profiles the full dataset.
+  AccessProfile ProfileAccesses(const std::vector<uint64_t>& which) const;
+
+  /// Convenience: profile every sample.
+  AccessProfile ProfileAllAccesses() const;
+
+  /// Index lists [0, n*(1-test_fraction)) and the remainder, for
+  /// train/test splits matching the paper's per-dataset evaluation.
+  struct Split {
+    std::vector<uint64_t> train;
+    std::vector<uint64_t> test;
+  };
+  Split MakeSplit(double test_fraction) const;
+
+ private:
+  DatasetSchema schema_;
+  std::vector<SparseInput> samples_;
+};
+
+}  // namespace fae
+
+#endif  // FAE_DATA_DATASET_H_

@@ -1,0 +1,99 @@
+#include "data/dataset_io.h"
+
+#include "util/file_io.h"
+#include "util/string_util.h"
+
+namespace fae {
+namespace {
+
+constexpr uint32_t kMagic = 0x44454146;  // "FAED"
+constexpr uint32_t kVersion = 1;
+constexpr uint32_t kTrailer = 0x444e4544;  // "DEND"
+
+}  // namespace
+
+Status DatasetIo::Save(const std::string& path, const Dataset& dataset) {
+  FAE_ASSIGN_OR_RETURN(BinaryWriter w, BinaryWriter::Open(path));
+  FAE_RETURN_IF_ERROR(w.WriteU32(kMagic));
+  FAE_RETURN_IF_ERROR(w.WriteU32(kVersion));
+
+  const DatasetSchema& s = dataset.schema();
+  FAE_RETURN_IF_ERROR(w.WriteString(s.name));
+  FAE_RETURN_IF_ERROR(w.WriteU32(static_cast<uint32_t>(s.kind)));
+  FAE_RETURN_IF_ERROR(w.WriteU64(s.num_dense));
+  FAE_RETURN_IF_ERROR(w.WriteVector(s.table_rows));
+  FAE_RETURN_IF_ERROR(w.WriteU64(s.embedding_dim));
+  FAE_RETURN_IF_ERROR(w.WriteU32(s.sequential ? 1 : 0));
+  FAE_RETURN_IF_ERROR(w.WriteU64(s.max_history));
+
+  FAE_RETURN_IF_ERROR(w.WriteU64(dataset.size()));
+  for (size_t i = 0; i < dataset.size(); ++i) {
+    const SparseInput& sample = dataset.sample(i);
+    FAE_RETURN_IF_ERROR(w.WriteVector(sample.dense));
+    for (size_t t = 0; t < s.num_tables(); ++t) {
+      FAE_RETURN_IF_ERROR(w.WriteVector(sample.indices[t]));
+    }
+    FAE_RETURN_IF_ERROR(w.WriteF32(sample.label));
+  }
+  FAE_RETURN_IF_ERROR(w.WriteU32(kTrailer));
+  return w.Close();
+}
+
+StatusOr<Dataset> DatasetIo::Load(const std::string& path) {
+  FAE_ASSIGN_OR_RETURN(BinaryReader r, BinaryReader::Open(path));
+  FAE_ASSIGN_OR_RETURN(uint32_t magic, r.ReadU32());
+  if (magic != kMagic) {
+    return Status::DataLoss("not a FAE dataset file: " + path);
+  }
+  FAE_ASSIGN_OR_RETURN(uint32_t version, r.ReadU32());
+  if (version != kVersion) {
+    return Status::DataLoss(
+        StrFormat("unsupported dataset format version %u", version));
+  }
+
+  DatasetSchema s;
+  FAE_ASSIGN_OR_RETURN(s.name, r.ReadString());
+  FAE_ASSIGN_OR_RETURN(uint32_t kind, r.ReadU32());
+  if (kind > static_cast<uint32_t>(WorkloadKind::kTerabyteDlrm)) {
+    return Status::DataLoss("invalid workload kind in dataset file");
+  }
+  s.kind = static_cast<WorkloadKind>(kind);
+  FAE_ASSIGN_OR_RETURN(s.num_dense, r.ReadU64());
+  FAE_ASSIGN_OR_RETURN(s.table_rows, r.ReadVector<uint64_t>());
+  FAE_ASSIGN_OR_RETURN(s.embedding_dim, r.ReadU64());
+  FAE_ASSIGN_OR_RETURN(uint32_t sequential, r.ReadU32());
+  s.sequential = sequential != 0;
+  FAE_ASSIGN_OR_RETURN(s.max_history, r.ReadU64());
+  if (s.num_tables() == 0 || s.embedding_dim == 0) {
+    return Status::DataLoss("degenerate schema in dataset file");
+  }
+
+  FAE_ASSIGN_OR_RETURN(uint64_t count, r.ReadU64());
+  std::vector<SparseInput> samples;
+  samples.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    SparseInput sample;
+    FAE_ASSIGN_OR_RETURN(sample.dense, r.ReadVector<float>());
+    if (sample.dense.size() != s.num_dense) {
+      return Status::DataLoss("dense width mismatch in dataset file");
+    }
+    sample.indices.resize(s.num_tables());
+    for (size_t t = 0; t < s.num_tables(); ++t) {
+      FAE_ASSIGN_OR_RETURN(sample.indices[t], r.ReadVector<uint32_t>());
+      for (uint32_t row : sample.indices[t]) {
+        if (row >= s.table_rows[t]) {
+          return Status::DataLoss("lookup out of table range in dataset file");
+        }
+      }
+    }
+    FAE_ASSIGN_OR_RETURN(sample.label, r.ReadF32());
+    samples.push_back(std::move(sample));
+  }
+  FAE_ASSIGN_OR_RETURN(uint32_t trailer, r.ReadU32());
+  if (trailer != kTrailer) {
+    return Status::DataLoss("dataset file trailer missing (truncated?)");
+  }
+  return Dataset(std::move(s), std::move(samples));
+}
+
+}  // namespace fae

@@ -1,0 +1,23 @@
+#ifndef FAE_DATA_DATASET_IO_H_
+#define FAE_DATA_DATASET_IO_H_
+
+#include <string>
+
+#include "data/dataset.h"
+#include "util/statusor.h"
+
+namespace fae {
+
+/// Binary (de)serialization of datasets, so a synthetic dataset can be
+/// generated once and reused across tools and training runs (the CLI's
+/// `generate` / `train` workflow). Format: magic + version + schema +
+/// samples, with a trailer that catches truncation.
+class DatasetIo {
+ public:
+  static Status Save(const std::string& path, const Dataset& dataset);
+  static StatusOr<Dataset> Load(const std::string& path);
+};
+
+}  // namespace fae
+
+#endif  // FAE_DATA_DATASET_IO_H_

@@ -1,0 +1,57 @@
+#include "data/minibatch.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace fae {
+
+uint64_t MiniBatch::TotalLookups() const {
+  uint64_t n = 0;
+  for (const auto& v : indices) n += v.size();
+  return n;
+}
+
+MiniBatch AssembleBatch(const Dataset& dataset,
+                        const std::vector<uint64_t>& sample_ids) {
+  const DatasetSchema& schema = dataset.schema();
+  const size_t b = sample_ids.size();
+  MiniBatch batch;
+  batch.dense = Tensor(b, schema.num_dense);
+  batch.indices.resize(schema.num_tables());
+  batch.offsets.assign(schema.num_tables(),
+                       std::vector<uint32_t>(1, 0));
+  batch.labels.resize(b);
+
+  for (size_t i = 0; i < b; ++i) {
+    const SparseInput& s = dataset.sample(sample_ids[i]);
+    FAE_CHECK_EQ(s.dense.size(), schema.num_dense);
+    FAE_CHECK_EQ(s.indices.size(), schema.num_tables());
+    std::copy(s.dense.begin(), s.dense.end(), batch.dense.row(i));
+    batch.labels[i] = s.label;
+    for (size_t t = 0; t < schema.num_tables(); ++t) {
+      auto& idx = batch.indices[t];
+      idx.insert(idx.end(), s.indices[t].begin(), s.indices[t].end());
+      batch.offsets[t].push_back(static_cast<uint32_t>(idx.size()));
+    }
+  }
+  return batch;
+}
+
+std::vector<MiniBatch> AssembleBatches(const Dataset& dataset,
+                                       const std::vector<uint64_t>& sample_ids,
+                                       size_t batch_size, bool hot) {
+  FAE_CHECK_GE(batch_size, 1u);
+  std::vector<MiniBatch> out;
+  for (size_t begin = 0; begin < sample_ids.size(); begin += batch_size) {
+    const size_t end = std::min(sample_ids.size(), begin + batch_size);
+    std::vector<uint64_t> ids(sample_ids.begin() + begin,
+                              sample_ids.begin() + end);
+    MiniBatch b = AssembleBatch(dataset, ids);
+    b.hot = hot;
+    out.push_back(std::move(b));
+  }
+  return out;
+}
+
+}  // namespace fae

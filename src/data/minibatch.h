@@ -1,0 +1,46 @@
+#ifndef FAE_DATA_MINIBATCH_H_
+#define FAE_DATA_MINIBATCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+#include "tensor/tensor.h"
+
+namespace fae {
+
+/// A training mini-batch in model-ready layout: a dense matrix plus one
+/// CSR (indices/offsets) lookup list per embedding table.
+///
+/// FAE's central invariant (paper §II-B(1)): a mini-batch is *entirely*
+/// hot or *entirely* cold — `hot` records which; mixed batches would stall
+/// the GPU on CPU-resident embeddings.
+struct MiniBatch {
+  Tensor dense;  // [B, num_dense]
+  /// Per table: concatenated lookup indices.
+  std::vector<std::vector<uint32_t>> indices;
+  /// Per table: B+1 offsets into `indices[t]`.
+  std::vector<std::vector<uint32_t>> offsets;
+  std::vector<float> labels;
+  bool hot = false;
+
+  size_t batch_size() const { return labels.size(); }
+
+  /// Total embedding lookups across tables.
+  uint64_t TotalLookups() const;
+};
+
+/// Assembles the samples at `sample_ids` of `dataset` into a MiniBatch.
+MiniBatch AssembleBatch(const Dataset& dataset,
+                        const std::vector<uint64_t>& sample_ids);
+
+/// Splits `sample_ids` into consecutive chunks of `batch_size` (the last
+/// chunk may be smaller) and assembles each. Every returned batch carries
+/// `hot` as given.
+std::vector<MiniBatch> AssembleBatches(const Dataset& dataset,
+                                       const std::vector<uint64_t>& sample_ids,
+                                       size_t batch_size, bool hot);
+
+}  // namespace fae
+
+#endif  // FAE_DATA_MINIBATCH_H_

@@ -1,0 +1,30 @@
+#ifndef FAE_DATA_SAMPLE_H_
+#define FAE_DATA_SAMPLE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace fae {
+
+/// One training input: continuous (dense) features feeding the bottom MLP
+/// and categorical (sparse) lookups into each embedding table (paper Fig 1).
+struct SparseInput {
+  std::vector<float> dense;
+  /// indices[t] holds this input's lookups into table t; DLRM inputs have
+  /// exactly one per table, TBSM inputs carry a history sequence in the
+  /// item table (t = 0).
+  std::vector<std::vector<uint32_t>> indices;
+  float label = 0.0f;
+
+  /// Total number of embedding lookups this input performs.
+  size_t NumLookups() const {
+    size_t n = 0;
+    for (const auto& v : indices) n += v.size();
+    return n;
+  }
+};
+
+}  // namespace fae
+
+#endif  // FAE_DATA_SAMPLE_H_

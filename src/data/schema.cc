@@ -1,0 +1,155 @@
+#include "data/schema.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace fae {
+namespace {
+
+// Geometrically decaying table sizes: a handful of huge tables and a long
+// tail of small ones, mirroring the Criteo datasets where the largest
+// table holds ~10M rows and the smallest a few dozen.
+std::vector<uint64_t> LogSpreadRows(size_t num_tables, uint64_t largest,
+                                    double decades) {
+  std::vector<uint64_t> rows(num_tables);
+  for (size_t i = 0; i < num_tables; ++i) {
+    const double frac =
+        num_tables > 1 ? static_cast<double>(i) / (num_tables - 1) : 0.0;
+    const double r = static_cast<double>(largest) *
+                     std::pow(10.0, -decades * frac);
+    rows[i] = std::max<uint64_t>(8, static_cast<uint64_t>(std::llround(r)));
+  }
+  return rows;
+}
+
+uint64_t LargestRowsFor(WorkloadKind kind, DatasetScale scale) {
+  // Paper Table I: Kaggle 10.1M, Terabyte 73.1M, Taobao 4.1M (largest
+  // single-table row counts).
+  switch (scale) {
+    case DatasetScale::kTiny:
+      return 3000;
+    case DatasetScale::kSmall:
+      return 60000;
+    case DatasetScale::kMedium:
+      return 600000;
+    case DatasetScale::kPaper:
+      switch (kind) {
+        case WorkloadKind::kKaggleDlrm:
+          return 10100000;
+        case WorkloadKind::kTerabyteDlrm:
+          return 73100000;
+        case WorkloadKind::kTaobaoTbsm:
+          return 4100000;
+      }
+  }
+  return 60000;
+}
+
+}  // namespace
+
+uint64_t DatasetSchema::TotalEmbeddingBytes() const {
+  uint64_t total = 0;
+  for (size_t t = 0; t < table_rows.size(); ++t) total += TableBytes(t);
+  return total;
+}
+
+DatasetSchema MakeKaggleLikeSchema(DatasetScale scale) {
+  DatasetSchema s;
+  s.name = "criteo-kaggle-like";
+  s.kind = WorkloadKind::kKaggleDlrm;
+  s.num_dense = 13;
+  s.embedding_dim = 16;
+  s.table_rows =
+      LogSpreadRows(26, LargestRowsFor(WorkloadKind::kKaggleDlrm, scale), 4.5);
+  return s;
+}
+
+DatasetSchema MakeTerabyteLikeSchema(DatasetScale scale) {
+  DatasetSchema s;
+  s.name = "criteo-terabyte-like";
+  s.kind = WorkloadKind::kTerabyteDlrm;
+  s.num_dense = 13;
+  s.embedding_dim = 64;
+  s.table_rows = LogSpreadRows(
+      26, LargestRowsFor(WorkloadKind::kTerabyteDlrm, scale), 5.0);
+  return s;
+}
+
+DatasetSchema MakeTaobaoLikeSchema(DatasetScale scale) {
+  DatasetSchema s;
+  s.name = "taobao-alibaba-like";
+  s.kind = WorkloadKind::kTaobaoTbsm;
+  s.num_dense = 3;
+  s.embedding_dim = 16;
+  const uint64_t items = LargestRowsFor(WorkloadKind::kTaobaoTbsm, scale);
+  // Items, users, categories: categories are few, users mid-sized.
+  s.table_rows = {items, std::max<uint64_t>(16, items / 4),
+                  std::max<uint64_t>(16, items / 400)};
+  s.sequential = true;
+  s.max_history = 21;  // paper footnote 1: up to 21 sub-inputs per input
+  return s;
+}
+
+DatasetSchema MakeSchema(WorkloadKind kind, DatasetScale scale) {
+  switch (kind) {
+    case WorkloadKind::kTaobaoTbsm:
+      return MakeTaobaoLikeSchema(scale);
+    case WorkloadKind::kKaggleDlrm:
+      return MakeKaggleLikeSchema(scale);
+    case WorkloadKind::kTerabyteDlrm:
+      return MakeTerabyteLikeSchema(scale);
+  }
+  FAE_LOG(Fatal) << "unknown workload kind";
+  return {};
+}
+
+size_t DefaultNumInputs(WorkloadKind kind, DatasetScale scale) {
+  switch (scale) {
+    case DatasetScale::kTiny:
+      return 2000;
+    case DatasetScale::kSmall:
+      return 20000;
+    case DatasetScale::kMedium:
+      return 200000;
+    case DatasetScale::kPaper:
+      switch (kind) {
+        case WorkloadKind::kKaggleDlrm:
+          return 45000000;
+        case WorkloadKind::kTerabyteDlrm:
+          return 80000000;
+        case WorkloadKind::kTaobaoTbsm:
+          return 10000000;
+      }
+  }
+  return 20000;
+}
+
+std::string_view WorkloadName(WorkloadKind kind) {
+  switch (kind) {
+    case WorkloadKind::kTaobaoTbsm:
+      return "RMC1/TBSM/Taobao";
+    case WorkloadKind::kKaggleDlrm:
+      return "RMC2/DLRM/Kaggle";
+    case WorkloadKind::kTerabyteDlrm:
+      return "RMC3/DLRM/Terabyte";
+  }
+  return "unknown";
+}
+
+std::string_view DatasetScaleName(DatasetScale scale) {
+  switch (scale) {
+    case DatasetScale::kTiny:
+      return "tiny";
+    case DatasetScale::kSmall:
+      return "small";
+    case DatasetScale::kMedium:
+      return "medium";
+    case DatasetScale::kPaper:
+      return "paper";
+  }
+  return "unknown";
+}
+
+}  // namespace fae

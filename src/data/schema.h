@@ -1,0 +1,77 @@
+#ifndef FAE_DATA_SCHEMA_H_
+#define FAE_DATA_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fae {
+
+/// Which of the paper's three workloads (Table I) a schema mirrors.
+enum class WorkloadKind {
+  kTaobaoTbsm,      // RMC1: TBSM on Taobao Alibaba
+  kKaggleDlrm,      // RMC2: DLRM on Criteo Kaggle
+  kTerabyteDlrm,    // RMC3: DLRM on Criteo Terabyte
+};
+
+/// How far the synthetic dataset is scaled down from the paper's sizes.
+/// All experiments keep the paper's *structure* (table count, dim, skew);
+/// scale only shrinks row counts and input counts so the suite runs on a
+/// laptop. kPaper keeps Table I magnitudes (memory permitting).
+enum class DatasetScale { kTiny, kSmall, kMedium, kPaper };
+
+/// Shape of one synthetic recommendation dataset: how many dense features,
+/// which embedding tables exist, and how sparse lookups are structured.
+struct DatasetSchema {
+  std::string name;
+  WorkloadKind kind = WorkloadKind::kKaggleDlrm;
+
+  size_t num_dense = 13;
+  /// Rows of each embedding table; tables with >= 1 MB (paper §III-A1) are
+  /// "large" and participate in hot/cold classification.
+  std::vector<uint64_t> table_rows;
+  size_t embedding_dim = 16;
+
+  /// For sequential (TBSM) datasets: table 0 is the item table and each
+  /// input carries a history of 1..max_history item lookups; other tables
+  /// get one lookup per input. For DLRM datasets every table gets exactly
+  /// one lookup.
+  bool sequential = false;
+  size_t max_history = 1;
+
+  size_t num_tables() const { return table_rows.size(); }
+
+  /// Total embedding parameter bytes across tables (float32).
+  uint64_t TotalEmbeddingBytes() const;
+
+  /// Bytes of one table.
+  uint64_t TableBytes(size_t t) const {
+    return table_rows[t] * embedding_dim * sizeof(float);
+  }
+
+  /// Tables at or above the paper's 1 MB "large" cutoff. Smaller tables are
+  /// de-facto hot (paper §III-A1) since they trivially fit on any GPU.
+  bool IsLargeTable(size_t t) const { return TableBytes(t) >= (1u << 20); }
+};
+
+/// Table I presets. `scale` shrinks the row/input counts; structure is
+/// preserved. Row counts per table follow a log-spread so a few tables are
+/// huge and most are small, as in the Criteo datasets.
+DatasetSchema MakeKaggleLikeSchema(DatasetScale scale);
+DatasetSchema MakeTerabyteLikeSchema(DatasetScale scale);
+DatasetSchema MakeTaobaoLikeSchema(DatasetScale scale);
+
+/// Schema for `kind` at `scale`.
+DatasetSchema MakeSchema(WorkloadKind kind, DatasetScale scale);
+
+/// Default number of synthetic training inputs for a scale (paper: 45M/80M/
+/// 10M inputs; tiny/small shrink this to keep CI fast).
+size_t DefaultNumInputs(WorkloadKind kind, DatasetScale scale);
+
+/// Human-readable names for reports.
+std::string_view WorkloadName(WorkloadKind kind);
+std::string_view DatasetScaleName(DatasetScale scale);
+
+}  // namespace fae
+
+#endif  // FAE_DATA_SCHEMA_H_

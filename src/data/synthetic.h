@@ -1,0 +1,79 @@
+#ifndef FAE_DATA_SYNTHETIC_H_
+#define FAE_DATA_SYNTHETIC_H_
+
+#include <cstdint>
+
+#include "data/dataset.h"
+#include "data/schema.h"
+
+namespace fae {
+
+/// Knobs of the synthetic workload generator.
+struct SyntheticOptions {
+  uint64_t seed = 42;
+  /// Zipf exponent of the popularity distribution over each table's rows.
+  /// 1.15 reproduces the paper's regime: the top ~7% of entries receive
+  /// >76% of a table's accesses (§II-A) *and* the compound per-input hot
+  /// probability across ~26 tables stays high enough that the majority of
+  /// inputs are hot, as the paper's speedups imply. Larger values
+  /// concentrate further.
+  double zipf_exponent = 1.15;
+  /// Scale of the planted per-entry affinity used to label inputs; larger
+  /// values make the task easier to learn.
+  double affinity_scale = 1.5;
+  /// Weight of the dense features in the planted labeller.
+  double dense_weight_scale = 0.8;
+  /// Popularity drift: how far the hot set rotates through each table's
+  /// row space over the course of the dataset (0 = the paper's static
+  /// popularity; 1 = a full rotation). Real logs drift as items trend;
+  /// FAE's once-per-dataset calibration assumes drift ~ 0 — see
+  /// bench/abl_popularity_drift.cc for what happens when it is not.
+  double popularity_drift = 0.0;
+};
+
+/// Generates Zipf-skewed synthetic recommendation datasets with a planted
+/// logistic ground truth, standing in for the Criteo/Taobao downloads (see
+/// DESIGN.md substitution table).
+///
+/// Popularity ranks are mapped to row ids through a per-table affine
+/// bijection so hot rows are scattered across the table rather than
+/// clustered at the front — matching the paper's "hot embeddings are
+/// scattered" premise (§I challenge 3) without storing a permutation for
+/// multi-million-row tables.
+class SyntheticGenerator {
+ public:
+  SyntheticGenerator(DatasetSchema schema, SyntheticOptions options);
+
+  /// Generates `num_inputs` labelled inputs.
+  Dataset Generate(size_t num_inputs) const;
+
+  /// Row id the popularity rank `rank` of table `t` maps to (at the start
+  /// of the dataset; drift shifts later inputs — see RankToRowAt).
+  uint64_t RankToRow(size_t t, uint64_t rank) const {
+    return RankToRowAt(t, rank, 0.0);
+  }
+
+  /// Row id for rank `rank` of table `t` at dataset position
+  /// `phase` in [0, 1]: the popularity mapping rotates by
+  /// popularity_drift * phase * rows.
+  uint64_t RankToRowAt(size_t t, uint64_t rank, double phase) const;
+
+  /// Planted affinity of (table, row) in [-affinity_scale, affinity_scale];
+  /// deterministic in the seed. Exposed so tests can verify labels are
+  /// learnable (signal, not noise).
+  double Affinity(size_t t, uint64_t row) const;
+
+  const DatasetSchema& schema() const { return schema_; }
+
+ private:
+  DatasetSchema schema_;
+  SyntheticOptions options_;
+  // Affine rank->row maps: row = (mult * rank + shift) % rows.
+  std::vector<uint64_t> mult_;
+  std::vector<uint64_t> shift_;
+  std::vector<double> dense_weights_;
+};
+
+}  // namespace fae
+
+#endif  // FAE_DATA_SYNTHETIC_H_

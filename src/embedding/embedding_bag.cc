@@ -1,0 +1,46 @@
+#include "embedding/embedding_bag.h"
+
+#include "util/logging.h"
+
+namespace fae {
+
+Tensor EmbeddingBag::Forward(const EmbeddingTable& table,
+                             const std::vector<uint32_t>& indices,
+                             const std::vector<uint32_t>& offsets) {
+  FAE_CHECK_GE(offsets.size(), 1u);
+  FAE_CHECK_EQ(offsets.front(), 0u);
+  FAE_CHECK_EQ(offsets.back(), indices.size());
+  const size_t b = offsets.size() - 1;
+  const size_t dim = table.dim();
+  Tensor out(b, dim);
+  for (size_t i = 0; i < b; ++i) {
+    float* orow = out.row(i);
+    for (uint32_t p = offsets[i]; p < offsets[i + 1]; ++p) {
+      const float* erow = table.row(indices[p]);
+      for (size_t k = 0; k < dim; ++k) orow[k] += erow[k];
+    }
+  }
+  return out;
+}
+
+SparseGrad EmbeddingBag::Backward(const Tensor& grad_out,
+                                  const std::vector<uint32_t>& indices,
+                                  const std::vector<uint32_t>& offsets,
+                                  size_t dim) {
+  FAE_CHECK_EQ(grad_out.cols(), dim);
+  FAE_CHECK_EQ(grad_out.rows() + 1, offsets.size());
+  SparseGrad grad;
+  grad.dim = dim;
+  for (size_t i = 0; i + 1 < offsets.size(); ++i) {
+    const float* grow = grad_out.row(i);
+    for (uint32_t p = offsets[i]; p < offsets[i + 1]; ++p) {
+      auto [it, inserted] =
+          grad.rows.try_emplace(indices[p], std::vector<float>(dim, 0.0f));
+      std::vector<float>& acc = it->second;
+      for (size_t k = 0; k < dim; ++k) acc[k] += grow[k];
+    }
+  }
+  return grad;
+}
+
+}  // namespace fae

@@ -1,0 +1,48 @@
+#ifndef FAE_EMBEDDING_EMBEDDING_BAG_H_
+#define FAE_EMBEDDING_EMBEDDING_BAG_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "embedding/embedding_table.h"
+#include "tensor/tensor.h"
+
+namespace fae {
+
+/// Sparse gradient against one embedding table: the rows a mini-batch
+/// touched and their gradient vectors. Only these rows pay optimizer and
+/// synchronization costs, which is what makes the paper's hot/cold
+/// bookkeeping worthwhile.
+struct SparseGrad {
+  size_t dim = 0;
+  /// row id -> accumulated gradient (length `dim`).
+  std::unordered_map<uint64_t, std::vector<float>> rows;
+
+  uint64_t num_rows() const { return rows.size(); }
+  uint64_t Bytes() const { return rows.size() * dim * sizeof(float); }
+};
+
+/// Sum-pooled embedding lookup (PyTorch's EmbeddingBag with mode="sum").
+///
+/// A batch is expressed in CSR form: `indices` concatenates every lookup,
+/// `offsets[i]..offsets[i+1]` delimit sample i's lookups. Forward produces
+/// [B, dim]; BagBackward scatters the output gradient into a SparseGrad.
+class EmbeddingBag {
+ public:
+  /// Pools rows of `table` per sample. `offsets` has B+1 entries with
+  /// offsets.front() == 0 and offsets.back() == indices.size().
+  static Tensor Forward(const EmbeddingTable& table,
+                        const std::vector<uint32_t>& indices,
+                        const std::vector<uint32_t>& offsets);
+
+  /// Scatters dL/dout [B, dim] back onto the looked-up rows.
+  static SparseGrad Backward(const Tensor& grad_out,
+                             const std::vector<uint32_t>& indices,
+                             const std::vector<uint32_t>& offsets,
+                             size_t dim);
+};
+
+}  // namespace fae
+
+#endif  // FAE_EMBEDDING_EMBEDDING_BAG_H_

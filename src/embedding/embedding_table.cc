@@ -1,0 +1,26 @@
+#include "embedding/embedding_table.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fae {
+
+EmbeddingTable::EmbeddingTable(uint64_t rows, size_t dim, Xoshiro256& rng)
+    : rows_(rows), dim_(dim), data_(rows * dim) {
+  const float bound = 1.0f / std::sqrt(static_cast<float>(std::max<uint64_t>(rows, 1)));
+  for (float& v : data_) {
+    v = (rng.NextFloat() * 2.0f - 1.0f) * bound;
+  }
+}
+
+EmbeddingTable::EmbeddingTable(uint64_t rows, size_t dim)
+    : rows_(rows), dim_(dim), data_(rows * dim, 0.0f) {}
+
+void EmbeddingTable::CopyRowFrom(const EmbeddingTable& src, uint64_t src_row,
+                                 uint64_t dst_row) {
+  FAE_CHECK_EQ(src.dim_, dim_);
+  const float* from = src.row(src_row);
+  std::copy(from, from + dim_, row(dst_row));
+}
+
+}  // namespace fae

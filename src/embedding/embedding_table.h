@@ -1,0 +1,55 @@
+#ifndef FAE_EMBEDDING_EMBEDDING_TABLE_H_
+#define FAE_EMBEDDING_EMBEDDING_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace fae {
+
+/// One embedding table: `rows` learned vectors of `dim` float32 entries.
+/// This is the memory-bound structure the paper is about — tables reach
+/// 61 GB for Criteo Terabyte (Table I) and therefore live on the CPU in
+/// the baseline system.
+class EmbeddingTable {
+ public:
+  /// Uniform(-1/sqrt(rows), 1/sqrt(rows)) initialization (DLRM default).
+  EmbeddingTable(uint64_t rows, size_t dim, Xoshiro256& rng);
+
+  /// Zero-initialized table (for replicas that will be filled by sync).
+  EmbeddingTable(uint64_t rows, size_t dim);
+
+  uint64_t rows() const { return rows_; }
+  size_t dim() const { return dim_; }
+
+  /// Size of the table's parameters in bytes (float32).
+  uint64_t SizeBytes() const { return rows_ * dim_ * sizeof(float); }
+
+  float* row(uint64_t r) {
+    FAE_CHECK_LT(r, rows_);
+    return data_.data() + r * dim_;
+  }
+  const float* row(uint64_t r) const {
+    FAE_CHECK_LT(r, rows_);
+    return data_.data() + r * dim_;
+  }
+
+  /// Copies row `src_row` of `src` into row `dst_row` of this table.
+  void CopyRowFrom(const EmbeddingTable& src, uint64_t src_row,
+                   uint64_t dst_row);
+
+  const std::vector<float>& raw() const { return data_; }
+  std::vector<float>& raw() { return data_; }
+
+ private:
+  uint64_t rows_;
+  size_t dim_;
+  std::vector<float> data_;
+};
+
+}  // namespace fae
+
+#endif  // FAE_EMBEDDING_EMBEDDING_TABLE_H_

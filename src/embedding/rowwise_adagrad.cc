@@ -1,0 +1,32 @@
+#include "embedding/rowwise_adagrad.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace fae {
+
+RowwiseAdagrad::RowwiseAdagrad(uint64_t rows, float lr, float eps)
+    : accum_(rows, 0.0f), lr_(lr), eps_(eps) {
+  FAE_CHECK_GT(lr, 0.0f);
+  FAE_CHECK_GE(eps, 0.0f);
+}
+
+void RowwiseAdagrad::Step(EmbeddingTable& table, const SparseGrad& grad) {
+  FAE_CHECK_EQ(table.rows(), accum_.size());
+  FAE_CHECK_EQ(grad.dim, table.dim());
+  const size_t dim = grad.dim;
+  for (const auto& [row_id, g] : grad.rows) {
+    FAE_CHECK_LT(row_id, accum_.size());
+    double sq = 0.0;
+    for (size_t k = 0; k < dim; ++k) {
+      sq += static_cast<double>(g[k]) * g[k];
+    }
+    accum_[row_id] += static_cast<float>(sq / static_cast<double>(dim));
+    const float scale = lr_ / (std::sqrt(accum_[row_id]) + eps_);
+    float* row = table.row(row_id);
+    for (size_t k = 0; k < dim; ++k) row[k] -= scale * g[k];
+  }
+}
+
+}  // namespace fae

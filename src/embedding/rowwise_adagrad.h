@@ -1,0 +1,45 @@
+#ifndef FAE_EMBEDDING_ROWWISE_ADAGRAD_H_
+#define FAE_EMBEDDING_ROWWISE_ADAGRAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "embedding/embedding_bag.h"
+#include "embedding/embedding_table.h"
+
+namespace fae {
+
+/// Row-wise Adagrad over an embedding table — the optimizer production
+/// DLRM deployments use for embeddings (one accumulator scalar per row,
+/// not per element, to keep optimizer state at 1/dim of the table):
+///
+///   a_r <- a_r + mean(g_r^2)
+///   w_r <- w_r - lr / (sqrt(a_r) + eps) * g_r
+///
+/// State is per-table and addressed by row id, so it survives FAE-style
+/// replication as long as updates are applied in one row space.
+class RowwiseAdagrad {
+ public:
+  /// Sizes the accumulator for a table of `rows` rows.
+  RowwiseAdagrad(uint64_t rows, float lr, float eps = 1e-8f);
+
+  /// Applies `grad` to `table`; both must match the accumulator's rows.
+  void Step(EmbeddingTable& table, const SparseGrad& grad);
+
+  float accumulator(uint64_t row) const { return accum_[row]; }
+  uint64_t rows() const { return accum_.size(); }
+  float lr() const { return lr_; }
+
+  /// Optimizer-state bytes (the cost model charges these alongside the
+  /// row payload when this optimizer is modeled).
+  uint64_t StateBytes() const { return accum_.size() * sizeof(float); }
+
+ private:
+  std::vector<float> accum_;
+  float lr_;
+  float eps_;
+};
+
+}  // namespace fae
+
+#endif  // FAE_EMBEDDING_ROWWISE_ADAGRAD_H_

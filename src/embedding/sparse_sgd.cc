@@ -1,0 +1,26 @@
+#include "embedding/sparse_sgd.h"
+
+#include "util/logging.h"
+
+namespace fae {
+
+void SparseSgd::Step(EmbeddingTable& table, const SparseGrad& grad) const {
+  FAE_CHECK_EQ(grad.dim, table.dim());
+  for (const auto& [row_id, g] : grad.rows) {
+    float* row = table.row(row_id);
+    for (size_t k = 0; k < grad.dim; ++k) row[k] -= lr_ * g[k];
+  }
+}
+
+void AccumulateSparseGrad(SparseGrad& dst, const SparseGrad& src) {
+  if (dst.dim == 0) dst.dim = src.dim;
+  FAE_CHECK_EQ(dst.dim, src.dim);
+  for (const auto& [row_id, g] : src.rows) {
+    auto [it, inserted] =
+        dst.rows.try_emplace(row_id, std::vector<float>(dst.dim, 0.0f));
+    std::vector<float>& acc = it->second;
+    for (size_t k = 0; k < dst.dim; ++k) acc[k] += g[k];
+  }
+}
+
+}  // namespace fae

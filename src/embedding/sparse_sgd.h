@@ -1,0 +1,33 @@
+#ifndef FAE_EMBEDDING_SPARSE_SGD_H_
+#define FAE_EMBEDDING_SPARSE_SGD_H_
+
+#include "embedding/embedding_bag.h"
+#include "embedding/embedding_table.h"
+
+namespace fae {
+
+/// SGD over the sparse rows of an embedding table. The paper's latency
+/// breakdown (Fig 14) shows this optimizer dominating baseline time when
+/// it runs on the CPU; FAE moves it onto the GPUs for hot mini-batches.
+class SparseSgd {
+ public:
+  explicit SparseSgd(float lr) : lr_(lr) {}
+
+  /// row -= lr * grad for every row in `grad`.
+  void Step(EmbeddingTable& table, const SparseGrad& grad) const;
+
+  float lr() const { return lr_; }
+  void set_lr(float lr) { lr_ = lr; }
+
+ private:
+  float lr_;
+};
+
+/// Merges `src` into `dst` (same dim), accumulating overlapping rows —
+/// used to combine per-GPU sparse gradients before the optimizer step,
+/// mirroring the all-reduce of embedding gradients (paper §II-B(3)).
+void AccumulateSparseGrad(SparseGrad& dst, const SparseGrad& src);
+
+}  // namespace fae
+
+#endif  // FAE_EMBEDDING_SPARSE_SGD_H_

@@ -1,0 +1,91 @@
+#ifndef FAE_ENGINE_STEP_ACCOUNTANT_H_
+#define FAE_ENGINE_STEP_ACCOUNTANT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "models/rec_model.h"
+#include "sim/cost_model.h"
+#include "sim/timeline.h"
+
+namespace fae {
+
+/// Charges one training step's work to the simulated hardware, per the
+/// execution placements the paper compares:
+///   - baseline (Fig 3): embeddings + sparse optimizer on CPU, MLPs on
+///     GPUs, pooled activations/gradients over PCIe every batch;
+///   - FAE hot batch: everything on the GPUs, gradients all-reduced once
+///     over NVLink (§II-A);
+///   - NvOPT: fp16 embeddings on the GPU for the tables that fit, the
+///     remainder on the CPU baseline path (§V "Mixed-precision training").
+class StepAccountant {
+ public:
+  explicit StepAccountant(const CostModel* cost_model)
+      : cost_(cost_model) {}
+
+  /// Hybrid CPU-GPU step (the paper's baseline). Fully synchronous: the
+  /// modeled wall time is the sum of all phases.
+  void ChargeBaselineStep(const BatchWork& w, Timeline& tl) const;
+
+  /// Pipelined hybrid step: the CPU's embedding work for the next batch
+  /// overlaps the GPUs' dense work for the current one (software
+  /// prefetching), so the steady-state wall time per batch is
+  /// max(cpu path, gpu path) + synchronization (transfers, all-reduce).
+  /// Phase and busy-time bookkeeping records the full device work; the
+  /// overlap is reflected through Timeline::AddWallSeconds. This is the
+  /// strongest baseline a reviewer would ask for — bench/abl_pipelined.cc
+  /// shows FAE's win shrinking but surviving it (the CPU path stays on
+  /// the critical path).
+  void ChargeBaselineStepPipelined(const BatchWork& w, Timeline& tl) const;
+
+  /// Pure-GPU data-parallel step for a hot mini-batch.
+  void ChargeHotStep(const BatchWork& w, Timeline& tl) const;
+
+  /// Hot-slice broadcast CPU -> every GPU (entering a hot phase / initial
+  /// replication).
+  void ChargeSyncToGpus(uint64_t hot_bytes, Timeline& tl) const;
+
+  /// Hot-slice copy-back GPU -> CPU (leaving a hot phase).
+  void ChargeSyncToCpu(uint64_t hot_bytes, Timeline& tl) const;
+
+  /// NvOPT step: `table_on_gpu[t]` marks tables resident on the GPU in
+  /// fp16; `dim` is the embedding dim; `batch_size` the global batch.
+  void ChargeNvOptStep(const BatchWork& w,
+                       const std::vector<bool>& table_on_gpu, size_t dim,
+                       size_t batch_size, Timeline& tl) const;
+
+  /// Model-parallel step: embedding tables sharded across the GPUs (no
+  /// CPU), pooled activations/gradients exchanged all-to-all over NVLink
+  /// every batch — the placement the paper calls suboptimal (§I: "using
+  /// multiple GPUs simply for memory capacity is not optimal", GPU-GPU
+  /// communication up to 60%).
+  void ChargeModelParallelStep(const BatchWork& w, Timeline& tl) const;
+
+  /// Transparent-GPU-cache step (UVM / HugeCTR-style): the hottest rows
+  /// live in a per-GPU cache of the same budget L as FAE's hot slice, but
+  /// mini-batches are *not* reorganized, so nearly every batch carries
+  /// misses that stall on the CPU (the paper's Fig 4 argument).
+  /// `hit_lookup_bytes`/`miss_lookup_bytes` partition the batch's gather
+  /// traffic; `miss_touched_bytes` is the missed rows' optimizer payload.
+  void ChargeCacheStep(const BatchWork& w, uint64_t hit_lookup_bytes,
+                       uint64_t miss_lookup_bytes,
+                       uint64_t miss_touched_bytes, Timeline& tl) const;
+
+  const CostModel& cost_model() const { return *cost_; }
+
+ private:
+  /// Per-step time split into the CPU path, the GPU path, and the serial
+  /// synchronization segment that neither device can hide.
+  struct BaselineParts {
+    double cpu = 0.0;
+    double gpu = 0.0;
+    double serial = 0.0;
+  };
+  BaselineParts ChargeBaselineParts(const BatchWork& w, Timeline& tl) const;
+
+  const CostModel* cost_;
+};
+
+}  // namespace fae
+
+#endif  // FAE_ENGINE_STEP_ACCOUNTANT_H_

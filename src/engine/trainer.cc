@@ -1,0 +1,565 @@
+#include "engine/trainer.h"
+
+#include <algorithm>
+#include <numeric>
+#include <functional>
+#include <unordered_set>
+
+#include "core/embedding_replicator.h"
+#include "core/input_processor.h"
+#include "core/shuffle_scheduler.h"
+#include "sim/partition.h"
+#include "util/logging.h"
+#include "util/half.h"
+#include "util/random.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+
+namespace fae {
+
+std::string_view TrainModeName(TrainMode mode) {
+  switch (mode) {
+    case TrainMode::kBaseline:
+      return "baseline";
+    case TrainMode::kFae:
+      return "fae";
+    case TrainMode::kNvOpt:
+      return "nvopt";
+    case TrainMode::kModelParallel:
+      return "model-parallel";
+    case TrainMode::kGpuCache:
+      return "gpu-cache";
+  }
+  return "unknown";
+}
+
+Trainer::Trainer(RecModel* model, SystemSpec system, TrainOptions options)
+    : model_(model),
+      system_(std::move(system)),
+      cost_(system_),
+      accountant_(&cost_),
+      options_(options),
+      dense_sgd_(options.dense_lr),
+      sparse_sgd_(options.sparse_lr) {
+  FAE_CHECK(model != nullptr);
+  FAE_CHECK_GE(options_.per_gpu_batch, 1u);
+  FAE_CHECK_GE(options_.epochs, 1u);
+}
+
+void Trainer::MaybeQuantizeTables() {
+  if (!options_.fp16_embeddings || !options_.run_math) return;
+  // fp16 storage holds the *initialization* at half precision too, not
+  // just the updates.
+  for (EmbeddingTable& table : model_->tables()) {
+    for (float& v : table.raw()) v = QuantizeToHalf(v);
+  }
+}
+
+void Trainer::MathStep(const MiniBatch& batch,
+                       const std::vector<EmbeddingTable*>& tables,
+                       RunningMetric& metric, RunningMetric& window) {
+  StepResult step = model_->ForwardBackwardOn(batch, tables);
+  dense_sgd_.Step(model_->DenseParams());
+  for (size_t t = 0; t < step.table_grads.size(); ++t) {
+    sparse_sgd_.Step(*tables[t], step.table_grads[t]);
+    if (options_.fp16_embeddings) {
+      // fp16 storage: the updated rows lose everything binary16 cannot
+      // represent.
+      for (const auto& [row_id, grad] : step.table_grads[t].rows) {
+        float* row = tables[t]->row(row_id);
+        for (size_t k = 0; k < step.table_grads[t].dim; ++k) {
+          row[k] = QuantizeToHalf(row[k]);
+        }
+      }
+    }
+  }
+  metric.Observe(step.loss, step.correct, step.batch_size);
+  window.Observe(step.loss, step.correct, step.batch_size);
+}
+
+std::vector<MiniBatch> Trainer::MakeEvalBatches(
+    const Dataset& dataset, const Dataset::Split& split) const {
+  std::vector<uint64_t> ids = split.test;
+  if (ids.size() > options_.eval_samples) ids.resize(options_.eval_samples);
+  return AssembleBatches(dataset, ids, options_.eval_batch, /*hot=*/false);
+}
+
+void Trainer::FinishReport(TrainReport& report,
+                           const std::vector<MiniBatch>& eval_batches,
+                           RunningMetric& metric) const {
+  report.modeled_seconds = report.timeline.TotalSeconds();
+  report.avg_gpu_watts = cost_.AverageGpuWatts(
+      report.modeled_seconds, report.timeline.gpu_busy_seconds(),
+      report.timeline.seconds(Phase::kCpuGpuTransfer) +
+          report.timeline.seconds(Phase::kEmbeddingSync));
+  if (options_.run_math) {
+    report.final_train_loss = metric.mean_loss();
+    report.final_train_acc = metric.accuracy();
+    const EvalResult eval = Evaluate(*model_, eval_batches);
+    report.final_test_loss = eval.loss;
+    report.final_test_acc = eval.accuracy;
+    report.final_test_auc = eval.auc;
+  }
+}
+
+TrainReport Trainer::TrainBaseline(const Dataset& dataset,
+                                   const Dataset::Split& split) {
+  MaybeQuantizeTables();
+  TrainReport report;
+  report.mode = TrainMode::kBaseline;
+
+  std::vector<uint64_t> ids = split.train;
+  Xoshiro256 rng(options_.seed);
+  for (size_t i = ids.size(); i > 1; --i) {
+    std::swap(ids[i - 1], ids[rng.NextBounded(i)]);
+  }
+  std::vector<MiniBatch> batches =
+      AssembleBatches(dataset, ids, GlobalBatchSize(), /*hot=*/false);
+  const std::vector<MiniBatch> eval_batches =
+      options_.run_math ? MakeEvalBatches(dataset, split)
+                        : std::vector<MiniBatch>{};
+
+  std::vector<EmbeddingTable*> tables;
+  for (EmbeddingTable& t : model_->tables()) tables.push_back(&t);
+
+  RunningMetric metric;
+  RunningMetric window;
+  const size_t eval_every =
+      std::max<size_t>(1, batches.size() / std::max<size_t>(
+                                               1, options_.evals_per_epoch));
+  size_t iteration = 0;
+  for (size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    // Reshuffle batch order each epoch.
+    for (size_t i = batches.size(); i > 1; --i) {
+      std::swap(batches[i - 1], batches[rng.NextBounded(i)]);
+    }
+    for (const MiniBatch& batch : batches) {
+      if (options_.pipelined_baseline) {
+        accountant_.ChargeBaselineStepPipelined(model_->Work(batch),
+                                                report.timeline);
+      } else {
+        accountant_.ChargeBaselineStep(model_->Work(batch), report.timeline);
+      }
+      if (options_.run_math) MathStep(batch, tables, metric, window);
+      ++iteration;
+      ++report.num_batches;
+      if (options_.run_math && iteration % eval_every == 0) {
+        CurvePoint point = window.Flush(iteration);
+        const EvalResult eval = Evaluate(*model_, eval_batches);
+        point.test_loss = eval.loss;
+        point.test_acc = eval.accuracy;
+        report.curve.push_back(point);
+      }
+    }
+  }
+  FinishReport(report, eval_batches, metric);
+  return report;
+}
+
+StatusOr<TrainReport> Trainer::TrainFae(const Dataset& dataset,
+                                        const Dataset::Split& split,
+                                        const FaeConfig& config) {
+  Stopwatch prep_watch;
+  FaePipeline pipeline(config);
+  FAE_ASSIGN_OR_RETURN(FaePlan plan, pipeline.Prepare(dataset, split.train));
+  FAE_ASSIGN_OR_RETURN(TrainReport report,
+                       TrainFaeWithPlan(dataset, split, config, plan));
+  report.preprocess_seconds = prep_watch.ElapsedSeconds();
+  return report;
+}
+
+StatusOr<TrainReport> Trainer::TrainFaeWithPlan(const Dataset& dataset,
+                                                const Dataset::Split& split,
+                                                const FaeConfig& config,
+                                                const FaePlan& plan) {
+  MaybeQuantizeTables();
+  TrainReport report;
+  report.mode = TrainMode::kFae;
+  report.threshold = plan.threshold;
+  report.hot_bytes = plan.hot_bytes;
+  report.hot_fraction = plan.inputs.HotFraction();
+
+  if (plan.hot_bytes > system_.hot_embedding_budget) {
+    return Status::ResourceExhausted(
+        "plan's hot slice exceeds the per-GPU hot-embedding budget");
+  }
+
+  InputProcessor::PackedBatches packed = InputProcessor::Pack(
+      dataset, plan.inputs, GlobalBatchSize(), options_.seed);
+  report.hot_batches = packed.hot.size();
+  report.cold_batches = packed.cold.size();
+
+  const std::vector<MiniBatch> eval_batches =
+      options_.run_math ? MakeEvalBatches(dataset, split)
+                        : std::vector<MiniBatch>{};
+
+  std::vector<EmbeddingTable*> master_tables;
+  for (EmbeddingTable& t : model_->tables()) master_tables.push_back(&t);
+
+  // The replica stands for every GPU's copy (they stay bit-identical under
+  // synchronous data parallelism).
+  EmbeddingReplicator replicator(model_->tables(), plan.hot_set);
+  std::vector<EmbeddingTable*> replica_tables = replicator.replica_tables();
+
+  // Pre-translate hot batches into replica coordinates (done once; the
+  // paper stores preprocessed data in the FAE format for reuse).
+  std::vector<MiniBatch> hot_translated;
+  if (options_.run_math) {
+    hot_translated.reserve(packed.hot.size());
+    for (const MiniBatch& b : packed.hot) {
+      FAE_ASSIGN_OR_RETURN(MiniBatch translated,
+                           replicator.TranslateBatch(b));
+      hot_translated.push_back(std::move(translated));
+    }
+  }
+
+  ShuffleScheduler scheduler(packed.cold.size(), packed.hot.size(), config);
+  RunningMetric metric;
+  RunningMetric window;
+  size_t iteration = 0;
+
+  // Dirty-row tracking for SyncStrategy::kDirty. Sets hold *master* row
+  // ids; tracking is index-based so it works in cost-only mode too.
+  const bool dirty_sync = options_.sync_strategy == SyncStrategy::kDirty;
+  const size_t num_tables = dataset.schema().num_tables();
+  const uint64_t row_bytes =
+      dataset.schema().embedding_dim * sizeof(float) + sizeof(uint32_t);
+  std::vector<std::unordered_set<uint32_t>> master_dirty(num_tables);
+  std::vector<std::unordered_set<uint32_t>> replica_dirty(num_tables);
+  bool replica_initialized = false;
+
+  // When the baseline is pipelined, every non-pipelined charge must also
+  // contribute wall time explicitly (Timeline::TotalSeconds switches to
+  // the wall accumulator as soon as any overlap is recorded).
+  auto charge_serial = [&](const std::function<void()>& charge) {
+    if (!options_.pipelined_baseline) {
+      charge();
+      return;
+    }
+    const double before = report.timeline.PhaseSumSeconds();
+    charge();
+    report.timeline.AddWallSeconds(report.timeline.PhaseSumSeconds() -
+                                   before);
+  };
+
+  auto drain_dirty = [&](std::vector<std::unordered_set<uint32_t>>& dirty,
+                         uint64_t& bytes_out) {
+    std::vector<std::vector<uint32_t>> rows(num_tables);
+    bytes_out = 0;
+    for (size_t t = 0; t < num_tables; ++t) {
+      rows[t].assign(dirty[t].begin(), dirty[t].end());
+      bytes_out += rows[t].size() * row_bytes;
+      dirty[t].clear();
+    }
+    return rows;
+  };
+
+  for (size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    scheduler.ResetEpoch();
+    while (auto chunk = scheduler.Next()) {
+      if (chunk->hot) {
+        // Hot phase: replicas pull the latest rows (cold batches may have
+        // updated hot entries on the CPU master). The very first hot
+        // phase replicates the whole slice regardless of strategy.
+        if (!dirty_sync || !replica_initialized) {
+          charge_serial([&] {
+            accountant_.ChargeSyncToGpus(plan.hot_bytes, report.timeline);
+          });
+          report.sync_bytes += plan.hot_bytes;
+          if (options_.run_math) replicator.PullFromMasters(model_->tables());
+          for (auto& d : master_dirty) d.clear();
+          replica_initialized = true;
+        } else {
+          uint64_t bytes = 0;
+          std::vector<std::vector<uint32_t>> rows =
+              drain_dirty(master_dirty, bytes);
+          if (bytes >= plan.hot_bytes) {
+            // Nearly everything is dirty (hot rows are frequently touched
+            // by construction): a wholesale copy avoids the per-row index
+            // overhead.
+            bytes = plan.hot_bytes;
+            charge_serial([&] {
+              accountant_.ChargeSyncToGpus(bytes, report.timeline);
+            });
+            report.sync_bytes += bytes;
+            if (options_.run_math) {
+              replicator.PullFromMasters(model_->tables());
+            }
+          } else {
+            charge_serial([&] {
+              accountant_.ChargeSyncToGpus(bytes, report.timeline);
+            });
+            report.sync_bytes += bytes;
+            if (options_.run_math) {
+              replicator.PullRowsFromMasters(model_->tables(), rows);
+            }
+          }
+        }
+        for (size_t i = chunk->begin; i < chunk->begin + chunk->count; ++i) {
+          charge_serial([&] {
+            accountant_.ChargeHotStep(model_->Work(packed.hot[i]),
+                                      report.timeline);
+          });
+          if (options_.run_math) {
+            MathStep(hot_translated[i], replica_tables, metric, window);
+          }
+          if (dirty_sync) {
+            for (size_t t = 0; t < num_tables; ++t) {
+              replica_dirty[t].insert(packed.hot[i].indices[t].begin(),
+                                      packed.hot[i].indices[t].end());
+            }
+          }
+          ++iteration;
+          ++report.num_batches;
+        }
+        // Leaving the hot phase: masters absorb the GPU updates.
+        if (!dirty_sync) {
+          charge_serial([&] {
+            accountant_.ChargeSyncToCpu(plan.hot_bytes, report.timeline);
+          });
+          report.sync_bytes += plan.hot_bytes;
+          if (options_.run_math) replicator.PushToMasters(model_->tables());
+        } else {
+          uint64_t bytes = 0;
+          std::vector<std::vector<uint32_t>> rows =
+              drain_dirty(replica_dirty, bytes);
+          if (bytes >= plan.hot_bytes) {
+            bytes = plan.hot_bytes;
+            charge_serial([&] {
+              accountant_.ChargeSyncToCpu(bytes, report.timeline);
+            });
+            report.sync_bytes += bytes;
+            if (options_.run_math) {
+              replicator.PushToMasters(model_->tables());
+            }
+          } else {
+            charge_serial([&] {
+              accountant_.ChargeSyncToCpu(bytes, report.timeline);
+            });
+            report.sync_bytes += bytes;
+            if (options_.run_math) {
+              replicator.PushRowsToMasters(model_->tables(), rows);
+            }
+          }
+        }
+      } else {
+        for (size_t i = chunk->begin; i < chunk->begin + chunk->count; ++i) {
+          if (options_.pipelined_baseline) {
+            accountant_.ChargeBaselineStepPipelined(
+                model_->Work(packed.cold[i]), report.timeline);
+          } else {
+            accountant_.ChargeBaselineStep(model_->Work(packed.cold[i]),
+                                           report.timeline);
+          }
+          if (options_.run_math) {
+            MathStep(packed.cold[i], master_tables, metric, window);
+          }
+          if (dirty_sync) {
+            // Cold inputs may update hot rows on the master; those rows
+            // must reach the replicas before the next hot phase.
+            for (size_t t = 0; t < num_tables; ++t) {
+              for (uint32_t row : packed.cold[i].indices[t]) {
+                if (plan.hot_set.IsHot(t, row)) master_dirty[t].insert(row);
+              }
+            }
+          }
+          ++iteration;
+          ++report.num_batches;
+        }
+      }
+      if (options_.run_math) {
+        CurvePoint point = window.Flush(iteration);
+        const EvalResult eval = Evaluate(*model_, eval_batches);
+        point.test_loss = eval.loss;
+        point.test_acc = eval.accuracy;
+        report.curve.push_back(point);
+        scheduler.ReportTestLoss(eval.loss);
+      }
+    }
+  }
+  report.transitions = scheduler.transitions();
+  report.final_rate = scheduler.rate();
+  FinishReport(report, eval_batches, metric);
+  return report;
+}
+
+TrainReport Trainer::TrainNvOpt(const Dataset& dataset,
+                                const Dataset::Split& split) {
+  FAE_CHECK_EQ(system_.num_nodes, 1)
+      << "the NvOPT comparator models a single node";
+  MaybeQuantizeTables();
+  TrainReport report;
+  report.mode = TrainMode::kNvOpt;
+
+  // Greedy fp16 placement, largest tables first, into 80% of GPU memory —
+  // access-oblivious, per the paper's characterization of NvOPT.
+  const DatasetSchema& schema = dataset.schema();
+  std::vector<size_t> order(schema.num_tables());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return schema.TableBytes(a) > schema.TableBytes(b);
+  });
+  std::vector<bool> on_gpu(schema.num_tables(), false);
+  uint64_t budget = static_cast<uint64_t>(0.8 * system_.gpu.mem_capacity);
+  for (size_t t : order) {
+    const uint64_t fp16_bytes = schema.TableBytes(t) / 2;
+    if (fp16_bytes <= budget) {
+      on_gpu[t] = true;
+      budget -= fp16_bytes;
+    }
+  }
+
+  std::vector<uint64_t> ids = split.train;
+  Xoshiro256 rng(options_.seed);
+  for (size_t i = ids.size(); i > 1; --i) {
+    std::swap(ids[i - 1], ids[rng.NextBounded(i)]);
+  }
+  std::vector<MiniBatch> batches =
+      AssembleBatches(dataset, ids, GlobalBatchSize(), /*hot=*/false);
+  const std::vector<MiniBatch> eval_batches =
+      options_.run_math ? MakeEvalBatches(dataset, split)
+                        : std::vector<MiniBatch>{};
+  std::vector<EmbeddingTable*> tables;
+  for (EmbeddingTable& t : model_->tables()) tables.push_back(&t);
+
+  RunningMetric metric;
+  RunningMetric metric2;
+  for (size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    // Same per-epoch reshuffle as the baseline (see TrainModelParallel).
+    for (size_t i = batches.size(); i > 1; --i) {
+      std::swap(batches[i - 1], batches[rng.NextBounded(i)]);
+    }
+    for (const MiniBatch& batch : batches) {
+      accountant_.ChargeNvOptStep(model_->Work(batch), on_gpu,
+                                  schema.embedding_dim, batch.batch_size(),
+                                  report.timeline);
+      if (options_.run_math) MathStep(batch, tables, metric, metric2);
+      ++report.num_batches;
+    }
+  }
+  FinishReport(report, eval_batches, metric);
+  return report;
+}
+
+StatusOr<TrainReport> Trainer::TrainModelParallel(
+    const Dataset& dataset, const Dataset::Split& split) {
+  FAE_CHECK_EQ(system_.num_nodes, 1)
+      << "the model-parallel comparator models a single node";
+  const DatasetSchema& schema = dataset.schema();
+  const int g = std::max(1, system_.num_gpus);
+  // Shard tables with the LPT heuristic; the *largest realized shard*
+  // (not the balanced ideal) must fit, with 20% headroom for activations
+  // and the dense model. A single table larger than a GPU can make this
+  // impossible regardless of g — the paper's capacity argument.
+  std::vector<uint64_t> table_bytes(schema.num_tables());
+  for (size_t t = 0; t < schema.num_tables(); ++t) {
+    table_bytes[t] = schema.TableBytes(t);
+  }
+  const Partition partition = PartitionLpt(table_bytes, g);
+  if (partition.MaxWeight() >
+      static_cast<uint64_t>(0.8 * system_.gpu.mem_capacity)) {
+    return Status::ResourceExhausted(StrFormat(
+        "model-parallel shard (%s on the fullest GPU) exceeds GPU memory "
+        "(%s)",
+        HumanBytes(partition.MaxWeight()).c_str(),
+        HumanBytes(system_.gpu.mem_capacity).c_str()));
+  }
+
+  TrainReport report;
+  report.mode = TrainMode::kModelParallel;
+  std::vector<uint64_t> ids = split.train;
+  Xoshiro256 rng(options_.seed);
+  for (size_t i = ids.size(); i > 1; --i) {
+    std::swap(ids[i - 1], ids[rng.NextBounded(i)]);
+  }
+  std::vector<MiniBatch> batches =
+      AssembleBatches(dataset, ids, GlobalBatchSize(), /*hot=*/false);
+  const std::vector<MiniBatch> eval_batches =
+      options_.run_math ? MakeEvalBatches(dataset, split)
+                        : std::vector<MiniBatch>{};
+  std::vector<EmbeddingTable*> tables;
+  for (EmbeddingTable& t : model_->tables()) tables.push_back(&t);
+
+  RunningMetric metric;
+  RunningMetric window;
+  for (size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    // Same per-epoch reshuffle as the baseline, so identical seeds give
+    // identical batch orders (and identical math) across placements.
+    for (size_t i = batches.size(); i > 1; --i) {
+      std::swap(batches[i - 1], batches[rng.NextBounded(i)]);
+    }
+    for (const MiniBatch& batch : batches) {
+      accountant_.ChargeModelParallelStep(model_->Work(batch),
+                                          report.timeline);
+      if (options_.run_math) MathStep(batch, tables, metric, window);
+      ++report.num_batches;
+    }
+  }
+  FinishReport(report, eval_batches, metric);
+  return report;
+}
+
+TrainReport Trainer::TrainGpuCache(const Dataset& dataset,
+                                   const Dataset::Split& split,
+                                   const FaePlan& plan) {
+  FAE_CHECK_EQ(system_.num_nodes, 1)
+      << "the GPU-cache comparator models a single node";
+  TrainReport report;
+  report.mode = TrainMode::kGpuCache;
+  report.hot_bytes = plan.hot_bytes;
+  report.threshold = plan.threshold;
+
+  const DatasetSchema& schema = dataset.schema();
+  const uint64_t row_bytes = schema.embedding_dim * sizeof(float);
+
+  std::vector<uint64_t> ids = split.train;
+  Xoshiro256 rng(options_.seed);
+  for (size_t i = ids.size(); i > 1; --i) {
+    std::swap(ids[i - 1], ids[rng.NextBounded(i)]);
+  }
+  std::vector<MiniBatch> batches =
+      AssembleBatches(dataset, ids, GlobalBatchSize(), /*hot=*/false);
+  const std::vector<MiniBatch> eval_batches =
+      options_.run_math ? MakeEvalBatches(dataset, split)
+                        : std::vector<MiniBatch>{};
+  std::vector<EmbeddingTable*> tables;
+  for (EmbeddingTable& t : model_->tables()) tables.push_back(&t);
+
+  RunningMetric metric;
+  RunningMetric window;
+  std::unordered_set<uint32_t> miss_rows;
+  for (size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    // Same per-epoch reshuffle as the baseline (see TrainModelParallel).
+    for (size_t i = batches.size(); i > 1; --i) {
+      std::swap(batches[i - 1], batches[rng.NextBounded(i)]);
+    }
+    for (const MiniBatch& batch : batches) {
+      // Partition the batch's lookups into cache hits and misses.
+      uint64_t hit_lookups = 0;
+      uint64_t miss_lookups = 0;
+      uint64_t miss_touched = 0;
+      for (size_t t = 0; t < schema.num_tables(); ++t) {
+        miss_rows.clear();
+        for (uint32_t row : batch.indices[t]) {
+          if (plan.hot_set.IsHot(t, row)) {
+            ++hit_lookups;
+          } else {
+            ++miss_lookups;
+            miss_rows.insert(row);
+          }
+        }
+        miss_touched += miss_rows.size();
+      }
+      accountant_.ChargeCacheStep(model_->Work(batch),
+                                  hit_lookups * row_bytes,
+                                  miss_lookups * row_bytes,
+                                  miss_touched * row_bytes, report.timeline);
+      if (options_.run_math) MathStep(batch, tables, metric, window);
+      ++report.num_batches;
+    }
+  }
+  FinishReport(report, eval_batches, metric);
+  return report;
+}
+
+}  // namespace fae

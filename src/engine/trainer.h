@@ -1,0 +1,170 @@
+#ifndef FAE_ENGINE_TRAINER_H_
+#define FAE_ENGINE_TRAINER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/fae_config.h"
+#include "core/fae_pipeline.h"
+#include "data/dataset.h"
+#include "engine/metrics.h"
+#include "engine/step_accountant.h"
+#include "models/rec_model.h"
+#include "sim/cost_model.h"
+#include "tensor/sgd.h"
+#include "embedding/sparse_sgd.h"
+#include "util/statusor.h"
+
+namespace fae {
+
+/// Execution placements compared in the paper's evaluation, plus the two
+/// alternatives its related-work section argues against (model-parallel
+/// embedding sharding and transparent GPU caching).
+enum class TrainMode { kBaseline, kFae, kNvOpt, kModelParallel, kGpuCache };
+
+std::string_view TrainModeName(TrainMode mode);
+
+/// How FAE keeps the CPU master and the GPU replicas coherent at hot/cold
+/// transitions.
+enum class SyncStrategy {
+  /// Ship the whole hot slice each way (the paper's scheme; its Fig 14
+  /// "embedding sync" overhead grows with the hot-slice size).
+  kFull,
+  /// Ship only rows actually updated since the last sync (dirty tracking
+  /// is index-based, so it works in cost-only mode too). Numerically
+  /// identical to kFull; see bench/abl_sync_strategy.cc.
+  kDirty,
+};
+
+struct TrainOptions {
+  /// Per-GPU mini-batch; the global batch is this times num_gpus (the
+  /// paper's weak scaling, §IV-B2).
+  size_t per_gpu_batch = 1024;
+  size_t epochs = 1;
+  float dense_lr = 0.1f;
+  float sparse_lr = 0.1f;
+  /// When false, the trainer only runs the hardware cost model (no
+  /// numerics) — used by the performance sweeps, where accuracy is not
+  /// measured and batch order cannot affect the modeled time. The FAE
+  /// scheduler then keeps its initial rate (no test-loss feedback).
+  bool run_math = true;
+  /// Test samples evaluated per curve point (capped).
+  size_t eval_samples = 2048;
+  size_t eval_batch = 512;
+  /// Baseline evaluation cadence; FAE evaluates at every schedule chunk
+  /// boundary, which is also where Eq 7 reads the test loss.
+  size_t evals_per_epoch = 10;
+  /// Hot-slice coherence scheme (FAE only).
+  SyncStrategy sync_strategy = SyncStrategy::kFull;
+  /// Model the hybrid baseline with CPU/GPU overlap (prefetching): the
+  /// strongest baseline variant. Applies to TrainBaseline and to FAE's
+  /// cold batches, so comparisons stay apples-to-apples.
+  bool pipelined_baseline = false;
+  /// Emulate fp16 embedding *storage* (the NvOPT representation): after
+  /// every sparse update, touched rows are rounded through binary16, so
+  /// the tables never hold more precision than fp16 would. Gradients and
+  /// the optimizer stay fp32 (standard mixed precision). Lets the paper's
+  /// §V "requires accuracy revalidation" claim be tested directly
+  /// (bench/abl_mixed_precision.cc).
+  bool fp16_embeddings = false;
+  uint64_t seed = 7;
+};
+
+/// Everything a training run reports: the modeled timeline, the measured
+/// learning curve, and the FAE-specific counters.
+struct TrainReport {
+  TrainMode mode = TrainMode::kBaseline;
+  Timeline timeline;
+  std::vector<CurvePoint> curve;
+  double final_train_loss = 0.0;
+  double final_train_acc = 0.0;
+  double final_test_loss = 0.0;
+  double final_test_acc = 0.0;
+  double final_test_auc = 0.0;
+  /// Modeled wall-clock (timeline total).
+  double modeled_seconds = 0.0;
+  double avg_gpu_watts = 0.0;
+  size_t num_batches = 0;
+
+  // FAE-only:
+  size_t hot_batches = 0;
+  size_t cold_batches = 0;
+  double hot_fraction = 0.0;
+  uint64_t hot_bytes = 0;
+  size_t transitions = 0;
+  double final_rate = 0.0;
+  double threshold = 0.0;
+  double preprocess_seconds = 0.0;
+  /// Total hot-slice payload shipped over PCIe for coherence (per
+  /// direction-event, not multiplied by GPU count).
+  uint64_t sync_bytes = 0;
+};
+
+/// Drives training of a RecModel in one of the three placements. Math is
+/// executed for real (accuracy results are measured); time and energy are
+/// charged to the SystemSpec through the StepAccountant.
+class Trainer {
+ public:
+  Trainer(RecModel* model, SystemSpec system, TrainOptions options);
+
+  /// Hybrid CPU-GPU baseline (paper Fig 3).
+  TrainReport TrainBaseline(const Dataset& dataset,
+                            const Dataset::Split& split);
+
+  /// FAE: runs the static pipeline then the hot/cold schedule.
+  StatusOr<TrainReport> TrainFae(const Dataset& dataset,
+                                 const Dataset::Split& split,
+                                 const FaeConfig& config);
+
+  /// FAE with a pre-computed plan (lets benchmarks reuse preprocessing).
+  StatusOr<TrainReport> TrainFaeWithPlan(const Dataset& dataset,
+                                         const Dataset::Split& split,
+                                         const FaeConfig& config,
+                                         const FaePlan& plan);
+
+  /// NvOPT-style comparator: fp16 embeddings on GPU where they fit.
+  TrainReport TrainNvOpt(const Dataset& dataset, const Dataset::Split& split);
+
+  /// Model-parallel comparator: tables sharded across GPUs, all-to-all
+  /// per batch. Fails with ResourceExhausted when the per-GPU table shard
+  /// (plus headroom) exceeds GPU memory — the capacity argument the paper
+  /// opens with.
+  StatusOr<TrainReport> TrainModelParallel(const Dataset& dataset,
+                                           const Dataset::Split& split);
+
+  /// Transparent-GPU-cache comparator: the same hot rows FAE would
+  /// replicate live in a per-GPU cache (same budget), but batches are not
+  /// reorganized, so misses stall each batch on the CPU. `plan` supplies
+  /// the hot set (cache contents) for an apples-to-apples comparison.
+  TrainReport TrainGpuCache(const Dataset& dataset,
+                            const Dataset::Split& split,
+                            const FaePlan& plan);
+
+  size_t GlobalBatchSize() const {
+    return options_.per_gpu_batch *
+           static_cast<size_t>(std::max(1, system_.WorldSize()));
+  }
+
+ private:
+  void MaybeQuantizeTables();
+  void MathStep(const MiniBatch& batch,
+                const std::vector<EmbeddingTable*>& tables,
+                RunningMetric& metric, RunningMetric& window);
+  std::vector<MiniBatch> MakeEvalBatches(const Dataset& dataset,
+                                         const Dataset::Split& split) const;
+  void FinishReport(TrainReport& report,
+                    const std::vector<MiniBatch>& eval_batches,
+                    RunningMetric& metric) const;
+
+  RecModel* model_;
+  SystemSpec system_;
+  CostModel cost_;
+  StepAccountant accountant_;
+  TrainOptions options_;
+  Sgd dense_sgd_;
+  SparseSgd sparse_sgd_;
+};
+
+}  // namespace fae
+
+#endif  // FAE_ENGINE_TRAINER_H_

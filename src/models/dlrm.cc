@@ -1,0 +1,139 @@
+#include "models/dlrm.h"
+
+#include <unordered_set>
+
+#include "tensor/loss.h"
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace fae {
+
+Dlrm::Dlrm(const DatasetSchema& schema, const ModelConfig& config,
+           uint64_t seed)
+    : schema_(schema),
+      config_(config),
+      bottom_([&] {
+        Xoshiro256 rng(seed);
+        return Mlp(config.bottom_mlp, rng, "bottom");
+      }()),
+      top_([&] {
+        Xoshiro256 rng(seed + 1);
+        return Mlp(config.top_mlp, rng, "top");
+      }()) {
+  FAE_CHECK_EQ(config_.bottom_mlp.front(), schema_.num_dense);
+  FAE_CHECK_EQ(config_.bottom_mlp.back(), schema_.embedding_dim);
+  FAE_CHECK_EQ(config_.top_mlp.front(), DlrmTopInputWidth(schema_));
+  FAE_CHECK_EQ(config_.top_mlp.back(), 1u);
+  Xoshiro256 rng(seed + 2);
+  tables_.reserve(schema_.num_tables());
+  for (uint64_t rows : schema_.table_rows) {
+    tables_.emplace_back(rows, schema_.embedding_dim, rng);
+  }
+}
+
+Tensor Dlrm::ForwardImpl(const MiniBatch& batch,
+                         const std::vector<const EmbeddingTable*>& tables,
+                         bool cache) {
+  FAE_CHECK_EQ(tables.size(), schema_.num_tables());
+  Tensor bottom_out = cache ? bottom_.Forward(batch.dense)
+                            : bottom_.ForwardInference(batch.dense);
+  std::vector<Tensor> emb_out;
+  emb_out.reserve(tables.size());
+  for (size_t t = 0; t < tables.size(); ++t) {
+    emb_out.push_back(EmbeddingBag::Forward(*tables[t], batch.indices[t],
+                                            batch.offsets[t]));
+  }
+  std::vector<const Tensor*> features;
+  features.reserve(1 + emb_out.size());
+  features.push_back(&bottom_out);
+  for (const Tensor& e : emb_out) features.push_back(&e);
+  Tensor inter = PairwiseDotInteraction(features);
+  Tensor top_in = ConcatCols({&bottom_out, &inter});
+  Tensor logits =
+      cache ? top_.Forward(top_in) : top_.ForwardInference(top_in);
+  if (cache) {
+    cached_bottom_out_ = std::move(bottom_out);
+    cached_emb_out_ = std::move(emb_out);
+  }
+  return logits;
+}
+
+StepResult Dlrm::ForwardBackwardOn(
+    const MiniBatch& batch, const std::vector<EmbeddingTable*>& tables) {
+  std::vector<const EmbeddingTable*> ctables(tables.begin(), tables.end());
+  Tensor logits = ForwardImpl(batch, ctables, /*cache=*/true);
+  BceResult bce = BceWithLogits(logits, batch.labels);
+
+  // Top MLP backward.
+  Tensor g_top_in = top_.Backward(bce.grad_logits);
+  const size_t d = schema_.embedding_dim;
+  const size_t f = schema_.num_tables() + 1;
+  std::vector<Tensor> split = SplitCols(g_top_in, {d, f * (f - 1) / 2});
+  Tensor& g_bottom_direct = split[0];
+  Tensor& g_inter = split[1];
+
+  // Interaction backward.
+  std::vector<const Tensor*> features;
+  features.reserve(f);
+  features.push_back(&cached_bottom_out_);
+  for (const Tensor& e : cached_emb_out_) features.push_back(&e);
+  std::vector<Tensor> feat_grads =
+      PairwiseDotInteractionBackward(g_inter, features);
+
+  // Bottom MLP backward (direct concat path + interaction path).
+  feat_grads[0].Add(g_bottom_direct);
+  bottom_.Backward(feat_grads[0]);
+
+  // Embedding gradients.
+  StepResult result;
+  result.loss = bce.mean_loss;
+  result.correct = bce.correct;
+  result.batch_size = batch.batch_size();
+  result.table_grads.reserve(schema_.num_tables());
+  for (size_t t = 0; t < schema_.num_tables(); ++t) {
+    result.table_grads.push_back(EmbeddingBag::Backward(
+        feat_grads[t + 1], batch.indices[t], batch.offsets[t], d));
+  }
+  return result;
+}
+
+Tensor Dlrm::EvalLogits(const MiniBatch& batch) const {
+  std::vector<const EmbeddingTable*> ctables;
+  ctables.reserve(tables_.size());
+  for (const EmbeddingTable& t : tables_) ctables.push_back(&t);
+  // ForwardImpl only mutates caches when cache=true, so the const_cast is
+  // safe for the inference path.
+  return const_cast<Dlrm*>(this)->ForwardImpl(batch, ctables,
+                                              /*cache=*/false);
+}
+
+std::vector<Parameter*> Dlrm::DenseParams() {
+  std::vector<Parameter*> params = bottom_.Params();
+  for (Parameter* p : top_.Params()) params.push_back(p);
+  return params;
+}
+
+BatchWork Dlrm::Work(const MiniBatch& batch) const {
+  BatchWork w;
+  const size_t b = batch.batch_size();
+  w.batch_size = b;
+  const size_t d = schema_.embedding_dim;
+  const size_t f = schema_.num_tables() + 1;
+  w.forward_flops = bottom_.ForwardFlops(b) + top_.ForwardFlops(b) +
+                    2ULL * b * (f * (f - 1) / 2) * d;  // interaction dots
+  w.embedding_read_bytes = batch.TotalLookups() * d * sizeof(float);
+  w.embedding_activation_bytes =
+      static_cast<uint64_t>(b) * schema_.num_tables() * d * sizeof(float);
+  w.dense_param_count = bottom_.NumParams() + top_.NumParams();
+  for (size_t t = 0; t < schema_.num_tables(); ++t) {
+    std::unordered_set<uint32_t> distinct(batch.indices[t].begin(),
+                                          batch.indices[t].end());
+    w.touched_rows += distinct.size();
+    w.per_table_lookups.push_back(batch.indices[t].size());
+    w.per_table_touched.push_back(distinct.size());
+  }
+  w.touched_bytes = w.touched_rows * d * sizeof(float);
+  return w;
+}
+
+}  // namespace fae

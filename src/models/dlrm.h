@@ -1,0 +1,53 @@
+#ifndef FAE_MODELS_DLRM_H_
+#define FAE_MODELS_DLRM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "models/model_config.h"
+#include "models/rec_model.h"
+#include "tensor/mlp.h"
+
+namespace fae {
+
+/// Deep Learning Recommendation Model (Naumov et al., the paper's RMC2 and
+/// RMC3): bottom MLP over dense features, one sum-pooled embedding bag per
+/// categorical table, pairwise-dot feature interaction, top MLP to a
+/// click-probability logit.
+class Dlrm : public RecModel {
+ public:
+  Dlrm(const DatasetSchema& schema, const ModelConfig& config, uint64_t seed);
+
+  StepResult ForwardBackwardOn(
+      const MiniBatch& batch,
+      const std::vector<EmbeddingTable*>& tables) override;
+
+  Tensor EvalLogits(const MiniBatch& batch) const override;
+
+  std::vector<Parameter*> DenseParams() override;
+  std::vector<EmbeddingTable>& tables() override { return tables_; }
+  const std::vector<EmbeddingTable>& tables() const override {
+    return tables_;
+  }
+  size_t embedding_dim() const override { return schema_.embedding_dim; }
+  BatchWork Work(const MiniBatch& batch) const override;
+
+ private:
+  Tensor ForwardImpl(const MiniBatch& batch,
+                     const std::vector<const EmbeddingTable*>& tables,
+                     bool cache);
+
+  DatasetSchema schema_;
+  ModelConfig config_;
+  Mlp bottom_;
+  Mlp top_;
+  std::vector<EmbeddingTable> tables_;
+
+  // Forward caches consumed by the following backward.
+  Tensor cached_bottom_out_;
+  std::vector<Tensor> cached_emb_out_;
+};
+
+}  // namespace fae
+
+#endif  // FAE_MODELS_DLRM_H_

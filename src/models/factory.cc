@@ -1,0 +1,27 @@
+#include "models/factory.h"
+
+#include "models/dlrm.h"
+#include "models/tbsm.h"
+
+namespace fae {
+
+ModelConfig MakeModelConfig(const DatasetSchema& schema, bool full_size) {
+  return schema.sequential ? MakeTbsmConfig(schema, full_size)
+                           : MakeDlrmConfig(schema, full_size);
+}
+
+std::unique_ptr<RecModel> MakeModel(const DatasetSchema& schema,
+                                    const ModelConfig& config,
+                                    uint64_t seed) {
+  if (schema.sequential) {
+    return std::make_unique<Tbsm>(schema, config, seed);
+  }
+  return std::make_unique<Dlrm>(schema, config, seed);
+}
+
+std::unique_ptr<RecModel> MakeModel(const DatasetSchema& schema,
+                                    bool full_size, uint64_t seed) {
+  return MakeModel(schema, MakeModelConfig(schema, full_size), seed);
+}
+
+}  // namespace fae

@@ -1,0 +1,27 @@
+#ifndef FAE_MODELS_FACTORY_H_
+#define FAE_MODELS_FACTORY_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "data/schema.h"
+#include "models/model_config.h"
+#include "models/rec_model.h"
+
+namespace fae {
+
+/// Builds the Table I model for `schema`: TBSM for sequential schemas,
+/// DLRM otherwise.
+std::unique_ptr<RecModel> MakeModel(const DatasetSchema& schema,
+                                    const ModelConfig& config, uint64_t seed);
+
+/// Same, with the default (scaled or full) config for the schema.
+std::unique_ptr<RecModel> MakeModel(const DatasetSchema& schema,
+                                    bool full_size, uint64_t seed);
+
+/// Default config for `schema`.
+ModelConfig MakeModelConfig(const DatasetSchema& schema, bool full_size);
+
+}  // namespace fae
+
+#endif  // FAE_MODELS_FACTORY_H_

@@ -1,0 +1,56 @@
+#include "models/model_config.h"
+
+#include "util/logging.h"
+
+namespace fae {
+
+size_t DlrmTopInputWidth(const DatasetSchema& schema) {
+  const size_t f = schema.num_tables() + 1;  // tables + bottom-MLP block
+  return f * (f - 1) / 2 + schema.embedding_dim;
+}
+
+ModelConfig MakeDlrmConfig(const DatasetSchema& schema, bool full_size) {
+  ModelConfig cfg;
+  const size_t d = schema.embedding_dim;
+  if (full_size) {
+    // Table I: Kaggle bottom 13-512-256-64-16, Terabyte bottom
+    // 13-512-256-64 (output equals the embedding dim in both cases).
+    if (d == 64) {
+      cfg.bottom_mlp = {schema.num_dense, 512, 256, 64};
+      cfg.top_mlp = {DlrmTopInputWidth(schema), 512, 512, 256, 1};
+    } else {
+      cfg.bottom_mlp = {schema.num_dense, 512, 256, 64, d};
+      cfg.top_mlp = {DlrmTopInputWidth(schema), 512, 256, 1};
+    }
+  } else {
+    cfg.bottom_mlp = {schema.num_dense, 64, d};
+    cfg.top_mlp = {DlrmTopInputWidth(schema), 64, 1};
+  }
+  FAE_CHECK_EQ(cfg.bottom_mlp.back(), d)
+      << "bottom MLP must emit embedding_dim features";
+  return cfg;
+}
+
+ModelConfig MakeTbsmConfig(const DatasetSchema& schema, bool full_size) {
+  ModelConfig cfg;
+  const size_t d = schema.embedding_dim;
+  // Bottom MLP per Table I RMC1 ("1-16 & 22-15-15" feeds a 16-wide joint
+  // space); we map dense features straight to the embedding dim.
+  cfg.bottom_mlp = full_size
+                       ? std::vector<size_t>{schema.num_dense, 16, d}
+                       : std::vector<size_t>{schema.num_dense, d};
+  // Per-timestep transform over each history embedding — the deep
+  // time-series stage that makes TBSM's forward/backward dominate its
+  // runtime (paper SIV-B3: "the deep attention layer").
+  cfg.step_mlp = full_size ? std::vector<size_t>{d, 64, 64, d}
+                           : std::vector<size_t>{d, d};
+  // Top MLP consumes concat(attention context, target item embedding,
+  // bottom output, per-table one-hot pools beyond item table).
+  const size_t top_in = 3 * d + (schema.num_tables() - 1) * d;
+  cfg.top_mlp = full_size ? std::vector<size_t>{top_in, 60, 1}
+                          : std::vector<size_t>{top_in, 30, 1};
+  cfg.learning_rate = 0.05f;
+  return cfg;
+}
+
+}  // namespace fae

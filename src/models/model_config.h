@@ -1,0 +1,38 @@
+#ifndef FAE_MODELS_MODEL_CONFIG_H_
+#define FAE_MODELS_MODEL_CONFIG_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "data/schema.h"
+
+namespace fae {
+
+/// Architecture hyper-parameters shared by DLRM and TBSM (paper Table I).
+struct ModelConfig {
+  /// Bottom MLP widths, including the input (num_dense) and output layers;
+  /// the output width must equal the embedding dim for the interaction.
+  std::vector<size_t> bottom_mlp;
+  /// Top MLP widths, including input width and the final logit (1).
+  std::vector<size_t> top_mlp;
+  /// TBSM only: per-timestep MLP applied to every history item embedding
+  /// before the attention layer (Table I's "22-15-15" time-series stage).
+  /// First and last widths must equal the embedding dim; empty = identity.
+  std::vector<size_t> step_mlp;
+  float learning_rate = 0.1f;
+};
+
+/// Table I architectures, adapted to `schema` (the top-MLP input width
+/// depends on the number of tables via the pairwise interaction).
+/// `full_size` selects the paper's layer widths; false shrinks hidden
+/// layers ~8x for fast tests/benches while keeping depth.
+ModelConfig MakeDlrmConfig(const DatasetSchema& schema, bool full_size);
+ModelConfig MakeTbsmConfig(const DatasetSchema& schema, bool full_size);
+
+/// Width of the top MLP's input under DLRM's pairwise-dot interaction:
+/// F = num_tables + 1 feature blocks -> F*(F-1)/2 dots + dim (bottom out).
+size_t DlrmTopInputWidth(const DatasetSchema& schema);
+
+}  // namespace fae
+
+#endif  // FAE_MODELS_MODEL_CONFIG_H_

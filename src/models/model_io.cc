@@ -1,0 +1,99 @@
+#include "models/model_io.h"
+
+#include "util/file_io.h"
+#include "util/string_util.h"
+
+namespace fae {
+namespace {
+
+constexpr uint32_t kMagic = 0x4d454146;  // "FAEM"
+constexpr uint32_t kVersion = 1;
+constexpr uint32_t kTrailer = 0x444e454d;  // "MEND"
+
+}  // namespace
+
+Status ModelIo::Save(const std::string& path, RecModel& model) {
+  FAE_ASSIGN_OR_RETURN(BinaryWriter w, BinaryWriter::Open(path));
+  FAE_RETURN_IF_ERROR(w.WriteU32(kMagic));
+  FAE_RETURN_IF_ERROR(w.WriteU32(kVersion));
+
+  const std::vector<Parameter*> params = model.DenseParams();
+  FAE_RETURN_IF_ERROR(w.WriteU64(params.size()));
+  for (const Parameter* p : params) {
+    FAE_RETURN_IF_ERROR(w.WriteString(p->name));
+    FAE_RETURN_IF_ERROR(w.WriteU64(p->value.rows()));
+    FAE_RETURN_IF_ERROR(w.WriteU64(p->value.cols()));
+    FAE_RETURN_IF_ERROR(
+        w.WriteBytes(p->value.data(), p->value.numel() * sizeof(float)));
+  }
+
+  const std::vector<EmbeddingTable>& tables = model.tables();
+  FAE_RETURN_IF_ERROR(w.WriteU64(tables.size()));
+  for (const EmbeddingTable& t : tables) {
+    FAE_RETURN_IF_ERROR(w.WriteU64(t.rows()));
+    FAE_RETURN_IF_ERROR(w.WriteU64(t.dim()));
+    FAE_RETURN_IF_ERROR(
+        w.WriteBytes(t.raw().data(), t.raw().size() * sizeof(float)));
+  }
+  FAE_RETURN_IF_ERROR(w.WriteU32(kTrailer));
+  return w.Close();
+}
+
+Status ModelIo::Load(const std::string& path, RecModel& model) {
+  FAE_ASSIGN_OR_RETURN(BinaryReader r, BinaryReader::Open(path));
+  FAE_ASSIGN_OR_RETURN(uint32_t magic, r.ReadU32());
+  if (magic != kMagic) {
+    return Status::DataLoss("not a FAE model checkpoint: " + path);
+  }
+  FAE_ASSIGN_OR_RETURN(uint32_t version, r.ReadU32());
+  if (version != kVersion) {
+    return Status::DataLoss(
+        StrFormat("unsupported checkpoint version %u", version));
+  }
+
+  std::vector<Parameter*> params = model.DenseParams();
+  FAE_ASSIGN_OR_RETURN(uint64_t param_count, r.ReadU64());
+  if (param_count != params.size()) {
+    return Status::FailedPrecondition(StrFormat(
+        "checkpoint has %llu dense parameters, model has %zu",
+        static_cast<unsigned long long>(param_count), params.size()));
+  }
+  for (Parameter* p : params) {
+    FAE_ASSIGN_OR_RETURN(std::string name, r.ReadString());
+    FAE_ASSIGN_OR_RETURN(uint64_t rows, r.ReadU64());
+    FAE_ASSIGN_OR_RETURN(uint64_t cols, r.ReadU64());
+    if (name != p->name || rows != p->value.rows() ||
+        cols != p->value.cols()) {
+      return Status::FailedPrecondition(StrFormat(
+          "checkpoint parameter '%s' [%llux%llu] does not match model "
+          "parameter '%s' [%zux%zu]",
+          name.c_str(), static_cast<unsigned long long>(rows),
+          static_cast<unsigned long long>(cols), p->name.c_str(),
+          p->value.rows(), p->value.cols()));
+    }
+    FAE_RETURN_IF_ERROR(
+        r.ReadBytes(p->value.data(), p->value.numel() * sizeof(float)));
+  }
+
+  std::vector<EmbeddingTable>& tables = model.tables();
+  FAE_ASSIGN_OR_RETURN(uint64_t table_count, r.ReadU64());
+  if (table_count != tables.size()) {
+    return Status::FailedPrecondition("checkpoint table count mismatch");
+  }
+  for (EmbeddingTable& t : tables) {
+    FAE_ASSIGN_OR_RETURN(uint64_t rows, r.ReadU64());
+    FAE_ASSIGN_OR_RETURN(uint64_t dim, r.ReadU64());
+    if (rows != t.rows() || dim != t.dim()) {
+      return Status::FailedPrecondition("checkpoint table shape mismatch");
+    }
+    FAE_RETURN_IF_ERROR(
+        r.ReadBytes(t.raw().data(), t.raw().size() * sizeof(float)));
+  }
+  FAE_ASSIGN_OR_RETURN(uint32_t trailer, r.ReadU32());
+  if (trailer != kTrailer) {
+    return Status::DataLoss("checkpoint trailer missing (truncated?)");
+  }
+  return Status::OK();
+}
+
+}  // namespace fae

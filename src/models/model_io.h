@@ -1,0 +1,28 @@
+#ifndef FAE_MODELS_MODEL_IO_H_
+#define FAE_MODELS_MODEL_IO_H_
+
+#include <string>
+
+#include "models/rec_model.h"
+#include "util/statusor.h"
+
+namespace fae {
+
+/// Checkpointing: (de)serializes a RecModel's trainable state — dense
+/// parameters and embedding tables — so training can resume or a trained
+/// model can be served (see examples/serving.cpp).
+///
+/// Load restores *into* an existing model of the same architecture; the
+/// file records parameter names and shapes and refuses mismatches, so a
+/// checkpoint cannot be silently loaded into the wrong model.
+class ModelIo {
+ public:
+  /// `model` is non-const only because parameter access goes through the
+  /// mutable DenseParams() accessor; Save does not modify it.
+  static Status Save(const std::string& path, RecModel& model);
+  static Status Load(const std::string& path, RecModel& model);
+};
+
+}  // namespace fae
+
+#endif  // FAE_MODELS_MODEL_IO_H_

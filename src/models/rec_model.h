@@ -1,0 +1,89 @@
+#ifndef FAE_MODELS_REC_MODEL_H_
+#define FAE_MODELS_REC_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/minibatch.h"
+#include "embedding/embedding_bag.h"
+#include "embedding/embedding_table.h"
+#include "tensor/linear.h"
+#include "tensor/tensor.h"
+
+namespace fae {
+
+/// Outcome of one training step's forward+backward (before optimizers).
+struct StepResult {
+  double loss = 0.0;
+  size_t correct = 0;
+  size_t batch_size = 0;
+  /// Per-table sparse gradients; dense parameter gradients are accumulated
+  /// inside the model's Parameters.
+  std::vector<SparseGrad> table_grads;
+};
+
+/// Work units of a batch, consumed by the simulation cost model.
+struct BatchWork {
+  /// Global batch size (the cost model derives per-GPU occupancy from it).
+  uint64_t batch_size = 0;
+  /// Dense-network FLOPs of the forward pass (backward is ~2x).
+  uint64_t forward_flops = 0;
+  /// Bytes gathered from embedding tables (lookups x dim x 4).
+  uint64_t embedding_read_bytes = 0;
+  /// Bytes of embedding activations shipped CPU->GPU in the baseline
+  /// placement (pooled output: B x tables x dim x 4).
+  uint64_t embedding_activation_bytes = 0;
+  /// Distinct embedding rows touched (optimizer and scatter cost).
+  uint64_t touched_rows = 0;
+  /// touched_rows x dim x 4 — the sparse optimizer's working set.
+  uint64_t touched_bytes = 0;
+  /// Total dense trainable parameters (all-reduce payload).
+  uint64_t dense_param_count = 0;
+  /// Per-table lookups and distinct touched rows, for placement-aware
+  /// accounting (the NvOPT comparator splits tables across devices).
+  std::vector<uint64_t> per_table_lookups;
+  std::vector<uint64_t> per_table_touched;
+};
+
+/// Interface shared by DLRM and TBSM: real numerics, explicit gradients.
+///
+/// One ForwardBackward call accumulates dense gradients in the model's
+/// Parameters and returns embedding gradients sparsely; callers then run
+/// Sgd/SparseSgd. EvalLogits is the stateless inference path.
+class RecModel {
+ public:
+  virtual ~RecModel() = default;
+
+  /// Runs the step against an alternative set of tables (the FAE engine
+  /// points this at GPU hot-replica tables; `batch` indices must already be
+  /// in the replica's coordinate space). Returned sparse gradients use the
+  /// same coordinates.
+  virtual StepResult ForwardBackwardOn(
+      const MiniBatch& batch,
+      const std::vector<EmbeddingTable*>& tables) = 0;
+
+  /// Step against the model's own (master) tables.
+  StepResult ForwardBackward(const MiniBatch& batch) {
+    std::vector<EmbeddingTable*> ptrs;
+    ptrs.reserve(tables().size());
+    for (EmbeddingTable& t : tables()) ptrs.push_back(&t);
+    return ForwardBackwardOn(batch, ptrs);
+  }
+
+  /// Logits [B, 1] without caching or gradient work.
+  virtual Tensor EvalLogits(const MiniBatch& batch) const = 0;
+
+  virtual std::vector<Parameter*> DenseParams() = 0;
+
+  virtual std::vector<EmbeddingTable>& tables() = 0;
+  virtual const std::vector<EmbeddingTable>& tables() const = 0;
+
+  virtual size_t embedding_dim() const = 0;
+
+  /// Cost-model work units for `batch`.
+  virtual BatchWork Work(const MiniBatch& batch) const = 0;
+};
+
+}  // namespace fae
+
+#endif  // FAE_MODELS_REC_MODEL_H_

@@ -1,0 +1,254 @@
+#include "models/tbsm.h"
+
+#include <unordered_set>
+
+#include "tensor/loss.h"
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace fae {
+
+Tbsm::Tbsm(const DatasetSchema& schema, const ModelConfig& config,
+           uint64_t seed)
+    : schema_(schema),
+      config_(config),
+      bottom_([&] {
+        Xoshiro256 rng(seed);
+        return Mlp(config.bottom_mlp, rng, "bottom");
+      }()),
+      top_([&] {
+        Xoshiro256 rng(seed + 1);
+        return Mlp(config.top_mlp, rng, "top");
+      }()) {
+  if (!config_.step_mlp.empty()) {
+    FAE_CHECK_EQ(config_.step_mlp.front(), schema.embedding_dim);
+    FAE_CHECK_EQ(config_.step_mlp.back(), schema.embedding_dim);
+    Xoshiro256 rng(seed + 3);
+    step_mlp_.emplace(config_.step_mlp, rng, "step");
+  }
+  FAE_CHECK(schema_.sequential) << "TBSM requires a sequential schema";
+  FAE_CHECK_GE(schema_.num_tables(), 1u);
+  FAE_CHECK_EQ(config_.bottom_mlp.back(), schema_.embedding_dim);
+  const size_t d = schema_.embedding_dim;
+  FAE_CHECK_EQ(config_.top_mlp.front(),
+               3 * d + (schema_.num_tables() - 1) * d);
+  Xoshiro256 rng(seed + 2);
+  tables_.reserve(schema_.num_tables());
+  for (uint64_t rows : schema_.table_rows) {
+    tables_.emplace_back(rows, d, rng);
+  }
+}
+
+std::vector<Tbsm::SequenceView> Tbsm::SplitSequences(const MiniBatch& batch) {
+  const auto& offsets = batch.offsets[0];
+  std::vector<SequenceView> views(batch.batch_size());
+  for (size_t i = 0; i + 1 < offsets.size(); ++i) {
+    const uint32_t begin = offsets[i];
+    const uint32_t end = offsets[i + 1];
+    FAE_CHECK_GT(end, begin) << "TBSM input needs at least one item lookup";
+    SequenceView& v = views[i];
+    v.target = end - 1;
+    v.begin = begin;
+    // Singleton sequences attend over the target itself.
+    v.history_len = (end - begin > 1) ? (end - begin - 1) : 1;
+  }
+  return views;
+}
+
+Tensor Tbsm::ForwardImpl(const MiniBatch& batch,
+                         const std::vector<const EmbeddingTable*>& tables,
+                         bool cache) {
+  FAE_CHECK_EQ(tables.size(), schema_.num_tables());
+  const size_t b = batch.batch_size();
+  const size_t d = schema_.embedding_dim;
+  const EmbeddingTable& item_table = *tables[0];
+
+  std::vector<SequenceView> seq = SplitSequences(batch);
+  // Target (query) embeddings and one stacked matrix of all history rows
+  // (so the per-timestep MLP runs as a single GEMM over every timestep).
+  Tensor query(b, d);
+  size_t total_hist = 0;
+  for (const SequenceView& v : seq) total_hist += v.history_len;
+  Tensor stacked(total_hist, d);
+  const std::vector<uint32_t>& item_idx = batch.indices[0];
+  size_t row = 0;
+  for (size_t i = 0; i < b; ++i) {
+    const float* trow = item_table.row(item_idx[seq[i].target]);
+    std::copy(trow, trow + d, query.row(i));
+    for (uint32_t j = 0; j < seq[i].history_len; ++j) {
+      const float* hrow = item_table.row(item_idx[seq[i].begin + j]);
+      std::copy(hrow, hrow + d, stacked.row(row++));
+    }
+  }
+  // Per-timestep transform, then split back into per-sample matrices.
+  Tensor transformed =
+      step_mlp_ ? (cache ? step_mlp_->Forward(stacked)
+                         : step_mlp_->ForwardInference(stacked))
+                : stacked;
+  std::vector<Tensor> history;
+  history.reserve(b);
+  row = 0;
+  for (size_t i = 0; i < b; ++i) {
+    Tensor z(seq[i].history_len, d);
+    for (uint32_t j = 0; j < seq[i].history_len; ++j) {
+      std::copy(transformed.row(row), transformed.row(row) + d, z.row(j));
+      ++row;
+    }
+    history.push_back(std::move(z));
+  }
+
+  // Attention context. The inference path must not clobber the training
+  // caches, so it uses a scratch attention instance.
+  Tensor context;
+  if (cache) {
+    context = attention_.Forward(history, query);
+  } else {
+    DotAttention scratch;
+    context = scratch.Forward(history, query);
+  }
+
+  // Remaining tables: pooled single lookups.
+  std::vector<Tensor> pooled;
+  pooled.reserve(schema_.num_tables() - 1);
+  for (size_t t = 1; t < schema_.num_tables(); ++t) {
+    pooled.push_back(EmbeddingBag::Forward(*tables[t], batch.indices[t],
+                                           batch.offsets[t]));
+  }
+
+  Tensor bottom_out = cache ? bottom_.Forward(batch.dense)
+                            : bottom_.ForwardInference(batch.dense);
+
+  std::vector<const Tensor*> blocks = {&context, &query, &bottom_out};
+  for (const Tensor& p : pooled) blocks.push_back(&p);
+  Tensor top_in = ConcatCols(blocks);
+  Tensor logits =
+      cache ? top_.Forward(top_in) : top_.ForwardInference(top_in);
+
+  if (cache) {
+    cached_bottom_out_ = std::move(bottom_out);
+    cached_pooled_ = std::move(pooled);
+    cached_query_ = std::move(query);
+    cached_seq_ = std::move(seq);
+  }
+  return logits;
+}
+
+StepResult Tbsm::ForwardBackwardOn(
+    const MiniBatch& batch, const std::vector<EmbeddingTable*>& tables) {
+  std::vector<const EmbeddingTable*> ctables(tables.begin(), tables.end());
+  Tensor logits = ForwardImpl(batch, ctables, /*cache=*/true);
+  BceResult bce = BceWithLogits(logits, batch.labels);
+
+  const size_t d = schema_.embedding_dim;
+  Tensor g_top_in = top_.Backward(bce.grad_logits);
+  std::vector<size_t> widths(2 + schema_.num_tables(), d);
+  std::vector<Tensor> split = SplitCols(g_top_in, widths);
+  Tensor& g_context = split[0];
+  Tensor& g_query = split[1];
+  Tensor& g_bottom = split[2];
+
+  bottom_.Backward(g_bottom);
+
+  DotAttention::BackwardResult attn = attention_.Backward(g_context);
+  // Total query gradient: direct concat path + attention path.
+  g_query.Add(attn.grad_query);
+
+  // Per-timestep MLP backward over the stacked history gradients.
+  size_t total_hist = 0;
+  for (const SequenceView& v : cached_seq_) total_hist += v.history_len;
+  Tensor stacked_grad(total_hist, d);
+  {
+    size_t row = 0;
+    for (size_t i = 0; i < batch.batch_size(); ++i) {
+      const Tensor& gh = attn.grad_history[i];
+      for (size_t j = 0; j < gh.rows(); ++j) {
+        std::copy(gh.row(j), gh.row(j) + d, stacked_grad.row(row++));
+      }
+    }
+  }
+  Tensor raw_hist_grad =
+      step_mlp_ ? step_mlp_->Backward(stacked_grad) : stacked_grad;
+
+  StepResult result;
+  result.loss = bce.mean_loss;
+  result.correct = bce.correct;
+  result.batch_size = batch.batch_size();
+  result.table_grads.resize(schema_.num_tables());
+
+  // Item table: scatter history and target gradients.
+  SparseGrad& item_grad = result.table_grads[0];
+  item_grad.dim = d;
+  const std::vector<uint32_t>& item_idx = batch.indices[0];
+  size_t hist_row = 0;
+  for (size_t i = 0; i < batch.batch_size(); ++i) {
+    const SequenceView& v = cached_seq_[i];
+    for (uint32_t j = 0; j < v.history_len; ++j) {
+      const uint32_t row = item_idx[v.begin + j];
+      auto [it, inserted] =
+          item_grad.rows.try_emplace(row, std::vector<float>(d, 0.0f));
+      const float* g = raw_hist_grad.row(hist_row++);
+      for (size_t k = 0; k < d; ++k) it->second[k] += g[k];
+    }
+    const uint32_t trow = item_idx[v.target];
+    auto [it, inserted] =
+        item_grad.rows.try_emplace(trow, std::vector<float>(d, 0.0f));
+    const float* g = g_query.row(i);
+    for (size_t k = 0; k < d; ++k) it->second[k] += g[k];
+  }
+
+  // Remaining tables via the bag backward.
+  for (size_t t = 1; t < schema_.num_tables(); ++t) {
+    result.table_grads[t] = EmbeddingBag::Backward(
+        split[2 + t], batch.indices[t], batch.offsets[t], d);
+  }
+  return result;
+}
+
+Tensor Tbsm::EvalLogits(const MiniBatch& batch) const {
+  std::vector<const EmbeddingTable*> ctables;
+  ctables.reserve(tables_.size());
+  for (const EmbeddingTable& t : tables_) ctables.push_back(&t);
+  // ForwardImpl only mutates caches when cache=true, so the const_cast is
+  // safe for the inference path.
+  return const_cast<Tbsm*>(this)->ForwardImpl(batch, ctables,
+                                              /*cache=*/false);
+}
+
+std::vector<Parameter*> Tbsm::DenseParams() {
+  std::vector<Parameter*> params = bottom_.Params();
+  for (Parameter* p : top_.Params()) params.push_back(p);
+  if (step_mlp_) {
+    for (Parameter* p : step_mlp_->Params()) params.push_back(p);
+  }
+  return params;
+}
+
+BatchWork Tbsm::Work(const MiniBatch& batch) const {
+  BatchWork w;
+  const size_t b = batch.batch_size();
+  w.batch_size = b;
+  const size_t d = schema_.embedding_dim;
+  w.forward_flops = bottom_.ForwardFlops(b) + top_.ForwardFlops(b);
+  // Per-timestep MLP runs once per history element.
+  if (step_mlp_) {
+    w.forward_flops += step_mlp_->ForwardFlops(batch.indices[0].size());
+  }
+  // Attention: scores + context, ~4*T*d FLOPs per sample.
+  w.forward_flops += 4ULL * batch.indices[0].size() * d;
+  w.embedding_read_bytes = batch.TotalLookups() * d * sizeof(float);
+  w.embedding_activation_bytes =
+      static_cast<uint64_t>(b) * (2 + schema_.num_tables()) * d *
+      sizeof(float);
+  w.dense_param_count = bottom_.NumParams() + top_.NumParams();
+  for (size_t t = 0; t < schema_.num_tables(); ++t) {
+    std::unordered_set<uint32_t> distinct(batch.indices[t].begin(),
+                                          batch.indices[t].end());
+    w.touched_rows += distinct.size();
+    w.per_table_lookups.push_back(batch.indices[t].size());
+    w.per_table_touched.push_back(distinct.size());
+  }
+  w.touched_bytes = w.touched_rows * d * sizeof(float);
+  return w;
+}
+
+}  // namespace fae

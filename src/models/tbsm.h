@@ -1,0 +1,74 @@
+#ifndef FAE_MODELS_TBSM_H_
+#define FAE_MODELS_TBSM_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "models/model_config.h"
+#include "models/rec_model.h"
+#include "tensor/attention.h"
+#include "tensor/mlp.h"
+
+namespace fae {
+
+/// Time-Based Sequence Model (Ishkhanov et al., the paper's RMC1):
+/// DLRM-style embedding + MLP stack augmented with a deep attention layer
+/// over each user's item history.
+///
+/// Input convention for sequential schemas: table 0 is the item table and
+/// `indices[0]` carries the user's history with the *target* item last;
+/// earlier entries (or, for singleton sequences, the target itself) form
+/// the attention keys. Remaining tables contribute one pooled lookup each.
+class Tbsm : public RecModel {
+ public:
+  Tbsm(const DatasetSchema& schema, const ModelConfig& config, uint64_t seed);
+
+  StepResult ForwardBackwardOn(
+      const MiniBatch& batch,
+      const std::vector<EmbeddingTable*>& tables) override;
+
+  Tensor EvalLogits(const MiniBatch& batch) const override;
+
+  std::vector<Parameter*> DenseParams() override;
+  std::vector<EmbeddingTable>& tables() override { return tables_; }
+  const std::vector<EmbeddingTable>& tables() const override {
+    return tables_;
+  }
+  size_t embedding_dim() const override { return schema_.embedding_dim; }
+  BatchWork Work(const MiniBatch& batch) const override;
+
+ private:
+  struct SequenceView {
+    // Per-sample positions into batch.indices[0].
+    uint32_t begin = 0;   // first history index
+    uint32_t target = 0;  // position of the target item
+    uint32_t history_len = 0;
+  };
+
+  static std::vector<SequenceView> SplitSequences(const MiniBatch& batch);
+
+  Tensor ForwardImpl(const MiniBatch& batch,
+                     const std::vector<const EmbeddingTable*>& tables,
+                     bool cache);
+
+  DatasetSchema schema_;
+  ModelConfig config_;
+  Mlp bottom_;
+  Mlp top_;
+  /// Per-timestep transform over history embeddings (identity when the
+  /// config leaves step_mlp empty).
+  std::optional<Mlp> step_mlp_;
+  std::vector<EmbeddingTable> tables_;
+
+  // Forward caches consumed by the following backward (cache=true only).
+  DotAttention attention_;
+  Tensor cached_bottom_out_;
+  std::vector<Tensor> cached_pooled_;  // tables 1..T-1
+  Tensor cached_query_;
+  std::vector<SequenceView> cached_seq_;
+};
+
+}  // namespace fae
+
+#endif  // FAE_MODELS_TBSM_H_

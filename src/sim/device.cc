@@ -1,0 +1,91 @@
+#include "sim/device.h"
+
+namespace fae {
+
+DeviceSpec MakeXeonSilver4116() {
+  DeviceSpec d;
+  d.name = "Intel Xeon Silver 4116";
+  d.kind = DeviceSpec::Kind::kCpu;
+  // 12 cores x 2.1 GHz x AVX-512 (2x FMA uncommon on Silver; one 512-bit
+  // FMA unit -> 32 fp32 FLOP/cycle/core) ~= 0.8 TFLOP/s peak.
+  d.peak_flops = 0.8e12;
+  d.dense_efficiency = 0.35;
+  // 6 DDR4-2666 channels ~= 128 GB/s peak; random gathers fare poorly.
+  d.mem_bandwidth = 128e9;
+  d.stream_efficiency = 0.5;
+  d.gather_efficiency = 0.12;
+  d.sparse_update_overhead = 12.0;
+  d.mem_capacity = 768ULL << 30;  // Table II: 768 GB
+  d.busy_watts = 85.0;
+  d.idle_watts = 30.0;
+  return d;
+}
+
+DeviceSpec MakeTeslaV100() {
+  DeviceSpec d;
+  d.name = "Nvidia Tesla V100-16GB";
+  d.kind = DeviceSpec::Kind::kGpu;
+  d.peak_flops = 14e12;  // fp32
+  d.dense_efficiency = 0.45;
+  d.half_batch = 1024;
+  d.mem_bandwidth = 900e9;  // HBM2
+  d.stream_efficiency = 0.7;
+  d.gather_efficiency = 0.35;
+  d.mem_capacity = 16ULL << 30;
+  // Calibrated to the paper's measured per-GPU draw (~56-62 W, Table VI):
+  // a V100 held at P0 idles near 50 W, and the short, memory-bound,
+  // low-occupancy recommender kernels add only a few watts on top — the
+  // measured numbers sit just above P0 idle, and the baseline-vs-FAE gap
+  // tracks communication activity (LinkSpec::endpoint_active_watts).
+  d.busy_watts = 53.0;
+  d.idle_watts = 50.0;
+  return d;
+}
+
+LinkSpec MakePcieGen3x16() {
+  LinkSpec l;
+  l.name = "PCIe 3.0 x16";
+  l.bandwidth = 12e9;  // ~12 GB/s achievable of 16 GB/s raw
+  l.latency = 10e-6;
+  l.host_sync_seconds = 25e-6;
+  l.joules_per_byte = 60e-12;
+  l.endpoint_active_watts = 70.0;
+  return l;
+}
+
+LinkSpec MakeNvlink2() {
+  LinkSpec l;
+  l.name = "NVLink 2.0";
+  l.bandwidth = 130e9;  // achievable aggregate per GPU
+  l.latency = 5e-6;
+  l.joules_per_byte = 8e-12;
+  return l;
+}
+
+LinkSpec MakeDatacenterNetwork() {
+  LinkSpec l;
+  l.name = "100GbE RDMA";
+  l.bandwidth = 11e9;  // ~11 GB/s achievable of 12.5 GB/s raw
+  l.latency = 8e-6;
+  l.joules_per_byte = 100e-12;
+  return l;
+}
+
+SystemSpec MakePaperServer(int num_gpus) {
+  SystemSpec s;
+  s.cpu = MakeXeonSilver4116();
+  s.gpu = MakeTeslaV100();
+  s.num_gpus = num_gpus;
+  s.pcie = MakePcieGen3x16();
+  s.nvlink = MakeNvlink2();
+  s.network = MakeDatacenterNetwork();
+  return s;
+}
+
+SystemSpec MakeMultiNodeCluster(int num_nodes, int gpus_per_node) {
+  SystemSpec s = MakePaperServer(gpus_per_node);
+  s.num_nodes = num_nodes;
+  return s;
+}
+
+}  // namespace fae

@@ -1,0 +1,107 @@
+#ifndef FAE_SIM_DEVICE_H_
+#define FAE_SIM_DEVICE_H_
+
+#include <cstdint>
+#include <string>
+
+namespace fae {
+
+/// Analytic model of one compute device. The engine executes real training
+/// math on the host while *charging* each phase to a device through these
+/// rates (DESIGN.md §2: time is modeled, math is measured).
+struct DeviceSpec {
+  enum class Kind { kCpu, kGpu };
+
+  std::string name;
+  Kind kind = Kind::kCpu;
+
+  /// Peak dense-math throughput (fp32 FLOP/s).
+  double peak_flops = 0.0;
+  /// Achievable fraction of peak for MLP-sized GEMMs at full occupancy.
+  double dense_efficiency = 0.5;
+  /// Per-device batch size at which dense kernels reach half of
+  /// dense_efficiency: utilization = b / (b + half_batch). GPUs need
+  /// thousands of rows to fill their SMs (this is why the paper's Fig 15
+  /// speedups grow with the mini-batch size); CPUs saturate immediately
+  /// (half_batch = 0).
+  double half_batch = 0.0;
+
+  /// Peak memory bandwidth (bytes/s).
+  double mem_bandwidth = 0.0;
+  /// Achievable fraction of peak for streaming access (optimizer sweeps).
+  double stream_efficiency = 0.6;
+  /// Achievable fraction of peak for random row gathers (embedding
+  /// lookups); low on CPUs, higher on GPUs whose HBM tolerates scatter.
+  double gather_efficiency = 0.2;
+
+  /// Multiplier on sparse-optimizer time beyond the raw byte cost. CPUs
+  /// pay a large framework scatter/read-modify-write penalty for sparse
+  /// SGD (the paper: the optimizer "is massively parallel and therefore is
+  /// not well suited for CPU execution", dominating baseline time in
+  /// Fig 14); GPUs apply the same update as one parallel scatter.
+  double sparse_update_overhead = 1.0;
+
+  uint64_t mem_capacity = 0;  // bytes
+
+  /// Power draw when executing (W) and when idle-but-powered (W).
+  double busy_watts = 0.0;
+  double idle_watts = 0.0;
+};
+
+/// Point-to-point interconnect model.
+struct LinkSpec {
+  std::string name;
+  double bandwidth = 0.0;  // bytes/s
+  double latency = 0.0;    // seconds per message
+  /// Host-side cost of each transfer event (stream synchronization,
+  /// copy-engine launch, pinned-buffer staging). Paid once per message on
+  /// host-mediated links; zero for device-initiated links (NVLink). This
+  /// fixed per-event cost is what makes per-batch CPU round trips (the
+  /// baseline, and cache misses) expensive even when payloads are small.
+  double host_sync_seconds = 0.0;
+  double joules_per_byte = 0.0;
+  /// Extra power an endpoint GPU draws while the link is active (DMA
+  /// engines, memory controller, PHY, and clocks held at P0). This term is
+  /// what makes the baseline's chatty CPU<->GPU traffic expensive and
+  /// reproduces the paper's Table VI power gap ("primarily because of the
+  /// reduced communication costs between devices").
+  double endpoint_active_watts = 0.0;
+};
+
+/// The paper's server (Table II): Intel Xeon Silver 4116 + up to four
+/// NVLink-connected Tesla V100-16GB GPUs on PCIe 3.0 x16. Multi-node
+/// clusters (the paper's "multi-server scenario" extension) replicate this
+/// server `num_nodes` times over `network`.
+struct SystemSpec {
+  DeviceSpec cpu;
+  DeviceSpec gpu;
+  /// GPUs per node.
+  int num_gpus = 1;
+  /// Nodes in the cluster; 1 reproduces the paper's single server.
+  int num_nodes = 1;
+  LinkSpec pcie;     // CPU <-> GPU
+  LinkSpec nvlink;   // GPU <-> GPU, intra-node
+  LinkSpec network;  // node <-> node (only used when num_nodes > 1)
+
+  /// Total data-parallel ranks.
+  int WorldSize() const { return num_gpus * num_nodes; }
+
+  /// Per-GPU memory the operator allows for hot embeddings (the paper's
+  /// L; §III-A3 finds L = 256 MB suffices for every dataset).
+  uint64_t hot_embedding_budget = 256ULL << 20;
+};
+
+/// Table II presets.
+DeviceSpec MakeXeonSilver4116();
+DeviceSpec MakeTeslaV100();
+LinkSpec MakePcieGen3x16();
+LinkSpec MakeNvlink2();
+/// 100 Gb/s RDMA-style datacenter interconnect.
+LinkSpec MakeDatacenterNetwork();
+SystemSpec MakePaperServer(int num_gpus);
+/// `num_nodes` paper servers joined by MakeDatacenterNetwork().
+SystemSpec MakeMultiNodeCluster(int num_nodes, int gpus_per_node);
+
+}  // namespace fae
+
+#endif  // FAE_SIM_DEVICE_H_

@@ -1,0 +1,74 @@
+#include "sim/timeline.h"
+
+#include "util/string_util.h"
+
+namespace fae {
+
+std::string_view PhaseName(Phase phase) {
+  switch (phase) {
+    case Phase::kEmbeddingForward:
+      return "embedding_forward";
+    case Phase::kMlpForward:
+      return "mlp_forward";
+    case Phase::kMlpBackward:
+      return "mlp_backward";
+    case Phase::kEmbeddingBackward:
+      return "embedding_backward";
+    case Phase::kOptimizerDense:
+      return "optimizer_dense";
+    case Phase::kOptimizerSparse:
+      return "optimizer_sparse";
+    case Phase::kCpuGpuTransfer:
+      return "cpu_gpu_transfer";
+    case Phase::kAllReduce:
+      return "all_reduce";
+    case Phase::kEmbeddingSync:
+      return "embedding_sync";
+    case Phase::kNetwork:
+      return "inter_node_comm";
+    case Phase::kNumPhases:
+      break;
+  }
+  return "unknown";
+}
+
+double Timeline::PhaseSumSeconds() const {
+  double total = 0.0;
+  for (double s : seconds_) total += s;
+  return total;
+}
+
+double Timeline::TotalSeconds() const {
+  return wall_seconds_ > 0.0 ? wall_seconds_ : PhaseSumSeconds();
+}
+
+void Timeline::Merge(const Timeline& other) {
+  for (size_t i = 0; i < seconds_.size(); ++i) {
+    seconds_[i] += other.seconds_[i];
+  }
+  wall_seconds_ += other.wall_seconds_;
+  cpu_busy_ += other.cpu_busy_;
+  gpu_busy_ += other.gpu_busy_;
+  pcie_bytes_ += other.pcie_bytes_;
+  nvlink_bytes_ += other.nvlink_bytes_;
+  network_bytes_ += other.network_bytes_;
+}
+
+std::string Timeline::Report() const {
+  const double total = TotalSeconds();
+  std::string out = StrFormat("total %s\n", HumanSeconds(total).c_str());
+  for (int i = 0; i < static_cast<int>(Phase::kNumPhases); ++i) {
+    if (seconds_[i] == 0.0) continue;
+    out += StrFormat("  %-20s %12s  %5.1f%%\n",
+                     std::string(PhaseName(static_cast<Phase>(i))).c_str(),
+                     HumanSeconds(seconds_[i]).c_str(),
+                     total > 0 ? 100.0 * seconds_[i] / total : 0.0);
+  }
+  out += StrFormat("  pcie %s, nvlink %s, network %s\n",
+                   HumanBytes(pcie_bytes_).c_str(),
+                   HumanBytes(nvlink_bytes_).c_str(),
+                   HumanBytes(network_bytes_).c_str());
+  return out;
+}
+
+}  // namespace fae

@@ -1,0 +1,91 @@
+#ifndef FAE_SIM_TIMELINE_H_
+#define FAE_SIM_TIMELINE_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace fae {
+
+/// Training-phase taxonomy used in the paper's latency breakdown (Fig 14).
+enum class Phase : int {
+  kEmbeddingForward = 0,   // embedding bag lookups + pooling
+  kMlpForward,             // bottom/top MLP (and attention) forward
+  kMlpBackward,            // dense backward
+  kEmbeddingBackward,      // scatter of embedding gradients
+  kOptimizerDense,         // SGD over MLP parameters
+  kOptimizerSparse,        // SGD over touched embedding rows
+  kCpuGpuTransfer,         // activations/gradients over PCIe
+  kAllReduce,              // gradient all-reduce over NVLink
+  kEmbeddingSync,          // FAE-only: hot-table sync at hot<->cold swaps
+  kNetwork,                // inter-node traffic (multi-node clusters only)
+  kNumPhases,
+};
+
+std::string_view PhaseName(Phase phase);
+
+/// Accumulates modeled seconds per phase plus per-device busy time and
+/// link traffic, from which wall time, breakdowns (Fig 14), communication
+/// tables (Table V) and power (Table VI) are derived.
+class Timeline {
+ public:
+  void Charge(Phase phase, double seconds) {
+    seconds_[static_cast<int>(phase)] += seconds;
+  }
+
+  /// Also attributes the time as busy time on CPU or GPU.
+  void ChargeCpu(Phase phase, double seconds) {
+    Charge(phase, seconds);
+    cpu_busy_ += seconds;
+  }
+  void ChargeGpu(Phase phase, double seconds) {
+    Charge(phase, seconds);
+    gpu_busy_ += seconds;
+  }
+
+  void AddPcieBytes(uint64_t bytes) { pcie_bytes_ += bytes; }
+  void AddNvlinkBytes(uint64_t bytes) { nvlink_bytes_ += bytes; }
+  void AddNetworkBytes(uint64_t bytes) { network_bytes_ += bytes; }
+
+  double seconds(Phase phase) const {
+    return seconds_[static_cast<int>(phase)];
+  }
+
+  /// Records explicit wall-clock time for overlapped execution models
+  /// (pipelined baselines), where the wall is shorter than the phase sum
+  /// because CPU and GPU phases run concurrently.
+  void AddWallSeconds(double seconds) { wall_seconds_ += seconds; }
+
+  /// Modeled wall-clock: the explicit wall time when any was recorded
+  /// (overlapped execution), otherwise the sum of all phases (the default
+  /// synchronous pipeline).
+  double TotalSeconds() const;
+
+  /// Sum of per-phase seconds regardless of overlap (total device work).
+  double PhaseSumSeconds() const;
+
+  double cpu_busy_seconds() const { return cpu_busy_; }
+  double gpu_busy_seconds() const { return gpu_busy_; }
+  uint64_t pcie_bytes() const { return pcie_bytes_; }
+  uint64_t nvlink_bytes() const { return nvlink_bytes_; }
+  uint64_t network_bytes() const { return network_bytes_; }
+
+  void Merge(const Timeline& other);
+
+  /// Multi-line per-phase report with percentages.
+  std::string Report() const;
+
+ private:
+  std::array<double, static_cast<int>(Phase::kNumPhases)> seconds_{};
+  double wall_seconds_ = 0.0;
+  double cpu_busy_ = 0.0;
+  double gpu_busy_ = 0.0;
+  uint64_t pcie_bytes_ = 0;
+  uint64_t nvlink_bytes_ = 0;
+  uint64_t network_bytes_ = 0;
+};
+
+}  // namespace fae
+
+#endif  // FAE_SIM_TIMELINE_H_

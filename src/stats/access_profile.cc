@@ -1,0 +1,92 @@
+#include "stats/access_profile.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "util/logging.h"
+
+namespace fae {
+
+AccessProfile::AccessProfile(std::vector<uint64_t> table_rows) {
+  counts_.reserve(table_rows.size());
+  for (uint64_t rows : table_rows) {
+    counts_.emplace_back(rows, 0);
+  }
+  table_totals_.assign(table_rows.size(), 0);
+}
+
+Status AccessProfile::Merge(const AccessProfile& other) {
+  if (other.counts_.size() != counts_.size()) {
+    return Status::InvalidArgument("profile table count mismatch");
+  }
+  for (size_t t = 0; t < counts_.size(); ++t) {
+    if (other.counts_[t].size() != counts_[t].size()) {
+      return Status::InvalidArgument("profile table row mismatch");
+    }
+    for (size_t r = 0; r < counts_[t].size(); ++r) {
+      counts_[t][r] += other.counts_[t][r];
+    }
+    table_totals_[t] += other.table_totals_[t];
+  }
+  return Status::OK();
+}
+
+uint64_t AccessProfile::grand_total() const {
+  uint64_t total = 0;
+  for (uint64_t t : table_totals_) total += t;
+  return total;
+}
+
+uint64_t AccessProfile::EntriesAtOrAbove(size_t table,
+                                         uint64_t threshold_count) const {
+  FAE_CHECK_LT(table, counts_.size());
+  uint64_t n = 0;
+  for (uint64_t c : counts_[table]) {
+    if (c >= threshold_count) ++n;
+  }
+  return n;
+}
+
+double AccessProfile::TopShare(size_t table, double top_fraction) const {
+  FAE_CHECK_LT(table, counts_.size());
+  FAE_CHECK_GT(top_fraction, 0.0);
+  FAE_CHECK_LE(top_fraction, 1.0);
+  if (table_totals_[table] == 0) return 0.0;
+  std::vector<uint64_t> sorted = counts_[table];
+  std::sort(sorted.begin(), sorted.end(), std::greater<uint64_t>());
+  const size_t take = std::max<size_t>(
+      1, static_cast<size_t>(std::llround(top_fraction *
+                                          static_cast<double>(sorted.size()))));
+  uint64_t captured = 0;
+  for (size_t i = 0; i < take && i < sorted.size(); ++i) captured += sorted[i];
+  return static_cast<double>(captured) /
+         static_cast<double>(table_totals_[table]);
+}
+
+double AccessProfile::Gini(size_t table) const {
+  FAE_CHECK_LT(table, counts_.size());
+  const uint64_t total = table_totals_[table];
+  const size_t n = counts_[table].size();
+  if (total == 0 || n == 0) return 0.0;
+  std::vector<uint64_t> sorted = counts_[table];
+  std::sort(sorted.begin(), sorted.end());
+  // G = (2 * sum_i i*x_i) / (n * sum_i x_i) - (n + 1) / n, 1-based i over
+  // ascending x.
+  double weighted = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    weighted += static_cast<double>(i + 1) * static_cast<double>(sorted[i]);
+  }
+  return 2.0 * weighted /
+             (static_cast<double>(n) * static_cast<double>(total)) -
+         (static_cast<double>(n) + 1.0) / static_cast<double>(n);
+}
+
+Histogram AccessProfile::CountHistogram(size_t table) const {
+  FAE_CHECK_LT(table, counts_.size());
+  Histogram h;
+  for (uint64_t c : counts_[table]) h.Add(c);
+  return h;
+}
+
+}  // namespace fae

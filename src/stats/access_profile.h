@@ -1,0 +1,65 @@
+#ifndef FAE_STATS_ACCESS_PROFILE_H_
+#define FAE_STATS_ACCESS_PROFILE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/histogram.h"
+#include "util/status.h"
+
+namespace fae {
+
+/// Per-entry access counts for every embedding table of a model — the data
+/// structure the paper's Embedding Logger (§III-A2) produces from the
+/// sampled inputs and the Embedding Classifier consumes.
+class AccessProfile {
+ public:
+  /// `table_rows[z]` is the number of entries of embedding table z.
+  explicit AccessProfile(std::vector<uint64_t> table_rows);
+
+  size_t num_tables() const { return counts_.size(); }
+  uint64_t table_rows(size_t table) const { return counts_[table].size(); }
+
+  /// Increments the access count of (`table`, `row`).
+  void Record(size_t table, uint64_t row) {
+    ++counts_[table][row];
+    ++table_totals_[table];
+  }
+
+  /// Adds another profile over the same shape into this one.
+  Status Merge(const AccessProfile& other);
+
+  const std::vector<uint64_t>& counts(size_t table) const {
+    return counts_[table];
+  }
+
+  /// Total accesses recorded against `table`.
+  uint64_t table_total(size_t table) const { return table_totals_[table]; }
+
+  /// Total accesses across all tables.
+  uint64_t grand_total() const;
+
+  /// Number of entries of `table` with count >= `threshold_count`.
+  uint64_t EntriesAtOrAbove(size_t table, uint64_t threshold_count) const;
+
+  /// Share of `table`'s accesses captured by its `top_fraction` most
+  /// accessed entries (0 < top_fraction <= 1). Sorts a copy; intended for
+  /// analysis/benchmarks, not hot paths.
+  double TopShare(size_t table, double top_fraction) const;
+
+  /// Log-scale histogram of this table's per-entry counts (Fig 7 shape).
+  Histogram CountHistogram(size_t table) const;
+
+  /// Gini coefficient of `table`'s access distribution: 0 = perfectly
+  /// uniform, ->1 = all accesses on one entry. A scale-free skew summary
+  /// for reports (the paper's "heavily skewed" in one number).
+  double Gini(size_t table) const;
+
+ private:
+  std::vector<std::vector<uint64_t>> counts_;
+  std::vector<uint64_t> table_totals_;
+};
+
+}  // namespace fae
+
+#endif  // FAE_STATS_ACCESS_PROFILE_H_

@@ -1,0 +1,35 @@
+#ifndef FAE_STATS_DESCRIPTIVE_H_
+#define FAE_STATS_DESCRIPTIVE_H_
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace fae {
+
+/// Arithmetic mean; 0 for an empty range.
+template <typename T>
+double Mean(const std::vector<T>& v) {
+  if (v.empty()) return 0.0;
+  double sum = 0.0;
+  for (const T& x : v) sum += static_cast<double>(x);
+  return sum / static_cast<double>(v.size());
+}
+
+/// Unbiased (n-1) sample standard deviation; 0 for fewer than 2 samples.
+/// This is the `s` of the paper's Eq 5/6.
+template <typename T>
+double SampleStdDev(const std::vector<T>& v) {
+  if (v.size() < 2) return 0.0;
+  const double mu = Mean(v);
+  double ss = 0.0;
+  for (const T& x : v) {
+    const double d = static_cast<double>(x) - mu;
+    ss += d * d;
+  }
+  return std::sqrt(ss / static_cast<double>(v.size() - 1));
+}
+
+}  // namespace fae
+
+#endif  // FAE_STATS_DESCRIPTIVE_H_

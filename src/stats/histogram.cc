@@ -1,0 +1,74 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace fae {
+namespace {
+
+// Bucket 0: value 0. Bucket i>=1: [2^(i-1), 2^i - 1].
+size_t BucketIndex(uint64_t value) {
+  if (value == 0) return 0;
+  return 64 - static_cast<size_t>(__builtin_clzll(value));
+}
+
+constexpr size_t kNumBuckets = 65;
+
+}  // namespace
+
+Histogram::Histogram() : buckets_(kNumBuckets, 0) {}
+
+void Histogram::Add(uint64_t value) {
+  buckets_[BucketIndex(value)]++;
+  ++total_;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (size_t i = 0; i < kNumBuckets; ++i) buckets_[i] += other.buckets_[i];
+  total_ += other.total_;
+}
+
+uint64_t Histogram::BucketLowerBound(size_t i) {
+  if (i == 0) return 0;
+  return 1ULL << (i - 1);
+}
+
+uint64_t Histogram::ApproximateQuantile(double q) const {
+  if (total_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total_);
+  double cum = 0.0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    cum += static_cast<double>(buckets_[i]);
+    if (cum >= target) return BucketLowerBound(i);
+  }
+  return BucketLowerBound(kNumBuckets - 1);
+}
+
+double Histogram::ShapeDistance(const Histogram& a, const Histogram& b) {
+  if (a.total_ == 0 || b.total_ == 0) return 2.0;
+  double d = 0.0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    const double pa = static_cast<double>(a.buckets_[i]) /
+                      static_cast<double>(a.total_);
+    const double pb = static_cast<double>(b.buckets_[i]) /
+                      static_cast<double>(b.total_);
+    d += std::fabs(pa - pb);
+  }
+  return d;
+}
+
+std::string Histogram::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    if (buckets_[i] == 0) continue;
+    out += StrFormat("[>=%llu] %llu\n",
+                     static_cast<unsigned long long>(BucketLowerBound(i)),
+                     static_cast<unsigned long long>(buckets_[i]));
+  }
+  return out;
+}
+
+}  // namespace fae

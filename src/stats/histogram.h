@@ -1,0 +1,47 @@
+#ifndef FAE_STATS_HISTOGRAM_H_
+#define FAE_STATS_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fae {
+
+/// Log-scale histogram of non-negative counts, used to summarize embedding
+/// access profiles (Fig 7) and to compare the sampled vs full-dataset
+/// access signatures.
+class Histogram {
+ public:
+  /// Buckets are [0], [1], [2,3], [4,7], ... doubling widths up to 2^62.
+  Histogram();
+
+  void Add(uint64_t value);
+  void Merge(const Histogram& other);
+
+  uint64_t total_count() const { return total_; }
+
+  /// Bucket boundaries and occupancy, for reporting.
+  const std::vector<uint64_t>& bucket_counts() const { return buckets_; }
+
+  /// Lower bound of bucket `i`.
+  static uint64_t BucketLowerBound(size_t i);
+
+  /// Approximate quantile (0 <= q <= 1) by linear walk over buckets; exact
+  /// for values that fall on bucket boundaries.
+  uint64_t ApproximateQuantile(double q) const;
+
+  /// L1 distance between the two histograms' normalized bucket masses —
+  /// 0 for identical shapes, 2 for disjoint. Used to verify that a 5 %
+  /// sample reproduces the full access profile (paper Fig 7).
+  static double ShapeDistance(const Histogram& a, const Histogram& b);
+
+  std::string ToString() const;
+
+ private:
+  std::vector<uint64_t> buckets_;
+  uint64_t total_ = 0;
+};
+
+}  // namespace fae
+
+#endif  // FAE_STATS_HISTOGRAM_H_

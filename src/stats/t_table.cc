@@ -1,0 +1,102 @@
+#include "stats/t_table.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace fae {
+namespace {
+
+// Regularized incomplete beta function I_x(a, b) via the continued-fraction
+// expansion (Numerical Recipes, "betacf"/"betai").
+double BetaContinuedFraction(double a, double b, double x) {
+  constexpr int kMaxIter = 300;
+  constexpr double kEps = 3e-14;
+  constexpr double kFpMin = 1e-300;
+
+  const double qab = a + b;
+  const double qap = a + 1.0;
+  const double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::fabs(d) < kFpMin) d = kFpMin;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIter; ++m) {
+    const int m2 = 2 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < kEps) break;
+  }
+  return h;
+}
+
+double RegularizedIncompleteBeta(double a, double b, double x) {
+  if (x <= 0.0) return 0.0;
+  if (x >= 1.0) return 1.0;
+  const double ln_front = std::lgamma(a + b) - std::lgamma(a) -
+                          std::lgamma(b) + a * std::log(x) +
+                          b * std::log(1.0 - x);
+  const double front = std::exp(ln_front);
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * BetaContinuedFraction(a, b, x) / a;
+  }
+  return 1.0 - front * BetaContinuedFraction(b, a, 1.0 - x) / b;
+}
+
+}  // namespace
+
+double StudentTCdf(double t, double df) {
+  FAE_CHECK_GT(df, 0.0);
+  if (t == 0.0) return 0.5;
+  const double x = df / (df + t * t);
+  const double p = 0.5 * RegularizedIncompleteBeta(df / 2.0, 0.5, x);
+  return t > 0.0 ? 1.0 - p : p;
+}
+
+namespace {
+
+// Smallest c with StudentTCdf(c, df) = target, by bisection.
+double UpperQuantile(double target, double df) {
+  double lo = 0.0;
+  double hi = 1.0;
+  while (StudentTCdf(hi, df) < target) hi *= 2.0;  // bracket
+  for (int i = 0; i < 200; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (StudentTCdf(mid, df) < target) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace
+
+double TwoSidedTCritical(double confidence, double df) {
+  FAE_CHECK_GT(confidence, 0.0);
+  FAE_CHECK_LT(confidence, 1.0);
+  return UpperQuantile(1.0 - (1.0 - confidence) / 2.0, df);
+}
+
+double OneSidedTCritical(double confidence, double df) {
+  FAE_CHECK_GT(confidence, 0.5);
+  FAE_CHECK_LT(confidence, 1.0);
+  return UpperQuantile(confidence, df);
+}
+
+}  // namespace fae

@@ -1,0 +1,26 @@
+#ifndef FAE_STATS_T_TABLE_H_
+#define FAE_STATS_T_TABLE_H_
+
+namespace fae {
+
+/// CDF of Student's t distribution with `df` degrees of freedom, evaluated
+/// at `t`. Computed through the regularized incomplete beta function.
+double StudentTCdf(double t, double df);
+
+/// Two-sided critical value t_{alpha/2}: the value c such that
+/// P(|T| <= c) = confidence for Student's t with `df` degrees of freedom.
+///
+/// For confidence = 0.999, df = 34 this returns ~3.601.
+double TwoSidedTCritical(double confidence, double df);
+
+/// One-sided critical value: c such that P(T <= c) = confidence.
+///
+/// The paper's Eq 6 quotes t_{alpha/2} = 3.340 for "99.9% confidence and
+/// n = 35"; that value is the one-sided 99.9% quantile with df = 35
+/// (t-tables list it as t_{0.001, 35} = 3.340), so the Rand-Em Box follows
+/// that convention.
+double OneSidedTCritical(double confidence, double df);
+
+}  // namespace fae
+
+#endif  // FAE_STATS_T_TABLE_H_

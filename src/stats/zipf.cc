@@ -1,0 +1,69 @@
+#include "stats/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace fae {
+namespace {
+
+// log1p(x)/x, continuous at 0.
+double Helper1(double x) { return x == 0.0 ? 1.0 : std::log1p(x) / x; }
+
+// expm1(x)/x, continuous at 0.
+double Helper2(double x) { return x == 0.0 ? 1.0 : std::expm1(x) / x; }
+
+}  // namespace
+
+ZipfSampler::ZipfSampler(uint64_t n, double exponent)
+    : n_(n), exponent_(exponent) {
+  FAE_CHECK_GE(n, 1u) << "Zipf support must be non-empty";
+  FAE_CHECK_GT(exponent, 0.0) << "Zipf exponent must be positive";
+  h_integral_x1_ = HIntegral(1.5) - 1.0;
+  h_integral_n_ = HIntegral(static_cast<double>(n) + 0.5);
+  s_ = 2.0 - HIntegralInverse(HIntegral(2.5) - H(2.0));
+}
+
+double ZipfSampler::HIntegral(double x) const {
+  const double log_x = std::log(x);
+  return Helper2((1.0 - exponent_) * log_x) * log_x;
+}
+
+double ZipfSampler::H(double x) const {
+  return std::exp(-exponent_ * std::log(x));
+}
+
+double ZipfSampler::HIntegralInverse(double x) const {
+  double t = x * (1.0 - exponent_);
+  if (t < -1.0) t = -1.0;  // Numerical guard per commons-math.
+  return std::exp(Helper1(t) * x);
+}
+
+uint64_t ZipfSampler::Sample(Xoshiro256& rng) const {
+  if (n_ == 1) return 0;
+  for (;;) {
+    const double u =
+        h_integral_n_ + rng.NextDouble() * (h_integral_x1_ - h_integral_n_);
+    const double x = HIntegralInverse(u);
+    // k in [1, n], 1-based.
+    double kd = std::floor(x + 0.5);
+    kd = std::clamp(kd, 1.0, static_cast<double>(n_));
+    const uint64_t k = static_cast<uint64_t>(kd);
+    if (kd - x <= s_ ||
+        u >= HIntegral(kd + 0.5) - H(kd)) {
+      return k - 1;  // zero-based rank
+    }
+  }
+}
+
+double ZipfSampler::Pmf(uint64_t k) const {
+  FAE_CHECK_LT(k, n_);
+  double norm = 0.0;
+  for (uint64_t i = 1; i <= n_; ++i) {
+    norm += std::pow(static_cast<double>(i), -exponent_);
+  }
+  return std::pow(static_cast<double>(k + 1), -exponent_) / norm;
+}
+
+}  // namespace fae

@@ -1,0 +1,50 @@
+#ifndef FAE_STATS_ZIPF_H_
+#define FAE_STATS_ZIPF_H_
+
+#include <cstdint>
+
+#include "util/random.h"
+
+namespace fae {
+
+/// Zipf(s) sampler over {0, .., n-1} using Hörmann-Derflinger
+/// rejection-inversion (the algorithm behind Apache Commons'
+/// RejectionInversionZipfSampler). O(1) per sample regardless of n, so it
+/// scales to the paper's 73M-row embedding tables.
+///
+/// P(k) ∝ 1 / (k+1)^s. Rank 0 is the most popular item. The skewed
+/// embedding-access patterns the paper exploits (§I: "accesses ... are
+/// heavily skewed", §V: "access patterns follow a Power or Zipfian
+/// distribution") are synthesized from this distribution.
+class ZipfSampler {
+ public:
+  /// `n` must be >= 1, `exponent` > 0.
+  ZipfSampler(uint64_t n, double exponent);
+
+  /// Draws one zero-based rank.
+  uint64_t Sample(Xoshiro256& rng) const;
+
+  uint64_t n() const { return n_; }
+  double exponent() const { return exponent_; }
+
+  /// Exact probability mass of rank `k` (computed with the normalization
+  /// constant; O(n) the first time via lazy harmonic evaluation is avoided —
+  /// this recomputes the generalized harmonic number each call and is meant
+  /// for tests on small n).
+  double Pmf(uint64_t k) const;
+
+ private:
+  double HIntegral(double x) const;
+  double H(double x) const;
+  double HIntegralInverse(double x) const;
+
+  uint64_t n_;
+  double exponent_;
+  double h_integral_x1_;
+  double h_integral_n_;
+  double s_;
+};
+
+}  // namespace fae
+
+#endif  // FAE_STATS_ZIPF_H_

@@ -1,0 +1,107 @@
+#include "tensor/attention.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace fae {
+
+Tensor DotAttention::Forward(const std::vector<Tensor>& history,
+                             const Tensor& query) {
+  FAE_CHECK_EQ(history.size(), query.rows());
+  const size_t b = history.size();
+  const size_t d = query.cols();
+  history_ = history;
+  query_ = query;
+  weights_.assign(b, {});
+
+  Tensor context(b, d);
+  const float scale = 1.0f / std::sqrt(static_cast<float>(d));
+  for (size_t i = 0; i < b; ++i) {
+    const Tensor& z = history_[i];
+    FAE_CHECK_EQ(z.cols(), d);
+    const size_t t_len = z.rows();
+    FAE_CHECK_GE(t_len, 1u);
+    std::vector<float>& a = weights_[i];
+    a.resize(t_len);
+    const float* q = query_.row(i);
+    // scores
+    float mx = -1e30f;
+    for (size_t t = 0; t < t_len; ++t) {
+      const float* zt = z.row(t);
+      float dot = 0.0f;
+      for (size_t k = 0; k < d; ++k) dot += zt[k] * q[k];
+      a[t] = dot * scale;
+      mx = std::max(mx, a[t]);
+    }
+    // softmax
+    float sum = 0.0f;
+    for (size_t t = 0; t < t_len; ++t) {
+      a[t] = std::exp(a[t] - mx);
+      sum += a[t];
+    }
+    for (size_t t = 0; t < t_len; ++t) a[t] /= sum;
+    // context
+    float* c = context.row(i);
+    for (size_t t = 0; t < t_len; ++t) {
+      const float* zt = z.row(t);
+      for (size_t k = 0; k < d; ++k) c[k] += a[t] * zt[k];
+    }
+  }
+  return context;
+}
+
+DotAttention::BackwardResult DotAttention::Backward(
+    const Tensor& grad_context) {
+  const size_t b = history_.size();
+  const size_t d = query_.cols();
+  FAE_CHECK_EQ(grad_context.rows(), b);
+  FAE_CHECK_EQ(grad_context.cols(), d);
+
+  BackwardResult out;
+  out.grad_history.reserve(b);
+  out.grad_query = Tensor(b, d);
+  const float scale = 1.0f / std::sqrt(static_cast<float>(d));
+
+  for (size_t i = 0; i < b; ++i) {
+    const Tensor& z = history_[i];
+    const size_t t_len = z.rows();
+    const std::vector<float>& a = weights_[i];
+    const float* dc = grad_context.row(i);
+    const float* q = query_.row(i);
+    Tensor dz(t_len, d);
+
+    // da_t = <dc, z_t>; also dZ_t += a_t * dc (context term).
+    std::vector<float> da(t_len);
+    for (size_t t = 0; t < t_len; ++t) {
+      const float* zt = z.row(t);
+      float* dzt = dz.row(t);
+      float dot = 0.0f;
+      for (size_t k = 0; k < d; ++k) {
+        dot += dc[k] * zt[k];
+        dzt[k] += a[t] * dc[k];
+      }
+      da[t] = dot;
+    }
+    // Softmax backward: ds = a ⊙ (da - <da, a>).
+    float inner = 0.0f;
+    for (size_t t = 0; t < t_len; ++t) inner += da[t] * a[t];
+    std::vector<float> ds(t_len);
+    for (size_t t = 0; t < t_len; ++t) ds[t] = a[t] * (da[t] - inner);
+    // Score backward: score_t = scale * <z_t, q>.
+    float* dq = out.grad_query.row(i);
+    for (size_t t = 0; t < t_len; ++t) {
+      const float* zt = z.row(t);
+      float* dzt = dz.row(t);
+      const float g = ds[t] * scale;
+      for (size_t k = 0; k < d; ++k) {
+        dq[k] += g * zt[k];
+        dzt[k] += g * q[k];
+      }
+    }
+    out.grad_history.push_back(std::move(dz));
+  }
+  return out;
+}
+
+}  // namespace fae

@@ -1,0 +1,45 @@
+#ifndef FAE_TENSOR_ATTENTION_H_
+#define FAE_TENSOR_ATTENTION_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace fae {
+
+/// Scaled dot-product attention of a per-sample query against that sample's
+/// history sequence — the TBSM "attention layer" (paper Table I, RMC1).
+///
+/// For sample i with history embeddings Z_i [T_i, d] and query q_i [d]:
+///   scores = Z_i q_i / sqrt(d);  a = softmax(scores);  c_i = Z_i^T a.
+/// Sequences may have different lengths across the batch.
+class DotAttention {
+ public:
+  struct BackwardResult {
+    /// dL/dZ_i for each sample, shaped like the forward inputs.
+    std::vector<Tensor> grad_history;
+    /// dL/dq, [B, d].
+    Tensor grad_query;
+  };
+
+  /// Computes contexts [B, d]; caches inputs and attention weights.
+  Tensor Forward(const std::vector<Tensor>& history, const Tensor& query);
+
+  /// Backward from dL/dcontext [B, d]. Must follow a Forward.
+  BackwardResult Backward(const Tensor& grad_context);
+
+  /// Attention weights of the last Forward, one [T_i]-vector per sample
+  /// (exposed for tests and introspection).
+  const std::vector<std::vector<float>>& last_weights() const {
+    return weights_;
+  }
+
+ private:
+  std::vector<Tensor> history_;
+  Tensor query_;
+  std::vector<std::vector<float>> weights_;
+};
+
+}  // namespace fae
+
+#endif  // FAE_TENSOR_ATTENTION_H_

@@ -1,0 +1,42 @@
+#include "tensor/linear.h"
+
+#include <cmath>
+
+#include "tensor/ops.h"
+
+namespace fae {
+
+Linear::Linear(size_t in, size_t out, Xoshiro256& rng, std::string name) {
+  const float stddev = std::sqrt(2.0f / static_cast<float>(in));
+  weight_.name = name + ".weight";
+  weight_.value = Tensor::Randn(in, out, stddev, rng);
+  weight_.grad = Tensor::Zeros(in, out);
+  bias_.name = name + ".bias";
+  bias_.value = Tensor::Zeros(1, out);
+  bias_.grad = Tensor::Zeros(1, out);
+}
+
+Tensor Linear::Forward(const Tensor& x) {
+  cached_input_ = x;
+  Tensor y = MatMul(x, weight_.value);
+  AddBiasRowwise(y, bias_.value);
+  return y;
+}
+
+Tensor Linear::ForwardInference(const Tensor& x) const {
+  Tensor y = MatMul(x, weight_.value);
+  AddBiasRowwise(y, bias_.value);
+  return y;
+}
+
+Tensor Linear::Backward(const Tensor& grad_out) {
+  FAE_CHECK_EQ(grad_out.rows(), cached_input_.rows());
+  FAE_CHECK_EQ(grad_out.cols(), weight_.value.cols());
+  weight_.grad.Add(MatMulTransA(cached_input_, grad_out));
+  bias_.grad.Add(ColumnSums(grad_out));
+  return MatMulTransB(grad_out, weight_.value);
+}
+
+std::vector<Parameter*> Linear::Params() { return {&weight_, &bias_}; }
+
+}  // namespace fae

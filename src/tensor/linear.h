@@ -1,0 +1,56 @@
+#ifndef FAE_TENSOR_LINEAR_H_
+#define FAE_TENSOR_LINEAR_H_
+
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace fae {
+
+/// A trainable tensor and its accumulated gradient.
+struct Parameter {
+  std::string name;
+  Tensor value;
+  Tensor grad;
+
+  size_t numel() const { return value.numel(); }
+};
+
+/// Fully-connected layer y = x W + b with manual backward.
+///
+/// W is [in, out], b is [1, out]. The layer caches the forward input so
+/// Backward can form weight gradients; one Forward must precede each
+/// Backward (standard training loop usage).
+class Linear {
+ public:
+  /// He-style initialization scaled for fan-in.
+  Linear(size_t in, size_t out, Xoshiro256& rng, std::string name = "linear");
+
+  /// y = x W + b; caches x.
+  Tensor Forward(const Tensor& x);
+
+  /// Accumulates dW, db and returns dL/dx.
+  Tensor Backward(const Tensor& grad_out);
+
+  /// Forward without caching (inference / evaluation path).
+  Tensor ForwardInference(const Tensor& x) const;
+
+  size_t in_features() const { return weight_.value.rows(); }
+  size_t out_features() const { return weight_.value.cols(); }
+
+  Parameter& weight() { return weight_; }
+  Parameter& bias() { return bias_; }
+
+  /// Pointers to this layer's parameters, for optimizers and all-reduce.
+  std::vector<Parameter*> Params();
+
+ private:
+  Parameter weight_;
+  Parameter bias_;
+  Tensor cached_input_;
+};
+
+}  // namespace fae
+
+#endif  // FAE_TENSOR_LINEAR_H_

@@ -1,0 +1,77 @@
+#include "tensor/mlp.h"
+
+#include "tensor/ops.h"
+#include "util/string_util.h"
+
+namespace fae {
+
+Mlp::Mlp(const std::vector<size_t>& dims, Xoshiro256& rng, std::string name) {
+  FAE_CHECK_GE(dims.size(), 2u) << "MLP needs at least one layer";
+  layers_.reserve(dims.size() - 1);
+  for (size_t i = 0; i + 1 < dims.size(); ++i) {
+    layers_.emplace_back(dims[i], dims[i + 1], rng,
+                         StrFormat("%s.%zu", name.c_str(), i));
+  }
+  pre_relu_.resize(layers_.size());
+}
+
+Tensor Mlp::Forward(const Tensor& x) {
+  Tensor h = x;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    h = layers_[i].Forward(h);
+    if (i + 1 < layers_.size()) {
+      pre_relu_[i] = h;
+      h = ReluForward(h);
+    }
+  }
+  return h;
+}
+
+Tensor Mlp::ForwardInference(const Tensor& x) const {
+  Tensor h = x;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    h = layers_[i].ForwardInference(h);
+    if (i + 1 < layers_.size()) h = ReluForward(h);
+  }
+  return h;
+}
+
+Tensor Mlp::Backward(const Tensor& grad_out) {
+  Tensor g = grad_out;
+  for (size_t i = layers_.size(); i-- > 0;) {
+    g = layers_[i].Backward(g);
+    if (i > 0) {
+      g = ReluBackward(g, pre_relu_[i - 1]);
+    }
+  }
+  return g;
+}
+
+std::vector<Parameter*> Mlp::Params() {
+  std::vector<Parameter*> out;
+  for (Linear& l : layers_) {
+    for (Parameter* p : l.Params()) out.push_back(p);
+  }
+  return out;
+}
+
+size_t Mlp::in_features() const { return layers_.front().in_features(); }
+size_t Mlp::out_features() const { return layers_.back().out_features(); }
+
+size_t Mlp::NumParams() const {
+  size_t n = 0;
+  for (const Linear& l : layers_) {
+    n += l.in_features() * l.out_features() + l.out_features();
+  }
+  return n;
+}
+
+uint64_t Mlp::ForwardFlops(size_t b) const {
+  uint64_t flops = 0;
+  for (const Linear& l : layers_) {
+    flops += 2ULL * b * l.in_features() * l.out_features();
+  }
+  return flops;
+}
+
+}  // namespace fae

@@ -1,0 +1,54 @@
+#ifndef FAE_TENSOR_MLP_H_
+#define FAE_TENSOR_MLP_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/linear.h"
+#include "tensor/tensor.h"
+
+namespace fae {
+
+/// Multi-layer perceptron with ReLU activations between layers.
+///
+/// `dims` lists the layer widths, e.g. {13, 512, 256, 64} builds three
+/// Linear layers (the paper's Table I "Bottom MLP 13-512-256-64" notation).
+/// The final layer's output is linear (no activation) — recommender heads
+/// feed it into a sigmoid/BCE loss.
+class Mlp {
+ public:
+  Mlp(const std::vector<size_t>& dims, Xoshiro256& rng,
+      std::string name = "mlp");
+
+  /// Caches activations for Backward.
+  Tensor Forward(const Tensor& x);
+
+  /// Returns dL/dx; accumulates layer parameter gradients.
+  Tensor Backward(const Tensor& grad_out);
+
+  /// Stateless evaluation path.
+  Tensor ForwardInference(const Tensor& x) const;
+
+  std::vector<Parameter*> Params();
+
+  size_t in_features() const;
+  size_t out_features() const;
+
+  /// Total trainable scalars — used by the cost model for all-reduce and
+  /// optimizer accounting.
+  size_t NumParams() const;
+
+  /// FLOPs of one forward pass at batch size `b` (2*m*k*n per layer).
+  uint64_t ForwardFlops(size_t b) const;
+
+ private:
+  std::vector<Linear> layers_;
+  // pre_relu_[i] holds layer i's linear output (backward needs it to gate
+  // the ReLU); set by Forward.
+  std::vector<Tensor> pre_relu_;
+};
+
+}  // namespace fae
+
+#endif  // FAE_TENSOR_MLP_H_

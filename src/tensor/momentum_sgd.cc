@@ -1,0 +1,34 @@
+#include "tensor/momentum_sgd.h"
+
+#include "util/logging.h"
+
+namespace fae {
+
+MomentumSgd::MomentumSgd(std::vector<Parameter*> params, float lr,
+                         float momentum)
+    : params_(std::move(params)), lr_(lr), momentum_(momentum) {
+  FAE_CHECK_GE(momentum_, 0.0f);
+  FAE_CHECK_LT(momentum_, 1.0f);
+  velocity_.reserve(params_.size());
+  for (Parameter* p : params_) {
+    velocity_.emplace_back(p->value.rows(), p->value.cols());
+  }
+}
+
+void MomentumSgd::Step() {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Parameter* p = params_[i];
+    Tensor& v = velocity_[i];
+    FAE_CHECK(v.SameShape(p->grad)) << "parameter set changed under optimizer";
+    v.Scale(momentum_);
+    v.Add(p->grad);
+    p->value.Axpy(-lr_, v);
+    p->grad.SetZero();
+  }
+}
+
+void MomentumSgd::ResetVelocity() {
+  for (Tensor& v : velocity_) v.SetZero();
+}
+
+}  // namespace fae

@@ -1,0 +1,38 @@
+#ifndef FAE_TENSOR_MOMENTUM_SGD_H_
+#define FAE_TENSOR_MOMENTUM_SGD_H_
+
+#include <vector>
+
+#include "tensor/linear.h"
+
+namespace fae {
+
+/// SGD with classical (heavy-ball) momentum over dense parameters:
+///   v <- mu * v + g;  w <- w - lr * v.
+///
+/// The parameter set is fixed at construction (velocity buffers are shaped
+/// then); passing a different set to Step is a programming error.
+class MomentumSgd {
+ public:
+  MomentumSgd(std::vector<Parameter*> params, float lr, float momentum);
+
+  /// Applies one update and clears the gradients.
+  void Step();
+
+  /// Resets the velocity buffers to zero.
+  void ResetVelocity();
+
+  float lr() const { return lr_; }
+  void set_lr(float lr) { lr_ = lr; }
+  float momentum() const { return momentum_; }
+
+ private:
+  std::vector<Parameter*> params_;
+  std::vector<Tensor> velocity_;
+  float lr_;
+  float momentum_;
+};
+
+}  // namespace fae
+
+#endif  // FAE_TENSOR_MOMENTUM_SGD_H_

@@ -1,0 +1,258 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace fae {
+
+Tensor MatMulNaive(const Tensor& a, const Tensor& b) {
+  FAE_CHECK_EQ(a.cols(), b.rows());
+  Tensor c(a.rows(), b.cols());
+  // i-k-j loop order keeps the inner loop streaming over contiguous rows.
+  for (size_t i = 0; i < a.rows(); ++i) {
+    const float* arow = a.row(i);
+    float* crow = c.row(i);
+    for (size_t k = 0; k < a.cols(); ++k) {
+      const float av = arow[k];
+      if (av == 0.0f) continue;
+      const float* brow = b.row(k);
+      for (size_t j = 0; j < b.cols(); ++j) {
+        crow[j] += av * brow[j];
+      }
+    }
+  }
+  return c;
+}
+
+Tensor MatMulBlocked(const Tensor& a, const Tensor& b) {
+  FAE_CHECK_EQ(a.cols(), b.rows());
+  Tensor c(a.rows(), b.cols());
+  // Tile sizes chosen so a kc x jc panel of B (~64 KB) stays L1/L2
+  // resident while the i loop streams over A.
+  constexpr size_t kKc = 128;
+  constexpr size_t kJc = 128;
+  const size_t m = a.rows();
+  const size_t k = a.cols();
+  const size_t n = b.cols();
+  for (size_t k0 = 0; k0 < k; k0 += kKc) {
+    const size_t k1 = std::min(k, k0 + kKc);
+    for (size_t j0 = 0; j0 < n; j0 += kJc) {
+      const size_t j1 = std::min(n, j0 + kJc);
+      for (size_t i = 0; i < m; ++i) {
+        const float* arow = a.row(i);
+        float* crow = c.row(i);
+        for (size_t kk = k0; kk < k1; ++kk) {
+          const float av = arow[kk];
+          if (av == 0.0f) continue;
+          const float* brow = b.row(kk);
+          for (size_t j = j0; j < j1; ++j) {
+            crow[j] += av * brow[j];
+          }
+        }
+      }
+    }
+  }
+  return c;
+}
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  // Blocking only pays once B's rows stop fitting in cache together.
+  const bool large = a.rows() * a.cols() > (64u << 10) &&
+                     b.rows() * b.cols() > (64u << 10);
+  return large ? MatMulBlocked(a, b) : MatMulNaive(a, b);
+}
+
+Tensor MatMulTransA(const Tensor& a, const Tensor& b) {
+  FAE_CHECK_EQ(a.rows(), b.rows());
+  Tensor c(a.cols(), b.cols());
+  for (size_t k = 0; k < a.rows(); ++k) {
+    const float* arow = a.row(k);
+    const float* brow = b.row(k);
+    for (size_t i = 0; i < a.cols(); ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      float* crow = c.row(i);
+      for (size_t j = 0; j < b.cols(); ++j) {
+        crow[j] += av * brow[j];
+      }
+    }
+  }
+  return c;
+}
+
+Tensor MatMulTransB(const Tensor& a, const Tensor& b) {
+  FAE_CHECK_EQ(a.cols(), b.cols());
+  Tensor c(a.rows(), b.rows());
+  for (size_t i = 0; i < a.rows(); ++i) {
+    const float* arow = a.row(i);
+    float* crow = c.row(i);
+    for (size_t j = 0; j < b.rows(); ++j) {
+      const float* brow = b.row(j);
+      float dot = 0.0f;
+      for (size_t k = 0; k < a.cols(); ++k) {
+        dot += arow[k] * brow[k];
+      }
+      crow[j] = dot;
+    }
+  }
+  return c;
+}
+
+void AddBiasRowwise(Tensor& x, const Tensor& bias) {
+  FAE_CHECK_EQ(bias.rows(), 1u);
+  FAE_CHECK_EQ(bias.cols(), x.cols());
+  for (size_t r = 0; r < x.rows(); ++r) {
+    float* row = x.row(r);
+    for (size_t c = 0; c < x.cols(); ++c) row[c] += bias(0, c);
+  }
+}
+
+Tensor ColumnSums(const Tensor& x) {
+  Tensor out(1, x.cols());
+  for (size_t r = 0; r < x.rows(); ++r) {
+    const float* row = x.row(r);
+    for (size_t c = 0; c < x.cols(); ++c) out(0, c) += row[c];
+  }
+  return out;
+}
+
+Tensor ReluForward(const Tensor& x) {
+  Tensor y = x;
+  for (size_t i = 0; i < y.numel(); ++i) {
+    y.data()[i] = std::max(0.0f, y.data()[i]);
+  }
+  return y;
+}
+
+Tensor ReluBackward(const Tensor& grad_out, const Tensor& x) {
+  FAE_CHECK(grad_out.SameShape(x));
+  Tensor g = grad_out;
+  for (size_t i = 0; i < g.numel(); ++i) {
+    if (x.data()[i] <= 0.0f) g.data()[i] = 0.0f;
+  }
+  return g;
+}
+
+Tensor SigmoidForward(const Tensor& x) {
+  Tensor y = x;
+  for (size_t i = 0; i < y.numel(); ++i) {
+    y.data()[i] = 1.0f / (1.0f + std::exp(-y.data()[i]));
+  }
+  return y;
+}
+
+Tensor ConcatCols(const std::vector<const Tensor*>& blocks) {
+  FAE_CHECK(!blocks.empty());
+  const size_t rows = blocks[0]->rows();
+  size_t total_cols = 0;
+  for (const Tensor* b : blocks) {
+    FAE_CHECK_EQ(b->rows(), rows);
+    total_cols += b->cols();
+  }
+  Tensor out(rows, total_cols);
+  for (size_t r = 0; r < rows; ++r) {
+    float* orow = out.row(r);
+    size_t offset = 0;
+    for (const Tensor* b : blocks) {
+      const float* brow = b->row(r);
+      std::copy(brow, brow + b->cols(), orow + offset);
+      offset += b->cols();
+    }
+  }
+  return out;
+}
+
+std::vector<Tensor> SplitCols(const Tensor& grad,
+                              const std::vector<size_t>& widths) {
+  size_t total = 0;
+  for (size_t w : widths) total += w;
+  FAE_CHECK_EQ(total, grad.cols());
+  std::vector<Tensor> out;
+  out.reserve(widths.size());
+  size_t offset = 0;
+  for (size_t w : widths) {
+    Tensor block(grad.rows(), w);
+    for (size_t r = 0; r < grad.rows(); ++r) {
+      const float* grow = grad.row(r) + offset;
+      std::copy(grow, grow + w, block.row(r));
+    }
+    out.push_back(std::move(block));
+    offset += w;
+  }
+  return out;
+}
+
+Tensor SoftmaxRows(const Tensor& x) {
+  Tensor y = x;
+  for (size_t r = 0; r < y.rows(); ++r) {
+    float* row = y.row(r);
+    float mx = row[0];
+    for (size_t c = 1; c < y.cols(); ++c) mx = std::max(mx, row[c]);
+    float sum = 0.0f;
+    for (size_t c = 0; c < y.cols(); ++c) {
+      row[c] = std::exp(row[c] - mx);
+      sum += row[c];
+    }
+    for (size_t c = 0; c < y.cols(); ++c) row[c] /= sum;
+  }
+  return y;
+}
+
+Tensor PairwiseDotInteraction(const std::vector<const Tensor*>& features) {
+  FAE_CHECK_GE(features.size(), 2u);
+  const size_t f = features.size();
+  const size_t rows = features[0]->rows();
+  const size_t d = features[0]->cols();
+  for (const Tensor* t : features) {
+    FAE_CHECK_EQ(t->rows(), rows);
+    FAE_CHECK_EQ(t->cols(), d);
+  }
+  Tensor out(rows, f * (f - 1) / 2);
+  for (size_t r = 0; r < rows; ++r) {
+    float* orow = out.row(r);
+    size_t col = 0;
+    for (size_t i = 0; i < f; ++i) {
+      const float* fi = features[i]->row(r);
+      for (size_t j = i + 1; j < f; ++j) {
+        const float* fj = features[j]->row(r);
+        float dot = 0.0f;
+        for (size_t k = 0; k < d; ++k) dot += fi[k] * fj[k];
+        orow[col++] = dot;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Tensor> PairwiseDotInteractionBackward(
+    const Tensor& grad_out, const std::vector<const Tensor*>& features) {
+  const size_t f = features.size();
+  const size_t rows = features[0]->rows();
+  const size_t d = features[0]->cols();
+  FAE_CHECK_EQ(grad_out.rows(), rows);
+  FAE_CHECK_EQ(grad_out.cols(), f * (f - 1) / 2);
+  std::vector<Tensor> grads(f, Tensor(rows, d));
+  for (size_t r = 0; r < rows; ++r) {
+    const float* grow = grad_out.row(r);
+    size_t col = 0;
+    for (size_t i = 0; i < f; ++i) {
+      for (size_t j = i + 1; j < f; ++j) {
+        const float g = grow[col++];
+        if (g == 0.0f) continue;
+        const float* fi = features[i]->row(r);
+        const float* fj = features[j]->row(r);
+        float* gi = grads[i].row(r);
+        float* gj = grads[j].row(r);
+        for (size_t k = 0; k < d; ++k) {
+          gi[k] += g * fj[k];
+          gj[k] += g * fi[k];
+        }
+      }
+    }
+  }
+  return grads;
+}
+
+}  // namespace fae

@@ -1,0 +1,68 @@
+#ifndef FAE_TENSOR_OPS_H_
+#define FAE_TENSOR_OPS_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace fae {
+
+/// C = A[m,k] * B[k,n]. Dispatches to the blocked kernel for shapes where
+/// tiling pays; the reference kernel otherwise.
+Tensor MatMul(const Tensor& a, const Tensor& b);
+
+/// Reference triple-loop GEMM (used by tests as the ground truth).
+Tensor MatMulNaive(const Tensor& a, const Tensor& b);
+
+/// Cache-blocked GEMM: tiles the k and j loops so the working set of B
+/// stays in cache across the i loop. Identical results to MatMulNaive up
+/// to floating-point association (same summation order per element).
+Tensor MatMulBlocked(const Tensor& a, const Tensor& b);
+
+/// C = A^T[k,m] * B[k,n] — i.e. MatMul(transpose(a), b) without
+/// materializing the transpose. Used for weight gradients.
+Tensor MatMulTransA(const Tensor& a, const Tensor& b);
+
+/// C = A[m,k] * B^T[n,k] — used for input gradients.
+Tensor MatMulTransB(const Tensor& a, const Tensor& b);
+
+/// y(r, c) = x(r, c) + bias(0, c); bias is [1, cols].
+void AddBiasRowwise(Tensor& x, const Tensor& bias);
+
+/// Column-wise sum of grad rows into a [1, cols] tensor (bias gradient).
+Tensor ColumnSums(const Tensor& x);
+
+/// Elementwise max(x, 0).
+Tensor ReluForward(const Tensor& x);
+
+/// dL/dx given dL/dy and the forward *input* x: grad where x > 0 else 0.
+Tensor ReluBackward(const Tensor& grad_out, const Tensor& x);
+
+/// Elementwise logistic sigmoid.
+Tensor SigmoidForward(const Tensor& x);
+
+/// Horizontal concatenation of equally-tall blocks.
+Tensor ConcatCols(const std::vector<const Tensor*>& blocks);
+
+/// Splits `grad` (the gradient of a ConcatCols output) back into per-block
+/// gradients with the given widths.
+std::vector<Tensor> SplitCols(const Tensor& grad,
+                              const std::vector<size_t>& widths);
+
+/// Row-wise softmax.
+Tensor SoftmaxRows(const Tensor& x);
+
+/// DLRM-style pairwise-dot feature interaction.
+///
+/// Inputs: F feature blocks, each [B, d]. Output: [B, F*(F-1)/2] whose
+/// columns are the dot products <f_i, f_j> for i < j, per sample.
+Tensor PairwiseDotInteraction(const std::vector<const Tensor*>& features);
+
+/// Backward of PairwiseDotInteraction: given dL/dout [B, F*(F-1)/2] and the
+/// forward feature blocks, returns dL/df for each block.
+std::vector<Tensor> PairwiseDotInteractionBackward(
+    const Tensor& grad_out, const std::vector<const Tensor*>& features);
+
+}  // namespace fae
+
+#endif  // FAE_TENSOR_OPS_H_

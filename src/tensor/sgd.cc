@@ -1,0 +1,16 @@
+#include "tensor/sgd.h"
+
+namespace fae {
+
+void Sgd::Step(const std::vector<Parameter*>& params) {
+  for (Parameter* p : params) {
+    p->value.Axpy(-lr_, p->grad);
+    p->grad.SetZero();
+  }
+}
+
+void Sgd::ZeroGrad(const std::vector<Parameter*>& params) {
+  for (Parameter* p : params) p->grad.SetZero();
+}
+
+}  // namespace fae

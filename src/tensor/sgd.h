@@ -1,0 +1,34 @@
+#ifndef FAE_TENSOR_SGD_H_
+#define FAE_TENSOR_SGD_H_
+
+#include <vector>
+
+#include "tensor/linear.h"
+
+namespace fae {
+
+/// Plain stochastic gradient descent over dense parameters.
+///
+/// The paper's training optimizer for the neural layers; the embedding
+/// tables use SparseSgd (embedding/sparse_sgd.h) so only touched rows pay
+/// an update — the skew FAE exploits makes that set small for hot batches.
+class Sgd {
+ public:
+  explicit Sgd(float lr) : lr_(lr) {}
+
+  /// value -= lr * grad, then clears the gradient.
+  void Step(const std::vector<Parameter*>& params);
+
+  /// Clears gradients without applying them.
+  void ZeroGrad(const std::vector<Parameter*>& params);
+
+  float lr() const { return lr_; }
+  void set_lr(float lr) { lr_ = lr; }
+
+ private:
+  float lr_;
+};
+
+}  // namespace fae
+
+#endif  // FAE_TENSOR_SGD_H_

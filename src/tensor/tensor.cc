@@ -1,0 +1,88 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/string_util.h"
+
+namespace fae {
+
+Tensor Tensor::Full(size_t rows, size_t cols, float value) {
+  Tensor t(rows, cols);
+  std::fill(t.data_.begin(), t.data_.end(), value);
+  return t;
+}
+
+Tensor Tensor::Randn(size_t rows, size_t cols, float stddev, Xoshiro256& rng) {
+  Tensor t(rows, cols);
+  for (float& v : t.data_) {
+    v = static_cast<float>(rng.NextGaussian()) * stddev;
+  }
+  return t;
+}
+
+Tensor Tensor::RandUniform(size_t rows, size_t cols, float bound,
+                           Xoshiro256& rng) {
+  Tensor t(rows, cols);
+  for (float& v : t.data_) {
+    v = (rng.NextFloat() * 2.0f - 1.0f) * bound;
+  }
+  return t;
+}
+
+void Tensor::SetZero() { std::fill(data_.begin(), data_.end(), 0.0f); }
+
+void Tensor::Add(const Tensor& other) {
+  FAE_CHECK(SameShape(other));
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+}
+
+void Tensor::Axpy(float alpha, const Tensor& other) {
+  FAE_CHECK(SameShape(other));
+  for (size_t i = 0; i < data_.size(); ++i) {
+    data_[i] += alpha * other.data_[i];
+  }
+}
+
+void Tensor::Scale(float alpha) {
+  for (float& v : data_) v *= alpha;
+}
+
+double Tensor::Sum() const {
+  double s = 0.0;
+  for (float v : data_) s += v;
+  return s;
+}
+
+double Tensor::Norm() const {
+  double s = 0.0;
+  for (float v : data_) s += static_cast<double>(v) * v;
+  return std::sqrt(s);
+}
+
+std::string Tensor::DebugString() const {
+  std::string out = StrFormat("Tensor[%zux%zu]", rows_, cols_);
+  const size_t show = std::min<size_t>(numel(), 8);
+  if (show > 0) {
+    out += " {";
+    for (size_t i = 0; i < show; ++i) {
+      out += StrFormat(i == 0 ? "%.4g" : ", %.4g",
+                       static_cast<double>(data_[i]));
+    }
+    if (numel() > show) out += ", ...";
+    out += "}";
+  }
+  return out;
+}
+
+float MaxAbsDiff(const Tensor& a, const Tensor& b) {
+  if (!a.SameShape(b)) return std::numeric_limits<float>::infinity();
+  float m = 0.0f;
+  for (size_t i = 0; i < a.numel(); ++i) {
+    m = std::max(m, std::fabs(a.data()[i] - b.data()[i]));
+  }
+  return m;
+}
+
+}  // namespace fae

@@ -1,0 +1,98 @@
+#ifndef FAE_TENSOR_TENSOR_H_
+#define FAE_TENSOR_TENSOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace fae {
+
+/// Dense row-major float32 matrix — the only tensor rank the recommender
+/// stack needs. A [n]-vector is represented as [n, 1] or [1, n] depending
+/// on context; helpers below construct both.
+///
+/// The class is a plain value type: copyable, movable, no views. All
+/// compute kernels live in ops.h so the storage stays trivial.
+class Tensor {
+ public:
+  /// Empty 0x0 tensor.
+  Tensor() : rows_(0), cols_(0) {}
+
+  /// Zero-initialized rows x cols tensor.
+  Tensor(size_t rows, size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0f) {}
+
+  /// Tensor initialized from a flat row-major buffer.
+  Tensor(size_t rows, size_t cols, std::vector<float> data)
+      : rows_(rows), cols_(cols), data_(std::move(data)) {
+    FAE_CHECK_EQ(rows_ * cols_, data_.size());
+  }
+
+  static Tensor Zeros(size_t rows, size_t cols) { return Tensor(rows, cols); }
+
+  /// All elements set to `value`.
+  static Tensor Full(size_t rows, size_t cols, float value);
+
+  /// I.i.d. N(0, stddev^2) entries.
+  static Tensor Randn(size_t rows, size_t cols, float stddev,
+                      Xoshiro256& rng);
+
+  /// I.i.d. Uniform(-bound, bound) entries.
+  static Tensor RandUniform(size_t rows, size_t cols, float bound,
+                            Xoshiro256& rng);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t numel() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float& operator()(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  float operator()(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  float* row(size_t r) { return data_.data() + r * cols_; }
+  const float* row(size_t r) const { return data_.data() + r * cols_; }
+
+  /// Sets every element to zero (reuses the allocation).
+  void SetZero();
+
+  /// this += other (same shape).
+  void Add(const Tensor& other);
+
+  /// this += alpha * other (same shape).
+  void Axpy(float alpha, const Tensor& other);
+
+  /// this *= alpha.
+  void Scale(float alpha);
+
+  /// Sum of all elements.
+  double Sum() const;
+
+  /// Square root of the sum of squared elements.
+  double Norm() const;
+
+  bool SameShape(const Tensor& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+  /// "Tensor[3x4]" plus a few leading values, for debugging.
+  std::string DebugString() const;
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<float> data_;
+};
+
+/// Max |a - b| over all elements; infinity for shape mismatch.
+float MaxAbsDiff(const Tensor& a, const Tensor& b);
+
+}  // namespace fae
+
+#endif  // FAE_TENSOR_TENSOR_H_

@@ -1,0 +1,110 @@
+#include "util/file_io.h"
+
+#include <cstdio>
+#include <filesystem>
+
+namespace fae {
+
+StatusOr<BinaryWriter> BinaryWriter::Open(const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::IOError("cannot open for writing: " + path);
+  }
+  return BinaryWriter(std::move(out));
+}
+
+Status BinaryWriter::WriteBytes(const void* data, size_t n) {
+  out_.write(static_cast<const char*>(data), static_cast<std::streamsize>(n));
+  if (!out_.good()) return Status::IOError("write failed");
+  return Status::OK();
+}
+
+Status BinaryWriter::WriteU32(uint32_t v) { return WriteBytes(&v, sizeof(v)); }
+Status BinaryWriter::WriteU64(uint64_t v) { return WriteBytes(&v, sizeof(v)); }
+Status BinaryWriter::WriteF32(float v) { return WriteBytes(&v, sizeof(v)); }
+Status BinaryWriter::WriteF64(double v) { return WriteBytes(&v, sizeof(v)); }
+
+Status BinaryWriter::WriteString(const std::string& s) {
+  FAE_RETURN_IF_ERROR(WriteU64(s.size()));
+  return WriteBytes(s.data(), s.size());
+}
+
+Status BinaryWriter::Close() {
+  out_.flush();
+  if (!out_.good()) return Status::IOError("flush failed");
+  out_.close();
+  return Status::OK();
+}
+
+StatusOr<BinaryReader> BinaryReader::Open(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in.is_open()) {
+    return Status::NotFound("cannot open for reading: " + path);
+  }
+  const std::streamoff size = in.tellg();
+  in.seekg(0, std::ios::beg);
+  return BinaryReader(std::move(in), static_cast<uint64_t>(size));
+}
+
+uint64_t BinaryReader::RemainingBytes() {
+  const std::streamoff pos = in_.tellg();
+  if (pos < 0) return 0;
+  const uint64_t upos = static_cast<uint64_t>(pos);
+  return upos >= size_ ? 0 : size_ - upos;
+}
+
+Status BinaryReader::ReadBytes(void* data, size_t n) {
+  in_.read(static_cast<char*>(data), static_cast<std::streamsize>(n));
+  if (static_cast<size_t>(in_.gcount()) != n) {
+    return Status::DataLoss("unexpected end of file");
+  }
+  return Status::OK();
+}
+
+StatusOr<uint32_t> BinaryReader::ReadU32() {
+  uint32_t v = 0;
+  FAE_RETURN_IF_ERROR(ReadBytes(&v, sizeof(v)));
+  return v;
+}
+
+StatusOr<uint64_t> BinaryReader::ReadU64() {
+  uint64_t v = 0;
+  FAE_RETURN_IF_ERROR(ReadBytes(&v, sizeof(v)));
+  return v;
+}
+
+StatusOr<float> BinaryReader::ReadF32() {
+  float v = 0;
+  FAE_RETURN_IF_ERROR(ReadBytes(&v, sizeof(v)));
+  return v;
+}
+
+StatusOr<double> BinaryReader::ReadF64() {
+  double v = 0;
+  FAE_RETURN_IF_ERROR(ReadBytes(&v, sizeof(v)));
+  return v;
+}
+
+StatusOr<std::string> BinaryReader::ReadString() {
+  FAE_ASSIGN_OR_RETURN(uint64_t n, ReadU64());
+  if (n > RemainingBytes()) {
+    return Status::DataLoss("string length exceeds file remainder");
+  }
+  std::string s(n, '\0');
+  FAE_RETURN_IF_ERROR(ReadBytes(s.data(), n));
+  return s;
+}
+
+bool FileExists(const std::string& path) {
+  std::error_code ec;
+  return std::filesystem::is_regular_file(path, ec);
+}
+
+Status RemoveFile(const std::string& path) {
+  std::error_code ec;
+  std::filesystem::remove(path, ec);
+  if (ec) return Status::IOError("remove failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace fae

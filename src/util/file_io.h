@@ -1,0 +1,95 @@
+#ifndef FAE_UTIL_FILE_IO_H_
+#define FAE_UTIL_FILE_IO_H_
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace fae {
+
+/// Little-endian binary writer with Status-based error reporting. Used by
+/// the FAE preprocessed-dataset format (paper §III-B: "store this in the
+/// FAE format for any subsequent training runs").
+class BinaryWriter {
+ public:
+  /// Opens (truncates) `path` for writing.
+  static StatusOr<BinaryWriter> Open(const std::string& path);
+
+  BinaryWriter(BinaryWriter&&) = default;
+  BinaryWriter& operator=(BinaryWriter&&) = default;
+
+  Status WriteU32(uint32_t v);
+  Status WriteU64(uint64_t v);
+  Status WriteF32(float v);
+  Status WriteF64(double v);
+  Status WriteBytes(const void* data, size_t n);
+  Status WriteString(const std::string& s);
+
+  template <typename T>
+  Status WriteVector(const std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    FAE_RETURN_IF_ERROR(WriteU64(v.size()));
+    return WriteBytes(v.data(), v.size() * sizeof(T));
+  }
+
+  /// Flushes and closes; further writes are invalid.
+  Status Close();
+
+ private:
+  explicit BinaryWriter(std::ofstream out) : out_(std::move(out)) {}
+  std::ofstream out_;
+};
+
+/// Little-endian binary reader matching BinaryWriter.
+class BinaryReader {
+ public:
+  /// Opens `path` for reading; NotFound if it does not exist.
+  static StatusOr<BinaryReader> Open(const std::string& path);
+
+  BinaryReader(BinaryReader&&) = default;
+  BinaryReader& operator=(BinaryReader&&) = default;
+
+  StatusOr<uint32_t> ReadU32();
+  StatusOr<uint64_t> ReadU64();
+  StatusOr<float> ReadF32();
+  StatusOr<double> ReadF64();
+  Status ReadBytes(void* data, size_t n);
+  StatusOr<std::string> ReadString();
+
+  template <typename T>
+  StatusOr<std::vector<T>> ReadVector() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    FAE_ASSIGN_OR_RETURN(uint64_t n, ReadU64());
+    // A corrupted count cannot describe more payload than the file still
+    // holds; checking against the remainder also bounds the allocation.
+    if (n > RemainingBytes() / sizeof(T)) {
+      return Status::DataLoss("vector length exceeds file remainder");
+    }
+    std::vector<T> v(n);
+    FAE_RETURN_IF_ERROR(ReadBytes(v.data(), n * sizeof(T)));
+    return v;
+  }
+
+  /// Bytes between the read cursor and the end of the file.
+  uint64_t RemainingBytes();
+
+ private:
+  BinaryReader(std::ifstream in, uint64_t size)
+      : in_(std::move(in)), size_(size) {}
+  std::ifstream in_;
+  uint64_t size_ = 0;
+};
+
+/// Returns true if `path` exists and is a regular file.
+bool FileExists(const std::string& path);
+
+/// Removes `path` if present; OK when absent.
+Status RemoveFile(const std::string& path);
+
+}  // namespace fae
+
+#endif  // FAE_UTIL_FILE_IO_H_

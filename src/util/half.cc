@@ -1,0 +1,91 @@
+#include "util/half.h"
+
+#include <cstring>
+
+namespace fae {
+namespace {
+
+uint32_t FloatBits(float f) {
+  uint32_t u;
+  std::memcpy(&u, &f, sizeof(u));
+  return u;
+}
+
+float BitsToFloat(uint32_t u) {
+  float f;
+  std::memcpy(&f, &u, sizeof(f));
+  return f;
+}
+
+}  // namespace
+
+uint16_t FloatToHalf(float value) {
+  const uint32_t bits = FloatBits(value);
+  const uint32_t sign = (bits >> 16) & 0x8000u;
+  const uint32_t exp32 = (bits >> 23) & 0xffu;
+  uint32_t mant = bits & 0x7fffffu;
+
+  if (exp32 == 0xffu) {
+    // Inf / NaN. Keep NaN quiet and non-zero.
+    if (mant != 0) return static_cast<uint16_t>(sign | 0x7e00u);
+    return static_cast<uint16_t>(sign | 0x7c00u);
+  }
+
+  // Unbiased exponent; half bias is 15, float bias 127.
+  const int exp = static_cast<int>(exp32) - 127;
+  if (exp > 15) {
+    // Overflow -> infinity.
+    return static_cast<uint16_t>(sign | 0x7c00u);
+  }
+  if (exp >= -14) {
+    // Normal half. Round the 23-bit mantissa to 10 bits, nearest-even.
+    const uint32_t half_exp = static_cast<uint32_t>(exp + 15) << 10;
+    uint32_t half_mant = mant >> 13;
+    const uint32_t rest = mant & 0x1fffu;
+    if (rest > 0x1000u || (rest == 0x1000u && (half_mant & 1u))) {
+      ++half_mant;  // may carry into the exponent, which is the correct
+                    // rounding toward the next binade (or infinity)
+    }
+    return static_cast<uint16_t>(sign + half_exp + half_mant);
+  }
+  if (exp >= -24) {
+    // Subnormal half: shift in the implicit leading 1, then round.
+    mant |= 0x800000u;
+    const int shift = -exp - 14 + 13;  // 14..23
+    uint32_t half_mant = mant >> shift;
+    const uint32_t rest = mant & ((1u << shift) - 1);
+    const uint32_t halfway = 1u << (shift - 1);
+    if (rest > halfway || (rest == halfway && (half_mant & 1u))) {
+      ++half_mant;
+    }
+    return static_cast<uint16_t>(sign | half_mant);
+  }
+  // Underflow to signed zero.
+  return static_cast<uint16_t>(sign);
+}
+
+float HalfToFloat(uint16_t half) {
+  const uint32_t sign = static_cast<uint32_t>(half & 0x8000u) << 16;
+  const uint32_t exp16 = (half >> 10) & 0x1fu;
+  uint32_t mant = half & 0x3ffu;
+
+  if (exp16 == 0x1fu) {  // inf / nan
+    return BitsToFloat(sign | 0x7f800000u | (mant << 13));
+  }
+  if (exp16 == 0) {
+    if (mant == 0) return BitsToFloat(sign);  // signed zero
+    // Subnormal half: normalize.
+    int exp = -14;
+    while ((mant & 0x400u) == 0) {
+      mant <<= 1;
+      --exp;
+    }
+    mant &= 0x3ffu;
+    const uint32_t exp32 = static_cast<uint32_t>(exp + 127) << 23;
+    return BitsToFloat(sign | exp32 | (mant << 13));
+  }
+  const uint32_t exp32 = (exp16 + 127 - 15) << 23;
+  return BitsToFloat(sign | exp32 | (mant << 13));
+}
+
+}  // namespace fae

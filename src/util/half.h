@@ -1,0 +1,31 @@
+#ifndef FAE_UTIL_HALF_H_
+#define FAE_UTIL_HALF_H_
+
+#include <cstdint>
+
+namespace fae {
+
+/// IEEE 754 binary16 conversions, implemented bit-level (no hardware
+/// dependency). Used to emulate fp16 embedding storage: the NvOPT-style
+/// comparator stores tables at half precision, and the paper argues such
+/// representation changes "require accuracy revalidation" (§V) — which
+/// bench/abl_mixed_precision.cc performs.
+
+/// Round-to-nearest-even conversion. Overflow becomes infinity; NaN is
+/// preserved (as a quiet NaN); subnormal halves are produced for tiny
+/// inputs.
+uint16_t FloatToHalf(float value);
+
+/// Exact widening conversion (every binary16 value is representable in
+/// binary32).
+float HalfToFloat(uint16_t half);
+
+/// Convenience: the value after a float -> half -> float round trip, i.e.
+/// what fp16 storage preserves of `value`.
+inline float QuantizeToHalf(float value) {
+  return HalfToFloat(FloatToHalf(value));
+}
+
+}  // namespace fae
+
+#endif  // FAE_UTIL_HALF_H_

@@ -1,0 +1,79 @@
+#ifndef FAE_UTIL_LOGGING_H_
+#define FAE_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace fae {
+
+enum class LogSeverity : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+/// Process-wide minimum severity; messages below it are discarded.
+void SetMinLogSeverity(LogSeverity severity);
+LogSeverity MinLogSeverity();
+
+namespace internal_logging {
+
+/// Stream-style log message; emits on destruction. FATAL aborts.
+class LogMessage {
+ public:
+  LogMessage(LogSeverity severity, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogSeverity severity_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+/// glog-style helper: `&` binds looser than `<<` and tighter than `?:`,
+/// letting the macros below turn a streamed LogMessage into a void
+/// expression usable in a conditional.
+struct Voidify {
+  void operator&(LogMessage&) {}
+};
+
+}  // namespace internal_logging
+}  // namespace fae
+
+#define FAE_LOG(severity)                                             \
+  (::fae::LogSeverity::k##severity < ::fae::MinLogSeverity())         \
+      ? (void)0                                                       \
+      : ::fae::internal_logging::Voidify() &                          \
+            ::fae::internal_logging::LogMessage(                      \
+                ::fae::LogSeverity::k##severity, __FILE__, __LINE__)
+
+/// CHECK aborts with a message when `cond` is false — for programmer errors
+/// (invariant violations), not for recoverable input validation.
+#define FAE_CHECK(cond)                                       \
+  (cond) ? (void)0                                            \
+         : ::fae::internal_logging::Voidify() &               \
+               ::fae::internal_logging::LogMessage(           \
+                   ::fae::LogSeverity::kFatal, __FILE__,      \
+                   __LINE__)                                  \
+                   << "Check failed: " #cond " "
+
+#define FAE_CHECK_EQ(a, b) FAE_CHECK((a) == (b))
+#define FAE_CHECK_NE(a, b) FAE_CHECK((a) != (b))
+#define FAE_CHECK_LT(a, b) FAE_CHECK((a) < (b))
+#define FAE_CHECK_LE(a, b) FAE_CHECK((a) <= (b))
+#define FAE_CHECK_GT(a, b) FAE_CHECK((a) > (b))
+#define FAE_CHECK_GE(a, b) FAE_CHECK((a) >= (b))
+
+#endif  // FAE_UTIL_LOGGING_H_

@@ -1,0 +1,80 @@
+#include "util/random.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace fae {
+namespace {
+
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Xoshiro256::Xoshiro256(uint64_t seed) {
+  SplitMix64 sm(seed);
+  for (auto& s : s_) s = sm.Next();
+}
+
+uint64_t Xoshiro256::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+double Xoshiro256::NextDouble() {
+  // 53 high bits -> [0, 1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+float Xoshiro256::NextFloat() {
+  return static_cast<float>(Next() >> 40) * 0x1.0p-24f;
+}
+
+uint64_t Xoshiro256::NextBounded(uint64_t bound) {
+  // Lemire's nearly-divisionless method.
+  uint64_t x = Next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  uint64_t lo = static_cast<uint64_t>(m);
+  if (lo < bound) {
+    uint64_t threshold = -bound % bound;
+    while (lo < threshold) {
+      x = Next();
+      m = static_cast<__uint128_t>(x) * bound;
+      lo = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+double Xoshiro256::NextGaussian() {
+  if (has_cached_gaussian_) {
+    has_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  // Box-Muller; u must be in (0, 1].
+  double u = 1.0 - NextDouble();
+  double v = NextDouble();
+  double r = std::sqrt(-2.0 * std::log(u));
+  double theta = 2.0 * std::numbers::pi * v;
+  cached_gaussian_ = r * std::sin(theta);
+  has_cached_gaussian_ = true;
+  return r * std::cos(theta);
+}
+
+std::vector<uint64_t> RandomPermutation(uint64_t n, Xoshiro256& rng) {
+  std::vector<uint64_t> perm(n);
+  for (uint64_t i = 0; i < n; ++i) perm[i] = i;
+  for (uint64_t i = n; i > 1; --i) {
+    uint64_t j = rng.NextBounded(i);
+    std::swap(perm[i - 1], perm[j]);
+  }
+  return perm;
+}
+
+}  // namespace fae

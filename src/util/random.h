@@ -1,0 +1,68 @@
+#ifndef FAE_UTIL_RANDOM_H_
+#define FAE_UTIL_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace fae {
+
+/// SplitMix64: used to expand a single 64-bit seed into the state of larger
+/// generators, and fine as a standalone generator for non-critical use.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+/// xoshiro256**: the project's default fast PRNG. Deterministic for a given
+/// seed across platforms; satisfies the C++ UniformRandomBitGenerator
+/// concept so it plugs into <random> distributions.
+class Xoshiro256 {
+ public:
+  using result_type = uint64_t;
+
+  explicit Xoshiro256(uint64_t seed);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+  result_type operator()() { return Next(); }
+
+  uint64_t Next();
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform float in [0, 1).
+  float NextFloat();
+
+  /// Uniform integer in [0, bound) via Lemire's multiply-shift rejection.
+  /// `bound` must be non-zero.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Standard normal via Box-Muller.
+  double NextGaussian();
+
+  /// Bernoulli(p).
+  bool NextBernoulli(double p) { return NextDouble() < p; }
+
+ private:
+  uint64_t s_[4];
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+/// Returns a uniformly random permutation of {0, .., n-1} (Fisher-Yates).
+std::vector<uint64_t> RandomPermutation(uint64_t n, Xoshiro256& rng);
+
+}  // namespace fae
+
+#endif  // FAE_UTIL_RANDOM_H_

@@ -1,0 +1,130 @@
+#ifndef FAE_UTIL_STATUS_H_
+#define FAE_UTIL_STATUS_H_
+
+#include <cassert>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace fae {
+
+/// Canonical error space, a small subset of the absl/gRPC codes that this
+/// project actually needs.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kFailedPrecondition = 5,
+  kResourceExhausted = 6,
+  kInternal = 7,
+  kDataLoss = 8,
+  kUnimplemented = 9,
+  kIOError = 10,
+};
+
+/// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
+std::string_view StatusCodeToString(StatusCode code);
+
+/// Value-semantic success/error result, in the Arrow/RocksDB idiom.
+///
+/// An OK status carries no allocation; error statuses carry a code and a
+/// message. The class is cheap to copy in the OK case and cheap to move
+/// always.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : rep_(code == StatusCode::kOk
+                 ? nullptr
+                 : std::make_shared<Rep>(Rep{code, std::move(message)})) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+
+  bool ok() const { return rep_ == nullptr; }
+  StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
+  /// Error message; empty for OK statuses.
+  std::string_view message() const {
+    return rep_ ? std::string_view(rep_->message) : std::string_view();
+  }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code() == b.code() && a.message() == b.message();
+  }
+
+ private:
+  struct Rep {
+    StatusCode code;
+    std::string message;
+  };
+  // shared_ptr keeps Status copyable without duplicating the message; null
+  // means OK.
+  std::shared_ptr<const Rep> rep_;
+};
+
+}  // namespace fae
+
+/// Propagates a non-OK Status from the current function.
+#define FAE_RETURN_IF_ERROR(expr)                 \
+  do {                                            \
+    ::fae::Status _fae_status = (expr);           \
+    if (!_fae_status.ok()) return _fae_status;    \
+  } while (false)
+
+#define FAE_STATUS_CONCAT_IMPL(a, b) a##b
+#define FAE_STATUS_CONCAT(a, b) FAE_STATUS_CONCAT_IMPL(a, b)
+
+/// Evaluates a StatusOr expression; on success assigns its value to `lhs`,
+/// otherwise returns the error from the current function.
+#define FAE_ASSIGN_OR_RETURN(lhs, expr)                                  \
+  FAE_ASSIGN_OR_RETURN_IMPL(FAE_STATUS_CONCAT(_fae_sor_, __LINE__), lhs, \
+                            expr)
+
+#define FAE_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                              \
+  if (!tmp.ok()) return tmp.status();             \
+  lhs = std::move(tmp).value();
+
+#endif  // FAE_UTIL_STATUS_H_

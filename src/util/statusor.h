@@ -1,0 +1,76 @@
+#ifndef FAE_UTIL_STATUSOR_H_
+#define FAE_UTIL_STATUSOR_H_
+
+#include <cstdlib>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace fae {
+
+/// Holds either a value of type `T` or a non-OK Status explaining why the
+/// value is absent. Mirrors absl::StatusOr / arrow::Result.
+///
+/// Accessing `value()` on an error StatusOr aborts the process; callers are
+/// expected to test `ok()` first or use FAE_ASSIGN_OR_RETURN.
+template <typename T>
+class StatusOr {
+ public:
+  /// Constructs from an error status. Must not be OK (an OK status with no
+  /// value is meaningless); that misuse degrades to an Internal error.
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.ok()) {
+      status_ = Status::Internal("StatusOr constructed from OK status");
+    }
+  }
+
+  StatusOr(T value)  // NOLINT
+      : status_(Status::OK()), value_(std::move(value)) {}
+
+  StatusOr(const StatusOr&) = default;
+  StatusOr& operator=(const StatusOr&) = default;
+  StatusOr(StatusOr&&) noexcept = default;
+  StatusOr& operator=(StatusOr&&) noexcept = default;
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const& { return status_; }
+  Status status() && { return std::move(status_); }
+
+  const T& value() const& {
+    CheckHasValue();
+    return *value_;
+  }
+  T& value() & {
+    CheckHasValue();
+    return *value_;
+  }
+  T&& value() && {
+    CheckHasValue();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the contained value or `fallback` when in the error state.
+  T value_or(T fallback) const& {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  void CheckHasValue() const {
+    if (!value_.has_value()) {
+      std::abort();  // Accessing value() of an error StatusOr is a bug.
+    }
+  }
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace fae
+
+#endif  // FAE_UTIL_STATUSOR_H_

@@ -1,0 +1,117 @@
+#include "core/rand_em_box.h"
+
+#include <gtest/gtest.h>
+
+#include "stats/zipf.h"
+#include "util/random.h"
+
+namespace fae {
+namespace {
+
+// Zipf access counts with hot entries *scattered* across the table (via a
+// random permutation), matching the deployment the Rand-Em Box assumes:
+// popularity is not spatially clustered in row-id space (the synthetic
+// generator's affine rank->row map guarantees this; real hashed categorical
+// ids behave the same way).
+std::vector<uint64_t> ZipfCounts(uint64_t rows, uint64_t accesses,
+                                 uint64_t seed) {
+  Xoshiro256 rng(seed);
+  ZipfSampler zipf(rows, 1.1);
+  std::vector<uint64_t> counts(rows, 0);
+  std::vector<uint64_t> perm = RandomPermutation(rows, rng);
+  for (uint64_t i = 0; i < accesses; ++i) counts[perm[zipf.Sample(rng)]]++;
+  return counts;
+}
+
+TEST(RandEmBoxTest, ExactCountBasics) {
+  std::vector<uint64_t> counts = {0, 5, 10, 3, 10};
+  EXPECT_EQ(RandEmBox::ExactCount(counts, 1), 4u);
+  EXPECT_EQ(RandEmBox::ExactCount(counts, 10), 2u);
+  EXPECT_EQ(RandEmBox::ExactCount(counts, 11), 0u);
+}
+
+TEST(RandEmBoxTest, SmallTableIsExact) {
+  RandEmBox box(35, 1024, 0.999, 1);
+  std::vector<uint64_t> counts(500, 0);
+  for (size_t i = 0; i < 100; ++i) counts[i] = 7;
+  RandEmBox::Estimate est = box.EstimateTable(counts, 5);
+  EXPECT_TRUE(est.exact);
+  EXPECT_EQ(est.mean_hot_entries, 100.0);
+  EXPECT_EQ(est.upper_hot_entries, 100.0);
+  EXPECT_EQ(est.scanned_entries, 500u);
+}
+
+TEST(RandEmBoxTest, ScansOnlySampledChunks) {
+  RandEmBox box(35, 1024, 0.999, 2);
+  std::vector<uint64_t> counts = ZipfCounts(500000, 2000000, 3);
+  RandEmBox::Estimate est = box.EstimateTable(counts, 10);
+  EXPECT_FALSE(est.exact);
+  EXPECT_EQ(est.scanned_entries, 35u * 1024u);
+  EXPECT_LT(est.scanned_entries, counts.size() / 10);
+}
+
+TEST(RandEmBoxTest, EstimateTracksExactWithinPaperTolerance) {
+  // Paper Fig 9: "the Rand-Em Box estimation is within 10% (upper bound)
+  // of the measured size". With scattered hot entries (Zipf ranks are not
+  // spatially clustered here) the CLT estimate lands close.
+  RandEmBox box(35, 1024, 0.999, 4);
+  std::vector<uint64_t> counts = ZipfCounts(300000, 3000000, 5);
+  for (uint64_t h : {5ULL, 20ULL, 100ULL}) {
+    const double exact = static_cast<double>(RandEmBox::ExactCount(counts, h));
+    if (exact < 100) continue;  // too rare to estimate tightly
+    RandEmBox::Estimate est = box.EstimateTable(counts, h);
+    EXPECT_NEAR(est.mean_hot_entries, exact, exact * 0.5)
+        << "h_zt=" << h;
+    EXPECT_GE(est.upper_hot_entries, est.mean_hot_entries);
+  }
+}
+
+TEST(RandEmBoxTest, UpperBoundCoversTruthMostOfTheTime) {
+  // Property: across many seeds the CI upper bound should rarely fall
+  // below the exact count (one-sided coverage).
+  std::vector<uint64_t> counts = ZipfCounts(200000, 1000000, 6);
+  const uint64_t h = 20;
+  const double exact = static_cast<double>(RandEmBox::ExactCount(counts, h));
+  int covered = 0;
+  const int kTrials = 30;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    RandEmBox box(35, 1024, 0.999, 100 + trial);
+    if (box.EstimateTable(counts, h).upper_hot_entries >= exact) ++covered;
+  }
+  EXPECT_GE(covered, kTrials - 4);
+}
+
+TEST(RandEmBoxTest, UpperBoundClampedToTableSize) {
+  RandEmBox box(35, 1024, 0.999, 7);
+  std::vector<uint64_t> counts(100000, 100);  // everything hot
+  RandEmBox::Estimate est = box.EstimateTable(counts, 1);
+  EXPECT_LE(est.upper_hot_entries, 100000.0);
+  EXPECT_NEAR(est.mean_hot_entries, 100000.0, 1.0);
+}
+
+TEST(RandEmBoxTest, ZeroHotWhenThresholdAboveAllCounts) {
+  RandEmBox box(35, 1024, 0.999, 8);
+  std::vector<uint64_t> counts(100000, 2);
+  RandEmBox::Estimate est = box.EstimateTable(counts, 1000);
+  EXPECT_EQ(est.mean_hot_entries, 0.0);
+  EXPECT_EQ(est.upper_hot_entries, 0.0);
+}
+
+TEST(RandEmBoxTest, MonotoneInThreshold) {
+  RandEmBox box(35, 1024, 0.999, 9);
+  std::vector<uint64_t> counts = ZipfCounts(200000, 2000000, 10);
+  double prev = 1e18;
+  for (uint64_t h : {2ULL, 8ULL, 32ULL, 128ULL}) {
+    const double est = box.EstimateTable(counts, h).mean_hot_entries;
+    EXPECT_LE(est, prev);
+    prev = est;
+  }
+}
+
+TEST(RandEmBoxDeathTest, RejectsDegenerateParameters) {
+  EXPECT_DEATH(RandEmBox(1, 1024, 0.999, 1), "Check failed");
+  EXPECT_DEATH(RandEmBox(35, 0, 0.999, 1), "Check failed");
+}
+
+}  // namespace
+}  // namespace fae

@@ -1,0 +1,176 @@
+#include "core/shuffle_scheduler.h"
+
+#include <gtest/gtest.h>
+
+namespace fae {
+namespace {
+
+FaeConfig Config(double initial_rate = 50.0) {
+  FaeConfig cfg;
+  cfg.initial_rate = initial_rate;
+  return cfg;
+}
+
+TEST(SchedulerTest, StartsWithCold) {
+  ShuffleScheduler s(10, 10, Config());
+  auto chunk = s.Next();
+  ASSERT_TRUE(chunk.has_value());
+  EXPECT_FALSE(chunk->hot);
+}
+
+TEST(SchedulerTest, AlternatesAtRate50) {
+  ShuffleScheduler s(10, 10, Config(50.0));
+  std::vector<bool> kinds;
+  std::vector<size_t> counts;
+  while (auto c = s.Next()) {
+    kinds.push_back(c->hot);
+    counts.push_back(c->count);
+  }
+  // 4 chunks of 5: cold, hot, cold, hot.
+  ASSERT_EQ(kinds.size(), 4u);
+  EXPECT_EQ(kinds, (std::vector<bool>{false, true, false, true}));
+  for (size_t c : counts) EXPECT_EQ(c, 5u);
+  EXPECT_EQ(s.transitions(), 3u);
+}
+
+TEST(SchedulerTest, Rate100RunsAllColdThenAllHot) {
+  ShuffleScheduler s(7, 5, Config(100.0));
+  auto c1 = s.Next();
+  ASSERT_TRUE(c1.has_value());
+  EXPECT_FALSE(c1->hot);
+  EXPECT_EQ(c1->count, 7u);
+  auto c2 = s.Next();
+  ASSERT_TRUE(c2.has_value());
+  EXPECT_TRUE(c2->hot);
+  EXPECT_EQ(c2->count, 5u);
+  EXPECT_FALSE(s.Next().has_value());
+  EXPECT_EQ(s.transitions(), 1u);
+}
+
+TEST(SchedulerTest, EveryBatchIssuedExactlyOnce) {
+  for (double rate : {1.0, 13.0, 50.0, 100.0}) {
+    ShuffleScheduler s(23, 17, Config(rate));
+    size_t cold = 0;
+    size_t hot = 0;
+    size_t prev_cold_end = 0;
+    size_t prev_hot_end = 0;
+    while (auto c = s.Next()) {
+      if (c->hot) {
+        EXPECT_EQ(c->begin, prev_hot_end);
+        prev_hot_end = c->begin + c->count;
+        hot += c->count;
+      } else {
+        EXPECT_EQ(c->begin, prev_cold_end);
+        prev_cold_end = c->begin + c->count;
+        cold += c->count;
+      }
+    }
+    EXPECT_EQ(cold, 23u) << "rate " << rate;
+    EXPECT_EQ(hot, 17u) << "rate " << rate;
+  }
+}
+
+TEST(SchedulerTest, DrainsOtherClassWhenOneEmpty) {
+  ShuffleScheduler s(0, 9, Config(50.0));
+  size_t hot = 0;
+  while (auto c = s.Next()) {
+    EXPECT_TRUE(c->hot);
+    hot += c->count;
+  }
+  EXPECT_EQ(hot, 9u);
+  EXPECT_EQ(s.transitions(), 0u);
+
+  ShuffleScheduler s2(9, 0, Config(50.0));
+  size_t cold = 0;
+  while (auto c = s2.Next()) {
+    EXPECT_FALSE(c->hot);
+    cold += c->count;
+  }
+  EXPECT_EQ(cold, 9u);
+}
+
+TEST(SchedulerTest, LossIncreaseHalvesRate) {
+  ShuffleScheduler s(100, 100, Config(50.0));
+  s.ReportTestLoss(1.0);  // first report: baseline only
+  EXPECT_DOUBLE_EQ(s.rate(), 50.0);
+  s.ReportTestLoss(1.5);  // increase -> halve
+  EXPECT_DOUBLE_EQ(s.rate(), 25.0);
+  s.ReportTestLoss(2.0);
+  EXPECT_DOUBLE_EQ(s.rate(), 12.5);
+}
+
+TEST(SchedulerTest, RateFlooredAtMin) {
+  ShuffleScheduler s(100, 100, Config(2.0));
+  s.ReportTestLoss(1.0);
+  for (int i = 0; i < 10; ++i) s.ReportTestLoss(10.0 + i);
+  EXPECT_DOUBLE_EQ(s.rate(), 1.0);
+}
+
+TEST(SchedulerTest, FourConsecutiveDecreasesDoubleRate) {
+  ShuffleScheduler s(100, 100, Config(25.0));
+  s.ReportTestLoss(5.0);
+  s.ReportTestLoss(4.0);
+  s.ReportTestLoss(3.0);
+  s.ReportTestLoss(2.0);
+  EXPECT_DOUBLE_EQ(s.rate(), 25.0);  // only 3 decreases so far
+  s.ReportTestLoss(1.0);  // 4th decrease
+  EXPECT_DOUBLE_EQ(s.rate(), 50.0);
+}
+
+TEST(SchedulerTest, RateCappedAtMax) {
+  ShuffleScheduler s(100, 100, Config(80.0));
+  s.ReportTestLoss(10.0);
+  for (int i = 1; i <= 8; ++i) s.ReportTestLoss(10.0 - i);
+  EXPECT_DOUBLE_EQ(s.rate(), 100.0);
+}
+
+TEST(SchedulerTest, IncreaseResetsDecreaseStreak) {
+  ShuffleScheduler s(100, 100, Config(20.0));
+  s.ReportTestLoss(5.0);
+  s.ReportTestLoss(4.0);
+  s.ReportTestLoss(3.0);
+  s.ReportTestLoss(3.5);  // increase: halve and reset streak
+  EXPECT_DOUBLE_EQ(s.rate(), 10.0);
+  s.ReportTestLoss(3.0);
+  s.ReportTestLoss(2.5);
+  s.ReportTestLoss(2.0);
+  EXPECT_DOUBLE_EQ(s.rate(), 10.0);  // streak is 3, not yet 4
+  s.ReportTestLoss(1.5);
+  EXPECT_DOUBLE_EQ(s.rate(), 20.0);
+}
+
+TEST(SchedulerTest, EqualLossKeepsRate) {
+  ShuffleScheduler s(10, 10, Config(50.0));
+  s.ReportTestLoss(1.0);
+  s.ReportTestLoss(1.0);
+  EXPECT_DOUBLE_EQ(s.rate(), 50.0);
+}
+
+TEST(SchedulerTest, ResetEpochReissuesEverythingKeepsRate) {
+  ShuffleScheduler s(8, 8, Config(50.0));
+  while (s.Next()) {
+  }
+  s.ReportTestLoss(2.0);
+  s.ReportTestLoss(3.0);  // halve to 25
+  s.ResetEpoch();
+  EXPECT_DOUBLE_EQ(s.rate(), 25.0);
+  size_t total = 0;
+  size_t chunks = 0;
+  bool first_hot = true;
+  while (auto c = s.Next()) {
+    if (chunks == 0) first_hot = c->hot;
+    total += c->count;
+    ++chunks;
+  }
+  EXPECT_FALSE(first_hot);  // epochs restart with cold
+  EXPECT_EQ(total, 16u);
+  EXPECT_GT(chunks, 4u);  // finer rate -> more chunks
+}
+
+TEST(SchedulerTest, EmptySchedule) {
+  ShuffleScheduler s(0, 0, Config());
+  EXPECT_FALSE(s.Next().has_value());
+}
+
+}  // namespace
+}  // namespace fae

@@ -1,0 +1,120 @@
+#include "data/batch_loader.h"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+
+namespace fae {
+namespace {
+
+struct Fixture {
+  Fixture()
+      : dataset(SyntheticGenerator(MakeTaobaoLikeSchema(DatasetScale::kTiny),
+                                   {.seed = 37})
+                    .Generate(200)) {}
+
+  std::vector<uint64_t> Ids(size_t n) const {
+    std::vector<uint64_t> ids(n);
+    for (size_t i = 0; i < n; ++i) ids[i] = i;
+    return ids;
+  }
+
+  Dataset dataset;
+};
+
+void ExpectBatchesEqual(const MiniBatch& a, const MiniBatch& b) {
+  EXPECT_EQ(a.labels, b.labels);
+  EXPECT_EQ(a.indices, b.indices);
+  EXPECT_EQ(a.offsets, b.offsets);
+  EXPECT_EQ(MaxAbsDiff(a.dense, b.dense), 0.0f);
+}
+
+TEST(BatchLoaderTest, ProducesSameBatchesAsDirectAssembly) {
+  Fixture f;
+  const auto ids = f.Ids(100);
+  auto expected = AssembleBatches(f.dataset, ids, 16, false);
+  BatchLoader loader(&f.dataset, ids, 16);
+  EXPECT_EQ(loader.num_batches(), expected.size());
+  for (const MiniBatch& want : expected) {
+    auto got = loader.Next();
+    ASSERT_TRUE(got.has_value());
+    ExpectBatchesEqual(*got, want);
+  }
+  EXPECT_FALSE(loader.Next().has_value());
+  EXPECT_FALSE(loader.Next().has_value());  // stays exhausted
+}
+
+TEST(BatchLoaderTest, LastBatchIsShort) {
+  Fixture f;
+  BatchLoader loader(&f.dataset, f.Ids(50), 16);
+  EXPECT_EQ(loader.num_batches(), 4u);
+  size_t total = 0;
+  size_t last = 0;
+  while (auto b = loader.Next()) {
+    total += b->batch_size();
+    last = b->batch_size();
+  }
+  EXPECT_EQ(total, 50u);
+  EXPECT_EQ(last, 2u);
+}
+
+TEST(BatchLoaderTest, ResetReplaysTheEpoch) {
+  Fixture f;
+  const auto ids = f.Ids(48);
+  BatchLoader loader(&f.dataset, ids, 16);
+  std::vector<MiniBatch> first_pass;
+  while (auto b = loader.Next()) first_pass.push_back(std::move(*b));
+  ASSERT_EQ(first_pass.size(), 3u);
+
+  loader.Reset();
+  size_t i = 0;
+  while (auto b = loader.Next()) {
+    ExpectBatchesEqual(*b, first_pass[i++]);
+  }
+  EXPECT_EQ(i, 3u);
+}
+
+TEST(BatchLoaderTest, ResetMidEpochStartsOver) {
+  Fixture f;
+  BatchLoader loader(&f.dataset, f.Ids(64), 16);
+  auto first = loader.Next();
+  ASSERT_TRUE(first.has_value());
+  (void)loader.Next();
+  loader.Reset();
+  auto again = loader.Next();
+  ASSERT_TRUE(again.has_value());
+  ExpectBatchesEqual(*again, *first);
+  size_t remaining = 1;
+  while (loader.Next()) ++remaining;
+  EXPECT_EQ(remaining, 4u);
+}
+
+TEST(BatchLoaderTest, DestructionMidEpochJoinsCleanly) {
+  Fixture f;
+  for (int trial = 0; trial < 5; ++trial) {
+    BatchLoader loader(&f.dataset, f.Ids(200), 8, /*prefetch_depth=*/2);
+    (void)loader.Next();  // leave most of the epoch unconsumed
+  }
+}
+
+TEST(BatchLoaderTest, EmptyIdListYieldsNothing) {
+  Fixture f;
+  BatchLoader loader(&f.dataset, {}, 16);
+  EXPECT_EQ(loader.num_batches(), 0u);
+  EXPECT_FALSE(loader.Next().has_value());
+}
+
+TEST(BatchLoaderTest, PrefetchDepthOneStillCorrect) {
+  Fixture f;
+  const auto ids = f.Ids(40);
+  auto expected = AssembleBatches(f.dataset, ids, 8, false);
+  BatchLoader loader(&f.dataset, ids, 8, /*prefetch_depth=*/1);
+  for (const MiniBatch& want : expected) {
+    auto got = loader.Next();
+    ASSERT_TRUE(got.has_value());
+    ExpectBatchesEqual(*got, want);
+  }
+}
+
+}  // namespace
+}  // namespace fae

@@ -1,0 +1,101 @@
+#include "data/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace fae {
+namespace {
+
+TEST(SchemaTest, KaggleStructureMatchesTableI) {
+  DatasetSchema s = MakeKaggleLikeSchema(DatasetScale::kSmall);
+  EXPECT_EQ(s.num_dense, 13u);
+  EXPECT_EQ(s.num_tables(), 26u);
+  EXPECT_EQ(s.embedding_dim, 16u);
+  EXPECT_FALSE(s.sequential);
+}
+
+TEST(SchemaTest, TerabyteStructureMatchesTableI) {
+  DatasetSchema s = MakeTerabyteLikeSchema(DatasetScale::kSmall);
+  EXPECT_EQ(s.num_dense, 13u);
+  EXPECT_EQ(s.num_tables(), 26u);
+  EXPECT_EQ(s.embedding_dim, 64u);
+}
+
+TEST(SchemaTest, TaobaoStructureMatchesTableI) {
+  DatasetSchema s = MakeTaobaoLikeSchema(DatasetScale::kSmall);
+  EXPECT_EQ(s.num_dense, 3u);
+  EXPECT_EQ(s.num_tables(), 3u);
+  EXPECT_TRUE(s.sequential);
+  EXPECT_EQ(s.max_history, 21u);
+}
+
+TEST(SchemaTest, PaperScaleRowCounts) {
+  EXPECT_EQ(MakeKaggleLikeSchema(DatasetScale::kPaper).table_rows[0],
+            10100000u);
+  EXPECT_EQ(MakeTerabyteLikeSchema(DatasetScale::kPaper).table_rows[0],
+            73100000u);
+  EXPECT_EQ(MakeTaobaoLikeSchema(DatasetScale::kPaper).table_rows[0],
+            4100000u);
+}
+
+TEST(SchemaTest, RowsDecaySoSomeTablesAreSmall) {
+  DatasetSchema s = MakeKaggleLikeSchema(DatasetScale::kMedium);
+  EXPECT_GT(s.table_rows.front(), s.table_rows.back() * 100);
+  bool has_large = false;
+  bool has_small = false;
+  for (size_t t = 0; t < s.num_tables(); ++t) {
+    (s.IsLargeTable(t) ? has_large : has_small) = true;
+  }
+  EXPECT_TRUE(has_large);
+  EXPECT_TRUE(has_small);
+}
+
+TEST(SchemaTest, ScalesAreOrdered) {
+  for (auto make : {MakeKaggleLikeSchema, MakeTerabyteLikeSchema,
+                    MakeTaobaoLikeSchema}) {
+    EXPECT_LT(make(DatasetScale::kTiny).table_rows[0],
+              make(DatasetScale::kSmall).table_rows[0]);
+    EXPECT_LT(make(DatasetScale::kSmall).table_rows[0],
+              make(DatasetScale::kMedium).table_rows[0]);
+    EXPECT_LT(make(DatasetScale::kMedium).table_rows[0],
+              make(DatasetScale::kPaper).table_rows[0]);
+  }
+}
+
+TEST(SchemaTest, TotalBytesSumsTables) {
+  DatasetSchema s = MakeTaobaoLikeSchema(DatasetScale::kTiny);
+  uint64_t total = 0;
+  for (size_t t = 0; t < s.num_tables(); ++t) total += s.TableBytes(t);
+  EXPECT_EQ(s.TotalEmbeddingBytes(), total);
+}
+
+TEST(SchemaTest, PaperTerabyteIsTensOfGigabytes) {
+  DatasetSchema s = MakeTerabyteLikeSchema(DatasetScale::kPaper);
+  // Paper: 61 GB total; our log-spread gives the same order of magnitude.
+  EXPECT_GT(s.TotalEmbeddingBytes(), 20ULL << 30);
+}
+
+TEST(SchemaTest, MakeSchemaDispatches) {
+  EXPECT_TRUE(MakeSchema(WorkloadKind::kTaobaoTbsm, DatasetScale::kTiny)
+                  .sequential);
+  EXPECT_EQ(MakeSchema(WorkloadKind::kKaggleDlrm, DatasetScale::kTiny)
+                .embedding_dim,
+            16u);
+  EXPECT_EQ(MakeSchema(WorkloadKind::kTerabyteDlrm, DatasetScale::kTiny)
+                .embedding_dim,
+            64u);
+}
+
+TEST(SchemaTest, DefaultInputsScaleWithDataset) {
+  EXPECT_LT(DefaultNumInputs(WorkloadKind::kKaggleDlrm, DatasetScale::kTiny),
+            DefaultNumInputs(WorkloadKind::kKaggleDlrm, DatasetScale::kSmall));
+  EXPECT_EQ(DefaultNumInputs(WorkloadKind::kKaggleDlrm, DatasetScale::kPaper),
+            45000000u);
+}
+
+TEST(SchemaTest, NamesAreStable) {
+  EXPECT_EQ(WorkloadName(WorkloadKind::kKaggleDlrm), "RMC2/DLRM/Kaggle");
+  EXPECT_EQ(DatasetScaleName(DatasetScale::kPaper), "paper");
+}
+
+}  // namespace
+}  // namespace fae

@@ -1,0 +1,172 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "embedding/embedding_bag.h"
+#include "embedding/embedding_table.h"
+#include "embedding/sparse_sgd.h"
+
+namespace fae {
+namespace {
+
+TEST(EmbeddingTableTest, InitializationBound) {
+  Xoshiro256 rng(1);
+  EmbeddingTable table(100, 8, rng);
+  const float bound = 1.0f / std::sqrt(100.0f);
+  for (uint64_t r = 0; r < table.rows(); ++r) {
+    for (size_t k = 0; k < table.dim(); ++k) {
+      EXPECT_LE(std::fabs(table.row(r)[k]), bound);
+    }
+  }
+}
+
+TEST(EmbeddingTableTest, SizeBytes) {
+  Xoshiro256 rng(2);
+  EmbeddingTable table(1000, 16, rng);
+  EXPECT_EQ(table.SizeBytes(), 1000u * 16 * 4);
+}
+
+TEST(EmbeddingTableTest, ZeroInitializedVariant) {
+  EmbeddingTable table(10, 4);
+  for (uint64_t r = 0; r < 10; ++r) {
+    for (size_t k = 0; k < 4; ++k) EXPECT_EQ(table.row(r)[k], 0.0f);
+  }
+}
+
+TEST(EmbeddingTableTest, CopyRowFrom) {
+  Xoshiro256 rng(3);
+  EmbeddingTable src(5, 4, rng);
+  EmbeddingTable dst(3, 4);
+  dst.CopyRowFrom(src, 2, 1);
+  for (size_t k = 0; k < 4; ++k) EXPECT_EQ(dst.row(1)[k], src.row(2)[k]);
+}
+
+TEST(EmbeddingTableDeathTest, OutOfRangeRowAborts) {
+  Xoshiro256 rng(4);
+  EmbeddingTable table(5, 4, rng);
+  EXPECT_DEATH(table.row(5), "Check failed");
+}
+
+TEST(EmbeddingBagTest, SingleLookupReturnsRow) {
+  Xoshiro256 rng(5);
+  EmbeddingTable table(10, 4, rng);
+  Tensor out = EmbeddingBag::Forward(table, {3}, {0, 1});
+  for (size_t k = 0; k < 4; ++k) EXPECT_EQ(out(0, k), table.row(3)[k]);
+}
+
+TEST(EmbeddingBagTest, SumPoolsMultipleLookups) {
+  Xoshiro256 rng(6);
+  EmbeddingTable table(10, 4, rng);
+  Tensor out = EmbeddingBag::Forward(table, {1, 2, 5}, {0, 3});
+  for (size_t k = 0; k < 4; ++k) {
+    EXPECT_NEAR(out(0, k),
+                table.row(1)[k] + table.row(2)[k] + table.row(5)[k], 1e-6f);
+  }
+}
+
+TEST(EmbeddingBagTest, EmptyBagYieldsZeros) {
+  Xoshiro256 rng(7);
+  EmbeddingTable table(10, 4, rng);
+  Tensor out = EmbeddingBag::Forward(table, {}, {0, 0});
+  for (size_t k = 0; k < 4; ++k) EXPECT_EQ(out(0, k), 0.0f);
+}
+
+TEST(EmbeddingBagTest, BatchedOffsets) {
+  Xoshiro256 rng(8);
+  EmbeddingTable table(10, 2, rng);
+  // Sample 0: rows {0,1}; sample 1: row {2}.
+  Tensor out = EmbeddingBag::Forward(table, {0, 1, 2}, {0, 2, 3});
+  EXPECT_EQ(out.rows(), 2u);
+  EXPECT_NEAR(out(0, 0), table.row(0)[0] + table.row(1)[0], 1e-6f);
+  EXPECT_NEAR(out(1, 0), table.row(2)[0], 1e-6f);
+}
+
+TEST(EmbeddingBagTest, BackwardScattersGradients) {
+  Tensor grad(2, 2, {1, 2, 3, 4});
+  // Sample 0 -> rows {5, 7}; sample 1 -> row {5} (row 5 accumulates).
+  SparseGrad g = EmbeddingBag::Backward(grad, {5, 7, 5}, {0, 2, 3}, 2);
+  EXPECT_EQ(g.num_rows(), 2u);
+  EXPECT_FLOAT_EQ(g.rows.at(5)[0], 1 + 3);
+  EXPECT_FLOAT_EQ(g.rows.at(5)[1], 2 + 4);
+  EXPECT_FLOAT_EQ(g.rows.at(7)[0], 1);
+  EXPECT_EQ(g.Bytes(), 2u * 2 * 4);
+}
+
+TEST(EmbeddingBagTest, RepeatedIndexWithinSampleCountsTwice) {
+  Tensor grad(1, 2, {1, 1});
+  SparseGrad g = EmbeddingBag::Backward(grad, {3, 3}, {0, 2}, 2);
+  EXPECT_FLOAT_EQ(g.rows.at(3)[0], 2.0f);
+}
+
+TEST(EmbeddingBagTest, ForwardBackwardGradientCheck) {
+  Xoshiro256 rng(9);
+  EmbeddingTable table(6, 3, rng);
+  const std::vector<uint32_t> indices = {0, 2, 2, 4};
+  const std::vector<uint32_t> offsets = {0, 2, 4};
+  Tensor grad_out = Tensor::Randn(2, 3, 1.0f, rng);
+
+  auto loss = [&]() {
+    Tensor out = EmbeddingBag::Forward(table, indices, offsets);
+    double l = 0;
+    for (size_t i = 0; i < out.numel(); ++i) {
+      l += out.data()[i] * grad_out.data()[i];
+    }
+    return l;
+  };
+
+  SparseGrad g = EmbeddingBag::Backward(grad_out, indices, offsets, 3);
+  const float eps = 1e-3f;
+  for (const auto& [row, gvec] : g.rows) {
+    for (size_t k = 0; k < 3; ++k) {
+      const float orig = table.row(row)[k];
+      table.row(row)[k] = orig + eps;
+      const double lp = loss();
+      table.row(row)[k] = orig - eps;
+      const double lm = loss();
+      table.row(row)[k] = orig;
+      EXPECT_NEAR(gvec[k], (lp - lm) / (2 * eps), 1e-2);
+    }
+  }
+}
+
+TEST(SparseSgdTest, UpdatesOnlyTouchedRows) {
+  Xoshiro256 rng(10);
+  EmbeddingTable table(4, 2, rng);
+  const float before_r0 = table.row(0)[0];
+  const float before_r2 = table.row(2)[0];
+  SparseGrad g;
+  g.dim = 2;
+  g.rows[2] = {1.0f, 2.0f};
+  SparseSgd sgd(0.5f);
+  sgd.Step(table, g);
+  EXPECT_EQ(table.row(0)[0], before_r0);
+  EXPECT_FLOAT_EQ(table.row(2)[0], before_r2 - 0.5f);
+}
+
+TEST(SparseSgdTest, AccumulateMergesOverlappingRows) {
+  SparseGrad a;
+  a.dim = 2;
+  a.rows[1] = {1, 1};
+  SparseGrad b;
+  b.dim = 2;
+  b.rows[1] = {2, 3};
+  b.rows[5] = {4, 4};
+  AccumulateSparseGrad(a, b);
+  EXPECT_EQ(a.num_rows(), 2u);
+  EXPECT_FLOAT_EQ(a.rows.at(1)[0], 3);
+  EXPECT_FLOAT_EQ(a.rows.at(1)[1], 4);
+  EXPECT_FLOAT_EQ(a.rows.at(5)[0], 4);
+}
+
+TEST(SparseSgdTest, AccumulateIntoEmptyAdoptsDim) {
+  SparseGrad a;
+  SparseGrad b;
+  b.dim = 3;
+  b.rows[0] = {1, 2, 3};
+  AccumulateSparseGrad(a, b);
+  EXPECT_EQ(a.dim, 3u);
+  EXPECT_EQ(a.num_rows(), 1u);
+}
+
+}  // namespace
+}  // namespace fae

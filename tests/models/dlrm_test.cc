@@ -1,0 +1,181 @@
+#include "models/dlrm.h"
+
+#include <gtest/gtest.h>
+
+#include "data/minibatch.h"
+#include "data/synthetic.h"
+#include "models/factory.h"
+#include "tensor/loss.h"
+#include "tensor/sgd.h"
+#include "embedding/sparse_sgd.h"
+
+namespace fae {
+namespace {
+
+struct Fixture {
+  Fixture()
+      : schema(MakeKaggleLikeSchema(DatasetScale::kTiny)),
+        config(MakeDlrmConfig(schema, /*full_size=*/false)),
+        model(schema, config, /*seed=*/42),
+        dataset(SyntheticGenerator(schema, {.seed = 7}).Generate(256)) {}
+
+  DatasetSchema schema;
+  ModelConfig config;
+  Dlrm model;
+  Dataset dataset;
+};
+
+std::vector<uint64_t> Iota(size_t n, uint64_t start = 0) {
+  std::vector<uint64_t> ids(n);
+  for (size_t i = 0; i < n; ++i) ids[i] = start + i;
+  return ids;
+}
+
+TEST(DlrmTest, ConfigWidthsLineUp) {
+  DatasetSchema schema = MakeKaggleLikeSchema(DatasetScale::kTiny);
+  ModelConfig full = MakeDlrmConfig(schema, true);
+  EXPECT_EQ(full.bottom_mlp.front(), 13u);
+  EXPECT_EQ(full.bottom_mlp.back(), 16u);
+  EXPECT_EQ(full.top_mlp.front(), DlrmTopInputWidth(schema));
+  // 27 features -> 351 pairs + 16 = 367 (paper's RMC2 interaction width).
+  EXPECT_EQ(DlrmTopInputWidth(schema), 27u * 26 / 2 + 16);
+}
+
+TEST(DlrmTest, EvalLogitsShape) {
+  Fixture f;
+  MiniBatch batch = AssembleBatch(f.dataset, Iota(8));
+  Tensor logits = f.model.EvalLogits(batch);
+  EXPECT_EQ(logits.rows(), 8u);
+  EXPECT_EQ(logits.cols(), 1u);
+}
+
+TEST(DlrmTest, ForwardBackwardReturnsPerTableGrads) {
+  Fixture f;
+  MiniBatch batch = AssembleBatch(f.dataset, Iota(4));
+  StepResult step = f.model.ForwardBackward(batch);
+  EXPECT_EQ(step.batch_size, 4u);
+  ASSERT_EQ(step.table_grads.size(), f.schema.num_tables());
+  for (size_t t = 0; t < f.schema.num_tables(); ++t) {
+    EXPECT_GE(step.table_grads[t].num_rows(), 1u);
+    EXPECT_LE(step.table_grads[t].num_rows(), 4u);
+    EXPECT_EQ(step.table_grads[t].dim, f.schema.embedding_dim);
+  }
+}
+
+TEST(DlrmTest, DenseGradsAccumulate) {
+  Fixture f;
+  MiniBatch batch = AssembleBatch(f.dataset, Iota(4));
+  for (Parameter* p : f.model.DenseParams()) {
+    EXPECT_EQ(p->grad.Norm(), 0.0);
+  }
+  f.model.ForwardBackward(batch);
+  double total = 0;
+  for (Parameter* p : f.model.DenseParams()) total += p->grad.Norm();
+  EXPECT_GT(total, 0.0);
+}
+
+TEST(DlrmTest, EmbeddingGradientMatchesNumerical) {
+  Fixture f;
+  MiniBatch batch = AssembleBatch(f.dataset, Iota(2));
+  StepResult step = f.model.ForwardBackward(batch);
+  Sgd zero(0.0f);
+  zero.ZeroGrad(f.model.DenseParams());
+
+  auto loss = [&]() {
+    Tensor logits = f.model.EvalLogits(batch);
+    return BceLossOnly(logits, batch.labels);
+  };
+
+  // Check a handful of touched rows in the largest table.
+  const size_t t = 0;
+  size_t checked = 0;
+  const float eps = 1e-2f;
+  for (const auto& [row, gvec] : step.table_grads[t].rows) {
+    for (size_t k = 0; k < 3; ++k) {
+      float* cell = f.model.tables()[t].row(row) + k;
+      const float orig = *cell;
+      *cell = orig + eps;
+      const double lp = loss();
+      *cell = orig - eps;
+      const double lm = loss();
+      *cell = orig;
+      EXPECT_NEAR(gvec[k], (lp - lm) / (2 * eps), 5e-2);
+    }
+    if (++checked >= 2) break;
+  }
+}
+
+TEST(DlrmTest, TrainingReducesLoss) {
+  Fixture f;
+  Sgd dense(0.1f);
+  SparseSgd sparse(0.1f);
+  std::vector<EmbeddingTable*> tables;
+  for (auto& t : f.model.tables()) tables.push_back(&t);
+
+  double first_loss = 0;
+  double last_loss = 0;
+  const size_t batch_size = 32;
+  for (int epoch = 0; epoch < 30; ++epoch) {
+    double epoch_loss = 0;
+    size_t batches = 0;
+    for (size_t begin = 0; begin + batch_size <= f.dataset.size();
+         begin += batch_size) {
+      MiniBatch batch = AssembleBatch(f.dataset, Iota(batch_size, begin));
+      StepResult step = f.model.ForwardBackward(batch);
+      dense.Step(f.model.DenseParams());
+      for (size_t t = 0; t < tables.size(); ++t) {
+        sparse.Step(*tables[t], step.table_grads[t]);
+      }
+      epoch_loss += step.loss;
+      ++batches;
+    }
+    epoch_loss /= batches;
+    if (epoch == 0) first_loss = epoch_loss;
+    last_loss = epoch_loss;
+  }
+  EXPECT_LT(last_loss, first_loss * 0.9);
+}
+
+TEST(DlrmTest, ForwardBackwardOnAlternativeTablesMatches) {
+  // Running against a bitwise copy of the tables must give identical
+  // results — the property the FAE replica path relies on.
+  Fixture f;
+  MiniBatch batch = AssembleBatch(f.dataset, Iota(4));
+  std::vector<EmbeddingTable> copies = f.model.tables();
+  std::vector<EmbeddingTable*> copy_ptrs;
+  for (auto& t : copies) copy_ptrs.push_back(&t);
+
+  StepResult on_copy = f.model.ForwardBackwardOn(batch, copy_ptrs);
+  Sgd zero(0.0f);
+  zero.ZeroGrad(f.model.DenseParams());
+  StepResult on_master = f.model.ForwardBackward(batch);
+  EXPECT_DOUBLE_EQ(on_copy.loss, on_master.loss);
+  EXPECT_EQ(on_copy.correct, on_master.correct);
+}
+
+TEST(DlrmTest, WorkCountsAreConsistent) {
+  Fixture f;
+  MiniBatch batch = AssembleBatch(f.dataset, Iota(16));
+  BatchWork w = f.model.Work(batch);
+  EXPECT_EQ(w.embedding_read_bytes,
+            batch.TotalLookups() * f.schema.embedding_dim * 4);
+  EXPECT_EQ(w.per_table_lookups.size(), f.schema.num_tables());
+  EXPECT_GT(w.forward_flops, 0u);
+  EXPECT_GT(w.dense_param_count, 0u);
+  EXPECT_LE(w.touched_rows, batch.TotalLookups());
+  EXPECT_EQ(w.touched_bytes, w.touched_rows * f.schema.embedding_dim * 4);
+  uint64_t per_table_sum = 0;
+  for (uint64_t v : w.per_table_touched) per_table_sum += v;
+  EXPECT_EQ(per_table_sum, w.touched_rows);
+}
+
+TEST(DlrmTest, FactoryBuildsDlrmForNonSequential) {
+  DatasetSchema schema = MakeKaggleLikeSchema(DatasetScale::kTiny);
+  auto model = MakeModel(schema, /*full_size=*/false, 1);
+  ASSERT_NE(model, nullptr);
+  EXPECT_EQ(model->tables().size(), schema.num_tables());
+  EXPECT_EQ(model->embedding_dim(), schema.embedding_dim);
+}
+
+}  // namespace
+}  // namespace fae

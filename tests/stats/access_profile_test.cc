@@ -1,0 +1,123 @@
+#include "stats/access_profile.h"
+
+#include <gtest/gtest.h>
+
+#include "stats/zipf.h"
+#include "util/random.h"
+
+namespace fae {
+namespace {
+
+TEST(AccessProfileTest, StartsEmpty) {
+  AccessProfile p({10, 20});
+  EXPECT_EQ(p.num_tables(), 2u);
+  EXPECT_EQ(p.table_rows(0), 10u);
+  EXPECT_EQ(p.table_rows(1), 20u);
+  EXPECT_EQ(p.grand_total(), 0u);
+  EXPECT_EQ(p.table_total(0), 0u);
+}
+
+TEST(AccessProfileTest, RecordAccumulates) {
+  AccessProfile p({4});
+  p.Record(0, 1);
+  p.Record(0, 1);
+  p.Record(0, 3);
+  EXPECT_EQ(p.counts(0)[0], 0u);
+  EXPECT_EQ(p.counts(0)[1], 2u);
+  EXPECT_EQ(p.counts(0)[3], 1u);
+  EXPECT_EQ(p.table_total(0), 3u);
+  EXPECT_EQ(p.grand_total(), 3u);
+}
+
+TEST(AccessProfileTest, EntriesAtOrAbove) {
+  AccessProfile p({5});
+  for (int i = 0; i < 5; ++i) p.Record(0, 0);
+  for (int i = 0; i < 3; ++i) p.Record(0, 1);
+  p.Record(0, 2);
+  EXPECT_EQ(p.EntriesAtOrAbove(0, 1), 3u);
+  EXPECT_EQ(p.EntriesAtOrAbove(0, 3), 2u);
+  EXPECT_EQ(p.EntriesAtOrAbove(0, 5), 1u);
+  EXPECT_EQ(p.EntriesAtOrAbove(0, 6), 0u);
+  EXPECT_EQ(p.EntriesAtOrAbove(0, 0), 5u);  // zero threshold counts all rows
+}
+
+TEST(AccessProfileTest, MergeRequiresSameShape) {
+  AccessProfile a({4});
+  AccessProfile b({4, 4});
+  EXPECT_FALSE(a.Merge(b).ok());
+  AccessProfile c({5});
+  EXPECT_FALSE(a.Merge(c).ok());
+}
+
+TEST(AccessProfileTest, MergeAddsCounts) {
+  AccessProfile a({3});
+  AccessProfile b({3});
+  a.Record(0, 0);
+  b.Record(0, 0);
+  b.Record(0, 2);
+  ASSERT_TRUE(a.Merge(b).ok());
+  EXPECT_EQ(a.counts(0)[0], 2u);
+  EXPECT_EQ(a.counts(0)[2], 1u);
+  EXPECT_EQ(a.table_total(0), 3u);
+}
+
+TEST(AccessProfileTest, TopShareOfUniformIsProportional) {
+  AccessProfile p({100});
+  for (uint64_t r = 0; r < 100; ++r) p.Record(0, r);
+  EXPECT_NEAR(p.TopShare(0, 0.10), 0.10, 1e-9);
+  EXPECT_NEAR(p.TopShare(0, 1.0), 1.0, 1e-9);
+}
+
+TEST(AccessProfileTest, TopShareOfSkewedIsConcentrated) {
+  Xoshiro256 rng(11);
+  ZipfSampler zipf(1000, 1.2);
+  AccessProfile p({1000});
+  for (int i = 0; i < 100000; ++i) p.Record(0, zipf.Sample(rng));
+  // Heavy skew: top 10% should capture the large majority of accesses.
+  EXPECT_GT(p.TopShare(0, 0.10), 0.75);
+}
+
+TEST(AccessProfileTest, TopShareEmptyTableIsZero) {
+  AccessProfile p({50});
+  EXPECT_EQ(p.TopShare(0, 0.5), 0.0);
+}
+
+TEST(AccessProfileTest, GiniOfUniformIsZero) {
+  AccessProfile p({100});
+  for (uint64_t r = 0; r < 100; ++r) {
+    p.Record(0, r);
+    p.Record(0, r);
+  }
+  EXPECT_NEAR(p.Gini(0), 0.0, 1e-9);
+}
+
+TEST(AccessProfileTest, GiniOfSingleHotEntryNearOne) {
+  AccessProfile p({1000});
+  for (int i = 0; i < 5000; ++i) p.Record(0, 7);
+  EXPECT_GT(p.Gini(0), 0.99);
+}
+
+TEST(AccessProfileTest, GiniOfZipfIsHigh) {
+  Xoshiro256 rng(13);
+  ZipfSampler zipf(2000, 1.15);
+  AccessProfile p({2000});
+  for (int i = 0; i < 100000; ++i) p.Record(0, zipf.Sample(rng));
+  EXPECT_GT(p.Gini(0), 0.7);
+  EXPECT_LT(p.Gini(0), 1.0);
+}
+
+TEST(AccessProfileTest, GiniOfEmptyIsZero) {
+  AccessProfile p({64});
+  EXPECT_EQ(p.Gini(0), 0.0);
+}
+
+TEST(AccessProfileTest, CountHistogramMatchesTotalRows) {
+  AccessProfile p({64});
+  p.Record(0, 0);
+  p.Record(0, 0);
+  Histogram h = p.CountHistogram(0);
+  EXPECT_EQ(h.total_count(), 64u);  // one histogram entry per table row
+}
+
+}  // namespace
+}  // namespace fae

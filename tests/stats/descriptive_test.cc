@@ -1,0 +1,35 @@
+#include "stats/descriptive.h"
+
+#include <gtest/gtest.h>
+
+namespace fae {
+namespace {
+
+TEST(DescriptiveTest, MeanBasics) {
+  EXPECT_EQ(Mean(std::vector<double>{}), 0.0);
+  EXPECT_EQ(Mean(std::vector<double>{5.0}), 5.0);
+  EXPECT_EQ(Mean(std::vector<int>{1, 2, 3, 4}), 2.5);
+}
+
+TEST(DescriptiveTest, StdDevBasics) {
+  EXPECT_EQ(SampleStdDev(std::vector<double>{}), 0.0);
+  EXPECT_EQ(SampleStdDev(std::vector<double>{42.0}), 0.0);
+  // Sample stddev of {2,4,4,4,5,5,7,9} with n-1 is sqrt(32/7).
+  std::vector<double> v = {2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_NEAR(SampleStdDev(v), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(DescriptiveTest, ConstantVectorHasZeroStdDev) {
+  std::vector<uint64_t> v(100, 7);
+  EXPECT_EQ(SampleStdDev(v), 0.0);
+  EXPECT_EQ(Mean(v), 7.0);
+}
+
+TEST(DescriptiveTest, WorksOnIntegerTypes) {
+  std::vector<uint64_t> v = {1, 3};
+  EXPECT_EQ(Mean(v), 2.0);
+  EXPECT_NEAR(SampleStdDev(v), std::sqrt(2.0), 1e-12);
+}
+
+}  // namespace
+}  // namespace fae

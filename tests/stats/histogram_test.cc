@@ -1,0 +1,90 @@
+#include "stats/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace fae {
+namespace {
+
+TEST(HistogramTest, EmptyHistogram) {
+  Histogram h;
+  EXPECT_EQ(h.total_count(), 0u);
+  EXPECT_EQ(h.ApproximateQuantile(0.5), 0u);
+}
+
+TEST(HistogramTest, BucketBoundaries) {
+  EXPECT_EQ(Histogram::BucketLowerBound(0), 0u);
+  EXPECT_EQ(Histogram::BucketLowerBound(1), 1u);
+  EXPECT_EQ(Histogram::BucketLowerBound(2), 2u);
+  EXPECT_EQ(Histogram::BucketLowerBound(3), 4u);
+  EXPECT_EQ(Histogram::BucketLowerBound(11), 1024u);
+}
+
+TEST(HistogramTest, AddPlacesValuesInCorrectBuckets) {
+  Histogram h;
+  h.Add(0);
+  h.Add(1);
+  h.Add(2);
+  h.Add(3);
+  h.Add(4);
+  h.Add(1000000);
+  EXPECT_EQ(h.total_count(), 6u);
+  const auto& b = h.bucket_counts();
+  EXPECT_EQ(b[0], 1u);  // 0
+  EXPECT_EQ(b[1], 1u);  // 1
+  EXPECT_EQ(b[2], 2u);  // 2,3
+  EXPECT_EQ(b[3], 1u);  // 4..7
+}
+
+TEST(HistogramTest, MergeAddsCounts) {
+  Histogram a;
+  Histogram b;
+  for (int i = 0; i < 10; ++i) a.Add(5);
+  for (int i = 0; i < 7; ++i) b.Add(100);
+  a.Merge(b);
+  EXPECT_EQ(a.total_count(), 17u);
+}
+
+TEST(HistogramTest, QuantileWalksBuckets) {
+  Histogram h;
+  for (int i = 0; i < 90; ++i) h.Add(1);
+  for (int i = 0; i < 10; ++i) h.Add(1024);
+  EXPECT_EQ(h.ApproximateQuantile(0.5), 1u);
+  EXPECT_EQ(h.ApproximateQuantile(0.99), 1024u);
+}
+
+TEST(HistogramTest, ShapeDistanceZeroForIdenticalShapes) {
+  Histogram a;
+  Histogram b;
+  for (int i = 0; i < 100; ++i) a.Add(i);
+  // b has the same *shape* at half the mass.
+  for (int i = 0; i < 100; i += 2) b.Add(i);
+  EXPECT_LT(Histogram::ShapeDistance(a, a), 1e-12);
+  EXPECT_LT(Histogram::ShapeDistance(a, b), 0.25);
+}
+
+TEST(HistogramTest, ShapeDistanceLargeForDisjointShapes) {
+  Histogram a;
+  Histogram b;
+  for (int i = 0; i < 100; ++i) a.Add(1);
+  for (int i = 0; i < 100; ++i) b.Add(1 << 20);
+  EXPECT_NEAR(Histogram::ShapeDistance(a, b), 2.0, 1e-12);
+}
+
+TEST(HistogramTest, ShapeDistanceOfEmptyIsMax) {
+  Histogram a;
+  Histogram b;
+  b.Add(3);
+  EXPECT_EQ(Histogram::ShapeDistance(a, b), 2.0);
+}
+
+TEST(HistogramTest, ToStringListsNonEmptyBuckets) {
+  Histogram h;
+  h.Add(0);
+  h.Add(9);
+  const std::string s = h.ToString();
+  EXPECT_NE(s.find("[>=0] 1"), std::string::npos);
+  EXPECT_NE(s.find("[>=8] 1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fae

@@ -1,0 +1,77 @@
+#include "stats/t_table.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace fae {
+namespace {
+
+TEST(TTableTest, CdfAtZeroIsHalf) {
+  EXPECT_NEAR(StudentTCdf(0.0, 5), 0.5, 1e-12);
+  EXPECT_NEAR(StudentTCdf(0.0, 34), 0.5, 1e-12);
+}
+
+TEST(TTableTest, CdfIsSymmetric) {
+  for (double t : {0.5, 1.0, 2.0, 3.34}) {
+    for (double df : {1.0, 10.0, 34.0}) {
+      EXPECT_NEAR(StudentTCdf(t, df) + StudentTCdf(-t, df), 1.0, 1e-10);
+    }
+  }
+}
+
+TEST(TTableTest, CdfMonotoneInT) {
+  double prev = 0.0;
+  for (double t = -5.0; t <= 5.0; t += 0.25) {
+    const double c = StudentTCdf(t, 12);
+    EXPECT_GT(c, prev);
+    prev = c;
+  }
+}
+
+TEST(TTableTest, KnownCriticalValues) {
+  // Standard tables: two-sided 95% with df=30 -> 2.042; df=10 -> 2.228.
+  EXPECT_NEAR(TwoSidedTCritical(0.95, 30), 2.042, 0.002);
+  EXPECT_NEAR(TwoSidedTCritical(0.95, 10), 2.228, 0.002);
+  // 99% two-sided, df=20 -> 2.845.
+  EXPECT_NEAR(TwoSidedTCritical(0.99, 20), 2.845, 0.002);
+}
+
+TEST(TTableTest, PaperValueForRandEmBox) {
+  // Paper Eq 6 quotes 3.340 for "99.9% confidence and n=35". That number is
+  // the one-sided 99.9% quantile at df = 35 (t-table row t_{0.001, 35}); the
+  // two-sided df = 34 value would be 3.601.
+  EXPECT_NEAR(OneSidedTCritical(0.999, 35), 3.340, 0.005);
+  EXPECT_NEAR(TwoSidedTCritical(0.999, 34), 3.601, 0.005);
+}
+
+TEST(TTableTest, OneSidedMatchesTwoSidedRelationship) {
+  // Two-sided confidence c equals one-sided confidence (1+c)/2.
+  for (double conf : {0.90, 0.95, 0.99}) {
+    EXPECT_NEAR(TwoSidedTCritical(conf, 25),
+                OneSidedTCritical((1.0 + conf) / 2.0, 25), 1e-9);
+  }
+}
+
+TEST(TTableTest, ApproachesNormalForLargeDf) {
+  // z_{0.975} = 1.95996.
+  EXPECT_NEAR(TwoSidedTCritical(0.95, 100000), 1.95996, 0.001);
+}
+
+TEST(TTableTest, CriticalValueRoundTripsThroughCdf) {
+  for (double conf : {0.90, 0.95, 0.99, 0.999}) {
+    for (double df : {5.0, 34.0, 60.0}) {
+      const double c = TwoSidedTCritical(conf, df);
+      const double mass = StudentTCdf(c, df) - StudentTCdf(-c, df);
+      EXPECT_NEAR(mass, conf, 1e-6);
+    }
+  }
+}
+
+TEST(TTableTest, HeavierTailsForSmallDf) {
+  EXPECT_GT(TwoSidedTCritical(0.95, 3), TwoSidedTCritical(0.95, 30));
+  EXPECT_GT(TwoSidedTCritical(0.95, 30), TwoSidedTCritical(0.95, 300));
+}
+
+}  // namespace
+}  // namespace fae

@@ -1,0 +1,107 @@
+#include "tensor/attention.h"
+
+#include <gtest/gtest.h>
+
+namespace fae {
+namespace {
+
+TEST(AttentionTest, WeightsSumToOne) {
+  Xoshiro256 rng(1);
+  std::vector<Tensor> history = {Tensor::Randn(5, 4, 1.0f, rng),
+                                 Tensor::Randn(3, 4, 1.0f, rng)};
+  Tensor query = Tensor::Randn(2, 4, 1.0f, rng);
+  DotAttention attn;
+  Tensor ctx = attn.Forward(history, query);
+  EXPECT_EQ(ctx.rows(), 2u);
+  EXPECT_EQ(ctx.cols(), 4u);
+  for (const auto& w : attn.last_weights()) {
+    double sum = 0;
+    for (float v : w) {
+      EXPECT_GE(v, 0.0f);
+      sum += v;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-5);
+  }
+}
+
+TEST(AttentionTest, SingleElementHistoryReturnsThatElement) {
+  Xoshiro256 rng(2);
+  Tensor z = Tensor::Randn(1, 4, 1.0f, rng);
+  Tensor query = Tensor::Randn(1, 4, 1.0f, rng);
+  DotAttention attn;
+  Tensor ctx = attn.Forward({z}, query);
+  EXPECT_LT(MaxAbsDiff(ctx, z), 1e-6f);
+}
+
+TEST(AttentionTest, AttendsToMostSimilarItem) {
+  // Query aligned with history item 1; with a strong scale the context
+  // should be close to that item.
+  const size_t d = 4;
+  Tensor z(2, d);
+  for (size_t k = 0; k < d; ++k) {
+    z(0, k) = -5.0f;
+    z(1, k) = 5.0f;
+  }
+  Tensor query(1, d);
+  for (size_t k = 0; k < d; ++k) query(0, k) = 5.0f;
+  DotAttention attn;
+  Tensor ctx = attn.Forward({z}, query);
+  for (size_t k = 0; k < d; ++k) EXPECT_NEAR(ctx(0, k), 5.0f, 1e-3f);
+}
+
+TEST(AttentionTest, GradientCheck) {
+  Xoshiro256 rng(3);
+  std::vector<Tensor> history = {Tensor::Randn(3, 4, 0.8f, rng),
+                                 Tensor::Randn(2, 4, 0.8f, rng)};
+  Tensor query = Tensor::Randn(2, 4, 0.8f, rng);
+  Tensor grad_ctx = Tensor::Randn(2, 4, 1.0f, rng);
+
+  auto loss = [&]() {
+    DotAttention a;
+    Tensor ctx = a.Forward(history, query);
+    double l = 0;
+    for (size_t i = 0; i < ctx.numel(); ++i) {
+      l += ctx.data()[i] * grad_ctx.data()[i];
+    }
+    return l;
+  };
+
+  DotAttention attn;
+  attn.Forward(history, query);
+  DotAttention::BackwardResult back = attn.Backward(grad_ctx);
+
+  const float eps = 1e-3f;
+  for (size_t s = 0; s < history.size(); ++s) {
+    for (size_t i = 0; i < history[s].numel(); ++i) {
+      const float orig = history[s].data()[i];
+      history[s].data()[i] = orig + eps;
+      const double lp = loss();
+      history[s].data()[i] = orig - eps;
+      const double lm = loss();
+      history[s].data()[i] = orig;
+      EXPECT_NEAR(back.grad_history[s].data()[i], (lp - lm) / (2 * eps),
+                  2e-2)
+          << "sample " << s << " elem " << i;
+    }
+  }
+  for (size_t i = 0; i < query.numel(); ++i) {
+    const float orig = query.data()[i];
+    query.data()[i] = orig + eps;
+    const double lp = loss();
+    query.data()[i] = orig - eps;
+    const double lm = loss();
+    query.data()[i] = orig;
+    EXPECT_NEAR(back.grad_query.data()[i], (lp - lm) / (2 * eps), 2e-2);
+  }
+}
+
+TEST(AttentionDeathTest, MismatchedBatchAborts) {
+  Xoshiro256 rng(4);
+  std::vector<Tensor> history = {Tensor::Randn(2, 4, 1.0f, rng)};
+  Tensor query = Tensor::Randn(3, 4, 1.0f, rng);
+  DotAttention attn;
+  EXPECT_DEATH(attn.Forward(history, query), "Check failed");
+}
+
+}  // namespace
+}  // namespace fae

@@ -1,0 +1,203 @@
+#include "tensor/ops.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace fae {
+namespace {
+
+TEST(OpsTest, MatMulSmallKnown) {
+  Tensor a(2, 3, {1, 2, 3, 4, 5, 6});
+  Tensor b(3, 2, {7, 8, 9, 10, 11, 12});
+  Tensor c = MatMul(a, b);
+  EXPECT_EQ(c.rows(), 2u);
+  EXPECT_EQ(c.cols(), 2u);
+  EXPECT_FLOAT_EQ(c(0, 0), 58.0f);
+  EXPECT_FLOAT_EQ(c(0, 1), 64.0f);
+  EXPECT_FLOAT_EQ(c(1, 0), 139.0f);
+  EXPECT_FLOAT_EQ(c(1, 1), 154.0f);
+}
+
+TEST(OpsTest, MatMulIdentity) {
+  Xoshiro256 rng(1);
+  Tensor a = Tensor::Randn(4, 4, 1.0f, rng);
+  Tensor eye(4, 4);
+  for (int i = 0; i < 4; ++i) eye(i, i) = 1.0f;
+  EXPECT_LT(MaxAbsDiff(MatMul(a, eye), a), 1e-6f);
+  EXPECT_LT(MaxAbsDiff(MatMul(eye, a), a), 1e-6f);
+}
+
+TEST(OpsTest, TransposedVariantsAgreeWithExplicitTranspose) {
+  Xoshiro256 rng(2);
+  Tensor a = Tensor::Randn(5, 3, 1.0f, rng);
+  Tensor b = Tensor::Randn(5, 4, 1.0f, rng);
+  // a^T * b via MatMulTransA.
+  Tensor at(3, 5);
+  for (size_t i = 0; i < 5; ++i) {
+    for (size_t j = 0; j < 3; ++j) at(j, i) = a(i, j);
+  }
+  EXPECT_LT(MaxAbsDiff(MatMulTransA(a, b), MatMul(at, b)), 1e-5f);
+
+  Tensor c = Tensor::Randn(4, 3, 1.0f, rng);
+  Tensor d = Tensor::Randn(6, 3, 1.0f, rng);
+  Tensor dt(3, 6);
+  for (size_t i = 0; i < 6; ++i) {
+    for (size_t j = 0; j < 3; ++j) dt(j, i) = d(i, j);
+  }
+  EXPECT_LT(MaxAbsDiff(MatMulTransB(c, d), MatMul(c, dt)), 1e-5f);
+}
+
+TEST(OpsTest, AddBiasRowwise) {
+  Tensor x(2, 3, {0, 0, 0, 1, 1, 1});
+  Tensor bias(1, 3, {10, 20, 30});
+  AddBiasRowwise(x, bias);
+  EXPECT_FLOAT_EQ(x(0, 2), 30.0f);
+  EXPECT_FLOAT_EQ(x(1, 0), 11.0f);
+}
+
+TEST(OpsTest, ColumnSums) {
+  Tensor x(3, 2, {1, 10, 2, 20, 3, 30});
+  Tensor s = ColumnSums(x);
+  EXPECT_FLOAT_EQ(s(0, 0), 6.0f);
+  EXPECT_FLOAT_EQ(s(0, 1), 60.0f);
+}
+
+TEST(OpsTest, ReluForwardAndBackward) {
+  Tensor x(1, 4, {-2, -0.5, 0.5, 2});
+  Tensor y = ReluForward(x);
+  EXPECT_FLOAT_EQ(y(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(y(0, 2), 0.5f);
+  Tensor g(1, 4, {1, 1, 1, 1});
+  Tensor dx = ReluBackward(g, x);
+  EXPECT_FLOAT_EQ(dx(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(dx(0, 1), 0.0f);
+  EXPECT_FLOAT_EQ(dx(0, 2), 1.0f);
+  EXPECT_FLOAT_EQ(dx(0, 3), 1.0f);
+}
+
+TEST(OpsTest, SigmoidKnownValues) {
+  Tensor x(1, 3, {0, 100, -100});
+  Tensor y = SigmoidForward(x);
+  EXPECT_FLOAT_EQ(y(0, 0), 0.5f);
+  EXPECT_NEAR(y(0, 1), 1.0f, 1e-6f);
+  EXPECT_NEAR(y(0, 2), 0.0f, 1e-6f);
+}
+
+TEST(OpsTest, ConcatAndSplitRoundTrip) {
+  Xoshiro256 rng(3);
+  Tensor a = Tensor::Randn(3, 2, 1.0f, rng);
+  Tensor b = Tensor::Randn(3, 5, 1.0f, rng);
+  Tensor c = Tensor::Randn(3, 1, 1.0f, rng);
+  Tensor cat = ConcatCols({&a, &b, &c});
+  EXPECT_EQ(cat.cols(), 8u);
+  auto parts = SplitCols(cat, {2, 5, 1});
+  EXPECT_LT(MaxAbsDiff(parts[0], a), 1e-7f);
+  EXPECT_LT(MaxAbsDiff(parts[1], b), 1e-7f);
+  EXPECT_LT(MaxAbsDiff(parts[2], c), 1e-7f);
+}
+
+TEST(OpsTest, SoftmaxRowsSumToOne) {
+  Xoshiro256 rng(4);
+  Tensor x = Tensor::Randn(5, 7, 3.0f, rng);
+  Tensor y = SoftmaxRows(x);
+  for (size_t r = 0; r < y.rows(); ++r) {
+    double sum = 0;
+    for (size_t c = 0; c < y.cols(); ++c) {
+      EXPECT_GT(y(r, c), 0.0f);
+      sum += y(r, c);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-5);
+  }
+}
+
+TEST(OpsTest, SoftmaxStableForLargeInputs) {
+  Tensor x(1, 3, {1000, 1001, 1002});
+  Tensor y = SoftmaxRows(x);
+  EXPECT_FALSE(std::isnan(y(0, 0)));
+  EXPECT_GT(y(0, 2), y(0, 0));
+}
+
+TEST(OpsTest, PairwiseDotKnownValues) {
+  // Two features of dim 2, batch 1: dot(f0, f1).
+  Tensor f0(1, 2, {1, 2});
+  Tensor f1(1, 2, {3, 4});
+  Tensor out = PairwiseDotInteraction({&f0, &f1});
+  EXPECT_EQ(out.cols(), 1u);
+  EXPECT_FLOAT_EQ(out(0, 0), 11.0f);
+}
+
+TEST(OpsTest, PairwiseDotCountsPairs) {
+  Xoshiro256 rng(5);
+  std::vector<Tensor> feats;
+  std::vector<const Tensor*> ptrs;
+  for (int i = 0; i < 5; ++i) feats.push_back(Tensor::Randn(3, 4, 1.0f, rng));
+  for (auto& f : feats) ptrs.push_back(&f);
+  Tensor out = PairwiseDotInteraction(ptrs);
+  EXPECT_EQ(out.cols(), 10u);  // C(5,2)
+  EXPECT_EQ(out.rows(), 3u);
+}
+
+TEST(OpsTest, PairwiseDotBackwardMatchesNumericalGradient) {
+  Xoshiro256 rng(6);
+  std::vector<Tensor> feats;
+  for (int i = 0; i < 3; ++i) feats.push_back(Tensor::Randn(2, 4, 1.0f, rng));
+  std::vector<const Tensor*> ptrs;
+  for (auto& f : feats) ptrs.push_back(&f);
+  Tensor grad_out = Tensor::Randn(2, 3, 1.0f, rng);
+
+  auto loss = [&]() {
+    Tensor out = PairwiseDotInteraction(ptrs);
+    double l = 0;
+    for (size_t i = 0; i < out.numel(); ++i) {
+      l += out.data()[i] * grad_out.data()[i];
+    }
+    return l;
+  };
+
+  std::vector<Tensor> analytic =
+      PairwiseDotInteractionBackward(grad_out, ptrs);
+  const float eps = 1e-3f;
+  for (size_t f = 0; f < feats.size(); ++f) {
+    for (size_t i = 0; i < feats[f].numel(); ++i) {
+      const float orig = feats[f].data()[i];
+      feats[f].data()[i] = orig + eps;
+      const double lp = loss();
+      feats[f].data()[i] = orig - eps;
+      const double lm = loss();
+      feats[f].data()[i] = orig;
+      const double numeric = (lp - lm) / (2 * eps);
+      EXPECT_NEAR(analytic[f].data()[i], numeric, 2e-2)
+          << "feature " << f << " elem " << i;
+    }
+  }
+}
+
+TEST(OpsTest, BlockedMatMulMatchesNaive) {
+  Xoshiro256 rng(7);
+  for (auto [m, k, n] : {std::tuple<size_t, size_t, size_t>{3, 5, 7},
+                         {64, 128, 96},
+                         {257, 300, 129},
+                         {1, 400, 1}}) {
+    Tensor a = Tensor::Randn(m, k, 1.0f, rng);
+    Tensor b = Tensor::Randn(k, n, 1.0f, rng);
+    EXPECT_LT(MaxAbsDiff(MatMulBlocked(a, b), MatMulNaive(a, b)), 1e-4f)
+        << m << "x" << k << "x" << n;
+  }
+}
+
+TEST(OpsTest, MatMulDispatchMatchesNaiveOnLargeShapes) {
+  Xoshiro256 rng(8);
+  Tensor a = Tensor::Randn(300, 400, 1.0f, rng);
+  Tensor b = Tensor::Randn(400, 350, 1.0f, rng);
+  EXPECT_LT(MaxAbsDiff(MatMul(a, b), MatMulNaive(a, b)), 1e-4f);
+}
+
+TEST(OpsDeathTest, MatMulShapeMismatchAborts) {
+  Tensor a(2, 3);
+  Tensor b(4, 2);
+  EXPECT_DEATH(MatMul(a, b), "Check failed");
+}
+
+}  // namespace
+}  // namespace fae

@@ -1,0 +1,193 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "embedding/rowwise_adagrad.h"
+#include "embedding/sparse_sgd.h"
+#include "tensor/loss.h"
+#include "tensor/mlp.h"
+#include "tensor/momentum_sgd.h"
+#include "tensor/sgd.h"
+
+namespace fae {
+namespace {
+
+Parameter MakeParam(std::vector<float> values) {
+  // Take the size before the move: argument evaluation order is
+  // unspecified, so Tensor(1, values.size(), std::move(values)) could read
+  // a moved-from vector.
+  const size_t n = values.size();
+  Parameter p;
+  p.name = "p";
+  p.value = Tensor(1, n, std::move(values));
+  p.grad = Tensor(1, n);
+  return p;
+}
+
+TEST(MomentumSgdTest, ZeroMomentumMatchesPlainSgd) {
+  Parameter a = MakeParam({1.0f, 2.0f});
+  Parameter b = MakeParam({1.0f, 2.0f});
+  a.grad = Tensor(1, 2, {0.5f, -0.5f});
+  b.grad = Tensor(1, 2, {0.5f, -0.5f});
+
+  Sgd plain(0.1f);
+  plain.Step({&a});
+  MomentumSgd momentum({&b}, 0.1f, 0.0f);
+  momentum.Step();
+  EXPECT_LT(MaxAbsDiff(a.value, b.value), 1e-7f);
+}
+
+TEST(MomentumSgdTest, VelocityAccumulatesKnownValues) {
+  Parameter p = MakeParam({0.0f});
+  MomentumSgd opt({&p}, /*lr=*/1.0f, /*momentum=*/0.5f);
+  // Constant gradient 1: v_1 = 1, v_2 = 1.5, v_3 = 1.75.
+  p.grad(0, 0) = 1.0f;
+  opt.Step();
+  EXPECT_FLOAT_EQ(p.value(0, 0), -1.0f);
+  p.grad(0, 0) = 1.0f;
+  opt.Step();
+  EXPECT_FLOAT_EQ(p.value(0, 0), -2.5f);
+  p.grad(0, 0) = 1.0f;
+  opt.Step();
+  EXPECT_FLOAT_EQ(p.value(0, 0), -4.25f);
+}
+
+TEST(MomentumSgdTest, StepClearsGradient) {
+  Parameter p = MakeParam({1.0f});
+  MomentumSgd opt({&p}, 0.1f, 0.9f);
+  p.grad(0, 0) = 3.0f;
+  opt.Step();
+  EXPECT_EQ(p.grad(0, 0), 0.0f);
+}
+
+TEST(MomentumSgdTest, ResetVelocityStopsCoasting) {
+  Parameter p = MakeParam({0.0f});
+  MomentumSgd opt({&p}, 1.0f, 0.9f);
+  p.grad(0, 0) = 1.0f;
+  opt.Step();
+  opt.ResetVelocity();
+  // No gradient: with zero velocity the value must not move.
+  const float before = p.value(0, 0);
+  opt.Step();
+  EXPECT_EQ(p.value(0, 0), before);
+}
+
+TEST(MomentumSgdTest, AcceleratesOnIllConditionedQuadratic) {
+  // f(w) = 0.5 * (100 w0^2 + w1^2): momentum reaches the optimum faster
+  // than plain SGD at the same (stable) learning rate.
+  auto run = [](bool use_momentum) {
+    Parameter p = MakeParam({1.0f, 1.0f});
+    Sgd plain(0.009f);
+    MomentumSgd momentum({&p}, 0.009f, 0.9f);
+    int iters = 0;
+    for (; iters < 4000; ++iters) {
+      p.grad(0, 0) = 100.0f * p.value(0, 0);
+      p.grad(0, 1) = p.value(0, 1);
+      if (std::fabs(p.value(0, 0)) < 1e-3f &&
+          std::fabs(p.value(0, 1)) < 1e-3f) {
+        break;
+      }
+      if (use_momentum) {
+        momentum.Step();
+      } else {
+        plain.Step({&p});
+      }
+    }
+    return iters;
+  };
+  EXPECT_LT(run(true), run(false));
+}
+
+TEST(MomentumSgdDeathTest, RejectsInvalidMomentum) {
+  Parameter p = MakeParam({0.0f});
+  EXPECT_DEATH(MomentumSgd({&p}, 0.1f, 1.0f), "Check failed");
+  EXPECT_DEATH(MomentumSgd({&p}, 0.1f, -0.1f), "Check failed");
+}
+
+TEST(RowwiseAdagradTest, KnownFirstStep) {
+  EmbeddingTable table(4, 2);
+  RowwiseAdagrad opt(4, /*lr=*/1.0f, /*eps=*/0.0f);
+  SparseGrad g;
+  g.dim = 2;
+  g.rows[1] = {3.0f, 4.0f};  // mean square = (9+16)/2 = 12.5
+  opt.Step(table, g);
+  const float scale = 1.0f / std::sqrt(12.5f);
+  EXPECT_NEAR(table.row(1)[0], -3.0f * scale, 1e-5f);
+  EXPECT_NEAR(table.row(1)[1], -4.0f * scale, 1e-5f);
+  EXPECT_NEAR(opt.accumulator(1), 12.5f, 1e-5f);
+  EXPECT_EQ(opt.accumulator(0), 0.0f);
+}
+
+TEST(RowwiseAdagradTest, EffectiveStepShrinksOverTime) {
+  EmbeddingTable table(1, 1);
+  RowwiseAdagrad opt(1, 1.0f);
+  float prev_delta = 1e9f;
+  float prev_value = 0.0f;
+  for (int i = 0; i < 5; ++i) {
+    SparseGrad g;
+    g.dim = 1;
+    g.rows[0] = {1.0f};
+    opt.Step(table, g);
+    const float delta = prev_value - table.row(0)[0];
+    EXPECT_LT(delta, prev_delta);
+    prev_delta = delta;
+    prev_value = table.row(0)[0];
+  }
+}
+
+TEST(RowwiseAdagradTest, UntouchedRowsKeepStateAndValues) {
+  Xoshiro256 rng(2);
+  EmbeddingTable table(8, 4, rng);
+  const float before = table.row(5)[0];
+  RowwiseAdagrad opt(8, 0.1f);
+  SparseGrad g;
+  g.dim = 4;
+  g.rows[2] = {1, 1, 1, 1};
+  opt.Step(table, g);
+  EXPECT_EQ(table.row(5)[0], before);
+  EXPECT_EQ(opt.accumulator(5), 0.0f);
+}
+
+TEST(RowwiseAdagradTest, StateBytesIsOneFloatPerRow) {
+  RowwiseAdagrad opt(1000, 0.1f);
+  EXPECT_EQ(opt.StateBytes(), 4000u);
+}
+
+TEST(RowwiseAdagradTest, AdaptsBetterThanSgdOnSkewedFrequencies) {
+  // A frequently-updated row and a rare row with equal gradient scales:
+  // Adagrad automatically damps the frequent row and keeps the rare row
+  // learning, giving lower overall error than plain sparse SGD tuned to
+  // be stable on the frequent row.
+  auto final_error = [](bool adagrad) {
+    EmbeddingTable table(2, 1);
+    table.row(0)[0] = 1.0f;  // target 0, updated every step
+    table.row(1)[0] = 1.0f;  // target 0, updated every 10th step
+    RowwiseAdagrad ada(2, 0.5f);
+    SparseSgd sgd(0.05f);
+    for (int i = 0; i < 200; ++i) {
+      SparseGrad g;
+      g.dim = 1;
+      g.rows[0] = {2.0f * table.row(0)[0]};
+      if (i % 10 == 0) g.rows[1] = {2.0f * table.row(1)[0]};
+      if (adagrad) {
+        ada.Step(table, g);
+      } else {
+        sgd.Step(table, g);
+      }
+    }
+    return std::fabs(table.row(0)[0]) + std::fabs(table.row(1)[0]);
+  };
+  EXPECT_LT(final_error(true), final_error(false));
+}
+
+TEST(RowwiseAdagradDeathTest, RejectsMismatchedTable) {
+  EmbeddingTable table(4, 2);
+  RowwiseAdagrad opt(8, 0.1f);
+  SparseGrad g;
+  g.dim = 2;
+  g.rows[0] = {1, 1};
+  EXPECT_DEATH(opt.Step(table, g), "Check failed");
+}
+
+}  // namespace
+}  // namespace fae

@@ -1,0 +1,105 @@
+#include "tensor/tensor.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace fae {
+namespace {
+
+TEST(TensorTest, DefaultIsEmpty) {
+  Tensor t;
+  EXPECT_EQ(t.rows(), 0u);
+  EXPECT_EQ(t.cols(), 0u);
+  EXPECT_TRUE(t.empty());
+}
+
+TEST(TensorTest, ZeroInitialized) {
+  Tensor t(3, 4);
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 4u);
+  EXPECT_EQ(t.numel(), 12u);
+  for (size_t i = 0; i < t.numel(); ++i) EXPECT_EQ(t.data()[i], 0.0f);
+}
+
+TEST(TensorTest, ConstructFromBuffer) {
+  Tensor t(2, 2, {1, 2, 3, 4});
+  EXPECT_EQ(t(0, 0), 1.0f);
+  EXPECT_EQ(t(0, 1), 2.0f);
+  EXPECT_EQ(t(1, 0), 3.0f);
+  EXPECT_EQ(t(1, 1), 4.0f);
+}
+
+TEST(TensorTest, RowPointerMatchesIndexing) {
+  Tensor t(2, 3, {1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(t.row(1)[0], 4.0f);
+  EXPECT_EQ(t.row(1)[2], 6.0f);
+}
+
+TEST(TensorTest, FullFillsValue) {
+  Tensor t = Tensor::Full(2, 2, 7.5f);
+  for (size_t i = 0; i < t.numel(); ++i) EXPECT_EQ(t.data()[i], 7.5f);
+}
+
+TEST(TensorTest, RandnHasRequestedMoments) {
+  Xoshiro256 rng(5);
+  Tensor t = Tensor::Randn(200, 200, 2.0f, rng);
+  const double mean = t.Sum() / t.numel();
+  EXPECT_NEAR(mean, 0.0, 0.05);
+  double var = 0;
+  for (size_t i = 0; i < t.numel(); ++i) {
+    var += (t.data()[i] - mean) * (t.data()[i] - mean);
+  }
+  var /= t.numel();
+  EXPECT_NEAR(var, 4.0, 0.2);
+}
+
+TEST(TensorTest, RandUniformWithinBound) {
+  Xoshiro256 rng(6);
+  Tensor t = Tensor::RandUniform(100, 10, 0.25f, rng);
+  for (size_t i = 0; i < t.numel(); ++i) {
+    EXPECT_GE(t.data()[i], -0.25f);
+    EXPECT_LE(t.data()[i], 0.25f);
+  }
+}
+
+TEST(TensorTest, ArithmeticHelpers) {
+  Tensor a(1, 3, {1, 2, 3});
+  Tensor b(1, 3, {10, 20, 30});
+  a.Add(b);
+  EXPECT_EQ(a(0, 1), 22.0f);
+  a.Axpy(0.5f, b);
+  EXPECT_EQ(a(0, 0), 16.0f);
+  a.Scale(2.0f);
+  EXPECT_EQ(a(0, 0), 32.0f);
+  a.SetZero();
+  EXPECT_EQ(a.Sum(), 0.0);
+}
+
+TEST(TensorTest, SumAndNorm) {
+  Tensor t(1, 4, {3, 4, 0, 0});
+  EXPECT_EQ(t.Sum(), 7.0);
+  EXPECT_DOUBLE_EQ(t.Norm(), 5.0);
+}
+
+TEST(TensorTest, MaxAbsDiff) {
+  Tensor a(1, 3, {1, 2, 3});
+  Tensor b(1, 3, {1, 2.5, 3});
+  EXPECT_FLOAT_EQ(MaxAbsDiff(a, b), 0.5f);
+  Tensor c(2, 3);
+  EXPECT_TRUE(std::isinf(MaxAbsDiff(a, c)));
+}
+
+TEST(TensorTest, DebugStringShowsShape) {
+  Tensor t(3, 4);
+  EXPECT_NE(t.DebugString().find("Tensor[3x4]"), std::string::npos);
+}
+
+TEST(TensorDeathTest, ShapeMismatchAborts) {
+  Tensor a(2, 2);
+  Tensor b(2, 3);
+  EXPECT_DEATH(a.Add(b), "Check failed");
+}
+
+}  // namespace
+}  // namespace fae

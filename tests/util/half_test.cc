@@ -1,0 +1,99 @@
+#include "util/half.h"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace fae {
+namespace {
+
+TEST(HalfTest, KnownBitPatterns) {
+  EXPECT_EQ(FloatToHalf(0.0f), 0x0000);
+  EXPECT_EQ(FloatToHalf(-0.0f), 0x8000);
+  EXPECT_EQ(FloatToHalf(1.0f), 0x3c00);
+  EXPECT_EQ(FloatToHalf(-2.0f), 0xc000);
+  EXPECT_EQ(FloatToHalf(0.5f), 0x3800);
+  EXPECT_EQ(FloatToHalf(65504.0f), 0x7bff);  // max finite half
+  EXPECT_EQ(FloatToHalf(std::numeric_limits<float>::infinity()), 0x7c00);
+  EXPECT_EQ(FloatToHalf(-std::numeric_limits<float>::infinity()), 0xfc00);
+}
+
+TEST(HalfTest, HalfToFloatKnownValues) {
+  EXPECT_EQ(HalfToFloat(0x3c00), 1.0f);
+  EXPECT_EQ(HalfToFloat(0xc000), -2.0f);
+  EXPECT_EQ(HalfToFloat(0x3800), 0.5f);
+  EXPECT_EQ(HalfToFloat(0x7bff), 65504.0f);
+  EXPECT_TRUE(std::isinf(HalfToFloat(0x7c00)));
+  EXPECT_EQ(HalfToFloat(0x0000), 0.0f);
+  EXPECT_TRUE(std::signbit(HalfToFloat(0x8000)));
+}
+
+TEST(HalfTest, NanSurvives) {
+  const uint16_t h = FloatToHalf(std::nanf(""));
+  EXPECT_TRUE(std::isnan(HalfToFloat(h)));
+}
+
+TEST(HalfTest, OverflowBecomesInfinity) {
+  EXPECT_TRUE(std::isinf(HalfToFloat(FloatToHalf(1e6f))));
+  EXPECT_TRUE(std::isinf(HalfToFloat(FloatToHalf(65520.0f))));
+  // 65519.996 rounds down to max finite.
+  EXPECT_EQ(QuantizeToHalf(65519.0f), 65504.0f);
+}
+
+TEST(HalfTest, SubnormalsRoundTrip) {
+  // Smallest positive subnormal half: 2^-24.
+  const float tiny = std::ldexp(1.0f, -24);
+  EXPECT_EQ(FloatToHalf(tiny), 0x0001);
+  EXPECT_EQ(HalfToFloat(0x0001), tiny);
+  // Below half of the smallest subnormal: flush to zero.
+  EXPECT_EQ(QuantizeToHalf(std::ldexp(1.0f, -26)), 0.0f);
+}
+
+TEST(HalfTest, EveryHalfRoundTripsExactly) {
+  // half -> float -> half must be the identity for all 65536 patterns
+  // (modulo NaN payloads, which stay NaN).
+  for (uint32_t h = 0; h <= 0xffff; ++h) {
+    const uint16_t half = static_cast<uint16_t>(h);
+    const float f = HalfToFloat(half);
+    if (std::isnan(f)) {
+      EXPECT_TRUE(std::isnan(HalfToFloat(FloatToHalf(f))));
+      continue;
+    }
+    EXPECT_EQ(FloatToHalf(f), half) << "pattern 0x" << std::hex << h;
+  }
+}
+
+TEST(HalfTest, RoundToNearestEven) {
+  // 1 + 2^-11 is exactly halfway between 1.0 (0x3c00) and the next half
+  // (0x3c01); nearest-even picks 0x3c00. Same distance above 0x3c01 picks
+  // 0x3c02.
+  EXPECT_EQ(FloatToHalf(1.0f + std::ldexp(1.0f, -11)), 0x3c00);
+  const float next = HalfToFloat(0x3c01);
+  EXPECT_EQ(FloatToHalf(next + std::ldexp(1.0f, -11)), 0x3c02);
+}
+
+TEST(HalfTest, RelativeErrorWithinHalfUlp) {
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 100000; ++i) {
+    const float f = (rng.NextFloat() * 2 - 1) * 100.0f;
+    const float q = QuantizeToHalf(f);
+    if (f == 0.0f) continue;
+    EXPECT_LE(std::fabs(q - f) / std::fabs(f), std::ldexp(1.0f, -11))
+        << "value " << f;
+  }
+}
+
+TEST(HalfTest, QuantizationIsMonotone) {
+  Xoshiro256 rng(6);
+  for (int i = 0; i < 10000; ++i) {
+    const float a = (rng.NextFloat() * 2 - 1) * 50.0f;
+    const float b = a + rng.NextFloat();
+    EXPECT_LE(QuantizeToHalf(a), QuantizeToHalf(b));
+  }
+}
+
+}  // namespace
+}  // namespace fae

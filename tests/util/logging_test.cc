@@ -1,0 +1,42 @@
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace fae {
+namespace {
+
+TEST(LoggingTest, MinSeverityRoundTrips) {
+  const LogSeverity original = MinLogSeverity();
+  SetMinLogSeverity(LogSeverity::kError);
+  EXPECT_EQ(MinLogSeverity(), LogSeverity::kError);
+  SetMinLogSeverity(original);
+}
+
+TEST(LoggingTest, LogBelowThresholdDoesNotEvaluateNothingFatal) {
+  SetMinLogSeverity(LogSeverity::kError);
+  // Should be compiled and run without emitting or aborting.
+  FAE_LOG(Info) << "suppressed " << 42;
+  FAE_LOG(Warning) << "also suppressed";
+  SetMinLogSeverity(LogSeverity::kInfo);
+}
+
+TEST(LoggingTest, CheckPassesOnTrueCondition) {
+  FAE_CHECK(1 + 1 == 2) << "never shown";
+  FAE_CHECK_EQ(4, 4);
+  FAE_CHECK_NE(4, 5);
+  FAE_CHECK_LT(1, 2);
+  FAE_CHECK_LE(2, 2);
+  FAE_CHECK_GT(3, 2);
+  FAE_CHECK_GE(3, 3);
+}
+
+TEST(LoggingDeathTest, CheckFailureAborts) {
+  EXPECT_DEATH({ FAE_CHECK(false) << "invariant broken"; }, "Check failed");
+}
+
+TEST(LoggingDeathTest, FatalLogAborts) {
+  EXPECT_DEATH({ FAE_LOG(Fatal) << "fatal path"; }, "fatal path");
+}
+
+}  // namespace
+}  // namespace fae

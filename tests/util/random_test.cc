@@ -1,0 +1,128 @@
+#include "util/random.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace fae {
+namespace {
+
+TEST(RandomTest, SplitMix64IsDeterministic) {
+  SplitMix64 a(123);
+  SplitMix64 b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RandomTest, DifferentSeedsDiverge) {
+  Xoshiro256 a(1);
+  Xoshiro256 b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RandomTest, XoshiroIsDeterministicForSeed) {
+  Xoshiro256 a(99);
+  Xoshiro256 b(99);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RandomTest, NextDoubleInUnitInterval) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RandomTest, NextFloatInUnitInterval) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    float f = rng.NextFloat();
+    EXPECT_GE(f, 0.0f);
+    EXPECT_LT(f, 1.0f);
+  }
+}
+
+TEST(RandomTest, NextBoundedStaysInBounds) {
+  Xoshiro256 rng(13);
+  for (uint64_t bound : {1ULL, 2ULL, 7ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(rng.NextBounded(bound), bound);
+    }
+  }
+}
+
+TEST(RandomTest, NextBoundedIsRoughlyUniform) {
+  Xoshiro256 rng(17);
+  constexpr uint64_t kBound = 10;
+  constexpr int kDraws = 100000;
+  std::vector<int> counts(kBound, 0);
+  for (int i = 0; i < kDraws; ++i) counts[rng.NextBounded(kBound)]++;
+  for (uint64_t v = 0; v < kBound; ++v) {
+    EXPECT_NEAR(counts[v], kDraws / kBound, 500) << "value " << v;
+  }
+}
+
+TEST(RandomTest, GaussianMomentsAreStandard) {
+  Xoshiro256 rng(23);
+  constexpr int kDraws = 200000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < kDraws; ++i) {
+    double g = rng.NextGaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  const double mean = sum / kDraws;
+  const double var = sum_sq / kDraws - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.01);
+  EXPECT_NEAR(var, 1.0, 0.02);
+}
+
+TEST(RandomTest, BernoulliMatchesProbability) {
+  Xoshiro256 rng(31);
+  constexpr int kDraws = 100000;
+  int hits = 0;
+  for (int i = 0; i < kDraws; ++i) {
+    if (rng.NextBernoulli(0.05)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kDraws, 0.05, 0.005);
+}
+
+TEST(RandomTest, PermutationIsAPermutation) {
+  Xoshiro256 rng(41);
+  auto perm = RandomPermutation(1000, rng);
+  std::set<uint64_t> unique(perm.begin(), perm.end());
+  EXPECT_EQ(unique.size(), 1000u);
+  EXPECT_EQ(*unique.begin(), 0u);
+  EXPECT_EQ(*unique.rbegin(), 999u);
+}
+
+TEST(RandomTest, PermutationOfZeroAndOne) {
+  Xoshiro256 rng(43);
+  EXPECT_TRUE(RandomPermutation(0, rng).empty());
+  auto one = RandomPermutation(1, rng);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0], 0u);
+}
+
+TEST(RandomTest, PermutationActuallyShuffles) {
+  Xoshiro256 rng(47);
+  auto perm = RandomPermutation(1000, rng);
+  size_t fixed_points = 0;
+  for (size_t i = 0; i < perm.size(); ++i) {
+    if (perm[i] == i) ++fixed_points;
+  }
+  // Expected number of fixed points of a random permutation is 1.
+  EXPECT_LT(fixed_points, 10u);
+}
+
+}  // namespace
+}  // namespace fae

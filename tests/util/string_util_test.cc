@@ -1,0 +1,58 @@
+#include "util/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace fae {
+namespace {
+
+TEST(StringUtilTest, HumanBytesScales) {
+  EXPECT_EQ(HumanBytes(0), "0 B");
+  EXPECT_EQ(HumanBytes(512), "512 B");
+  EXPECT_EQ(HumanBytes(1024), "1.00 KB");
+  EXPECT_EQ(HumanBytes(1536), "1.50 KB");
+  EXPECT_EQ(HumanBytes(256ULL * 1024 * 1024), "256.00 MB");
+  EXPECT_EQ(HumanBytes(61ULL * 1024 * 1024 * 1024), "61.00 GB");
+  EXPECT_EQ(HumanBytes(2ULL * 1024 * 1024 * 1024 * 1024), "2.00 TB");
+}
+
+TEST(StringUtilTest, HumanSecondsScales) {
+  EXPECT_EQ(HumanSeconds(0.0000005), "0.5 us");
+  EXPECT_EQ(HumanSeconds(0.005), "5.0 ms");
+  EXPECT_EQ(HumanSeconds(2.5), "2.50 s");
+  EXPECT_EQ(HumanSeconds(600.0), "10.00 min");
+}
+
+TEST(StringUtilTest, JoinBasics) {
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"a"}, ","), "a");
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+}
+
+TEST(StringUtilTest, SplitBasics) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(Split(",x,", ','), (std::vector<std::string>{"", "x", ""}));
+}
+
+TEST(StringUtilTest, SplitJoinRoundTrip) {
+  const std::vector<std::string> parts = {"one", "two", "three"};
+  EXPECT_EQ(Split(Join(parts, "|"), '|'), parts);
+}
+
+TEST(StringUtilTest, StrFormatFormats) {
+  EXPECT_EQ(StrFormat("x=%d y=%.2f", 3, 1.5), "x=3 y=1.50");
+  EXPECT_EQ(StrFormat("%s", "plain"), "plain");
+  EXPECT_EQ(StrFormat("empty"), "empty");
+}
+
+TEST(StringUtilTest, StrFormatLongOutput) {
+  std::string long_arg(1000, 'z');
+  std::string out = StrFormat("[%s]", long_arg.c_str());
+  EXPECT_EQ(out.size(), 1002u);
+  EXPECT_EQ(out.front(), '[');
+  EXPECT_EQ(out.back(), ']');
+}
+
+}  // namespace
+}  // namespace fae

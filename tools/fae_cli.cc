@@ -1,0 +1,211 @@
+// fae — command-line frontend for the FAE library.
+//
+//   fae generate    --out=data.faed [--workload=kaggle|taobao|terabyte]
+//                   [--scale=tiny|small|medium] [--inputs=N] [--seed=S]
+//                   [--zipf=1.15]
+//   fae inspect     --data=data.faed
+//   fae preprocess  --data=data.faed --out=plan.faef [--budget-kb=384]
+//                   [--sample-rate=0.05] [--cutoff-kb=4]
+//   fae train       --data=data.faed [--plan=plan.faef]
+//                   [--mode=baseline|fae|nvopt|model-parallel|cache]
+//                   [--gpus=4] [--batch=1024] [--epochs=1] [--cost-only]
+//                   [--dirty-sync] [--full-model]
+//
+// The `generate -> preprocess -> train` flow mirrors the paper's once-per-
+// dataset static pass followed by repeated training runs.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "core/fae_format.h"
+#include "data/dataset_io.h"
+#include "data/synthetic.h"
+#include "engine/trainer.h"
+#include "models/factory.h"
+#include "util/string_util.h"
+
+namespace fae {
+namespace {
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: fae <generate|inspect|preprocess|train> [--flags]\n"
+               "see the header of tools/fae_cli.cc for the full flag list\n");
+  return 2;
+}
+
+WorkloadKind ParseWorkload(const std::string& name) {
+  if (name == "taobao") return WorkloadKind::kTaobaoTbsm;
+  if (name == "terabyte") return WorkloadKind::kTerabyteDlrm;
+  return WorkloadKind::kKaggleDlrm;
+}
+
+int Generate(const bench::Args& args) {
+  const std::string out = args.GetString("out", "");
+  if (out.empty()) return Usage();
+  const WorkloadKind kind = ParseWorkload(args.GetString("workload", "kaggle"));
+  const DatasetScale scale = bench::ParseScale(args.GetString("scale", "tiny"));
+  const size_t inputs = args.GetInt(
+      "inputs", static_cast<long>(DefaultNumInputs(kind, scale)));
+
+  SyntheticOptions options;
+  options.seed = args.GetInt("seed", 42);
+  options.zipf_exponent = args.GetDouble("zipf", options.zipf_exponent);
+  SyntheticGenerator generator(MakeSchema(kind, scale), options);
+  Dataset dataset = generator.Generate(inputs);
+  const Status status = DatasetIo::Save(out, dataset);
+  if (!status.ok()) return Fail(status);
+  std::printf("wrote %zu inputs (%s, %s embeddings) to %s\n", dataset.size(),
+              std::string(WorkloadName(kind)).c_str(),
+              HumanBytes(dataset.schema().TotalEmbeddingBytes()).c_str(),
+              out.c_str());
+  return 0;
+}
+
+int Inspect(const bench::Args& args) {
+  const std::string path = args.GetString("data", "");
+  if (path.empty()) return Usage();
+  auto dataset = DatasetIo::Load(path);
+  if (!dataset.ok()) return Fail(dataset.status());
+  const DatasetSchema& s = dataset->schema();
+  std::printf("%s: %zu inputs\n", path.c_str(), dataset->size());
+  std::printf("  workload:   %s\n", std::string(WorkloadName(s.kind)).c_str());
+  std::printf("  dense:      %zu features\n", s.num_dense);
+  std::printf("  tables:     %zu (dim %zu, %s total)\n", s.num_tables(),
+              s.embedding_dim, HumanBytes(s.TotalEmbeddingBytes()).c_str());
+  if (s.sequential) {
+    std::printf("  sequences:  histories up to %zu items\n", s.max_history);
+  }
+  AccessProfile profile = dataset->ProfileAllAccesses();
+  std::printf("  skew:       largest table top-1%% share %.1f%%, top-10%% "
+              "share %.1f%%\n",
+              100 * profile.TopShare(0, 0.01),
+              100 * profile.TopShare(0, 0.10));
+  return 0;
+}
+
+int Preprocess(const bench::Args& args) {
+  const std::string data_path = args.GetString("data", "");
+  const std::string out = args.GetString("out", "");
+  if (data_path.empty() || out.empty()) return Usage();
+  auto dataset = DatasetIo::Load(data_path);
+  if (!dataset.ok()) return Fail(dataset.status());
+
+  FaeConfig config;
+  config.sample_rate = args.GetDouble("sample-rate", 0.05);
+  config.gpu_memory_budget = args.GetInt("budget-kb", 384) * 1024ull;
+  config.large_table_bytes = args.GetInt("cutoff-kb", 4) * 1024ull;
+
+  std::vector<uint64_t> train_ids(dataset->size());
+  for (size_t i = 0; i < train_ids.size(); ++i) train_ids[i] = i;
+  FaePipeline pipeline(config);
+  auto plan = pipeline.PrepareCached(*dataset, train_ids, out);
+  if (!plan.ok()) return Fail(plan.status());
+  std::printf("%s plan: threshold t=%.1e, hot slice %s, hot inputs %.1f%%\n",
+              plan->from_cache ? "loaded" : "wrote", plan->threshold,
+              HumanBytes(plan->hot_bytes).c_str(),
+              100 * plan->inputs.HotFraction());
+  return 0;
+}
+
+int Train(const bench::Args& args) {
+  const std::string data_path = args.GetString("data", "");
+  if (data_path.empty()) return Usage();
+  auto dataset = DatasetIo::Load(data_path);
+  if (!dataset.ok()) return Fail(dataset.status());
+  Dataset::Split split = dataset->MakeSplit(args.GetDouble("test-frac", 0.1));
+
+  TrainOptions options;
+  options.per_gpu_batch = args.GetInt("batch", 1024);
+  options.epochs = args.GetInt("epochs", 1);
+  options.run_math = !args.GetBool("cost-only", false);
+  options.sync_strategy = args.GetBool("dirty-sync", false)
+                              ? SyncStrategy::kDirty
+                              : SyncStrategy::kFull;
+  const int gpus = static_cast<int>(args.GetInt("gpus", 4));
+  SystemSpec system = MakePaperServer(gpus);
+
+  FaeConfig config;
+  config.sample_rate = args.GetDouble("sample-rate", 0.05);
+  config.gpu_memory_budget = args.GetInt("budget-kb", 384) * 1024ull;
+  config.large_table_bytes = args.GetInt("cutoff-kb", 4) * 1024ull;
+  system.hot_embedding_budget = config.gpu_memory_budget;
+
+  auto model = MakeModel(dataset->schema(),
+                         args.GetBool("full-model", false), 7);
+  Trainer trainer(model.get(), system, options);
+
+  const std::string mode = args.GetString("mode", "fae");
+  TrainReport report;
+  if (mode == "baseline") {
+    report = trainer.TrainBaseline(*dataset, split);
+  } else if (mode == "nvopt") {
+    report = trainer.TrainNvOpt(*dataset, split);
+  } else if (mode == "model-parallel") {
+    auto r = trainer.TrainModelParallel(*dataset, split);
+    if (!r.ok()) return Fail(r.status());
+    report = std::move(r).value();
+  } else if (mode == "fae" || mode == "cache") {
+    FaePipeline pipeline(config);
+    StatusOr<FaePlan> plan = [&]() -> StatusOr<FaePlan> {
+      const std::string plan_path = args.GetString("plan", "");
+      if (!plan_path.empty()) {
+        return pipeline.PrepareCached(*dataset, split.train, plan_path);
+      }
+      return pipeline.Prepare(*dataset, split.train);
+    }();
+    if (!plan.ok()) return Fail(plan.status());
+    if (mode == "cache") {
+      report = trainer.TrainGpuCache(*dataset, split, *plan);
+    } else {
+      auto r = trainer.TrainFaeWithPlan(*dataset, split, config, *plan);
+      if (!r.ok()) return Fail(r.status());
+      report = std::move(r).value();
+    }
+  } else {
+    return Usage();
+  }
+
+  std::printf("mode %s, %d GPU(s), %zu batches\n",
+              std::string(TrainModeName(report.mode)).c_str(), gpus,
+              report.num_batches);
+  std::printf("modeled time: %s   per-GPU power: %.1fW\n",
+              HumanSeconds(report.modeled_seconds).c_str(),
+              report.avg_gpu_watts);
+  if (options.run_math) {
+    std::printf("train acc %.2f%%  test acc %.2f%%  test loss %.4f\n",
+                100 * report.final_train_acc, 100 * report.final_test_acc,
+                report.final_test_loss);
+  }
+  if (report.mode == TrainMode::kFae) {
+    std::printf(
+        "fae: hot inputs %.1f%%, %zu transitions, synced %s, final R(%.0f)\n",
+        100 * report.hot_fraction, report.transitions,
+        HumanBytes(report.sync_bytes).c_str(), report.final_rate);
+  }
+  std::printf("\nphase breakdown:\n%s", report.timeline.Report().c_str());
+  return 0;
+}
+
+int Run(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  bench::Args args(argc, argv);
+  if (command == "generate") return Generate(args);
+  if (command == "inspect") return Inspect(args);
+  if (command == "preprocess") return Preprocess(args);
+  if (command == "train") return Train(args);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace fae
+
+int main(int argc, char** argv) { return fae::Run(argc, argv); }
