@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_mixed_precision.dir/bench/abl_mixed_precision.cc.o"
+  "CMakeFiles/abl_mixed_precision.dir/bench/abl_mixed_precision.cc.o.d"
+  "bench/abl_mixed_precision"
+  "bench/abl_mixed_precision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_mixed_precision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

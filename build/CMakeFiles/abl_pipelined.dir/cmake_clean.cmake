@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_pipelined.dir/bench/abl_pipelined.cc.o"
+  "CMakeFiles/abl_pipelined.dir/bench/abl_pipelined.cc.o.d"
+  "bench/abl_pipelined"
+  "bench/abl_pipelined.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_pipelined.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

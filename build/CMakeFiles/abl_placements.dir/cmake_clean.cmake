@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_placements.dir/bench/abl_placements.cc.o"
+  "CMakeFiles/abl_placements.dir/bench/abl_placements.cc.o.d"
+  "bench/abl_placements"
+  "bench/abl_placements.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_placements.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_popularity_drift.dir/bench/abl_popularity_drift.cc.o"
+  "CMakeFiles/abl_popularity_drift.dir/bench/abl_popularity_drift.cc.o.d"
+  "bench/abl_popularity_drift"
+  "bench/abl_popularity_drift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_popularity_drift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_randem_params.dir/bench/abl_randem_params.cc.o"
+  "CMakeFiles/abl_randem_params.dir/bench/abl_randem_params.cc.o.d"
+  "bench/abl_randem_params"
+  "bench/abl_randem_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_randem_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_sample_rate.dir/bench/abl_sample_rate.cc.o"
+  "CMakeFiles/abl_sample_rate.dir/bench/abl_sample_rate.cc.o.d"
+  "bench/abl_sample_rate"
+  "bench/abl_sample_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_sample_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_scheduler_policy.dir/bench/abl_scheduler_policy.cc.o"
+  "CMakeFiles/abl_scheduler_policy.dir/bench/abl_scheduler_policy.cc.o.d"
+  "bench/abl_scheduler_policy"
+  "bench/abl_scheduler_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_scheduler_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

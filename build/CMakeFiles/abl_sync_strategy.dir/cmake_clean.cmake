@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_sync_strategy.dir/bench/abl_sync_strategy.cc.o"
+  "CMakeFiles/abl_sync_strategy.dir/bench/abl_sync_strategy.cc.o.d"
+  "bench/abl_sync_strategy"
+  "bench/abl_sync_strategy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_sync_strategy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_multinode.dir/bench/ext_multinode.cc.o"
+  "CMakeFiles/ext_multinode.dir/bench/ext_multinode.cc.o.d"
+  "bench/ext_multinode"
+  "bench/ext_multinode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_multinode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_hot_sizes.dir/bench/fig02_hot_sizes.cc.o"
+  "CMakeFiles/fig02_hot_sizes.dir/bench/fig02_hot_sizes.cc.o.d"
+  "bench/fig02_hot_sizes"
+  "bench/fig02_hot_sizes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_hot_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_minibatch_probability.dir/bench/fig04_minibatch_probability.cc.o"
+  "CMakeFiles/fig04_minibatch_probability.dir/bench/fig04_minibatch_probability.cc.o.d"
+  "bench/fig04_minibatch_probability"
+  "bench/fig04_minibatch_probability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_minibatch_probability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

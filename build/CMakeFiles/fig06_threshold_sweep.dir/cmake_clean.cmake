@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_threshold_sweep.dir/bench/fig06_threshold_sweep.cc.o"
+  "CMakeFiles/fig06_threshold_sweep.dir/bench/fig06_threshold_sweep.cc.o.d"
+  "bench/fig06_threshold_sweep"
+  "bench/fig06_threshold_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_threshold_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_sampling_profile.dir/bench/fig07_sampling_profile.cc.o"
+  "CMakeFiles/fig07_sampling_profile.dir/bench/fig07_sampling_profile.cc.o.d"
+  "bench/fig07_sampling_profile"
+  "bench/fig07_sampling_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_sampling_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

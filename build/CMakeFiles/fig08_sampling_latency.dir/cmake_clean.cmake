@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_sampling_latency.dir/bench/fig08_sampling_latency.cc.o"
+  "CMakeFiles/fig08_sampling_latency.dir/bench/fig08_sampling_latency.cc.o.d"
+  "bench/fig08_sampling_latency"
+  "bench/fig08_sampling_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_sampling_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_randem_accuracy.dir/bench/fig09_randem_accuracy.cc.o"
+  "CMakeFiles/fig09_randem_accuracy.dir/bench/fig09_randem_accuracy.cc.o.d"
+  "bench/fig09_randem_accuracy"
+  "bench/fig09_randem_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_randem_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_randem_latency.dir/bench/fig10_randem_latency.cc.o"
+  "CMakeFiles/fig10_randem_latency.dir/bench/fig10_randem_latency.cc.o.d"
+  "bench/fig10_randem_latency"
+  "bench/fig10_randem_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_randem_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_input_processor_latency.dir/bench/fig11_input_processor_latency.cc.o"
+  "CMakeFiles/fig11_input_processor_latency.dir/bench/fig11_input_processor_latency.cc.o.d"
+  "bench/fig11_input_processor_latency"
+  "bench/fig11_input_processor_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_input_processor_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_batch_size_sweep.dir/bench/fig15_batch_size_sweep.cc.o"
+  "CMakeFiles/fig15_batch_size_sweep.dir/bench/fig15_batch_size_sweep.cc.o.d"
+  "bench/fig15_batch_size_sweep"
+  "bench/fig15_batch_size_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_batch_size_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

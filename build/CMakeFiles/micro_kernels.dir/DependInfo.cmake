@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/micro_kernels.cc" "CMakeFiles/micro_kernels.dir/bench/micro_kernels.cc.o" "gcc" "CMakeFiles/micro_kernels.dir/bench/micro_kernels.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/engine/CMakeFiles/fae_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fae_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/fae_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/fae_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/embedding/CMakeFiles/fae_embedding.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/fae_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/fae_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/fae_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fae_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvopt_comparison.dir/bench/nvopt_comparison.cc.o"
+  "CMakeFiles/nvopt_comparison.dir/bench/nvopt_comparison.cc.o.d"
+  "bench/nvopt_comparison"
+  "bench/nvopt_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvopt_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab06_power.dir/bench/tab06_power.cc.o"
+  "CMakeFiles/tab06_power.dir/bench/tab06_power.cc.o.d"
+  "bench/tab06_power"
+  "bench/tab06_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab06_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ads_ctr.dir/ads_ctr.cpp.o"
+  "CMakeFiles/ads_ctr.dir/ads_ctr.cpp.o.d"
+  "ads_ctr"
+  "ads_ctr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ads_ctr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ads_ctr.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calibrator_tour.dir/calibrator_tour.cpp.o"
+  "CMakeFiles/calibrator_tour.dir/calibrator_tour.cpp.o.d"
+  "calibrator_tour"
+  "calibrator_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calibrator_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

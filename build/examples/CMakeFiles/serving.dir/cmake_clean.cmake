@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serving.dir/serving.cpp.o"
+  "CMakeFiles/serving.dir/serving.cpp.o.d"
+  "serving"
+  "serving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

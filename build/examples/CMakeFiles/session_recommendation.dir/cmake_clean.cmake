@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/session_recommendation.dir/session_recommendation.cpp.o"
+  "CMakeFiles/session_recommendation.dir/session_recommendation.cpp.o.d"
+  "session_recommendation"
+  "session_recommendation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/session_recommendation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

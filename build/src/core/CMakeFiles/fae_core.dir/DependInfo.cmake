@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/calibrator.cc" "src/core/CMakeFiles/fae_core.dir/calibrator.cc.o" "gcc" "src/core/CMakeFiles/fae_core.dir/calibrator.cc.o.d"
+  "/root/repo/src/core/embedding_classifier.cc" "src/core/CMakeFiles/fae_core.dir/embedding_classifier.cc.o" "gcc" "src/core/CMakeFiles/fae_core.dir/embedding_classifier.cc.o.d"
+  "/root/repo/src/core/embedding_logger.cc" "src/core/CMakeFiles/fae_core.dir/embedding_logger.cc.o" "gcc" "src/core/CMakeFiles/fae_core.dir/embedding_logger.cc.o.d"
+  "/root/repo/src/core/embedding_replicator.cc" "src/core/CMakeFiles/fae_core.dir/embedding_replicator.cc.o" "gcc" "src/core/CMakeFiles/fae_core.dir/embedding_replicator.cc.o.d"
+  "/root/repo/src/core/fae_format.cc" "src/core/CMakeFiles/fae_core.dir/fae_format.cc.o" "gcc" "src/core/CMakeFiles/fae_core.dir/fae_format.cc.o.d"
+  "/root/repo/src/core/fae_pipeline.cc" "src/core/CMakeFiles/fae_core.dir/fae_pipeline.cc.o" "gcc" "src/core/CMakeFiles/fae_core.dir/fae_pipeline.cc.o.d"
+  "/root/repo/src/core/input_processor.cc" "src/core/CMakeFiles/fae_core.dir/input_processor.cc.o" "gcc" "src/core/CMakeFiles/fae_core.dir/input_processor.cc.o.d"
+  "/root/repo/src/core/rand_em_box.cc" "src/core/CMakeFiles/fae_core.dir/rand_em_box.cc.o" "gcc" "src/core/CMakeFiles/fae_core.dir/rand_em_box.cc.o.d"
+  "/root/repo/src/core/shuffle_scheduler.cc" "src/core/CMakeFiles/fae_core.dir/shuffle_scheduler.cc.o" "gcc" "src/core/CMakeFiles/fae_core.dir/shuffle_scheduler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/fae_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/fae_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/fae_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/embedding/CMakeFiles/fae_embedding.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/fae_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

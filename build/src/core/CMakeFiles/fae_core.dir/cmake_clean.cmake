@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fae_core.dir/calibrator.cc.o"
+  "CMakeFiles/fae_core.dir/calibrator.cc.o.d"
+  "CMakeFiles/fae_core.dir/embedding_classifier.cc.o"
+  "CMakeFiles/fae_core.dir/embedding_classifier.cc.o.d"
+  "CMakeFiles/fae_core.dir/embedding_logger.cc.o"
+  "CMakeFiles/fae_core.dir/embedding_logger.cc.o.d"
+  "CMakeFiles/fae_core.dir/embedding_replicator.cc.o"
+  "CMakeFiles/fae_core.dir/embedding_replicator.cc.o.d"
+  "CMakeFiles/fae_core.dir/fae_format.cc.o"
+  "CMakeFiles/fae_core.dir/fae_format.cc.o.d"
+  "CMakeFiles/fae_core.dir/fae_pipeline.cc.o"
+  "CMakeFiles/fae_core.dir/fae_pipeline.cc.o.d"
+  "CMakeFiles/fae_core.dir/input_processor.cc.o"
+  "CMakeFiles/fae_core.dir/input_processor.cc.o.d"
+  "CMakeFiles/fae_core.dir/rand_em_box.cc.o"
+  "CMakeFiles/fae_core.dir/rand_em_box.cc.o.d"
+  "CMakeFiles/fae_core.dir/shuffle_scheduler.cc.o"
+  "CMakeFiles/fae_core.dir/shuffle_scheduler.cc.o.d"
+  "libfae_core.a"
+  "libfae_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fae_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

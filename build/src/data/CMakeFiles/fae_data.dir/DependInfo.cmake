@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/batch_loader.cc" "src/data/CMakeFiles/fae_data.dir/batch_loader.cc.o" "gcc" "src/data/CMakeFiles/fae_data.dir/batch_loader.cc.o.d"
+  "/root/repo/src/data/dataset.cc" "src/data/CMakeFiles/fae_data.dir/dataset.cc.o" "gcc" "src/data/CMakeFiles/fae_data.dir/dataset.cc.o.d"
+  "/root/repo/src/data/dataset_io.cc" "src/data/CMakeFiles/fae_data.dir/dataset_io.cc.o" "gcc" "src/data/CMakeFiles/fae_data.dir/dataset_io.cc.o.d"
+  "/root/repo/src/data/minibatch.cc" "src/data/CMakeFiles/fae_data.dir/minibatch.cc.o" "gcc" "src/data/CMakeFiles/fae_data.dir/minibatch.cc.o.d"
+  "/root/repo/src/data/schema.cc" "src/data/CMakeFiles/fae_data.dir/schema.cc.o" "gcc" "src/data/CMakeFiles/fae_data.dir/schema.cc.o.d"
+  "/root/repo/src/data/synthetic.cc" "src/data/CMakeFiles/fae_data.dir/synthetic.cc.o" "gcc" "src/data/CMakeFiles/fae_data.dir/synthetic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/fae_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/fae_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/fae_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

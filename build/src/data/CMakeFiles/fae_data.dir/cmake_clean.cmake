@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fae_data.dir/batch_loader.cc.o"
+  "CMakeFiles/fae_data.dir/batch_loader.cc.o.d"
+  "CMakeFiles/fae_data.dir/dataset.cc.o"
+  "CMakeFiles/fae_data.dir/dataset.cc.o.d"
+  "CMakeFiles/fae_data.dir/dataset_io.cc.o"
+  "CMakeFiles/fae_data.dir/dataset_io.cc.o.d"
+  "CMakeFiles/fae_data.dir/minibatch.cc.o"
+  "CMakeFiles/fae_data.dir/minibatch.cc.o.d"
+  "CMakeFiles/fae_data.dir/schema.cc.o"
+  "CMakeFiles/fae_data.dir/schema.cc.o.d"
+  "CMakeFiles/fae_data.dir/synthetic.cc.o"
+  "CMakeFiles/fae_data.dir/synthetic.cc.o.d"
+  "libfae_data.a"
+  "libfae_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fae_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/embedding/embedding_bag.cc" "src/embedding/CMakeFiles/fae_embedding.dir/embedding_bag.cc.o" "gcc" "src/embedding/CMakeFiles/fae_embedding.dir/embedding_bag.cc.o.d"
+  "/root/repo/src/embedding/embedding_table.cc" "src/embedding/CMakeFiles/fae_embedding.dir/embedding_table.cc.o" "gcc" "src/embedding/CMakeFiles/fae_embedding.dir/embedding_table.cc.o.d"
+  "/root/repo/src/embedding/rowwise_adagrad.cc" "src/embedding/CMakeFiles/fae_embedding.dir/rowwise_adagrad.cc.o" "gcc" "src/embedding/CMakeFiles/fae_embedding.dir/rowwise_adagrad.cc.o.d"
+  "/root/repo/src/embedding/sparse_sgd.cc" "src/embedding/CMakeFiles/fae_embedding.dir/sparse_sgd.cc.o" "gcc" "src/embedding/CMakeFiles/fae_embedding.dir/sparse_sgd.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/fae_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/fae_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fae_embedding.dir/embedding_bag.cc.o"
+  "CMakeFiles/fae_embedding.dir/embedding_bag.cc.o.d"
+  "CMakeFiles/fae_embedding.dir/embedding_table.cc.o"
+  "CMakeFiles/fae_embedding.dir/embedding_table.cc.o.d"
+  "CMakeFiles/fae_embedding.dir/rowwise_adagrad.cc.o"
+  "CMakeFiles/fae_embedding.dir/rowwise_adagrad.cc.o.d"
+  "CMakeFiles/fae_embedding.dir/sparse_sgd.cc.o"
+  "CMakeFiles/fae_embedding.dir/sparse_sgd.cc.o.d"
+  "libfae_embedding.a"
+  "libfae_embedding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fae_embedding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

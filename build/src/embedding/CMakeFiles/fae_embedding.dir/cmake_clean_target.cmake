@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfae_embedding.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fae_engine.dir/metrics.cc.o"
+  "CMakeFiles/fae_engine.dir/metrics.cc.o.d"
+  "CMakeFiles/fae_engine.dir/step_accountant.cc.o"
+  "CMakeFiles/fae_engine.dir/step_accountant.cc.o.d"
+  "CMakeFiles/fae_engine.dir/trainer.cc.o"
+  "CMakeFiles/fae_engine.dir/trainer.cc.o.d"
+  "libfae_engine.a"
+  "libfae_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fae_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

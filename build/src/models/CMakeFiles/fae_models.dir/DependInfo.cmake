@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/dlrm.cc" "src/models/CMakeFiles/fae_models.dir/dlrm.cc.o" "gcc" "src/models/CMakeFiles/fae_models.dir/dlrm.cc.o.d"
+  "/root/repo/src/models/factory.cc" "src/models/CMakeFiles/fae_models.dir/factory.cc.o" "gcc" "src/models/CMakeFiles/fae_models.dir/factory.cc.o.d"
+  "/root/repo/src/models/model_config.cc" "src/models/CMakeFiles/fae_models.dir/model_config.cc.o" "gcc" "src/models/CMakeFiles/fae_models.dir/model_config.cc.o.d"
+  "/root/repo/src/models/model_io.cc" "src/models/CMakeFiles/fae_models.dir/model_io.cc.o" "gcc" "src/models/CMakeFiles/fae_models.dir/model_io.cc.o.d"
+  "/root/repo/src/models/tbsm.cc" "src/models/CMakeFiles/fae_models.dir/tbsm.cc.o" "gcc" "src/models/CMakeFiles/fae_models.dir/tbsm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/fae_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/fae_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/embedding/CMakeFiles/fae_embedding.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/fae_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/fae_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fae_models.dir/dlrm.cc.o"
+  "CMakeFiles/fae_models.dir/dlrm.cc.o.d"
+  "CMakeFiles/fae_models.dir/factory.cc.o"
+  "CMakeFiles/fae_models.dir/factory.cc.o.d"
+  "CMakeFiles/fae_models.dir/model_config.cc.o"
+  "CMakeFiles/fae_models.dir/model_config.cc.o.d"
+  "CMakeFiles/fae_models.dir/model_io.cc.o"
+  "CMakeFiles/fae_models.dir/model_io.cc.o.d"
+  "CMakeFiles/fae_models.dir/tbsm.cc.o"
+  "CMakeFiles/fae_models.dir/tbsm.cc.o.d"
+  "libfae_models.a"
+  "libfae_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fae_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

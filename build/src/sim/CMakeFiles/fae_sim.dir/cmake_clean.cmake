@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fae_sim.dir/cost_model.cc.o"
+  "CMakeFiles/fae_sim.dir/cost_model.cc.o.d"
+  "CMakeFiles/fae_sim.dir/device.cc.o"
+  "CMakeFiles/fae_sim.dir/device.cc.o.d"
+  "CMakeFiles/fae_sim.dir/partition.cc.o"
+  "CMakeFiles/fae_sim.dir/partition.cc.o.d"
+  "CMakeFiles/fae_sim.dir/timeline.cc.o"
+  "CMakeFiles/fae_sim.dir/timeline.cc.o.d"
+  "libfae_sim.a"
+  "libfae_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fae_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

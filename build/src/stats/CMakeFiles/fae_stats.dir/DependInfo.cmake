@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/access_profile.cc" "src/stats/CMakeFiles/fae_stats.dir/access_profile.cc.o" "gcc" "src/stats/CMakeFiles/fae_stats.dir/access_profile.cc.o.d"
+  "/root/repo/src/stats/histogram.cc" "src/stats/CMakeFiles/fae_stats.dir/histogram.cc.o" "gcc" "src/stats/CMakeFiles/fae_stats.dir/histogram.cc.o.d"
+  "/root/repo/src/stats/sampling.cc" "src/stats/CMakeFiles/fae_stats.dir/sampling.cc.o" "gcc" "src/stats/CMakeFiles/fae_stats.dir/sampling.cc.o.d"
+  "/root/repo/src/stats/t_table.cc" "src/stats/CMakeFiles/fae_stats.dir/t_table.cc.o" "gcc" "src/stats/CMakeFiles/fae_stats.dir/t_table.cc.o.d"
+  "/root/repo/src/stats/zipf.cc" "src/stats/CMakeFiles/fae_stats.dir/zipf.cc.o" "gcc" "src/stats/CMakeFiles/fae_stats.dir/zipf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/fae_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

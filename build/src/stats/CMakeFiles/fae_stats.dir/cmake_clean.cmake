@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fae_stats.dir/access_profile.cc.o"
+  "CMakeFiles/fae_stats.dir/access_profile.cc.o.d"
+  "CMakeFiles/fae_stats.dir/histogram.cc.o"
+  "CMakeFiles/fae_stats.dir/histogram.cc.o.d"
+  "CMakeFiles/fae_stats.dir/sampling.cc.o"
+  "CMakeFiles/fae_stats.dir/sampling.cc.o.d"
+  "CMakeFiles/fae_stats.dir/t_table.cc.o"
+  "CMakeFiles/fae_stats.dir/t_table.cc.o.d"
+  "CMakeFiles/fae_stats.dir/zipf.cc.o"
+  "CMakeFiles/fae_stats.dir/zipf.cc.o.d"
+  "libfae_stats.a"
+  "libfae_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fae_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tensor/attention.cc" "src/tensor/CMakeFiles/fae_tensor.dir/attention.cc.o" "gcc" "src/tensor/CMakeFiles/fae_tensor.dir/attention.cc.o.d"
+  "/root/repo/src/tensor/linear.cc" "src/tensor/CMakeFiles/fae_tensor.dir/linear.cc.o" "gcc" "src/tensor/CMakeFiles/fae_tensor.dir/linear.cc.o.d"
+  "/root/repo/src/tensor/loss.cc" "src/tensor/CMakeFiles/fae_tensor.dir/loss.cc.o" "gcc" "src/tensor/CMakeFiles/fae_tensor.dir/loss.cc.o.d"
+  "/root/repo/src/tensor/mlp.cc" "src/tensor/CMakeFiles/fae_tensor.dir/mlp.cc.o" "gcc" "src/tensor/CMakeFiles/fae_tensor.dir/mlp.cc.o.d"
+  "/root/repo/src/tensor/momentum_sgd.cc" "src/tensor/CMakeFiles/fae_tensor.dir/momentum_sgd.cc.o" "gcc" "src/tensor/CMakeFiles/fae_tensor.dir/momentum_sgd.cc.o.d"
+  "/root/repo/src/tensor/ops.cc" "src/tensor/CMakeFiles/fae_tensor.dir/ops.cc.o" "gcc" "src/tensor/CMakeFiles/fae_tensor.dir/ops.cc.o.d"
+  "/root/repo/src/tensor/sgd.cc" "src/tensor/CMakeFiles/fae_tensor.dir/sgd.cc.o" "gcc" "src/tensor/CMakeFiles/fae_tensor.dir/sgd.cc.o.d"
+  "/root/repo/src/tensor/tensor.cc" "src/tensor/CMakeFiles/fae_tensor.dir/tensor.cc.o" "gcc" "src/tensor/CMakeFiles/fae_tensor.dir/tensor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/fae_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fae_tensor.dir/attention.cc.o"
+  "CMakeFiles/fae_tensor.dir/attention.cc.o.d"
+  "CMakeFiles/fae_tensor.dir/linear.cc.o"
+  "CMakeFiles/fae_tensor.dir/linear.cc.o.d"
+  "CMakeFiles/fae_tensor.dir/loss.cc.o"
+  "CMakeFiles/fae_tensor.dir/loss.cc.o.d"
+  "CMakeFiles/fae_tensor.dir/mlp.cc.o"
+  "CMakeFiles/fae_tensor.dir/mlp.cc.o.d"
+  "CMakeFiles/fae_tensor.dir/momentum_sgd.cc.o"
+  "CMakeFiles/fae_tensor.dir/momentum_sgd.cc.o.d"
+  "CMakeFiles/fae_tensor.dir/ops.cc.o"
+  "CMakeFiles/fae_tensor.dir/ops.cc.o.d"
+  "CMakeFiles/fae_tensor.dir/sgd.cc.o"
+  "CMakeFiles/fae_tensor.dir/sgd.cc.o.d"
+  "CMakeFiles/fae_tensor.dir/tensor.cc.o"
+  "CMakeFiles/fae_tensor.dir/tensor.cc.o.d"
+  "libfae_tensor.a"
+  "libfae_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fae_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fae_util.dir/file_io.cc.o"
+  "CMakeFiles/fae_util.dir/file_io.cc.o.d"
+  "CMakeFiles/fae_util.dir/half.cc.o"
+  "CMakeFiles/fae_util.dir/half.cc.o.d"
+  "CMakeFiles/fae_util.dir/logging.cc.o"
+  "CMakeFiles/fae_util.dir/logging.cc.o.d"
+  "CMakeFiles/fae_util.dir/random.cc.o"
+  "CMakeFiles/fae_util.dir/random.cc.o.d"
+  "CMakeFiles/fae_util.dir/status.cc.o"
+  "CMakeFiles/fae_util.dir/status.cc.o.d"
+  "CMakeFiles/fae_util.dir/string_util.cc.o"
+  "CMakeFiles/fae_util.dir/string_util.cc.o.d"
+  "CMakeFiles/fae_util.dir/thread_pool.cc.o"
+  "CMakeFiles/fae_util.dir/thread_pool.cc.o.d"
+  "libfae_util.a"
+  "libfae_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fae_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

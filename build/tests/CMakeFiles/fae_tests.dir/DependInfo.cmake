@@ -1,0 +1,73 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/calibrator_test.cc" "tests/CMakeFiles/fae_tests.dir/core/calibrator_test.cc.o" "gcc" "tests/CMakeFiles/fae_tests.dir/core/calibrator_test.cc.o.d"
+  "/root/repo/tests/core/classifier_test.cc" "tests/CMakeFiles/fae_tests.dir/core/classifier_test.cc.o" "gcc" "tests/CMakeFiles/fae_tests.dir/core/classifier_test.cc.o.d"
+  "/root/repo/tests/core/fae_format_test.cc" "tests/CMakeFiles/fae_tests.dir/core/fae_format_test.cc.o" "gcc" "tests/CMakeFiles/fae_tests.dir/core/fae_format_test.cc.o.d"
+  "/root/repo/tests/core/input_processor_test.cc" "tests/CMakeFiles/fae_tests.dir/core/input_processor_test.cc.o" "gcc" "tests/CMakeFiles/fae_tests.dir/core/input_processor_test.cc.o.d"
+  "/root/repo/tests/core/property_sweep_test.cc" "tests/CMakeFiles/fae_tests.dir/core/property_sweep_test.cc.o" "gcc" "tests/CMakeFiles/fae_tests.dir/core/property_sweep_test.cc.o.d"
+  "/root/repo/tests/core/rand_em_box_test.cc" "tests/CMakeFiles/fae_tests.dir/core/rand_em_box_test.cc.o" "gcc" "tests/CMakeFiles/fae_tests.dir/core/rand_em_box_test.cc.o.d"
+  "/root/repo/tests/core/replicator_test.cc" "tests/CMakeFiles/fae_tests.dir/core/replicator_test.cc.o" "gcc" "tests/CMakeFiles/fae_tests.dir/core/replicator_test.cc.o.d"
+  "/root/repo/tests/core/scheduler_test.cc" "tests/CMakeFiles/fae_tests.dir/core/scheduler_test.cc.o" "gcc" "tests/CMakeFiles/fae_tests.dir/core/scheduler_test.cc.o.d"
+  "/root/repo/tests/data/batch_loader_test.cc" "tests/CMakeFiles/fae_tests.dir/data/batch_loader_test.cc.o" "gcc" "tests/CMakeFiles/fae_tests.dir/data/batch_loader_test.cc.o.d"
+  "/root/repo/tests/data/dataset_io_test.cc" "tests/CMakeFiles/fae_tests.dir/data/dataset_io_test.cc.o" "gcc" "tests/CMakeFiles/fae_tests.dir/data/dataset_io_test.cc.o.d"
+  "/root/repo/tests/data/dataset_test.cc" "tests/CMakeFiles/fae_tests.dir/data/dataset_test.cc.o" "gcc" "tests/CMakeFiles/fae_tests.dir/data/dataset_test.cc.o.d"
+  "/root/repo/tests/data/schema_test.cc" "tests/CMakeFiles/fae_tests.dir/data/schema_test.cc.o" "gcc" "tests/CMakeFiles/fae_tests.dir/data/schema_test.cc.o.d"
+  "/root/repo/tests/data/synthetic_test.cc" "tests/CMakeFiles/fae_tests.dir/data/synthetic_test.cc.o" "gcc" "tests/CMakeFiles/fae_tests.dir/data/synthetic_test.cc.o.d"
+  "/root/repo/tests/embedding/embedding_test.cc" "tests/CMakeFiles/fae_tests.dir/embedding/embedding_test.cc.o" "gcc" "tests/CMakeFiles/fae_tests.dir/embedding/embedding_test.cc.o.d"
+  "/root/repo/tests/engine/accountant_test.cc" "tests/CMakeFiles/fae_tests.dir/engine/accountant_test.cc.o" "gcc" "tests/CMakeFiles/fae_tests.dir/engine/accountant_test.cc.o.d"
+  "/root/repo/tests/engine/determinism_test.cc" "tests/CMakeFiles/fae_tests.dir/engine/determinism_test.cc.o" "gcc" "tests/CMakeFiles/fae_tests.dir/engine/determinism_test.cc.o.d"
+  "/root/repo/tests/engine/metrics_test.cc" "tests/CMakeFiles/fae_tests.dir/engine/metrics_test.cc.o" "gcc" "tests/CMakeFiles/fae_tests.dir/engine/metrics_test.cc.o.d"
+  "/root/repo/tests/engine/multinode_test.cc" "tests/CMakeFiles/fae_tests.dir/engine/multinode_test.cc.o" "gcc" "tests/CMakeFiles/fae_tests.dir/engine/multinode_test.cc.o.d"
+  "/root/repo/tests/engine/placements_test.cc" "tests/CMakeFiles/fae_tests.dir/engine/placements_test.cc.o" "gcc" "tests/CMakeFiles/fae_tests.dir/engine/placements_test.cc.o.d"
+  "/root/repo/tests/engine/trainer_test.cc" "tests/CMakeFiles/fae_tests.dir/engine/trainer_test.cc.o" "gcc" "tests/CMakeFiles/fae_tests.dir/engine/trainer_test.cc.o.d"
+  "/root/repo/tests/fuzz_formats_test.cc" "tests/CMakeFiles/fae_tests.dir/fuzz_formats_test.cc.o" "gcc" "tests/CMakeFiles/fae_tests.dir/fuzz_formats_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/fae_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/fae_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/models/dlrm_test.cc" "tests/CMakeFiles/fae_tests.dir/models/dlrm_test.cc.o" "gcc" "tests/CMakeFiles/fae_tests.dir/models/dlrm_test.cc.o.d"
+  "/root/repo/tests/models/model_io_test.cc" "tests/CMakeFiles/fae_tests.dir/models/model_io_test.cc.o" "gcc" "tests/CMakeFiles/fae_tests.dir/models/model_io_test.cc.o.d"
+  "/root/repo/tests/models/tbsm_test.cc" "tests/CMakeFiles/fae_tests.dir/models/tbsm_test.cc.o" "gcc" "tests/CMakeFiles/fae_tests.dir/models/tbsm_test.cc.o.d"
+  "/root/repo/tests/sim/partition_test.cc" "tests/CMakeFiles/fae_tests.dir/sim/partition_test.cc.o" "gcc" "tests/CMakeFiles/fae_tests.dir/sim/partition_test.cc.o.d"
+  "/root/repo/tests/sim/sim_test.cc" "tests/CMakeFiles/fae_tests.dir/sim/sim_test.cc.o" "gcc" "tests/CMakeFiles/fae_tests.dir/sim/sim_test.cc.o.d"
+  "/root/repo/tests/stats/access_profile_test.cc" "tests/CMakeFiles/fae_tests.dir/stats/access_profile_test.cc.o" "gcc" "tests/CMakeFiles/fae_tests.dir/stats/access_profile_test.cc.o.d"
+  "/root/repo/tests/stats/descriptive_test.cc" "tests/CMakeFiles/fae_tests.dir/stats/descriptive_test.cc.o" "gcc" "tests/CMakeFiles/fae_tests.dir/stats/descriptive_test.cc.o.d"
+  "/root/repo/tests/stats/histogram_test.cc" "tests/CMakeFiles/fae_tests.dir/stats/histogram_test.cc.o" "gcc" "tests/CMakeFiles/fae_tests.dir/stats/histogram_test.cc.o.d"
+  "/root/repo/tests/stats/sampling_test.cc" "tests/CMakeFiles/fae_tests.dir/stats/sampling_test.cc.o" "gcc" "tests/CMakeFiles/fae_tests.dir/stats/sampling_test.cc.o.d"
+  "/root/repo/tests/stats/t_table_test.cc" "tests/CMakeFiles/fae_tests.dir/stats/t_table_test.cc.o" "gcc" "tests/CMakeFiles/fae_tests.dir/stats/t_table_test.cc.o.d"
+  "/root/repo/tests/stats/zipf_test.cc" "tests/CMakeFiles/fae_tests.dir/stats/zipf_test.cc.o" "gcc" "tests/CMakeFiles/fae_tests.dir/stats/zipf_test.cc.o.d"
+  "/root/repo/tests/tensor/attention_test.cc" "tests/CMakeFiles/fae_tests.dir/tensor/attention_test.cc.o" "gcc" "tests/CMakeFiles/fae_tests.dir/tensor/attention_test.cc.o.d"
+  "/root/repo/tests/tensor/loss_test.cc" "tests/CMakeFiles/fae_tests.dir/tensor/loss_test.cc.o" "gcc" "tests/CMakeFiles/fae_tests.dir/tensor/loss_test.cc.o.d"
+  "/root/repo/tests/tensor/mlp_test.cc" "tests/CMakeFiles/fae_tests.dir/tensor/mlp_test.cc.o" "gcc" "tests/CMakeFiles/fae_tests.dir/tensor/mlp_test.cc.o.d"
+  "/root/repo/tests/tensor/ops_test.cc" "tests/CMakeFiles/fae_tests.dir/tensor/ops_test.cc.o" "gcc" "tests/CMakeFiles/fae_tests.dir/tensor/ops_test.cc.o.d"
+  "/root/repo/tests/tensor/optimizer_test.cc" "tests/CMakeFiles/fae_tests.dir/tensor/optimizer_test.cc.o" "gcc" "tests/CMakeFiles/fae_tests.dir/tensor/optimizer_test.cc.o.d"
+  "/root/repo/tests/tensor/tensor_test.cc" "tests/CMakeFiles/fae_tests.dir/tensor/tensor_test.cc.o" "gcc" "tests/CMakeFiles/fae_tests.dir/tensor/tensor_test.cc.o.d"
+  "/root/repo/tests/util/file_io_test.cc" "tests/CMakeFiles/fae_tests.dir/util/file_io_test.cc.o" "gcc" "tests/CMakeFiles/fae_tests.dir/util/file_io_test.cc.o.d"
+  "/root/repo/tests/util/half_test.cc" "tests/CMakeFiles/fae_tests.dir/util/half_test.cc.o" "gcc" "tests/CMakeFiles/fae_tests.dir/util/half_test.cc.o.d"
+  "/root/repo/tests/util/logging_test.cc" "tests/CMakeFiles/fae_tests.dir/util/logging_test.cc.o" "gcc" "tests/CMakeFiles/fae_tests.dir/util/logging_test.cc.o.d"
+  "/root/repo/tests/util/random_test.cc" "tests/CMakeFiles/fae_tests.dir/util/random_test.cc.o" "gcc" "tests/CMakeFiles/fae_tests.dir/util/random_test.cc.o.d"
+  "/root/repo/tests/util/status_test.cc" "tests/CMakeFiles/fae_tests.dir/util/status_test.cc.o" "gcc" "tests/CMakeFiles/fae_tests.dir/util/status_test.cc.o.d"
+  "/root/repo/tests/util/string_util_test.cc" "tests/CMakeFiles/fae_tests.dir/util/string_util_test.cc.o" "gcc" "tests/CMakeFiles/fae_tests.dir/util/string_util_test.cc.o.d"
+  "/root/repo/tests/util/thread_pool_test.cc" "tests/CMakeFiles/fae_tests.dir/util/thread_pool_test.cc.o" "gcc" "tests/CMakeFiles/fae_tests.dir/util/thread_pool_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/engine/CMakeFiles/fae_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fae_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/fae_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/fae_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/embedding/CMakeFiles/fae_embedding.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/fae_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/fae_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/fae_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fae_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

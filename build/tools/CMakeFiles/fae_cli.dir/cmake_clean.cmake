@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fae_cli.dir/fae_cli.cc.o"
+  "CMakeFiles/fae_cli.dir/fae_cli.cc.o.d"
+  "fae"
+  "fae.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fae_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
