@@ -210,6 +210,15 @@ CMakeFiles/abl_mixed_precision.dir/bench/abl_mixed_precision.cc.o: \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h /root/repo/src/engine/trainer.h \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \
+ /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/algorithmfwd.h \
+ /usr/include/c++/12/bits/stl_heap.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h \
  /root/repo/src/core/fae_config.h /usr/include/c++/12/thread \
  /usr/include/c++/12/stop_token /usr/include/c++/12/atomic \
  /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
@@ -223,21 +232,19 @@ CMakeFiles/abl_mixed_precision.dir/bench/abl_mixed_precision.cc.o: \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h \
  /root/repo/src/core/fae_pipeline.h /root/repo/src/core/calibrator.h \
  /root/repo/src/util/statusor.h /usr/include/c++/12/optional \
- /usr/include/c++/12/bits/enable_special_members.h \
+ /root/repo/src/util/logging.h /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc \
  /root/repo/src/core/embedding_classifier.h \
  /root/repo/src/core/input_processor.h /root/repo/src/data/minibatch.h \
- /root/repo/src/tensor/tensor.h /root/repo/src/util/logging.h \
- /usr/include/c++/12/sstream /usr/include/c++/12/istream \
- /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc /root/repo/src/util/random.h \
- /root/repo/src/engine/metrics.h /root/repo/src/models/rec_model.h \
+ /root/repo/src/tensor/tensor.h /root/repo/src/util/random.h \
+ /root/repo/src/engine/checkpoint.h \
+ /root/repo/src/core/shuffle_scheduler.h /root/repo/src/engine/metrics.h \
+ /root/repo/src/models/rec_model.h \
  /root/repo/src/embedding/embedding_bag.h \
- /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
- /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/unordered_map.h \
  /root/repo/src/embedding/embedding_table.h \
- /root/repo/src/tensor/linear.h /root/repo/src/engine/step_accountant.h \
- /root/repo/src/sim/cost_model.h /root/repo/src/sim/device.h \
- /root/repo/src/sim/timeline.h /usr/include/c++/12/array \
+ /root/repo/src/tensor/linear.h /root/repo/src/sim/timeline.h \
+ /root/repo/src/engine/step_accountant.h /root/repo/src/sim/cost_model.h \
+ /root/repo/src/sim/device.h /root/repo/src/sim/fault_injector.h \
  /root/repo/src/tensor/sgd.h /root/repo/src/embedding/sparse_sgd.h \
  /root/repo/src/models/factory.h /root/repo/src/models/model_config.h

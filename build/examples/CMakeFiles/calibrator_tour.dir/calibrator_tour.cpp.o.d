@@ -216,6 +216,9 @@ examples/CMakeFiles/calibrator_tour.dir/calibrator_tour.cpp.o: \
  /usr/include/c++/12/bits/stl_relops.h /root/repo/src/util/statusor.h \
  /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
+ /root/repo/src/util/logging.h /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc \
  /root/repo/src/core/embedding_classifier.h \
  /root/repo/src/core/embedding_logger.h /root/repo/src/core/rand_em_box.h \
  /root/repo/src/data/synthetic.h /root/repo/src/stats/sampling.h \

@@ -216,7 +216,10 @@ src/core/CMakeFiles/fae_core.dir/calibrator.cc.o: \
  /usr/include/c++/12/bits/stl_relops.h /root/repo/src/util/statusor.h \
  /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
- /usr/include/c++/12/algorithm /usr/include/c++/12/bits/stl_algo.h \
+ /root/repo/src/util/logging.h /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
@@ -246,7 +249,5 @@ src/core/CMakeFiles/fae_core.dir/calibrator.cc.o: \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
  /root/repo/src/core/embedding_logger.h /root/repo/src/core/rand_em_box.h \
  /root/repo/src/stats/sampling.h /root/repo/src/util/random.h \
- /root/repo/src/util/logging.h /usr/include/c++/12/sstream \
- /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc /root/repo/src/util/stopwatch.h \
- /usr/include/c++/12/chrono /root/repo/src/util/string_util.h
+ /root/repo/src/util/stopwatch.h /usr/include/c++/12/chrono \
+ /root/repo/src/util/string_util.h

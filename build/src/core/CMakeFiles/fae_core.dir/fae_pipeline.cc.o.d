@@ -216,10 +216,10 @@ src/core/CMakeFiles/fae_core.dir/fae_pipeline.cc.o: \
  /usr/include/c++/12/bits/stl_relops.h /root/repo/src/util/statusor.h \
  /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
+ /root/repo/src/util/logging.h /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc \
  /root/repo/src/core/embedding_classifier.h \
  /root/repo/src/core/input_processor.h /root/repo/src/data/minibatch.h \
- /root/repo/src/tensor/tensor.h /root/repo/src/util/logging.h \
- /usr/include/c++/12/sstream /usr/include/c++/12/istream \
- /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc /root/repo/src/util/random.h \
+ /root/repo/src/tensor/tensor.h /root/repo/src/util/random.h \
  /root/repo/src/core/fae_format.h

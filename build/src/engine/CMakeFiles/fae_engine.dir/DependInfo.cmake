@@ -8,6 +8,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/checkpoint.cc" "src/engine/CMakeFiles/fae_engine.dir/checkpoint.cc.o" "gcc" "src/engine/CMakeFiles/fae_engine.dir/checkpoint.cc.o.d"
   "/root/repo/src/engine/metrics.cc" "src/engine/CMakeFiles/fae_engine.dir/metrics.cc.o" "gcc" "src/engine/CMakeFiles/fae_engine.dir/metrics.cc.o.d"
   "/root/repo/src/engine/step_accountant.cc" "src/engine/CMakeFiles/fae_engine.dir/step_accountant.cc.o" "gcc" "src/engine/CMakeFiles/fae_engine.dir/step_accountant.cc.o.d"
   "/root/repo/src/engine/trainer.cc" "src/engine/CMakeFiles/fae_engine.dir/trainer.cc.o" "gcc" "src/engine/CMakeFiles/fae_engine.dir/trainer.cc.o.d"

@@ -1,4 +1,6 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/fae_engine.dir/checkpoint.cc.o"
+  "CMakeFiles/fae_engine.dir/checkpoint.cc.o.d"
   "CMakeFiles/fae_engine.dir/metrics.cc.o"
   "CMakeFiles/fae_engine.dir/metrics.cc.o.d"
   "CMakeFiles/fae_engine.dir/step_accountant.cc.o"

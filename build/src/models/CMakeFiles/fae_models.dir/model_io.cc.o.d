@@ -216,9 +216,9 @@ src/models/CMakeFiles/fae_models.dir/model_io.cc.o: \
  /usr/include/c++/12/bits/unordered_map.h \
  /usr/include/c++/12/bits/erase_if.h \
  /root/repo/src/embedding/embedding_table.h \
- /root/repo/src/tensor/linear.h /root/repo/src/util/statusor.h \
- /usr/include/c++/12/optional /root/repo/src/util/file_io.h \
+ /root/repo/src/tensor/linear.h /root/repo/src/util/file_io.h \
  /usr/include/c++/12/fstream /usr/include/c++/12/bits/codecvt.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
- /usr/include/c++/12/bits/fstream.tcc /root/repo/src/util/string_util.h
+ /usr/include/c++/12/bits/fstream.tcc /root/repo/src/util/statusor.h \
+ /usr/include/c++/12/optional /root/repo/src/util/string_util.h

@@ -10,6 +10,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/sim/cost_model.cc" "src/sim/CMakeFiles/fae_sim.dir/cost_model.cc.o" "gcc" "src/sim/CMakeFiles/fae_sim.dir/cost_model.cc.o.d"
   "/root/repo/src/sim/device.cc" "src/sim/CMakeFiles/fae_sim.dir/device.cc.o" "gcc" "src/sim/CMakeFiles/fae_sim.dir/device.cc.o.d"
+  "/root/repo/src/sim/fault_injector.cc" "src/sim/CMakeFiles/fae_sim.dir/fault_injector.cc.o" "gcc" "src/sim/CMakeFiles/fae_sim.dir/fault_injector.cc.o.d"
   "/root/repo/src/sim/partition.cc" "src/sim/CMakeFiles/fae_sim.dir/partition.cc.o" "gcc" "src/sim/CMakeFiles/fae_sim.dir/partition.cc.o.d"
   "/root/repo/src/sim/timeline.cc" "src/sim/CMakeFiles/fae_sim.dir/timeline.cc.o" "gcc" "src/sim/CMakeFiles/fae_sim.dir/timeline.cc.o.d"
   )

@@ -3,6 +3,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/fae_sim.dir/cost_model.cc.o.d"
   "CMakeFiles/fae_sim.dir/device.cc.o"
   "CMakeFiles/fae_sim.dir/device.cc.o.d"
+  "CMakeFiles/fae_sim.dir/fault_injector.cc.o"
+  "CMakeFiles/fae_sim.dir/fault_injector.cc.o.d"
   "CMakeFiles/fae_sim.dir/partition.cc.o"
   "CMakeFiles/fae_sim.dir/partition.cc.o.d"
   "CMakeFiles/fae_sim.dir/timeline.cc.o"

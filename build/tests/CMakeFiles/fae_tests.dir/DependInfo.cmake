@@ -23,6 +23,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/data/synthetic_test.cc" "tests/CMakeFiles/fae_tests.dir/data/synthetic_test.cc.o" "gcc" "tests/CMakeFiles/fae_tests.dir/data/synthetic_test.cc.o.d"
   "/root/repo/tests/embedding/embedding_test.cc" "tests/CMakeFiles/fae_tests.dir/embedding/embedding_test.cc.o" "gcc" "tests/CMakeFiles/fae_tests.dir/embedding/embedding_test.cc.o.d"
   "/root/repo/tests/engine/accountant_test.cc" "tests/CMakeFiles/fae_tests.dir/engine/accountant_test.cc.o" "gcc" "tests/CMakeFiles/fae_tests.dir/engine/accountant_test.cc.o.d"
+  "/root/repo/tests/engine/checkpoint_test.cc" "tests/CMakeFiles/fae_tests.dir/engine/checkpoint_test.cc.o" "gcc" "tests/CMakeFiles/fae_tests.dir/engine/checkpoint_test.cc.o.d"
   "/root/repo/tests/engine/determinism_test.cc" "tests/CMakeFiles/fae_tests.dir/engine/determinism_test.cc.o" "gcc" "tests/CMakeFiles/fae_tests.dir/engine/determinism_test.cc.o.d"
   "/root/repo/tests/engine/metrics_test.cc" "tests/CMakeFiles/fae_tests.dir/engine/metrics_test.cc.o" "gcc" "tests/CMakeFiles/fae_tests.dir/engine/metrics_test.cc.o.d"
   "/root/repo/tests/engine/multinode_test.cc" "tests/CMakeFiles/fae_tests.dir/engine/multinode_test.cc.o" "gcc" "tests/CMakeFiles/fae_tests.dir/engine/multinode_test.cc.o.d"
@@ -33,6 +34,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/models/dlrm_test.cc" "tests/CMakeFiles/fae_tests.dir/models/dlrm_test.cc.o" "gcc" "tests/CMakeFiles/fae_tests.dir/models/dlrm_test.cc.o.d"
   "/root/repo/tests/models/model_io_test.cc" "tests/CMakeFiles/fae_tests.dir/models/model_io_test.cc.o" "gcc" "tests/CMakeFiles/fae_tests.dir/models/model_io_test.cc.o.d"
   "/root/repo/tests/models/tbsm_test.cc" "tests/CMakeFiles/fae_tests.dir/models/tbsm_test.cc.o" "gcc" "tests/CMakeFiles/fae_tests.dir/models/tbsm_test.cc.o.d"
+  "/root/repo/tests/sim/fault_injector_test.cc" "tests/CMakeFiles/fae_tests.dir/sim/fault_injector_test.cc.o" "gcc" "tests/CMakeFiles/fae_tests.dir/sim/fault_injector_test.cc.o.d"
   "/root/repo/tests/sim/partition_test.cc" "tests/CMakeFiles/fae_tests.dir/sim/partition_test.cc.o" "gcc" "tests/CMakeFiles/fae_tests.dir/sim/partition_test.cc.o.d"
   "/root/repo/tests/sim/sim_test.cc" "tests/CMakeFiles/fae_tests.dir/sim/sim_test.cc.o" "gcc" "tests/CMakeFiles/fae_tests.dir/sim/sim_test.cc.o.d"
   "/root/repo/tests/stats/access_profile_test.cc" "tests/CMakeFiles/fae_tests.dir/stats/access_profile_test.cc.o" "gcc" "tests/CMakeFiles/fae_tests.dir/stats/access_profile_test.cc.o.d"

@@ -328,13 +328,12 @@ tests/CMakeFiles/fae_tests.dir/core/property_sweep_test.cc.o: \
  /root/repo/src/data/dataset.h /root/repo/src/data/sample.h \
  /root/repo/src/data/schema.h /root/repo/src/stats/access_profile.h \
  /root/repo/src/stats/histogram.h /root/repo/src/util/status.h \
- /root/repo/src/util/statusor.h \
+ /root/repo/src/util/statusor.h /root/repo/src/util/logging.h \
  /root/repo/src/core/embedding_classifier.h \
  /root/repo/src/core/fae_pipeline.h /root/repo/src/core/input_processor.h \
  /root/repo/src/data/minibatch.h /root/repo/src/tensor/tensor.h \
- /root/repo/src/util/logging.h /root/repo/src/util/random.h \
- /root/repo/src/core/shuffle_scheduler.h /root/repo/src/data/synthetic.h \
- /root/repo/src/engine/step_accountant.h \
+ /root/repo/src/util/random.h /root/repo/src/core/shuffle_scheduler.h \
+ /root/repo/src/data/synthetic.h /root/repo/src/engine/step_accountant.h \
  /root/repo/src/models/rec_model.h \
  /root/repo/src/embedding/embedding_bag.h \
  /root/repo/src/embedding/embedding_table.h \

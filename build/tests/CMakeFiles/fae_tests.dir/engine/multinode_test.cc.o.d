@@ -306,16 +306,17 @@ tests/CMakeFiles/fae_tests.dir/engine/multinode_test.cc.o: \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h \
  /root/repo/src/core/fae_pipeline.h /root/repo/src/core/calibrator.h \
- /root/repo/src/util/statusor.h \
+ /root/repo/src/util/statusor.h /root/repo/src/util/logging.h \
  /root/repo/src/core/embedding_classifier.h \
  /root/repo/src/core/input_processor.h /root/repo/src/data/minibatch.h \
- /root/repo/src/tensor/tensor.h /root/repo/src/util/logging.h \
- /root/repo/src/util/random.h /root/repo/src/engine/metrics.h \
+ /root/repo/src/tensor/tensor.h /root/repo/src/util/random.h \
+ /root/repo/src/engine/checkpoint.h \
+ /root/repo/src/core/shuffle_scheduler.h /root/repo/src/engine/metrics.h \
  /root/repo/src/models/rec_model.h \
  /root/repo/src/embedding/embedding_bag.h \
  /root/repo/src/embedding/embedding_table.h \
- /root/repo/src/tensor/linear.h /root/repo/src/engine/step_accountant.h \
- /root/repo/src/sim/cost_model.h /root/repo/src/sim/device.h \
- /root/repo/src/sim/timeline.h /root/repo/src/tensor/sgd.h \
- /root/repo/src/embedding/sparse_sgd.h /root/repo/src/models/factory.h \
- /root/repo/src/models/model_config.h
+ /root/repo/src/tensor/linear.h /root/repo/src/sim/timeline.h \
+ /root/repo/src/engine/step_accountant.h /root/repo/src/sim/cost_model.h \
+ /root/repo/src/sim/device.h /root/repo/src/sim/fault_injector.h \
+ /root/repo/src/tensor/sgd.h /root/repo/src/embedding/sparse_sgd.h \
+ /root/repo/src/models/factory.h /root/repo/src/models/model_config.h

@@ -307,19 +307,20 @@ tests/CMakeFiles/fae_tests.dir/fuzz_formats_test.cc.o: \
  /root/repo/src/stats/access_profile.h /root/repo/src/stats/histogram.h \
  /root/repo/src/util/status.h /root/repo/src/data/dataset.h \
  /root/repo/src/data/sample.h /root/repo/src/util/statusor.h \
- /root/repo/src/core/fae_pipeline.h /root/repo/src/core/calibrator.h \
- /root/repo/src/core/fae_config.h /usr/include/c++/12/thread \
- /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
- /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /root/repo/src/util/logging.h /root/repo/src/core/fae_pipeline.h \
+ /root/repo/src/core/calibrator.h /root/repo/src/core/fae_config.h \
+ /usr/include/c++/12/thread /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h \
  /root/repo/src/core/input_processor.h /root/repo/src/data/minibatch.h \
- /root/repo/src/tensor/tensor.h /root/repo/src/util/logging.h \
- /root/repo/src/util/random.h /root/repo/src/data/dataset_io.h \
- /root/repo/src/data/synthetic.h /root/repo/src/models/factory.h \
- /root/repo/src/models/model_config.h /root/repo/src/models/rec_model.h \
+ /root/repo/src/tensor/tensor.h /root/repo/src/util/random.h \
+ /root/repo/src/data/dataset_io.h /root/repo/src/data/synthetic.h \
+ /root/repo/src/models/factory.h /root/repo/src/models/model_config.h \
+ /root/repo/src/models/rec_model.h \
  /root/repo/src/embedding/embedding_bag.h \
  /root/repo/src/embedding/embedding_table.h \
  /root/repo/src/tensor/linear.h /root/repo/src/models/model_io.h \

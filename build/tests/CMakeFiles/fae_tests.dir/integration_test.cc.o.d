@@ -309,14 +309,13 @@ tests/CMakeFiles/fae_tests.dir/integration_test.cc.o: \
  /root/repo/src/data/dataset.h /root/repo/src/data/sample.h \
  /root/repo/src/data/schema.h /root/repo/src/stats/access_profile.h \
  /root/repo/src/stats/histogram.h /root/repo/src/util/status.h \
- /root/repo/src/util/statusor.h \
+ /root/repo/src/util/statusor.h /root/repo/src/util/logging.h \
  /root/repo/src/core/embedding_classifier.h \
  /root/repo/src/core/embedding_logger.h \
  /root/repo/src/core/embedding_replicator.h \
  /root/repo/src/core/embedding_classifier.h \
  /root/repo/src/data/minibatch.h /root/repo/src/tensor/tensor.h \
- /root/repo/src/util/logging.h /root/repo/src/util/random.h \
- /root/repo/src/embedding/embedding_table.h \
+ /root/repo/src/util/random.h /root/repo/src/embedding/embedding_table.h \
  /root/repo/src/core/fae_config.h /root/repo/src/core/fae_format.h \
  /root/repo/src/core/fae_pipeline.h /root/repo/src/core/calibrator.h \
  /root/repo/src/core/input_processor.h \
@@ -338,17 +337,24 @@ tests/CMakeFiles/fae_tests.dir/integration_test.cc.o: \
  /root/repo/src/engine/step_accountant.h /root/repo/src/sim/cost_model.h \
  /root/repo/src/sim/device.h /root/repo/src/sim/timeline.h \
  /root/repo/src/engine/trainer.h /root/repo/src/core/fae_pipeline.h \
- /root/repo/src/engine/metrics.h /root/repo/src/engine/step_accountant.h \
- /root/repo/src/tensor/sgd.h /root/repo/src/embedding/sparse_sgd.h \
- /root/repo/src/models/dlrm.h /root/repo/src/models/model_config.h \
- /root/repo/src/tensor/mlp.h /root/repo/src/models/factory.h \
- /root/repo/src/models/model_config.h /root/repo/src/models/model_io.h \
- /root/repo/src/models/rec_model.h /root/repo/src/models/tbsm.h \
- /root/repo/src/tensor/attention.h /root/repo/src/sim/cost_model.h \
- /root/repo/src/sim/device.h /root/repo/src/sim/partition.h \
- /root/repo/src/sim/timeline.h /root/repo/src/stats/access_profile.h \
- /root/repo/src/stats/descriptive.h /usr/include/c++/12/cmath \
- /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
+ /root/repo/src/engine/checkpoint.h \
+ /root/repo/src/core/shuffle_scheduler.h /root/repo/src/engine/metrics.h \
+ /root/repo/src/engine/step_accountant.h \
+ /root/repo/src/sim/fault_injector.h /root/repo/src/tensor/sgd.h \
+ /root/repo/src/embedding/sparse_sgd.h /root/repo/src/models/dlrm.h \
+ /root/repo/src/models/model_config.h /root/repo/src/tensor/mlp.h \
+ /root/repo/src/models/factory.h /root/repo/src/models/model_config.h \
+ /root/repo/src/models/model_io.h /root/repo/src/util/file_io.h \
+ /usr/include/c++/12/fstream \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
+ /usr/include/c++/12/bits/fstream.tcc /root/repo/src/models/rec_model.h \
+ /root/repo/src/models/tbsm.h /root/repo/src/tensor/attention.h \
+ /root/repo/src/sim/cost_model.h /root/repo/src/sim/device.h \
+ /root/repo/src/sim/partition.h /root/repo/src/sim/timeline.h \
+ /root/repo/src/stats/access_profile.h /root/repo/src/stats/descriptive.h \
+ /usr/include/c++/12/cmath /usr/include/math.h \
+ /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
  /usr/include/x86_64-linux-gnu/bits/fp-logb.h \
@@ -375,10 +381,7 @@ tests/CMakeFiles/fae_tests.dir/integration_test.cc.o: \
  /root/repo/src/tensor/loss.h /root/repo/src/tensor/mlp.h \
  /root/repo/src/tensor/momentum_sgd.h /root/repo/src/tensor/ops.h \
  /root/repo/src/tensor/sgd.h /root/repo/src/tensor/tensor.h \
- /root/repo/src/util/file_io.h /usr/include/c++/12/fstream \
- /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
- /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
- /usr/include/c++/12/bits/fstream.tcc /root/repo/src/util/half.h \
+ /root/repo/src/util/file_io.h /root/repo/src/util/half.h \
  /root/repo/src/util/logging.h /root/repo/src/util/random.h \
  /root/repo/src/util/status.h /root/repo/src/util/statusor.h \
  /root/repo/src/util/stopwatch.h /usr/include/c++/12/chrono \
@@ -386,4 +389,4 @@ tests/CMakeFiles/fae_tests.dir/integration_test.cc.o: \
  /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
  /root/repo/src/data/dataset_io.h /root/repo/src/data/synthetic.h \
  /root/repo/src/engine/trainer.h /root/repo/src/models/factory.h \
- /root/repo/src/models/model_io.h /root/repo/src/util/file_io.h
+ /root/repo/src/models/model_io.h

@@ -293,4 +293,4 @@ tests/CMakeFiles/fae_tests.dir/util/status_test.cc.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/util/statusor.h
+ /root/repo/src/util/statusor.h /root/repo/src/util/logging.h

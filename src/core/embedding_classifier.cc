@@ -1,5 +1,7 @@
 #include "core/embedding_classifier.h"
 
+#include <algorithm>
+
 #include "util/logging.h"
 
 namespace fae {
@@ -39,6 +41,39 @@ double HotSet::HotAccessShare(const AccessProfile& profile) const {
   }
   return total == 0 ? 0.0
                     : static_cast<double>(hot) / static_cast<double>(total);
+}
+
+uint64_t HotSet::DemoteToBudget(size_t embedding_dim, uint64_t budget_bytes) {
+  const uint64_t row_bytes = embedding_dim * sizeof(float);
+  FAE_CHECK_GT(row_bytes, 0u);
+  uint64_t demoted = 0;
+  while (HotBytes(embedding_dim) > budget_bytes) {
+    // Shed from the table with the most hot rows; ties resolve to the
+    // lowest table index, keeping the demotion order deterministic.
+    size_t victim = 0;
+    for (size_t t = 1; t < num_tables(); ++t) {
+      if (hot_counts_[t] > hot_counts_[victim]) victim = t;
+    }
+    if (hot_counts_[victim] == 0) break;  // nothing left to demote
+    if (all_hot_[victim]) {
+      mask_[victim].assign(table_rows_[victim], 1);
+      all_hot_[victim] = 0;
+    }
+    const uint64_t excess =
+        HotBytes(embedding_dim) - budget_bytes;
+    uint64_t take = std::min<uint64_t>(hot_counts_[victim],
+                                       (excess + row_bytes - 1) / row_bytes);
+    auto& mask = mask_[victim];
+    for (uint64_t r = mask.size(); r > 0 && take > 0; --r) {
+      if (mask[r - 1]) {
+        mask[r - 1] = 0;
+        --take;
+        --hot_counts_[victim];
+        ++demoted;
+      }
+    }
+  }
+  return demoted;
 }
 
 HotSet EmbeddingClassifier::Classify(const AccessProfile& profile,

@@ -40,6 +40,14 @@ class HotSet {
   /// paper's "hot indices account for 75% to 92% of the total accesses".
   double HotAccessShare(const AccessProfile& profile) const;
 
+  /// Graceful degradation: demotes hot rows until the slice fits
+  /// `budget_bytes`, starting with the table holding the most hot rows and
+  /// clearing from the highest row id downward (the synthetic and Criteo
+  /// popularity orders put rare entries at high ids, so the least-popular
+  /// hot rows go first). All-hot small tables are converted to masked
+  /// tables when they must shed rows. Returns the number of rows demoted.
+  uint64_t DemoteToBudget(size_t embedding_dim, uint64_t budget_bytes);
+
  private:
   friend class EmbeddingClassifier;
   friend class FaeFormat;

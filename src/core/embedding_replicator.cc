@@ -71,6 +71,19 @@ void EmbeddingReplicator::PushToMasters(
   }
 }
 
+void EmbeddingReplicator::ScrambleReplicas(uint64_t seed) {
+  SplitMix64 noise(seed);
+  for (EmbeddingTable& replica : replicas_) {
+    for (float& v : replica.raw()) {
+      // Arbitrary garbage in roughly the weights' magnitude, so a missed
+      // detection would visibly wreck training rather than hide.
+      v = static_cast<float>(static_cast<int64_t>(noise.Next() % 2001) -
+                             1000) /
+          1000.0f;
+    }
+  }
+}
+
 void EmbeddingReplicator::PullRowsFromMasters(
     const std::vector<EmbeddingTable>& masters,
     const std::vector<std::vector<uint32_t>>& rows) {

@@ -63,6 +63,11 @@ class EmbeddingReplicator {
   void PushRowsToMasters(std::vector<EmbeddingTable>& masters,
                          const std::vector<std::vector<uint32_t>>& rows) const;
 
+  /// Simulates a corrupted hot-slice sync (fault injection): overwrites
+  /// every replica entry with seed-derived noise. Recovery is a full
+  /// PullFromMasters — the CPU master copy is always authoritative.
+  void ScrambleReplicas(uint64_t seed);
+
   /// Bytes of one replica copy (the per-transition sync payload and the
   /// per-GPU memory footprint).
   uint64_t hot_bytes() const { return hot_bytes_; }

@@ -7,7 +7,9 @@ namespace fae {
 namespace {
 
 constexpr uint32_t kMagic = 0x46414546;  // "FAEF"
-constexpr uint32_t kVersion = 1;
+// v2 added the crash-safety envelope: atomic temp+rename writes and the
+// whole-file CRC-32 footer.
+constexpr uint32_t kVersion = 2;
 constexpr uint32_t kTrailer = 0x444e4546;  // "FEND"
 
 uint64_t Fnv1a(uint64_t h, uint64_t v) {
@@ -33,7 +35,7 @@ uint64_t FaeFormat::Fingerprint(const Dataset& dataset) {
 }
 
 Status FaeFormat::Save(const std::string& path, const FaePreprocessed& data) {
-  FAE_ASSIGN_OR_RETURN(BinaryWriter w, BinaryWriter::Open(path));
+  FAE_ASSIGN_OR_RETURN(BinaryWriter w, BinaryWriter::OpenAtomic(path));
   FAE_RETURN_IF_ERROR(w.WriteU32(kMagic));
   FAE_RETURN_IF_ERROR(w.WriteU32(kVersion));
   FAE_RETURN_IF_ERROR(w.WriteU64(data.fingerprint));
@@ -51,11 +53,14 @@ Status FaeFormat::Save(const std::string& path, const FaePreprocessed& data) {
   FAE_RETURN_IF_ERROR(w.WriteVector(data.hot_ids));
   FAE_RETURN_IF_ERROR(w.WriteVector(data.cold_ids));
   FAE_RETURN_IF_ERROR(w.WriteU32(kTrailer));
-  return w.Close();
+  const uint32_t crc = w.crc();
+  FAE_RETURN_IF_ERROR(w.WriteU32(crc));
+  return w.Commit();
 }
 
 StatusOr<FaePreprocessed> FaeFormat::Load(const std::string& path,
                                           const Dataset& dataset) {
+  FAE_RETURN_IF_ERROR(VerifyFileIntegrity(path));
   FAE_ASSIGN_OR_RETURN(BinaryReader r, BinaryReader::Open(path));
   FAE_ASSIGN_OR_RETURN(uint32_t magic, r.ReadU32());
   if (magic != kMagic) {

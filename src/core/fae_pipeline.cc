@@ -64,4 +64,33 @@ StatusOr<FaePlan> FaePipeline::PrepareCached(
   return plan;
 }
 
+FaePlan DegradePlanToBudget(const Dataset& dataset, const FaePlan& plan,
+                            uint64_t budget_bytes, size_t num_threads) {
+  FaePlan out = plan;
+  const size_t dim = dataset.schema().embedding_dim;
+  out.demoted_rows = out.hot_set.DemoteToBudget(dim, budget_bytes);
+  out.hot_bytes = out.hot_set.HotBytes(dim);
+  out.degraded = true;
+  if (out.demoted_rows == 0) return out;
+
+  // Inputs classified hot against the original set may now touch a demoted
+  // row; re-run the classification over just those inputs and move the
+  // casualties to the cold list (relative order within each class is
+  // preserved, keeping the run deterministic).
+  InputProcessor processor(num_threads);
+  ProcessedInputs reclassified =
+      processor.Classify(dataset, out.hot_set, plan.inputs.hot_ids);
+  out.fallback_inputs = reclassified.cold_ids.size();
+  out.inputs.hot_ids = std::move(reclassified.hot_ids);
+  out.inputs.cold_ids = plan.inputs.cold_ids;
+  out.inputs.cold_ids.insert(out.inputs.cold_ids.end(),
+                             reclassified.cold_ids.begin(),
+                             reclassified.cold_ids.end());
+  FAE_LOG(Warning) << "hot slice exceeded the GPU budget; demoted "
+                   << out.demoted_rows << " rows and moved "
+                   << out.fallback_inputs
+                   << " inputs to the cold path (degraded mode)";
+  return out;
+}
+
 }  // namespace fae

@@ -29,6 +29,15 @@ struct FaePlan {
   /// Fresh runs carry the full calibration record (sweep, timings).
   CalibrationResult calibration;
   bool from_cache = false;
+
+  /// Set by DegradePlanToBudget: the plan was shrunk to fit a tighter
+  /// budget than it was calibrated for (popularity drift, a smaller GPU).
+  bool degraded = false;
+  /// Hot rows demoted to cold by the degradation pass.
+  uint64_t demoted_rows = 0;
+  /// Formerly-hot inputs that now touch a demoted row and fell back to the
+  /// cold (hybrid CPU-GPU) execution path.
+  uint64_t fallback_inputs = 0;
 };
 
 /// Ties the static components together: Calibrator -> Embedding Classifier
@@ -54,6 +63,15 @@ class FaePipeline {
  private:
   FaeConfig config_;
 };
+
+/// Graceful degradation when a plan's hot slice no longer fits the per-GPU
+/// budget (popularity drift after calibration, or a smaller deployment GPU):
+/// demotes overflow entries from the hot set and reclassifies the affected
+/// hot inputs as cold, so execution falls back toward the cold path instead
+/// of aborting. The demotion itself is deterministic; see
+/// HotSet::DemoteToBudget for the victim order.
+FaePlan DegradePlanToBudget(const Dataset& dataset, const FaePlan& plan,
+                            uint64_t budget_bytes, size_t num_threads);
 
 }  // namespace fae
 

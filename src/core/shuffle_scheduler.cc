@@ -76,6 +76,34 @@ void ShuffleScheduler::ReportTestLoss(double loss) {
   prev_loss_ = loss;
 }
 
+ShuffleScheduler::State ShuffleScheduler::state() const {
+  State st;
+  st.rate = rate_;
+  st.issued_cold = issued_cold_;
+  st.issued_hot = issued_hot_;
+  st.next_is_hot = next_is_hot_;
+  st.any_issued = any_issued_;
+  st.last_was_hot = last_was_hot_;
+  st.transitions = transitions_;
+  st.has_prev_loss = has_prev_loss_;
+  st.prev_loss = prev_loss_;
+  st.consecutive_decreases = consecutive_decreases_;
+  return st;
+}
+
+void ShuffleScheduler::Restore(const State& state) {
+  rate_ = std::clamp(state.rate, min_rate_, max_rate_);
+  issued_cold_ = std::min<size_t>(state.issued_cold, num_cold_);
+  issued_hot_ = std::min<size_t>(state.issued_hot, num_hot_);
+  next_is_hot_ = state.next_is_hot;
+  any_issued_ = state.any_issued;
+  last_was_hot_ = state.last_was_hot;
+  transitions_ = state.transitions;
+  has_prev_loss_ = state.has_prev_loss;
+  prev_loss_ = state.prev_loss;
+  consecutive_decreases_ = state.consecutive_decreases;
+}
+
 void ShuffleScheduler::ResetEpoch() {
   issued_cold_ = 0;
   issued_hot_ = 0;

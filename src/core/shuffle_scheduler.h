@@ -28,7 +28,27 @@ class ShuffleScheduler {
     size_t count = 0;
   };
 
+  /// Complete adaptive + positional state, capturable at chunk boundaries
+  /// for crash-safe checkpoint/resume: restoring it continues the schedule
+  /// (including Eq 7's loss history and the adapted rate) exactly where it
+  /// was captured — a naive restart would silently reset `r`.
+  struct State {
+    double rate = 0.0;
+    uint64_t issued_cold = 0;
+    uint64_t issued_hot = 0;
+    bool next_is_hot = false;
+    bool any_issued = false;
+    bool last_was_hot = false;
+    uint64_t transitions = 0;
+    bool has_prev_loss = false;
+    double prev_loss = 0.0;
+    int32_t consecutive_decreases = 0;
+  };
+
   ShuffleScheduler(size_t num_cold, size_t num_hot, const FaeConfig& config);
+
+  State state() const;
+  void Restore(const State& state);
 
   /// Next chunk to execute, or nullopt when every batch was issued.
   std::optional<Chunk> Next();

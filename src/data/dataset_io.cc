@@ -7,13 +7,15 @@ namespace fae {
 namespace {
 
 constexpr uint32_t kMagic = 0x44454146;  // "FAED"
-constexpr uint32_t kVersion = 1;
+// v2 added the crash-safety envelope: atomic temp+rename writes and the
+// whole-file CRC-32 footer.
+constexpr uint32_t kVersion = 2;
 constexpr uint32_t kTrailer = 0x444e4544;  // "DEND"
 
 }  // namespace
 
 Status DatasetIo::Save(const std::string& path, const Dataset& dataset) {
-  FAE_ASSIGN_OR_RETURN(BinaryWriter w, BinaryWriter::Open(path));
+  FAE_ASSIGN_OR_RETURN(BinaryWriter w, BinaryWriter::OpenAtomic(path));
   FAE_RETURN_IF_ERROR(w.WriteU32(kMagic));
   FAE_RETURN_IF_ERROR(w.WriteU32(kVersion));
 
@@ -36,10 +38,15 @@ Status DatasetIo::Save(const std::string& path, const Dataset& dataset) {
     FAE_RETURN_IF_ERROR(w.WriteF32(sample.label));
   }
   FAE_RETURN_IF_ERROR(w.WriteU32(kTrailer));
-  return w.Close();
+  const uint32_t crc = w.crc();
+  FAE_RETURN_IF_ERROR(w.WriteU32(crc));
+  return w.Commit();
 }
 
 StatusOr<Dataset> DatasetIo::Load(const std::string& path) {
+  // Whole-file checksum first: corruption anywhere in the file is caught
+  // before any samples are deserialized.
+  FAE_RETURN_IF_ERROR(VerifyFileIntegrity(path));
   FAE_ASSIGN_OR_RETURN(BinaryReader r, BinaryReader::Open(path));
   FAE_ASSIGN_OR_RETURN(uint32_t magic, r.ReadU32());
   if (magic != kMagic) {

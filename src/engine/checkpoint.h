@@ -1,0 +1,90 @@
+#ifndef FAE_ENGINE_CHECKPOINT_H_
+#define FAE_ENGINE_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/shuffle_scheduler.h"
+#include "engine/metrics.h"
+#include "models/rec_model.h"
+#include "sim/timeline.h"
+#include "util/random.h"
+#include "util/statusor.h"
+
+namespace fae {
+
+/// Checkpoint/resume policy, part of TrainOptions.
+struct CheckpointOptions {
+  /// Checkpoint file. Empty disables both saving and resuming.
+  std::string path;
+  /// Save whenever the completed-iteration count crosses a multiple of
+  /// this (at batch boundaries for the baseline, at schedule-chunk
+  /// boundaries for FAE, where the CPU master copy is authoritative).
+  /// 0 disables periodic saves.
+  uint64_t every_steps = 0;
+  /// Resume from `path` before training. The checkpoint must match the
+  /// run (same mode, options, and dataset) or training fails with
+  /// FailedPrecondition rather than silently diverging.
+  bool resume = false;
+};
+
+/// Everything beyond the model weights that a resumed run needs to
+/// reproduce an uninterrupted run's loss curve exactly: positional
+/// counters, the RNG stream, metric accumulators, the FAE scheduler's
+/// adaptive state, and the modeled timeline.
+///
+/// `mode` is the TrainMode as an integer (this header is included by
+/// trainer.h, so it cannot name the enum).
+struct TrainerCheckpoint {
+  uint32_t mode = 0;
+  /// FaeFormat::Fingerprint of the training dataset; a checkpoint taken
+  /// on different data is rejected at resume.
+  uint64_t dataset_fingerprint = 0;
+  /// Hash of every TrainOptions field that affects numerics; ditto.
+  uint64_t options_fingerprint = 0;
+
+  uint64_t epoch = 0;            // epoch in progress when saved
+  uint64_t iteration = 0;        // completed training batches, global
+  uint64_t batch_in_epoch = 0;   // completed batches within `epoch`
+  uint64_t hot_batches = 0;      // FAE-only counters
+  uint64_t cold_batches = 0;
+  uint64_t sync_bytes = 0;
+
+  Xoshiro256::State rng;
+  RunningMetric::State metric;   // since-start accumulator
+  RunningMetric::State window;   // since-last-curve-point accumulator
+  ShuffleScheduler::State scheduler;  // FAE-only
+  Timeline::State timeline;
+  std::vector<CurvePoint> curve;
+};
+
+/// Serializes a TrainerCheckpoint plus the full model state (dense
+/// parameters and embedding tables) into one crash-safe container:
+/// atomic temp+rename writes, and a whole-file CRC-32 footer verified
+/// before Load parses a single field — a checkpoint corrupted or
+/// truncated by a crash is reported as a Status and never half-restored
+/// into a live model.
+class CheckpointIo {
+ public:
+  /// What a resuming run requires of the checkpoint. Checked after the
+  /// header but *before* any model weights are restored, so a checkpoint
+  /// from a different run can never partially overwrite a live model.
+  struct Expectation {
+    uint32_t mode = 0;
+    uint64_t dataset_fingerprint = 0;
+    uint64_t options_fingerprint = 0;
+  };
+
+  static Status Save(const std::string& path, const TrainerCheckpoint& ck,
+                     RecModel& model);
+  /// Restores model weights in place and returns the trainer state.
+  /// A non-null `expect` mismatch returns FailedPrecondition.
+  static StatusOr<TrainerCheckpoint> Load(const std::string& path,
+                                          RecModel& model,
+                                          const Expectation* expect = nullptr);
+};
+
+}  // namespace fae
+
+#endif  // FAE_ENGINE_CHECKPOINT_H_

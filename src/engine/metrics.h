@@ -21,9 +21,28 @@ struct CurvePoint {
 /// Accumulates per-batch training statistics between curve points.
 class RunningMetric {
  public:
+  /// Accumulator snapshot for checkpoint/resume: restoring it makes the
+  /// next Flush/mean identical to an uninterrupted run's.
+  struct State {
+    double loss_sum = 0.0;
+    uint64_t correct = 0;
+    uint64_t samples = 0;
+    uint64_t batches = 0;
+  };
+
   void Observe(double loss, size_t correct, size_t batch_size);
   /// Mean loss/accuracy since the last Flush; zeros when nothing observed.
   CurvePoint Flush(size_t iteration);
+
+  State state() const {
+    return State{loss_sum_, correct_, samples_, batches_};
+  }
+  void Restore(const State& state) {
+    loss_sum_ = state.loss_sum;
+    correct_ = state.correct;
+    samples_ = state.samples;
+    batches_ = state.batches;
+  }
 
   double mean_loss() const;
   double accuracy() const;

@@ -1,11 +1,13 @@
 #include "engine/trainer.h"
 
 #include <algorithm>
+#include <bit>
 #include <numeric>
 #include <functional>
 #include <unordered_set>
 
 #include "core/embedding_replicator.h"
+#include "core/fae_format.h"
 #include "core/input_processor.h"
 #include "core/shuffle_scheduler.h"
 #include "sim/partition.h"
@@ -16,6 +18,23 @@
 #include "util/string_util.h"
 
 namespace fae {
+namespace {
+
+/// Bounded retry policy for transient device faults: exponential backoff
+/// starting at 1 ms; a fault outliving the budget is a permanent device
+/// loss and fails the run.
+constexpr uint32_t kMaxFaultRetries = 5;
+constexpr double kRetryBackoffSeconds = 0.001;
+
+uint64_t FnvMix(uint64_t h, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xff;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
 
 std::string_view TrainModeName(TrainMode mode) {
   switch (mode) {
@@ -44,6 +63,88 @@ Trainer::Trainer(RecModel* model, SystemSpec system, TrainOptions options)
   FAE_CHECK(model != nullptr);
   FAE_CHECK_GE(options_.per_gpu_batch, 1u);
   FAE_CHECK_GE(options_.epochs, 1u);
+}
+
+uint64_t Trainer::OptionsFingerprint() const {
+  uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a offset basis
+  h = FnvMix(h, options_.per_gpu_batch);
+  h = FnvMix(h, GlobalBatchSize());  // covers the world size too
+  h = FnvMix(h, options_.epochs);
+  h = FnvMix(h, std::bit_cast<uint32_t>(options_.dense_lr));
+  h = FnvMix(h, std::bit_cast<uint32_t>(options_.sparse_lr));
+  h = FnvMix(h, options_.run_math ? 1 : 0);
+  h = FnvMix(h, options_.eval_samples);
+  h = FnvMix(h, options_.eval_batch);
+  h = FnvMix(h, options_.evals_per_epoch);
+  h = FnvMix(h, static_cast<uint64_t>(options_.sync_strategy));
+  h = FnvMix(h, options_.pipelined_baseline ? 1 : 0);
+  h = FnvMix(h, options_.fp16_embeddings ? 1 : 0);
+  h = FnvMix(h, options_.seed);
+  return h;
+}
+
+StatusOr<bool> Trainer::DrainFaults(
+    uint64_t iteration, TrainReport& report,
+    const std::function<void(uint64_t)>& on_corrupt_sync) {
+  FaultInjector* injector = options_.fault_injector;
+  if (injector == nullptr || injector->empty()) return false;
+  FaultStats& stats = injector->stats();
+  // Recovery time must reach the wall accumulator too when the run models
+  // overlapped execution (Timeline::TotalSeconds then ignores phase sums).
+  auto charge_recovery = [&](double seconds) {
+    report.timeline.Charge(Phase::kFaultRecovery, seconds);
+    if (options_.pipelined_baseline) report.timeline.AddWallSeconds(seconds);
+  };
+  for (const FaultEvent& event : injector->Drain(iteration)) {
+    switch (event.kind) {
+      case FaultKind::kDeviceTransient: {
+        ++stats.device_faults;
+        if (event.times > kMaxFaultRetries) {
+          return Status::ResourceExhausted(StrFormat(
+              "device failed %u consecutive attempts at step %llu, "
+              "exhausting the retry budget (%u); treating the device as "
+              "permanently lost",
+              event.times, static_cast<unsigned long long>(event.step),
+              kMaxFaultRetries));
+        }
+        double backoff = kRetryBackoffSeconds;
+        for (uint32_t attempt = 0; attempt < event.times; ++attempt) {
+          ++stats.retries;
+          charge_recovery(backoff);
+          backoff *= 2.0;
+        }
+        FAE_LOG(Warning) << "transient device fault at step " << iteration
+                         << ": recovered after " << event.times
+                         << " retry attempt(s)";
+        break;
+      }
+      case FaultKind::kLinkStall:
+        ++stats.link_stalls;
+        charge_recovery(event.stall_seconds);
+        FAE_LOG(Warning) << "link stall at step " << iteration << " ("
+                         << event.stall_seconds << " s)";
+        break;
+      case FaultKind::kCorruptSync:
+        ++stats.corrupt_syncs;
+        if (on_corrupt_sync) {
+          on_corrupt_sync(iteration);
+        } else {
+          FAE_LOG(Warning)
+              << "corrupt-sync fault at step " << iteration
+              << " ignored: this mode keeps no GPU embedding replicas";
+        }
+        break;
+      case FaultKind::kCrash:
+        ++stats.crashes;
+        report.interrupted = true;
+        FAE_LOG(Warning)
+            << "injected crash at step " << iteration
+            << ": returning a partial report (resume from the last "
+               "checkpoint to continue)";
+        return true;
+    }
+  }
+  return false;
 }
 
 void Trainer::MaybeQuantizeTables() {
@@ -87,6 +188,9 @@ std::vector<MiniBatch> Trainer::MakeEvalBatches(
 void Trainer::FinishReport(TrainReport& report,
                            const std::vector<MiniBatch>& eval_batches,
                            RunningMetric& metric) const {
+  if (options_.fault_injector != nullptr) {
+    report.faults = options_.fault_injector->stats();
+  }
   report.modeled_seconds = report.timeline.TotalSeconds();
   report.avg_gpu_watts = cost_.AverageGpuWatts(
       report.modeled_seconds, report.timeline.gpu_busy_seconds(),
@@ -104,6 +208,13 @@ void Trainer::FinishReport(TrainReport& report,
 
 TrainReport Trainer::TrainBaseline(const Dataset& dataset,
                                    const Dataset::Split& split) {
+  StatusOr<TrainReport> report = TrainBaselineResumable(dataset, split);
+  FAE_CHECK(report.ok()) << report.status().ToString();
+  return std::move(report).value();
+}
+
+StatusOr<TrainReport> Trainer::TrainBaselineResumable(
+    const Dataset& dataset, const Dataset::Split& split) {
   MaybeQuantizeTables();
   TrainReport report;
   report.mode = TrainMode::kBaseline;
@@ -128,12 +239,89 @@ TrainReport Trainer::TrainBaseline(const Dataset& dataset,
       std::max<size_t>(1, batches.size() / std::max<size_t>(
                                                1, options_.evals_per_epoch));
   size_t iteration = 0;
-  for (size_t epoch = 0; epoch < options_.epochs; ++epoch) {
-    // Reshuffle batch order each epoch.
-    for (size_t i = batches.size(); i > 1; --i) {
-      std::swap(batches[i - 1], batches[rng.NextBounded(i)]);
+  size_t start_epoch = 0;
+  size_t start_batch = 0;
+
+  const CheckpointOptions& ckpt = options_.checkpoint;
+  const uint64_t dataset_fp = FaeFormat::Fingerprint(dataset);
+  const uint64_t options_fp = OptionsFingerprint();
+
+  if (ckpt.resume) {
+    if (ckpt.path.empty()) {
+      return Status::InvalidArgument(
+          "resume requested but no checkpoint path was given");
     }
-    for (const MiniBatch& batch : batches) {
+    const CheckpointIo::Expectation expect{
+        static_cast<uint32_t>(TrainMode::kBaseline), dataset_fp, options_fp};
+    FAE_ASSIGN_OR_RETURN(TrainerCheckpoint ck,
+                         CheckpointIo::Load(ckpt.path, *model_, &expect));
+    // Replay the shuffles consumed up to the save point — the initial id
+    // shuffle above plus one batch reshuffle per started epoch — so the
+    // resumed batch order matches the uninterrupted run's.
+    for (uint64_t e = 0; e <= ck.epoch; ++e) {
+      for (size_t i = batches.size(); i > 1; --i) {
+        std::swap(batches[i - 1], batches[rng.NextBounded(i)]);
+      }
+    }
+    if (!(rng.state() == ck.rng)) {
+      return Status::FailedPrecondition(
+          "checkpoint RNG stream does not match the replayed shuffles "
+          "(was the checkpoint taken on a different dataset or split?)");
+    }
+    metric.Restore(ck.metric);
+    window.Restore(ck.window);
+    report.timeline.set_state(ck.timeline);
+    report.curve = ck.curve;
+    iteration = ck.iteration;
+    report.num_batches = ck.iteration;
+    start_epoch = ck.epoch;
+    start_batch = ck.batch_in_epoch;
+    report.resumed = true;
+    report.resumed_at = ck.iteration;
+    if (options_.fault_injector != nullptr) {
+      options_.fault_injector->SkipUntil(ck.iteration);
+    }
+    FAE_LOG(Info) << "resumed baseline training from " << ckpt.path
+                  << " at iteration " << ck.iteration;
+  }
+
+  uint64_t next_save = 0;
+  if (!ckpt.path.empty() && ckpt.every_steps > 0) {
+    next_save = (iteration / ckpt.every_steps + 1) * ckpt.every_steps;
+  }
+  auto save_checkpoint = [&](size_t epoch, size_t batch_in_epoch) -> Status {
+    TrainerCheckpoint ck;
+    ck.mode = static_cast<uint32_t>(TrainMode::kBaseline);
+    ck.dataset_fingerprint = dataset_fp;
+    ck.options_fingerprint = options_fp;
+    ck.epoch = epoch;
+    ck.iteration = iteration;
+    ck.batch_in_epoch = batch_in_epoch;
+    ck.rng = rng.state();
+    ck.metric = metric.state();
+    ck.window = window.state();
+    ck.timeline = report.timeline.state();
+    ck.curve = report.curve;
+    return CheckpointIo::Save(ckpt.path, ck, *model_);
+  };
+
+  for (size_t epoch = start_epoch; epoch < options_.epochs; ++epoch) {
+    // Reshuffle batch order each epoch (already replayed for the epoch a
+    // resume landed in).
+    if (!(report.resumed && epoch == start_epoch)) {
+      for (size_t i = batches.size(); i > 1; --i) {
+        std::swap(batches[i - 1], batches[rng.NextBounded(i)]);
+      }
+    }
+    const size_t first = epoch == start_epoch ? start_batch : 0;
+    for (size_t b = first; b < batches.size(); ++b) {
+      const MiniBatch& batch = batches[b];
+      FAE_ASSIGN_OR_RETURN(const bool crashed,
+                           DrainFaults(iteration, report, nullptr));
+      if (crashed) {
+        FinishReport(report, eval_batches, metric);
+        return report;
+      }
       if (options_.pipelined_baseline) {
         accountant_.ChargeBaselineStepPipelined(model_->Work(batch),
                                                 report.timeline);
@@ -149,6 +337,10 @@ TrainReport Trainer::TrainBaseline(const Dataset& dataset,
         point.test_loss = eval.loss;
         point.test_acc = eval.accuracy;
         report.curve.push_back(point);
+      }
+      if (next_save != 0 && iteration >= next_save) {
+        FAE_RETURN_IF_ERROR(save_checkpoint(epoch, b + 1));
+        next_save = (iteration / ckpt.every_steps + 1) * ckpt.every_steps;
       }
     }
   }
@@ -175,17 +367,37 @@ StatusOr<TrainReport> Trainer::TrainFaeWithPlan(const Dataset& dataset,
   MaybeQuantizeTables();
   TrainReport report;
   report.mode = TrainMode::kFae;
-  report.threshold = plan.threshold;
-  report.hot_bytes = plan.hot_bytes;
-  report.hot_fraction = plan.inputs.HotFraction();
 
+  // Graceful degradation: when the hot slice no longer fits the per-GPU
+  // budget (popularity drift after calibration, a smaller deployment GPU),
+  // demote overflow entries and fall back toward the cold path instead of
+  // aborting — unless the caller opted into hard failure.
+  FaePlan shrunk;
+  const FaePlan* active = &plan;
   if (plan.hot_bytes > system_.hot_embedding_budget) {
-    return Status::ResourceExhausted(
-        "plan's hot slice exceeds the per-GPU hot-embedding budget");
+    if (!options_.degrade_on_overflow) {
+      return Status::ResourceExhausted(
+          "plan's hot slice exceeds the per-GPU hot-embedding budget");
+    }
+    shrunk = DegradePlanToBudget(dataset, plan, system_.hot_embedding_budget,
+                                 config.num_threads);
+    if (shrunk.hot_bytes > system_.hot_embedding_budget) {
+      return Status::ResourceExhausted(
+          "hot slice still exceeds the per-GPU budget after demoting every "
+          "demotable row");
+    }
+    active = &shrunk;
   }
+  const FaePlan& p = *active;
+  report.threshold = p.threshold;
+  report.hot_bytes = p.hot_bytes;
+  report.hot_fraction = p.inputs.HotFraction();
+  report.degraded = p.degraded;
+  report.demoted_rows = p.demoted_rows;
+  report.fallback_inputs = p.fallback_inputs;
 
   InputProcessor::PackedBatches packed = InputProcessor::Pack(
-      dataset, plan.inputs, GlobalBatchSize(), options_.seed);
+      dataset, p.inputs, GlobalBatchSize(), options_.seed);
   report.hot_batches = packed.hot.size();
   report.cold_batches = packed.cold.size();
 
@@ -198,7 +410,7 @@ StatusOr<TrainReport> Trainer::TrainFaeWithPlan(const Dataset& dataset,
 
   // The replica stands for every GPU's copy (they stay bit-identical under
   // synchronous data parallelism).
-  EmbeddingReplicator replicator(model_->tables(), plan.hot_set);
+  EmbeddingReplicator replicator(model_->tables(), p.hot_set);
   std::vector<EmbeddingTable*> replica_tables = replicator.replica_tables();
 
   // Pre-translate hot batches into replica coordinates (done once; the
@@ -217,6 +429,7 @@ StatusOr<TrainReport> Trainer::TrainFaeWithPlan(const Dataset& dataset,
   RunningMetric metric;
   RunningMetric window;
   size_t iteration = 0;
+  size_t start_epoch = 0;
 
   // Dirty-row tracking for SyncStrategy::kDirty. Sets hold *master* row
   // ids; tracking is index-based so it works in cost-only mode too.
@@ -227,6 +440,63 @@ StatusOr<TrainReport> Trainer::TrainFaeWithPlan(const Dataset& dataset,
   std::vector<std::unordered_set<uint32_t>> master_dirty(num_tables);
   std::vector<std::unordered_set<uint32_t>> replica_dirty(num_tables);
   bool replica_initialized = false;
+
+  const CheckpointOptions& ckpt = options_.checkpoint;
+  const uint64_t dataset_fp = FaeFormat::Fingerprint(dataset);
+  const uint64_t options_fp = OptionsFingerprint();
+
+  if (ckpt.resume) {
+    if (ckpt.path.empty()) {
+      return Status::InvalidArgument(
+          "resume requested but no checkpoint path was given");
+    }
+    const CheckpointIo::Expectation expect{
+        static_cast<uint32_t>(TrainMode::kFae), dataset_fp, options_fp};
+    FAE_ASSIGN_OR_RETURN(TrainerCheckpoint ck,
+                         CheckpointIo::Load(ckpt.path, *model_, &expect));
+    // FAE checkpoints are taken at schedule-chunk boundaries, where the
+    // CPU master copy (restored just now) is authoritative; the replicas
+    // are rebuilt by a full pull on the next hot chunk, which is
+    // numerically identical to the uninterrupted run (the modeled sync
+    // traffic may differ by at most one full-slice sync under kDirty).
+    scheduler.Restore(ck.scheduler);
+    metric.Restore(ck.metric);
+    window.Restore(ck.window);
+    report.timeline.set_state(ck.timeline);
+    report.curve = ck.curve;
+    iteration = ck.iteration;
+    report.num_batches = ck.iteration;
+    report.sync_bytes = ck.sync_bytes;
+    start_epoch = ck.epoch;
+    report.resumed = true;
+    report.resumed_at = ck.iteration;
+    if (options_.fault_injector != nullptr) {
+      options_.fault_injector->SkipUntil(ck.iteration);
+    }
+    FAE_LOG(Info) << "resumed FAE training from " << ckpt.path
+                  << " at iteration " << ck.iteration << " (rate "
+                  << scheduler.rate() << ")";
+  }
+
+  uint64_t next_save = 0;
+  if (!ckpt.path.empty() && ckpt.every_steps > 0) {
+    next_save = (iteration / ckpt.every_steps + 1) * ckpt.every_steps;
+  }
+  auto save_checkpoint = [&](size_t epoch) -> Status {
+    TrainerCheckpoint ck;
+    ck.mode = static_cast<uint32_t>(TrainMode::kFae);
+    ck.dataset_fingerprint = dataset_fp;
+    ck.options_fingerprint = options_fp;
+    ck.epoch = epoch;
+    ck.iteration = iteration;
+    ck.sync_bytes = report.sync_bytes;
+    ck.metric = metric.state();
+    ck.window = window.state();
+    ck.scheduler = scheduler.state();
+    ck.timeline = report.timeline.state();
+    ck.curve = report.curve;
+    return CheckpointIo::Save(ckpt.path, ck, *model_);
+  };
 
   // When the baseline is pipelined, every non-pipelined charge must also
   // contribute wall time explicitly (Timeline::TotalSeconds switches to
@@ -254,8 +524,43 @@ StatusOr<TrainReport> Trainer::TrainFaeWithPlan(const Dataset& dataset,
     return rows;
   };
 
-  for (size_t epoch = 0; epoch < options_.epochs; ++epoch) {
-    scheduler.ResetEpoch();
+  // Recovery from a corrupted hot-slice sync: every replica is garbage, so
+  // discard them all and re-pull from the CPU master copy, which is always
+  // authoritative. GPU updates not yet pushed when the fault hit are lost
+  // (honest degradation — training continues from the master's state).
+  auto recover_corrupt_sync = [&](uint64_t at) {
+    FAE_LOG(Warning) << "corrupted hot-slice sync at step " << at
+                     << ": discarding GPU replicas and re-pulling "
+                     << HumanBytes(p.hot_bytes) << " from the CPU master";
+    if (options_.run_math) {
+      replicator.ScrambleReplicas(options_.seed ^ at);
+      replicator.PullFromMasters(model_->tables());
+    }
+    Timeline scratch;
+    accountant_.ChargeSyncToGpus(p.hot_bytes, scratch);
+    const double seconds = scratch.PhaseSumSeconds();
+    report.timeline.Charge(Phase::kFaultRecovery, seconds);
+    report.timeline.AddPcieBytes(p.hot_bytes);
+    if (options_.pipelined_baseline) {
+      report.timeline.AddWallSeconds(seconds);
+    }
+    report.sync_bytes += p.hot_bytes;
+    // Replicas now mirror the masters exactly.
+    for (auto& d : master_dirty) d.clear();
+    for (auto& d : replica_dirty) d.clear();
+    replica_initialized = true;
+  };
+
+  auto finalize = [&] {
+    report.transitions = scheduler.transitions();
+    report.final_rate = scheduler.rate();
+    FinishReport(report, eval_batches, metric);
+  };
+
+  for (size_t epoch = start_epoch; epoch < options_.epochs; ++epoch) {
+    // A resume lands mid-epoch: the restored scheduler state already
+    // encodes the position, so only later epochs reset it.
+    if (!(report.resumed && epoch == start_epoch)) scheduler.ResetEpoch();
     while (auto chunk = scheduler.Next()) {
       if (chunk->hot) {
         // Hot phase: replicas pull the latest rows (cold batches may have
@@ -263,9 +568,9 @@ StatusOr<TrainReport> Trainer::TrainFaeWithPlan(const Dataset& dataset,
         // phase replicates the whole slice regardless of strategy.
         if (!dirty_sync || !replica_initialized) {
           charge_serial([&] {
-            accountant_.ChargeSyncToGpus(plan.hot_bytes, report.timeline);
+            accountant_.ChargeSyncToGpus(p.hot_bytes, report.timeline);
           });
-          report.sync_bytes += plan.hot_bytes;
+          report.sync_bytes += p.hot_bytes;
           if (options_.run_math) replicator.PullFromMasters(model_->tables());
           for (auto& d : master_dirty) d.clear();
           replica_initialized = true;
@@ -273,11 +578,11 @@ StatusOr<TrainReport> Trainer::TrainFaeWithPlan(const Dataset& dataset,
           uint64_t bytes = 0;
           std::vector<std::vector<uint32_t>> rows =
               drain_dirty(master_dirty, bytes);
-          if (bytes >= plan.hot_bytes) {
+          if (bytes >= p.hot_bytes) {
             // Nearly everything is dirty (hot rows are frequently touched
             // by construction): a wholesale copy avoids the per-row index
             // overhead.
-            bytes = plan.hot_bytes;
+            bytes = p.hot_bytes;
             charge_serial([&] {
               accountant_.ChargeSyncToGpus(bytes, report.timeline);
             });
@@ -296,6 +601,13 @@ StatusOr<TrainReport> Trainer::TrainFaeWithPlan(const Dataset& dataset,
           }
         }
         for (size_t i = chunk->begin; i < chunk->begin + chunk->count; ++i) {
+          FAE_ASSIGN_OR_RETURN(
+              const bool crashed,
+              DrainFaults(iteration, report, recover_corrupt_sync));
+          if (crashed) {
+            finalize();
+            return report;
+          }
           charge_serial([&] {
             accountant_.ChargeHotStep(model_->Work(packed.hot[i]),
                                       report.timeline);
@@ -315,16 +627,16 @@ StatusOr<TrainReport> Trainer::TrainFaeWithPlan(const Dataset& dataset,
         // Leaving the hot phase: masters absorb the GPU updates.
         if (!dirty_sync) {
           charge_serial([&] {
-            accountant_.ChargeSyncToCpu(plan.hot_bytes, report.timeline);
+            accountant_.ChargeSyncToCpu(p.hot_bytes, report.timeline);
           });
-          report.sync_bytes += plan.hot_bytes;
+          report.sync_bytes += p.hot_bytes;
           if (options_.run_math) replicator.PushToMasters(model_->tables());
         } else {
           uint64_t bytes = 0;
           std::vector<std::vector<uint32_t>> rows =
               drain_dirty(replica_dirty, bytes);
-          if (bytes >= plan.hot_bytes) {
-            bytes = plan.hot_bytes;
+          if (bytes >= p.hot_bytes) {
+            bytes = p.hot_bytes;
             charge_serial([&] {
               accountant_.ChargeSyncToCpu(bytes, report.timeline);
             });
@@ -344,6 +656,13 @@ StatusOr<TrainReport> Trainer::TrainFaeWithPlan(const Dataset& dataset,
         }
       } else {
         for (size_t i = chunk->begin; i < chunk->begin + chunk->count; ++i) {
+          FAE_ASSIGN_OR_RETURN(
+              const bool crashed,
+              DrainFaults(iteration, report, recover_corrupt_sync));
+          if (crashed) {
+            finalize();
+            return report;
+          }
           if (options_.pipelined_baseline) {
             accountant_.ChargeBaselineStepPipelined(
                 model_->Work(packed.cold[i]), report.timeline);
@@ -359,7 +678,7 @@ StatusOr<TrainReport> Trainer::TrainFaeWithPlan(const Dataset& dataset,
             // must reach the replicas before the next hot phase.
             for (size_t t = 0; t < num_tables; ++t) {
               for (uint32_t row : packed.cold[i].indices[t]) {
-                if (plan.hot_set.IsHot(t, row)) master_dirty[t].insert(row);
+                if (p.hot_set.IsHot(t, row)) master_dirty[t].insert(row);
               }
             }
           }
@@ -375,11 +694,16 @@ StatusOr<TrainReport> Trainer::TrainFaeWithPlan(const Dataset& dataset,
         report.curve.push_back(point);
         scheduler.ReportTestLoss(eval.loss);
       }
+      // Chunk boundaries are the FAE save points: the masters have just
+      // absorbed every GPU update, so the checkpoint needs no replica
+      // state — a resume re-pulls the slice from the masters.
+      if (next_save != 0 && iteration >= next_save) {
+        FAE_RETURN_IF_ERROR(save_checkpoint(epoch));
+        next_save = (iteration / ckpt.every_steps + 1) * ckpt.every_steps;
+      }
     }
   }
-  report.transitions = scheduler.transitions();
-  report.final_rate = scheduler.rate();
-  FinishReport(report, eval_batches, metric);
+  finalize();
   return report;
 }
 

@@ -2,15 +2,18 @@
 #define FAE_ENGINE_TRAINER_H_
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "core/fae_config.h"
 #include "core/fae_pipeline.h"
 #include "data/dataset.h"
+#include "engine/checkpoint.h"
 #include "engine/metrics.h"
 #include "engine/step_accountant.h"
 #include "models/rec_model.h"
 #include "sim/cost_model.h"
+#include "sim/fault_injector.h"
 #include "tensor/sgd.h"
 #include "embedding/sparse_sgd.h"
 #include "util/statusor.h"
@@ -68,6 +71,17 @@ struct TrainOptions {
   /// (bench/abl_mixed_precision.cc).
   bool fp16_embeddings = false;
   uint64_t seed = 7;
+  /// Crash-safe checkpoint/resume (engine/checkpoint.h). Applies to
+  /// TrainBaselineResumable and the FAE paths.
+  CheckpointOptions checkpoint;
+  /// Optional fault-injection schedule (sim/fault_injector.h); not owned,
+  /// must outlive the trainer. Faults scheduled for step k fire before the
+  /// (k+1)-th training batch.
+  FaultInjector* fault_injector = nullptr;
+  /// When the plan's hot slice exceeds the per-GPU budget, demote overflow
+  /// entries and fall back toward the cold path (with a logged warning)
+  /// instead of failing with ResourceExhausted. See DegradePlanToBudget.
+  bool degrade_on_overflow = true;
 };
 
 /// Everything a training run reports: the modeled timeline, the measured
@@ -98,6 +112,18 @@ struct TrainReport {
   /// Total hot-slice payload shipped over PCIe for coherence (per
   /// direction-event, not multiplied by GPU count).
   uint64_t sync_bytes = 0;
+
+  // Robustness (graceful degradation, fault injection, resume):
+  /// The hot slice was demoted to fit the budget (see DegradePlanToBudget).
+  bool degraded = false;
+  uint64_t demoted_rows = 0;
+  uint64_t fallback_inputs = 0;
+  /// An injected crash stopped the run early; the report is partial and
+  /// recovery is resuming from the last periodic checkpoint.
+  bool interrupted = false;
+  bool resumed = false;
+  uint64_t resumed_at = 0;  // iteration the run resumed from
+  FaultStats faults;
 };
 
 /// Drives training of a RecModel in one of the three placements. Math is
@@ -107,9 +133,17 @@ class Trainer {
  public:
   Trainer(RecModel* model, SystemSpec system, TrainOptions options);
 
-  /// Hybrid CPU-GPU baseline (paper Fig 3).
+  /// Hybrid CPU-GPU baseline (paper Fig 3). Crashes on checkpoint or
+  /// fault-handling errors; callers that need those surfaced as Status use
+  /// TrainBaselineResumable.
   TrainReport TrainBaseline(const Dataset& dataset,
                             const Dataset::Split& split);
+
+  /// TrainBaseline with Status-based error reporting, honoring
+  /// options.checkpoint (resume produces a loss curve identical to an
+  /// uninterrupted run) and options.fault_injector.
+  StatusOr<TrainReport> TrainBaselineResumable(const Dataset& dataset,
+                                               const Dataset::Split& split);
 
   /// FAE: runs the static pipeline then the hot/cold schedule.
   StatusOr<TrainReport> TrainFae(const Dataset& dataset,
@@ -146,6 +180,18 @@ class Trainer {
   }
 
  private:
+  /// Hash of every TrainOptions field that affects the run's numerics or
+  /// timeline, stored in checkpoints so a resume with different options is
+  /// rejected instead of silently diverging.
+  uint64_t OptionsFingerprint() const;
+  /// Delivers the faults scheduled for `iteration`. Returns true when a
+  /// crash fired (the caller must stop and return a partial report), an
+  /// error Status when a device fault outlived the retry budget.
+  /// `on_corrupt_sync` recovers from a corrupted hot-slice sync (empty in
+  /// modes without GPU replicas).
+  StatusOr<bool> DrainFaults(
+      uint64_t iteration, TrainReport& report,
+      const std::function<void(uint64_t)>& on_corrupt_sync);
   void MaybeQuantizeTables();
   void MathStep(const MiniBatch& batch,
                 const std::vector<EmbeddingTable*>& tables,

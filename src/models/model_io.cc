@@ -7,16 +7,14 @@ namespace fae {
 namespace {
 
 constexpr uint32_t kMagic = 0x4d454146;  // "FAEM"
-constexpr uint32_t kVersion = 1;
+// v2 added the crash-safety envelope: atomic temp+rename writes and the
+// whole-file CRC-32 footer.
+constexpr uint32_t kVersion = 2;
 constexpr uint32_t kTrailer = 0x444e454d;  // "MEND"
 
 }  // namespace
 
-Status ModelIo::Save(const std::string& path, RecModel& model) {
-  FAE_ASSIGN_OR_RETURN(BinaryWriter w, BinaryWriter::Open(path));
-  FAE_RETURN_IF_ERROR(w.WriteU32(kMagic));
-  FAE_RETURN_IF_ERROR(w.WriteU32(kVersion));
-
+Status ModelIo::WriteModelState(BinaryWriter& w, RecModel& model) {
   const std::vector<Parameter*> params = model.DenseParams();
   FAE_RETURN_IF_ERROR(w.WriteU64(params.size()));
   for (const Parameter* p : params) {
@@ -35,22 +33,10 @@ Status ModelIo::Save(const std::string& path, RecModel& model) {
     FAE_RETURN_IF_ERROR(
         w.WriteBytes(t.raw().data(), t.raw().size() * sizeof(float)));
   }
-  FAE_RETURN_IF_ERROR(w.WriteU32(kTrailer));
-  return w.Close();
+  return Status::OK();
 }
 
-Status ModelIo::Load(const std::string& path, RecModel& model) {
-  FAE_ASSIGN_OR_RETURN(BinaryReader r, BinaryReader::Open(path));
-  FAE_ASSIGN_OR_RETURN(uint32_t magic, r.ReadU32());
-  if (magic != kMagic) {
-    return Status::DataLoss("not a FAE model checkpoint: " + path);
-  }
-  FAE_ASSIGN_OR_RETURN(uint32_t version, r.ReadU32());
-  if (version != kVersion) {
-    return Status::DataLoss(
-        StrFormat("unsupported checkpoint version %u", version));
-  }
-
+Status ModelIo::ReadModelState(BinaryReader& r, RecModel& model) {
   std::vector<Parameter*> params = model.DenseParams();
   FAE_ASSIGN_OR_RETURN(uint64_t param_count, r.ReadU64());
   if (param_count != params.size()) {
@@ -89,6 +75,35 @@ Status ModelIo::Load(const std::string& path, RecModel& model) {
     FAE_RETURN_IF_ERROR(
         r.ReadBytes(t.raw().data(), t.raw().size() * sizeof(float)));
   }
+  return Status::OK();
+}
+
+Status ModelIo::Save(const std::string& path, RecModel& model) {
+  FAE_ASSIGN_OR_RETURN(BinaryWriter w, BinaryWriter::OpenAtomic(path));
+  FAE_RETURN_IF_ERROR(w.WriteU32(kMagic));
+  FAE_RETURN_IF_ERROR(w.WriteU32(kVersion));
+  FAE_RETURN_IF_ERROR(WriteModelState(w, model));
+  FAE_RETURN_IF_ERROR(w.WriteU32(kTrailer));
+  const uint32_t crc = w.crc();
+  FAE_RETURN_IF_ERROR(w.WriteU32(crc));
+  return w.Commit();
+}
+
+Status ModelIo::Load(const std::string& path, RecModel& model) {
+  // Verify the whole-file checksum first: any corruption is rejected
+  // before a single byte reaches the model.
+  FAE_RETURN_IF_ERROR(VerifyFileIntegrity(path));
+  FAE_ASSIGN_OR_RETURN(BinaryReader r, BinaryReader::Open(path));
+  FAE_ASSIGN_OR_RETURN(uint32_t magic, r.ReadU32());
+  if (magic != kMagic) {
+    return Status::DataLoss("not a FAE model checkpoint: " + path);
+  }
+  FAE_ASSIGN_OR_RETURN(uint32_t version, r.ReadU32());
+  if (version != kVersion) {
+    return Status::DataLoss(
+        StrFormat("unsupported checkpoint version %u", version));
+  }
+  FAE_RETURN_IF_ERROR(ReadModelState(r, model));
   FAE_ASSIGN_OR_RETURN(uint32_t trailer, r.ReadU32());
   if (trailer != kTrailer) {
     return Status::DataLoss("checkpoint trailer missing (truncated?)");

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "models/rec_model.h"
+#include "util/file_io.h"
 #include "util/statusor.h"
 
 namespace fae {
@@ -11,6 +12,11 @@ namespace fae {
 /// Checkpointing: (de)serializes a RecModel's trainable state — dense
 /// parameters and embedding tables — so training can resume or a trained
 /// model can be served (see examples/serving.cpp).
+///
+/// Saves are crash-safe: the file is written to a temp path and renamed
+/// into place only once complete, and it ends with a CRC-32 footer that
+/// Load verifies before parsing a single field — a truncated, bit-flipped,
+/// or interrupted checkpoint is reported as a Status, never loaded.
 ///
 /// Load restores *into* an existing model of the same architecture; the
 /// file records parameter names and shapes and refuses mismatches, so a
@@ -21,6 +27,12 @@ class ModelIo {
   /// mutable DenseParams() accessor; Save does not modify it.
   static Status Save(const std::string& path, RecModel& model);
   static Status Load(const std::string& path, RecModel& model);
+
+  /// Raw model-state section (dense params + embedding tables), embeddable
+  /// inside larger containers — the full-run training checkpoint
+  /// (engine/checkpoint.h) reuses it so both formats stay in lockstep.
+  static Status WriteModelState(BinaryWriter& w, RecModel& model);
+  static Status ReadModelState(BinaryReader& r, RecModel& model);
 };
 
 }  // namespace fae

@@ -1,0 +1,137 @@
+#include "sim/fault_injector.h"
+
+#include <cstdlib>
+
+#include "util/string_util.h"
+
+namespace fae {
+namespace {
+
+// Parses a non-negative integer covering the whole of `text`.
+bool ParseU64(std::string_view text, uint64_t* out) {
+  if (text.empty()) return false;
+  uint64_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *out = value;
+  return true;
+}
+
+bool ParseDouble(std::string_view text, double* out) {
+  if (text.empty()) return false;
+  const std::string copy(text);
+  char* end = nullptr;
+  const double value = std::strtod(copy.c_str(), &end);
+  if (end != copy.c_str() + copy.size()) return false;
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
+std::string_view FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kDeviceTransient:
+      return "device";
+    case FaultKind::kLinkStall:
+      return "stall";
+    case FaultKind::kCorruptSync:
+      return "corrupt";
+    case FaultKind::kCrash:
+      return "crash";
+  }
+  return "unknown";
+}
+
+FaultInjector::FaultInjector(std::vector<FaultEvent> events)
+    : events_(std::move(events)), delivered_(events_.size(), false) {}
+
+StatusOr<FaultInjector> FaultInjector::Parse(const std::string& plan) {
+  std::vector<FaultEvent> events;
+  for (const std::string& spec : Split(plan, ',')) {
+    if (spec.empty()) continue;
+    const size_t at = spec.find('@');
+    if (at == std::string::npos) {
+      return Status::InvalidArgument(
+          StrFormat("fault spec '%s' is missing '@step'", spec.c_str()));
+    }
+    FaultEvent event;
+    const std::string kind = spec.substr(0, at);
+    if (kind == "device") {
+      event.kind = FaultKind::kDeviceTransient;
+    } else if (kind == "stall") {
+      event.kind = FaultKind::kLinkStall;
+      event.stall_seconds = 0.1;  // default stall when no ':seconds' given
+    } else if (kind == "corrupt") {
+      event.kind = FaultKind::kCorruptSync;
+    } else if (kind == "crash") {
+      event.kind = FaultKind::kCrash;
+    } else {
+      return Status::InvalidArgument(StrFormat(
+          "unknown fault kind '%s' (want device|stall|corrupt|crash)",
+          kind.c_str()));
+    }
+
+    std::string rest = spec.substr(at + 1);
+    // Optional 'xN' repeat suffix (device only).
+    const size_t x = rest.rfind('x');
+    if (x != std::string::npos) {
+      uint64_t times = 0;
+      if (!ParseU64(std::string_view(rest).substr(x + 1), &times) ||
+          times == 0) {
+        return Status::InvalidArgument(StrFormat(
+            "fault spec '%s' has a bad repeat count", spec.c_str()));
+      }
+      if (event.kind != FaultKind::kDeviceTransient) {
+        return Status::InvalidArgument(StrFormat(
+            "fault spec '%s': 'xN' only applies to device faults",
+            spec.c_str()));
+      }
+      event.times = static_cast<uint32_t>(times);
+      rest = rest.substr(0, x);
+    }
+    // Optional ':seconds' stall duration.
+    const size_t colon = rest.find(':');
+    if (colon != std::string::npos) {
+      if (event.kind != FaultKind::kLinkStall) {
+        return Status::InvalidArgument(StrFormat(
+            "fault spec '%s': ':seconds' only applies to stalls",
+            spec.c_str()));
+      }
+      if (!ParseDouble(std::string_view(rest).substr(colon + 1),
+                       &event.stall_seconds) ||
+          event.stall_seconds < 0.0) {
+        return Status::InvalidArgument(StrFormat(
+            "fault spec '%s' has a bad stall duration", spec.c_str()));
+      }
+      rest = rest.substr(0, colon);
+    }
+    if (!ParseU64(rest, &event.step)) {
+      return Status::InvalidArgument(
+          StrFormat("fault spec '%s' has a bad step", spec.c_str()));
+    }
+    events.push_back(event);
+  }
+  return FaultInjector(std::move(events));
+}
+
+void FaultInjector::SkipUntil(uint64_t step) {
+  for (size_t i = 0; i < events_.size(); ++i) {
+    if (events_[i].step < step) delivered_[i] = true;
+  }
+}
+
+std::vector<FaultEvent> FaultInjector::Drain(uint64_t step) {
+  std::vector<FaultEvent> due;
+  for (size_t i = 0; i < events_.size(); ++i) {
+    if (!delivered_[i] && events_[i].step == step) {
+      delivered_[i] = true;
+      due.push_back(events_[i]);
+    }
+  }
+  return due;
+}
+
+}  // namespace fae

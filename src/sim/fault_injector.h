@@ -1,0 +1,96 @@
+#ifndef FAE_SIM_FAULT_INJECTOR_H_
+#define FAE_SIM_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/statusor.h"
+
+namespace fae {
+
+/// Kinds of injected faults, each exercising a different recovery path in
+/// the trainer:
+///   - kDeviceTransient: a GPU rejects the batch; the engine retries with
+///     exponential backoff (bounded; a fault repeating past the retry cap
+///     models a permanent device loss and fails the run with a Status).
+///   - kLinkStall: the CPU<->GPU link stalls for a fixed number of modeled
+///     seconds; pure slowdown, no retry needed.
+///   - kCorruptSync: a hot-slice embedding sync delivers garbage; the
+///     engine discards every GPU replica and re-pulls from the CPU master
+///     copy, which is always authoritative.
+///   - kCrash: the whole job dies at this step; training stops and returns
+///     a partial report (recovery is resuming from the last checkpoint).
+enum class FaultKind : int {
+  kDeviceTransient = 0,
+  kLinkStall,
+  kCorruptSync,
+  kCrash,
+};
+
+std::string_view FaultKindName(FaultKind kind);
+
+/// One scheduled fault: fires when training reaches `step` completed
+/// iterations (global across epochs).
+struct FaultEvent {
+  FaultKind kind = FaultKind::kDeviceTransient;
+  uint64_t step = 0;
+  /// kLinkStall: modeled stall seconds. Ignored by other kinds.
+  double stall_seconds = 0.0;
+  /// kDeviceTransient: how many consecutive attempts fail before the
+  /// device comes back. > the engine's retry cap means a permanent fault.
+  uint32_t times = 1;
+};
+
+/// Counters for the run report.
+struct FaultStats {
+  uint64_t device_faults = 0;    // transient device failures delivered
+  uint64_t retries = 0;          // retry attempts the engine performed
+  uint64_t link_stalls = 0;
+  uint64_t corrupt_syncs = 0;
+  uint64_t crashes = 0;
+};
+
+/// Deterministic fault-injection schedule for resilience testing (§ fault
+/// tolerance in DESIGN.md). Built from a plan string and drained by the
+/// trainer once per training iteration.
+///
+/// Plan grammar — comma-separated events, each `kind@step[:stall][xN]`:
+///   device@30        one transient device failure before iteration 30
+///   device@200x7     device fails 7 consecutive attempts at step 200
+///   stall@50:0.2     0.2 s link stall before iteration 50
+///   corrupt@75       corrupted hot-slice sync before iteration 75
+///   crash@120        hard crash before iteration 120
+class FaultInjector {
+ public:
+  /// Parses a plan string. InvalidArgument on malformed specs.
+  static StatusOr<FaultInjector> Parse(const std::string& plan);
+
+  explicit FaultInjector(std::vector<FaultEvent> events);
+  FaultInjector() = default;
+
+  /// All events scheduled for `step`, in plan order; each is delivered at
+  /// most once. Steps are completed-iteration counts, so `kind@k` fires
+  /// before the (k+1)-th batch runs.
+  std::vector<FaultEvent> Drain(uint64_t step);
+
+  /// Marks every event scheduled before `step` as already delivered. A
+  /// resumed run calls this so faults that fired before the checkpoint
+  /// (including the crash being recovered from) do not fire again.
+  void SkipUntil(uint64_t step);
+
+  const std::vector<FaultEvent>& events() const { return events_; }
+  bool empty() const { return events_.empty(); }
+
+  FaultStats& stats() { return stats_; }
+  const FaultStats& stats() const { return stats_; }
+
+ private:
+  std::vector<FaultEvent> events_;
+  std::vector<bool> delivered_;
+  FaultStats stats_;
+};
+
+}  // namespace fae
+
+#endif  // FAE_SIM_FAULT_INJECTOR_H_

@@ -26,6 +26,8 @@ std::string_view PhaseName(Phase phase) {
       return "embedding_sync";
     case Phase::kNetwork:
       return "inter_node_comm";
+    case Phase::kFaultRecovery:
+      return "fault_recovery";
     case Phase::kNumPhases:
       break;
   }

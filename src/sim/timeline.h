@@ -20,6 +20,7 @@ enum class Phase : int {
   kAllReduce,              // gradient all-reduce over NVLink
   kEmbeddingSync,          // FAE-only: hot-table sync at hot<->cold swaps
   kNetwork,                // inter-node traffic (multi-node clusters only)
+  kFaultRecovery,          // retry backoff + re-sync after injected faults
   kNumPhases,
 };
 
@@ -30,6 +31,33 @@ std::string_view PhaseName(Phase phase);
 /// tables (Table V) and power (Table VI) are derived.
 class Timeline {
  public:
+  /// Full accumulator snapshot for checkpoint/resume: restoring it makes
+  /// the final report identical to an uninterrupted run's.
+  struct State {
+    std::array<double, static_cast<int>(Phase::kNumPhases)> seconds{};
+    double wall_seconds = 0.0;
+    double cpu_busy = 0.0;
+    double gpu_busy = 0.0;
+    uint64_t pcie_bytes = 0;
+    uint64_t nvlink_bytes = 0;
+    uint64_t network_bytes = 0;
+  };
+
+  State state() const {
+    return State{seconds_,    wall_seconds_, cpu_busy_,
+                 gpu_busy_,   pcie_bytes_,   nvlink_bytes_,
+                 network_bytes_};
+  }
+  void set_state(const State& state) {
+    seconds_ = state.seconds;
+    wall_seconds_ = state.wall_seconds;
+    cpu_busy_ = state.cpu_busy;
+    gpu_busy_ = state.gpu_busy;
+    pcie_bytes_ = state.pcie_bytes;
+    nvlink_bytes_ = state.nvlink_bytes;
+    network_bytes_ = state.network_bytes;
+  }
+
   void Charge(Phase phase, double seconds) {
     seconds_[static_cast<int>(phase)] += seconds;
   }

@@ -1,9 +1,35 @@
 #include "util/file_io.h"
 
+#include <array>
 #include <cstdio>
 #include <filesystem>
 
 namespace fae {
+namespace {
+
+std::array<uint32_t, 256> BuildCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t n, uint32_t seed) {
+  static const std::array<uint32_t, 256> table = BuildCrcTable();
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint32_t c = seed ^ 0xffffffffu;
+  for (size_t i = 0; i < n; ++i) {
+    c = table[(c ^ p[i]) & 0xffu] ^ (c >> 8);
+  }
+  return c ^ 0xffffffffu;
+}
 
 StatusOr<BinaryWriter> BinaryWriter::Open(const std::string& path) {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
@@ -13,9 +39,22 @@ StatusOr<BinaryWriter> BinaryWriter::Open(const std::string& path) {
   return BinaryWriter(std::move(out));
 }
 
+StatusOr<BinaryWriter> BinaryWriter::OpenAtomic(const std::string& path) {
+  const std::string temp = path + ".tmp";
+  std::ofstream out(temp, std::ios::binary | std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::IOError("cannot open for writing: " + temp);
+  }
+  BinaryWriter w(std::move(out));
+  w.temp_path_ = temp;
+  w.final_path_ = path;
+  return w;
+}
+
 Status BinaryWriter::WriteBytes(const void* data, size_t n) {
   out_.write(static_cast<const char*>(data), static_cast<std::streamsize>(n));
   if (!out_.good()) return Status::IOError("write failed");
+  crc_ = Crc32(data, n, crc_);
   return Status::OK();
 }
 
@@ -33,6 +72,28 @@ Status BinaryWriter::Close() {
   out_.flush();
   if (!out_.good()) return Status::IOError("flush failed");
   out_.close();
+  if (!temp_path_.empty()) {
+    // Atomic writer closed without Commit: abandon the temp file so a
+    // failed save leaves no debris next to the intact previous file.
+    (void)RemoveFile(temp_path_);
+    temp_path_.clear();
+  }
+  return Status::OK();
+}
+
+Status BinaryWriter::Commit() {
+  out_.flush();
+  if (!out_.good()) return Status::IOError("flush failed");
+  out_.close();
+  if (temp_path_.empty()) return Status::OK();
+  std::error_code ec;
+  std::filesystem::rename(temp_path_, final_path_, ec);
+  if (ec) {
+    (void)RemoveFile(temp_path_);
+    return Status::IOError("rename failed: " + temp_path_ + " -> " +
+                           final_path_);
+  }
+  temp_path_.clear();
   return Status::OK();
 }
 
@@ -93,6 +154,43 @@ StatusOr<std::string> BinaryReader::ReadString() {
   std::string s(n, '\0');
   FAE_RETURN_IF_ERROR(ReadBytes(s.data(), n));
   return s;
+}
+
+Status VerifyFileIntegrity(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in.is_open()) {
+    return Status::NotFound("cannot open for reading: " + path);
+  }
+  const std::streamoff size = in.tellg();
+  // Smallest well-formed container: magic + version + trailer + crc.
+  if (size < 16) {
+    return Status::DataLoss("file too short for an integrity footer: " +
+                            path);
+  }
+  in.seekg(0, std::ios::beg);
+  uint64_t remaining = static_cast<uint64_t>(size) - sizeof(uint32_t);
+  uint32_t crc = 0;
+  char buf[1 << 16];
+  while (remaining > 0) {
+    const size_t chunk =
+        remaining < sizeof(buf) ? static_cast<size_t>(remaining) : sizeof(buf);
+    in.read(buf, static_cast<std::streamsize>(chunk));
+    if (static_cast<size_t>(in.gcount()) != chunk) {
+      return Status::IOError("read failed during integrity check: " + path);
+    }
+    crc = Crc32(buf, chunk, crc);
+    remaining -= chunk;
+  }
+  uint32_t stored = 0;
+  in.read(reinterpret_cast<char*>(&stored), sizeof(stored));
+  if (static_cast<size_t>(in.gcount()) != sizeof(stored)) {
+    return Status::IOError("read failed during integrity check: " + path);
+  }
+  if (crc != stored) {
+    return Status::DataLoss(
+        "checksum mismatch (file is corrupted or truncated): " + path);
+  }
+  return Status::OK();
 }
 
 bool FileExists(const std::string& path) {

@@ -11,13 +11,26 @@
 
 namespace fae {
 
+/// CRC-32 (IEEE, reflected polynomial 0xEDB88320) of `n` bytes. Streaming:
+/// pass the previous return value as `seed` to continue a running checksum
+/// (the seed of a fresh checksum is 0).
+uint32_t Crc32(const void* data, size_t n, uint32_t seed = 0);
+
 /// Little-endian binary writer with Status-based error reporting. Used by
 /// the FAE preprocessed-dataset format (paper §III-B: "store this in the
 /// FAE format for any subsequent training runs").
+///
+/// Every write feeds a running CRC-32 (`crc()`); container formats append
+/// it as their last word so readers can verify whole-file integrity.
 class BinaryWriter {
  public:
   /// Opens (truncates) `path` for writing.
   static StatusOr<BinaryWriter> Open(const std::string& path);
+
+  /// Crash-safe open: writes go to `path + ".tmp"` and only Commit()
+  /// renames the temp file over `path`, so an interrupted save never
+  /// clobbers a previous good file.
+  static StatusOr<BinaryWriter> OpenAtomic(const std::string& path);
 
   BinaryWriter(BinaryWriter&&) = default;
   BinaryWriter& operator=(BinaryWriter&&) = default;
@@ -36,12 +49,24 @@ class BinaryWriter {
     return WriteBytes(v.data(), v.size() * sizeof(T));
   }
 
-  /// Flushes and closes; further writes are invalid.
+  /// CRC-32 of everything written so far.
+  uint32_t crc() const { return crc_; }
+
+  /// Flushes and closes; further writes are invalid. An atomic writer that
+  /// is closed without Commit() leaves the target file untouched (the temp
+  /// file is removed).
   Status Close();
+
+  /// Close(), then for atomic writers atomically rename the temp file over
+  /// the final path. Equivalent to Close() for plain Open() writers.
+  Status Commit();
 
  private:
   explicit BinaryWriter(std::ofstream out) : out_(std::move(out)) {}
   std::ofstream out_;
+  uint32_t crc_ = 0;
+  std::string temp_path_;   // non-empty for atomic writers
+  std::string final_path_;  // rename target of an atomic writer
 };
 
 /// Little-endian binary reader matching BinaryWriter.
@@ -83,6 +108,14 @@ class BinaryReader {
   std::ifstream in_;
   uint64_t size_ = 0;
 };
+
+/// Whole-file integrity check for the FAE container formats: the last four
+/// bytes store the CRC-32 of everything before them. Returns NotFound when
+/// the file is absent and DataLoss on any mismatch (truncation, bit flips,
+/// or a file that never carried a checksum). Formats call this *before*
+/// parsing so a corrupted file can never be half-deserialized into live
+/// state.
+Status VerifyFileIntegrity(const std::string& path);
 
 /// Returns true if `path` exists and is a regular file.
 bool FileExists(const std::string& path);

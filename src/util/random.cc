@@ -15,6 +15,20 @@ Xoshiro256::Xoshiro256(uint64_t seed) {
   for (auto& s : s_) s = sm.Next();
 }
 
+Xoshiro256::State Xoshiro256::state() const {
+  State st;
+  for (int i = 0; i < 4; ++i) st.s[i] = s_[i];
+  st.has_cached_gaussian = has_cached_gaussian_;
+  st.cached_gaussian = cached_gaussian_;
+  return st;
+}
+
+void Xoshiro256::set_state(const State& state) {
+  for (int i = 0; i < 4; ++i) s_[i] = state.s[i];
+  has_cached_gaussian_ = state.has_cached_gaussian;
+  cached_gaussian_ = state.cached_gaussian;
+}
+
 uint64_t Xoshiro256::Next() {
   const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
   const uint64_t t = s_[1] << 17;

@@ -30,7 +30,26 @@ class Xoshiro256 {
  public:
   using result_type = uint64_t;
 
+  /// Complete generator state, capturable for checkpoint/resume: restoring
+  /// it continues the stream exactly where it was captured.
+  struct State {
+    uint64_t s[4] = {0, 0, 0, 0};
+    bool has_cached_gaussian = false;
+    double cached_gaussian = 0.0;
+
+    friend bool operator==(const State& a, const State& b) {
+      return a.s[0] == b.s[0] && a.s[1] == b.s[1] && a.s[2] == b.s[2] &&
+             a.s[3] == b.s[3] &&
+             a.has_cached_gaussian == b.has_cached_gaussian &&
+             (!a.has_cached_gaussian ||
+              a.cached_gaussian == b.cached_gaussian);
+    }
+  };
+
   explicit Xoshiro256(uint64_t seed);
+
+  State state() const;
+  void set_state(const State& state);
 
   static constexpr result_type min() { return 0; }
   static constexpr result_type max() { return ~0ULL; }

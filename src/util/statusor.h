@@ -5,6 +5,7 @@
 #include <optional>
 #include <utility>
 
+#include "util/logging.h"
 #include "util/status.h"
 
 namespace fae {
@@ -63,7 +64,12 @@ class StatusOr {
  private:
   void CheckHasValue() const {
     if (!value_.has_value()) {
-      std::abort();  // Accessing value() of an error StatusOr is a bug.
+      // Accessing value() of an error StatusOr is a bug; crash diagnosably
+      // by surfacing the carried error through the logging path before the
+      // abort (FAE_LOG(Fatal) aborts in the LogMessage destructor).
+      FAE_LOG(Fatal) << "StatusOr::value() called on an error status: "
+                     << status_.ToString();
+      std::abort();  // not reached; keeps value() paths obviously safe
     }
   }
 

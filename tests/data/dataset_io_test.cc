@@ -2,6 +2,7 @@
 
 #include <filesystem>
 #include <fstream>
+#include <iterator>
 
 #include <gtest/gtest.h>
 
@@ -95,6 +96,41 @@ TEST(DatasetIoTest, RejectsTruncation) {
   (void)RemoveFile(path);
 }
 
+TEST(DatasetIoTest, SingleBitFlipsAnywhereAreRejected) {
+  // Fuzz-style corruption sweep: a flipped byte at any offset must surface
+  // as DataLoss from the whole-file CRC, never a crash or a half-loaded
+  // dataset.
+  Dataset original = MakeData(WorkloadKind::kKaggleDlrm, 50);
+  const std::string path = TempPath("fae_ds_bitflip.faed");
+  ASSERT_TRUE(DatasetIo::Save(path, original).ok());
+  const auto size = std::filesystem::file_size(path);
+  ASSERT_GT(size, 16u);
+
+  for (const double frac : {0.0, 0.1, 0.33, 0.5, 0.77, 0.999}) {
+    const auto offset = static_cast<std::streamoff>(
+        frac * static_cast<double>(size - 1));
+    std::fstream file(path, std::ios::in | std::ios::out | std::ios::binary);
+    char byte = 0;
+    file.seekg(offset);
+    file.read(&byte, 1);
+    const char flipped = static_cast<char>(byte ^ 0x40);
+    file.seekp(offset);
+    file.write(&flipped, 1);
+    file.close();
+
+    auto loaded = DatasetIo::Load(path);
+    ASSERT_FALSE(loaded.ok()) << "byte " << offset << " of " << size;
+    EXPECT_EQ(loaded.status().code(), StatusCode::kDataLoss)
+        << loaded.status().ToString();
+
+    std::fstream undo(path, std::ios::in | std::ios::out | std::ios::binary);
+    undo.seekp(offset);
+    undo.write(&byte, 1);
+  }
+  ASSERT_TRUE(DatasetIo::Load(path).ok());  // pristine again
+  (void)RemoveFile(path);
+}
+
 TEST(DatasetIoTest, MissingFileIsNotFound) {
   auto loaded = DatasetIo::Load(TempPath("fae_ds_missing.faed"));
   ASSERT_FALSE(loaded.ok());
@@ -116,13 +152,24 @@ TEST(DatasetIoTest, RejectsOutOfRangeLookup) {
   const std::string path = TempPath("fae_ds_range.faed");
   ASSERT_TRUE(DatasetIo::Save(path, original).ok());
 
-  // The single index 3 is the last u32 before the label+trailer; patch it
-  // to 200 (> 4 rows).
+  // The single index 3 is the last u32 before the label+trailer+crc; patch
+  // it to 200 (> 4 rows), then refresh the CRC footer so the *semantic*
+  // range check — not the checksum — is what rejects the file.
   {
     std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
-    f.seekp(-12, std::ios::end);  // index (4) + label (4) + trailer (4)
+    f.seekp(-16, std::ios::end);  // index(4) + label(4) + trailer(4) + crc(4)
     const uint32_t bad = 200;
     f.write(reinterpret_cast<const char*>(&bad), sizeof(bad));
+  }
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    in.close();
+    const uint32_t crc = Crc32(bytes.data(), bytes.size() - 4);
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(-4, std::ios::end);
+    f.write(reinterpret_cast<const char*>(&crc), sizeof(crc));
   }
   auto loaded = DatasetIo::Load(path);
   ASSERT_FALSE(loaded.ok());

@@ -208,7 +208,9 @@ TEST(TrainerTest, FaePlanOverBudgetRejected) {
   auto model = f.NewModel();
   SystemSpec sys = MakePaperServer(1);
   sys.hot_embedding_budget = 1;  // nothing fits
-  Trainer trainer(model.get(), sys, Fixture::Options(false));
+  TrainOptions opts = Fixture::Options(false);
+  opts.degrade_on_overflow = false;  // opt into hard failure
+  Trainer trainer(model.get(), sys, opts);
   auto report = trainer.TrainFaeWithPlan(f.dataset, f.split, cfg, *plan);
   ASSERT_FALSE(report.ok());
   EXPECT_EQ(report.status().code(), StatusCode::kResourceExhausted);

@@ -99,6 +99,43 @@ TEST(ModelIoTest, RejectsGarbageAndTruncation) {
   (void)RemoveFile(truncated);
 }
 
+TEST(ModelIoTest, SingleBitFlipsAnywhereAreRejected) {
+  // Fuzz-style corruption sweep: whatever byte a crash or bad disk flips,
+  // Load must report DataLoss (the whole-file CRC front-runs all parsing)
+  // and never touch the destination model.
+  Fixture f;
+  auto model = MakeModel(f.schema, false, 5);
+  const std::string path = TempPath("fae_ckpt_bitflip.faem");
+  ASSERT_TRUE(ModelIo::Save(path, *model).ok());
+  const auto size = std::filesystem::file_size(path);
+  ASSERT_GT(size, 16u);
+
+  auto victim = MakeModel(f.schema, false, 999);
+  for (const double frac : {0.0, 0.1, 0.33, 0.5, 0.77, 0.999}) {
+    const auto offset = static_cast<std::streamoff>(
+        frac * static_cast<double>(size - 1));
+    std::fstream file(path, std::ios::in | std::ios::out | std::ios::binary);
+    char byte = 0;
+    file.seekg(offset);
+    file.read(&byte, 1);
+    const char flipped = static_cast<char>(byte ^ 0x40);
+    file.seekp(offset);
+    file.write(&flipped, 1);
+    file.close();
+
+    const Status status = ModelIo::Load(path, *victim);
+    ASSERT_FALSE(status.ok()) << "byte " << offset << " of " << size;
+    EXPECT_EQ(status.code(), StatusCode::kDataLoss) << status.ToString();
+
+    // Restore the byte so each iteration tests exactly one flip.
+    std::fstream undo(path, std::ios::in | std::ios::out | std::ios::binary);
+    undo.seekp(offset);
+    undo.write(&byte, 1);
+  }
+  ASSERT_TRUE(ModelIo::Load(path, *victim).ok());  // pristine again
+  (void)RemoveFile(path);
+}
+
 TEST(ModelIoTest, MissingFileIsNotFound) {
   Fixture f;
   auto model = MakeModel(f.schema, false, 5);

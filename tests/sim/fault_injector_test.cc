@@ -1,0 +1,95 @@
+#include "sim/fault_injector.h"
+
+#include <gtest/gtest.h>
+
+namespace fae {
+namespace {
+
+TEST(FaultInjectorTest, ParsesFullGrammar) {
+  auto inj = FaultInjector::Parse(
+      "device@30,stall@50:0.2,corrupt@75,crash@120,device@200x7");
+  ASSERT_TRUE(inj.ok()) << inj.status().ToString();
+  const std::vector<FaultEvent>& events = inj->events();
+  ASSERT_EQ(events.size(), 5u);
+
+  EXPECT_EQ(events[0].kind, FaultKind::kDeviceTransient);
+  EXPECT_EQ(events[0].step, 30u);
+  EXPECT_EQ(events[0].times, 1u);
+
+  EXPECT_EQ(events[1].kind, FaultKind::kLinkStall);
+  EXPECT_EQ(events[1].step, 50u);
+  EXPECT_DOUBLE_EQ(events[1].stall_seconds, 0.2);
+
+  EXPECT_EQ(events[2].kind, FaultKind::kCorruptSync);
+  EXPECT_EQ(events[2].step, 75u);
+
+  EXPECT_EQ(events[3].kind, FaultKind::kCrash);
+  EXPECT_EQ(events[3].step, 120u);
+
+  EXPECT_EQ(events[4].kind, FaultKind::kDeviceTransient);
+  EXPECT_EQ(events[4].step, 200u);
+  EXPECT_EQ(events[4].times, 7u);
+}
+
+TEST(FaultInjectorTest, StallGetsDefaultDuration) {
+  auto inj = FaultInjector::Parse("stall@9");
+  ASSERT_TRUE(inj.ok());
+  ASSERT_EQ(inj->events().size(), 1u);
+  EXPECT_GT(inj->events()[0].stall_seconds, 0.0);
+}
+
+TEST(FaultInjectorTest, EmptyPlanIsEmpty) {
+  auto inj = FaultInjector::Parse("");
+  ASSERT_TRUE(inj.ok());
+  EXPECT_TRUE(inj->empty());
+  EXPECT_TRUE(inj->Drain(0).empty());
+}
+
+TEST(FaultInjectorTest, DrainDeliversAtMostOnce) {
+  auto inj = FaultInjector::Parse("device@3,corrupt@3,crash@8");
+  ASSERT_TRUE(inj.ok());
+  EXPECT_TRUE(inj->Drain(2).empty());
+  std::vector<FaultEvent> due = inj->Drain(3);
+  ASSERT_EQ(due.size(), 2u);
+  EXPECT_EQ(due[0].kind, FaultKind::kDeviceTransient);
+  EXPECT_EQ(due[1].kind, FaultKind::kCorruptSync);
+  EXPECT_TRUE(inj->Drain(3).empty());  // already delivered
+  EXPECT_EQ(inj->Drain(8).size(), 1u);
+}
+
+TEST(FaultInjectorTest, SkipUntilSuppressesEarlierEvents) {
+  auto inj = FaultInjector::Parse("device@3,stall@10:0.1,crash@10");
+  ASSERT_TRUE(inj.ok());
+  inj->SkipUntil(10);
+  EXPECT_TRUE(inj->Drain(3).empty());
+  EXPECT_EQ(inj->Drain(10).size(), 2u);  // events at the step still fire
+}
+
+TEST(FaultInjectorTest, RejectsMalformedSpecs) {
+  for (const char* bad : {
+           "device",          // missing @step
+           "meteor@5",        // unknown kind
+           "device@",         // empty step
+           "device@abc",      // non-numeric step
+           "device@5x0",      // zero repeat
+           "device@5xq",      // non-numeric repeat
+           "crash@5x3",       // repeat on a non-device fault
+           "device@5:0.2",    // stall duration on a non-stall fault
+           "stall@5:-1",      // negative duration
+           "stall@5:oops",    // non-numeric duration
+       }) {
+    auto inj = FaultInjector::Parse(bad);
+    ASSERT_FALSE(inj.ok()) << "accepted: " << bad;
+    EXPECT_EQ(inj.status().code(), StatusCode::kInvalidArgument) << bad;
+  }
+}
+
+TEST(FaultInjectorTest, KindNamesAreStable) {
+  EXPECT_EQ(FaultKindName(FaultKind::kDeviceTransient), "device");
+  EXPECT_EQ(FaultKindName(FaultKind::kLinkStall), "stall");
+  EXPECT_EQ(FaultKindName(FaultKind::kCorruptSync), "corrupt");
+  EXPECT_EQ(FaultKindName(FaultKind::kCrash), "crash");
+}
+
+}  // namespace
+}  // namespace fae

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <filesystem>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -126,6 +127,88 @@ TEST_F(FileIoTest, CorruptVectorLengthIsDataLoss) {
   auto v = r->ReadVector<double>();
   ASSERT_FALSE(v.ok());
   EXPECT_EQ(v.status().code(), StatusCode::kDataLoss);
+}
+
+TEST_F(FileIoTest, Crc32MatchesKnownAnswer) {
+  // The IEEE CRC-32 check value: crc32("123456789") == 0xCBF43926.
+  const char digits[] = "123456789";
+  EXPECT_EQ(Crc32(digits, 9), 0xCBF43926u);
+  EXPECT_EQ(Crc32(digits, 0), 0u);
+}
+
+TEST_F(FileIoTest, Crc32StreamsViaSeedChaining) {
+  const char digits[] = "123456789";
+  const uint32_t first = Crc32(digits, 4);
+  EXPECT_EQ(Crc32(digits + 4, 5, first), Crc32(digits, 9));
+}
+
+TEST_F(FileIoTest, WriterCrcMatchesStandaloneCrc) {
+  const std::string path = Track(TempPath("fae_wcrc.bin"));
+  auto w = BinaryWriter::Open(path);
+  ASSERT_TRUE(w.ok());
+  ASSERT_TRUE(w->WriteU32(0x01020304).ok());
+  const uint32_t bytes_le[] = {0x01020304};
+  EXPECT_EQ(w->crc(), Crc32(bytes_le, 4));
+  ASSERT_TRUE(w->Close().ok());
+}
+
+TEST_F(FileIoTest, AtomicWriterCommitsOrLeavesTargetUntouched) {
+  const std::string path = Track(TempPath("fae_atomic.bin"));
+  // Seed the target with a good file.
+  {
+    auto w = BinaryWriter::OpenAtomic(path);
+    ASSERT_TRUE(w.ok()) << w.status().ToString();
+    ASSERT_TRUE(w->WriteU32(1).ok());
+    ASSERT_TRUE(w->Commit().ok());
+  }
+  ASSERT_TRUE(FileExists(path));
+
+  // A save abandoned before Commit() (a crash mid-checkpoint) must leave
+  // both the previous file intact and no temp file behind.
+  {
+    auto w = BinaryWriter::OpenAtomic(path);
+    ASSERT_TRUE(w.ok());
+    ASSERT_TRUE(w->WriteU32(0xbad).ok());
+    ASSERT_TRUE(w->Close().ok());  // no Commit
+  }
+  EXPECT_FALSE(FileExists(path + ".tmp"));
+  auto r = BinaryReader::Open(path);
+  ASSERT_TRUE(r.ok());
+  auto v = r->ReadU32();
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 1u);  // old contents survived
+}
+
+TEST_F(FileIoTest, VerifyFileIntegrityCatchesCorruption) {
+  const std::string path = Track(TempPath("fae_integrity.bin"));
+  {
+    auto w = BinaryWriter::Open(path);
+    ASSERT_TRUE(w.ok());
+    ASSERT_TRUE(w->WriteU64(0xfeedf00d).ok());
+    ASSERT_TRUE(w->WriteString("payload").ok());
+    ASSERT_TRUE(w->WriteU32(w->crc()).ok());  // the container CRC footer
+    ASSERT_TRUE(w->Close().ok());
+  }
+  EXPECT_TRUE(VerifyFileIntegrity(path).ok());
+
+  // One flipped bit anywhere fails the check.
+  {
+    std::fstream file(path, std::ios::in | std::ios::out | std::ios::binary);
+    char byte = 0;
+    file.seekg(3);
+    file.read(&byte, 1);
+    byte ^= 0x01;
+    file.seekp(3);
+    file.write(&byte, 1);
+  }
+  EXPECT_EQ(VerifyFileIntegrity(path).code(), StatusCode::kDataLoss);
+
+  // Truncation (even into the footer) fails too.
+  std::filesystem::resize_file(path, std::filesystem::file_size(path) - 2);
+  EXPECT_EQ(VerifyFileIntegrity(path).code(), StatusCode::kDataLoss);
+
+  EXPECT_EQ(VerifyFileIntegrity(TempPath("fae_no_such_file.bin")).code(),
+            StatusCode::kNotFound);
 }
 
 TEST_F(FileIoTest, FileExistsAndRemove) {

@@ -10,6 +10,8 @@
 //                   [--mode=baseline|fae|nvopt|model-parallel|cache]
 //                   [--gpus=4] [--batch=1024] [--epochs=1] [--cost-only]
 //                   [--dirty-sync] [--full-model]
+//                   [--ckpt=run.faec] [--ckpt-every=100] [--resume]
+//                   [--fault-plan=device@30,stall@50:0.2,corrupt@75,crash@120]
 //
 // The `generate -> preprocess -> train` flow mirrors the paper's once-per-
 // dataset static pass followed by repeated training runs.
@@ -129,6 +131,18 @@ int Train(const bench::Args& args) {
   options.sync_strategy = args.GetBool("dirty-sync", false)
                               ? SyncStrategy::kDirty
                               : SyncStrategy::kFull;
+  options.checkpoint.path = args.GetString("ckpt", "");
+  options.checkpoint.every_steps = args.GetInt("ckpt-every", 100);
+  options.checkpoint.resume = args.GetBool("resume", false);
+
+  FaultInjector injector;
+  const std::string fault_plan = args.GetString("fault-plan", "");
+  if (!fault_plan.empty()) {
+    auto parsed = FaultInjector::Parse(fault_plan);
+    if (!parsed.ok()) return Fail(parsed.status());
+    injector = std::move(parsed).value();
+    options.fault_injector = &injector;
+  }
   const int gpus = static_cast<int>(args.GetInt("gpus", 4));
   SystemSpec system = MakePaperServer(gpus);
 
@@ -145,7 +159,9 @@ int Train(const bench::Args& args) {
   const std::string mode = args.GetString("mode", "fae");
   TrainReport report;
   if (mode == "baseline") {
-    report = trainer.TrainBaseline(*dataset, split);
+    auto r = trainer.TrainBaselineResumable(*dataset, split);
+    if (!r.ok()) return Fail(r.status());
+    report = std::move(r).value();
   } else if (mode == "nvopt") {
     report = trainer.TrainNvOpt(*dataset, split);
   } else if (mode == "model-parallel") {
@@ -189,6 +205,35 @@ int Train(const bench::Args& args) {
         "fae: hot inputs %.1f%%, %zu transitions, synced %s, final R(%.0f)\n",
         100 * report.hot_fraction, report.transitions,
         HumanBytes(report.sync_bytes).c_str(), report.final_rate);
+  }
+  if (report.resumed) {
+    std::printf("resumed from %s at iteration %llu\n",
+                options.checkpoint.path.c_str(),
+                static_cast<unsigned long long>(report.resumed_at));
+  }
+  if (report.degraded) {
+    std::printf(
+        "degraded: hot slice over budget; demoted %llu rows, %llu inputs "
+        "fell back to the cold path\n",
+        static_cast<unsigned long long>(report.demoted_rows),
+        static_cast<unsigned long long>(report.fallback_inputs));
+  }
+  if (options.fault_injector != nullptr) {
+    const FaultStats& fs = report.faults;
+    std::printf(
+        "faults: %llu device (%llu retries), %llu stalls, %llu corrupt "
+        "syncs, %llu crashes\n",
+        static_cast<unsigned long long>(fs.device_faults),
+        static_cast<unsigned long long>(fs.retries),
+        static_cast<unsigned long long>(fs.link_stalls),
+        static_cast<unsigned long long>(fs.corrupt_syncs),
+        static_cast<unsigned long long>(fs.crashes));
+  }
+  if (report.interrupted) {
+    std::printf(
+        "run interrupted by an injected crash at iteration %zu; rerun with "
+        "--resume to continue from the last checkpoint\n",
+        report.num_batches);
   }
   std::printf("\nphase breakdown:\n%s", report.timeline.Report().c_str());
   return 0;
