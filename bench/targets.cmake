@@ -44,3 +44,9 @@ target_link_libraries(micro_kernels PRIVATE fae benchmark::benchmark)
 target_include_directories(micro_kernels PRIVATE ${CMAKE_SOURCE_DIR})
 set_target_properties(micro_kernels PROPERTIES
   RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+
+# Smoke-test the kernel bench under ctest (and under -DFAE_SANITIZE=ON
+# builds): tiny sizes, one rep, and the built-in old-vs-new bit-exactness
+# checks. Fails if any new kernel disagrees with the seed scalar path.
+add_test(NAME bench_smoke
+  COMMAND micro_kernels --smoke --out=${CMAKE_BINARY_DIR}/bench/BENCH_kernels_smoke.json)

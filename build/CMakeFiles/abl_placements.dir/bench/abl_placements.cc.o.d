@@ -243,9 +243,13 @@ CMakeFiles/abl_placements.dir/bench/abl_placements.cc.o: \
  /root/repo/src/models/rec_model.h \
  /root/repo/src/embedding/embedding_bag.h \
  /root/repo/src/embedding/embedding_table.h \
- /root/repo/src/tensor/linear.h /root/repo/src/sim/timeline.h \
- /root/repo/src/engine/step_accountant.h /root/repo/src/sim/cost_model.h \
- /root/repo/src/sim/device.h /root/repo/src/sim/fault_injector.h \
- /root/repo/src/tensor/sgd.h /root/repo/src/embedding/sparse_sgd.h \
- /root/repo/src/models/factory.h /root/repo/src/models/model_config.h \
- /root/repo/src/util/string_util.h
+ /root/repo/src/util/thread_pool.h /usr/include/c++/12/condition_variable \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/queue /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/bits/stl_queue.h /root/repo/src/tensor/linear.h \
+ /root/repo/src/sim/timeline.h /root/repo/src/engine/step_accountant.h \
+ /root/repo/src/sim/cost_model.h /root/repo/src/sim/device.h \
+ /root/repo/src/sim/fault_injector.h /root/repo/src/tensor/sgd.h \
+ /root/repo/src/embedding/sparse_sgd.h /root/repo/src/models/factory.h \
+ /root/repo/src/models/model_config.h /root/repo/src/util/string_util.h

@@ -4,6 +4,8 @@
 # 
 # This file includes the relevant testing commands required for 
 # testing this directory and lists subdirectories to be tested as well.
+add_test(bench_smoke "/root/repo/build/bench/micro_kernels" "--smoke" "--out=/root/repo/build/bench/BENCH_kernels_smoke.json")
+set_tests_properties(bench_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/targets.cmake;51;add_test;/root/repo/bench/targets.cmake;0;;/root/repo/CMakeLists.txt;42;include;/root/repo/CMakeLists.txt;0;")
 subdirs("src")
 subdirs("tests")
 subdirs("examples")

@@ -329,6 +329,8 @@ tests/CMakeFiles/fae_tests.dir/integration_test.cc.o: \
  /root/repo/src/data/dataset_io.h /root/repo/src/data/minibatch.h \
  /root/repo/src/data/sample.h /root/repo/src/data/schema.h \
  /root/repo/src/data/synthetic.h /root/repo/src/embedding/embedding_bag.h \
+ /root/repo/src/util/thread_pool.h /usr/include/c++/12/queue \
+ /usr/include/c++/12/bits/stl_queue.h \
  /root/repo/src/embedding/embedding_table.h \
  /root/repo/src/embedding/rowwise_adagrad.h \
  /root/repo/src/embedding/embedding_bag.h \
@@ -386,7 +388,6 @@ tests/CMakeFiles/fae_tests.dir/integration_test.cc.o: \
  /root/repo/src/util/status.h /root/repo/src/util/statusor.h \
  /root/repo/src/util/stopwatch.h /usr/include/c++/12/chrono \
  /root/repo/src/util/string_util.h /root/repo/src/util/thread_pool.h \
- /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
  /root/repo/src/data/dataset_io.h /root/repo/src/data/synthetic.h \
  /root/repo/src/engine/trainer.h /root/repo/src/models/factory.h \
  /root/repo/src/models/model_io.h

@@ -1,10 +1,17 @@
 #include "embedding/rowwise_adagrad.h"
 
+#include <algorithm>
 #include <cmath>
 
+#include "tensor/kernels.h"
 #include "util/logging.h"
 
 namespace fae {
+namespace {
+
+constexpr size_t kMinRowsToParallelize = 64;
+
+}  // namespace
 
 RowwiseAdagrad::RowwiseAdagrad(uint64_t rows, float lr, float eps)
     : accum_(rows, 0.0f), lr_(lr), eps_(eps) {
@@ -12,20 +19,61 @@ RowwiseAdagrad::RowwiseAdagrad(uint64_t rows, float lr, float eps)
   FAE_CHECK_GE(eps, 0.0f);
 }
 
-void RowwiseAdagrad::Step(EmbeddingTable& table, const SparseGrad& grad) {
+void RowwiseAdagrad::ApplyRow(EmbeddingTable& table, uint64_t row_id,
+                              const float* g) {
+  FAE_CHECK_LT(row_id, accum_.size());
+  const size_t dim = table.dim();
+  // The mean-square is accumulated in double, ascending k — the exact
+  // association the scalar implementation used, so optimizer state stays
+  // bit-identical.
+  const double sq = kernels::SumSquaresOrdered(dim, g);
+  accum_[row_id] += static_cast<float>(sq / static_cast<double>(dim));
+  const float scale = lr_ / (std::sqrt(accum_[row_id]) + eps_);
+  kernels::Axpy(dim, -scale, g, table.row(row_id));
+}
+
+void RowwiseAdagrad::Step(EmbeddingTable& table, const SparseGrad& grad,
+                          ThreadPool* pool) {
   FAE_CHECK_EQ(table.rows(), accum_.size());
   FAE_CHECK_EQ(grad.dim, table.dim());
-  const size_t dim = grad.dim;
-  for (const auto& [row_id, g] : grad.rows) {
-    FAE_CHECK_LT(row_id, accum_.size());
-    double sq = 0.0;
-    for (size_t k = 0; k < dim; ++k) {
-      sq += static_cast<double>(g[k]) * g[k];
+  auto apply = [&](size_t s0, size_t s1) {
+    for (size_t s = s0; s < s1; ++s) {
+      ApplyRow(table, grad.row_id(s), grad.row(s));
     }
-    accum_[row_id] += static_cast<float>(sq / static_cast<double>(dim));
-    const float scale = lr_ / (std::sqrt(accum_[row_id]) + eps_);
-    float* row = table.row(row_id);
-    for (size_t k = 0; k < dim; ++k) row[k] -= scale * g[k];
+  };
+  if (pool != nullptr && grad.num_rows() >= kMinRowsToParallelize) {
+    pool->ParallelFor(grad.num_rows(), apply);
+  } else {
+    apply(0, grad.num_rows());
+  }
+}
+
+void RowwiseAdagrad::FusedBackwardStep(EmbeddingTable& table,
+                                       const Tensor& grad_out,
+                                       const std::vector<uint32_t>& indices,
+                                       const std::vector<uint32_t>& offsets,
+                                       ThreadPool* pool) {
+  FAE_CHECK_EQ(table.rows(), accum_.size());
+  FAE_CHECK_EQ(grad_out.cols(), table.dim());
+  FAE_CHECK_EQ(grad_out.rows() + 1, offsets.size());
+  if (indices.empty()) return;
+  const size_t dim = table.dim();
+  const RowGroups rg = RowGroups::Build(indices, offsets);
+  auto apply = [&](size_t s0, size_t s1) {
+    std::vector<float> acc(dim);
+    for (size_t s = s0; s < s1; ++s) {
+      std::fill(acc.begin(), acc.end(), 0.0f);
+      for (uint32_t g = rg.group_start[s]; g < rg.group_start[s + 1]; ++g) {
+        kernels::Add(dim, grad_out.row(rg.sample_of[rg.positions[g]]),
+                     acc.data());
+      }
+      ApplyRow(table, rg.row_ids[s], acc.data());
+    }
+  };
+  if (pool != nullptr && rg.num_rows() >= kMinRowsToParallelize) {
+    pool->ParallelFor(rg.num_rows(), apply);
+  } else {
+    apply(0, rg.num_rows());
   }
 }
 

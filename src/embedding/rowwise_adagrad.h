@@ -6,6 +6,8 @@
 
 #include "embedding/embedding_bag.h"
 #include "embedding/embedding_table.h"
+#include "tensor/tensor.h"
+#include "util/thread_pool.h"
 
 namespace fae {
 
@@ -24,7 +26,20 @@ class RowwiseAdagrad {
   RowwiseAdagrad(uint64_t rows, float lr, float eps = 1e-8f);
 
   /// Applies `grad` to `table`; both must match the accumulator's rows.
-  void Step(EmbeddingTable& table, const SparseGrad& grad);
+  /// With a pool, disjoint slot ranges of the flat gradient are applied in
+  /// parallel (each table row and accumulator entry is written by exactly
+  /// one thread — bit-exact at any thread count).
+  void Step(EmbeddingTable& table, const SparseGrad& grad,
+            ThreadPool* pool = nullptr);
+
+  /// Fused scatter + optimizer: accumulates dL/dout per touched row and
+  /// applies the Adagrad update in one pass over the grouped index list,
+  /// without materializing a SparseGrad. Bit-identical to
+  /// EmbeddingBag::Backward followed by Step.
+  void FusedBackwardStep(EmbeddingTable& table, const Tensor& grad_out,
+                         const std::vector<uint32_t>& indices,
+                         const std::vector<uint32_t>& offsets,
+                         ThreadPool* pool = nullptr);
 
   float accumulator(uint64_t row) const { return accum_[row]; }
   uint64_t rows() const { return accum_.size(); }
@@ -35,6 +50,9 @@ class RowwiseAdagrad {
   uint64_t StateBytes() const { return accum_.size() * sizeof(float); }
 
  private:
+  /// Adagrad update for one row from its accumulated gradient `g`.
+  void ApplyRow(EmbeddingTable& table, uint64_t row_id, const float* g);
+
   std::vector<float> accum_;
   float lr_;
   float eps_;

@@ -1,26 +1,105 @@
 #include "embedding/sparse_sgd.h"
 
+#include <algorithm>
+
+#include "tensor/kernels.h"
 #include "util/logging.h"
 
 namespace fae {
+namespace {
 
-void SparseSgd::Step(EmbeddingTable& table, const SparseGrad& grad) const {
-  FAE_CHECK_EQ(grad.dim, table.dim());
-  for (const auto& [row_id, g] : grad.rows) {
-    float* row = table.row(row_id);
-    for (size_t k = 0; k < grad.dim; ++k) row[k] -= lr_ * g[k];
+constexpr size_t kMinRowsToParallelize = 64;
+
+void RowRangeParallel(ThreadPool* pool, size_t rows,
+                      const std::function<void(size_t, size_t)>& fn) {
+  if (pool != nullptr && rows >= kMinRowsToParallelize) {
+    pool->ParallelFor(rows, fn);
+  } else {
+    fn(0, rows);
   }
+}
+
+}  // namespace
+
+void SparseSgd::Step(EmbeddingTable& table, const SparseGrad& grad,
+                     ThreadPool* pool) const {
+  FAE_CHECK_EQ(grad.dim, table.dim());
+  const size_t dim = grad.dim;
+  const float neg_lr = -lr_;
+  RowRangeParallel(pool, grad.num_rows(), [&](size_t s0, size_t s1) {
+    for (size_t s = s0; s < s1; ++s) {
+      kernels::Axpy(dim, neg_lr, grad.row(s), table.row(grad.row_id(s)));
+    }
+  });
+}
+
+void SparseSgd::FusedBackwardStep(EmbeddingTable& table,
+                                  const Tensor& grad_out,
+                                  const std::vector<uint32_t>& indices,
+                                  const std::vector<uint32_t>& offsets,
+                                  ThreadPool* pool) const {
+  FAE_CHECK_EQ(grad_out.cols(), table.dim());
+  FAE_CHECK_EQ(grad_out.rows() + 1, offsets.size());
+  if (indices.empty()) return;
+  const size_t dim = table.dim();
+  const float neg_lr = -lr_;
+  const RowGroups rg = RowGroups::Build(indices, offsets);
+  RowRangeParallel(pool, rg.num_rows(), [&](size_t s0, size_t s1) {
+    std::vector<float> acc(dim);
+    for (size_t s = s0; s < s1; ++s) {
+      std::fill(acc.begin(), acc.end(), 0.0f);
+      for (uint32_t g = rg.group_start[s]; g < rg.group_start[s + 1]; ++g) {
+        kernels::Add(dim, grad_out.row(rg.sample_of[rg.positions[g]]),
+                     acc.data());
+      }
+      kernels::Axpy(dim, neg_lr, acc.data(), table.row(rg.row_ids[s]));
+    }
+  });
 }
 
 void AccumulateSparseGrad(SparseGrad& dst, const SparseGrad& src) {
   if (dst.dim == 0) dst.dim = src.dim;
   FAE_CHECK_EQ(dst.dim, src.dim);
-  for (const auto& [row_id, g] : src.rows) {
-    auto [it, inserted] =
-        dst.rows.try_emplace(row_id, std::vector<float>(dst.dim, 0.0f));
-    std::vector<float>& acc = it->second;
-    for (size_t k = 0; k < dst.dim; ++k) acc[k] += g[k];
+  if (src.empty()) return;
+  const size_t dim = dst.dim;
+  if (dst.empty()) {
+    dst.row_ids = src.row_ids;
+    dst.values = src.values;
+    return;
   }
+  // Merge two sorted id lists; overlapping rows accumulate src into the
+  // existing dst value (same order of additions as the historical
+  // map-based merge).
+  std::vector<uint64_t> ids;
+  std::vector<float> values;
+  ids.reserve(dst.row_ids.size() + src.row_ids.size());
+  values.reserve(ids.capacity() * dim);
+  size_t a = 0;
+  size_t b = 0;
+  auto append = [&](const SparseGrad& from, size_t slot) {
+    const float* r = from.row(slot);
+    values.insert(values.end(), r, r + dim);
+  };
+  while (a < dst.row_ids.size() || b < src.row_ids.size()) {
+    if (b >= src.row_ids.size() ||
+        (a < dst.row_ids.size() && dst.row_ids[a] < src.row_ids[b])) {
+      ids.push_back(dst.row_ids[a]);
+      append(dst, a);
+      ++a;
+    } else if (a >= dst.row_ids.size() || src.row_ids[b] < dst.row_ids[a]) {
+      ids.push_back(src.row_ids[b]);
+      append(src, b);
+      ++b;
+    } else {
+      ids.push_back(dst.row_ids[a]);
+      append(dst, a);
+      kernels::Add(dim, src.row(b), values.data() + values.size() - dim);
+      ++a;
+      ++b;
+    }
+  }
+  dst.row_ids = std::move(ids);
+  dst.values = std::move(values);
 }
 
 }  // namespace fae

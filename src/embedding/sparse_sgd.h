@@ -3,6 +3,8 @@
 
 #include "embedding/embedding_bag.h"
 #include "embedding/embedding_table.h"
+#include "tensor/tensor.h"
+#include "util/thread_pool.h"
 
 namespace fae {
 
@@ -13,8 +15,21 @@ class SparseSgd {
  public:
   explicit SparseSgd(float lr) : lr_(lr) {}
 
-  /// row -= lr * grad for every row in `grad`.
-  void Step(EmbeddingTable& table, const SparseGrad& grad) const;
+  /// row -= lr * grad for every row in `grad`. With a pool, disjoint slot
+  /// ranges of the flat gradient are updated in parallel (bit-exact at any
+  /// thread count — each table row is written by exactly one thread).
+  void Step(EmbeddingTable& table, const SparseGrad& grad,
+            ThreadPool* pool = nullptr) const;
+
+  /// Fused scatter + optimizer (the paper's CPU-side sparse-optimizer
+  /// bottleneck, §II-C): accumulates dL/dout per touched row and applies
+  /// the update in one pass over the grouped index list, without
+  /// materializing a SparseGrad. Bit-identical to
+  /// EmbeddingBag::Backward followed by Step.
+  void FusedBackwardStep(EmbeddingTable& table, const Tensor& grad_out,
+                         const std::vector<uint32_t>& indices,
+                         const std::vector<uint32_t>& offsets,
+                         ThreadPool* pool = nullptr) const;
 
   float lr() const { return lr_; }
   void set_lr(float lr) { lr_ = lr; }

@@ -63,6 +63,10 @@ Trainer::Trainer(RecModel* model, SystemSpec system, TrainOptions options)
   FAE_CHECK(model != nullptr);
   FAE_CHECK_GE(options_.per_gpu_batch, 1u);
   FAE_CHECK_GE(options_.epochs, 1u);
+  if (options_.num_threads > 1) {
+    pool_ = std::make_unique<ThreadPool>(options_.num_threads);
+    model_->SetThreadPool(pool_.get());
+  }
 }
 
 uint64_t Trainer::OptionsFingerprint() const {
@@ -80,6 +84,8 @@ uint64_t Trainer::OptionsFingerprint() const {
   h = FnvMix(h, options_.pipelined_baseline ? 1 : 0);
   h = FnvMix(h, options_.fp16_embeddings ? 1 : 0);
   h = FnvMix(h, options_.seed);
+  // num_threads is deliberately absent: the kernels are bit-identical at
+  // any thread count, so a resume may change it freely.
   return h;
 }
 
@@ -159,18 +165,44 @@ void Trainer::MaybeQuantizeTables() {
 void Trainer::MathStep(const MiniBatch& batch,
                        const std::vector<EmbeddingTable*>& tables,
                        RunningMetric& metric, RunningMetric& window) {
+  ThreadPool* pool = pool_.get();
+  if (!options_.fp16_embeddings) {
+    // Fast path: each table's backward scatter and optimizer update run as
+    // one fused pass over the batch's lookup list — the SparseGrad is
+    // never materialized. Bit-identical to the materialized path (same
+    // per-row accumulation order, same update arithmetic).
+    const SparseApplyFn apply = [&](size_t t, const Tensor& grad_out,
+                                    const std::vector<uint32_t>& indices,
+                                    const std::vector<uint32_t>& offsets) {
+      sparse_sgd_.FusedBackwardStep(*tables[t], grad_out, indices, offsets,
+                                    pool);
+    };
+    StepResult step = model_->ForwardBackwardFusedOn(batch, tables, apply);
+    dense_sgd_.Step(model_->DenseParams());
+    // Gradients a model chose not to fuse (base-class fallback) still take
+    // the materialized optimizer step.
+    for (size_t t = 0; t < step.table_grads.size(); ++t) {
+      if (step.table_grads[t].empty()) continue;
+      sparse_sgd_.Step(*tables[t], step.table_grads[t], pool);
+    }
+    metric.Observe(step.loss, step.correct, step.batch_size);
+    window.Observe(step.loss, step.correct, step.batch_size);
+    return;
+  }
+  // fp16 storage needs the materialized gradient: its touched-row list
+  // tells us which rows to round back through binary16.
   StepResult step = model_->ForwardBackwardOn(batch, tables);
   dense_sgd_.Step(model_->DenseParams());
   for (size_t t = 0; t < step.table_grads.size(); ++t) {
-    sparse_sgd_.Step(*tables[t], step.table_grads[t]);
-    if (options_.fp16_embeddings) {
-      // fp16 storage: the updated rows lose everything binary16 cannot
-      // represent.
-      for (const auto& [row_id, grad] : step.table_grads[t].rows) {
-        float* row = tables[t]->row(row_id);
-        for (size_t k = 0; k < step.table_grads[t].dim; ++k) {
-          row[k] = QuantizeToHalf(row[k]);
-        }
+    const SparseGrad& grad = step.table_grads[t];
+    if (grad.empty()) continue;
+    sparse_sgd_.Step(*tables[t], grad, pool);
+    // fp16 storage: the updated rows lose everything binary16 cannot
+    // represent.
+    for (size_t s = 0; s < grad.num_rows(); ++s) {
+      float* row = tables[t]->row(grad.row_id(s));
+      for (size_t k = 0; k < grad.dim; ++k) {
+        row[k] = QuantizeToHalf(row[k]);
       }
     }
   }

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "core/fae_config.h"
@@ -17,6 +18,7 @@
 #include "tensor/sgd.h"
 #include "embedding/sparse_sgd.h"
 #include "util/statusor.h"
+#include "util/thread_pool.h"
 
 namespace fae {
 
@@ -82,6 +84,12 @@ struct TrainOptions {
   /// entries and fall back toward the cold path (with a logged warning)
   /// instead of failing with ResourceExhausted. See DegradePlanToBudget.
   bool degrade_on_overflow = true;
+  /// Worker threads for the compute kernels (GEMM, embedding bag, sparse
+  /// optimizer). All kernels partition work write-disjointly and keep
+  /// per-element summation order fixed, so results are bit-identical at
+  /// any thread count — which is why this field is deliberately excluded
+  /// from OptionsFingerprint (a resume may change it freely).
+  size_t num_threads = 1;
 };
 
 /// Everything a training run reports: the modeled timeline, the measured
@@ -209,6 +217,8 @@ class Trainer {
   TrainOptions options_;
   Sgd dense_sgd_;
   SparseSgd sparse_sgd_;
+  /// Kernel worker pool, shared with the model; null when num_threads <= 1.
+  std::unique_ptr<ThreadPool> pool_;
 };
 
 }  // namespace fae

@@ -41,13 +41,13 @@ Tensor Dlrm::ForwardImpl(const MiniBatch& batch,
   emb_out.reserve(tables.size());
   for (size_t t = 0; t < tables.size(); ++t) {
     emb_out.push_back(EmbeddingBag::Forward(*tables[t], batch.indices[t],
-                                            batch.offsets[t]));
+                                            batch.offsets[t], pool_));
   }
   std::vector<const Tensor*> features;
   features.reserve(1 + emb_out.size());
   features.push_back(&bottom_out);
   for (const Tensor& e : emb_out) features.push_back(&e);
-  Tensor inter = PairwiseDotInteraction(features);
+  Tensor inter = PairwiseDotInteraction(features, pool_);
   Tensor top_in = ConcatCols({&bottom_out, &inter});
   Tensor logits =
       cache ? top_.Forward(top_in) : top_.ForwardInference(top_in);
@@ -58,8 +58,9 @@ Tensor Dlrm::ForwardImpl(const MiniBatch& batch,
   return logits;
 }
 
-StepResult Dlrm::ForwardBackwardOn(
-    const MiniBatch& batch, const std::vector<EmbeddingTable*>& tables) {
+StepResult Dlrm::StepImpl(const MiniBatch& batch,
+                          const std::vector<EmbeddingTable*>& tables,
+                          const SparseApplyFn* apply) {
   std::vector<const EmbeddingTable*> ctables(tables.begin(), tables.end());
   Tensor logits = ForwardImpl(batch, ctables, /*cache=*/true);
   BceResult bce = BceWithLogits(logits, batch.labels);
@@ -78,23 +79,41 @@ StepResult Dlrm::ForwardBackwardOn(
   features.push_back(&cached_bottom_out_);
   for (const Tensor& e : cached_emb_out_) features.push_back(&e);
   std::vector<Tensor> feat_grads =
-      PairwiseDotInteractionBackward(g_inter, features);
+      PairwiseDotInteractionBackward(g_inter, features, pool_);
 
   // Bottom MLP backward (direct concat path + interaction path).
   feat_grads[0].Add(g_bottom_direct);
   bottom_.Backward(feat_grads[0]);
 
-  // Embedding gradients.
+  // Embedding gradients: either materialize per-table SparseGrads or hand
+  // each table's output gradient straight to the fused scatter+optimizer.
   StepResult result;
   result.loss = bce.mean_loss;
   result.correct = bce.correct;
   result.batch_size = batch.batch_size();
-  result.table_grads.reserve(schema_.num_tables());
-  for (size_t t = 0; t < schema_.num_tables(); ++t) {
-    result.table_grads.push_back(EmbeddingBag::Backward(
-        feat_grads[t + 1], batch.indices[t], batch.offsets[t], d));
+  if (apply != nullptr) {
+    for (size_t t = 0; t < schema_.num_tables(); ++t) {
+      (*apply)(t, feat_grads[t + 1], batch.indices[t], batch.offsets[t]);
+    }
+  } else {
+    result.table_grads.reserve(schema_.num_tables());
+    for (size_t t = 0; t < schema_.num_tables(); ++t) {
+      result.table_grads.push_back(EmbeddingBag::Backward(
+          feat_grads[t + 1], batch.indices[t], batch.offsets[t], d, pool_));
+    }
   }
   return result;
+}
+
+StepResult Dlrm::ForwardBackwardOn(
+    const MiniBatch& batch, const std::vector<EmbeddingTable*>& tables) {
+  return StepImpl(batch, tables, /*apply=*/nullptr);
+}
+
+StepResult Dlrm::ForwardBackwardFusedOn(
+    const MiniBatch& batch, const std::vector<EmbeddingTable*>& tables,
+    const SparseApplyFn& apply) {
+  return StepImpl(batch, tables, &apply);
 }
 
 Tensor Dlrm::EvalLogits(const MiniBatch& batch) const {

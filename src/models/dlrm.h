@@ -22,6 +22,16 @@ class Dlrm : public RecModel {
       const MiniBatch& batch,
       const std::vector<EmbeddingTable*>& tables) override;
 
+  StepResult ForwardBackwardFusedOn(
+      const MiniBatch& batch, const std::vector<EmbeddingTable*>& tables,
+      const SparseApplyFn& apply) override;
+
+  void SetThreadPool(ThreadPool* pool) override {
+    pool_ = pool;
+    bottom_.set_thread_pool(pool);
+    top_.set_thread_pool(pool);
+  }
+
   Tensor EvalLogits(const MiniBatch& batch) const override;
 
   std::vector<Parameter*> DenseParams() override;
@@ -37,11 +47,18 @@ class Dlrm : public RecModel {
                      const std::vector<const EmbeddingTable*>& tables,
                      bool cache);
 
+  // Shared forward+backward; when `apply` is non-null every table's output
+  // gradient is handed to it instead of materialized in the result.
+  StepResult StepImpl(const MiniBatch& batch,
+                      const std::vector<EmbeddingTable*>& tables,
+                      const SparseApplyFn* apply);
+
   DatasetSchema schema_;
   ModelConfig config_;
   Mlp bottom_;
   Mlp top_;
   std::vector<EmbeddingTable> tables_;
+  ThreadPool* pool_ = nullptr;  // not owned
 
   // Forward caches consumed by the following backward.
   Tensor cached_bottom_out_;

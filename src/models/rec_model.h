@@ -2,6 +2,7 @@
 #define FAE_MODELS_REC_MODEL_H_
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "data/minibatch.h"
@@ -9,6 +10,7 @@
 #include "embedding/embedding_table.h"
 #include "tensor/linear.h"
 #include "tensor/tensor.h"
+#include "util/thread_pool.h"
 
 namespace fae {
 
@@ -45,6 +47,15 @@ struct BatchWork {
   std::vector<uint64_t> per_table_touched;
 };
 
+/// Consumes one table's sparse backward inline during a fused step:
+/// receives dL/dout [B, dim] for `table` plus the batch's CSR lookup list,
+/// and is expected to scatter + apply the optimizer in one pass (see
+/// SparseSgd::FusedBackwardStep). Called once per fusable table.
+using SparseApplyFn = std::function<void(
+    size_t table, const Tensor& grad_out,
+    const std::vector<uint32_t>& indices,
+    const std::vector<uint32_t>& offsets)>;
+
 /// Interface shared by DLRM and TBSM: real numerics, explicit gradients.
 ///
 /// One ForwardBackward call accumulates dense gradients in the model's
@@ -53,6 +64,25 @@ struct BatchWork {
 class RecModel {
  public:
   virtual ~RecModel() = default;
+
+  /// Installs a shared worker pool used by the model's dense and embedding
+  /// kernels (nullptr restores serial execution). All kernels partition
+  /// work write-disjointly, so results are bit-identical at any thread
+  /// count.
+  virtual void SetThreadPool(ThreadPool* pool) { (void)pool; }
+
+  /// Like ForwardBackwardOn, but tables with a fusable bag backward hand
+  /// their output gradient to `apply` (scatter + optimizer in one pass)
+  /// instead of materializing it in StepResult::table_grads; only
+  /// non-fusable tables (e.g. TBSM's item table with its custom scatter)
+  /// still return materialized gradients, and the caller must run the
+  /// plain optimizer step on those. The base implementation fuses nothing.
+  virtual StepResult ForwardBackwardFusedOn(
+      const MiniBatch& batch, const std::vector<EmbeddingTable*>& tables,
+      const SparseApplyFn& apply) {
+    (void)apply;
+    return ForwardBackwardOn(batch, tables);
+  }
 
   /// Runs the step against an alternative set of tables (the FAE engine
   /// points this at GPU hot-replica tables; `batch` indices must already be

@@ -112,7 +112,7 @@ Tensor Tbsm::ForwardImpl(const MiniBatch& batch,
   pooled.reserve(schema_.num_tables() - 1);
   for (size_t t = 1; t < schema_.num_tables(); ++t) {
     pooled.push_back(EmbeddingBag::Forward(*tables[t], batch.indices[t],
-                                           batch.offsets[t]));
+                                           batch.offsets[t], pool_));
   }
 
   Tensor bottom_out = cache ? bottom_.Forward(batch.dense)
@@ -133,8 +133,9 @@ Tensor Tbsm::ForwardImpl(const MiniBatch& batch,
   return logits;
 }
 
-StepResult Tbsm::ForwardBackwardOn(
-    const MiniBatch& batch, const std::vector<EmbeddingTable*>& tables) {
+StepResult Tbsm::StepImpl(const MiniBatch& batch,
+                          const std::vector<EmbeddingTable*>& tables,
+                          const SparseApplyFn* apply) {
   std::vector<const EmbeddingTable*> ctables(tables.begin(), tables.end());
   Tensor logits = ForwardImpl(batch, ctables, /*cache=*/true);
   BceResult bce = BceWithLogits(logits, batch.labels);
@@ -173,35 +174,65 @@ StepResult Tbsm::ForwardBackwardOn(
   result.loss = bce.mean_loss;
   result.correct = bce.correct;
   result.batch_size = batch.batch_size();
-  result.table_grads.resize(schema_.num_tables());
 
-  // Item table: scatter history and target gradients.
-  SparseGrad& item_grad = result.table_grads[0];
-  item_grad.dim = d;
+  // Item table: the history/target contributions form a synthesized lookup
+  // list (one gradient row per contribution, unit offsets) so the shared
+  // bag backward — or the fused scatter+optimizer — handles the scatter.
+  // Rows are emitted in the same per-sample order (history, then target)
+  // the scalar implementation accumulated them.
   const std::vector<uint32_t>& item_idx = batch.indices[0];
-  size_t hist_row = 0;
-  for (size_t i = 0; i < batch.batch_size(); ++i) {
-    const SequenceView& v = cached_seq_[i];
-    for (uint32_t j = 0; j < v.history_len; ++j) {
-      const uint32_t row = item_idx[v.begin + j];
-      auto [it, inserted] =
-          item_grad.rows.try_emplace(row, std::vector<float>(d, 0.0f));
-      const float* g = raw_hist_grad.row(hist_row++);
-      for (size_t k = 0; k < d; ++k) it->second[k] += g[k];
+  const size_t total_contrib = total_hist + batch.batch_size();
+  Tensor item_grad_out(total_contrib, d);
+  std::vector<uint32_t> item_scatter_idx(total_contrib);
+  std::vector<uint32_t> item_scatter_off(total_contrib + 1);
+  {
+    size_t r = 0;
+    size_t hist_row = 0;
+    for (size_t i = 0; i < batch.batch_size(); ++i) {
+      const SequenceView& v = cached_seq_[i];
+      for (uint32_t j = 0; j < v.history_len; ++j) {
+        item_scatter_idx[r] = item_idx[v.begin + j];
+        const float* g = raw_hist_grad.row(hist_row++);
+        std::copy(g, g + d, item_grad_out.row(r));
+        ++r;
+      }
+      item_scatter_idx[r] = item_idx[v.target];
+      const float* g = g_query.row(i);
+      std::copy(g, g + d, item_grad_out.row(r));
+      ++r;
     }
-    const uint32_t trow = item_idx[v.target];
-    auto [it, inserted] =
-        item_grad.rows.try_emplace(trow, std::vector<float>(d, 0.0f));
-    const float* g = g_query.row(i);
-    for (size_t k = 0; k < d; ++k) it->second[k] += g[k];
+    FAE_CHECK_EQ(r, total_contrib);
+    for (size_t i = 0; i <= total_contrib; ++i) {
+      item_scatter_off[i] = static_cast<uint32_t>(i);
+    }
   }
 
-  // Remaining tables via the bag backward.
-  for (size_t t = 1; t < schema_.num_tables(); ++t) {
-    result.table_grads[t] = EmbeddingBag::Backward(
-        split[2 + t], batch.indices[t], batch.offsets[t], d);
+  if (apply != nullptr) {
+    (*apply)(0, item_grad_out, item_scatter_idx, item_scatter_off);
+    for (size_t t = 1; t < schema_.num_tables(); ++t) {
+      (*apply)(t, split[2 + t], batch.indices[t], batch.offsets[t]);
+    }
+  } else {
+    result.table_grads.resize(schema_.num_tables());
+    result.table_grads[0] = EmbeddingBag::Backward(
+        item_grad_out, item_scatter_idx, item_scatter_off, d, pool_);
+    for (size_t t = 1; t < schema_.num_tables(); ++t) {
+      result.table_grads[t] = EmbeddingBag::Backward(
+          split[2 + t], batch.indices[t], batch.offsets[t], d, pool_);
+    }
   }
   return result;
+}
+
+StepResult Tbsm::ForwardBackwardOn(
+    const MiniBatch& batch, const std::vector<EmbeddingTable*>& tables) {
+  return StepImpl(batch, tables, /*apply=*/nullptr);
+}
+
+StepResult Tbsm::ForwardBackwardFusedOn(
+    const MiniBatch& batch, const std::vector<EmbeddingTable*>& tables,
+    const SparseApplyFn& apply) {
+  return StepImpl(batch, tables, &apply);
 }
 
 Tensor Tbsm::EvalLogits(const MiniBatch& batch) const {

@@ -28,6 +28,17 @@ class Tbsm : public RecModel {
       const MiniBatch& batch,
       const std::vector<EmbeddingTable*>& tables) override;
 
+  StepResult ForwardBackwardFusedOn(
+      const MiniBatch& batch, const std::vector<EmbeddingTable*>& tables,
+      const SparseApplyFn& apply) override;
+
+  void SetThreadPool(ThreadPool* pool) override {
+    pool_ = pool;
+    bottom_.set_thread_pool(pool);
+    top_.set_thread_pool(pool);
+    if (step_mlp_) step_mlp_->set_thread_pool(pool);
+  }
+
   Tensor EvalLogits(const MiniBatch& batch) const override;
 
   std::vector<Parameter*> DenseParams() override;
@@ -52,6 +63,13 @@ class Tbsm : public RecModel {
                      const std::vector<const EmbeddingTable*>& tables,
                      bool cache);
 
+  // Shared forward+backward; when `apply` is non-null every table's sparse
+  // backward (including the item table's synthesized scatter list) is
+  // handed to it instead of materialized in the result.
+  StepResult StepImpl(const MiniBatch& batch,
+                      const std::vector<EmbeddingTable*>& tables,
+                      const SparseApplyFn* apply);
+
   DatasetSchema schema_;
   ModelConfig config_;
   Mlp bottom_;
@@ -60,6 +78,7 @@ class Tbsm : public RecModel {
   /// config leaves step_mlp empty).
   std::optional<Mlp> step_mlp_;
   std::vector<EmbeddingTable> tables_;
+  ThreadPool* pool_ = nullptr;  // not owned
 
   // Forward caches consumed by the following backward (cache=true only).
   DotAttention attention_;

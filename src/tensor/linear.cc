@@ -18,13 +18,13 @@ Linear::Linear(size_t in, size_t out, Xoshiro256& rng, std::string name) {
 
 Tensor Linear::Forward(const Tensor& x) {
   cached_input_ = x;
-  Tensor y = MatMul(x, weight_.value);
+  Tensor y = MatMul(x, weight_.value, pool_);
   AddBiasRowwise(y, bias_.value);
   return y;
 }
 
 Tensor Linear::ForwardInference(const Tensor& x) const {
-  Tensor y = MatMul(x, weight_.value);
+  Tensor y = MatMul(x, weight_.value, pool_);
   AddBiasRowwise(y, bias_.value);
   return y;
 }
@@ -32,9 +32,9 @@ Tensor Linear::ForwardInference(const Tensor& x) const {
 Tensor Linear::Backward(const Tensor& grad_out) {
   FAE_CHECK_EQ(grad_out.rows(), cached_input_.rows());
   FAE_CHECK_EQ(grad_out.cols(), weight_.value.cols());
-  weight_.grad.Add(MatMulTransA(cached_input_, grad_out));
+  weight_.grad.Add(MatMulTransA(cached_input_, grad_out, pool_));
   bias_.grad.Add(ColumnSums(grad_out));
-  return MatMulTransB(grad_out, weight_.value);
+  return MatMulTransB(grad_out, weight_.value, pool_);
 }
 
 std::vector<Parameter*> Linear::Params() { return {&weight_, &bias_}; }

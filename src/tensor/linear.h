@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "tensor/tensor.h"
+#include "util/thread_pool.h"
 
 namespace fae {
 
@@ -45,10 +46,15 @@ class Linear {
   /// Pointers to this layer's parameters, for optimizers and all-reduce.
   std::vector<Parameter*> Params();
 
+  /// Installs a shared worker pool for the layer's GEMMs (nullptr runs
+  /// them serially). Results are bit-identical at any thread count.
+  void set_thread_pool(ThreadPool* pool) { pool_ = pool; }
+
  private:
   Parameter weight_;
   Parameter bias_;
   Tensor cached_input_;
+  ThreadPool* pool_ = nullptr;  // not owned
 };
 
 }  // namespace fae

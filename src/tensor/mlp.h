@@ -42,6 +42,11 @@ class Mlp {
   /// FLOPs of one forward pass at batch size `b` (2*m*k*n per layer).
   uint64_t ForwardFlops(size_t b) const;
 
+  /// Installs a shared worker pool on every layer (nullptr = serial).
+  void set_thread_pool(ThreadPool* pool) {
+    for (Linear& l : layers_) l.set_thread_pool(pool);
+  }
+
  private:
   std::vector<Linear> layers_;
   // pre_relu_[i] holds layer i's linear output (backward needs it to gate

@@ -3,30 +3,52 @@
 #include <algorithm>
 #include <cmath>
 
+#include "tensor/kernels.h"
 #include "util/logging.h"
 
 namespace fae {
+namespace {
 
-Tensor MatMulNaive(const Tensor& a, const Tensor& b) {
+/// Work below this many multiply-adds is not worth a trip through the
+/// pool's queue (lock + wakeup costs more than the loop).
+constexpr size_t kMinFlopsToParallelize = 1u << 16;
+
+/// Runs `fn` over [0, n) — through the pool when the total work justifies
+/// the dispatch, inline otherwise. All kernels below partition work by
+/// *output row*, so chunks never write the same memory and results are
+/// bit-identical at any thread count.
+void RowParallel(ThreadPool* pool, size_t n, size_t flops,
+                 const std::function<void(size_t, size_t)>& fn) {
+  if (pool != nullptr && flops >= kMinFlopsToParallelize) {
+    pool->ParallelFor(n, fn);
+  } else {
+    fn(0, n);
+  }
+}
+
+}  // namespace
+
+Tensor MatMulNaive(const Tensor& a, const Tensor& b, ThreadPool* pool) {
   FAE_CHECK_EQ(a.cols(), b.rows());
   Tensor c(a.rows(), b.cols());
+  const size_t k = a.cols();
+  const size_t n = b.cols();
   // i-k-j loop order keeps the inner loop streaming over contiguous rows.
-  for (size_t i = 0; i < a.rows(); ++i) {
-    const float* arow = a.row(i);
-    float* crow = c.row(i);
-    for (size_t k = 0; k < a.cols(); ++k) {
-      const float av = arow[k];
-      if (av == 0.0f) continue;
-      const float* brow = b.row(k);
-      for (size_t j = 0; j < b.cols(); ++j) {
-        crow[j] += av * brow[j];
+  RowParallel(pool, a.rows(), a.rows() * k * n, [&](size_t i0, size_t i1) {
+    for (size_t i = i0; i < i1; ++i) {
+      const float* arow = a.row(i);
+      float* crow = c.row(i);
+      for (size_t kk = 0; kk < k; ++kk) {
+        const float av = arow[kk];
+        if (av == 0.0f) continue;
+        kernels::Axpy(n, av, b.row(kk), crow);
       }
     }
-  }
+  });
   return c;
 }
 
-Tensor MatMulBlocked(const Tensor& a, const Tensor& b) {
+Tensor MatMulBlocked(const Tensor& a, const Tensor& b, ThreadPool* pool) {
   FAE_CHECK_EQ(a.cols(), b.rows());
   Tensor c(a.rows(), b.cols());
   // Tile sizes chosen so a kc x jc panel of B (~64 KB) stays L1/L2
@@ -36,84 +58,89 @@ Tensor MatMulBlocked(const Tensor& a, const Tensor& b) {
   const size_t m = a.rows();
   const size_t k = a.cols();
   const size_t n = b.cols();
-  for (size_t k0 = 0; k0 < k; k0 += kKc) {
-    const size_t k1 = std::min(k, k0 + kKc);
-    for (size_t j0 = 0; j0 < n; j0 += kJc) {
-      const size_t j1 = std::min(n, j0 + kJc);
-      for (size_t i = 0; i < m; ++i) {
-        const float* arow = a.row(i);
-        float* crow = c.row(i);
-        for (size_t kk = k0; kk < k1; ++kk) {
-          const float av = arow[kk];
-          if (av == 0.0f) continue;
-          const float* brow = b.row(kk);
-          for (size_t j = j0; j < j1; ++j) {
-            crow[j] += av * brow[j];
+  // Each thread runs the full k0/j0 tiling over its own slice of output
+  // rows: per-element summation stays in ascending-k order (identical to
+  // the naive kernel) regardless of the partition.
+  RowParallel(pool, m, m * k * n, [&](size_t i0, size_t i1) {
+    for (size_t k0 = 0; k0 < k; k0 += kKc) {
+      const size_t k1 = std::min(k, k0 + kKc);
+      for (size_t j0 = 0; j0 < n; j0 += kJc) {
+        const size_t j1 = std::min(n, j0 + kJc);
+        for (size_t i = i0; i < i1; ++i) {
+          const float* arow = a.row(i);
+          float* crow = c.row(i) + j0;
+          for (size_t kk = k0; kk < k1; ++kk) {
+            const float av = arow[kk];
+            if (av == 0.0f) continue;
+            kernels::Axpy(j1 - j0, av, b.row(kk) + j0, crow);
           }
         }
       }
     }
-  }
+  });
   return c;
 }
 
-Tensor MatMul(const Tensor& a, const Tensor& b) {
+Tensor MatMul(const Tensor& a, const Tensor& b, ThreadPool* pool) {
   // Blocking only pays once B's rows stop fitting in cache together.
   const bool large = a.rows() * a.cols() > (64u << 10) &&
                      b.rows() * b.cols() > (64u << 10);
-  return large ? MatMulBlocked(a, b) : MatMulNaive(a, b);
+  return large ? MatMulBlocked(a, b, pool) : MatMulNaive(a, b, pool);
 }
 
-Tensor MatMulTransA(const Tensor& a, const Tensor& b) {
+Tensor MatMulTransA(const Tensor& a, const Tensor& b, ThreadPool* pool) {
   FAE_CHECK_EQ(a.rows(), b.rows());
   Tensor c(a.cols(), b.cols());
-  for (size_t k = 0; k < a.rows(); ++k) {
-    const float* arow = a.row(k);
-    const float* brow = b.row(k);
-    for (size_t i = 0; i < a.cols(); ++i) {
-      const float av = arow[i];
-      if (av == 0.0f) continue;
-      float* crow = c.row(i);
-      for (size_t j = 0; j < b.cols(); ++j) {
-        crow[j] += av * brow[j];
+  const size_t k = a.rows();
+  const size_t m = a.cols();
+  const size_t n = b.cols();
+  // Output rows are columns of A; per element the k sum stays ascending,
+  // so the serial and parallel results are identical.
+  RowParallel(pool, m, m * k * n, [&](size_t i0, size_t i1) {
+    for (size_t kk = 0; kk < k; ++kk) {
+      const float* arow = a.row(kk);
+      const float* brow = b.row(kk);
+      for (size_t i = i0; i < i1; ++i) {
+        const float av = arow[i];
+        if (av == 0.0f) continue;
+        kernels::Axpy(n, av, brow, c.row(i));
       }
     }
-  }
+  });
   return c;
 }
 
-Tensor MatMulTransB(const Tensor& a, const Tensor& b) {
+Tensor MatMulTransB(const Tensor& a, const Tensor& b, ThreadPool* pool) {
   FAE_CHECK_EQ(a.cols(), b.cols());
   Tensor c(a.rows(), b.rows());
-  for (size_t i = 0; i < a.rows(); ++i) {
-    const float* arow = a.row(i);
-    float* crow = c.row(i);
-    for (size_t j = 0; j < b.rows(); ++j) {
-      const float* brow = b.row(j);
-      float dot = 0.0f;
-      for (size_t k = 0; k < a.cols(); ++k) {
-        dot += arow[k] * brow[k];
+  const size_t k = a.cols();
+  const size_t n = b.rows();
+  RowParallel(pool, a.rows(), a.rows() * k * n, [&](size_t i0, size_t i1) {
+    for (size_t i = i0; i < i1; ++i) {
+      const float* arow = a.row(i);
+      float* crow = c.row(i);
+      for (size_t j = 0; j < n; ++j) {
+        crow[j] = kernels::Dot(k, arow, b.row(j));
       }
-      crow[j] = dot;
     }
-  }
+  });
   return c;
 }
 
 void AddBiasRowwise(Tensor& x, const Tensor& bias) {
   FAE_CHECK_EQ(bias.rows(), 1u);
   FAE_CHECK_EQ(bias.cols(), x.cols());
+  const float* brow = bias.row(0);
   for (size_t r = 0; r < x.rows(); ++r) {
-    float* row = x.row(r);
-    for (size_t c = 0; c < x.cols(); ++c) row[c] += bias(0, c);
+    kernels::Add(x.cols(), brow, x.row(r));
   }
 }
 
 Tensor ColumnSums(const Tensor& x) {
   Tensor out(1, x.cols());
+  float* orow = out.row(0);
   for (size_t r = 0; r < x.rows(); ++r) {
-    const float* row = x.row(r);
-    for (size_t c = 0; c < x.cols(); ++c) out(0, c) += row[c];
+    kernels::Add(x.cols(), x.row(r), orow);
   }
   return out;
 }
@@ -200,7 +227,8 @@ Tensor SoftmaxRows(const Tensor& x) {
   return y;
 }
 
-Tensor PairwiseDotInteraction(const std::vector<const Tensor*>& features) {
+Tensor PairwiseDotInteraction(const std::vector<const Tensor*>& features,
+                              ThreadPool* pool) {
   FAE_CHECK_GE(features.size(), 2u);
   const size_t f = features.size();
   const size_t rows = features[0]->rows();
@@ -210,48 +238,46 @@ Tensor PairwiseDotInteraction(const std::vector<const Tensor*>& features) {
     FAE_CHECK_EQ(t->cols(), d);
   }
   Tensor out(rows, f * (f - 1) / 2);
-  for (size_t r = 0; r < rows; ++r) {
-    float* orow = out.row(r);
-    size_t col = 0;
-    for (size_t i = 0; i < f; ++i) {
-      const float* fi = features[i]->row(r);
-      for (size_t j = i + 1; j < f; ++j) {
-        const float* fj = features[j]->row(r);
-        float dot = 0.0f;
-        for (size_t k = 0; k < d; ++k) dot += fi[k] * fj[k];
-        orow[col++] = dot;
+  RowParallel(pool, rows, rows * f * f * d / 2, [&](size_t r0, size_t r1) {
+    for (size_t r = r0; r < r1; ++r) {
+      float* orow = out.row(r);
+      size_t col = 0;
+      for (size_t i = 0; i < f; ++i) {
+        const float* fi = features[i]->row(r);
+        for (size_t j = i + 1; j < f; ++j) {
+          orow[col++] = kernels::Dot(d, fi, features[j]->row(r));
+        }
       }
     }
-  }
+  });
   return out;
 }
 
 std::vector<Tensor> PairwiseDotInteractionBackward(
-    const Tensor& grad_out, const std::vector<const Tensor*>& features) {
+    const Tensor& grad_out, const std::vector<const Tensor*>& features,
+    ThreadPool* pool) {
   const size_t f = features.size();
   const size_t rows = features[0]->rows();
   const size_t d = features[0]->cols();
   FAE_CHECK_EQ(grad_out.rows(), rows);
   FAE_CHECK_EQ(grad_out.cols(), f * (f - 1) / 2);
   std::vector<Tensor> grads(f, Tensor(rows, d));
-  for (size_t r = 0; r < rows; ++r) {
-    const float* grow = grad_out.row(r);
-    size_t col = 0;
-    for (size_t i = 0; i < f; ++i) {
-      for (size_t j = i + 1; j < f; ++j) {
-        const float g = grow[col++];
-        if (g == 0.0f) continue;
-        const float* fi = features[i]->row(r);
-        const float* fj = features[j]->row(r);
-        float* gi = grads[i].row(r);
-        float* gj = grads[j].row(r);
-        for (size_t k = 0; k < d; ++k) {
-          gi[k] += g * fj[k];
-          gj[k] += g * fi[k];
+  // Sample rows are independent, so partitioning over r is write-disjoint
+  // in every grads[i].
+  RowParallel(pool, rows, rows * f * f * d, [&](size_t r0, size_t r1) {
+    for (size_t r = r0; r < r1; ++r) {
+      const float* grow = grad_out.row(r);
+      size_t col = 0;
+      for (size_t i = 0; i < f; ++i) {
+        for (size_t j = i + 1; j < f; ++j) {
+          const float g = grow[col++];
+          if (g == 0.0f) continue;
+          kernels::Axpy(d, g, features[j]->row(r), grads[i].row(r));
+          kernels::Axpy(d, g, features[i]->row(r), grads[j].row(r));
         }
       }
     }
-  }
+  });
   return grads;
 }
 

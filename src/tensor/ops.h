@@ -4,27 +4,35 @@
 #include <vector>
 
 #include "tensor/tensor.h"
+#include "util/thread_pool.h"
 
 namespace fae {
 
 /// C = A[m,k] * B[k,n]. Dispatches to the blocked kernel for shapes where
-/// tiling pays; the reference kernel otherwise.
-Tensor MatMul(const Tensor& a, const Tensor& b);
+/// tiling pays; the reference kernel otherwise. When `pool` is non-null
+/// the work is split over A's rows; output rows are written by exactly one
+/// thread each and per-element summation order is fixed, so the result is
+/// bit-identical at any thread count.
+Tensor MatMul(const Tensor& a, const Tensor& b, ThreadPool* pool = nullptr);
 
 /// Reference triple-loop GEMM (used by tests as the ground truth).
-Tensor MatMulNaive(const Tensor& a, const Tensor& b);
+Tensor MatMulNaive(const Tensor& a, const Tensor& b,
+                   ThreadPool* pool = nullptr);
 
 /// Cache-blocked GEMM: tiles the k and j loops so the working set of B
-/// stays in cache across the i loop. Identical results to MatMulNaive up
-/// to floating-point association (same summation order per element).
-Tensor MatMulBlocked(const Tensor& a, const Tensor& b);
+/// stays in cache across the i loop. Identical results to MatMulNaive
+/// (same summation order per element) at any thread count.
+Tensor MatMulBlocked(const Tensor& a, const Tensor& b,
+                     ThreadPool* pool = nullptr);
 
 /// C = A^T[k,m] * B[k,n] — i.e. MatMul(transpose(a), b) without
 /// materializing the transpose. Used for weight gradients.
-Tensor MatMulTransA(const Tensor& a, const Tensor& b);
+Tensor MatMulTransA(const Tensor& a, const Tensor& b,
+                    ThreadPool* pool = nullptr);
 
 /// C = A[m,k] * B^T[n,k] — used for input gradients.
-Tensor MatMulTransB(const Tensor& a, const Tensor& b);
+Tensor MatMulTransB(const Tensor& a, const Tensor& b,
+                    ThreadPool* pool = nullptr);
 
 /// y(r, c) = x(r, c) + bias(0, c); bias is [1, cols].
 void AddBiasRowwise(Tensor& x, const Tensor& bias);
@@ -56,12 +64,14 @@ Tensor SoftmaxRows(const Tensor& x);
 ///
 /// Inputs: F feature blocks, each [B, d]. Output: [B, F*(F-1)/2] whose
 /// columns are the dot products <f_i, f_j> for i < j, per sample.
-Tensor PairwiseDotInteraction(const std::vector<const Tensor*>& features);
+Tensor PairwiseDotInteraction(const std::vector<const Tensor*>& features,
+                              ThreadPool* pool = nullptr);
 
 /// Backward of PairwiseDotInteraction: given dL/dout [B, F*(F-1)/2] and the
 /// forward feature blocks, returns dL/df for each block.
 std::vector<Tensor> PairwiseDotInteractionBackward(
-    const Tensor& grad_out, const std::vector<const Tensor*>& features);
+    const Tensor& grad_out, const std::vector<const Tensor*>& features,
+    ThreadPool* pool = nullptr);
 
 }  // namespace fae
 

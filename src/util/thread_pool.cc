@@ -1,8 +1,38 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <exception>
+#include <memory>
 
 namespace fae {
+namespace {
+
+/// Completion state for one ParallelFor invocation. Heap-allocated and
+/// shared with the scheduled chunks so concurrent invocations (and the
+/// pool's own lifetime machinery) never contend on a single global count.
+struct ParallelCall {
+  std::mutex mu;
+  std::condition_variable done;
+  size_t pending = 0;
+  std::exception_ptr error;
+
+  void Run(const std::function<void(size_t, size_t)>& fn, size_t begin,
+           size_t end) {
+    try {
+      fn(begin, end);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu);
+      if (!error) error = std::current_exception();
+    }
+  }
+
+  void Finish() {
+    std::lock_guard<std::mutex> lock(mu);
+    if (--pending == 0) done.notify_all();
+  }
+};
+
+}  // namespace
 
 ThreadPool::ThreadPool(size_t num_threads) {
   num_threads = std::max<size_t>(1, num_threads);
@@ -44,11 +74,25 @@ void ThreadPool::ParallelFor(size_t n,
     return;
   }
   const size_t chunk = (n + workers - 1) / workers;
-  for (size_t begin = 0; begin < n; begin += chunk) {
-    const size_t end = std::min(n, begin + chunk);
-    Schedule([&fn, begin, end] { fn(begin, end); });
+  auto call = std::make_shared<ParallelCall>();
+  {
+    std::lock_guard<std::mutex> lock(call->mu);
+    // Chunks past the first; the caller runs [0, chunk) itself.
+    call->pending = (n - 1) / chunk;  // == ceil(n / chunk) - 1
   }
-  Wait();
+  for (size_t begin = chunk; begin < n; begin += chunk) {
+    const size_t end = std::min(n, begin + chunk);
+    Schedule([call, &fn, begin, end] {
+      call->Run(fn, begin, end);
+      call->Finish();
+    });
+  }
+  call->Run(fn, 0, std::min(n, chunk));
+  {
+    std::unique_lock<std::mutex> lock(call->mu);
+    call->done.wait(lock, [&call] { return call->pending == 0; });
+    if (call->error) std::rethrow_exception(call->error);
+  }
 }
 
 void ThreadPool::WorkerLoop() {

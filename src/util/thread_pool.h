@@ -15,7 +15,9 @@ namespace fae {
 /// pool is drained and joined on destruction.
 ///
 /// The input-processor phase of FAE (paper §III-B, Fig 11) parallelizes the
-/// hot/cold classification of sparse inputs across cores through this pool.
+/// hot/cold classification of sparse inputs across cores through this pool,
+/// and the compute kernels (GEMM, embedding bag, sparse optimizers) share
+/// one trainer-owned pool through ParallelFor.
 class ThreadPool {
  public:
   /// Creates `num_threads` workers (at least 1).
@@ -28,14 +30,25 @@ class ThreadPool {
   /// Enqueues a task for asynchronous execution.
   void Schedule(std::function<void()> task);
 
-  /// Blocks until every scheduled task has finished.
+  /// Blocks until every scheduled task has finished (pool-global; see
+  /// ParallelFor for per-call completion).
   void Wait();
 
   size_t num_threads() const { return threads_.size(); }
 
   /// Splits [0, n) into roughly equal contiguous chunks, runs
-  /// `fn(begin, end)` for each chunk on the pool, and waits. Runs inline
-  /// when n is small or the pool has a single thread.
+  /// `fn(begin, end)` for each chunk, and waits for *this call's* chunks
+  /// only — concurrent ParallelFor calls (e.g. trainer kernels and a
+  /// BatchLoader producer) track completion independently and never block
+  /// on each other's tasks. The calling thread executes the first chunk
+  /// inline, so a single-thread pool degenerates to a plain loop and the
+  /// caller can never deadlock waiting on a fully busy pool.
+  ///
+  /// Exception safety: if any chunk throws, the first exception is
+  /// captured and rethrown on the calling thread after every chunk of this
+  /// call has finished (remaining chunks still run; the range is always
+  /// either fully attempted or the process state is unwound by the
+  /// rethrow).
   void ParallelFor(size_t n, const std::function<void(size_t, size_t)>& fn);
 
  private:

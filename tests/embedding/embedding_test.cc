@@ -1,3 +1,4 @@
+#include <algorithm>
 #include <cmath>
 
 #include <gtest/gtest.h>
@@ -5,6 +6,7 @@
 #include "embedding/embedding_bag.h"
 #include "embedding/embedding_table.h"
 #include "embedding/sparse_sgd.h"
+#include "util/thread_pool.h"
 
 namespace fae {
 namespace {
@@ -86,16 +88,64 @@ TEST(EmbeddingBagTest, BackwardScattersGradients) {
   // Sample 0 -> rows {5, 7}; sample 1 -> row {5} (row 5 accumulates).
   SparseGrad g = EmbeddingBag::Backward(grad, {5, 7, 5}, {0, 2, 3}, 2);
   EXPECT_EQ(g.num_rows(), 2u);
-  EXPECT_FLOAT_EQ(g.rows.at(5)[0], 1 + 3);
-  EXPECT_FLOAT_EQ(g.rows.at(5)[1], 2 + 4);
-  EXPECT_FLOAT_EQ(g.rows.at(7)[0], 1);
-  EXPECT_EQ(g.Bytes(), 2u * 2 * 4);
+  ASSERT_NE(g.Find(5), nullptr);
+  ASSERT_NE(g.Find(7), nullptr);
+  EXPECT_FLOAT_EQ(g.Find(5)[0], 1 + 3);
+  EXPECT_FLOAT_EQ(g.Find(5)[1], 2 + 4);
+  EXPECT_FLOAT_EQ(g.Find(7)[0], 1);
+  EXPECT_EQ(g.Find(6), nullptr);
+  // Bytes covers the value buffer *and* the row-id index.
+  EXPECT_EQ(g.Bytes(), 2u * 2 * sizeof(float) + 2u * sizeof(uint64_t));
+}
+
+TEST(EmbeddingBagTest, BackwardRowIdsSortedUnique) {
+  Tensor grad(3, 2, {1, 1, 2, 2, 3, 3});
+  SparseGrad g =
+      EmbeddingBag::Backward(grad, {9, 1, 4, 1, 9}, {0, 2, 4, 5}, 2);
+  ASSERT_EQ(g.num_rows(), 3u);
+  EXPECT_EQ(g.row_id(0), 1u);
+  EXPECT_EQ(g.row_id(1), 4u);
+  EXPECT_EQ(g.row_id(2), 9u);
+  EXPECT_TRUE(std::is_sorted(g.row_ids.begin(), g.row_ids.end()));
 }
 
 TEST(EmbeddingBagTest, RepeatedIndexWithinSampleCountsTwice) {
   Tensor grad(1, 2, {1, 1});
   SparseGrad g = EmbeddingBag::Backward(grad, {3, 3}, {0, 2}, 2);
-  EXPECT_FLOAT_EQ(g.rows.at(3)[0], 2.0f);
+  EXPECT_FLOAT_EQ(g.Find(3)[0], 2.0f);
+}
+
+TEST(EmbeddingBagTest, ParallelForwardAndBackwardBitExact) {
+  Xoshiro256 rng(42);
+  EmbeddingTable table(512, 8, rng);
+  // Enough samples/rows to cross the parallelization thresholds.
+  std::vector<uint32_t> indices;
+  std::vector<uint32_t> offsets = {0};
+  for (size_t i = 0; i < 300; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      indices.push_back(static_cast<uint32_t>(rng.NextBounded(512)));
+    }
+    offsets.push_back(static_cast<uint32_t>(indices.size()));
+  }
+  Tensor grad_out = Tensor::Randn(300, 8, 1.0f, rng);
+
+  ThreadPool pool(4);
+  Tensor fwd_serial = EmbeddingBag::Forward(table, indices, offsets);
+  Tensor fwd_parallel =
+      EmbeddingBag::Forward(table, indices, offsets, &pool);
+  ASSERT_EQ(fwd_serial.numel(), fwd_parallel.numel());
+  for (size_t i = 0; i < fwd_serial.numel(); ++i) {
+    EXPECT_EQ(fwd_serial.data()[i], fwd_parallel.data()[i]);
+  }
+
+  SparseGrad bwd_serial = EmbeddingBag::Backward(grad_out, indices, offsets, 8);
+  SparseGrad bwd_parallel =
+      EmbeddingBag::Backward(grad_out, indices, offsets, 8, &pool);
+  ASSERT_EQ(bwd_serial.row_ids, bwd_parallel.row_ids);
+  ASSERT_EQ(bwd_serial.values.size(), bwd_parallel.values.size());
+  for (size_t i = 0; i < bwd_serial.values.size(); ++i) {
+    EXPECT_EQ(bwd_serial.values[i], bwd_parallel.values[i]);
+  }
 }
 
 TEST(EmbeddingBagTest, ForwardBackwardGradientCheck) {
@@ -116,7 +166,8 @@ TEST(EmbeddingBagTest, ForwardBackwardGradientCheck) {
 
   SparseGrad g = EmbeddingBag::Backward(grad_out, indices, offsets, 3);
   const float eps = 1e-3f;
-  for (const auto& [row, gvec] : g.rows) {
+  for (size_t s = 0; s < g.num_rows(); ++s) {
+    const uint64_t row = g.row_id(s);
     for (size_t k = 0; k < 3; ++k) {
       const float orig = table.row(row)[k];
       table.row(row)[k] = orig + eps;
@@ -124,7 +175,7 @@ TEST(EmbeddingBagTest, ForwardBackwardGradientCheck) {
       table.row(row)[k] = orig - eps;
       const double lm = loss();
       table.row(row)[k] = orig;
-      EXPECT_NEAR(gvec[k], (lp - lm) / (2 * eps), 1e-2);
+      EXPECT_NEAR(g.row(s)[k], (lp - lm) / (2 * eps), 1e-2);
     }
   }
 }
@@ -136,7 +187,9 @@ TEST(SparseSgdTest, UpdatesOnlyTouchedRows) {
   const float before_r2 = table.row(2)[0];
   SparseGrad g;
   g.dim = 2;
-  g.rows[2] = {1.0f, 2.0f};
+  float* gr = g.Upsert(2);
+  gr[0] = 1.0f;
+  gr[1] = 2.0f;
   SparseSgd sgd(0.5f);
   sgd.Step(table, g);
   EXPECT_EQ(table.row(0)[0], before_r0);
@@ -146,23 +199,33 @@ TEST(SparseSgdTest, UpdatesOnlyTouchedRows) {
 TEST(SparseSgdTest, AccumulateMergesOverlappingRows) {
   SparseGrad a;
   a.dim = 2;
-  a.rows[1] = {1, 1};
+  float* a1 = a.Upsert(1);
+  a1[0] = 1;
+  a1[1] = 1;
   SparseGrad b;
   b.dim = 2;
-  b.rows[1] = {2, 3};
-  b.rows[5] = {4, 4};
+  float* b1 = b.Upsert(1);
+  b1[0] = 2;
+  b1[1] = 3;
+  float* b5 = b.Upsert(5);
+  b5[0] = 4;
+  b5[1] = 4;
   AccumulateSparseGrad(a, b);
   EXPECT_EQ(a.num_rows(), 2u);
-  EXPECT_FLOAT_EQ(a.rows.at(1)[0], 3);
-  EXPECT_FLOAT_EQ(a.rows.at(1)[1], 4);
-  EXPECT_FLOAT_EQ(a.rows.at(5)[0], 4);
+  EXPECT_FLOAT_EQ(a.Find(1)[0], 3);
+  EXPECT_FLOAT_EQ(a.Find(1)[1], 4);
+  EXPECT_FLOAT_EQ(a.Find(5)[0], 4);
+  EXPECT_TRUE(std::is_sorted(a.row_ids.begin(), a.row_ids.end()));
 }
 
 TEST(SparseSgdTest, AccumulateIntoEmptyAdoptsDim) {
   SparseGrad a;
   SparseGrad b;
   b.dim = 3;
-  b.rows[0] = {1, 2, 3};
+  float* b0 = b.Upsert(0);
+  b0[0] = 1;
+  b0[1] = 2;
+  b0[2] = 3;
   AccumulateSparseGrad(a, b);
   EXPECT_EQ(a.dim, 3u);
   EXPECT_EQ(a.num_rows(), 1u);

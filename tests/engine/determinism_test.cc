@@ -73,6 +73,62 @@ TEST(DeterminismTest, FaeIsBitReproducible) {
   EXPECT_EQ(a.modeled_seconds, b.modeled_seconds);
 }
 
+TEST(DeterminismTest, ThreadCountDoesNotChangeResults) {
+  // The kernel layer's determinism contract: every kernel partitions work
+  // write-disjointly and keeps per-element summation order fixed, so a run
+  // with 4 worker threads is bit-identical to a serial run — final losses,
+  // the whole learning curve, and every embedding table value.
+  Fixture f;
+  TrainReport a;
+  TrainReport b;
+  std::vector<std::vector<float>> tables_a;
+  std::vector<std::vector<float>> tables_b;
+  TrainOptions opt = Fixture::Options();
+  opt.epochs = 2;
+  for (size_t threads : {size_t{1}, size_t{4}}) {
+    opt.num_threads = threads;
+    auto model = MakeModel(f.schema, false, 5);
+    Trainer trainer(model.get(), MakePaperServer(2), opt);
+    TrainReport& out = threads == 1 ? a : b;
+    auto& tables = threads == 1 ? tables_a : tables_b;
+    out = trainer.TrainBaseline(f.dataset, f.split);
+    for (const EmbeddingTable& t : model->tables()) {
+      tables.push_back(t.raw());
+    }
+  }
+  EXPECT_EQ(a.final_train_loss, b.final_train_loss);
+  EXPECT_EQ(a.final_test_loss, b.final_test_loss);
+  EXPECT_EQ(a.final_test_auc, b.final_test_auc);
+  ASSERT_EQ(a.curve.size(), b.curve.size());
+  for (size_t i = 0; i < a.curve.size(); ++i) {
+    EXPECT_EQ(a.curve[i].train_loss, b.curve[i].train_loss);
+    EXPECT_EQ(a.curve[i].test_loss, b.curve[i].test_loss);
+  }
+  ASSERT_EQ(tables_a.size(), tables_b.size());
+  for (size_t t = 0; t < tables_a.size(); ++t) {
+    // Exact float equality, element by element: the contract is bit-level.
+    EXPECT_EQ(tables_a[t], tables_b[t]) << "table " << t;
+  }
+}
+
+TEST(DeterminismTest, FaeThreadCountDoesNotChangeResults) {
+  Fixture f;
+  TrainReport a;
+  TrainReport b;
+  TrainOptions opt = Fixture::Options();
+  for (size_t threads : {size_t{1}, size_t{4}}) {
+    opt.num_threads = threads;
+    auto model = MakeModel(f.schema, false, 5);
+    Trainer trainer(model.get(), MakePaperServer(2), opt);
+    auto report = trainer.TrainFae(f.dataset, f.split, Fixture::Config());
+    ASSERT_TRUE(report.ok());
+    (threads == 1 ? a : b) = std::move(report).value();
+  }
+  EXPECT_EQ(a.final_train_loss, b.final_train_loss);
+  EXPECT_EQ(a.final_test_loss, b.final_test_loss);
+  EXPECT_EQ(a.transitions, b.transitions);
+}
+
 TEST(DeterminismTest, DifferentSeedsGiveDifferentTrajectories) {
   Fixture f;
   TrainOptions opt1 = Fixture::Options();

@@ -90,7 +90,8 @@ TEST(DlrmTest, EmbeddingGradientMatchesNumerical) {
   const size_t t = 0;
   size_t checked = 0;
   const float eps = 1e-2f;
-  for (const auto& [row, gvec] : step.table_grads[t].rows) {
+  for (size_t s = 0; s < step.table_grads[t].num_rows(); ++s) {
+    const uint64_t row = step.table_grads[t].row_id(s);
     for (size_t k = 0; k < 3; ++k) {
       float* cell = f.model.tables()[t].row(row) + k;
       const float orig = *cell;
@@ -99,7 +100,8 @@ TEST(DlrmTest, EmbeddingGradientMatchesNumerical) {
       *cell = orig - eps;
       const double lm = loss();
       *cell = orig;
-      EXPECT_NEAR(gvec[k], (lp - lm) / (2 * eps), 5e-2);
+      EXPECT_NEAR(step.table_grads[t].row(s)[k], (lp - lm) / (2 * eps),
+                  5e-2);
     }
     if (++checked >= 2) break;
   }

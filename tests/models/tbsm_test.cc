@@ -1,5 +1,7 @@
 #include "models/tbsm.h"
 
+#include <algorithm>
+
 #include <gtest/gtest.h>
 
 #include "data/minibatch.h"
@@ -77,8 +79,10 @@ TEST(TbsmTest, EmbeddingGradientMatchesNumerical) {
 
   const float eps = 1e-2f;
   for (size_t t = 0; t < 3; ++t) {
-    size_t checked = 0;
-    for (const auto& [row, gvec] : step.table_grads[t].rows) {
+    const SparseGrad& grad = step.table_grads[t];
+    const size_t checked = std::min<size_t>(2, grad.num_rows());
+    for (size_t s = 0; s < checked; ++s) {
+      const uint64_t row = grad.row_id(s);
       for (size_t k = 0; k < 2; ++k) {
         float* cell = f.model.tables()[t].row(row) + k;
         const float orig = *cell;
@@ -87,10 +91,9 @@ TEST(TbsmTest, EmbeddingGradientMatchesNumerical) {
         *cell = orig - eps;
         const double lm = loss();
         *cell = orig;
-        EXPECT_NEAR(gvec[k], (lp - lm) / (2 * eps), 5e-2)
+        EXPECT_NEAR(grad.row(s)[k], (lp - lm) / (2 * eps), 5e-2)
             << "table " << t << " row " << row;
       }
-      if (++checked >= 2) break;
     }
   }
 }
@@ -146,8 +149,10 @@ TEST(TbsmTest, FullSizeModelGradientCheck) {
   };
 
   const float eps = 1e-2f;
-  size_t checked = 0;
-  for (const auto& [row, gvec] : step.table_grads[0].rows) {
+  const SparseGrad& grad = step.table_grads[0];
+  const size_t checked = std::min<size_t>(3, grad.num_rows());
+  for (size_t s = 0; s < checked; ++s) {
+    const uint64_t row = grad.row_id(s);
     for (size_t k = 0; k < 2; ++k) {
       float* cell = model.tables()[0].row(row) + k;
       const float orig = *cell;
@@ -156,9 +161,9 @@ TEST(TbsmTest, FullSizeModelGradientCheck) {
       *cell = orig - eps;
       const double lm = loss();
       *cell = orig;
-      EXPECT_NEAR(gvec[k], (lp - lm) / (2 * eps), 5e-2) << "row " << row;
+      EXPECT_NEAR(grad.row(s)[k], (lp - lm) / (2 * eps), 5e-2)
+          << "row " << row;
     }
-    if (++checked >= 3) break;
   }
 }
 

@@ -1,3 +1,4 @@
+#include <algorithm>
 #include <cmath>
 
 #include <gtest/gtest.h>
@@ -11,6 +12,12 @@
 
 namespace fae {
 namespace {
+
+void SetRow(SparseGrad& g, uint64_t id, const std::vector<float>& values) {
+  g.dim = values.size();
+  float* row = g.Upsert(id);
+  std::copy(values.begin(), values.end(), row);
+}
 
 Parameter MakeParam(std::vector<float> values) {
   // Take the size before the move: argument evaluation order is
@@ -108,8 +115,7 @@ TEST(RowwiseAdagradTest, KnownFirstStep) {
   EmbeddingTable table(4, 2);
   RowwiseAdagrad opt(4, /*lr=*/1.0f, /*eps=*/0.0f);
   SparseGrad g;
-  g.dim = 2;
-  g.rows[1] = {3.0f, 4.0f};  // mean square = (9+16)/2 = 12.5
+  SetRow(g, 1, {3.0f, 4.0f});  // mean square = (9+16)/2 = 12.5
   opt.Step(table, g);
   const float scale = 1.0f / std::sqrt(12.5f);
   EXPECT_NEAR(table.row(1)[0], -3.0f * scale, 1e-5f);
@@ -125,8 +131,7 @@ TEST(RowwiseAdagradTest, EffectiveStepShrinksOverTime) {
   float prev_value = 0.0f;
   for (int i = 0; i < 5; ++i) {
     SparseGrad g;
-    g.dim = 1;
-    g.rows[0] = {1.0f};
+    SetRow(g, 0, {1.0f});
     opt.Step(table, g);
     const float delta = prev_value - table.row(0)[0];
     EXPECT_LT(delta, prev_delta);
@@ -141,8 +146,7 @@ TEST(RowwiseAdagradTest, UntouchedRowsKeepStateAndValues) {
   const float before = table.row(5)[0];
   RowwiseAdagrad opt(8, 0.1f);
   SparseGrad g;
-  g.dim = 4;
-  g.rows[2] = {1, 1, 1, 1};
+  SetRow(g, 2, {1, 1, 1, 1});
   opt.Step(table, g);
   EXPECT_EQ(table.row(5)[0], before);
   EXPECT_EQ(opt.accumulator(5), 0.0f);
@@ -166,9 +170,8 @@ TEST(RowwiseAdagradTest, AdaptsBetterThanSgdOnSkewedFrequencies) {
     SparseSgd sgd(0.05f);
     for (int i = 0; i < 200; ++i) {
       SparseGrad g;
-      g.dim = 1;
-      g.rows[0] = {2.0f * table.row(0)[0]};
-      if (i % 10 == 0) g.rows[1] = {2.0f * table.row(1)[0]};
+      SetRow(g, 0, {2.0f * table.row(0)[0]});
+      if (i % 10 == 0) SetRow(g, 1, {2.0f * table.row(1)[0]});
       if (adagrad) {
         ada.Step(table, g);
       } else {
@@ -184,8 +187,7 @@ TEST(RowwiseAdagradDeathTest, RejectsMismatchedTable) {
   EmbeddingTable table(4, 2);
   RowwiseAdagrad opt(8, 0.1f);
   SparseGrad g;
-  g.dim = 2;
-  g.rows[0] = {1, 1};
+  SetRow(g, 0, {1, 1});
   EXPECT_DEATH(opt.Step(table, g), "Check failed");
 }
 

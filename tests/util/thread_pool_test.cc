@@ -2,6 +2,8 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -82,6 +84,59 @@ TEST(ThreadPoolTest, TasksCanScheduleMoreTasks) {
   pool.Wait();
   pool.Wait();
   EXPECT_EQ(counter.load(), 2);
+}
+
+TEST(ThreadPoolTest, ConcurrentParallelForCallsDoNotBlockEachOther) {
+  // Two threads issue ParallelFor against the same pool; each call tracks
+  // its own completion, so neither waits on the other's chunks. Before the
+  // per-call fix both callers waited on a pool-global counter and could
+  // observe (or deadlock on) each other's work.
+  ThreadPool pool(4);
+  constexpr size_t kN = 4096;
+  constexpr int kRounds = 50;
+  std::atomic<long long> sum_a{0};
+  std::atomic<long long> sum_b{0};
+  auto caller = [&pool](std::atomic<long long>& sum) {
+    for (int r = 0; r < kRounds; ++r) {
+      pool.ParallelFor(kN, [&sum](size_t begin, size_t end) {
+        long long local = 0;
+        for (size_t i = begin; i < end; ++i) {
+          local += static_cast<long long>(i);
+        }
+        sum.fetch_add(local);
+      });
+    }
+  };
+  std::thread a(caller, std::ref(sum_a));
+  std::thread b(caller, std::ref(sum_b));
+  a.join();
+  b.join();
+  const long long expect =
+      static_cast<long long>(kRounds) * kN * (kN - 1) / 2;
+  EXPECT_EQ(sum_a.load(), expect);
+  EXPECT_EQ(sum_b.load(), expect);
+}
+
+TEST(ThreadPoolTest, ParallelForRethrowsFirstExceptionOnCaller) {
+  ThreadPool pool(4);
+  std::atomic<int> chunks_run{0};
+  EXPECT_THROW(
+      pool.ParallelFor(1000,
+                       [&chunks_run](size_t begin, size_t) {
+                         chunks_run.fetch_add(1);
+                         if (begin == 0) {
+                           throw std::runtime_error("chunk failed");
+                         }
+                       }),
+      std::runtime_error);
+  // Every chunk still ran (the range is fully attempted before rethrow)
+  // and the pool remains usable afterwards.
+  EXPECT_EQ(chunks_run.load(), 4);
+  std::atomic<int> ok{0};
+  pool.ParallelFor(8, [&ok](size_t begin, size_t end) {
+    ok.fetch_add(static_cast<int>(end - begin));
+  });
+  EXPECT_EQ(ok.load(), 8);
 }
 
 TEST(ThreadPoolTest, DestructionJoinsCleanly) {

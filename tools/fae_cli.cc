@@ -9,7 +9,7 @@
 //   fae train       --data=data.faed [--plan=plan.faef]
 //                   [--mode=baseline|fae|nvopt|model-parallel|cache]
 //                   [--gpus=4] [--batch=1024] [--epochs=1] [--cost-only]
-//                   [--dirty-sync] [--full-model]
+//                   [--threads=1] [--dirty-sync] [--full-model]
 //                   [--ckpt=run.faec] [--ckpt-every=100] [--resume]
 //                   [--fault-plan=device@30,stall@50:0.2,corrupt@75,crash@120]
 //
@@ -128,6 +128,7 @@ int Train(const bench::Args& args) {
   options.per_gpu_batch = args.GetInt("batch", 1024);
   options.epochs = args.GetInt("epochs", 1);
   options.run_math = !args.GetBool("cost-only", false);
+  options.num_threads = args.GetInt("threads", 1);
   options.sync_strategy = args.GetBool("dirty-sync", false)
                               ? SyncStrategy::kDirty
                               : SyncStrategy::kFull;
