@@ -1,0 +1,74 @@
+// Seed-layout (pre-flat AoS) baselines for the figure benches, so each
+// figure can report the flat SoA layout's gain next to the paper-shape
+// numbers. Verbatim copies of the data layer before the flat rework —
+// do not "improve" these; their value is being what the repo shipped.
+//
+// pipeline_throughput.cc keeps its own self-contained copies (it also
+// needs the seed pack/step paths); these are the two passes the figure
+// benches share.
+
+#ifndef FAE_BENCH_SEED_BASELINE_H_
+#define FAE_BENCH_SEED_BASELINE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/embedding_classifier.h"
+#include "data/dataset.h"
+#include "stats/access_profile.h"
+
+namespace fae {
+namespace bench {
+
+/// Materializes the AoS sample store the seed data layer kept resident
+/// (one SparseInput of nested vectors per sample).
+inline std::vector<SparseInput> MaterializeAos(const Dataset& dataset) {
+  std::vector<SparseInput> aos;
+  aos.reserve(dataset.size());
+  for (size_t i = 0; i < dataset.size(); ++i) aos.push_back(dataset.sample(i));
+  return aos;
+}
+
+/// Seed Embedding Logger: per-sample nested-vector walk (embedding_logger.cc
+/// before the flat rework).
+inline AccessProfile SeedProfile(const DatasetSchema& schema,
+                                 const std::vector<SparseInput>& samples,
+                                 const std::vector<uint64_t>& sample_ids) {
+  AccessProfile profile(schema.table_rows);
+  for (uint64_t id : sample_ids) {
+    const SparseInput& s = samples[id];
+    for (size_t t = 0; t < s.indices.size(); ++t) {
+      for (uint32_t row : s.indices[t]) profile.Record(t, row);
+    }
+  }
+  return profile;
+}
+
+/// Seed Input Processor classification: the serial inner loop of the
+/// pre-flat Classify (input_processor.cc before the rework).
+inline void SeedClassify(const std::vector<SparseInput>& samples,
+                         const HotSet& hot_set,
+                         const std::vector<uint64_t>& which,
+                         std::vector<uint64_t>* hot_ids,
+                         std::vector<uint64_t>* cold_ids) {
+  hot_ids->clear();
+  cold_ids->clear();
+  for (uint64_t id : which) {
+    const SparseInput& s = samples[id];
+    bool hot = true;
+    for (size_t t = 0; t < s.indices.size() && hot; ++t) {
+      for (uint32_t row : s.indices[t]) {
+        if (!hot_set.IsHot(t, row)) {
+          hot = false;
+          break;
+        }
+      }
+    }
+    (hot ? hot_ids : cold_ids)->push_back(id);
+  }
+}
+
+}  // namespace bench
+}  // namespace fae
+
+#endif  // FAE_BENCH_SEED_BASELINE_H_

@@ -29,6 +29,7 @@ set(FAE_BENCHES
   abl_pipelined
   abl_mixed_precision
   abl_randem_params
+  pipeline_throughput
 )
 
 foreach(bench ${FAE_BENCHES})
@@ -50,3 +51,9 @@ set_target_properties(micro_kernels PROPERTIES
 # checks. Fails if any new kernel disagrees with the seed scalar path.
 add_test(NAME bench_smoke
   COMMAND micro_kernels --smoke --out=${CMAKE_BINARY_DIR}/bench/BENCH_kernels_smoke.json)
+
+# Same deal for the data-pipeline bench (seed AoS layout vs flat SoA
+# layout): --smoke shrinks the workload and keeps the built-in seed-vs-flat
+# bit-exactness checks, which fail the test on any disagreement.
+add_test(NAME bench_pipeline_smoke
+  COMMAND pipeline_throughput --smoke --out=${CMAKE_BINARY_DIR}/bench/BENCH_pipeline_smoke.json)

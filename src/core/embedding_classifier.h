@@ -2,6 +2,7 @@
 #define FAE_CORE_EMBEDDING_CLASSIFIER_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "data/schema.h"
@@ -31,6 +32,11 @@ class HotSet {
 
   size_t num_tables() const { return mask_.size(); }
   bool table_all_hot(size_t table) const { return all_hot_[table] != 0; }
+
+  /// The table's byte-mask (empty for all-hot tables). Streaming passes
+  /// hoist this once per table instead of paying IsHot's per-lookup
+  /// double indirection.
+  std::span<const uint8_t> mask(size_t table) const { return mask_[table]; }
 
   /// Bytes of the hot slice given the embedding dim (what the replicator
   /// will allocate per GPU).

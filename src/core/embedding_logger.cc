@@ -8,12 +8,36 @@ EmbeddingLogger::Result EmbeddingLogger::Profile(
     const Dataset& dataset, const std::vector<uint64_t>& sample_ids) {
   Stopwatch watch;
   Result result{AccessProfile(dataset.schema().table_rows)};
-  for (uint64_t id : sample_ids) {
-    const SparseInput& s = dataset.sample(id);
-    for (size_t t = 0; t < s.indices.size(); ++t) {
-      for (uint32_t row : s.indices[t]) {
+  // Stream the flat index buffers columnar: one pass per table over its
+  // contiguous CSR arrays, instead of hopping every table's buffers per
+  // sample. Record() only increments counters, so the per-table order
+  // produces exactly the per-sample-order profile.
+  const FlatDataset& flat = dataset.flat();
+  const size_t num_tables = flat.schema().num_tables();
+  const size_t n = sample_ids.size();
+  const bool full_range = [&] {
+    if (n != flat.size()) return false;
+    for (size_t i = 0; i < n; ++i) {
+      if (sample_ids[i] != i) return false;
+    }
+    return true;
+  }();
+  for (size_t t = 0; t < num_tables; ++t) {
+    if (full_range) {
+      // Whole-dataset profile: the table's index buffer is scanned start
+      // to end — pure sequential streaming.
+      const std::span<const uint32_t> rows = flat.indices(t);
+      for (uint32_t row : rows) {
         result.profile.Record(t, row);
-        ++result.num_lookups;
+      }
+      result.num_lookups += rows.size();
+    } else {
+      for (uint64_t id : sample_ids) {
+        const std::span<const uint32_t> rows = flat.lookups(t, id);
+        for (uint32_t row : rows) {
+          result.profile.Record(t, row);
+        }
+        result.num_lookups += rows.size();
       }
     }
   }

@@ -53,6 +53,23 @@ StatusOr<MiniBatch> EmbeddingReplicator::TranslateBatch(
   return out;
 }
 
+StatusOr<FlatDataset> EmbeddingReplicator::TranslateFlat(
+    const FlatDataset& flat) const {
+  FlatDataset out = flat;
+  for (size_t t = 0; t < slot_of_.size(); ++t) {
+    for (uint32_t& idx : out.mutable_indices(t)) {
+      const int64_t slot = SlotOf(t, idx);
+      if (slot < 0) {
+        return Status::InvalidArgument(StrFormat(
+            "cold lookup (table %zu, row %u) in a dataset marked hot", t,
+            idx));
+      }
+      idx = static_cast<uint32_t>(slot);
+    }
+  }
+  return out;
+}
+
 void EmbeddingReplicator::PullFromMasters(
     const std::vector<EmbeddingTable>& masters) {
   for (size_t t = 0; t < replicas_.size(); ++t) {

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/embedding_classifier.h"
+#include "data/flat_dataset.h"
 #include "data/minibatch.h"
 #include "embedding/embedding_table.h"
 #include "util/statusor.h"
@@ -33,6 +34,11 @@ class EmbeddingReplicator {
   /// slots. InvalidArgument if any lookup is not hot (the input processor
   /// guarantees this never happens for batches it labeled hot).
   StatusOr<MiniBatch> TranslateBatch(const MiniBatch& batch) const;
+
+  /// Flat-layout equivalent: one translated clone of an all-hot gathered
+  /// dataset, produced once per hot phase so every hot batch view is
+  /// already in replica coordinates (no per-batch translation copies).
+  StatusOr<FlatDataset> TranslateFlat(const FlatDataset& flat) const;
 
   /// Replica slot of master row `row` in table `t`, or -1 when cold.
   int64_t SlotOf(size_t table, uint64_t row) const;

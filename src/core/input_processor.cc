@@ -15,20 +15,42 @@ ProcessedInputs InputProcessor::Classify(
   ProcessedInputs out;
   std::vector<uint8_t> is_hot(which.size(), 0);
 
+  // Streams the flat CSR buffers columnar: one pass per table over its
+  // contiguous arrays (all-hot tables skipped outright — every lookup
+  // passes), demoting a sample on its first cold lookup. The final
+  // hot/cold verdict is an AND across tables, so the per-table order
+  // produces exactly the per-sample-order classification.
+  const FlatDataset& flat = dataset.flat();
+  const size_t num_tables = flat.schema().num_tables();
   auto classify_range = [&](size_t begin, size_t end) {
+    // Survivor-list sweep: each table pass walks only the samples every
+    // earlier table kept fully hot, so a sample stops costing anything
+    // after the pass that demotes it (the columnar analogue of the AoS
+    // loop's early exit).
+    std::vector<uint32_t> survivors;
+    survivors.reserve(end - begin);
     for (size_t i = begin; i < end; ++i) {
-      const SparseInput& s = dataset.sample(which[i]);
-      bool hot = true;
-      for (size_t t = 0; t < s.indices.size() && hot; ++t) {
-        for (uint32_t row : s.indices[t]) {
-          if (!hot_set.IsHot(t, row)) {
+      survivors.push_back(static_cast<uint32_t>(i));
+    }
+    std::vector<uint32_t> next;
+    next.reserve(survivors.size());
+    for (size_t t = 0; t < num_tables && !survivors.empty(); ++t) {
+      if (hot_set.table_all_hot(t)) continue;
+      const std::span<const uint8_t> mask = hot_set.mask(t);
+      next.clear();
+      for (uint32_t i : survivors) {
+        bool hot = true;
+        for (uint32_t row : flat.lookups(t, which[i])) {
+          if (mask[row] == 0) {
             hot = false;
             break;
           }
         }
+        if (hot) next.push_back(i);
       }
-      is_hot[i] = hot ? 1 : 0;
+      survivors.swap(next);
     }
+    for (uint32_t i : survivors) is_hot[i] = 1;
   };
 
   if (num_threads_ > 1 && which.size() > 1024) {
@@ -61,6 +83,22 @@ InputProcessor::PackedBatches InputProcessor::Pack(
   PackedBatches packed;
   packed.hot = AssembleBatches(dataset, hot, batch_size, /*hot=*/true);
   packed.cold = AssembleBatches(dataset, cold, batch_size, /*hot=*/false);
+  return packed;
+}
+
+InputProcessor::PackedFlat InputProcessor::PackFlat(
+    const Dataset& dataset, const ProcessedInputs& inputs, uint64_t seed) {
+  // Same RNG call sequence as Pack: hot shuffle first, then cold.
+  Xoshiro256 rng(seed);
+  std::vector<uint64_t> hot = inputs.hot_ids;
+  std::vector<uint64_t> cold = inputs.cold_ids;
+  for (size_t i = hot.size(); i > 1; --i) {
+    std::swap(hot[i - 1], hot[rng.NextBounded(i)]);
+  }
+  for (size_t i = cold.size(); i > 1; --i) {
+    std::swap(cold[i - 1], cold[rng.NextBounded(i)]);
+  }
+  PackedFlat packed{dataset.flat().Gather(hot), dataset.flat().Gather(cold)};
   return packed;
 }
 

@@ -49,6 +49,17 @@ class InputProcessor {
                             const ProcessedInputs& inputs, size_t batch_size,
                             uint64_t seed);
 
+  /// Flat-layout Pack: identical class shuffles (same seed, same RNG call
+  /// sequence), but each class becomes one gathered FlatDataset that pure
+  /// batches can view zero-copy (see MakeBatchViews) instead of a vector
+  /// of copied MiniBatches.
+  struct PackedFlat {
+    FlatDataset hot;
+    FlatDataset cold;
+  };
+  static PackedFlat PackFlat(const Dataset& dataset,
+                             const ProcessedInputs& inputs, uint64_t seed);
+
  private:
   size_t num_threads_;
 };

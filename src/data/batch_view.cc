@@ -1,0 +1,55 @@
+#include "data/batch_view.h"
+
+#include <algorithm>
+
+#include "data/minibatch.h"
+#include "util/logging.h"
+
+namespace fae {
+
+BatchView::BatchView(const MiniBatch& batch)
+    : dense(batch.dense),
+      labels(batch.labels),
+      hot(batch.hot),
+      total_lookups(batch.TotalLookups()) {
+  tables.resize(batch.indices.size());
+  for (size_t t = 0; t < batch.indices.size(); ++t) {
+    tables[t].indices = batch.indices[t];
+    tables[t].offsets = batch.offsets[t];
+  }
+}
+
+BatchView MakeBatchView(const FlatDataset& flat, size_t begin, size_t end,
+                        bool hot) {
+  FAE_CHECK_LE(begin, end);
+  FAE_CHECK_LE(end, flat.size());
+  const size_t b = end - begin;
+  BatchView view;
+  view.dense = MatView(flat.dense_row(begin), b, flat.schema().num_dense);
+  view.labels = flat.labels().subspan(begin, b);
+  view.hot = hot;
+  view.tables.resize(flat.schema().num_tables());
+  for (size_t t = 0; t < view.tables.size(); ++t) {
+    const std::span<const uint32_t> off = flat.offsets(t);
+    const uint32_t lo = off[begin];
+    const uint32_t hi = off[end];
+    view.tables[t].offsets = off.subspan(begin, b + 1);
+    view.tables[t].indices = flat.indices(t).subspan(lo, hi - lo);
+    view.total_lookups += hi - lo;
+  }
+  return view;
+}
+
+std::vector<BatchView> MakeBatchViews(const FlatDataset& flat,
+                                      size_t batch_size, bool hot) {
+  FAE_CHECK_GE(batch_size, 1u);
+  std::vector<BatchView> out;
+  out.reserve((flat.size() + batch_size - 1) / batch_size);
+  for (size_t begin = 0; begin < flat.size(); begin += batch_size) {
+    const size_t end = std::min(flat.size(), begin + batch_size);
+    out.push_back(MakeBatchView(flat, begin, end, hot));
+  }
+  return out;
+}
+
+}  // namespace fae

@@ -6,22 +6,24 @@ namespace fae {
 
 AccessProfile Dataset::ProfileAccesses(
     const std::vector<uint64_t>& which) const {
-  AccessProfile profile(schema_.table_rows);
+  AccessProfile profile(schema().table_rows);
+  // Record order matches the historical per-sample walk (sample-major,
+  // table-ascending) so profiles stay identical; the flat layout just
+  // removes the per-sample vector materialization.
   for (uint64_t i : which) {
-    FAE_CHECK_LT(i, samples_.size());
-    const SparseInput& s = samples_[i];
-    for (size_t t = 0; t < s.indices.size(); ++t) {
-      for (uint32_t row : s.indices[t]) profile.Record(t, row);
+    FAE_CHECK_LT(i, flat_.size());
+    for (size_t t = 0; t < schema().num_tables(); ++t) {
+      for (uint32_t row : flat_.lookups(t, i)) profile.Record(t, row);
     }
   }
   return profile;
 }
 
 AccessProfile Dataset::ProfileAllAccesses() const {
-  AccessProfile profile(schema_.table_rows);
-  for (const SparseInput& s : samples_) {
-    for (size_t t = 0; t < s.indices.size(); ++t) {
-      for (uint32_t row : s.indices[t]) profile.Record(t, row);
+  AccessProfile profile(schema().table_rows);
+  for (size_t i = 0; i < flat_.size(); ++i) {
+    for (size_t t = 0; t < schema().num_tables(); ++t) {
+      for (uint32_t row : flat_.lookups(t, i)) profile.Record(t, row);
     }
   }
   return profile;
@@ -32,12 +34,12 @@ Dataset::Split Dataset::MakeSplit(double test_fraction) const {
   FAE_CHECK_LT(test_fraction, 1.0);
   Split split;
   const size_t test_count =
-      static_cast<size_t>(static_cast<double>(samples_.size()) * test_fraction);
-  const size_t train_count = samples_.size() - test_count;
+      static_cast<size_t>(static_cast<double>(size()) * test_fraction);
+  const size_t train_count = size() - test_count;
   split.train.reserve(train_count);
   split.test.reserve(test_count);
   for (size_t i = 0; i < train_count; ++i) split.train.push_back(i);
-  for (size_t i = train_count; i < samples_.size(); ++i) {
+  for (size_t i = train_count; i < size(); ++i) {
     split.test.push_back(i);
   }
   return split;

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "data/flat_dataset.h"
 #include "data/sample.h"
 #include "data/schema.h"
 #include "stats/access_profile.h"
@@ -13,15 +14,30 @@ namespace fae {
 /// In-memory dataset: a schema plus its training inputs. The paper
 /// preprocesses the whole dataset once (§III-B); keeping it in memory makes
 /// the static FAE passes and the training epochs deterministic and fast.
+///
+/// Storage is a flat structure-of-arrays (`FlatDataset`) — every pass that
+/// walks the dataset (Embedding Logger, Input Processor, epochs) streams
+/// three contiguous buffers instead of chasing per-sample vectors. The
+/// legacy AoS `SparseInput` survives only as a conversion shim at the
+/// edges: `sample(i)` materializes one on demand.
 class Dataset {
  public:
-  Dataset(DatasetSchema schema, std::vector<SparseInput> samples)
-      : schema_(std::move(schema)), samples_(std::move(samples)) {}
+  explicit Dataset(FlatDataset flat) : flat_(std::move(flat)) {}
 
-  const DatasetSchema& schema() const { return schema_; }
-  size_t size() const { return samples_.size(); }
-  const SparseInput& sample(size_t i) const { return samples_[i]; }
-  const std::vector<SparseInput>& samples() const { return samples_; }
+  /// Legacy AoS construction — converts once into the flat layout.
+  Dataset(DatasetSchema schema, std::vector<SparseInput> samples)
+      : flat_(FlatDataset::FromSamples(std::move(schema), samples)) {}
+
+  const DatasetSchema& schema() const { return flat_.schema(); }
+  size_t size() const { return flat_.size(); }
+
+  /// Flat SoA storage — the zero-copy path for batch views and streaming
+  /// passes.
+  const FlatDataset& flat() const { return flat_; }
+
+  /// Materializes sample i as a legacy `SparseInput` (allocates — compat
+  /// shim only; hot paths stream `flat()` instead).
+  SparseInput sample(size_t i) const { return flat_.Sample(i); }
 
   /// Builds an access profile from the given sample indices (the Embedding
   /// Logger's job, §III-A2). Passing all indices profiles the full dataset.
@@ -39,8 +55,7 @@ class Dataset {
   Split MakeSplit(double test_fraction) const;
 
  private:
-  DatasetSchema schema_;
-  std::vector<SparseInput> samples_;
+  FlatDataset flat_;
 };
 
 }  // namespace fae

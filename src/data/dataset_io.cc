@@ -28,14 +28,22 @@ Status DatasetIo::Save(const std::string& path, const Dataset& dataset) {
   FAE_RETURN_IF_ERROR(w.WriteU32(s.sequential ? 1 : 0));
   FAE_RETURN_IF_ERROR(w.WriteU64(s.max_history));
 
-  FAE_RETURN_IF_ERROR(w.WriteU64(dataset.size()));
-  for (size_t i = 0; i < dataset.size(); ++i) {
-    const SparseInput& sample = dataset.sample(i);
-    FAE_RETURN_IF_ERROR(w.WriteVector(sample.dense));
+  // Streams the flat SoA buffers directly. The on-disk layout is unchanged
+  // from the AoS WriteVector path byte for byte: each length-prefixed
+  // vector is WriteU64(size) + raw bytes, which the flat spans provide
+  // without materializing a SparseInput per sample.
+  const FlatDataset& flat = dataset.flat();
+  FAE_RETURN_IF_ERROR(w.WriteU64(flat.size()));
+  for (size_t i = 0; i < flat.size(); ++i) {
+    FAE_RETURN_IF_ERROR(w.WriteU64(s.num_dense));
+    FAE_RETURN_IF_ERROR(
+        w.WriteBytes(flat.dense_row(i), s.num_dense * sizeof(float)));
     for (size_t t = 0; t < s.num_tables(); ++t) {
-      FAE_RETURN_IF_ERROR(w.WriteVector(sample.indices[t]));
+      const std::span<const uint32_t> l = flat.lookups(t, i);
+      FAE_RETURN_IF_ERROR(w.WriteU64(l.size()));
+      FAE_RETURN_IF_ERROR(w.WriteBytes(l.data(), l.size() * sizeof(uint32_t)));
     }
-    FAE_RETURN_IF_ERROR(w.WriteF32(sample.label));
+    FAE_RETURN_IF_ERROR(w.WriteF32(flat.label(i)));
   }
   FAE_RETURN_IF_ERROR(w.WriteU32(kTrailer));
   const uint32_t crc = w.crc();
@@ -76,31 +84,35 @@ StatusOr<Dataset> DatasetIo::Load(const std::string& path) {
   }
 
   FAE_ASSIGN_OR_RETURN(uint64_t count, r.ReadU64());
-  std::vector<SparseInput> samples;
-  samples.reserve(count);
+  // Deserializes straight into the flat builder — the per-sample vectors
+  // that the v2 format length-prefixes land in the contiguous SoA buffers
+  // without an AoS intermediate.
+  FlatDataset flat(s);
+  std::vector<float> dense_buf;
+  std::vector<uint32_t> index_buf;
   for (uint64_t i = 0; i < count; ++i) {
-    SparseInput sample;
-    FAE_ASSIGN_OR_RETURN(sample.dense, r.ReadVector<float>());
-    if (sample.dense.size() != s.num_dense) {
+    FAE_ASSIGN_OR_RETURN(dense_buf, r.ReadVector<float>());
+    if (dense_buf.size() != s.num_dense) {
       return Status::DataLoss("dense width mismatch in dataset file");
     }
-    sample.indices.resize(s.num_tables());
+    for (float v : dense_buf) flat.AppendDense(v);
     for (size_t t = 0; t < s.num_tables(); ++t) {
-      FAE_ASSIGN_OR_RETURN(sample.indices[t], r.ReadVector<uint32_t>());
-      for (uint32_t row : sample.indices[t]) {
+      FAE_ASSIGN_OR_RETURN(index_buf, r.ReadVector<uint32_t>());
+      for (uint32_t row : index_buf) {
         if (row >= s.table_rows[t]) {
           return Status::DataLoss("lookup out of table range in dataset file");
         }
+        flat.AppendLookup(t, row);
       }
     }
-    FAE_ASSIGN_OR_RETURN(sample.label, r.ReadF32());
-    samples.push_back(std::move(sample));
+    FAE_ASSIGN_OR_RETURN(float label, r.ReadF32());
+    flat.FinishSample(label);
   }
   FAE_ASSIGN_OR_RETURN(uint32_t trailer, r.ReadU32());
   if (trailer != kTrailer) {
     return Status::DataLoss("dataset file trailer missing (truncated?)");
   }
-  return Dataset(std::move(s), std::move(samples));
+  return Dataset(std::move(flat));
 }
 
 }  // namespace fae

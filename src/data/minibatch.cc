@@ -1,20 +1,27 @@
 #include "data/minibatch.h"
 
 #include <algorithm>
+#include <span>
 
+#include "data/flat_dataset.h"
 #include "util/logging.h"
 
 namespace fae {
 
 uint64_t MiniBatch::TotalLookups() const {
+  // The CSR offsets already carry the per-table counts: back() - front()
+  // is the table's lookup total, no index-vector walk needed.
   uint64_t n = 0;
-  for (const auto& v : indices) n += v.size();
+  for (const auto& off : offsets) {
+    if (!off.empty()) n += off.back() - off.front();
+  }
   return n;
 }
 
 MiniBatch AssembleBatch(const Dataset& dataset,
                         const std::vector<uint64_t>& sample_ids) {
   const DatasetSchema& schema = dataset.schema();
+  const FlatDataset& flat = dataset.flat();
   const size_t b = sample_ids.size();
   MiniBatch batch;
   batch.dense = Tensor(b, schema.num_dense);
@@ -24,14 +31,15 @@ MiniBatch AssembleBatch(const Dataset& dataset,
   batch.labels.resize(b);
 
   for (size_t i = 0; i < b; ++i) {
-    const SparseInput& s = dataset.sample(sample_ids[i]);
-    FAE_CHECK_EQ(s.dense.size(), schema.num_dense);
-    FAE_CHECK_EQ(s.indices.size(), schema.num_tables());
-    std::copy(s.dense.begin(), s.dense.end(), batch.dense.row(i));
-    batch.labels[i] = s.label;
+    const uint64_t id = sample_ids[i];
+    FAE_CHECK_LT(id, flat.size());
+    const float* src = flat.dense_row(id);
+    std::copy(src, src + schema.num_dense, batch.dense.row(i));
+    batch.labels[i] = flat.label(id);
     for (size_t t = 0; t < schema.num_tables(); ++t) {
+      const std::span<const uint32_t> l = flat.lookups(t, id);
       auto& idx = batch.indices[t];
-      idx.insert(idx.end(), s.indices[t].begin(), s.indices[t].end());
+      idx.insert(idx.end(), l.begin(), l.end());
       batch.offsets[t].push_back(static_cast<uint32_t>(idx.size()));
     }
   }

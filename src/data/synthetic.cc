@@ -68,47 +68,56 @@ Dataset SyntheticGenerator::Generate(size_t num_inputs) const {
     zipfs.emplace_back(schema_.table_rows[t], options_.zipf_exponent);
   }
 
-  std::vector<SparseInput> samples;
-  samples.reserve(num_inputs);
+  // Generate straight into the flat SoA layout — no per-sample SparseInput
+  // is ever materialized. RNG call order (dense gaussians, per-table zipf
+  // lookups, label bernoulli) and the affinity summation order match the
+  // historical AoS generator exactly, so datasets are bit-identical.
+  FlatDataset flat(schema_);
+  std::vector<size_t> expected_lookups(schema_.num_tables(), num_inputs);
+  if (schema_.sequential && !expected_lookups.empty()) {
+    // Table 0 carries 1..max_history lookups per input; reserve the mean.
+    expected_lookups[0] = num_inputs * (1 + schema_.max_history) / 2;
+  }
+  flat.Reserve(num_inputs, expected_lookups);
   for (size_t i = 0; i < num_inputs; ++i) {
     const double phase =
         num_inputs > 1
             ? static_cast<double>(i) / static_cast<double>(num_inputs - 1)
             : 0.0;
-    SparseInput s;
-    s.dense.resize(schema_.num_dense);
     double score = 0.0;
     for (size_t d = 0; d < schema_.num_dense; ++d) {
-      s.dense[d] = static_cast<float>(rng.NextGaussian());
-      score += dense_weights_[d] * s.dense[d];
+      const float v = static_cast<float>(rng.NextGaussian());
+      flat.AppendDense(v);
+      score += dense_weights_[d] * v;
     }
-    s.indices.resize(schema_.num_tables());
     size_t lookups = 0;
+    // Planted logistic labeller over dense features and lookup affinities,
+    // normalized by lookup count so sequential inputs are not biased. The
+    // affinity sum folds into the lookup loop (same t-ascending,
+    // j-ascending element order as the historical second pass).
+    double emb_score = 0.0;
     for (size_t t = 0; t < schema_.num_tables(); ++t) {
       size_t n = 1;
       if (schema_.sequential && t == 0) {
         n = 1 + rng.NextBounded(schema_.max_history);
       }
-      s.indices[t].reserve(n);
       for (size_t j = 0; j < n; ++j) {
         const uint64_t rank = zipfs[t].Sample(rng);
         const uint64_t row = RankToRowAt(t, rank, phase);
-        s.indices[t].push_back(static_cast<uint32_t>(row));
+        flat.AppendLookup(t, static_cast<uint32_t>(row));
       }
       lookups += n;
     }
-    // Planted logistic labeller over dense features and lookup affinities,
-    // normalized by lookup count so sequential inputs are not biased.
-    double emb_score = 0.0;
     for (size_t t = 0; t < schema_.num_tables(); ++t) {
-      for (uint32_t row : s.indices[t]) emb_score += Affinity(t, row);
+      for (uint32_t row : flat.PendingLookups(t)) {
+        emb_score += Affinity(t, row);
+      }
     }
     score += emb_score / std::sqrt(static_cast<double>(std::max<size_t>(1, lookups)));
     const double p = 1.0 / (1.0 + std::exp(-score));
-    s.label = rng.NextBernoulli(p) ? 1.0f : 0.0f;
-    samples.push_back(std::move(s));
+    flat.FinishSample(rng.NextBernoulli(p) ? 1.0f : 0.0f);
   }
-  return Dataset(schema_, std::move(samples));
+  return Dataset(std::move(flat));
 }
 
 }  // namespace fae

@@ -35,22 +35,25 @@ float* SparseGrad::Upsert(uint64_t id) {
   return row(slot);
 }
 
-RowGroups RowGroups::Build(const std::vector<uint32_t>& indices,
-                           const std::vector<uint32_t>& offsets) {
+void RowGroups::Rebuild(std::span<const uint32_t> indices,
+                        std::span<const uint32_t> offsets) {
   FAE_CHECK_GE(offsets.size(), 1u);
-  FAE_CHECK_EQ(offsets.front(), 0u);
-  FAE_CHECK_EQ(offsets.back(), indices.size());
-  RowGroups rg;
+  const uint32_t base = offsets.front();
+  FAE_CHECK_EQ(offsets.back() - base, indices.size());
   const size_t nnz = indices.size();
+  row_ids.clear();
   if (nnz == 0) {
-    rg.group_start.assign(1, 0);
-    return rg;
+    group_start.assign(1, 0);
+    positions.clear();
+    sample_of.clear();
+    return;
   }
+  group_start.clear();
 
-  rg.sample_of.resize(nnz);
+  sample_of.resize(nnz);
   for (size_t i = 0; i + 1 < offsets.size(); ++i) {
-    for (uint32_t p = offsets[i]; p < offsets[i + 1]; ++p) {
-      rg.sample_of[p] = static_cast<uint32_t>(i);
+    for (uint32_t p = offsets[i] - base; p < offsets[i + 1] - base; ++p) {
+      sample_of[p] = static_cast<uint32_t>(i);
     }
   }
 
@@ -63,15 +66,15 @@ RowGroups RowGroups::Build(const std::vector<uint32_t>& indices,
   // cost of the fused backward+optimizer pass.
   uint32_t max_id = 0;
   for (uint32_t id : indices) max_id = std::max(max_id, id);
-  rg.positions.resize(nnz);
+  positions.resize(nnz);
   for (size_t p = 0; p < nnz; ++p) {
-    rg.positions[p] = static_cast<uint32_t>(p);
+    positions[p] = static_cast<uint32_t>(p);
   }
-  std::vector<uint32_t> scratch(nnz);
+  scratch_.resize(nnz);
   for (int shift = 0; shift == 0 || (max_id >> shift) != 0; shift += 8) {
     uint32_t count[256] = {0};
     for (size_t p = 0; p < nnz; ++p) {
-      ++count[(indices[rg.positions[p]] >> shift) & 0xFF];
+      ++count[(indices[positions[p]] >> shift) & 0xFF];
     }
     uint32_t start = 0;
     uint32_t bucket_start[256];
@@ -80,41 +83,57 @@ RowGroups RowGroups::Build(const std::vector<uint32_t>& indices,
       start += count[d];
     }
     for (size_t p = 0; p < nnz; ++p) {
-      const uint32_t pos = rg.positions[p];
-      scratch[bucket_start[(indices[pos] >> shift) & 0xFF]++] = pos;
+      const uint32_t pos = positions[p];
+      scratch_[bucket_start[(indices[pos] >> shift) & 0xFF]++] = pos;
     }
-    rg.positions.swap(scratch);
+    positions.swap(scratch_);
   }
 
   // One scan over the sorted positions emits the unique row ids and their
   // group boundaries.
-  rg.row_ids.reserve(nnz);
-  rg.group_start.reserve(nnz + 1);
+  row_ids.reserve(nnz);
+  group_start.reserve(nnz + 1);
   for (size_t g = 0; g < nnz; ++g) {
-    const uint32_t id = indices[rg.positions[g]];
-    if (rg.row_ids.empty() || rg.row_ids.back() != id) {
-      rg.row_ids.push_back(id);
-      rg.group_start.push_back(static_cast<uint32_t>(g));
+    const uint32_t id = indices[positions[g]];
+    if (row_ids.empty() || row_ids.back() != id) {
+      row_ids.push_back(id);
+      group_start.push_back(static_cast<uint32_t>(g));
     }
   }
-  rg.group_start.push_back(static_cast<uint32_t>(nnz));
+  group_start.push_back(static_cast<uint32_t>(nnz));
+}
+
+RowGroups RowGroups::Build(std::span<const uint32_t> indices,
+                           std::span<const uint32_t> offsets) {
+  RowGroups rg;
+  rg.Rebuild(indices, offsets);
   return rg;
 }
 
 Tensor EmbeddingBag::Forward(const EmbeddingTable& table,
-                             const std::vector<uint32_t>& indices,
-                             const std::vector<uint32_t>& offsets,
+                             std::span<const uint32_t> indices,
+                             std::span<const uint32_t> offsets,
                              ThreadPool* pool) {
+  Tensor out;
+  ForwardInto(out, table, indices, offsets, pool);
+  return out;
+}
+
+void EmbeddingBag::ForwardInto(Tensor& out, const EmbeddingTable& table,
+                               std::span<const uint32_t> indices,
+                               std::span<const uint32_t> offsets,
+                               ThreadPool* pool) {
   FAE_CHECK_GE(offsets.size(), 1u);
-  FAE_CHECK_EQ(offsets.front(), 0u);
-  FAE_CHECK_EQ(offsets.back(), indices.size());
+  const uint32_t base = offsets.front();
+  FAE_CHECK_EQ(offsets.back() - base, indices.size());
   const size_t b = offsets.size() - 1;
   const size_t dim = table.dim();
-  Tensor out(b, dim);
+  out.Resize(b, dim);
+  out.SetZero();
   auto pool_range = [&](size_t b0, size_t b1) {
     for (size_t i = b0; i < b1; ++i) {
       float* orow = out.row(i);
-      for (uint32_t p = offsets[i]; p < offsets[i + 1]; ++p) {
+      for (uint32_t p = offsets[i] - base; p < offsets[i + 1] - base; ++p) {
         kernels::Add(dim, table.row(indices[p]), orow);
       }
     }
@@ -124,12 +143,11 @@ Tensor EmbeddingBag::Forward(const EmbeddingTable& table,
   } else {
     pool_range(0, b);
   }
-  return out;
 }
 
 SparseGrad EmbeddingBag::Backward(const Tensor& grad_out,
-                                  const std::vector<uint32_t>& indices,
-                                  const std::vector<uint32_t>& offsets,
+                                  std::span<const uint32_t> indices,
+                                  std::span<const uint32_t> offsets,
                                   size_t dim, ThreadPool* pool) {
   FAE_CHECK_EQ(grad_out.cols(), dim);
   FAE_CHECK_EQ(grad_out.rows() + 1, offsets.size());

@@ -2,6 +2,7 @@
 #define FAE_EMBEDDING_EMBEDDING_BAG_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "embedding/embedding_table.h"
@@ -68,6 +69,13 @@ struct SparseGrad {
 /// Per-row accumulation order equals lookup-traversal order — exactly what
 /// the scalar unordered_map implementation produced — so every consumer is
 /// bit-exact with the historical kernels and across thread counts.
+///
+/// CSR contract (shared by every kernel below): `offsets` has B+1
+/// monotone entries and `offsets.back() - offsets.front() ==
+/// indices.size()`. Offsets need not start at zero — batch views into a
+/// flat dataset carry the dataset-absolute offsets and kernels rebase by
+/// `offsets.front()`; legacy zero-based buffers satisfy the contract
+/// unchanged.
 struct RowGroups {
   std::vector<uint64_t> row_ids;      // sorted ascending, unique
   std::vector<uint32_t> group_start;  // row_ids.size() + 1 entries
@@ -76,33 +84,49 @@ struct RowGroups {
 
   size_t num_rows() const { return row_ids.size(); }
 
-  /// Builds the grouping for `indices`/`offsets` (CSR form, offsets has
-  /// B+1 entries).
-  static RowGroups Build(const std::vector<uint32_t>& indices,
-                         const std::vector<uint32_t>& offsets);
+  /// Rebuilds the grouping in place, reusing all previously grown buffers
+  /// (including the radix-sort scratch) — zero heap allocations once the
+  /// instance has seen a batch of each size. This is what keeps the fused
+  /// optimizer's steady state allocation-free.
+  void Rebuild(std::span<const uint32_t> indices,
+               std::span<const uint32_t> offsets);
+
+  /// Builds the grouping for `indices`/`offsets` on a fresh instance.
+  static RowGroups Build(std::span<const uint32_t> indices,
+                         std::span<const uint32_t> offsets);
+
+ private:
+  std::vector<uint32_t> scratch_;  // radix-sort ping-pong buffer
 };
 
 /// Sum-pooled embedding lookup (PyTorch's EmbeddingBag with mode="sum").
 ///
 /// A batch is expressed in CSR form: `indices` concatenates every lookup,
-/// `offsets[i]..offsets[i+1]` delimit sample i's lookups. Forward produces
+/// `offsets[i]..offsets[i+1]` delimit sample i's lookups (rebased by
+/// `offsets.front()` — see the RowGroups contract). Forward produces
 /// [B, dim]; Backward scatters the output gradient into a SparseGrad.
 class EmbeddingBag {
  public:
-  /// Pools rows of `table` per sample. `offsets` has B+1 entries with
-  /// offsets.front() == 0 and offsets.back() == indices.size(). With a
-  /// pool, samples are partitioned across threads (each output row is
-  /// written by one thread; bit-exact at any thread count).
+  /// Pools rows of `table` per sample. With a pool, samples are
+  /// partitioned across threads (each output row is written by one
+  /// thread; bit-exact at any thread count).
   static Tensor Forward(const EmbeddingTable& table,
-                        const std::vector<uint32_t>& indices,
-                        const std::vector<uint32_t>& offsets,
+                        std::span<const uint32_t> indices,
+                        std::span<const uint32_t> offsets,
                         ThreadPool* pool = nullptr);
+
+  /// Forward into a caller-owned workspace (Resize'd to [B, dim]) — the
+  /// allocation-free variant the training loop uses.
+  static void ForwardInto(Tensor& out, const EmbeddingTable& table,
+                          std::span<const uint32_t> indices,
+                          std::span<const uint32_t> offsets,
+                          ThreadPool* pool = nullptr);
 
   /// Scatters dL/dout [B, dim] back onto the looked-up rows. With a pool,
   /// the scatter is partitioned over disjoint destination-row ranges.
   static SparseGrad Backward(const Tensor& grad_out,
-                             const std::vector<uint32_t>& indices,
-                             const std::vector<uint32_t>& offsets,
+                             std::span<const uint32_t> indices,
+                             std::span<const uint32_t> offsets,
                              size_t dim, ThreadPool* pool = nullptr);
 };
 

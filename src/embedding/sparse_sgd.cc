@@ -35,26 +35,41 @@ void SparseSgd::Step(EmbeddingTable& table, const SparseGrad& grad,
 
 void SparseSgd::FusedBackwardStep(EmbeddingTable& table,
                                   const Tensor& grad_out,
-                                  const std::vector<uint32_t>& indices,
-                                  const std::vector<uint32_t>& offsets,
-                                  ThreadPool* pool) const {
+                                  std::span<const uint32_t> indices,
+                                  std::span<const uint32_t> offsets,
+                                  ThreadPool* pool) {
   FAE_CHECK_EQ(grad_out.cols(), table.dim());
   FAE_CHECK_EQ(grad_out.rows() + 1, offsets.size());
   if (indices.empty()) return;
   const size_t dim = table.dim();
   const float neg_lr = -lr_;
-  const RowGroups rg = RowGroups::Build(indices, offsets);
-  RowRangeParallel(pool, rg.num_rows(), [&](size_t s0, size_t s1) {
-    std::vector<float> acc(dim);
-    for (size_t s = s0; s < s1; ++s) {
-      std::fill(acc.begin(), acc.end(), 0.0f);
-      for (uint32_t g = rg.group_start[s]; g < rg.group_start[s + 1]; ++g) {
-        kernels::Add(dim, grad_out.row(rg.sample_of[rg.positions[g]]),
-                     acc.data());
+  rg_.Rebuild(indices, offsets);
+  const RowGroups& rg = rg_;
+  if (pool != nullptr && rg.num_rows() >= kMinRowsToParallelize) {
+    pool->ParallelFor(rg.num_rows(), [&](size_t s0, size_t s1) {
+      // Pooled path: per-task accumulator (threads must not share one).
+      std::vector<float> acc(dim);
+      for (size_t s = s0; s < s1; ++s) {
+        std::fill(acc.begin(), acc.end(), 0.0f);
+        for (uint32_t g = rg.group_start[s]; g < rg.group_start[s + 1]; ++g) {
+          kernels::Add(dim, grad_out.row(rg.sample_of[rg.positions[g]]),
+                       acc.data());
+        }
+        kernels::Axpy(dim, neg_lr, acc.data(), table.row(rg.row_ids[s]));
       }
-      kernels::Axpy(dim, neg_lr, acc.data(), table.row(rg.row_ids[s]));
+    });
+    return;
+  }
+  // Serial path: member accumulator — no allocation once warmed up.
+  acc_.resize(dim);
+  for (size_t s = 0; s < rg.num_rows(); ++s) {
+    std::fill(acc_.begin(), acc_.end(), 0.0f);
+    for (uint32_t g = rg.group_start[s]; g < rg.group_start[s + 1]; ++g) {
+      kernels::Add(dim, grad_out.row(rg.sample_of[rg.positions[g]]),
+                   acc_.data());
     }
-  });
+    kernels::Axpy(dim, neg_lr, acc_.data(), table.row(rg.row_ids[s]));
+  }
 }
 
 void AccumulateSparseGrad(SparseGrad& dst, const SparseGrad& src) {

@@ -1,6 +1,9 @@
 #ifndef FAE_EMBEDDING_SPARSE_SGD_H_
 #define FAE_EMBEDDING_SPARSE_SGD_H_
 
+#include <span>
+#include <vector>
+
 #include "embedding/embedding_bag.h"
 #include "embedding/embedding_table.h"
 #include "tensor/tensor.h"
@@ -25,17 +28,26 @@ class SparseSgd {
   /// bottleneck, §II-C): accumulates dL/dout per touched row and applies
   /// the update in one pass over the grouped index list, without
   /// materializing a SparseGrad. Bit-identical to
-  /// EmbeddingBag::Backward followed by Step.
+  /// EmbeddingBag::Backward followed by Step. Offsets follow the
+  /// RowGroups relative-offset contract (rebased by offsets.front()).
+  ///
+  /// Non-const: the row grouping and the serial accumulator are instance
+  /// scratch, rebuilt in place each call so the steady state allocates
+  /// nothing. One SparseSgd therefore serves one training thread; the
+  /// intra-step pool parallelism is unaffected (pooled paths keep
+  /// per-task accumulators).
   void FusedBackwardStep(EmbeddingTable& table, const Tensor& grad_out,
-                         const std::vector<uint32_t>& indices,
-                         const std::vector<uint32_t>& offsets,
-                         ThreadPool* pool = nullptr) const;
+                         std::span<const uint32_t> indices,
+                         std::span<const uint32_t> offsets,
+                         ThreadPool* pool = nullptr);
 
   float lr() const { return lr_; }
   void set_lr(float lr) { lr_ = lr; }
 
  private:
   float lr_;
+  RowGroups rg_;            // reused across FusedBackwardStep calls
+  std::vector<float> acc_;  // serial-path accumulation scratch
 };
 
 /// Merges `src` into `dst` (same dim), accumulating overlapping rows —

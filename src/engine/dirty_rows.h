@@ -1,0 +1,85 @@
+#ifndef FAE_ENGINE_DIRTY_ROWS_H_
+#define FAE_ENGINE_DIRTY_ROWS_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace fae {
+
+/// Reusable per-table dirty-row tracker for the delta sync strategy: a bit
+/// per master row plus an insertion-ordered list of the rows actually
+/// touched. Replaces the per-sync `unordered_set` churn — Mark is a
+/// test-and-set on a flat bitmap, Clear only resets the bits that were set
+/// (O(touched), not O(rows)), and the touched lists are reused buffers that
+/// plug straight into EmbeddingReplicator::{Pull,Push}RowsToMasters.
+class DirtyRows {
+ public:
+  DirtyRows() = default;
+
+  explicit DirtyRows(const std::vector<uint64_t>& table_rows) {
+    Init(table_rows);
+  }
+
+  void Init(const std::vector<uint64_t>& table_rows) {
+    bits_.resize(table_rows.size());
+    touched_.resize(table_rows.size());
+    for (size_t t = 0; t < table_rows.size(); ++t) {
+      bits_[t].assign((table_rows[t] + 63) / 64, 0);
+      touched_[t].clear();
+    }
+  }
+
+  void Mark(size_t table, uint32_t row) {
+    std::vector<uint64_t>& bits = bits_[table];
+    const uint64_t mask = uint64_t{1} << (row & 63);
+    uint64_t& word = bits[row >> 6];
+    if ((word & mask) == 0) {
+      word |= mask;
+      touched_[table].push_back(row);
+    }
+  }
+
+  void MarkAll(size_t table, std::span<const uint32_t> rows) {
+    for (uint32_t row : rows) Mark(table, row);
+  }
+
+  bool IsDirty(size_t table, uint32_t row) const {
+    return (bits_[table][row >> 6] >> (row & 63)) & 1;
+  }
+
+  /// Per-table touched rows in first-touch order; directly consumable by
+  /// the replicator's delta-sync calls.
+  const std::vector<std::vector<uint32_t>>& touched() const {
+    return touched_;
+  }
+
+  size_t num_tables() const { return bits_.size(); }
+
+  uint64_t TotalTouched() const {
+    uint64_t n = 0;
+    for (const std::vector<uint32_t>& rows : touched_) n += rows.size();
+    return n;
+  }
+
+  /// Sparse reset: clears only the set bits (via the touched lists) and
+  /// empties the lists, keeping every buffer's capacity for reuse.
+  void Clear() {
+    for (size_t t = 0; t < touched_.size(); ++t) {
+      for (uint32_t row : touched_[t]) {
+        bits_[t][row >> 6] = 0;  // coarse word clear; neighbors also reset
+      }
+      touched_[t].clear();
+    }
+  }
+
+ private:
+  std::vector<std::vector<uint64_t>> bits_;     // per table, 1 bit per row
+  std::vector<std::vector<uint32_t>> touched_;  // per table, set rows
+};
+
+}  // namespace fae
+
+#endif  // FAE_ENGINE_DIRTY_ROWS_H_

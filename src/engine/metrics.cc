@@ -69,13 +69,13 @@ double RocAuc(const std::vector<float>& scores,
 }
 
 EvalResult Evaluate(const RecModel& model,
-                    const std::vector<MiniBatch>& batches) {
+                    const std::vector<BatchView>& batches) {
   EvalResult r;
   double loss_sum = 0.0;
   size_t correct = 0;
   std::vector<float> scores;
   std::vector<float> labels;
-  for (const MiniBatch& batch : batches) {
+  for (const BatchView& batch : batches) {
     Tensor logits = model.EvalLogits(batch);
     loss_sum += BceLossOnly(logits, batch.labels) *
                 static_cast<double>(batch.batch_size());
@@ -94,6 +94,12 @@ EvalResult Evaluate(const RecModel& model,
     r.auc = RocAuc(scores, labels);
   }
   return r;
+}
+
+EvalResult Evaluate(const RecModel& model,
+                    const std::vector<MiniBatch>& batches) {
+  std::vector<BatchView> views(batches.begin(), batches.end());
+  return Evaluate(model, views);
 }
 
 }  // namespace fae

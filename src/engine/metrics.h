@@ -65,6 +65,9 @@ struct EvalResult {
   size_t samples = 0;
 };
 EvalResult Evaluate(const RecModel& model,
+                    const std::vector<BatchView>& batches);
+/// Legacy overload; each MiniBatch is viewed in place.
+EvalResult Evaluate(const RecModel& model,
                     const std::vector<MiniBatch>& batches);
 
 /// ROC-AUC of `scores` against binary `labels` (>= 0.5 is positive),

@@ -4,12 +4,12 @@
 #include <bit>
 #include <numeric>
 #include <functional>
-#include <unordered_set>
 
 #include "core/embedding_replicator.h"
 #include "core/fae_format.h"
 #include "core/input_processor.h"
 #include "core/shuffle_scheduler.h"
+#include "engine/dirty_rows.h"
 #include "sim/partition.h"
 #include "util/logging.h"
 #include "util/half.h"
@@ -67,6 +67,17 @@ Trainer::Trainer(RecModel* model, SystemSpec system, TrainOptions options)
     pool_ = std::make_unique<ThreadPool>(options_.num_threads);
     model_->SetThreadPool(pool_.get());
   }
+  // The fused-apply functor is built once with a single-pointer capture, so
+  // std::function's small-buffer optimization holds it — the training loop
+  // never allocates a closure. MathStep repoints ctx->tables per call.
+  apply_ctx_.sgd = &sparse_sgd_;
+  apply_ctx_.pool = pool_.get();
+  fused_apply_ = [ctx = &apply_ctx_](size_t t, const Tensor& grad_out,
+                                     std::span<const uint32_t> indices,
+                                     std::span<const uint32_t> offsets) {
+    ctx->sgd->FusedBackwardStep(*(*ctx->tables)[t], grad_out, indices,
+                                offsets, ctx->pool);
+  };
 }
 
 uint64_t Trainer::OptionsFingerprint() const {
@@ -162,23 +173,23 @@ void Trainer::MaybeQuantizeTables() {
   }
 }
 
-void Trainer::MathStep(const MiniBatch& batch,
+void Trainer::MathStep(const BatchView& batch,
                        const std::vector<EmbeddingTable*>& tables,
                        RunningMetric& metric, RunningMetric& window) {
   ThreadPool* pool = pool_.get();
+  if (dense_params_.empty()) dense_params_ = model_->DenseParams();
   if (!options_.fp16_embeddings) {
     // Fast path: each table's backward scatter and optimizer update run as
     // one fused pass over the batch's lookup list — the SparseGrad is
     // never materialized. Bit-identical to the materialized path (same
-    // per-row accumulation order, same update arithmetic).
-    const SparseApplyFn apply = [&](size_t t, const Tensor& grad_out,
-                                    const std::vector<uint32_t>& indices,
-                                    const std::vector<uint32_t>& offsets) {
-      sparse_sgd_.FusedBackwardStep(*tables[t], grad_out, indices, offsets,
-                                    pool);
-    };
-    StepResult step = model_->ForwardBackwardFusedOn(batch, tables, apply);
-    dense_sgd_.Step(model_->DenseParams());
+    // per-row accumulation order, same update arithmetic). Everything here
+    // runs in reused buffers: the model's workspaces, the optimizer's
+    // scratch, the prebuilt apply functor — zero heap allocations at
+    // steady state.
+    apply_ctx_.tables = &tables;
+    StepResult step =
+        model_->ForwardBackwardFusedOn(batch, tables, fused_apply_);
+    dense_sgd_.Step(dense_params_);
     // Gradients a model chose not to fuse (base-class fallback) still take
     // the materialized optimizer step.
     for (size_t t = 0; t < step.table_grads.size(); ++t) {
@@ -192,7 +203,7 @@ void Trainer::MathStep(const MiniBatch& batch,
   // fp16 storage needs the materialized gradient: its touched-row list
   // tells us which rows to round back through binary16.
   StepResult step = model_->ForwardBackwardOn(batch, tables);
-  dense_sgd_.Step(model_->DenseParams());
+  dense_sgd_.Step(dense_params_);
   for (size_t t = 0; t < step.table_grads.size(); ++t) {
     const SparseGrad& grad = step.table_grads[t];
     if (grad.empty()) continue;
@@ -210,15 +221,31 @@ void Trainer::MathStep(const MiniBatch& batch,
   window.Observe(step.loss, step.correct, step.batch_size);
 }
 
-std::vector<MiniBatch> Trainer::MakeEvalBatches(
-    const Dataset& dataset, const Dataset::Split& split) const {
+Trainer::EvalSet Trainer::MakeEvalSet(const Dataset& dataset,
+                                      const Dataset::Split& split) const {
+  EvalSet set;
   std::vector<uint64_t> ids = split.test;
   if (ids.size() > options_.eval_samples) ids.resize(options_.eval_samples);
-  return AssembleBatches(dataset, ids, options_.eval_batch, /*hot=*/false);
+  // One gather, then every eval pass streams the flat copy zero-copy.
+  set.flat = dataset.flat().Gather(ids);
+  set.views = MakeBatchViews(set.flat, options_.eval_batch, /*hot=*/false);
+  return set;
+}
+
+std::vector<Trainer::TrainBatch> Trainer::MakeTrainBatches(
+    const FlatDataset& flat, size_t batch_size, bool hot) const {
+  std::vector<BatchView> views = MakeBatchViews(flat, batch_size, hot);
+  std::vector<TrainBatch> out;
+  out.reserve(views.size());
+  for (BatchView& v : views) {
+    BatchWork work = model_->Work(v);
+    out.push_back(TrainBatch{std::move(v), std::move(work)});
+  }
+  return out;
 }
 
 void Trainer::FinishReport(TrainReport& report,
-                           const std::vector<MiniBatch>& eval_batches,
+                           const std::vector<BatchView>& eval_batches,
                            RunningMetric& metric) const {
   if (options_.fault_injector != nullptr) {
     report.faults = options_.fault_injector->stats();
@@ -256,11 +283,15 @@ StatusOr<TrainReport> Trainer::TrainBaselineResumable(
   for (size_t i = ids.size(); i > 1; --i) {
     std::swap(ids[i - 1], ids[rng.NextBounded(i)]);
   }
-  std::vector<MiniBatch> batches =
-      AssembleBatches(dataset, ids, GlobalBatchSize(), /*hot=*/false);
-  const std::vector<MiniBatch> eval_batches =
-      options_.run_math ? MakeEvalBatches(dataset, split)
-                        : std::vector<MiniBatch>{};
+  // One gather into epoch order; batches are views into the gathered
+  // buffers (consecutive sample ranges), with cost-model work units
+  // computed once. Per-epoch reshuffles permute the view list — the
+  // underlying data is never copied again.
+  const FlatDataset train_flat = dataset.flat().Gather(ids);
+  std::vector<TrainBatch> batches =
+      MakeTrainBatches(train_flat, GlobalBatchSize(), /*hot=*/false);
+  const EvalSet eval_set =
+      options_.run_math ? MakeEvalSet(dataset, split) : EvalSet{};
 
   std::vector<EmbeddingTable*> tables;
   for (EmbeddingTable& t : model_->tables()) tables.push_back(&t);
@@ -347,25 +378,24 @@ StatusOr<TrainReport> Trainer::TrainBaselineResumable(
     }
     const size_t first = epoch == start_epoch ? start_batch : 0;
     for (size_t b = first; b < batches.size(); ++b) {
-      const MiniBatch& batch = batches[b];
+      const TrainBatch& batch = batches[b];
       FAE_ASSIGN_OR_RETURN(const bool crashed,
                            DrainFaults(iteration, report, nullptr));
       if (crashed) {
-        FinishReport(report, eval_batches, metric);
+        FinishReport(report, eval_set.views, metric);
         return report;
       }
       if (options_.pipelined_baseline) {
-        accountant_.ChargeBaselineStepPipelined(model_->Work(batch),
-                                                report.timeline);
+        accountant_.ChargeBaselineStepPipelined(batch.work, report.timeline);
       } else {
-        accountant_.ChargeBaselineStep(model_->Work(batch), report.timeline);
+        accountant_.ChargeBaselineStep(batch.work, report.timeline);
       }
-      if (options_.run_math) MathStep(batch, tables, metric, window);
+      if (options_.run_math) MathStep(batch.view, tables, metric, window);
       ++iteration;
       ++report.num_batches;
       if (options_.run_math && iteration % eval_every == 0) {
         CurvePoint point = window.Flush(iteration);
-        const EvalResult eval = Evaluate(*model_, eval_batches);
+        const EvalResult eval = Evaluate(*model_, eval_set.views);
         point.test_loss = eval.loss;
         point.test_acc = eval.accuracy;
         report.curve.push_back(point);
@@ -376,7 +406,7 @@ StatusOr<TrainReport> Trainer::TrainBaselineResumable(
       }
     }
   }
-  FinishReport(report, eval_batches, metric);
+  FinishReport(report, eval_set.views, metric);
   return report;
 }
 
@@ -428,14 +458,19 @@ StatusOr<TrainReport> Trainer::TrainFaeWithPlan(const Dataset& dataset,
   report.demoted_rows = p.demoted_rows;
   report.fallback_inputs = p.fallback_inputs;
 
-  InputProcessor::PackedBatches packed = InputProcessor::Pack(
-      dataset, p.inputs, GlobalBatchSize(), options_.seed);
-  report.hot_batches = packed.hot.size();
-  report.cold_batches = packed.cold.size();
+  // Each class is gathered once into a flat buffer (same seeded shuffles
+  // the MiniBatch packer used); pure hot/cold batches are views into it.
+  InputProcessor::PackedFlat packed =
+      InputProcessor::PackFlat(dataset, p.inputs, options_.seed);
+  std::vector<TrainBatch> hot_batches =
+      MakeTrainBatches(packed.hot, GlobalBatchSize(), /*hot=*/true);
+  std::vector<TrainBatch> cold_batches =
+      MakeTrainBatches(packed.cold, GlobalBatchSize(), /*hot=*/false);
+  report.hot_batches = hot_batches.size();
+  report.cold_batches = cold_batches.size();
 
-  const std::vector<MiniBatch> eval_batches =
-      options_.run_math ? MakeEvalBatches(dataset, split)
-                        : std::vector<MiniBatch>{};
+  const EvalSet eval_set =
+      options_.run_math ? MakeEvalSet(dataset, split) : EvalSet{};
 
   std::vector<EmbeddingTable*> master_tables;
   for (EmbeddingTable& t : model_->tables()) master_tables.push_back(&t);
@@ -445,32 +480,36 @@ StatusOr<TrainReport> Trainer::TrainFaeWithPlan(const Dataset& dataset,
   EmbeddingReplicator replicator(model_->tables(), p.hot_set);
   std::vector<EmbeddingTable*> replica_tables = replicator.replica_tables();
 
-  // Pre-translate hot batches into replica coordinates (done once; the
-  // paper stores preprocessed data in the FAE format for reuse).
-  std::vector<MiniBatch> hot_translated;
+  // Pre-translate the hot class into replica coordinates (one translated
+  // clone of the gathered buffer; the paper stores preprocessed data in
+  // the FAE format for reuse). Hot training batches view this clone.
+  FlatDataset hot_translated;
+  std::vector<BatchView> hot_translated_views;
   if (options_.run_math) {
-    hot_translated.reserve(packed.hot.size());
-    for (const MiniBatch& b : packed.hot) {
-      FAE_ASSIGN_OR_RETURN(MiniBatch translated,
-                           replicator.TranslateBatch(b));
-      hot_translated.push_back(std::move(translated));
-    }
+    FAE_ASSIGN_OR_RETURN(hot_translated, replicator.TranslateFlat(packed.hot));
+    hot_translated_views =
+        MakeBatchViews(hot_translated, GlobalBatchSize(), /*hot=*/true);
   }
 
-  ShuffleScheduler scheduler(packed.cold.size(), packed.hot.size(), config);
+  ShuffleScheduler scheduler(cold_batches.size(), hot_batches.size(), config);
   RunningMetric metric;
   RunningMetric window;
   size_t iteration = 0;
   size_t start_epoch = 0;
 
-  // Dirty-row tracking for SyncStrategy::kDirty. Sets hold *master* row
-  // ids; tracking is index-based so it works in cost-only mode too.
+  // Dirty-row tracking for SyncStrategy::kDirty: a reusable bitmap plus
+  // touched list per table (see DirtyRows) holding *master* row ids;
+  // tracking is index-based so it works in cost-only mode too.
   const bool dirty_sync = options_.sync_strategy == SyncStrategy::kDirty;
   const size_t num_tables = dataset.schema().num_tables();
   const uint64_t row_bytes =
       dataset.schema().embedding_dim * sizeof(float) + sizeof(uint32_t);
-  std::vector<std::unordered_set<uint32_t>> master_dirty(num_tables);
-  std::vector<std::unordered_set<uint32_t>> replica_dirty(num_tables);
+  DirtyRows master_dirty;
+  DirtyRows replica_dirty;
+  if (dirty_sync) {
+    master_dirty.Init(dataset.schema().table_rows);
+    replica_dirty.Init(dataset.schema().table_rows);
+  }
   bool replica_initialized = false;
 
   const CheckpointOptions& ckpt = options_.checkpoint;
@@ -544,18 +583,6 @@ StatusOr<TrainReport> Trainer::TrainFaeWithPlan(const Dataset& dataset,
                                    before);
   };
 
-  auto drain_dirty = [&](std::vector<std::unordered_set<uint32_t>>& dirty,
-                         uint64_t& bytes_out) {
-    std::vector<std::vector<uint32_t>> rows(num_tables);
-    bytes_out = 0;
-    for (size_t t = 0; t < num_tables; ++t) {
-      rows[t].assign(dirty[t].begin(), dirty[t].end());
-      bytes_out += rows[t].size() * row_bytes;
-      dirty[t].clear();
-    }
-    return rows;
-  };
-
   // Recovery from a corrupted hot-slice sync: every replica is garbage, so
   // discard them all and re-pull from the CPU master copy, which is always
   // authoritative. GPU updates not yet pushed when the fault hit are lost
@@ -578,15 +605,15 @@ StatusOr<TrainReport> Trainer::TrainFaeWithPlan(const Dataset& dataset,
     }
     report.sync_bytes += p.hot_bytes;
     // Replicas now mirror the masters exactly.
-    for (auto& d : master_dirty) d.clear();
-    for (auto& d : replica_dirty) d.clear();
+    master_dirty.Clear();
+    replica_dirty.Clear();
     replica_initialized = true;
   };
 
   auto finalize = [&] {
     report.transitions = scheduler.transitions();
     report.final_rate = scheduler.rate();
-    FinishReport(report, eval_batches, metric);
+    FinishReport(report, eval_set.views, metric);
   };
 
   for (size_t epoch = start_epoch; epoch < options_.epochs; ++epoch) {
@@ -604,12 +631,10 @@ StatusOr<TrainReport> Trainer::TrainFaeWithPlan(const Dataset& dataset,
           });
           report.sync_bytes += p.hot_bytes;
           if (options_.run_math) replicator.PullFromMasters(model_->tables());
-          for (auto& d : master_dirty) d.clear();
+          if (dirty_sync) master_dirty.Clear();
           replica_initialized = true;
         } else {
-          uint64_t bytes = 0;
-          std::vector<std::vector<uint32_t>> rows =
-              drain_dirty(master_dirty, bytes);
+          uint64_t bytes = master_dirty.TotalTouched() * row_bytes;
           if (bytes >= p.hot_bytes) {
             // Nearly everything is dirty (hot rows are frequently touched
             // by construction): a wholesale copy avoids the per-row index
@@ -628,9 +653,11 @@ StatusOr<TrainReport> Trainer::TrainFaeWithPlan(const Dataset& dataset,
             });
             report.sync_bytes += bytes;
             if (options_.run_math) {
-              replicator.PullRowsFromMasters(model_->tables(), rows);
+              replicator.PullRowsFromMasters(model_->tables(),
+                                             master_dirty.touched());
             }
           }
+          master_dirty.Clear();
         }
         for (size_t i = chunk->begin; i < chunk->begin + chunk->count; ++i) {
           FAE_ASSIGN_OR_RETURN(
@@ -641,16 +668,15 @@ StatusOr<TrainReport> Trainer::TrainFaeWithPlan(const Dataset& dataset,
             return report;
           }
           charge_serial([&] {
-            accountant_.ChargeHotStep(model_->Work(packed.hot[i]),
-                                      report.timeline);
+            accountant_.ChargeHotStep(hot_batches[i].work, report.timeline);
           });
           if (options_.run_math) {
-            MathStep(hot_translated[i], replica_tables, metric, window);
+            MathStep(hot_translated_views[i], replica_tables, metric, window);
           }
           if (dirty_sync) {
+            // Untranslated indices — dirty tracking speaks master ids.
             for (size_t t = 0; t < num_tables; ++t) {
-              replica_dirty[t].insert(packed.hot[i].indices[t].begin(),
-                                      packed.hot[i].indices[t].end());
+              replica_dirty.MarkAll(t, hot_batches[i].view.indices(t));
             }
           }
           ++iteration;
@@ -664,9 +690,7 @@ StatusOr<TrainReport> Trainer::TrainFaeWithPlan(const Dataset& dataset,
           report.sync_bytes += p.hot_bytes;
           if (options_.run_math) replicator.PushToMasters(model_->tables());
         } else {
-          uint64_t bytes = 0;
-          std::vector<std::vector<uint32_t>> rows =
-              drain_dirty(replica_dirty, bytes);
+          uint64_t bytes = replica_dirty.TotalTouched() * row_bytes;
           if (bytes >= p.hot_bytes) {
             bytes = p.hot_bytes;
             charge_serial([&] {
@@ -682,9 +706,11 @@ StatusOr<TrainReport> Trainer::TrainFaeWithPlan(const Dataset& dataset,
             });
             report.sync_bytes += bytes;
             if (options_.run_math) {
-              replicator.PushRowsToMasters(model_->tables(), rows);
+              replicator.PushRowsToMasters(model_->tables(),
+                                           replica_dirty.touched());
             }
           }
+          replica_dirty.Clear();
         }
       } else {
         for (size_t i = chunk->begin; i < chunk->begin + chunk->count; ++i) {
@@ -696,21 +722,21 @@ StatusOr<TrainReport> Trainer::TrainFaeWithPlan(const Dataset& dataset,
             return report;
           }
           if (options_.pipelined_baseline) {
-            accountant_.ChargeBaselineStepPipelined(
-                model_->Work(packed.cold[i]), report.timeline);
+            accountant_.ChargeBaselineStepPipelined(cold_batches[i].work,
+                                                    report.timeline);
           } else {
-            accountant_.ChargeBaselineStep(model_->Work(packed.cold[i]),
+            accountant_.ChargeBaselineStep(cold_batches[i].work,
                                            report.timeline);
           }
           if (options_.run_math) {
-            MathStep(packed.cold[i], master_tables, metric, window);
+            MathStep(cold_batches[i].view, master_tables, metric, window);
           }
           if (dirty_sync) {
             // Cold inputs may update hot rows on the master; those rows
             // must reach the replicas before the next hot phase.
             for (size_t t = 0; t < num_tables; ++t) {
-              for (uint32_t row : packed.cold[i].indices[t]) {
-                if (p.hot_set.IsHot(t, row)) master_dirty[t].insert(row);
+              for (uint32_t row : cold_batches[i].view.indices(t)) {
+                if (p.hot_set.IsHot(t, row)) master_dirty.Mark(t, row);
               }
             }
           }
@@ -720,7 +746,7 @@ StatusOr<TrainReport> Trainer::TrainFaeWithPlan(const Dataset& dataset,
       }
       if (options_.run_math) {
         CurvePoint point = window.Flush(iteration);
-        const EvalResult eval = Evaluate(*model_, eval_batches);
+        const EvalResult eval = Evaluate(*model_, eval_set.views);
         point.test_loss = eval.loss;
         point.test_acc = eval.accuracy;
         report.curve.push_back(point);
@@ -770,11 +796,11 @@ TrainReport Trainer::TrainNvOpt(const Dataset& dataset,
   for (size_t i = ids.size(); i > 1; --i) {
     std::swap(ids[i - 1], ids[rng.NextBounded(i)]);
   }
-  std::vector<MiniBatch> batches =
-      AssembleBatches(dataset, ids, GlobalBatchSize(), /*hot=*/false);
-  const std::vector<MiniBatch> eval_batches =
-      options_.run_math ? MakeEvalBatches(dataset, split)
-                        : std::vector<MiniBatch>{};
+  const FlatDataset train_flat = dataset.flat().Gather(ids);
+  std::vector<TrainBatch> batches =
+      MakeTrainBatches(train_flat, GlobalBatchSize(), /*hot=*/false);
+  const EvalSet eval_set =
+      options_.run_math ? MakeEvalSet(dataset, split) : EvalSet{};
   std::vector<EmbeddingTable*> tables;
   for (EmbeddingTable& t : model_->tables()) tables.push_back(&t);
 
@@ -785,15 +811,14 @@ TrainReport Trainer::TrainNvOpt(const Dataset& dataset,
     for (size_t i = batches.size(); i > 1; --i) {
       std::swap(batches[i - 1], batches[rng.NextBounded(i)]);
     }
-    for (const MiniBatch& batch : batches) {
-      accountant_.ChargeNvOptStep(model_->Work(batch), on_gpu,
-                                  schema.embedding_dim, batch.batch_size(),
-                                  report.timeline);
-      if (options_.run_math) MathStep(batch, tables, metric, metric2);
+    for (const TrainBatch& batch : batches) {
+      accountant_.ChargeNvOptStep(batch.work, on_gpu, schema.embedding_dim,
+                                  batch.view.batch_size(), report.timeline);
+      if (options_.run_math) MathStep(batch.view, tables, metric, metric2);
       ++report.num_batches;
     }
   }
-  FinishReport(report, eval_batches, metric);
+  FinishReport(report, eval_set.views, metric);
   return report;
 }
 
@@ -828,11 +853,11 @@ StatusOr<TrainReport> Trainer::TrainModelParallel(
   for (size_t i = ids.size(); i > 1; --i) {
     std::swap(ids[i - 1], ids[rng.NextBounded(i)]);
   }
-  std::vector<MiniBatch> batches =
-      AssembleBatches(dataset, ids, GlobalBatchSize(), /*hot=*/false);
-  const std::vector<MiniBatch> eval_batches =
-      options_.run_math ? MakeEvalBatches(dataset, split)
-                        : std::vector<MiniBatch>{};
+  const FlatDataset train_flat = dataset.flat().Gather(ids);
+  std::vector<TrainBatch> batches =
+      MakeTrainBatches(train_flat, GlobalBatchSize(), /*hot=*/false);
+  const EvalSet eval_set =
+      options_.run_math ? MakeEvalSet(dataset, split) : EvalSet{};
   std::vector<EmbeddingTable*> tables;
   for (EmbeddingTable& t : model_->tables()) tables.push_back(&t);
 
@@ -844,14 +869,13 @@ StatusOr<TrainReport> Trainer::TrainModelParallel(
     for (size_t i = batches.size(); i > 1; --i) {
       std::swap(batches[i - 1], batches[rng.NextBounded(i)]);
     }
-    for (const MiniBatch& batch : batches) {
-      accountant_.ChargeModelParallelStep(model_->Work(batch),
-                                          report.timeline);
-      if (options_.run_math) MathStep(batch, tables, metric, window);
+    for (const TrainBatch& batch : batches) {
+      accountant_.ChargeModelParallelStep(batch.work, report.timeline);
+      if (options_.run_math) MathStep(batch.view, tables, metric, window);
       ++report.num_batches;
     }
   }
-  FinishReport(report, eval_batches, metric);
+  FinishReport(report, eval_set.views, metric);
   return report;
 }
 
@@ -873,48 +897,64 @@ TrainReport Trainer::TrainGpuCache(const Dataset& dataset,
   for (size_t i = ids.size(); i > 1; --i) {
     std::swap(ids[i - 1], ids[rng.NextBounded(i)]);
   }
-  std::vector<MiniBatch> batches =
-      AssembleBatches(dataset, ids, GlobalBatchSize(), /*hot=*/false);
-  const std::vector<MiniBatch> eval_batches =
-      options_.run_math ? MakeEvalBatches(dataset, split)
-                        : std::vector<MiniBatch>{};
+  const FlatDataset train_flat = dataset.flat().Gather(ids);
+  std::vector<TrainBatch> batches =
+      MakeTrainBatches(train_flat, GlobalBatchSize(), /*hot=*/false);
+  const EvalSet eval_set =
+      options_.run_math ? MakeEvalSet(dataset, split) : EvalSet{};
   std::vector<EmbeddingTable*> tables;
   for (EmbeddingTable& t : model_->tables()) tables.push_back(&t);
 
+  // Partition each batch's lookups into cache hits and misses once — the
+  // split depends only on the batch and the (fixed) cache contents.
+  struct CacheCost {
+    uint64_t hit_lookups = 0;
+    uint64_t miss_lookups = 0;
+    uint64_t miss_touched = 0;
+  };
+  std::vector<CacheCost> cache_costs(batches.size());
+  std::vector<uint32_t> miss_scratch;
+  for (size_t b = 0; b < batches.size(); ++b) {
+    CacheCost& cc = cache_costs[b];
+    for (size_t t = 0; t < schema.num_tables(); ++t) {
+      miss_scratch.clear();
+      for (uint32_t row : batches[b].view.indices(t)) {
+        if (plan.hot_set.IsHot(t, row)) {
+          ++cc.hit_lookups;
+        } else {
+          ++cc.miss_lookups;
+          miss_scratch.push_back(row);
+        }
+      }
+      std::sort(miss_scratch.begin(), miss_scratch.end());
+      cc.miss_touched += static_cast<uint64_t>(
+          std::unique(miss_scratch.begin(), miss_scratch.end()) -
+          miss_scratch.begin());
+    }
+  }
+
   RunningMetric metric;
   RunningMetric window;
-  std::unordered_set<uint32_t> miss_rows;
   for (size_t epoch = 0; epoch < options_.epochs; ++epoch) {
     // Same per-epoch reshuffle as the baseline (see TrainModelParallel).
+    // Costs travel with their batches.
     for (size_t i = batches.size(); i > 1; --i) {
-      std::swap(batches[i - 1], batches[rng.NextBounded(i)]);
+      const size_t j = rng.NextBounded(i);
+      std::swap(batches[i - 1], batches[j]);
+      std::swap(cache_costs[i - 1], cache_costs[j]);
     }
-    for (const MiniBatch& batch : batches) {
-      // Partition the batch's lookups into cache hits and misses.
-      uint64_t hit_lookups = 0;
-      uint64_t miss_lookups = 0;
-      uint64_t miss_touched = 0;
-      for (size_t t = 0; t < schema.num_tables(); ++t) {
-        miss_rows.clear();
-        for (uint32_t row : batch.indices[t]) {
-          if (plan.hot_set.IsHot(t, row)) {
-            ++hit_lookups;
-          } else {
-            ++miss_lookups;
-            miss_rows.insert(row);
-          }
-        }
-        miss_touched += miss_rows.size();
-      }
-      accountant_.ChargeCacheStep(model_->Work(batch),
-                                  hit_lookups * row_bytes,
-                                  miss_lookups * row_bytes,
-                                  miss_touched * row_bytes, report.timeline);
-      if (options_.run_math) MathStep(batch, tables, metric, window);
+    for (size_t b = 0; b < batches.size(); ++b) {
+      const TrainBatch& batch = batches[b];
+      const CacheCost& cc = cache_costs[b];
+      accountant_.ChargeCacheStep(batch.work, cc.hit_lookups * row_bytes,
+                                  cc.miss_lookups * row_bytes,
+                                  cc.miss_touched * row_bytes,
+                                  report.timeline);
+      if (options_.run_math) MathStep(batch.view, tables, metric, window);
       ++report.num_batches;
     }
   }
-  FinishReport(report, eval_batches, metric);
+  FinishReport(report, eval_set.views, metric);
   return report;
 }
 

@@ -8,6 +8,7 @@
 
 #include "core/fae_config.h"
 #include "core/fae_pipeline.h"
+#include "data/batch_view.h"
 #include "data/dataset.h"
 #include "engine/checkpoint.h"
 #include "engine/metrics.h"
@@ -201,14 +202,43 @@ class Trainer {
       uint64_t iteration, TrainReport& report,
       const std::function<void(uint64_t)>& on_corrupt_sync);
   void MaybeQuantizeTables();
-  void MathStep(const MiniBatch& batch,
+  /// One training step into the model's workspaces. The fused (non-fp16)
+  /// path performs zero heap allocations once warmed up: the apply functor
+  /// is a prebuilt member (single-pointer capture, so std::function's SBO
+  /// holds it), dense params are gathered once, and scatter + optimizer
+  /// run in SparseSgd's reusable scratch.
+  void MathStep(const BatchView& batch,
                 const std::vector<EmbeddingTable*>& tables,
                 RunningMetric& metric, RunningMetric& window);
-  std::vector<MiniBatch> MakeEvalBatches(const Dataset& dataset,
-                                         const Dataset::Split& split) const;
+  /// Held-out eval data gathered once into a flat buffer; `views` are
+  /// zero-copy batches into `flat` (so the struct must stay alive while
+  /// they are in use; moves are safe — views point at heap buffers).
+  struct EvalSet {
+    FlatDataset flat;
+    std::vector<BatchView> views;
+  };
+  EvalSet MakeEvalSet(const Dataset& dataset,
+                      const Dataset::Split& split) const;
+  /// A training batch with its cost-model work units, computed once —
+  /// Work() is pure per batch, so the per-epoch loops only shuffle and
+  /// charge, never re-derive.
+  struct TrainBatch {
+    BatchView view;
+    BatchWork work;
+  };
+  std::vector<TrainBatch> MakeTrainBatches(const FlatDataset& flat,
+                                           size_t batch_size, bool hot) const;
   void FinishReport(TrainReport& report,
-                    const std::vector<MiniBatch>& eval_batches,
+                    const std::vector<BatchView>& eval_batches,
                     RunningMetric& metric) const;
+
+  /// Context behind the prebuilt fused-apply functor: MathStep repoints
+  /// `tables` per call (master vs. replica), nothing is reallocated.
+  struct ApplyCtx {
+    SparseSgd* sgd = nullptr;
+    const std::vector<EmbeddingTable*>* tables = nullptr;
+    ThreadPool* pool = nullptr;
+  };
 
   RecModel* model_;
   SystemSpec system_;
@@ -219,6 +249,10 @@ class Trainer {
   SparseSgd sparse_sgd_;
   /// Kernel worker pool, shared with the model; null when num_threads <= 1.
   std::unique_ptr<ThreadPool> pool_;
+  ApplyCtx apply_ctx_;
+  SparseApplyFn fused_apply_;
+  /// model_->DenseParams(), gathered on the first MathStep.
+  std::vector<Parameter*> dense_params_;
 };
 
 }  // namespace fae

@@ -1,8 +1,7 @@
 #include "models/dlrm.h"
 
-#include <unordered_set>
+#include <algorithm>
 
-#include "tensor/loss.h"
 #include "tensor/ops.h"
 #include "util/logging.h"
 
@@ -29,19 +28,94 @@ Dlrm::Dlrm(const DatasetSchema& schema, const ModelConfig& config,
   for (uint64_t rows : schema_.table_rows) {
     tables_.emplace_back(rows, schema_.embedding_dim, rng);
   }
+  // Fixed-shape workspace wiring; the tensors themselves size lazily.
+  const size_t f = schema_.num_tables() + 1;
+  emb_out_.resize(schema_.num_tables());
+  features_.reserve(f);
+  concat_blocks_.resize(2);
+  split_widths_ = {schema_.embedding_dim, f * (f - 1) / 2};
+  split_outs_ = {&g_bottom_direct_, &g_inter_};
+  feat_grads_.resize(f);
 }
 
-Tensor Dlrm::ForwardImpl(const MiniBatch& batch,
-                         const std::vector<const EmbeddingTable*>& tables,
-                         bool cache) {
+const Tensor& Dlrm::TrainForward(const BatchView& batch,
+                                 const std::vector<EmbeddingTable*>& tables) {
   FAE_CHECK_EQ(tables.size(), schema_.num_tables());
-  Tensor bottom_out = cache ? bottom_.Forward(batch.dense)
-                            : bottom_.ForwardInference(batch.dense);
-  std::vector<Tensor> emb_out;
-  emb_out.reserve(tables.size());
+  const Tensor& bottom_out = bottom_.Forward(batch.dense);
   for (size_t t = 0; t < tables.size(); ++t) {
-    emb_out.push_back(EmbeddingBag::Forward(*tables[t], batch.indices[t],
-                                            batch.offsets[t], pool_));
+    EmbeddingBag::ForwardInto(emb_out_[t], *tables[t], batch.indices(t),
+                              batch.offsets(t), pool_);
+  }
+  features_.clear();
+  features_.push_back(&bottom_out);
+  for (const Tensor& e : emb_out_) features_.push_back(&e);
+  PairwiseDotInteractionInto(inter_, features_, pool_);
+  concat_blocks_[0] = &bottom_out;
+  concat_blocks_[1] = &inter_;
+  ConcatColsInto(top_in_, concat_blocks_);
+  return top_.Forward(top_in_);
+}
+
+StepResult Dlrm::StepImpl(const BatchView& batch,
+                          const std::vector<EmbeddingTable*>& tables,
+                          const SparseApplyFn* apply) {
+  const Tensor& logits = TrainForward(batch, tables);
+  BceWithLogitsInto(bce_, logits, batch.labels);
+
+  // Top MLP backward.
+  const Tensor& g_top_in = top_.Backward(bce_.grad_logits);
+  const size_t d = schema_.embedding_dim;
+  SplitColsInto(split_outs_, g_top_in, split_widths_);
+
+  // Interaction backward. `features_` still points at this step's forward
+  // activations (bottom out lives in the bottom MLP's head layer, which
+  // the top MLP's backward does not touch).
+  PairwiseDotInteractionBackwardInto(feat_grads_, g_inter_, features_,
+                                     pool_);
+
+  // Bottom MLP backward (direct concat path + interaction path).
+  feat_grads_[0].Add(g_bottom_direct_);
+  bottom_.Backward(feat_grads_[0]);
+
+  // Embedding gradients: either materialize per-table SparseGrads or hand
+  // each table's output gradient straight to the fused scatter+optimizer.
+  StepResult result;
+  result.loss = bce_.mean_loss;
+  result.correct = bce_.correct;
+  result.batch_size = batch.batch_size();
+  if (apply != nullptr) {
+    for (size_t t = 0; t < schema_.num_tables(); ++t) {
+      (*apply)(t, feat_grads_[t + 1], batch.indices(t), batch.offsets(t));
+    }
+  } else {
+    result.table_grads.reserve(schema_.num_tables());
+    for (size_t t = 0; t < schema_.num_tables(); ++t) {
+      result.table_grads.push_back(EmbeddingBag::Backward(
+          feat_grads_[t + 1], batch.indices(t), batch.offsets(t), d, pool_));
+    }
+  }
+  return result;
+}
+
+StepResult Dlrm::ForwardBackwardOn(
+    const BatchView& batch, const std::vector<EmbeddingTable*>& tables) {
+  return StepImpl(batch, tables, /*apply=*/nullptr);
+}
+
+StepResult Dlrm::ForwardBackwardFusedOn(
+    const BatchView& batch, const std::vector<EmbeddingTable*>& tables,
+    const SparseApplyFn& apply) {
+  return StepImpl(batch, tables, &apply);
+}
+
+Tensor Dlrm::EvalLogits(const BatchView& batch) const {
+  FAE_CHECK_EQ(schema_.num_tables(), tables_.size());
+  Tensor bottom_out = bottom_.ForwardInference(batch.dense);
+  std::vector<Tensor> emb_out;
+  emb_out.reserve(tables_.size());
+  for (size_t t = 0; t < tables_.size(); ++t) {
+    emb_out.push_back(EmbeddingBag::Forward(tables_[t], batch.indices(t),
+                                            batch.offsets(t), pool_));
   }
   std::vector<const Tensor*> features;
   features.reserve(1 + emb_out.size());
@@ -49,81 +123,7 @@ Tensor Dlrm::ForwardImpl(const MiniBatch& batch,
   for (const Tensor& e : emb_out) features.push_back(&e);
   Tensor inter = PairwiseDotInteraction(features, pool_);
   Tensor top_in = ConcatCols({&bottom_out, &inter});
-  Tensor logits =
-      cache ? top_.Forward(top_in) : top_.ForwardInference(top_in);
-  if (cache) {
-    cached_bottom_out_ = std::move(bottom_out);
-    cached_emb_out_ = std::move(emb_out);
-  }
-  return logits;
-}
-
-StepResult Dlrm::StepImpl(const MiniBatch& batch,
-                          const std::vector<EmbeddingTable*>& tables,
-                          const SparseApplyFn* apply) {
-  std::vector<const EmbeddingTable*> ctables(tables.begin(), tables.end());
-  Tensor logits = ForwardImpl(batch, ctables, /*cache=*/true);
-  BceResult bce = BceWithLogits(logits, batch.labels);
-
-  // Top MLP backward.
-  Tensor g_top_in = top_.Backward(bce.grad_logits);
-  const size_t d = schema_.embedding_dim;
-  const size_t f = schema_.num_tables() + 1;
-  std::vector<Tensor> split = SplitCols(g_top_in, {d, f * (f - 1) / 2});
-  Tensor& g_bottom_direct = split[0];
-  Tensor& g_inter = split[1];
-
-  // Interaction backward.
-  std::vector<const Tensor*> features;
-  features.reserve(f);
-  features.push_back(&cached_bottom_out_);
-  for (const Tensor& e : cached_emb_out_) features.push_back(&e);
-  std::vector<Tensor> feat_grads =
-      PairwiseDotInteractionBackward(g_inter, features, pool_);
-
-  // Bottom MLP backward (direct concat path + interaction path).
-  feat_grads[0].Add(g_bottom_direct);
-  bottom_.Backward(feat_grads[0]);
-
-  // Embedding gradients: either materialize per-table SparseGrads or hand
-  // each table's output gradient straight to the fused scatter+optimizer.
-  StepResult result;
-  result.loss = bce.mean_loss;
-  result.correct = bce.correct;
-  result.batch_size = batch.batch_size();
-  if (apply != nullptr) {
-    for (size_t t = 0; t < schema_.num_tables(); ++t) {
-      (*apply)(t, feat_grads[t + 1], batch.indices[t], batch.offsets[t]);
-    }
-  } else {
-    result.table_grads.reserve(schema_.num_tables());
-    for (size_t t = 0; t < schema_.num_tables(); ++t) {
-      result.table_grads.push_back(EmbeddingBag::Backward(
-          feat_grads[t + 1], batch.indices[t], batch.offsets[t], d, pool_));
-    }
-  }
-  return result;
-}
-
-StepResult Dlrm::ForwardBackwardOn(
-    const MiniBatch& batch, const std::vector<EmbeddingTable*>& tables) {
-  return StepImpl(batch, tables, /*apply=*/nullptr);
-}
-
-StepResult Dlrm::ForwardBackwardFusedOn(
-    const MiniBatch& batch, const std::vector<EmbeddingTable*>& tables,
-    const SparseApplyFn& apply) {
-  return StepImpl(batch, tables, &apply);
-}
-
-Tensor Dlrm::EvalLogits(const MiniBatch& batch) const {
-  std::vector<const EmbeddingTable*> ctables;
-  ctables.reserve(tables_.size());
-  for (const EmbeddingTable& t : tables_) ctables.push_back(&t);
-  // ForwardImpl only mutates caches when cache=true, so the const_cast is
-  // safe for the inference path.
-  return const_cast<Dlrm*>(this)->ForwardImpl(batch, ctables,
-                                              /*cache=*/false);
+  return top_.ForwardInference(top_in);
 }
 
 std::vector<Parameter*> Dlrm::DenseParams() {
@@ -132,7 +132,7 @@ std::vector<Parameter*> Dlrm::DenseParams() {
   return params;
 }
 
-BatchWork Dlrm::Work(const MiniBatch& batch) const {
+BatchWork Dlrm::Work(const BatchView& batch) const {
   BatchWork w;
   const size_t b = batch.batch_size();
   w.batch_size = b;
@@ -145,11 +145,17 @@ BatchWork Dlrm::Work(const MiniBatch& batch) const {
       static_cast<uint64_t>(b) * schema_.num_tables() * d * sizeof(float);
   w.dense_param_count = bottom_.NumParams() + top_.NumParams();
   for (size_t t = 0; t < schema_.num_tables(); ++t) {
-    std::unordered_set<uint32_t> distinct(batch.indices[t].begin(),
-                                          batch.indices[t].end());
-    w.touched_rows += distinct.size();
-    w.per_table_lookups.push_back(batch.indices[t].size());
-    w.per_table_touched.push_back(distinct.size());
+    const std::span<const uint32_t> idx = batch.indices(t);
+    // Sort-based distinct count into reusable scratch (setup-time path,
+    // but no reason to pay an unordered_set's node churn).
+    work_scratch_.assign(idx.begin(), idx.end());
+    std::sort(work_scratch_.begin(), work_scratch_.end());
+    const size_t distinct = static_cast<size_t>(
+        std::unique(work_scratch_.begin(), work_scratch_.end()) -
+        work_scratch_.begin());
+    w.touched_rows += distinct;
+    w.per_table_lookups.push_back(idx.size());
+    w.per_table_touched.push_back(distinct);
   }
   w.touched_bytes = w.touched_rows * d * sizeof(float);
   return w;

@@ -6,6 +6,7 @@
 
 #include "models/model_config.h"
 #include "models/rec_model.h"
+#include "tensor/loss.h"
 #include "tensor/mlp.h"
 
 namespace fae {
@@ -14,16 +15,20 @@ namespace fae {
 /// RMC3): bottom MLP over dense features, one sum-pooled embedding bag per
 /// categorical table, pairwise-dot feature interaction, top MLP to a
 /// click-probability logit.
+///
+/// Training steps run entirely in member workspaces (activations,
+/// interaction buffers, gradients) sized on the first step and reused —
+/// the fused path performs zero heap allocations at steady state.
 class Dlrm : public RecModel {
  public:
   Dlrm(const DatasetSchema& schema, const ModelConfig& config, uint64_t seed);
 
   StepResult ForwardBackwardOn(
-      const MiniBatch& batch,
+      const BatchView& batch,
       const std::vector<EmbeddingTable*>& tables) override;
 
   StepResult ForwardBackwardFusedOn(
-      const MiniBatch& batch, const std::vector<EmbeddingTable*>& tables,
+      const BatchView& batch, const std::vector<EmbeddingTable*>& tables,
       const SparseApplyFn& apply) override;
 
   void SetThreadPool(ThreadPool* pool) override {
@@ -32,7 +37,7 @@ class Dlrm : public RecModel {
     top_.set_thread_pool(pool);
   }
 
-  Tensor EvalLogits(const MiniBatch& batch) const override;
+  Tensor EvalLogits(const BatchView& batch) const override;
 
   std::vector<Parameter*> DenseParams() override;
   std::vector<EmbeddingTable>& tables() override { return tables_; }
@@ -40,16 +45,17 @@ class Dlrm : public RecModel {
     return tables_;
   }
   size_t embedding_dim() const override { return schema_.embedding_dim; }
-  BatchWork Work(const MiniBatch& batch) const override;
+  BatchWork Work(const BatchView& batch) const override;
 
  private:
-  Tensor ForwardImpl(const MiniBatch& batch,
-                     const std::vector<const EmbeddingTable*>& tables,
-                     bool cache);
+  /// Training forward into the member workspaces; returns the top MLP's
+  /// logit workspace.
+  const Tensor& TrainForward(const BatchView& batch,
+                             const std::vector<EmbeddingTable*>& tables);
 
   // Shared forward+backward; when `apply` is non-null every table's output
   // gradient is handed to it instead of materialized in the result.
-  StepResult StepImpl(const MiniBatch& batch,
+  StepResult StepImpl(const BatchView& batch,
                       const std::vector<EmbeddingTable*>& tables,
                       const SparseApplyFn* apply);
 
@@ -60,9 +66,21 @@ class Dlrm : public RecModel {
   std::vector<EmbeddingTable> tables_;
   ThreadPool* pool_ = nullptr;  // not owned
 
-  // Forward caches consumed by the following backward.
-  Tensor cached_bottom_out_;
-  std::vector<Tensor> cached_emb_out_;
+  // Step workspaces, reused across batches (capacity sticks at the largest
+  // batch seen). `features_` holds {bottom out, emb_out_...} pointers for
+  // the interaction kernels; its pointees live for the whole step.
+  std::vector<Tensor> emb_out_;
+  std::vector<const Tensor*> features_;
+  std::vector<const Tensor*> concat_blocks_;
+  Tensor inter_;
+  Tensor top_in_;
+  BceResult bce_;
+  Tensor g_bottom_direct_;
+  Tensor g_inter_;
+  std::vector<Tensor*> split_outs_;
+  std::vector<size_t> split_widths_;
+  std::vector<Tensor> feat_grads_;
+  mutable std::vector<uint32_t> work_scratch_;  // Work() distinct counting
 };
 
 }  // namespace fae

@@ -3,8 +3,10 @@
 
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <vector>
 
+#include "data/batch_view.h"
 #include "data/minibatch.h"
 #include "embedding/embedding_bag.h"
 #include "embedding/embedding_table.h"
@@ -48,19 +50,23 @@ struct BatchWork {
 };
 
 /// Consumes one table's sparse backward inline during a fused step:
-/// receives dL/dout [B, dim] for `table` plus the batch's CSR lookup list,
-/// and is expected to scatter + apply the optimizer in one pass (see
+/// receives dL/dout [B, dim] for `table` plus the batch's CSR lookup list
+/// (offsets follow the RowGroups relative-offset contract), and is
+/// expected to scatter + apply the optimizer in one pass (see
 /// SparseSgd::FusedBackwardStep). Called once per fusable table.
 using SparseApplyFn = std::function<void(
     size_t table, const Tensor& grad_out,
-    const std::vector<uint32_t>& indices,
-    const std::vector<uint32_t>& offsets)>;
+    std::span<const uint32_t> indices,
+    std::span<const uint32_t> offsets)>;
 
 /// Interface shared by DLRM and TBSM: real numerics, explicit gradients.
 ///
-/// One ForwardBackward call accumulates dense gradients in the model's
-/// Parameters and returns embedding gradients sparsely; callers then run
-/// Sgd/SparseSgd. EvalLogits is the stateless inference path.
+/// Batches arrive as non-owning BatchViews (legacy MiniBatch call sites
+/// convert implicitly); the view's backing store must stay alive for the
+/// duration of the call. One ForwardBackward call accumulates dense
+/// gradients in the model's Parameters and returns embedding gradients
+/// sparsely; callers then run Sgd/SparseSgd. EvalLogits is the stateless
+/// inference path.
 class RecModel {
  public:
   virtual ~RecModel() = default;
@@ -78,7 +84,7 @@ class RecModel {
   /// still return materialized gradients, and the caller must run the
   /// plain optimizer step on those. The base implementation fuses nothing.
   virtual StepResult ForwardBackwardFusedOn(
-      const MiniBatch& batch, const std::vector<EmbeddingTable*>& tables,
+      const BatchView& batch, const std::vector<EmbeddingTable*>& tables,
       const SparseApplyFn& apply) {
     (void)apply;
     return ForwardBackwardOn(batch, tables);
@@ -89,11 +95,11 @@ class RecModel {
   /// in the replica's coordinate space). Returned sparse gradients use the
   /// same coordinates.
   virtual StepResult ForwardBackwardOn(
-      const MiniBatch& batch,
+      const BatchView& batch,
       const std::vector<EmbeddingTable*>& tables) = 0;
 
   /// Step against the model's own (master) tables.
-  StepResult ForwardBackward(const MiniBatch& batch) {
+  StepResult ForwardBackward(const BatchView& batch) {
     std::vector<EmbeddingTable*> ptrs;
     ptrs.reserve(tables().size());
     for (EmbeddingTable& t : tables()) ptrs.push_back(&t);
@@ -101,7 +107,7 @@ class RecModel {
   }
 
   /// Logits [B, 1] without caching or gradient work.
-  virtual Tensor EvalLogits(const MiniBatch& batch) const = 0;
+  virtual Tensor EvalLogits(const BatchView& batch) const = 0;
 
   virtual std::vector<Parameter*> DenseParams() = 0;
 
@@ -111,7 +117,7 @@ class RecModel {
   virtual size_t embedding_dim() const = 0;
 
   /// Cost-model work units for `batch`.
-  virtual BatchWork Work(const MiniBatch& batch) const = 0;
+  virtual BatchWork Work(const BatchView& batch) const = 0;
 };
 
 }  // namespace fae

@@ -1,6 +1,6 @@
 #include "models/tbsm.h"
 
-#include <unordered_set>
+#include <algorithm>
 
 #include "tensor/loss.h"
 #include "tensor/ops.h"
@@ -39,12 +39,16 @@ Tbsm::Tbsm(const DatasetSchema& schema, const ModelConfig& config,
   }
 }
 
-std::vector<Tbsm::SequenceView> Tbsm::SplitSequences(const MiniBatch& batch) {
-  const auto& offsets = batch.offsets[0];
+std::vector<Tbsm::SequenceView> Tbsm::SplitSequences(const BatchView& batch) {
+  const std::span<const uint32_t> offsets = batch.offsets(0);
+  // The view's offsets are absolute positions into the backing dataset's
+  // index buffer; rebasing by the front makes them positions into
+  // batch.indices(0).
+  const uint32_t base = offsets.front();
   std::vector<SequenceView> views(batch.batch_size());
   for (size_t i = 0; i + 1 < offsets.size(); ++i) {
-    const uint32_t begin = offsets[i];
-    const uint32_t end = offsets[i + 1];
+    const uint32_t begin = offsets[i] - base;
+    const uint32_t end = offsets[i + 1] - base;
     FAE_CHECK_GT(end, begin) << "TBSM input needs at least one item lookup";
     SequenceView& v = views[i];
     v.target = end - 1;
@@ -55,7 +59,7 @@ std::vector<Tbsm::SequenceView> Tbsm::SplitSequences(const MiniBatch& batch) {
   return views;
 }
 
-Tensor Tbsm::ForwardImpl(const MiniBatch& batch,
+Tensor Tbsm::ForwardImpl(const BatchView& batch,
                          const std::vector<const EmbeddingTable*>& tables,
                          bool cache) {
   FAE_CHECK_EQ(tables.size(), schema_.num_tables());
@@ -70,7 +74,7 @@ Tensor Tbsm::ForwardImpl(const MiniBatch& batch,
   size_t total_hist = 0;
   for (const SequenceView& v : seq) total_hist += v.history_len;
   Tensor stacked(total_hist, d);
-  const std::vector<uint32_t>& item_idx = batch.indices[0];
+  const std::span<const uint32_t> item_idx = batch.indices(0);
   size_t row = 0;
   for (size_t i = 0; i < b; ++i) {
     const float* trow = item_table.row(item_idx[seq[i].target]);
@@ -80,18 +84,29 @@ Tensor Tbsm::ForwardImpl(const MiniBatch& batch,
       std::copy(hrow, hrow + d, stacked.row(row++));
     }
   }
-  // Per-timestep transform, then split back into per-sample matrices.
-  Tensor transformed =
-      step_mlp_ ? (cache ? step_mlp_->Forward(stacked)
-                         : step_mlp_->ForwardInference(stacked))
-                : stacked;
+  // Per-timestep transform, then split back into per-sample matrices. The
+  // training path parks the stack in a member first: the step MLP caches a
+  // view of its input, which must outlive this frame.
+  const Tensor* transformed = nullptr;
+  Tensor transformed_local;
+  if (cache) {
+    cached_stacked_ = std::move(stacked);
+    transformed =
+        step_mlp_ ? &step_mlp_->Forward(cached_stacked_) : &cached_stacked_;
+  } else if (step_mlp_) {
+    transformed_local = step_mlp_->ForwardInference(stacked);
+    transformed = &transformed_local;
+  } else {
+    transformed_local = std::move(stacked);
+    transformed = &transformed_local;
+  }
   std::vector<Tensor> history;
   history.reserve(b);
   row = 0;
   for (size_t i = 0; i < b; ++i) {
     Tensor z(seq[i].history_len, d);
     for (uint32_t j = 0; j < seq[i].history_len; ++j) {
-      std::copy(transformed.row(row), transformed.row(row) + d, z.row(j));
+      std::copy(transformed->row(row), transformed->row(row) + d, z.row(j));
       ++row;
     }
     history.push_back(std::move(z));
@@ -111,29 +126,31 @@ Tensor Tbsm::ForwardImpl(const MiniBatch& batch,
   std::vector<Tensor> pooled;
   pooled.reserve(schema_.num_tables() - 1);
   for (size_t t = 1; t < schema_.num_tables(); ++t) {
-    pooled.push_back(EmbeddingBag::Forward(*tables[t], batch.indices[t],
-                                           batch.offsets[t], pool_));
+    pooled.push_back(EmbeddingBag::Forward(*tables[t], batch.indices(t),
+                                           batch.offsets(t), pool_));
   }
 
-  Tensor bottom_out = cache ? bottom_.Forward(batch.dense)
-                            : bottom_.ForwardInference(batch.dense);
-
-  std::vector<const Tensor*> blocks = {&context, &query, &bottom_out};
-  for (const Tensor& p : pooled) blocks.push_back(&p);
-  Tensor top_in = ConcatCols(blocks);
-  Tensor logits =
-      cache ? top_.Forward(top_in) : top_.ForwardInference(top_in);
-
+  std::vector<const Tensor*> blocks;
+  Tensor logits;
   if (cache) {
-    cached_bottom_out_ = std::move(bottom_out);
-    cached_pooled_ = std::move(pooled);
-    cached_query_ = std::move(query);
+    const Tensor& bottom_out = bottom_.Forward(batch.dense);
+    blocks = {&context, &query, &bottom_out};
+    for (const Tensor& p : pooled) blocks.push_back(&p);
+    // The top MLP caches a view of its input — persist it in a member.
+    ConcatColsInto(cached_top_in_, blocks);
+    logits = top_.Forward(cached_top_in_);
     cached_seq_ = std::move(seq);
+  } else {
+    Tensor bottom_out = bottom_.ForwardInference(batch.dense);
+    blocks = {&context, &query, &bottom_out};
+    for (const Tensor& p : pooled) blocks.push_back(&p);
+    Tensor top_in = ConcatCols(blocks);
+    logits = top_.ForwardInference(top_in);
   }
   return logits;
 }
 
-StepResult Tbsm::StepImpl(const MiniBatch& batch,
+StepResult Tbsm::StepImpl(const BatchView& batch,
                           const std::vector<EmbeddingTable*>& tables,
                           const SparseApplyFn* apply) {
   std::vector<const EmbeddingTable*> ctables(tables.begin(), tables.end());
@@ -141,7 +158,7 @@ StepResult Tbsm::StepImpl(const MiniBatch& batch,
   BceResult bce = BceWithLogits(logits, batch.labels);
 
   const size_t d = schema_.embedding_dim;
-  Tensor g_top_in = top_.Backward(bce.grad_logits);
+  const Tensor& g_top_in = top_.Backward(bce.grad_logits);
   std::vector<size_t> widths(2 + schema_.num_tables(), d);
   std::vector<Tensor> split = SplitCols(g_top_in, widths);
   Tensor& g_context = split[0];
@@ -167,7 +184,7 @@ StepResult Tbsm::StepImpl(const MiniBatch& batch,
       }
     }
   }
-  Tensor raw_hist_grad =
+  const Tensor& raw_hist_grad =
       step_mlp_ ? step_mlp_->Backward(stacked_grad) : stacked_grad;
 
   StepResult result;
@@ -180,7 +197,7 @@ StepResult Tbsm::StepImpl(const MiniBatch& batch,
   // bag backward — or the fused scatter+optimizer — handles the scatter.
   // Rows are emitted in the same per-sample order (history, then target)
   // the scalar implementation accumulated them.
-  const std::vector<uint32_t>& item_idx = batch.indices[0];
+  const std::span<const uint32_t> item_idx = batch.indices(0);
   const size_t total_contrib = total_hist + batch.batch_size();
   Tensor item_grad_out(total_contrib, d);
   std::vector<uint32_t> item_scatter_idx(total_contrib);
@@ -210,7 +227,7 @@ StepResult Tbsm::StepImpl(const MiniBatch& batch,
   if (apply != nullptr) {
     (*apply)(0, item_grad_out, item_scatter_idx, item_scatter_off);
     for (size_t t = 1; t < schema_.num_tables(); ++t) {
-      (*apply)(t, split[2 + t], batch.indices[t], batch.offsets[t]);
+      (*apply)(t, split[2 + t], batch.indices(t), batch.offsets(t));
     }
   } else {
     result.table_grads.resize(schema_.num_tables());
@@ -218,24 +235,24 @@ StepResult Tbsm::StepImpl(const MiniBatch& batch,
         item_grad_out, item_scatter_idx, item_scatter_off, d, pool_);
     for (size_t t = 1; t < schema_.num_tables(); ++t) {
       result.table_grads[t] = EmbeddingBag::Backward(
-          split[2 + t], batch.indices[t], batch.offsets[t], d, pool_);
+          split[2 + t], batch.indices(t), batch.offsets(t), d, pool_);
     }
   }
   return result;
 }
 
 StepResult Tbsm::ForwardBackwardOn(
-    const MiniBatch& batch, const std::vector<EmbeddingTable*>& tables) {
+    const BatchView& batch, const std::vector<EmbeddingTable*>& tables) {
   return StepImpl(batch, tables, /*apply=*/nullptr);
 }
 
 StepResult Tbsm::ForwardBackwardFusedOn(
-    const MiniBatch& batch, const std::vector<EmbeddingTable*>& tables,
+    const BatchView& batch, const std::vector<EmbeddingTable*>& tables,
     const SparseApplyFn& apply) {
   return StepImpl(batch, tables, &apply);
 }
 
-Tensor Tbsm::EvalLogits(const MiniBatch& batch) const {
+Tensor Tbsm::EvalLogits(const BatchView& batch) const {
   std::vector<const EmbeddingTable*> ctables;
   ctables.reserve(tables_.size());
   for (const EmbeddingTable& t : tables_) ctables.push_back(&t);
@@ -254,7 +271,7 @@ std::vector<Parameter*> Tbsm::DenseParams() {
   return params;
 }
 
-BatchWork Tbsm::Work(const MiniBatch& batch) const {
+BatchWork Tbsm::Work(const BatchView& batch) const {
   BatchWork w;
   const size_t b = batch.batch_size();
   w.batch_size = b;
@@ -262,21 +279,25 @@ BatchWork Tbsm::Work(const MiniBatch& batch) const {
   w.forward_flops = bottom_.ForwardFlops(b) + top_.ForwardFlops(b);
   // Per-timestep MLP runs once per history element.
   if (step_mlp_) {
-    w.forward_flops += step_mlp_->ForwardFlops(batch.indices[0].size());
+    w.forward_flops += step_mlp_->ForwardFlops(batch.indices(0).size());
   }
   // Attention: scores + context, ~4*T*d FLOPs per sample.
-  w.forward_flops += 4ULL * batch.indices[0].size() * d;
+  w.forward_flops += 4ULL * batch.indices(0).size() * d;
   w.embedding_read_bytes = batch.TotalLookups() * d * sizeof(float);
   w.embedding_activation_bytes =
       static_cast<uint64_t>(b) * (2 + schema_.num_tables()) * d *
       sizeof(float);
   w.dense_param_count = bottom_.NumParams() + top_.NumParams();
+  std::vector<uint32_t> scratch;
   for (size_t t = 0; t < schema_.num_tables(); ++t) {
-    std::unordered_set<uint32_t> distinct(batch.indices[t].begin(),
-                                          batch.indices[t].end());
-    w.touched_rows += distinct.size();
-    w.per_table_lookups.push_back(batch.indices[t].size());
-    w.per_table_touched.push_back(distinct.size());
+    const std::span<const uint32_t> idx = batch.indices(t);
+    scratch.assign(idx.begin(), idx.end());
+    std::sort(scratch.begin(), scratch.end());
+    const size_t distinct = static_cast<size_t>(
+        std::unique(scratch.begin(), scratch.end()) - scratch.begin());
+    w.touched_rows += distinct;
+    w.per_table_lookups.push_back(idx.size());
+    w.per_table_touched.push_back(distinct);
   }
   w.touched_bytes = w.touched_rows * d * sizeof(float);
   return w;

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "models/model_config.h"
@@ -20,16 +21,21 @@ namespace fae {
 /// `indices[0]` carries the user's history with the *target* item last;
 /// earlier entries (or, for singleton sequences, the target itself) form
 /// the attention keys. Remaining tables contribute one pooled lookup each.
+///
+/// The variable-length history split keeps TBSM off the strict zero-alloc
+/// path (per-sample history matrices are sized by the data); the dense
+/// stacks it feeds (stacked history, top input) are members so the MLPs'
+/// cached input views stay valid through Backward.
 class Tbsm : public RecModel {
  public:
   Tbsm(const DatasetSchema& schema, const ModelConfig& config, uint64_t seed);
 
   StepResult ForwardBackwardOn(
-      const MiniBatch& batch,
+      const BatchView& batch,
       const std::vector<EmbeddingTable*>& tables) override;
 
   StepResult ForwardBackwardFusedOn(
-      const MiniBatch& batch, const std::vector<EmbeddingTable*>& tables,
+      const BatchView& batch, const std::vector<EmbeddingTable*>& tables,
       const SparseApplyFn& apply) override;
 
   void SetThreadPool(ThreadPool* pool) override {
@@ -39,7 +45,7 @@ class Tbsm : public RecModel {
     if (step_mlp_) step_mlp_->set_thread_pool(pool);
   }
 
-  Tensor EvalLogits(const MiniBatch& batch) const override;
+  Tensor EvalLogits(const BatchView& batch) const override;
 
   std::vector<Parameter*> DenseParams() override;
   std::vector<EmbeddingTable>& tables() override { return tables_; }
@@ -47,26 +53,27 @@ class Tbsm : public RecModel {
     return tables_;
   }
   size_t embedding_dim() const override { return schema_.embedding_dim; }
-  BatchWork Work(const MiniBatch& batch) const override;
+  BatchWork Work(const BatchView& batch) const override;
 
  private:
   struct SequenceView {
-    // Per-sample positions into batch.indices[0].
+    // Per-sample positions into batch.indices(0) — rebased to the batch
+    // (the view's absolute CSR offsets are subtracted out).
     uint32_t begin = 0;   // first history index
     uint32_t target = 0;  // position of the target item
     uint32_t history_len = 0;
   };
 
-  static std::vector<SequenceView> SplitSequences(const MiniBatch& batch);
+  static std::vector<SequenceView> SplitSequences(const BatchView& batch);
 
-  Tensor ForwardImpl(const MiniBatch& batch,
+  Tensor ForwardImpl(const BatchView& batch,
                      const std::vector<const EmbeddingTable*>& tables,
                      bool cache);
 
   // Shared forward+backward; when `apply` is non-null every table's sparse
   // backward (including the item table's synthesized scatter list) is
   // handed to it instead of materialized in the result.
-  StepResult StepImpl(const MiniBatch& batch,
+  StepResult StepImpl(const BatchView& batch,
                       const std::vector<EmbeddingTable*>& tables,
                       const SparseApplyFn* apply);
 
@@ -81,10 +88,11 @@ class Tbsm : public RecModel {
   ThreadPool* pool_ = nullptr;  // not owned
 
   // Forward caches consumed by the following backward (cache=true only).
+  // cached_stacked_ and cached_top_in_ back the step/top MLPs' input
+  // views, so they must live here, not on the forward's stack.
   DotAttention attention_;
-  Tensor cached_bottom_out_;
-  std::vector<Tensor> cached_pooled_;  // tables 1..T-1
-  Tensor cached_query_;
+  Tensor cached_stacked_;
+  Tensor cached_top_in_;
   std::vector<SequenceView> cached_seq_;
 };
 

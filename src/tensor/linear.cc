@@ -16,25 +16,29 @@ Linear::Linear(size_t in, size_t out, Xoshiro256& rng, std::string name) {
   bias_.grad = Tensor::Zeros(1, out);
 }
 
-Tensor Linear::Forward(const Tensor& x) {
+const Tensor& Linear::Forward(MatView x) {
   cached_input_ = x;
-  Tensor y = MatMul(x, weight_.value, pool_);
+  MatMulInto(out_, x, weight_.value, pool_);
+  AddBiasRowwise(out_, bias_.value);
+  return out_;
+}
+
+Tensor Linear::ForwardInference(MatView x) const {
+  Tensor y;
+  MatMulInto(y, x, weight_.value, pool_);
   AddBiasRowwise(y, bias_.value);
   return y;
 }
 
-Tensor Linear::ForwardInference(const Tensor& x) const {
-  Tensor y = MatMul(x, weight_.value, pool_);
-  AddBiasRowwise(y, bias_.value);
-  return y;
-}
-
-Tensor Linear::Backward(const Tensor& grad_out) {
-  FAE_CHECK_EQ(grad_out.rows(), cached_input_.rows());
+Tensor& Linear::Backward(const Tensor& grad_out) {
+  FAE_CHECK_EQ(grad_out.rows(), cached_input_.rows);
   FAE_CHECK_EQ(grad_out.cols(), weight_.value.cols());
-  weight_.grad.Add(MatMulTransA(cached_input_, grad_out, pool_));
-  bias_.grad.Add(ColumnSums(grad_out));
-  return MatMulTransB(grad_out, weight_.value, pool_);
+  MatMulTransAInto(wgrad_ws_, cached_input_, grad_out, pool_);
+  weight_.grad.Add(wgrad_ws_);
+  ColumnSumsInto(bgrad_ws_, grad_out);
+  bias_.grad.Add(bgrad_ws_);
+  MatMulTransBInto(grad_in_, grad_out, weight_.value, pool_);
+  return grad_in_;
 }
 
 std::vector<Parameter*> Linear::Params() { return {&weight_, &bias_}; }

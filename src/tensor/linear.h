@@ -20,22 +20,29 @@ struct Parameter {
 
 /// Fully-connected layer y = x W + b with manual backward.
 ///
-/// W is [in, out], b is [1, out]. The layer caches the forward input so
-/// Backward can form weight gradients; one Forward must precede each
-/// Backward (standard training loop usage).
+/// W is [in, out], b is [1, out]. Forward takes a non-owning MatView and
+/// caches the *view* (not a copy) so Backward can form weight gradients:
+/// the caller must keep the forward input alive and unmodified until
+/// Backward returns. All activations and gradients are computed into
+/// member workspaces, so a warmed-up train step allocates nothing.
 class Linear {
  public:
   /// He-style initialization scaled for fan-in.
   Linear(size_t in, size_t out, Xoshiro256& rng, std::string name = "linear");
 
-  /// y = x W + b; caches x.
-  Tensor Forward(const Tensor& x);
+  /// y = x W + b into the layer's output workspace; caches the view of x.
+  const Tensor& Forward(MatView x);
 
-  /// Accumulates dW, db and returns dL/dx.
-  Tensor Backward(const Tensor& grad_out);
+  /// Accumulates dW, db and returns dL/dx (a member workspace, valid until
+  /// the next Backward; non-const so chained consumers can mask it in
+  /// place).
+  Tensor& Backward(const Tensor& grad_out);
 
-  /// Forward without caching (inference / evaluation path).
-  Tensor ForwardInference(const Tensor& x) const;
+  /// Forward without caching (inference / evaluation path); allocates.
+  Tensor ForwardInference(MatView x) const;
+
+  /// Layer output of the last Forward.
+  const Tensor& out() const { return out_; }
 
   size_t in_features() const { return weight_.value.rows(); }
   size_t out_features() const { return weight_.value.cols(); }
@@ -53,8 +60,14 @@ class Linear {
  private:
   Parameter weight_;
   Parameter bias_;
-  Tensor cached_input_;
+  MatView cached_input_;
   ThreadPool* pool_ = nullptr;  // not owned
+
+  // Reused across steps (workspace semantics — see Tensor::Resize).
+  Tensor out_;
+  Tensor grad_in_;
+  Tensor wgrad_ws_;
+  Tensor bgrad_ws_;
 };
 
 }  // namespace fae

@@ -15,13 +15,13 @@ inline double Softplus(double z) {
 
 }  // namespace
 
-BceResult BceWithLogits(const Tensor& logits,
-                        const std::vector<float>& labels) {
+void BceWithLogitsInto(BceResult& result, const Tensor& logits,
+                       std::span<const float> labels) {
   FAE_CHECK_EQ(logits.cols(), 1u);
   FAE_CHECK_EQ(logits.rows(), labels.size());
   const size_t b = labels.size();
-  BceResult result;
-  result.grad_logits = Tensor(b, 1);
+  result.grad_logits.Resize(b, 1);
+  result.correct = 0;
   double total = 0.0;
   for (size_t i = 0; i < b; ++i) {
     const double z = logits(i, 0);
@@ -34,10 +34,15 @@ BceResult BceWithLogits(const Tensor& logits,
     if ((p >= 0.5 && y >= 0.5) || (p < 0.5 && y < 0.5)) ++result.correct;
   }
   result.mean_loss = b > 0 ? total / static_cast<double>(b) : 0.0;
+}
+
+BceResult BceWithLogits(const Tensor& logits, std::span<const float> labels) {
+  BceResult result;
+  BceWithLogitsInto(result, logits, labels);
   return result;
 }
 
-double BceLossOnly(const Tensor& logits, const std::vector<float>& labels) {
+double BceLossOnly(const Tensor& logits, std::span<const float> labels) {
   FAE_CHECK_EQ(logits.cols(), 1u);
   FAE_CHECK_EQ(logits.rows(), labels.size());
   double total = 0.0;

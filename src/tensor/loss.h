@@ -2,6 +2,7 @@
 #define FAE_TENSOR_LOSS_H_
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "tensor/tensor.h"
@@ -20,10 +21,15 @@ struct BceResult {
 /// Numerically-stable binary cross entropy on logits [B, 1] against labels
 /// (0/1), returning the mean loss, the gradient, and the hit count used for
 /// the paper's accuracy metric (Fig 12, Table III).
-BceResult BceWithLogits(const Tensor& logits, const std::vector<float>& labels);
+BceResult BceWithLogits(const Tensor& logits, std::span<const float> labels);
+
+/// Into variant reusing `result.grad_logits` as a workspace (scalar fields
+/// are reset) — the allocation-free training-loop path.
+void BceWithLogitsInto(BceResult& result, const Tensor& logits,
+                       std::span<const float> labels);
 
 /// Loss only, for evaluation passes.
-double BceLossOnly(const Tensor& logits, const std::vector<float>& labels);
+double BceLossOnly(const Tensor& logits, std::span<const float> labels);
 
 }  // namespace fae
 

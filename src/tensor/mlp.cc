@@ -1,5 +1,7 @@
 #include "tensor/mlp.h"
 
+#include <algorithm>
+
 #include "tensor/ops.h"
 #include "util/string_util.h"
 
@@ -12,39 +14,44 @@ Mlp::Mlp(const std::vector<size_t>& dims, Xoshiro256& rng, std::string name) {
     layers_.emplace_back(dims[i], dims[i + 1], rng,
                          StrFormat("%s.%zu", name.c_str(), i));
   }
-  pre_relu_.resize(layers_.size());
+  if (layers_.size() > 1) post_.resize(layers_.size() - 1);
 }
 
-Tensor Mlp::Forward(const Tensor& x) {
-  Tensor h = x;
+const Tensor& Mlp::Forward(MatView x) {
+  MatView h = x;
   for (size_t i = 0; i < layers_.size(); ++i) {
-    h = layers_[i].Forward(h);
+    const Tensor& pre = layers_[i].Forward(h);
     if (i + 1 < layers_.size()) {
-      pre_relu_[i] = h;
-      h = ReluForward(h);
+      ReluForwardInto(post_[i], pre);
+      h = post_[i];
     }
   }
-  return h;
+  return layers_.back().out();
 }
 
-Tensor Mlp::ForwardInference(const Tensor& x) const {
-  Tensor h = x;
-  for (size_t i = 0; i < layers_.size(); ++i) {
+Tensor Mlp::ForwardInference(MatView x) const {
+  Tensor h = layers_.front().ForwardInference(x);
+  for (size_t i = 1; i < layers_.size(); ++i) {
+    for (size_t j = 0; j < h.numel(); ++j) {
+      h.data()[j] = std::max(0.0f, h.data()[j]);
+    }
     h = layers_[i].ForwardInference(h);
-    if (i + 1 < layers_.size()) h = ReluForward(h);
   }
   return h;
 }
 
-Tensor Mlp::Backward(const Tensor& grad_out) {
-  Tensor g = grad_out;
+const Tensor& Mlp::Backward(const Tensor& grad_out) {
+  const Tensor* g = &grad_out;
   for (size_t i = layers_.size(); i-- > 0;) {
-    g = layers_[i].Backward(g);
+    // Backward returns the layer's grad_in workspace; masking it in place
+    // by the previous layer's pre-ReLU output reproduces ReluBackward.
+    Tensor& gi = layers_[i].Backward(*g);
     if (i > 0) {
-      g = ReluBackward(g, pre_relu_[i - 1]);
+      ReluBackwardInPlace(gi, layers_[i - 1].out());
     }
+    g = &gi;
   }
-  return g;
+  return *g;
 }
 
 std::vector<Parameter*> Mlp::Params() {

@@ -16,19 +16,26 @@ namespace fae {
 /// Linear layers (the paper's Table I "Bottom MLP 13-512-256-64" notation).
 /// The final layer's output is linear (no activation) — recommender heads
 /// feed it into a sigmoid/BCE loss.
+///
+/// Forward takes a non-owning view and every activation lives in a member
+/// workspace (each Linear keeps its own pre-ReLU output; post-ReLU copies
+/// live here), so a warmed-up train step allocates nothing. The caller
+/// must keep the forward input alive until Backward.
 class Mlp {
  public:
   Mlp(const std::vector<size_t>& dims, Xoshiro256& rng,
       std::string name = "mlp");
 
-  /// Caches activations for Backward.
-  Tensor Forward(const Tensor& x);
+  /// Caches activations for Backward; returns the head layer's output
+  /// workspace (valid until the next Forward).
+  const Tensor& Forward(MatView x);
 
-  /// Returns dL/dx; accumulates layer parameter gradients.
-  Tensor Backward(const Tensor& grad_out);
+  /// Returns dL/dx (a workspace, valid until the next Backward);
+  /// accumulates layer parameter gradients.
+  const Tensor& Backward(const Tensor& grad_out);
 
-  /// Stateless evaluation path.
-  Tensor ForwardInference(const Tensor& x) const;
+  /// Stateless evaluation path; allocates.
+  Tensor ForwardInference(MatView x) const;
 
   std::vector<Parameter*> Params();
 
@@ -49,9 +56,11 @@ class Mlp {
 
  private:
   std::vector<Linear> layers_;
-  // pre_relu_[i] holds layer i's linear output (backward needs it to gate
-  // the ReLU); set by Forward.
-  std::vector<Tensor> pre_relu_;
+  // post_[i] holds ReLU(layers_[i].out()) — the input view layer i+1
+  // caches, so it must stay alive (and unmodified) until Backward. The
+  // pre-ReLU activation that gates the backward pass is each layer's own
+  // out() workspace.
+  std::vector<Tensor> post_;
 };
 
 }  // namespace fae

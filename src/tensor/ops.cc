@@ -16,9 +16,10 @@ constexpr size_t kMinFlopsToParallelize = 1u << 16;
 /// Runs `fn` over [0, n) — through the pool when the total work justifies
 /// the dispatch, inline otherwise. All kernels below partition work by
 /// *output row*, so chunks never write the same memory and results are
-/// bit-identical at any thread count.
-void RowParallel(ThreadPool* pool, size_t n, size_t flops,
-                 const std::function<void(size_t, size_t)>& fn) {
+/// bit-identical at any thread count. Templated so the serial path never
+/// materializes a std::function (which would heap-allocate per call).
+template <typename Fn>
+void RowParallel(ThreadPool* pool, size_t n, size_t flops, Fn&& fn) {
   if (pool != nullptr && flops >= kMinFlopsToParallelize) {
     pool->ParallelFor(n, fn);
   } else {
@@ -26,15 +27,15 @@ void RowParallel(ThreadPool* pool, size_t n, size_t flops,
   }
 }
 
-}  // namespace
-
-Tensor MatMulNaive(const Tensor& a, const Tensor& b, ThreadPool* pool) {
-  FAE_CHECK_EQ(a.cols(), b.rows());
-  Tensor c(a.rows(), b.cols());
-  const size_t k = a.cols();
+void MatMulNaiveInto(Tensor& c, MatView a, const Tensor& b,
+                     ThreadPool* pool) {
+  FAE_CHECK_EQ(a.cols, b.rows());
+  c.Resize(a.rows, b.cols());
+  c.SetZero();
+  const size_t k = a.cols;
   const size_t n = b.cols();
   // i-k-j loop order keeps the inner loop streaming over contiguous rows.
-  RowParallel(pool, a.rows(), a.rows() * k * n, [&](size_t i0, size_t i1) {
+  RowParallel(pool, a.rows, a.rows * k * n, [&](size_t i0, size_t i1) {
     for (size_t i = i0; i < i1; ++i) {
       const float* arow = a.row(i);
       float* crow = c.row(i);
@@ -45,18 +46,19 @@ Tensor MatMulNaive(const Tensor& a, const Tensor& b, ThreadPool* pool) {
       }
     }
   });
-  return c;
 }
 
-Tensor MatMulBlocked(const Tensor& a, const Tensor& b, ThreadPool* pool) {
-  FAE_CHECK_EQ(a.cols(), b.rows());
-  Tensor c(a.rows(), b.cols());
+void MatMulBlockedInto(Tensor& c, MatView a, const Tensor& b,
+                       ThreadPool* pool) {
+  FAE_CHECK_EQ(a.cols, b.rows());
+  c.Resize(a.rows, b.cols());
+  c.SetZero();
   // Tile sizes chosen so a kc x jc panel of B (~64 KB) stays L1/L2
   // resident while the i loop streams over A.
   constexpr size_t kKc = 128;
   constexpr size_t kJc = 128;
-  const size_t m = a.rows();
-  const size_t k = a.cols();
+  const size_t m = a.rows;
+  const size_t k = a.cols;
   const size_t n = b.cols();
   // Each thread runs the full k0/j0 tiling over its own slice of output
   // rows: per-element summation stays in ascending-k order (identical to
@@ -78,21 +80,46 @@ Tensor MatMulBlocked(const Tensor& a, const Tensor& b, ThreadPool* pool) {
       }
     }
   });
+}
+
+}  // namespace
+
+Tensor MatMulNaive(const Tensor& a, const Tensor& b, ThreadPool* pool) {
+  Tensor c;
+  MatMulNaiveInto(c, a, b, pool);
   return c;
 }
 
-Tensor MatMul(const Tensor& a, const Tensor& b, ThreadPool* pool) {
-  // Blocking only pays once B's rows stop fitting in cache together.
-  const bool large = a.rows() * a.cols() > (64u << 10) &&
-                     b.rows() * b.cols() > (64u << 10);
-  return large ? MatMulBlocked(a, b, pool) : MatMulNaive(a, b, pool);
+Tensor MatMulBlocked(const Tensor& a, const Tensor& b, ThreadPool* pool) {
+  Tensor c;
+  MatMulBlockedInto(c, a, b, pool);
+  return c;
 }
 
-Tensor MatMulTransA(const Tensor& a, const Tensor& b, ThreadPool* pool) {
-  FAE_CHECK_EQ(a.rows(), b.rows());
-  Tensor c(a.cols(), b.cols());
-  const size_t k = a.rows();
-  const size_t m = a.cols();
+void MatMulInto(Tensor& c, MatView a, const Tensor& b, ThreadPool* pool) {
+  // Blocking only pays once B's rows stop fitting in cache together.
+  const bool large = a.rows * a.cols > (64u << 10) &&
+                     b.rows() * b.cols() > (64u << 10);
+  if (large) {
+    MatMulBlockedInto(c, a, b, pool);
+  } else {
+    MatMulNaiveInto(c, a, b, pool);
+  }
+}
+
+Tensor MatMul(const Tensor& a, const Tensor& b, ThreadPool* pool) {
+  Tensor c;
+  MatMulInto(c, a, b, pool);
+  return c;
+}
+
+void MatMulTransAInto(Tensor& c, MatView a, const Tensor& b,
+                      ThreadPool* pool) {
+  FAE_CHECK_EQ(a.rows, b.rows());
+  c.Resize(a.cols, b.cols());
+  c.SetZero();
+  const size_t k = a.rows;
+  const size_t m = a.cols;
   const size_t n = b.cols();
   // Output rows are columns of A; per element the k sum stays ascending,
   // so the serial and parallel results are identical.
@@ -107,12 +134,18 @@ Tensor MatMulTransA(const Tensor& a, const Tensor& b, ThreadPool* pool) {
       }
     }
   });
+}
+
+Tensor MatMulTransA(const Tensor& a, const Tensor& b, ThreadPool* pool) {
+  Tensor c;
+  MatMulTransAInto(c, a, b, pool);
   return c;
 }
 
-Tensor MatMulTransB(const Tensor& a, const Tensor& b, ThreadPool* pool) {
+void MatMulTransBInto(Tensor& c, const Tensor& a, const Tensor& b,
+                      ThreadPool* pool) {
   FAE_CHECK_EQ(a.cols(), b.cols());
-  Tensor c(a.rows(), b.rows());
+  c.Resize(a.rows(), b.rows());
   const size_t k = a.cols();
   const size_t n = b.rows();
   RowParallel(pool, a.rows(), a.rows() * k * n, [&](size_t i0, size_t i1) {
@@ -124,6 +157,11 @@ Tensor MatMulTransB(const Tensor& a, const Tensor& b, ThreadPool* pool) {
       }
     }
   });
+}
+
+Tensor MatMulTransB(const Tensor& a, const Tensor& b, ThreadPool* pool) {
+  Tensor c;
+  MatMulTransBInto(c, a, b, pool);
   return c;
 }
 
@@ -136,29 +174,46 @@ void AddBiasRowwise(Tensor& x, const Tensor& bias) {
   }
 }
 
-Tensor ColumnSums(const Tensor& x) {
-  Tensor out(1, x.cols());
+void ColumnSumsInto(Tensor& out, const Tensor& x) {
+  out.Resize(1, x.cols());
+  out.SetZero();
   float* orow = out.row(0);
   for (size_t r = 0; r < x.rows(); ++r) {
     kernels::Add(x.cols(), x.row(r), orow);
   }
+}
+
+Tensor ColumnSums(const Tensor& x) {
+  Tensor out;
+  ColumnSumsInto(out, x);
   return out;
 }
 
-Tensor ReluForward(const Tensor& x) {
-  Tensor y = x;
-  for (size_t i = 0; i < y.numel(); ++i) {
-    y.data()[i] = std::max(0.0f, y.data()[i]);
+void ReluForwardInto(Tensor& y, const Tensor& x) {
+  y.Resize(x.rows(), x.cols());
+  const float* src = x.data();
+  float* dst = y.data();
+  for (size_t i = 0; i < x.numel(); ++i) {
+    dst[i] = std::max(0.0f, src[i]);
   }
+}
+
+Tensor ReluForward(const Tensor& x) {
+  Tensor y;
+  ReluForwardInto(y, x);
   return y;
 }
 
-Tensor ReluBackward(const Tensor& grad_out, const Tensor& x) {
-  FAE_CHECK(grad_out.SameShape(x));
-  Tensor g = grad_out;
-  for (size_t i = 0; i < g.numel(); ++i) {
-    if (x.data()[i] <= 0.0f) g.data()[i] = 0.0f;
+void ReluBackwardInPlace(Tensor& grad, const Tensor& x) {
+  FAE_CHECK(grad.SameShape(x));
+  for (size_t i = 0; i < grad.numel(); ++i) {
+    if (x.data()[i] <= 0.0f) grad.data()[i] = 0.0f;
   }
+}
+
+Tensor ReluBackward(const Tensor& grad_out, const Tensor& x) {
+  Tensor g = grad_out;
+  ReluBackwardInPlace(g, x);
   return g;
 }
 
@@ -170,7 +225,7 @@ Tensor SigmoidForward(const Tensor& x) {
   return y;
 }
 
-Tensor ConcatCols(const std::vector<const Tensor*>& blocks) {
+void ConcatColsInto(Tensor& out, const std::vector<const Tensor*>& blocks) {
   FAE_CHECK(!blocks.empty());
   const size_t rows = blocks[0]->rows();
   size_t total_cols = 0;
@@ -178,7 +233,7 @@ Tensor ConcatCols(const std::vector<const Tensor*>& blocks) {
     FAE_CHECK_EQ(b->rows(), rows);
     total_cols += b->cols();
   }
-  Tensor out(rows, total_cols);
+  out.Resize(rows, total_cols);
   for (size_t r = 0; r < rows; ++r) {
     float* orow = out.row(r);
     size_t offset = 0;
@@ -188,26 +243,40 @@ Tensor ConcatCols(const std::vector<const Tensor*>& blocks) {
       offset += b->cols();
     }
   }
+}
+
+Tensor ConcatCols(const std::vector<const Tensor*>& blocks) {
+  Tensor out;
+  ConcatColsInto(out, blocks);
   return out;
 }
 
-std::vector<Tensor> SplitCols(const Tensor& grad,
-                              const std::vector<size_t>& widths) {
+void SplitColsInto(const std::vector<Tensor*>& outs, const Tensor& grad,
+                   const std::vector<size_t>& widths) {
+  FAE_CHECK_EQ(outs.size(), widths.size());
   size_t total = 0;
   for (size_t w : widths) total += w;
   FAE_CHECK_EQ(total, grad.cols());
-  std::vector<Tensor> out;
-  out.reserve(widths.size());
   size_t offset = 0;
-  for (size_t w : widths) {
-    Tensor block(grad.rows(), w);
+  for (size_t bi = 0; bi < widths.size(); ++bi) {
+    const size_t w = widths[bi];
+    Tensor& block = *outs[bi];
+    block.Resize(grad.rows(), w);
     for (size_t r = 0; r < grad.rows(); ++r) {
       const float* grow = grad.row(r) + offset;
       std::copy(grow, grow + w, block.row(r));
     }
-    out.push_back(std::move(block));
     offset += w;
   }
+}
+
+std::vector<Tensor> SplitCols(const Tensor& grad,
+                              const std::vector<size_t>& widths) {
+  std::vector<Tensor> out(widths.size());
+  std::vector<Tensor*> ptrs;
+  ptrs.reserve(widths.size());
+  for (Tensor& t : out) ptrs.push_back(&t);
+  SplitColsInto(ptrs, grad, widths);
   return out;
 }
 
@@ -227,8 +296,9 @@ Tensor SoftmaxRows(const Tensor& x) {
   return y;
 }
 
-Tensor PairwiseDotInteraction(const std::vector<const Tensor*>& features,
-                              ThreadPool* pool) {
+void PairwiseDotInteractionInto(Tensor& out,
+                                const std::vector<const Tensor*>& features,
+                                ThreadPool* pool) {
   FAE_CHECK_GE(features.size(), 2u);
   const size_t f = features.size();
   const size_t rows = features[0]->rows();
@@ -237,7 +307,7 @@ Tensor PairwiseDotInteraction(const std::vector<const Tensor*>& features,
     FAE_CHECK_EQ(t->rows(), rows);
     FAE_CHECK_EQ(t->cols(), d);
   }
-  Tensor out(rows, f * (f - 1) / 2);
+  out.Resize(rows, f * (f - 1) / 2);
   RowParallel(pool, rows, rows * f * f * d / 2, [&](size_t r0, size_t r1) {
     for (size_t r = r0; r < r1; ++r) {
       float* orow = out.row(r);
@@ -250,18 +320,28 @@ Tensor PairwiseDotInteraction(const std::vector<const Tensor*>& features,
       }
     }
   });
+}
+
+Tensor PairwiseDotInteraction(const std::vector<const Tensor*>& features,
+                              ThreadPool* pool) {
+  Tensor out;
+  PairwiseDotInteractionInto(out, features, pool);
   return out;
 }
 
-std::vector<Tensor> PairwiseDotInteractionBackward(
-    const Tensor& grad_out, const std::vector<const Tensor*>& features,
-    ThreadPool* pool) {
+void PairwiseDotInteractionBackwardInto(
+    std::vector<Tensor>& grads, const Tensor& grad_out,
+    const std::vector<const Tensor*>& features, ThreadPool* pool) {
   const size_t f = features.size();
   const size_t rows = features[0]->rows();
   const size_t d = features[0]->cols();
   FAE_CHECK_EQ(grad_out.rows(), rows);
   FAE_CHECK_EQ(grad_out.cols(), f * (f - 1) / 2);
-  std::vector<Tensor> grads(f, Tensor(rows, d));
+  FAE_CHECK_EQ(grads.size(), f);
+  for (Tensor& g : grads) {
+    g.Resize(rows, d);
+    g.SetZero();
+  }
   // Sample rows are independent, so partitioning over r is write-disjoint
   // in every grads[i].
   RowParallel(pool, rows, rows * f * f * d, [&](size_t r0, size_t r1) {
@@ -278,6 +358,13 @@ std::vector<Tensor> PairwiseDotInteractionBackward(
       }
     }
   });
+}
+
+std::vector<Tensor> PairwiseDotInteractionBackward(
+    const Tensor& grad_out, const std::vector<const Tensor*>& features,
+    ThreadPool* pool) {
+  std::vector<Tensor> grads(features.size());
+  PairwiseDotInteractionBackwardInto(grads, grad_out, features, pool);
   return grads;
 }
 

@@ -8,12 +8,21 @@
 
 namespace fae {
 
+// Every kernel exists in two forms: the historical allocating form
+// returning a fresh Tensor, and an `*Into` form writing a caller-owned
+// workspace (Tensor::Resize reuses the allocation once grown). The
+// allocating forms are thin wrappers over the Into forms — one
+// implementation, so both are bit-identical. A-operands are MatViews so
+// activations can be consumed straight out of flat dataset buffers.
+
 /// C = A[m,k] * B[k,n]. Dispatches to the blocked kernel for shapes where
 /// tiling pays; the reference kernel otherwise. When `pool` is non-null
 /// the work is split over A's rows; output rows are written by exactly one
 /// thread each and per-element summation order is fixed, so the result is
 /// bit-identical at any thread count.
 Tensor MatMul(const Tensor& a, const Tensor& b, ThreadPool* pool = nullptr);
+void MatMulInto(Tensor& c, MatView a, const Tensor& b,
+                ThreadPool* pool = nullptr);
 
 /// Reference triple-loop GEMM (used by tests as the ground truth).
 Tensor MatMulNaive(const Tensor& a, const Tensor& b,
@@ -29,33 +38,45 @@ Tensor MatMulBlocked(const Tensor& a, const Tensor& b,
 /// materializing the transpose. Used for weight gradients.
 Tensor MatMulTransA(const Tensor& a, const Tensor& b,
                     ThreadPool* pool = nullptr);
+void MatMulTransAInto(Tensor& c, MatView a, const Tensor& b,
+                      ThreadPool* pool = nullptr);
 
 /// C = A[m,k] * B^T[n,k] — used for input gradients.
 Tensor MatMulTransB(const Tensor& a, const Tensor& b,
                     ThreadPool* pool = nullptr);
+void MatMulTransBInto(Tensor& c, const Tensor& a, const Tensor& b,
+                      ThreadPool* pool = nullptr);
 
 /// y(r, c) = x(r, c) + bias(0, c); bias is [1, cols].
 void AddBiasRowwise(Tensor& x, const Tensor& bias);
 
 /// Column-wise sum of grad rows into a [1, cols] tensor (bias gradient).
 Tensor ColumnSums(const Tensor& x);
+void ColumnSumsInto(Tensor& out, const Tensor& x);
 
 /// Elementwise max(x, 0).
 Tensor ReluForward(const Tensor& x);
+void ReluForwardInto(Tensor& y, const Tensor& x);
 
 /// dL/dx given dL/dy and the forward *input* x: grad where x > 0 else 0.
 Tensor ReluBackward(const Tensor& grad_out, const Tensor& x);
+/// In-place variant: zeroes grad entries where x <= 0.
+void ReluBackwardInPlace(Tensor& grad, const Tensor& x);
 
 /// Elementwise logistic sigmoid.
 Tensor SigmoidForward(const Tensor& x);
 
 /// Horizontal concatenation of equally-tall blocks.
 Tensor ConcatCols(const std::vector<const Tensor*>& blocks);
+void ConcatColsInto(Tensor& out, const std::vector<const Tensor*>& blocks);
 
 /// Splits `grad` (the gradient of a ConcatCols output) back into per-block
 /// gradients with the given widths.
 std::vector<Tensor> SplitCols(const Tensor& grad,
                               const std::vector<size_t>& widths);
+/// Into variant: `outs` supplies one workspace per width.
+void SplitColsInto(const std::vector<Tensor*>& outs, const Tensor& grad,
+                   const std::vector<size_t>& widths);
 
 /// Row-wise softmax.
 Tensor SoftmaxRows(const Tensor& x);
@@ -66,12 +87,19 @@ Tensor SoftmaxRows(const Tensor& x);
 /// columns are the dot products <f_i, f_j> for i < j, per sample.
 Tensor PairwiseDotInteraction(const std::vector<const Tensor*>& features,
                               ThreadPool* pool = nullptr);
+void PairwiseDotInteractionInto(Tensor& out,
+                                const std::vector<const Tensor*>& features,
+                                ThreadPool* pool = nullptr);
 
 /// Backward of PairwiseDotInteraction: given dL/dout [B, F*(F-1)/2] and the
 /// forward feature blocks, returns dL/df for each block.
 std::vector<Tensor> PairwiseDotInteractionBackward(
     const Tensor& grad_out, const std::vector<const Tensor*>& features,
     ThreadPool* pool = nullptr);
+/// Into variant: `grads` must already hold features.size() workspaces.
+void PairwiseDotInteractionBackwardInto(
+    std::vector<Tensor>& grads, const Tensor& grad_out,
+    const std::vector<const Tensor*>& features, ThreadPool* pool = nullptr);
 
 }  // namespace fae
 

@@ -50,6 +50,17 @@ class Tensor {
   size_t numel() const { return data_.size(); }
   bool empty() const { return data_.empty(); }
 
+  /// Reshapes to rows x cols, reusing the existing allocation whenever the
+  /// new element count fits the vector's capacity. Contents are
+  /// unspecified afterwards (workspace semantics — callers overwrite or
+  /// SetZero). This is what makes the training loop's activation and
+  /// gradient workspaces allocation-free after the first step.
+  void Resize(size_t rows, size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.resize(rows * cols);
+  }
+
   float& operator()(size_t r, size_t c) { return data_[r * cols_ + c]; }
   float operator()(size_t r, size_t c) const { return data_[r * cols_ + c]; }
 
@@ -88,6 +99,33 @@ class Tensor {
   size_t rows_;
   size_t cols_;
   std::vector<float> data_;
+};
+
+/// Non-owning read view of a row-major float matrix. Lets the compute
+/// kernels consume activations straight out of flat dataset buffers (a
+/// mini-batch's dense block is a contiguous row range of the epoch's
+/// gathered matrix) without copying them into a Tensor first. Implicitly
+/// constructible from Tensor so every kernel keeps working on owned
+/// storage too.
+///
+/// A MatView never owns: the viewed buffer must outlive it. Layers that
+/// cache their forward input as a view rely on the caller keeping the
+/// input alive until Backward — true for both batch memory (the flat
+/// dataset outlives the epoch) and model workspaces (members).
+struct MatView {
+  const float* data = nullptr;
+  size_t rows = 0;
+  size_t cols = 0;
+
+  MatView() = default;
+  MatView(const float* data, size_t rows, size_t cols)
+      : data(data), rows(rows), cols(cols) {}
+  /*implicit*/ MatView(const Tensor& t)
+      : data(t.data()), rows(t.rows()), cols(t.cols()) {}
+
+  const float* row(size_t r) const { return data + r * cols; }
+  float operator()(size_t r, size_t c) const { return data[r * cols + c]; }
+  size_t numel() const { return rows * cols; }
 };
 
 /// Max |a - b| over all elements; infinity for shape mismatch.

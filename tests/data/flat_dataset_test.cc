@@ -1,0 +1,148 @@
+#include "data/flat_dataset.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/dataset.h"
+#include "data/synthetic.h"
+
+namespace fae {
+namespace {
+
+DatasetSchema TinySchema() {
+  DatasetSchema s;
+  s.name = "tiny";
+  s.num_dense = 2;
+  s.embedding_dim = 4;
+  s.table_rows = {10, 20};
+  return s;
+}
+
+std::vector<SparseInput> TinySamples() {
+  std::vector<SparseInput> samples(3);
+  samples[0].dense = {0.1f, 0.2f};
+  samples[0].indices = {{1, 2}, {3}};
+  samples[0].label = 1.0f;
+  samples[1].dense = {0.3f, 0.4f};
+  samples[1].indices = {{}, {4, 5, 6}};
+  samples[1].label = 0.0f;
+  samples[2].dense = {0.5f, 0.6f};
+  samples[2].indices = {{7}, {8}};
+  samples[2].label = 1.0f;
+  return samples;
+}
+
+TEST(FlatDatasetTest, BuilderMatchesFromSamples) {
+  const DatasetSchema schema = TinySchema();
+  const std::vector<SparseInput> samples = TinySamples();
+  const FlatDataset from = FlatDataset::FromSamples(schema, samples);
+
+  FlatDataset built(schema);
+  for (const SparseInput& s : samples) {
+    for (float v : s.dense) built.AppendDense(v);
+    for (size_t t = 0; t < s.indices.size(); ++t) {
+      for (uint32_t row : s.indices[t]) built.AppendLookup(t, row);
+    }
+    built.FinishSample(s.label);
+  }
+
+  ASSERT_EQ(built.size(), from.size());
+  for (size_t t = 0; t < schema.num_tables(); ++t) {
+    ASSERT_EQ(std::vector<uint32_t>(built.indices(t).begin(),
+                                    built.indices(t).end()),
+              std::vector<uint32_t>(from.indices(t).begin(),
+                                    from.indices(t).end()));
+    ASSERT_EQ(std::vector<uint32_t>(built.offsets(t).begin(),
+                                    built.offsets(t).end()),
+              std::vector<uint32_t>(from.offsets(t).begin(),
+                                    from.offsets(t).end()));
+  }
+  for (size_t i = 0; i < built.size(); ++i) {
+    EXPECT_EQ(built.label(i), from.label(i));
+    for (size_t d = 0; d < schema.num_dense; ++d) {
+      EXPECT_EQ(built.dense_row(i)[d], from.dense_row(i)[d]);
+    }
+  }
+}
+
+TEST(FlatDatasetTest, SampleRoundTripsToSparseInput) {
+  const std::vector<SparseInput> samples = TinySamples();
+  const FlatDataset flat = FlatDataset::FromSamples(TinySchema(), samples);
+  for (size_t i = 0; i < samples.size(); ++i) {
+    const SparseInput s = flat.Sample(i);
+    EXPECT_EQ(s.dense, samples[i].dense);
+    EXPECT_EQ(s.indices, samples[i].indices);
+    EXPECT_EQ(s.label, samples[i].label);
+  }
+}
+
+TEST(FlatDatasetTest, CsrOffsetsAreConsistent) {
+  const FlatDataset flat =
+      FlatDataset::FromSamples(TinySchema(), TinySamples());
+  for (size_t t = 0; t < 2; ++t) {
+    const std::span<const uint32_t> off = flat.offsets(t);
+    ASSERT_EQ(off.size(), flat.size() + 1);
+    EXPECT_EQ(off.front(), 0u);
+    EXPECT_EQ(off.back(), flat.indices(t).size());
+    for (size_t i = 0; i + 1 < off.size(); ++i) {
+      EXPECT_LE(off[i], off[i + 1]);
+    }
+  }
+}
+
+TEST(FlatDatasetTest, LookupCountsAreCachedAndExact) {
+  const FlatDataset flat =
+      FlatDataset::FromSamples(TinySchema(), TinySamples());
+  EXPECT_EQ(flat.NumLookups(0), 3u);
+  EXPECT_EQ(flat.NumLookups(1), 3u);
+  EXPECT_EQ(flat.NumLookups(2), 2u);
+  EXPECT_EQ(flat.total_lookups(), 8u);
+}
+
+TEST(FlatDatasetTest, PendingLookupsSeesCurrentSampleOnly) {
+  FlatDataset flat(TinySchema());
+  flat.AppendDense(0.0f);
+  flat.AppendDense(0.0f);
+  flat.AppendLookup(0, 5);
+  flat.AppendLookup(0, 6);
+  ASSERT_EQ(flat.PendingLookups(0).size(), 2u);
+  EXPECT_EQ(flat.PendingLookups(0)[0], 5u);
+  EXPECT_EQ(flat.PendingLookups(1).size(), 0u);
+  flat.FinishSample(1.0f);
+  EXPECT_EQ(flat.PendingLookups(0).size(), 0u);
+}
+
+TEST(FlatDatasetTest, GatherPermutesAndDuplicates) {
+  const std::vector<SparseInput> samples = TinySamples();
+  const FlatDataset flat = FlatDataset::FromSamples(TinySchema(), samples);
+  const std::vector<uint64_t> ids = {2, 0, 2};
+  const FlatDataset g = flat.Gather(ids);
+  ASSERT_EQ(g.size(), 3u);
+  for (size_t i = 0; i < ids.size(); ++i) {
+    const SparseInput got = g.Sample(i);
+    const SparseInput want = samples[ids[i]];
+    EXPECT_EQ(got.dense, want.dense);
+    EXPECT_EQ(got.indices, want.indices);
+    EXPECT_EQ(got.label, want.label);
+  }
+  EXPECT_EQ(g.total_lookups(), 2u + 3u + 2u);  // samples 2, 0, 2
+}
+
+TEST(FlatDatasetTest, SyntheticGeneratorBuildsFlatDirectly) {
+  const DatasetSchema schema = MakeKaggleLikeSchema(DatasetScale::kTiny);
+  const Dataset dataset = SyntheticGenerator(schema, {.seed = 7}).Generate(64);
+  const FlatDataset& flat = dataset.flat();
+  ASSERT_EQ(flat.size(), 64u);
+  uint64_t lookups = 0;
+  for (size_t i = 0; i < flat.size(); ++i) lookups += flat.NumLookups(i);
+  EXPECT_EQ(lookups, flat.total_lookups());
+  for (size_t t = 0; t < schema.num_tables(); ++t) {
+    for (uint32_t row : flat.indices(t)) {
+      EXPECT_LT(row, schema.table_rows[t]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fae

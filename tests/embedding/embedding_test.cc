@@ -1,5 +1,6 @@
 #include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -52,14 +53,16 @@ TEST(EmbeddingTableDeathTest, OutOfRangeRowAborts) {
 TEST(EmbeddingBagTest, SingleLookupReturnsRow) {
   Xoshiro256 rng(5);
   EmbeddingTable table(10, 4, rng);
-  Tensor out = EmbeddingBag::Forward(table, {3}, {0, 1});
+  const std::vector<uint32_t> idx = {3}, off = {0, 1};
+  Tensor out = EmbeddingBag::Forward(table, idx, off);
   for (size_t k = 0; k < 4; ++k) EXPECT_EQ(out(0, k), table.row(3)[k]);
 }
 
 TEST(EmbeddingBagTest, SumPoolsMultipleLookups) {
   Xoshiro256 rng(6);
   EmbeddingTable table(10, 4, rng);
-  Tensor out = EmbeddingBag::Forward(table, {1, 2, 5}, {0, 3});
+  const std::vector<uint32_t> idx = {1, 2, 5}, off = {0, 3};
+  Tensor out = EmbeddingBag::Forward(table, idx, off);
   for (size_t k = 0; k < 4; ++k) {
     EXPECT_NEAR(out(0, k),
                 table.row(1)[k] + table.row(2)[k] + table.row(5)[k], 1e-6f);
@@ -69,7 +72,8 @@ TEST(EmbeddingBagTest, SumPoolsMultipleLookups) {
 TEST(EmbeddingBagTest, EmptyBagYieldsZeros) {
   Xoshiro256 rng(7);
   EmbeddingTable table(10, 4, rng);
-  Tensor out = EmbeddingBag::Forward(table, {}, {0, 0});
+  const std::vector<uint32_t> idx, off = {0, 0};
+  Tensor out = EmbeddingBag::Forward(table, idx, off);
   for (size_t k = 0; k < 4; ++k) EXPECT_EQ(out(0, k), 0.0f);
 }
 
@@ -77,7 +81,8 @@ TEST(EmbeddingBagTest, BatchedOffsets) {
   Xoshiro256 rng(8);
   EmbeddingTable table(10, 2, rng);
   // Sample 0: rows {0,1}; sample 1: row {2}.
-  Tensor out = EmbeddingBag::Forward(table, {0, 1, 2}, {0, 2, 3});
+  const std::vector<uint32_t> idx = {0, 1, 2}, off = {0, 2, 3};
+  Tensor out = EmbeddingBag::Forward(table, idx, off);
   EXPECT_EQ(out.rows(), 2u);
   EXPECT_NEAR(out(0, 0), table.row(0)[0] + table.row(1)[0], 1e-6f);
   EXPECT_NEAR(out(1, 0), table.row(2)[0], 1e-6f);
@@ -86,7 +91,8 @@ TEST(EmbeddingBagTest, BatchedOffsets) {
 TEST(EmbeddingBagTest, BackwardScattersGradients) {
   Tensor grad(2, 2, {1, 2, 3, 4});
   // Sample 0 -> rows {5, 7}; sample 1 -> row {5} (row 5 accumulates).
-  SparseGrad g = EmbeddingBag::Backward(grad, {5, 7, 5}, {0, 2, 3}, 2);
+  const std::vector<uint32_t> idx = {5, 7, 5}, off = {0, 2, 3};
+  SparseGrad g = EmbeddingBag::Backward(grad, idx, off, 2);
   EXPECT_EQ(g.num_rows(), 2u);
   ASSERT_NE(g.Find(5), nullptr);
   ASSERT_NE(g.Find(7), nullptr);
@@ -100,8 +106,8 @@ TEST(EmbeddingBagTest, BackwardScattersGradients) {
 
 TEST(EmbeddingBagTest, BackwardRowIdsSortedUnique) {
   Tensor grad(3, 2, {1, 1, 2, 2, 3, 3});
-  SparseGrad g =
-      EmbeddingBag::Backward(grad, {9, 1, 4, 1, 9}, {0, 2, 4, 5}, 2);
+  const std::vector<uint32_t> idx = {9, 1, 4, 1, 9}, off = {0, 2, 4, 5};
+  SparseGrad g = EmbeddingBag::Backward(grad, idx, off, 2);
   ASSERT_EQ(g.num_rows(), 3u);
   EXPECT_EQ(g.row_id(0), 1u);
   EXPECT_EQ(g.row_id(1), 4u);
@@ -111,7 +117,8 @@ TEST(EmbeddingBagTest, BackwardRowIdsSortedUnique) {
 
 TEST(EmbeddingBagTest, RepeatedIndexWithinSampleCountsTwice) {
   Tensor grad(1, 2, {1, 1});
-  SparseGrad g = EmbeddingBag::Backward(grad, {3, 3}, {0, 2}, 2);
+  const std::vector<uint32_t> idx = {3, 3}, off = {0, 2};
+  SparseGrad g = EmbeddingBag::Backward(grad, idx, off, 2);
   EXPECT_FLOAT_EQ(g.Find(3)[0], 2.0f);
 }
 

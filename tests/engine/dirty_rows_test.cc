@@ -1,0 +1,59 @@
+#include "engine/dirty_rows.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace fae {
+namespace {
+
+TEST(DirtyRowsTest, MarkRecordsEachRowOnce) {
+  DirtyRows dirty({100, 200});
+  dirty.Mark(0, 5);
+  dirty.Mark(0, 5);
+  dirty.Mark(0, 64);  // different bitmap word
+  dirty.Mark(1, 199);
+  EXPECT_TRUE(dirty.IsDirty(0, 5));
+  EXPECT_TRUE(dirty.IsDirty(0, 64));
+  EXPECT_FALSE(dirty.IsDirty(0, 6));
+  EXPECT_TRUE(dirty.IsDirty(1, 199));
+  EXPECT_FALSE(dirty.IsDirty(1, 0));
+  EXPECT_EQ(dirty.TotalTouched(), 3u);
+  EXPECT_EQ(dirty.touched()[0], (std::vector<uint32_t>{5, 64}));
+  EXPECT_EQ(dirty.touched()[1], (std::vector<uint32_t>{199}));
+}
+
+TEST(DirtyRowsTest, MarkAllDeduplicatesInFirstTouchOrder) {
+  DirtyRows dirty({64});
+  const std::vector<uint32_t> rows = {9, 3, 9, 1, 3};
+  dirty.MarkAll(0, rows);
+  EXPECT_EQ(dirty.touched()[0], (std::vector<uint32_t>{9, 3, 1}));
+}
+
+TEST(DirtyRowsTest, ClearResetsEverythingSparsely) {
+  DirtyRows dirty({1000});
+  for (uint32_t r = 0; r < 1000; r += 37) dirty.Mark(0, r);
+  ASSERT_GT(dirty.TotalTouched(), 0u);
+  dirty.Clear();
+  EXPECT_EQ(dirty.TotalTouched(), 0u);
+  for (uint32_t r = 0; r < 1000; ++r) {
+    EXPECT_FALSE(dirty.IsDirty(0, r)) << r;
+  }
+  // Marking works again after a clear.
+  dirty.Mark(0, 37);
+  EXPECT_TRUE(dirty.IsDirty(0, 37));
+  EXPECT_EQ(dirty.TotalTouched(), 1u);
+}
+
+TEST(DirtyRowsTest, InitResizesAndResets) {
+  DirtyRows dirty;
+  dirty.Init({10});
+  dirty.Mark(0, 9);
+  dirty.Init({10, 20});
+  EXPECT_EQ(dirty.num_tables(), 2u);
+  EXPECT_EQ(dirty.TotalTouched(), 0u);
+  EXPECT_FALSE(dirty.IsDirty(0, 9));
+}
+
+}  // namespace
+}  // namespace fae

@@ -1,0 +1,113 @@
+// Steady-state allocation freedom of the fused training step: after a few
+// warm-up steps have sized every workspace, a DLRM training step (forward,
+// backward, dense SGD, fused sparse scatter+update) must perform zero heap
+// allocations. Enforced with a global operator new hook, which is why this
+// test lives in its own binary (fae_zero_alloc_test) — the hook is
+// process-wide.
+
+#include <atomic>
+#include <execinfo.h>
+#include <unistd.h>
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/batch_view.h"
+#include "data/synthetic.h"
+#include "embedding/sparse_sgd.h"
+#include "models/factory.h"
+#include "tensor/sgd.h"
+
+namespace {
+std::atomic<bool> g_track{false};
+std::atomic<uint64_t> g_allocs{0};
+
+void* TrackedAlloc(std::size_t n) {
+  if (g_track.load(std::memory_order_relaxed)) {
+    uint64_t c = g_allocs.fetch_add(1, std::memory_order_relaxed);
+#ifdef FAE_ZERO_ALLOC_TRACE
+    if (c < 16) {
+      void* frames[16];
+      int depth = backtrace(frames, 16);
+      backtrace_symbols_fd(frames, depth, 2);
+      const char nl[] = "----\n";
+      (void)!write(2, nl, sizeof(nl) - 1);
+    }
+#endif
+  }
+  if (void* p = std::malloc(n == 0 ? 1 : n)) return p;
+  throw std::bad_alloc();
+}
+}  // namespace
+
+void* operator new(std::size_t n) { return TrackedAlloc(n); }
+void* operator new[](std::size_t n) { return TrackedAlloc(n); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace fae {
+namespace {
+
+TEST(ZeroAllocTest, FusedDlrmStepIsAllocationFreeAfterWarmup) {
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+  GTEST_SKIP() << "sanitizer runtimes allocate behind the hook";
+#endif
+  const DatasetSchema schema =
+      MakeSchema(WorkloadKind::kKaggleDlrm, DatasetScale::kTiny);
+  const Dataset dataset = SyntheticGenerator(schema, {.seed = 41}).Generate(64);
+  std::vector<uint64_t> ids(64);
+  for (size_t i = 0; i < ids.size(); ++i) ids[i] = i;
+  const FlatDataset gathered = dataset.flat().Gather(ids);
+  // 64 samples in batches of 16: every batch has the same size, so the
+  // workspaces sized by the warm-up fit every later step exactly.
+  const std::vector<BatchView> views = MakeBatchViews(gathered, 16, false);
+
+  std::unique_ptr<RecModel> model =
+      MakeModel(schema, /*full_size=*/false, /*seed=*/1);
+  std::vector<EmbeddingTable*> tables;
+  for (EmbeddingTable& t : model->tables()) tables.push_back(&t);
+  const std::vector<Parameter*> dense_params = model->DenseParams();
+
+  Sgd dense_sgd(0.1f);
+  SparseSgd sparse_sgd(0.1f);
+  // Mirror of the trainer's prebuilt apply functor: one pointer capture,
+  // held in std::function's small buffer.
+  struct Ctx {
+    SparseSgd* sgd;
+    std::vector<EmbeddingTable*>* tables;
+  } ctx{&sparse_sgd, &tables};
+  const SparseApplyFn apply = [c = &ctx](size_t t, const Tensor& grad_out,
+                                         std::span<const uint32_t> indices,
+                                         std::span<const uint32_t> offsets) {
+    c->sgd->FusedBackwardStep(*(*c->tables)[t], grad_out, indices, offsets,
+                              nullptr);
+  };
+
+  auto step = [&](const BatchView& view) {
+    StepResult r = model->ForwardBackwardFusedOn(view, tables, apply);
+    dense_sgd.Step(dense_params);
+    ASSERT_TRUE(r.table_grads.empty());  // DLRM fuses every table
+  };
+
+  // Warm-up: size every workspace.
+  for (int rep = 0; rep < 2; ++rep) {
+    for (const BatchView& view : views) step(view);
+  }
+
+  g_allocs.store(0);
+  g_track.store(true);
+  for (int rep = 0; rep < 3; ++rep) {
+    for (const BatchView& view : views) step(view);
+  }
+  g_track.store(false);
+  EXPECT_EQ(g_allocs.load(), 0u)
+      << "the fused steady-state step touched the heap";
+}
+
+}  // namespace
+}  // namespace fae

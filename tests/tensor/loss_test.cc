@@ -1,6 +1,7 @@
 #include "tensor/loss.h"
 
 #include <cmath>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -9,28 +10,32 @@ namespace {
 
 TEST(LossTest, KnownValueAtZeroLogit) {
   Tensor logits(2, 1, {0, 0});
-  BceResult r = BceWithLogits(logits, {1, 0});
+  const std::vector<float> labels = {1, 0};
+  BceResult r = BceWithLogits(logits, labels);
   // -log(0.5) for both samples.
   EXPECT_NEAR(r.mean_loss, std::log(2.0), 1e-6);
 }
 
 TEST(LossTest, ConfidentCorrectPredictionsHaveLowLoss) {
   Tensor logits(2, 1, {10, -10});
-  BceResult r = BceWithLogits(logits, {1, 0});
+  const std::vector<float> labels = {1, 0};
+  BceResult r = BceWithLogits(logits, labels);
   EXPECT_LT(r.mean_loss, 1e-3);
   EXPECT_EQ(r.correct, 2u);
 }
 
 TEST(LossTest, ConfidentWrongPredictionsHaveHighLoss) {
   Tensor logits(2, 1, {10, -10});
-  BceResult r = BceWithLogits(logits, {0, 1});
+  const std::vector<float> labels = {0, 1};
+  BceResult r = BceWithLogits(logits, labels);
   EXPECT_GT(r.mean_loss, 5.0);
   EXPECT_EQ(r.correct, 0u);
 }
 
 TEST(LossTest, GradientIsSigmoidMinusLabelOverBatch) {
   Tensor logits(2, 1, {0, 2});
-  BceResult r = BceWithLogits(logits, {1, 0});
+  const std::vector<float> labels = {1, 0};
+  BceResult r = BceWithLogits(logits, labels);
   EXPECT_NEAR(r.grad_logits(0, 0), (0.5 - 1.0) / 2.0, 1e-6);
   const double p1 = 1.0 / (1.0 + std::exp(-2.0));
   EXPECT_NEAR(r.grad_logits(1, 0), (p1 - 0.0) / 2.0, 1e-6);
@@ -54,7 +59,8 @@ TEST(LossTest, GradientMatchesNumericalDerivative) {
 
 TEST(LossTest, NumericallyStableForExtremeLogits) {
   Tensor logits(2, 1, {500, -500});
-  BceResult r = BceWithLogits(logits, {0, 1});
+  const std::vector<float> labels = {0, 1};
+  BceResult r = BceWithLogits(logits, labels);
   EXPECT_TRUE(std::isfinite(r.mean_loss));
   EXPECT_NEAR(r.mean_loss, 500.0, 1e-6);
 }
@@ -68,7 +74,8 @@ TEST(LossTest, LossOnlyAgreesWithFull) {
 
 TEST(LossTest, EmptyBatch) {
   Tensor logits(0, 1);
-  BceResult r = BceWithLogits(logits, {});
+  const std::vector<float> labels;
+  BceResult r = BceWithLogits(logits, labels);
   EXPECT_EQ(r.mean_loss, 0.0);
   EXPECT_EQ(r.correct, 0u);
 }
