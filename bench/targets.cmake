@@ -57,3 +57,10 @@ add_test(NAME bench_smoke
 # bit-exactness checks, which fail the test on any disagreement.
 add_test(NAME bench_pipeline_smoke
   COMMAND pipeline_throughput --smoke --out=${CMAKE_BINARY_DIR}/bench/BENCH_pipeline_smoke.json)
+
+# Pipelined-trainer gate: runs the real engine in every --pipeline mode,
+# asserts the phase charges are bit-identical across modes, and fails
+# unless FAE's overlap mode beats serial FAE by >= 1.3x on the modeled
+# wall. Deterministic (simulated time, cost-only), so smoke == full run.
+add_test(NAME bench_pipelined_smoke
+  COMMAND abl_pipelined --smoke --out=${CMAKE_BINARY_DIR}/bench/BENCH_pipelined_smoke.json)

@@ -76,27 +76,44 @@ SparseInput FlatDataset::Sample(size_t i) const {
 
 FlatDataset FlatDataset::Gather(std::span<const uint64_t> ids) const {
   FlatDataset out(schema_);
+  GatherInto(ids, &out);
+  return out;
+}
+
+void FlatDataset::GatherInto(std::span<const uint64_t> ids,
+                             FlatDataset* out) const {
+  FAE_CHECK(out != nullptr);
+  FAE_CHECK(out != this);
   const size_t n = ids.size();
   const size_t nd = schema_.num_dense;
   for (uint64_t id : ids) FAE_CHECK_LT(id, size());
 
+  // A reused workspace may come from a different (or differently-shaped)
+  // source: take this dataset's schema and resize the per-table buffer
+  // lists to match before the columnar passes below overwrite them.
+  out->schema_ = schema_;
+  out->indices_.resize(schema_.num_tables());
+  out->offsets_.resize(schema_.num_tables());
+  out->total_lookups_ = 0;
+
   // Columnar copy: one streaming pass per destination buffer (dense,
   // labels, then each table's offsets + indices) instead of touching every
   // table's arrays per sample. Each destination is sized exactly and
-  // written front to back — the gathered copy is the only per-run
-  // allocation the training data path makes.
-  out.dense_.resize(n * nd);
+  // written front to back — nothing from a previous fill of the workspace
+  // survives, and capacity is reused so steady-state refills are
+  // allocation-free.
+  out->dense_.resize(n * nd);
   for (size_t i = 0; i < n; ++i) {
-    std::copy_n(dense_row(ids[i]), nd, out.dense_.data() + i * nd);
+    std::copy_n(dense_row(ids[i]), nd, out->dense_.data() + i * nd);
   }
-  out.labels_.resize(n);
-  for (size_t i = 0; i < n; ++i) out.labels_[i] = labels_[ids[i]];
+  out->labels_.resize(n);
+  for (size_t i = 0; i < n; ++i) out->labels_[i] = labels_[ids[i]];
 
   for (size_t t = 0; t < schema_.num_tables(); ++t) {
     const std::vector<uint32_t>& src_off = offsets_[t];
     const std::vector<uint32_t>& src_idx = indices_[t];
-    std::vector<uint32_t>& dst_off = out.offsets_[t];
-    std::vector<uint32_t>& dst_idx = out.indices_[t];
+    std::vector<uint32_t>& dst_off = out->offsets_[t];
+    std::vector<uint32_t>& dst_idx = out->indices_[t];
     dst_off.resize(n + 1);
     dst_off[0] = 0;
     size_t total = 0;
@@ -111,9 +128,8 @@ FlatDataset FlatDataset::Gather(std::span<const uint64_t> ids) const {
       const uint32_t e = src_off[ids[i] + 1];
       dst = std::copy(src_idx.data() + b, src_idx.data() + e, dst);
     }
-    out.total_lookups_ += total;
+    out->total_lookups_ += total;
   }
-  return out;
 }
 
 }  // namespace fae

@@ -112,6 +112,15 @@ class FlatDataset {
   /// then become contiguous views into the gathered buffers.
   FlatDataset Gather(std::span<const uint64_t> ids) const;
 
+  /// Gather into a reusable workspace: every destination buffer is resized
+  /// to exactly the gathered shape and overwritten front to back, so a
+  /// workspace cycled through batches of different sizes never leaks stale
+  /// samples from a previous fill (capacity is retained — after warm-up a
+  /// prefetch workspace performs no heap allocations). `out`'s schema is
+  /// reset to this dataset's. Views into `out` from a previous fill are
+  /// invalidated. Self-gather (`out == this`) is not supported.
+  void GatherInto(std::span<const uint64_t> ids, FlatDataset* out) const;
+
  private:
   DatasetSchema schema_;
   std::vector<float> dense_;                   // [n * num_dense]

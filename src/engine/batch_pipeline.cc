@@ -1,0 +1,89 @@
+#include "engine/batch_pipeline.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace fae {
+
+BatchPipeline::BatchPipeline(size_t depth) {
+  slots_.resize(std::max<size_t>(1, depth));
+  producer_ = std::thread([this] { ProducerLoop(); });
+}
+
+BatchPipeline::~BatchPipeline() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  producer_cv_.notify_all();
+  consumer_cv_.notify_all();
+  producer_.join();
+}
+
+void BatchPipeline::Begin(std::vector<Spec> specs) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    FAE_CHECK(!holding_) << "Begin called with a batch still acquired";
+    FAE_CHECK_EQ(next_consume_, specs_.size())
+        << "Begin called before the previous segment was drained";
+    specs_ = std::move(specs);
+    next_fill_ = 0;
+    next_consume_ = 0;
+    for (Slot& slot : slots_) slot.filled = false;
+  }
+  producer_cv_.notify_one();
+}
+
+const BatchView& BatchPipeline::Acquire() {
+  std::unique_lock<std::mutex> lock(mu_);
+  FAE_CHECK(!holding_) << "Acquire called twice without a Release";
+  FAE_CHECK_LT(next_consume_, specs_.size())
+      << "Acquire called past the end of the segment";
+  Slot& slot = slots_[next_consume_ % slots_.size()];
+  consumer_cv_.wait(lock, [&] { return slot.filled || stop_; });
+  FAE_CHECK(!stop_);
+  holding_ = true;
+  return slot.view;
+}
+
+void BatchPipeline::Release() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    FAE_CHECK(holding_) << "Release without a matching Acquire";
+    slots_[next_consume_ % slots_.size()].filled = false;
+    ++next_consume_;
+    holding_ = false;
+  }
+  producer_cv_.notify_one();
+}
+
+void BatchPipeline::ProducerLoop() {
+  const size_t depth = slots_.size();
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    // Stage the next spec once its ring slot is free — at most `depth`
+    // ahead of the consumer, and never past the segment's end.
+    producer_cv_.wait(lock, [&] {
+      return stop_ ||
+             (next_fill_ < specs_.size() && next_fill_ < next_consume_ + depth);
+    });
+    if (stop_) return;
+    const Spec spec = specs_[next_fill_];
+    Slot& slot = slots_[next_fill_ % depth];
+    ++next_fill_;
+    lock.unlock();
+    // The expensive gather runs unlocked: this slot is owned by the
+    // producer until `filled` flips (see the Slot doc for the ordering
+    // argument).
+    spec.source->GatherInto(spec.ids, &slot.workspace);
+    slot.view =
+        MakeBatchView(slot.workspace, 0, slot.workspace.size(), spec.hot);
+    lock.lock();
+    slot.filled = true;
+    consumer_cv_.notify_one();
+  }
+}
+
+}  // namespace fae

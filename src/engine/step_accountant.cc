@@ -85,6 +85,23 @@ void StepAccountant::ChargeBaselineStep(const BatchWork& w,
   (void)ChargeBaselineParts(w, tl);
 }
 
+StepAccountant::BaselineParts StepAccountant::ChargeBaselineStepParts(
+    const BatchWork& w, Timeline& tl) const {
+  return ChargeBaselineParts(w, tl);
+}
+
+double StepAccountant::ChargeInputPrep(uint64_t batch_bytes,
+                                       Timeline& tl) const {
+  // Staging a mini-batch is a CPU gather (random sample rows) into a
+  // contiguous workspace; model it as random-access traffic at the CPU's
+  // gather efficiency. Derived from batch contents alone, so cost-only and
+  // math runs charge identically.
+  const double seconds =
+      cost_->GatherSeconds(batch_bytes, cost_->system().cpu);
+  tl.ChargeCpu(Phase::kInputPrep, seconds);
+  return seconds;
+}
+
 void StepAccountant::ChargeBaselineStepPipelined(const BatchWork& w,
                                                  Timeline& tl) const {
   const BaselineParts parts = ChargeBaselineParts(w, tl);

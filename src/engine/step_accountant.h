@@ -1,6 +1,7 @@
 #ifndef FAE_ENGINE_STEP_ACCOUNTANT_H_
 #define FAE_ENGINE_STEP_ACCOUNTANT_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -23,9 +24,35 @@ class StepAccountant {
   explicit StepAccountant(const CostModel* cost_model)
       : cost_(cost_model) {}
 
+  /// Per-step time split into the CPU path, the GPU path, and the serial
+  /// synchronization segment that neither device can hide. The pipelined
+  /// trainer (--pipeline=overlap) uses the split to model intra-step
+  /// CPU/GPU overlap through Timeline::AddOverlapSavedSeconds.
+  struct BaselineParts {
+    double cpu = 0.0;
+    double gpu = 0.0;
+    double serial = 0.0;
+    double Total() const { return cpu + gpu + serial; }
+    /// Steady-state wall with the CPU and GPU paths overlapped.
+    double Overlapped() const { return std::max(cpu, gpu) + serial; }
+  };
+
   /// Hybrid CPU-GPU step (the paper's baseline). Fully synchronous: the
   /// modeled wall time is the sum of all phases.
   void ChargeBaselineStep(const BatchWork& w, Timeline& tl) const;
+
+  /// ChargeBaselineStep with the lane split returned. Phase charges are
+  /// identical to ChargeBaselineStep — only the caller's overlap
+  /// bookkeeping differs, which keeps checkpointed timelines byte-equal
+  /// across pipeline modes.
+  BaselineParts ChargeBaselineStepParts(const BatchWork& w,
+                                        Timeline& tl) const;
+
+  /// Gather/pack of one mini-batch into a staging workspace on the CPU
+  /// (the BatchPipeline's per-batch work). Charged in every pipeline mode;
+  /// prefetching modes hide it under the previous step via
+  /// Timeline::AddOverlapSavedSeconds. Returns the charged seconds.
+  double ChargeInputPrep(uint64_t batch_bytes, Timeline& tl) const;
 
   /// Pipelined hybrid step: the CPU's embedding work for the next batch
   /// overlaps the GPUs' dense work for the current one (software
@@ -74,13 +101,6 @@ class StepAccountant {
   const CostModel& cost_model() const { return *cost_; }
 
  private:
-  /// Per-step time split into the CPU path, the GPU path, and the serial
-  /// synchronization segment that neither device can hide.
-  struct BaselineParts {
-    double cpu = 0.0;
-    double gpu = 0.0;
-    double serial = 0.0;
-  };
   BaselineParts ChargeBaselineParts(const BatchWork& w, Timeline& tl) const;
 
   const CostModel* cost_;

@@ -7,6 +7,7 @@
 
 #include "core/embedding_replicator.h"
 #include "core/fae_format.h"
+#include "engine/batch_pipeline.h"
 #include "core/input_processor.h"
 #include "core/shuffle_scheduler.h"
 #include "engine/dirty_rows.h"
@@ -34,7 +35,96 @@ uint64_t FnvMix(uint64_t h, uint64_t v) {
   return h;
 }
 
+/// Input payload of one mini-batch — dense features, labels, CSR offsets
+/// and lookup indices: what the staging gather streams into a workspace.
+/// Derived from the batch's shape only, so a zero-copy view and its staged
+/// copy yield the same value and every pipeline mode charges the same prep
+/// time.
+uint64_t BatchInputBytes(const BatchView& v) {
+  uint64_t elems = static_cast<uint64_t>(v.dense.rows) * v.dense.cols  //
+                   + v.batch_size()      // labels
+                   + v.TotalLookups();   // lookup indices
+  for (size_t t = 0; t < v.num_tables(); ++t) {
+    elems += v.offsets(t).size();  // CSR offsets
+  }
+  return elems * 4;  // every stream is 4-byte elements
+}
+
+/// Per-step overlap bookkeeping shared by the serial and pipelined drivers
+/// (DESIGN.md §11). Phase charges are identical in every mode; modes
+/// differ only in the seconds credited back through
+/// Timeline::AddOverlapSavedSeconds:
+///   - kPrefetch (depth >= 2): batch b's staging gather runs on the
+///     prefetch thread while step b-1 computes, so up to the previous
+///     step's unhidden seconds of b's prep are hidden;
+///   - kOverlap: additionally the hybrid step's CPU and GPU lanes overlap,
+///     hiding min(cpu, gpu) per step.
+/// Prefetch cannot reach across a segment boundary (epoch / schedule
+/// chunk): the first batch of a segment pays its prep in full.
+class OverlapTracker {
+ public:
+  OverlapTracker(PipelineMode mode, size_t depth, Timeline* tl)
+      : mode_(mode), depth_(depth), tl_(tl) {}
+
+  void BeginSegment() { has_prev_ = false; }
+
+  /// One training step: `prep` staging seconds, `total` compute seconds
+  /// charged, `overlapped` the step's wall with its CPU/GPU lanes
+  /// overlapped (== `total` for single-lane steps).
+  void OnStep(double prep, double total, double overlapped) {
+    if (mode_ == PipelineMode::kOff) return;
+    double saved = 0.0;
+    double unhidden = total;
+    if (mode_ == PipelineMode::kOverlap) {
+      saved += total - overlapped;
+      unhidden = overlapped;
+    }
+    if (depth_ >= 2 && has_prev_) {
+      saved += std::min(prep, prev_unhidden_);
+    }
+    prev_unhidden_ = unhidden;
+    has_prev_ = true;
+    if (saved > 0.0) tl_->AddOverlapSavedSeconds(saved);
+  }
+
+  /// Chunk-window marks for FAE's hot/cold overlap (kOverlap only): a cold
+  /// chunk's unhidden CPU seconds later overlap the next hot chunk's
+  /// unhidden GPU+DMA seconds. "Unhidden" subtracts savings already
+  /// recorded inside the window, so nothing is credited twice.
+  void MarkChunkStart() {
+    chunk_phase0_ = tl_->PhaseSumSeconds();
+    chunk_saved0_ = tl_->overlap_saved_seconds();
+  }
+  double ChunkUnhiddenSeconds() const {
+    return (tl_->PhaseSumSeconds() - chunk_phase0_) -
+           (tl_->overlap_saved_seconds() - chunk_saved0_);
+  }
+
+  PipelineMode mode() const { return mode_; }
+
+ private:
+  PipelineMode mode_;
+  size_t depth_;
+  Timeline* tl_;
+  bool has_prev_ = false;
+  double prev_unhidden_ = 0.0;
+  double chunk_phase0_ = 0.0;
+  double chunk_saved0_ = 0.0;
+};
+
 }  // namespace
+
+std::string_view PipelineModeName(PipelineMode mode) {
+  switch (mode) {
+    case PipelineMode::kOff:
+      return "off";
+    case PipelineMode::kPrefetch:
+      return "prefetch";
+    case PipelineMode::kOverlap:
+      return "overlap";
+  }
+  return "unknown";
+}
 
 std::string_view TrainModeName(TrainMode mode) {
   switch (mode) {
@@ -96,7 +186,11 @@ uint64_t Trainer::OptionsFingerprint() const {
   h = FnvMix(h, options_.fp16_embeddings ? 1 : 0);
   h = FnvMix(h, options_.seed);
   // num_threads is deliberately absent: the kernels are bit-identical at
-  // any thread count, so a resume may change it freely.
+  // any thread count, so a resume may change it freely. pipeline and
+  // pipeline_depth are absent for the same reason — every pipeline mode
+  // produces identical math, phase charges, and checkpoint bytes (the
+  // overlap savings live outside Timeline::State), so a run may resume
+  // under a different pipeline configuration.
   return h;
 }
 
@@ -250,7 +344,12 @@ void Trainer::FinishReport(TrainReport& report,
   if (options_.fault_injector != nullptr) {
     report.faults = options_.fault_injector->stats();
   }
-  report.modeled_seconds = report.timeline.TotalSeconds();
+  // The pipelined wall: phase totals minus what overlap hid (equal to the
+  // plain total when nothing overlapped).
+  report.modeled_seconds = report.timeline.OverlappedTotalSeconds();
+  report.prep_seconds = report.timeline.seconds(Phase::kInputPrep);
+  report.overlap_saved_seconds = report.timeline.overlap_saved_seconds();
+  report.overlap_fraction = report.timeline.OverlapFraction();
   report.avg_gpu_watts = cost_.AverageGpuWatts(
       report.modeled_seconds, report.timeline.gpu_busy_seconds(),
       report.timeline.seconds(Phase::kCpuGpuTransfer) +
@@ -274,22 +373,67 @@ TrainReport Trainer::TrainBaseline(const Dataset& dataset,
 
 StatusOr<TrainReport> Trainer::TrainBaselineResumable(
     const Dataset& dataset, const Dataset::Split& split) {
+  if (options_.pipeline != PipelineMode::kOff && options_.pipelined_baseline) {
+    return Status::InvalidArgument(
+        "--pipeline and the legacy pipelined_baseline cost model are "
+        "mutually exclusive (both model overlapped execution)");
+  }
   MaybeQuantizeTables();
   TrainReport report;
   report.mode = TrainMode::kBaseline;
+  const bool pipelined = options_.pipeline != PipelineMode::kOff;
 
   std::vector<uint64_t> ids = split.train;
   Xoshiro256 rng(options_.seed);
   for (size_t i = ids.size(); i > 1; --i) {
     std::swap(ids[i - 1], ids[rng.NextBounded(i)]);
   }
-  // One gather into epoch order; batches are views into the gathered
-  // buffers (consecutive sample ranges), with cost-model work units
-  // computed once. Per-epoch reshuffles permute the view list — the
+  // Serial data path: one gather into epoch order; batches are views into
+  // the gathered buffers (consecutive sample ranges), with cost-model work
+  // units computed once. Per-epoch reshuffles permute the view list — the
   // underlying data is never copied again.
-  const FlatDataset train_flat = dataset.flat().Gather(ids);
-  std::vector<TrainBatch> batches =
-      MakeTrainBatches(train_flat, GlobalBatchSize(), /*hot=*/false);
+  //
+  // Pipelined data path: no epoch-wide materialization at all. Each batch
+  // is a descriptor — a fixed subspan of the shuffled ids — that the
+  // BatchPipeline stages into a ring workspace just in time, overlapping
+  // the gather with the previous step's compute. Work units are computed
+  // at a descriptor's first staging and cached (Work is pure per batch
+  // contents). Both paths reshuffle per epoch with the identical
+  // NextBounded call sequence, so the RNG stream — and with it the batch
+  // order and checkpoint bytes — match exactly.
+  struct BatchDesc {
+    std::span<const uint64_t> ids;
+    BatchWork work;
+    bool work_valid = false;
+  };
+  FlatDataset train_flat;
+  std::vector<TrainBatch> batches;
+  std::vector<BatchDesc> descs;
+  const size_t global_batch = GlobalBatchSize();
+  if (pipelined) {
+    for (size_t begin = 0; begin < ids.size(); begin += global_batch) {
+      BatchDesc d;
+      d.ids = std::span<const uint64_t>(ids).subspan(
+          begin, std::min(global_batch, ids.size() - begin));
+      descs.push_back(std::move(d));
+    }
+  } else {
+    train_flat = dataset.flat().Gather(ids);
+    batches = MakeTrainBatches(train_flat, global_batch, /*hot=*/false);
+  }
+  const size_t num_batches = pipelined ? descs.size() : batches.size();
+  // One NextBounded sequence regardless of data path (checkpoints verify
+  // the RNG stream, so the paths must consume identically).
+  auto reshuffle_batches = [&] {
+    for (size_t i = num_batches; i > 1; --i) {
+      const size_t j = rng.NextBounded(i);
+      if (pipelined) {
+        std::swap(descs[i - 1], descs[j]);
+      } else {
+        std::swap(batches[i - 1], batches[j]);
+      }
+    }
+  };
   const EvalSet eval_set =
       options_.run_math ? MakeEvalSet(dataset, split) : EvalSet{};
 
@@ -299,8 +443,8 @@ StatusOr<TrainReport> Trainer::TrainBaselineResumable(
   RunningMetric metric;
   RunningMetric window;
   const size_t eval_every =
-      std::max<size_t>(1, batches.size() / std::max<size_t>(
-                                               1, options_.evals_per_epoch));
+      std::max<size_t>(1, num_batches / std::max<size_t>(
+                                            1, options_.evals_per_epoch));
   size_t iteration = 0;
   size_t start_epoch = 0;
   size_t start_batch = 0;
@@ -321,11 +465,7 @@ StatusOr<TrainReport> Trainer::TrainBaselineResumable(
     // Replay the shuffles consumed up to the save point — the initial id
     // shuffle above plus one batch reshuffle per started epoch — so the
     // resumed batch order matches the uninterrupted run's.
-    for (uint64_t e = 0; e <= ck.epoch; ++e) {
-      for (size_t i = batches.size(); i > 1; --i) {
-        std::swap(batches[i - 1], batches[rng.NextBounded(i)]);
-      }
-    }
+    for (uint64_t e = 0; e <= ck.epoch; ++e) reshuffle_batches();
     if (!(rng.state() == ck.rng)) {
       return Status::FailedPrecondition(
           "checkpoint RNG stream does not match the replayed shuffles "
@@ -368,29 +508,67 @@ StatusOr<TrainReport> Trainer::TrainBaselineResumable(
     return CheckpointIo::Save(ckpt.path, ck, *model_);
   };
 
+  std::unique_ptr<BatchPipeline> prefetcher;
+  if (pipelined) {
+    prefetcher = std::make_unique<BatchPipeline>(options_.pipeline_depth);
+  }
+  OverlapTracker tracker(options_.pipeline, options_.pipeline_depth,
+                         &report.timeline);
+
   for (size_t epoch = start_epoch; epoch < options_.epochs; ++epoch) {
     // Reshuffle batch order each epoch (already replayed for the epoch a
     // resume landed in).
-    if (!(report.resumed && epoch == start_epoch)) {
-      for (size_t i = batches.size(); i > 1; --i) {
-        std::swap(batches[i - 1], batches[rng.NextBounded(i)]);
-      }
-    }
+    if (!(report.resumed && epoch == start_epoch)) reshuffle_batches();
     const size_t first = epoch == start_epoch ? start_batch : 0;
-    for (size_t b = first; b < batches.size(); ++b) {
-      const TrainBatch& batch = batches[b];
+    if (pipelined) {
+      // One pipeline segment per epoch: the epoch boundary is a sync
+      // point the prefetcher never crosses.
+      std::vector<BatchPipeline::Spec> specs;
+      specs.reserve(num_batches - first);
+      for (size_t b = first; b < num_batches; ++b) {
+        specs.push_back(
+            BatchPipeline::Spec{&dataset.flat(), descs[b].ids, false});
+      }
+      prefetcher->Begin(std::move(specs));
+    }
+    tracker.BeginSegment();
+    for (size_t b = first; b < num_batches; ++b) {
       FAE_ASSIGN_OR_RETURN(const bool crashed,
                            DrainFaults(iteration, report, nullptr));
       if (crashed) {
+        // ~BatchPipeline cancels the abandoned segment.
         FinishReport(report, eval_set.views, metric);
         return report;
       }
-      if (options_.pipelined_baseline) {
-        accountant_.ChargeBaselineStepPipelined(batch.work, report.timeline);
+      const BatchView* view = nullptr;
+      const BatchWork* work = nullptr;
+      if (pipelined) {
+        const BatchView& staged = prefetcher->Acquire();
+        BatchDesc& d = descs[b];
+        if (!d.work_valid) {
+          d.work = model_->Work(staged);
+          d.work_valid = true;
+        }
+        view = &staged;
+        work = &d.work;
       } else {
-        accountant_.ChargeBaselineStep(batch.work, report.timeline);
+        view = &batches[b].view;
+        work = &batches[b].work;
       }
-      if (options_.run_math) MathStep(batch.view, tables, metric, window);
+      // Identical charges in every pipeline mode — staging cost plus the
+      // hybrid step; pipelined modes then credit back what overlap hid.
+      const double prep = accountant_.ChargeInputPrep(BatchInputBytes(*view),
+                                                      report.timeline);
+      if (options_.pipelined_baseline) {
+        report.timeline.AddWallSeconds(prep);
+        accountant_.ChargeBaselineStepPipelined(*work, report.timeline);
+      } else {
+        const StepAccountant::BaselineParts parts =
+            accountant_.ChargeBaselineStepParts(*work, report.timeline);
+        tracker.OnStep(prep, parts.Total(), parts.Overlapped());
+      }
+      if (options_.run_math) MathStep(*view, tables, metric, window);
+      if (pipelined) prefetcher->Release();
       ++iteration;
       ++report.num_batches;
       if (options_.run_math && iteration % eval_every == 0) {
@@ -426,6 +604,11 @@ StatusOr<TrainReport> Trainer::TrainFaeWithPlan(const Dataset& dataset,
                                                 const Dataset::Split& split,
                                                 const FaeConfig& config,
                                                 const FaePlan& plan) {
+  if (options_.pipeline != PipelineMode::kOff && options_.pipelined_baseline) {
+    return Status::InvalidArgument(
+        "--pipeline and the legacy pipelined_baseline cost model are "
+        "mutually exclusive (both model overlapped execution)");
+  }
   MaybeQuantizeTables();
   TrainReport report;
   report.mode = TrainMode::kFae;
@@ -490,6 +673,29 @@ StatusOr<TrainReport> Trainer::TrainFaeWithPlan(const Dataset& dataset,
     hot_translated_views =
         MakeBatchViews(hot_translated, GlobalBatchSize(), /*hot=*/true);
   }
+
+  // Pipelined staging: each schedule chunk is one BatchPipeline segment
+  // (the chunk boundary is FAE's sync point — the scheduler's rate
+  // feedback can change the upcoming mix there, so nothing is staged
+  // across it). Batches of the packed classes are contiguous sample
+  // ranges, so staging specs index through one shared iota pool. Hot
+  // batches stage from the replica-coordinate clone when math runs (the
+  // staged copy feeds MathStep directly); the untranslated views keep
+  // serving work units and dirty tracking in every mode.
+  const bool pipelined = options_.pipeline != PipelineMode::kOff;
+  std::unique_ptr<BatchPipeline> prefetcher;
+  std::vector<uint64_t> stage_ids;
+  const FlatDataset* hot_stage_src = nullptr;
+  if (pipelined) {
+    prefetcher = std::make_unique<BatchPipeline>(options_.pipeline_depth);
+    stage_ids.resize(std::max(packed.hot.size(), packed.cold.size()));
+    std::iota(stage_ids.begin(), stage_ids.end(), 0);
+    hot_stage_src = options_.run_math ? &hot_translated : &packed.hot;
+  }
+  OverlapTracker tracker(options_.pipeline, options_.pipeline_depth,
+                         &report.timeline);
+  // Cold-chunk CPU seconds awaiting a hot chunk to hide under (kOverlap).
+  double pending_cold_unhidden = 0.0;
 
   ShuffleScheduler scheduler(cold_batches.size(), hot_batches.size(), config);
   RunningMetric metric;
@@ -621,6 +827,25 @@ StatusOr<TrainReport> Trainer::TrainFaeWithPlan(const Dataset& dataset,
     // encodes the position, so only later epochs reset it.
     if (!(report.resumed && epoch == start_epoch)) scheduler.ResetEpoch();
     while (auto chunk = scheduler.Next()) {
+      if (pipelined) {
+        const FlatDataset* src = chunk->hot ? hot_stage_src : &packed.cold;
+        std::vector<BatchPipeline::Spec> specs;
+        specs.reserve(chunk->count);
+        for (size_t i = chunk->begin; i < chunk->begin + chunk->count; ++i) {
+          const size_t begin = i * GlobalBatchSize();
+          const size_t count =
+              std::min(GlobalBatchSize(), src->size() - begin);
+          specs.push_back(BatchPipeline::Spec{
+              src, std::span<const uint64_t>(stage_ids).subspan(begin, count),
+              chunk->hot});
+        }
+        prefetcher->Begin(std::move(specs));
+      }
+      tracker.BeginSegment();
+      // The chunk window spans everything charged for this chunk —
+      // including the hot-slice syncs — so kOverlap can pair a cold
+      // chunk's CPU time against the next hot chunk's GPU+DMA time.
+      if (tracker.mode() == PipelineMode::kOverlap) tracker.MarkChunkStart();
       if (chunk->hot) {
         // Hot phase: replicas pull the latest rows (cold batches may have
         // updated hot entries on the CPU master). The very first hot
@@ -667,12 +892,28 @@ StatusOr<TrainReport> Trainer::TrainFaeWithPlan(const Dataset& dataset,
             finalize();
             return report;
           }
+          const BatchView* math_view =
+              options_.run_math ? &hot_translated_views[i] : nullptr;
+          if (pipelined) {
+            const BatchView& staged = prefetcher->Acquire();
+            if (options_.run_math) math_view = &staged;
+          }
+          double prep = 0.0;
+          charge_serial([&] {
+            prep = accountant_.ChargeInputPrep(
+                BatchInputBytes(hot_batches[i].view), report.timeline);
+          });
+          const double before = report.timeline.PhaseSumSeconds();
           charge_serial([&] {
             accountant_.ChargeHotStep(hot_batches[i].work, report.timeline);
           });
+          const double step_seconds =
+              report.timeline.PhaseSumSeconds() - before;
+          tracker.OnStep(prep, step_seconds, step_seconds);
           if (options_.run_math) {
-            MathStep(hot_translated_views[i], replica_tables, metric, window);
+            MathStep(*math_view, replica_tables, metric, window);
           }
+          if (pipelined) prefetcher->Release();
           if (dirty_sync) {
             // Untranslated indices — dirty tracking speaks master ids.
             for (size_t t = 0; t < num_tables; ++t) {
@@ -721,16 +962,27 @@ StatusOr<TrainReport> Trainer::TrainFaeWithPlan(const Dataset& dataset,
             finalize();
             return report;
           }
+          const BatchView* math_view = &cold_batches[i].view;
+          if (pipelined) {
+            const BatchView& staged = prefetcher->Acquire();
+            math_view = &staged;
+          }
+          const double prep = accountant_.ChargeInputPrep(
+              BatchInputBytes(cold_batches[i].view), report.timeline);
           if (options_.pipelined_baseline) {
+            report.timeline.AddWallSeconds(prep);
             accountant_.ChargeBaselineStepPipelined(cold_batches[i].work,
                                                     report.timeline);
           } else {
-            accountant_.ChargeBaselineStep(cold_batches[i].work,
-                                           report.timeline);
+            const StepAccountant::BaselineParts parts =
+                accountant_.ChargeBaselineStepParts(cold_batches[i].work,
+                                                    report.timeline);
+            tracker.OnStep(prep, parts.Total(), parts.Overlapped());
           }
           if (options_.run_math) {
-            MathStep(cold_batches[i].view, master_tables, metric, window);
+            MathStep(*math_view, master_tables, metric, window);
           }
+          if (pipelined) prefetcher->Release();
           if (dirty_sync) {
             // Cold inputs may update hot rows on the master; those rows
             // must reach the replicas before the next hot phase.
@@ -742,6 +994,20 @@ StatusOr<TrainReport> Trainer::TrainFaeWithPlan(const Dataset& dataset,
           }
           ++iteration;
           ++report.num_batches;
+        }
+      }
+      if (tracker.mode() == PipelineMode::kOverlap) {
+        // Pair the interleaved phases: a cold chunk banks its unhidden
+        // CPU seconds, and the next hot chunk hides them under its own
+        // unhidden GPU+DMA span (capped by the shorter of the two) — the
+        // overlapped hot/cold schedule the pipelined trainer models.
+        const double unhidden = tracker.ChunkUnhiddenSeconds();
+        if (chunk->hot) {
+          const double hid = std::min(pending_cold_unhidden, unhidden);
+          if (hid > 0.0) report.timeline.AddOverlapSavedSeconds(hid);
+          pending_cold_unhidden = 0.0;
+        } else {
+          pending_cold_unhidden = unhidden;
         }
       }
       if (options_.run_math) {

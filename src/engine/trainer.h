@@ -42,6 +42,27 @@ enum class SyncStrategy {
   kDirty,
 };
 
+/// Pipelined execution for the baseline and FAE drivers (comparator
+/// placements ignore it). Every mode runs the identical math in the
+/// identical order — pipelining changes only how input staging and device
+/// phases are scheduled (and modeled), never what is computed, so results
+/// are bit-exact across modes (tests/engine/pipeline_determinism_test.cc).
+enum class PipelineMode {
+  /// Fully serial: stage a batch, then step on it.
+  kOff,
+  /// Double-buffered staging (engine/batch_pipeline.h): a background
+  /// thread gathers/packs batch b+1 while batch b trains, hiding input
+  /// prep under compute. Prefetch never crosses an epoch or schedule-chunk
+  /// boundary (the pipeline's explicit sync points).
+  kPrefetch,
+  /// kPrefetch plus overlapped phases: the hybrid step's CPU and GPU lanes
+  /// run concurrently, and FAE's cold-CPU chunks overlap the subsequent
+  /// hot-GPU chunk (including the hot-slice DMA syncs).
+  kOverlap,
+};
+
+std::string_view PipelineModeName(PipelineMode mode);
+
 struct TrainOptions {
   /// Per-GPU mini-batch; the global batch is this times num_gpus (the
   /// paper's weak scaling, §IV-B2).
@@ -91,6 +112,15 @@ struct TrainOptions {
   /// any thread count — which is why this field is deliberately excluded
   /// from OptionsFingerprint (a resume may change it freely).
   size_t num_threads = 1;
+  /// Pipelined execution (see PipelineMode). Like num_threads, excluded
+  /// from OptionsFingerprint: results, phase charges, and checkpoint bytes
+  /// are identical in every mode, so a resume may switch modes freely.
+  /// Mutually exclusive with the legacy pipelined_baseline cost model.
+  PipelineMode pipeline = PipelineMode::kOff;
+  /// Staging-ring depth for kPrefetch/kOverlap (>= 1). Depth 1 keeps the
+  /// background producer but allows no lookahead (no prep is hidden);
+  /// depth 2 is classic double buffering. Also fingerprint-exempt.
+  size_t pipeline_depth = 2;
 };
 
 /// Everything a training run reports: the modeled timeline, the measured
@@ -104,8 +134,16 @@ struct TrainReport {
   double final_test_loss = 0.0;
   double final_test_acc = 0.0;
   double final_test_auc = 0.0;
-  /// Modeled wall-clock (timeline total).
+  /// Modeled wall-clock (timeline total minus pipelined-overlap savings).
   double modeled_seconds = 0.0;
+  /// Mini-batch staging time charged to Phase::kInputPrep (identical in
+  /// every pipeline mode; pipelined modes hide part of it).
+  double prep_seconds = 0.0;
+  /// Seconds hidden by pipelined overlap (Timeline overlap accounting) and
+  /// the fraction of the serial wall they represent. Zero when
+  /// pipeline == kOff.
+  double overlap_saved_seconds = 0.0;
+  double overlap_fraction = 0.0;
   double avg_gpu_watts = 0.0;
   size_t num_batches = 0;
 

@@ -28,6 +28,8 @@ std::string_view PhaseName(Phase phase) {
       return "inter_node_comm";
     case Phase::kFaultRecovery:
       return "fault_recovery";
+    case Phase::kInputPrep:
+      return "input_prep";
     case Phase::kNumPhases:
       break;
   }
@@ -44,11 +46,23 @@ double Timeline::TotalSeconds() const {
   return wall_seconds_ > 0.0 ? wall_seconds_ : PhaseSumSeconds();
 }
 
+double Timeline::OverlappedTotalSeconds() const {
+  const double total = TotalSeconds();
+  return overlap_saved_ < total ? total - overlap_saved_ : 0.0;
+}
+
+double Timeline::OverlapFraction() const {
+  const double total = TotalSeconds();
+  if (total <= 0.0 || overlap_saved_ <= 0.0) return 0.0;
+  return overlap_saved_ >= total ? 1.0 : overlap_saved_ / total;
+}
+
 void Timeline::Merge(const Timeline& other) {
   for (size_t i = 0; i < seconds_.size(); ++i) {
     seconds_[i] += other.seconds_[i];
   }
   wall_seconds_ += other.wall_seconds_;
+  overlap_saved_ += other.overlap_saved_;
   cpu_busy_ += other.cpu_busy_;
   gpu_busy_ += other.gpu_busy_;
   pcie_bytes_ += other.pcie_bytes_;
@@ -65,6 +79,12 @@ std::string Timeline::Report() const {
                      std::string(PhaseName(static_cast<Phase>(i))).c_str(),
                      HumanSeconds(seconds_[i]).c_str(),
                      total > 0 ? 100.0 * seconds_[i] / total : 0.0);
+  }
+  if (overlap_saved_ > 0.0) {
+    out += StrFormat("  overlap hid %s (%.1f%%): pipelined wall %s\n",
+                     HumanSeconds(overlap_saved_).c_str(),
+                     100.0 * OverlapFraction(),
+                     HumanSeconds(OverlappedTotalSeconds()).c_str());
   }
   out += StrFormat("  pcie %s, nvlink %s, network %s\n",
                    HumanBytes(pcie_bytes_).c_str(),

@@ -21,6 +21,7 @@ enum class Phase : int {
   kEmbeddingSync,          // FAE-only: hot-table sync at hot<->cold swaps
   kNetwork,                // inter-node traffic (multi-node clusters only)
   kFaultRecovery,          // retry backoff + re-sync after injected faults
+  kInputPrep,              // mini-batch gather/pack into staging buffers
   kNumPhases,
 };
 
@@ -33,6 +34,11 @@ class Timeline {
  public:
   /// Full accumulator snapshot for checkpoint/resume: restoring it makes
   /// the final report identical to an uninterrupted run's.
+  ///
+  /// Deliberately excludes the overlap accumulator (AddOverlapSavedSeconds):
+  /// phase charges are identical across all --pipeline modes, so checkpoints
+  /// written by a serial and a pipelined run are byte-identical — the
+  /// pipeline determinism contract (DESIGN.md §11).
   struct State {
     std::array<double, static_cast<int>(Phase::kNumPhases)> seconds{};
     double wall_seconds = 0.0;
@@ -85,6 +91,24 @@ class Timeline {
   /// because CPU and GPU phases run concurrently.
   void AddWallSeconds(double seconds) { wall_seconds_ += seconds; }
 
+  /// Overlap accounting for the pipelined trainer (--pipeline): records
+  /// modeled seconds *hidden* by overlapping work on disjoint resources
+  /// (batch prefetch under compute, cold-CPU phases under hot-GPU phases,
+  /// DMA syncs under compute). Phase charges always record the full device
+  /// work; the saving is tracked separately so it can be subtracted from
+  /// the wall without perturbing the per-phase breakdown — and so the
+  /// checkpointed State stays identical across pipeline modes.
+  void AddOverlapSavedSeconds(double seconds) { overlap_saved_ += seconds; }
+  double overlap_saved_seconds() const { return overlap_saved_; }
+
+  /// TotalSeconds() minus the overlap savings: the modeled wall-clock of
+  /// the pipelined execution. Equals TotalSeconds() when nothing
+  /// overlapped.
+  double OverlappedTotalSeconds() const;
+
+  /// Fraction of the serial wall-clock hidden by overlap, in [0, 1).
+  double OverlapFraction() const;
+
   /// Modeled wall-clock: the explicit wall time when any was recorded
   /// (overlapped execution), otherwise the sum of all phases (the default
   /// synchronous pipeline).
@@ -107,6 +131,8 @@ class Timeline {
  private:
   std::array<double, static_cast<int>(Phase::kNumPhases)> seconds_{};
   double wall_seconds_ = 0.0;
+  /// Not part of State — see the State doc comment.
+  double overlap_saved_ = 0.0;
   double cpu_busy_ = 0.0;
   double gpu_busy_ = 0.0;
   uint64_t pcie_bytes_ = 0;

@@ -1,0 +1,265 @@
+// Locks down the pipelined trainer's determinism contract (DESIGN.md §11):
+// every --pipeline mode, at every staging depth and kernel thread count,
+// produces bit-identical training results — final embedding tables, every
+// loss on the learning curve, and the exact bytes of periodic checkpoints.
+// The pipeline may only change the modeled wall-clock (overlap savings),
+// never what is computed or what a resume sees.
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/fae_pipeline.h"
+#include "data/synthetic.h"
+#include "engine/trainer.h"
+#include "models/factory.h"
+
+namespace fae {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+std::string Slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+struct RunResult {
+  TrainReport report;
+  std::vector<std::vector<float>> tables;
+  std::string checkpoint_bytes;
+};
+
+struct Fixture {
+  Fixture()
+      : schema(MakeKaggleLikeSchema(DatasetScale::kTiny)),
+        dataset(SyntheticGenerator(schema, {.seed = 29}).Generate(2600)),
+        split(dataset.MakeSplit(0.1)) {}
+
+  static TrainOptions Options(PipelineMode mode, size_t depth,
+                              size_t threads, const std::string& ckpt) {
+    TrainOptions opt;
+    opt.per_gpu_batch = 64;
+    opt.epochs = 2;
+    opt.eval_samples = 256;
+    opt.evals_per_epoch = 4;
+    opt.pipeline = mode;
+    opt.pipeline_depth = depth;
+    opt.num_threads = threads;
+    opt.checkpoint.path = ckpt;
+    opt.checkpoint.every_steps = 7;
+    return opt;
+  }
+
+  static FaeConfig Config() {
+    FaeConfig cfg;
+    cfg.sample_rate = 0.25;
+    cfg.gpu_memory_budget = 384ULL << 10;
+    cfg.large_table_bytes = 1ULL << 12;
+    cfg.num_threads = 2;
+    return cfg;
+  }
+
+  RunResult RunBaseline(PipelineMode mode, size_t depth, size_t threads) {
+    const std::string ckpt = TempPath("pipe_det_base.faec");
+    std::filesystem::remove(ckpt);
+    auto model = MakeModel(schema, false, 5);
+    Trainer trainer(model.get(), MakePaperServer(2),
+                    Options(mode, depth, threads, ckpt));
+    RunResult r;
+    r.report = trainer.TrainBaseline(dataset, split);
+    for (const EmbeddingTable& t : model->tables()) {
+      r.tables.push_back(t.raw());
+    }
+    r.checkpoint_bytes = Slurp(ckpt);
+    std::filesystem::remove(ckpt);
+    return r;
+  }
+
+  RunResult RunFae(const FaePlan& plan, PipelineMode mode, size_t depth,
+                   size_t threads) {
+    const std::string ckpt = TempPath("pipe_det_fae.faec");
+    std::filesystem::remove(ckpt);
+    auto model = MakeModel(schema, false, 5);
+    Trainer trainer(model.get(), MakePaperServer(2),
+                    Options(mode, depth, threads, ckpt));
+    auto report = trainer.TrainFaeWithPlan(dataset, split, Config(), plan);
+    EXPECT_TRUE(report.ok()) << report.status().ToString();
+    RunResult r;
+    r.report = std::move(report).value();
+    for (const EmbeddingTable& t : model->tables()) {
+      r.tables.push_back(t.raw());
+    }
+    r.checkpoint_bytes = Slurp(ckpt);
+    std::filesystem::remove(ckpt);
+    return r;
+  }
+
+  DatasetSchema schema;
+  Dataset dataset;
+  Dataset::Split split;
+};
+
+void ExpectBitIdentical(const RunResult& ref, const RunResult& got,
+                        const std::string& label) {
+  EXPECT_EQ(ref.report.final_train_loss, got.report.final_train_loss)
+      << label;
+  EXPECT_EQ(ref.report.final_test_loss, got.report.final_test_loss) << label;
+  EXPECT_EQ(ref.report.final_test_auc, got.report.final_test_auc) << label;
+  EXPECT_EQ(ref.report.num_batches, got.report.num_batches) << label;
+  ASSERT_EQ(ref.report.curve.size(), got.report.curve.size()) << label;
+  for (size_t i = 0; i < ref.report.curve.size(); ++i) {
+    EXPECT_EQ(ref.report.curve[i].train_loss, got.report.curve[i].train_loss)
+        << label << " curve point " << i;
+    EXPECT_EQ(ref.report.curve[i].test_loss, got.report.curve[i].test_loss)
+        << label << " curve point " << i;
+  }
+  ASSERT_EQ(ref.tables.size(), got.tables.size()) << label;
+  for (size_t t = 0; t < ref.tables.size(); ++t) {
+    // Exact float equality, element by element: the contract is bit-level.
+    EXPECT_EQ(ref.tables[t], got.tables[t]) << label << " table " << t;
+  }
+  // Phase charges are identical in every mode and the overlap accumulator
+  // lives outside Timeline::State, so periodic checkpoints must be
+  // byte-for-byte identical files.
+  ASSERT_FALSE(ref.checkpoint_bytes.empty());
+  EXPECT_EQ(ref.checkpoint_bytes, got.checkpoint_bytes) << label;
+}
+
+std::string Label(PipelineMode mode, size_t depth, size_t threads) {
+  std::ostringstream s;
+  s << "pipeline=" << PipelineModeName(mode) << " depth=" << depth
+    << " threads=" << threads;
+  return s.str();
+}
+
+TEST(PipelineDeterminismTest, BaselineBitExactAcrossModesDepthsAndThreads) {
+  Fixture f;
+  const RunResult ref = f.RunBaseline(PipelineMode::kOff, 1, 1);
+  ASSERT_FALSE(ref.checkpoint_bytes.empty());
+  for (PipelineMode mode : {PipelineMode::kOff, PipelineMode::kPrefetch,
+                            PipelineMode::kOverlap}) {
+    for (size_t depth : {size_t{1}, size_t{2}, size_t{4}}) {
+      for (size_t threads : {size_t{1}, size_t{4}}) {
+        if (mode == PipelineMode::kOff && depth == 1 && threads == 1) {
+          continue;  // the reference itself
+        }
+        const RunResult got = f.RunBaseline(mode, depth, threads);
+        ExpectBitIdentical(ref, got, Label(mode, depth, threads));
+      }
+    }
+  }
+}
+
+TEST(PipelineDeterminismTest, FaeBitExactAcrossModesDepthsAndThreads) {
+  Fixture f;
+  FaePipeline pipeline(Fixture::Config());
+  auto plan = pipeline.Prepare(f.dataset, f.split.train);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+
+  const RunResult ref = f.RunFae(*plan, PipelineMode::kOff, 1, 1);
+  ASSERT_FALSE(ref.checkpoint_bytes.empty());
+  for (PipelineMode mode : {PipelineMode::kOff, PipelineMode::kPrefetch,
+                            PipelineMode::kOverlap}) {
+    for (size_t depth : {size_t{1}, size_t{2}, size_t{4}}) {
+      for (size_t threads : {size_t{1}, size_t{4}}) {
+        if (mode == PipelineMode::kOff && depth == 1 && threads == 1) {
+          continue;
+        }
+        const RunResult got = f.RunFae(*plan, mode, depth, threads);
+        ExpectBitIdentical(ref, got, Label(mode, depth, threads));
+        EXPECT_EQ(ref.report.transitions, got.report.transitions);
+        EXPECT_EQ(ref.report.sync_bytes, got.report.sync_bytes);
+      }
+    }
+  }
+}
+
+TEST(PipelineDeterminismTest, OverlapOnlyShrinksTheModeledWall) {
+  // The pipelined wall is the serial wall minus the (non-negative) overlap
+  // savings; phase totals do not move.
+  Fixture f;
+  const RunResult off = f.RunBaseline(PipelineMode::kOff, 1, 1);
+  const RunResult overlap = f.RunBaseline(PipelineMode::kOverlap, 2, 1);
+  EXPECT_EQ(off.report.timeline.PhaseSumSeconds(),
+            overlap.report.timeline.PhaseSumSeconds());
+  EXPECT_EQ(off.report.overlap_saved_seconds, 0.0);
+  EXPECT_GT(overlap.report.overlap_saved_seconds, 0.0);
+  EXPECT_EQ(overlap.report.modeled_seconds,
+            off.report.modeled_seconds -
+                overlap.report.overlap_saved_seconds);
+  EXPECT_GT(overlap.report.prep_seconds, 0.0);
+  EXPECT_EQ(overlap.report.prep_seconds, off.report.prep_seconds);
+}
+
+TEST(PipelineDeterminismTest, DepthOneHidesNothing) {
+  // A one-slot ring cannot stage ahead of the consumer: the producer
+  // thread still runs, but no prep is hidden under compute.
+  Fixture f;
+  const RunResult d1 = f.RunBaseline(PipelineMode::kPrefetch, 1, 1);
+  const RunResult d2 = f.RunBaseline(PipelineMode::kPrefetch, 2, 1);
+  EXPECT_EQ(d1.report.overlap_saved_seconds, 0.0);
+  EXPECT_GT(d2.report.overlap_saved_seconds, 0.0);
+}
+
+TEST(PipelineDeterminismTest, ResumeMaySwitchPipelineModes) {
+  // pipeline/pipeline_depth are excluded from the options fingerprint:
+  // a run checkpointed under the serial trainer resumes under the
+  // pipelined one (and vice versa) with bit-identical results.
+  Fixture f;
+  const RunResult uninterrupted = f.RunBaseline(PipelineMode::kOff, 1, 1);
+
+  const std::string ckpt = TempPath("pipe_det_switch.faec");
+  std::filesystem::remove(ckpt);
+  auto crash_plan = FaultInjector::Parse("crash@15");
+  ASSERT_TRUE(crash_plan.ok());
+  FaultInjector injector = std::move(crash_plan).value();
+  {
+    auto model = MakeModel(f.schema, false, 5);
+    TrainOptions opt = Fixture::Options(PipelineMode::kOff, 1, 1, ckpt);
+    opt.fault_injector = &injector;
+    Trainer trainer(model.get(), MakePaperServer(2), opt);
+    auto partial = trainer.TrainBaselineResumable(f.dataset, f.split);
+    ASSERT_TRUE(partial.ok()) << partial.status().ToString();
+    ASSERT_TRUE(partial->interrupted);
+  }
+  auto model = MakeModel(f.schema, false, 5);
+  TrainOptions opt = Fixture::Options(PipelineMode::kOverlap, 4, 4, ckpt);
+  opt.checkpoint.resume = true;
+  Trainer trainer(model.get(), MakePaperServer(2), opt);
+  auto resumed = trainer.TrainBaselineResumable(f.dataset, f.split);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  EXPECT_TRUE(resumed->resumed);
+  EXPECT_EQ(resumed->final_train_loss,
+            uninterrupted.report.final_train_loss);
+  EXPECT_EQ(resumed->final_test_loss, uninterrupted.report.final_test_loss);
+  std::vector<std::vector<float>> tables;
+  for (const EmbeddingTable& t : model->tables()) tables.push_back(t.raw());
+  ASSERT_EQ(tables.size(), uninterrupted.tables.size());
+  for (size_t t = 0; t < tables.size(); ++t) {
+    EXPECT_EQ(tables[t], uninterrupted.tables[t]) << "table " << t;
+  }
+  std::filesystem::remove(ckpt);
+}
+
+TEST(PipelineDeterminismTest, PipelineRejectsLegacyPipelinedBaseline) {
+  Fixture f;
+  auto model = MakeModel(f.schema, false, 5);
+  TrainOptions opt = Fixture::Options(PipelineMode::kPrefetch, 2, 1, "");
+  opt.pipelined_baseline = true;
+  Trainer trainer(model.get(), MakePaperServer(2), opt);
+  auto report = trainer.TrainBaselineResumable(f.dataset, f.split);
+  EXPECT_FALSE(report.ok());
+}
+
+}  // namespace
+}  // namespace fae

@@ -139,6 +139,48 @@ TEST(ThreadPoolTest, ParallelForRethrowsFirstExceptionOnCaller) {
   EXPECT_EQ(ok.load(), 8);
 }
 
+TEST(ThreadPoolTest, ParallelForRethrowsExceptionFromWorkerChunk) {
+  // The test above throws from the begin == 0 chunk, which ParallelFor
+  // runs inline on the caller; this one throws only from the *last* chunk,
+  // which runs on a pool worker, so the exception crosses a thread
+  // boundary via the captured exception_ptr.
+  ThreadPool pool(4);
+  std::atomic<int> chunks_run{0};
+  EXPECT_THROW(
+      pool.ParallelFor(1000,
+                       [&chunks_run](size_t begin, size_t) {
+                         chunks_run.fetch_add(1);
+                         if (begin == 750) {
+                           throw std::runtime_error("worker chunk failed");
+                         }
+                       }),
+      std::runtime_error);
+  EXPECT_EQ(chunks_run.load(), 4);
+  // The pool (and ParallelFor on it) remains usable.
+  std::atomic<int> ok{0};
+  pool.ParallelFor(16, [&ok](size_t begin, size_t end) {
+    ok.fetch_add(static_cast<int>(end - begin));
+  });
+  EXPECT_EQ(ok.load(), 16);
+}
+
+TEST(ThreadPoolTest, ParallelForAllChunksThrowingStillReturnsOnce) {
+  // Every chunk throws; exactly one exception (the first captured) must
+  // surface, the rest are swallowed, and nothing leaks or terminates.
+  ThreadPool pool(4);
+  for (int round = 0; round < 3; ++round) {
+    EXPECT_THROW(pool.ParallelFor(100,
+                                  [](size_t, size_t) {
+                                    throw std::runtime_error("all fail");
+                                  }),
+                 std::runtime_error);
+  }
+  std::atomic<int> ok{0};
+  pool.Schedule([&ok] { ok.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(ok.load(), 1);
+}
+
 TEST(ThreadPoolTest, DestructionJoinsCleanly) {
   std::atomic<int> counter{0};
   {

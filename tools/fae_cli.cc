@@ -10,6 +10,7 @@
 //                   [--mode=baseline|fae|nvopt|model-parallel|cache]
 //                   [--gpus=4] [--batch=1024] [--epochs=1] [--cost-only]
 //                   [--threads=1] [--dirty-sync] [--full-model]
+//                   [--pipeline=off|prefetch|overlap] [--pipeline-depth=2]
 //                   [--ckpt=run.faec] [--ckpt-every=100] [--resume]
 //                   [--fault-plan=device@30,stall@50:0.2,corrupt@75,crash@120]
 //
@@ -132,6 +133,21 @@ int Train(const bench::Args& args) {
   options.sync_strategy = args.GetBool("dirty-sync", false)
                               ? SyncStrategy::kDirty
                               : SyncStrategy::kFull;
+  const std::string pipeline = args.GetString("pipeline", "off");
+  if (pipeline == "prefetch") {
+    options.pipeline = PipelineMode::kPrefetch;
+  } else if (pipeline == "overlap") {
+    options.pipeline = PipelineMode::kOverlap;
+  } else if (pipeline != "off") {
+    std::fprintf(stderr, "error: unknown --pipeline mode '%s' "
+                 "(expected off|prefetch|overlap)\n", pipeline.c_str());
+    return 2;
+  }
+  options.pipeline_depth = args.GetInt("pipeline-depth", 2);
+  if (options.pipeline_depth < 1) {
+    std::fprintf(stderr, "error: --pipeline-depth must be >= 1\n");
+    return 2;
+  }
   options.checkpoint.path = args.GetString("ckpt", "");
   options.checkpoint.every_steps = args.GetInt("ckpt-every", 100);
   options.checkpoint.resume = args.GetBool("resume", false);
@@ -196,6 +212,15 @@ int Train(const bench::Args& args) {
   std::printf("modeled time: %s   per-GPU power: %.1fW\n",
               HumanSeconds(report.modeled_seconds).c_str(),
               report.avg_gpu_watts);
+  if (options.pipeline != PipelineMode::kOff) {
+    std::printf(
+        "pipeline %s (depth %zu): staged %s of input, overlap hid %s "
+        "(%.1f%% of the serial wall)\n",
+        std::string(PipelineModeName(options.pipeline)).c_str(),
+        options.pipeline_depth, HumanSeconds(report.prep_seconds).c_str(),
+        HumanSeconds(report.overlap_saved_seconds).c_str(),
+        100 * report.overlap_fraction);
+  }
   if (options.run_math) {
     std::printf("train acc %.2f%%  test acc %.2f%%  test loss %.4f\n",
                 100 * report.final_train_acc, 100 * report.final_test_acc,
