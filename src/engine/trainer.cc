@@ -683,8 +683,11 @@ StatusOr<TrainReport> Trainer::TrainFaeWithPlan(const Dataset& dataset,
   // staged copy feeds MathStep directly); the untranslated views keep
   // serving work units and dirty tracking in every mode.
   const bool pipelined = options_.pipeline != PipelineMode::kOff;
-  std::unique_ptr<BatchPipeline> prefetcher;
+  // stage_ids must outlive the prefetcher: the producer thread reads
+  // Spec::ids spans into it until ~BatchPipeline joins, including on early
+  // returns that abandon a segment mid-chunk (injected crashes).
   std::vector<uint64_t> stage_ids;
+  std::unique_ptr<BatchPipeline> prefetcher;
   const FlatDataset* hot_stage_src = nullptr;
   if (pipelined) {
     prefetcher = std::make_unique<BatchPipeline>(options_.pipeline_depth);

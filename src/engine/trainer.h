@@ -141,7 +141,9 @@ struct TrainReport {
   double prep_seconds = 0.0;
   /// Seconds hidden by pipelined overlap (Timeline overlap accounting) and
   /// the fraction of the serial wall they represent. Zero when
-  /// pipeline == kOff.
+  /// pipeline == kOff. Not checkpointed (see Timeline::State): a resumed
+  /// run only counts overlap saved since the restore point, so its
+  /// modeled_seconds is higher than the uninterrupted run's.
   double overlap_saved_seconds = 0.0;
   double overlap_fraction = 0.0;
   double avg_gpu_watts = 0.0;

@@ -32,13 +32,16 @@ std::string_view PhaseName(Phase phase);
 /// tables (Table V) and power (Table VI) are derived.
 class Timeline {
  public:
-  /// Full accumulator snapshot for checkpoint/resume: restoring it makes
-  /// the final report identical to an uninterrupted run's.
+  /// Accumulator snapshot for checkpoint/resume: restoring it reproduces
+  /// the phase/traffic/busy-time accumulators of an uninterrupted run.
   ///
   /// Deliberately excludes the overlap accumulator (AddOverlapSavedSeconds):
   /// phase charges are identical across all --pipeline modes, so checkpoints
   /// written by a serial and a pipelined run are byte-identical — the
-  /// pipeline determinism contract (DESIGN.md §11).
+  /// pipeline determinism contract (DESIGN.md §11). The cost: a resumed
+  /// pipelined run's overlap wall stats restart from zero, so it reports
+  /// less overlap_saved_seconds (hence higher modeled wall / lower
+  /// OverlapFraction) than the same run uninterrupted.
   struct State {
     std::array<double, static_cast<int>(Phase::kNumPhases)> seconds{};
     double wall_seconds = 0.0;

@@ -251,6 +251,91 @@ TEST(PipelineDeterminismTest, ResumeMaySwitchPipelineModes) {
   std::filesystem::remove(ckpt);
 }
 
+TEST(PipelineDeterminismTest, FaeCrashMidChunkWhilePipelined) {
+  // Regression: an injected crash returns out of TrainFaeWithPlan in the
+  // middle of a schedule chunk, while the prefetch producer may still be
+  // staging the abandoned segment. Everything the producer's Specs
+  // reference (the stage-id pool) must outlive ~BatchPipeline, so the
+  // early return must not destroy it first. Run pipelined at depth 4 so
+  // the producer has lookahead in flight, crash, resume pipelined, and
+  // match the uninterrupted serial run bit-for-bit. The sanitizer configs
+  // (ASan/TSan) are what give this test its teeth.
+  Fixture f;
+  FaePipeline pipeline(Fixture::Config());
+  auto plan = pipeline.Prepare(f.dataset, f.split.train);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  const RunResult uninterrupted = f.RunFae(*plan, PipelineMode::kOff, 1, 1);
+
+  const std::string ckpt = TempPath("pipe_det_fae_crash.faec");
+  std::filesystem::remove(ckpt);
+  auto crash_plan = FaultInjector::Parse("crash@15");
+  ASSERT_TRUE(crash_plan.ok());
+  FaultInjector injector = std::move(crash_plan).value();
+  {
+    auto model = MakeModel(f.schema, false, 5);
+    TrainOptions opt = Fixture::Options(PipelineMode::kOverlap, 4, 1, ckpt);
+    opt.checkpoint.every_steps = 1;  // save at every chunk boundary
+    opt.fault_injector = &injector;
+    Trainer trainer(model.get(), MakePaperServer(2), opt);
+    auto partial =
+        trainer.TrainFaeWithPlan(f.dataset, f.split, Fixture::Config(), *plan);
+    ASSERT_TRUE(partial.ok()) << partial.status().ToString();
+    ASSERT_TRUE(partial->interrupted);
+    ASSERT_LT(partial->num_batches, uninterrupted.report.num_batches);
+  }
+  auto model = MakeModel(f.schema, false, 5);
+  TrainOptions opt = Fixture::Options(PipelineMode::kOverlap, 4, 1, ckpt);
+  opt.checkpoint.resume = true;
+  Trainer trainer(model.get(), MakePaperServer(2), opt);
+  auto resumed =
+      trainer.TrainFaeWithPlan(f.dataset, f.split, Fixture::Config(), *plan);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  EXPECT_TRUE(resumed->resumed);
+  EXPECT_EQ(resumed->num_batches, uninterrupted.report.num_batches);
+  EXPECT_EQ(resumed->final_train_loss,
+            uninterrupted.report.final_train_loss);
+  EXPECT_EQ(resumed->final_test_loss, uninterrupted.report.final_test_loss);
+  std::vector<std::vector<float>> tables;
+  for (const EmbeddingTable& t : model->tables()) tables.push_back(t.raw());
+  ASSERT_EQ(tables.size(), uninterrupted.tables.size());
+  for (size_t t = 0; t < tables.size(); ++t) {
+    EXPECT_EQ(tables[t], uninterrupted.tables[t]) << "table " << t;
+  }
+  std::filesystem::remove(ckpt);
+}
+
+TEST(PipelineDeterminismTest, FaeCrashMidGatherTearsDownSafely) {
+  // Companion to FaeCrashMidChunkWhilePipelined, tuned to open the race
+  // window the other test cannot: the producer reads its Spec::ids span
+  // unlocked only while inside GatherInto, so the stage-id pool must
+  // outlive ~BatchPipeline *during an active gather*. Crash on the very
+  // first batch with large batches and a deep ring — the producer is
+  // still staging the opening slots when the early return unwinds the
+  // trainer's locals. The sanitizer configs flag any ordering regression.
+  DatasetSchema schema = MakeKaggleLikeSchema(DatasetScale::kTiny);
+  Dataset dataset = SyntheticGenerator(schema, {.seed = 31}).Generate(40000);
+  Dataset::Split split = dataset.MakeSplit(0.1);
+  const FaeConfig cfg = Fixture::Config();
+  FaePipeline pipeline(cfg);
+  auto plan = pipeline.Prepare(dataset, split.train);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+
+  auto crash_plan = FaultInjector::Parse("crash@0");
+  ASSERT_TRUE(crash_plan.ok());
+  FaultInjector injector = std::move(crash_plan).value();
+  auto model = MakeModel(schema, false, 5);
+  TrainOptions opt = Fixture::Options(PipelineMode::kPrefetch, 8, 1, "");
+  opt.per_gpu_batch = 1024;
+  opt.eval_samples = 64;
+  opt.fault_injector = &injector;
+  Trainer trainer(model.get(), MakePaperServer(2), opt);
+  auto partial = trainer.TrainFaeWithPlan(dataset, split, cfg, *plan);
+  ASSERT_TRUE(partial.ok()) << partial.status().ToString();
+  EXPECT_TRUE(partial->interrupted);
+  EXPECT_EQ(partial->num_batches, 0u);
+  EXPECT_EQ(partial->faults.crashes, 1u);
+}
+
 TEST(PipelineDeterminismTest, PipelineRejectsLegacyPipelinedBaseline) {
   Fixture f;
   auto model = MakeModel(f.schema, false, 5);

@@ -143,11 +143,12 @@ int Train(const bench::Args& args) {
                  "(expected off|prefetch|overlap)\n", pipeline.c_str());
     return 2;
   }
-  options.pipeline_depth = args.GetInt("pipeline-depth", 2);
-  if (options.pipeline_depth < 1) {
+  const long pipeline_depth = args.GetInt("pipeline-depth", 2);
+  if (pipeline_depth < 1) {
     std::fprintf(stderr, "error: --pipeline-depth must be >= 1\n");
     return 2;
   }
+  options.pipeline_depth = static_cast<size_t>(pipeline_depth);
   options.checkpoint.path = args.GetString("ckpt", "");
   options.checkpoint.every_steps = args.GetInt("ckpt-every", 100);
   options.checkpoint.resume = args.GetBool("resume", false);
