@@ -9,7 +9,7 @@
 // rewrite changes speed, never results.
 //
 // Usage:
-//   micro_kernels [--out=BENCH_kernels.json] [--reps=5] [--smoke]
+//   micro_kernels [--out=bench/BENCH_kernels.json] [--reps=5] [--smoke]
 //   micro_kernels --gbench          # legacy google-benchmark registrations
 //
 // --smoke shrinks every size so the whole suite runs in well under a
@@ -538,7 +538,7 @@ int main(int argc, char** argv) {
         cfg.batch, criterion);
   }
 
-  const std::string out = args.GetString("out", "BENCH_kernels.json");
+  const std::string out = args.GetString("out", "bench/BENCH_kernels.json");
   fae::WriteJson(out, cfg, results, criterion);
   std::printf("wrote %s\n", out.c_str());
 

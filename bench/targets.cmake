@@ -25,6 +25,7 @@ set(FAE_BENCHES
   abl_sync_strategy
   abl_placements
   ext_multinode
+  ext_serving
   abl_popularity_drift
   abl_pipelined
   abl_mixed_precision
@@ -64,3 +65,13 @@ add_test(NAME bench_pipeline_smoke
 # wall. Deterministic (simulated time, cost-only), so smoke == full run.
 add_test(NAME bench_pipelined_smoke
   COMMAND abl_pipelined --smoke --out=${CMAKE_BINARY_DIR}/bench/BENCH_pipelined_smoke.json)
+
+# Serving gate: drift-free vs drifting traffic, with and without the
+# SLO-triggered recalibration + hot-swap, plus an injected-fault run.
+# Fails unless recalibration recovers the hit rate to within 5 points of
+# drift-free, p99 stays bounded, and every injected fault degrades to
+# stale/fallback service (never an outage) with recoveries counted.
+add_test(NAME bench_serving_smoke
+  COMMAND ext_serving --smoke
+    --out=${CMAKE_BINARY_DIR}/bench/BENCH_serving_smoke.json
+    --swap=${CMAKE_BINARY_DIR}/bench/BENCH_serving_swap.faef)

@@ -13,7 +13,6 @@
 #include "engine/dirty_rows.h"
 #include "sim/partition.h"
 #include "util/logging.h"
-#include "util/half.h"
 #include "util/random.h"
 #include "util/stopwatch.h"
 #include "util/string_util.h"
@@ -35,96 +34,20 @@ uint64_t FnvMix(uint64_t h, uint64_t v) {
   return h;
 }
 
-/// Input payload of one mini-batch — dense features, labels, CSR offsets
-/// and lookup indices: what the staging gather streams into a workspace.
-/// Derived from the batch's shape only, so a zero-copy view and its staged
-/// copy yield the same value and every pipeline mode charges the same prep
-/// time.
-uint64_t BatchInputBytes(const BatchView& v) {
-  uint64_t elems = static_cast<uint64_t>(v.dense.rows) * v.dense.cols  //
-                   + v.batch_size()      // labels
-                   + v.TotalLookups();   // lookup indices
-  for (size_t t = 0; t < v.num_tables(); ++t) {
-    elems += v.offsets(t).size();  // CSR offsets
-  }
-  return elems * 4;  // every stream is 4-byte elements
+/// Builds the execution-core options from the trainer's richer set.
+StepExecutor::Options ExecOptions(const TrainOptions& options) {
+  StepExecutor::Options exec;
+  exec.dense_lr = options.dense_lr;
+  exec.sparse_lr = options.sparse_lr;
+  exec.run_math = options.run_math;
+  exec.fp16_embeddings = options.fp16_embeddings;
+  exec.num_threads = options.num_threads;
+  exec.eval_samples = options.eval_samples;
+  exec.eval_batch = options.eval_batch;
+  return exec;
 }
-
-/// Per-step overlap bookkeeping shared by the serial and pipelined drivers
-/// (DESIGN.md §11). Phase charges are identical in every mode; modes
-/// differ only in the seconds credited back through
-/// Timeline::AddOverlapSavedSeconds:
-///   - kPrefetch (depth >= 2): batch b's staging gather runs on the
-///     prefetch thread while step b-1 computes, so up to the previous
-///     step's unhidden seconds of b's prep are hidden;
-///   - kOverlap: additionally the hybrid step's CPU and GPU lanes overlap,
-///     hiding min(cpu, gpu) per step.
-/// Prefetch cannot reach across a segment boundary (epoch / schedule
-/// chunk): the first batch of a segment pays its prep in full.
-class OverlapTracker {
- public:
-  OverlapTracker(PipelineMode mode, size_t depth, Timeline* tl)
-      : mode_(mode), depth_(depth), tl_(tl) {}
-
-  void BeginSegment() { has_prev_ = false; }
-
-  /// One training step: `prep` staging seconds, `total` compute seconds
-  /// charged, `overlapped` the step's wall with its CPU/GPU lanes
-  /// overlapped (== `total` for single-lane steps).
-  void OnStep(double prep, double total, double overlapped) {
-    if (mode_ == PipelineMode::kOff) return;
-    double saved = 0.0;
-    double unhidden = total;
-    if (mode_ == PipelineMode::kOverlap) {
-      saved += total - overlapped;
-      unhidden = overlapped;
-    }
-    if (depth_ >= 2 && has_prev_) {
-      saved += std::min(prep, prev_unhidden_);
-    }
-    prev_unhidden_ = unhidden;
-    has_prev_ = true;
-    if (saved > 0.0) tl_->AddOverlapSavedSeconds(saved);
-  }
-
-  /// Chunk-window marks for FAE's hot/cold overlap (kOverlap only): a cold
-  /// chunk's unhidden CPU seconds later overlap the next hot chunk's
-  /// unhidden GPU+DMA seconds. "Unhidden" subtracts savings already
-  /// recorded inside the window, so nothing is credited twice.
-  void MarkChunkStart() {
-    chunk_phase0_ = tl_->PhaseSumSeconds();
-    chunk_saved0_ = tl_->overlap_saved_seconds();
-  }
-  double ChunkUnhiddenSeconds() const {
-    return (tl_->PhaseSumSeconds() - chunk_phase0_) -
-           (tl_->overlap_saved_seconds() - chunk_saved0_);
-  }
-
-  PipelineMode mode() const { return mode_; }
-
- private:
-  PipelineMode mode_;
-  size_t depth_;
-  Timeline* tl_;
-  bool has_prev_ = false;
-  double prev_unhidden_ = 0.0;
-  double chunk_phase0_ = 0.0;
-  double chunk_saved0_ = 0.0;
-};
 
 }  // namespace
-
-std::string_view PipelineModeName(PipelineMode mode) {
-  switch (mode) {
-    case PipelineMode::kOff:
-      return "off";
-    case PipelineMode::kPrefetch:
-      return "prefetch";
-    case PipelineMode::kOverlap:
-      return "overlap";
-  }
-  return "unknown";
-}
 
 std::string_view TrainModeName(TrainMode mode) {
   switch (mode) {
@@ -148,26 +71,9 @@ Trainer::Trainer(RecModel* model, SystemSpec system, TrainOptions options)
       cost_(system_),
       accountant_(&cost_),
       options_(options),
-      dense_sgd_(options.dense_lr),
-      sparse_sgd_(options.sparse_lr) {
-  FAE_CHECK(model != nullptr);
+      exec_(model, ExecOptions(options)) {
   FAE_CHECK_GE(options_.per_gpu_batch, 1u);
   FAE_CHECK_GE(options_.epochs, 1u);
-  if (options_.num_threads > 1) {
-    pool_ = std::make_unique<ThreadPool>(options_.num_threads);
-    model_->SetThreadPool(pool_.get());
-  }
-  // The fused-apply functor is built once with a single-pointer capture, so
-  // std::function's small-buffer optimization holds it — the training loop
-  // never allocates a closure. MathStep repoints ctx->tables per call.
-  apply_ctx_.sgd = &sparse_sgd_;
-  apply_ctx_.pool = pool_.get();
-  fused_apply_ = [ctx = &apply_ctx_](size_t t, const Tensor& grad_out,
-                                     std::span<const uint32_t> indices,
-                                     std::span<const uint32_t> offsets) {
-    ctx->sgd->FusedBackwardStep(*(*ctx->tables)[t], grad_out, indices,
-                                offsets, ctx->pool);
-  };
 }
 
 uint64_t Trainer::OptionsFingerprint() const {
@@ -253,89 +159,18 @@ StatusOr<bool> Trainer::DrainFaults(
             << ": returning a partial report (resume from the last "
                "checkpoint to continue)";
         return true;
+      case FaultKind::kRecalStall:
+      case FaultKind::kSwapCrash:
+      case FaultKind::kLookupLoss:
+        // Serving-side faults (ServingLoop); batch training has no
+        // recalibration or lookup path for them to hit.
+        FAE_LOG(Warning) << FaultKindName(event.kind) << " fault at step "
+                         << iteration
+                         << " ignored: batch training has no serving path";
+        break;
     }
   }
   return false;
-}
-
-void Trainer::MaybeQuantizeTables() {
-  if (!options_.fp16_embeddings || !options_.run_math) return;
-  // fp16 storage holds the *initialization* at half precision too, not
-  // just the updates.
-  for (EmbeddingTable& table : model_->tables()) {
-    for (float& v : table.raw()) v = QuantizeToHalf(v);
-  }
-}
-
-void Trainer::MathStep(const BatchView& batch,
-                       const std::vector<EmbeddingTable*>& tables,
-                       RunningMetric& metric, RunningMetric& window) {
-  ThreadPool* pool = pool_.get();
-  if (dense_params_.empty()) dense_params_ = model_->DenseParams();
-  if (!options_.fp16_embeddings) {
-    // Fast path: each table's backward scatter and optimizer update run as
-    // one fused pass over the batch's lookup list — the SparseGrad is
-    // never materialized. Bit-identical to the materialized path (same
-    // per-row accumulation order, same update arithmetic). Everything here
-    // runs in reused buffers: the model's workspaces, the optimizer's
-    // scratch, the prebuilt apply functor — zero heap allocations at
-    // steady state.
-    apply_ctx_.tables = &tables;
-    StepResult step =
-        model_->ForwardBackwardFusedOn(batch, tables, fused_apply_);
-    dense_sgd_.Step(dense_params_);
-    // Gradients a model chose not to fuse (base-class fallback) still take
-    // the materialized optimizer step.
-    for (size_t t = 0; t < step.table_grads.size(); ++t) {
-      if (step.table_grads[t].empty()) continue;
-      sparse_sgd_.Step(*tables[t], step.table_grads[t], pool);
-    }
-    metric.Observe(step.loss, step.correct, step.batch_size);
-    window.Observe(step.loss, step.correct, step.batch_size);
-    return;
-  }
-  // fp16 storage needs the materialized gradient: its touched-row list
-  // tells us which rows to round back through binary16.
-  StepResult step = model_->ForwardBackwardOn(batch, tables);
-  dense_sgd_.Step(dense_params_);
-  for (size_t t = 0; t < step.table_grads.size(); ++t) {
-    const SparseGrad& grad = step.table_grads[t];
-    if (grad.empty()) continue;
-    sparse_sgd_.Step(*tables[t], grad, pool);
-    // fp16 storage: the updated rows lose everything binary16 cannot
-    // represent.
-    for (size_t s = 0; s < grad.num_rows(); ++s) {
-      float* row = tables[t]->row(grad.row_id(s));
-      for (size_t k = 0; k < grad.dim; ++k) {
-        row[k] = QuantizeToHalf(row[k]);
-      }
-    }
-  }
-  metric.Observe(step.loss, step.correct, step.batch_size);
-  window.Observe(step.loss, step.correct, step.batch_size);
-}
-
-Trainer::EvalSet Trainer::MakeEvalSet(const Dataset& dataset,
-                                      const Dataset::Split& split) const {
-  EvalSet set;
-  std::vector<uint64_t> ids = split.test;
-  if (ids.size() > options_.eval_samples) ids.resize(options_.eval_samples);
-  // One gather, then every eval pass streams the flat copy zero-copy.
-  set.flat = dataset.flat().Gather(ids);
-  set.views = MakeBatchViews(set.flat, options_.eval_batch, /*hot=*/false);
-  return set;
-}
-
-std::vector<Trainer::TrainBatch> Trainer::MakeTrainBatches(
-    const FlatDataset& flat, size_t batch_size, bool hot) const {
-  std::vector<BatchView> views = MakeBatchViews(flat, batch_size, hot);
-  std::vector<TrainBatch> out;
-  out.reserve(views.size());
-  for (BatchView& v : views) {
-    BatchWork work = model_->Work(v);
-    out.push_back(TrainBatch{std::move(v), std::move(work)});
-  }
-  return out;
 }
 
 void Trainer::FinishReport(TrainReport& report,
@@ -378,7 +213,7 @@ StatusOr<TrainReport> Trainer::TrainBaselineResumable(
         "--pipeline and the legacy pipelined_baseline cost model are "
         "mutually exclusive (both model overlapped execution)");
   }
-  MaybeQuantizeTables();
+  exec_.MaybeQuantizeTables();
   TrainReport report;
   report.mode = TrainMode::kBaseline;
   const bool pipelined = options_.pipeline != PipelineMode::kOff;
@@ -419,7 +254,7 @@ StatusOr<TrainReport> Trainer::TrainBaselineResumable(
     }
   } else {
     train_flat = dataset.flat().Gather(ids);
-    batches = MakeTrainBatches(train_flat, global_batch, /*hot=*/false);
+    batches = exec_.MakeTrainBatches(train_flat, global_batch, /*hot=*/false);
   }
   const size_t num_batches = pipelined ? descs.size() : batches.size();
   // One NextBounded sequence regardless of data path (checkpoints verify
@@ -435,7 +270,7 @@ StatusOr<TrainReport> Trainer::TrainBaselineResumable(
     }
   };
   const EvalSet eval_set =
-      options_.run_math ? MakeEvalSet(dataset, split) : EvalSet{};
+      options_.run_math ? exec_.MakeEvalSet(dataset, split) : EvalSet{};
 
   std::vector<EmbeddingTable*> tables;
   for (EmbeddingTable& t : model_->tables()) tables.push_back(&t);
@@ -567,7 +402,7 @@ StatusOr<TrainReport> Trainer::TrainBaselineResumable(
             accountant_.ChargeBaselineStepParts(*work, report.timeline);
         tracker.OnStep(prep, parts.Total(), parts.Overlapped());
       }
-      if (options_.run_math) MathStep(*view, tables, metric, window);
+      if (options_.run_math) exec_.MathStep(*view, tables, metric, window);
       if (pipelined) prefetcher->Release();
       ++iteration;
       ++report.num_batches;
@@ -609,7 +444,7 @@ StatusOr<TrainReport> Trainer::TrainFaeWithPlan(const Dataset& dataset,
         "--pipeline and the legacy pipelined_baseline cost model are "
         "mutually exclusive (both model overlapped execution)");
   }
-  MaybeQuantizeTables();
+  exec_.MaybeQuantizeTables();
   TrainReport report;
   report.mode = TrainMode::kFae;
 
@@ -646,14 +481,14 @@ StatusOr<TrainReport> Trainer::TrainFaeWithPlan(const Dataset& dataset,
   InputProcessor::PackedFlat packed =
       InputProcessor::PackFlat(dataset, p.inputs, options_.seed);
   std::vector<TrainBatch> hot_batches =
-      MakeTrainBatches(packed.hot, GlobalBatchSize(), /*hot=*/true);
+      exec_.MakeTrainBatches(packed.hot, GlobalBatchSize(), /*hot=*/true);
   std::vector<TrainBatch> cold_batches =
-      MakeTrainBatches(packed.cold, GlobalBatchSize(), /*hot=*/false);
+      exec_.MakeTrainBatches(packed.cold, GlobalBatchSize(), /*hot=*/false);
   report.hot_batches = hot_batches.size();
   report.cold_batches = cold_batches.size();
 
   const EvalSet eval_set =
-      options_.run_math ? MakeEvalSet(dataset, split) : EvalSet{};
+      options_.run_math ? exec_.MakeEvalSet(dataset, split) : EvalSet{};
 
   std::vector<EmbeddingTable*> master_tables;
   for (EmbeddingTable& t : model_->tables()) master_tables.push_back(&t);
@@ -914,7 +749,7 @@ StatusOr<TrainReport> Trainer::TrainFaeWithPlan(const Dataset& dataset,
               report.timeline.PhaseSumSeconds() - before;
           tracker.OnStep(prep, step_seconds, step_seconds);
           if (options_.run_math) {
-            MathStep(*math_view, replica_tables, metric, window);
+            exec_.MathStep(*math_view, replica_tables, metric, window);
           }
           if (pipelined) prefetcher->Release();
           if (dirty_sync) {
@@ -983,7 +818,7 @@ StatusOr<TrainReport> Trainer::TrainFaeWithPlan(const Dataset& dataset,
             tracker.OnStep(prep, parts.Total(), parts.Overlapped());
           }
           if (options_.run_math) {
-            MathStep(*math_view, master_tables, metric, window);
+            exec_.MathStep(*math_view, master_tables, metric, window);
           }
           if (pipelined) prefetcher->Release();
           if (dirty_sync) {
@@ -1038,7 +873,7 @@ TrainReport Trainer::TrainNvOpt(const Dataset& dataset,
                                 const Dataset::Split& split) {
   FAE_CHECK_EQ(system_.num_nodes, 1)
       << "the NvOPT comparator models a single node";
-  MaybeQuantizeTables();
+  exec_.MaybeQuantizeTables();
   TrainReport report;
   report.mode = TrainMode::kNvOpt;
 
@@ -1067,9 +902,9 @@ TrainReport Trainer::TrainNvOpt(const Dataset& dataset,
   }
   const FlatDataset train_flat = dataset.flat().Gather(ids);
   std::vector<TrainBatch> batches =
-      MakeTrainBatches(train_flat, GlobalBatchSize(), /*hot=*/false);
+      exec_.MakeTrainBatches(train_flat, GlobalBatchSize(), /*hot=*/false);
   const EvalSet eval_set =
-      options_.run_math ? MakeEvalSet(dataset, split) : EvalSet{};
+      options_.run_math ? exec_.MakeEvalSet(dataset, split) : EvalSet{};
   std::vector<EmbeddingTable*> tables;
   for (EmbeddingTable& t : model_->tables()) tables.push_back(&t);
 
@@ -1083,7 +918,7 @@ TrainReport Trainer::TrainNvOpt(const Dataset& dataset,
     for (const TrainBatch& batch : batches) {
       accountant_.ChargeNvOptStep(batch.work, on_gpu, schema.embedding_dim,
                                   batch.view.batch_size(), report.timeline);
-      if (options_.run_math) MathStep(batch.view, tables, metric, metric2);
+      if (options_.run_math) exec_.MathStep(batch.view, tables, metric, metric2);
       ++report.num_batches;
     }
   }
@@ -1124,9 +959,9 @@ StatusOr<TrainReport> Trainer::TrainModelParallel(
   }
   const FlatDataset train_flat = dataset.flat().Gather(ids);
   std::vector<TrainBatch> batches =
-      MakeTrainBatches(train_flat, GlobalBatchSize(), /*hot=*/false);
+      exec_.MakeTrainBatches(train_flat, GlobalBatchSize(), /*hot=*/false);
   const EvalSet eval_set =
-      options_.run_math ? MakeEvalSet(dataset, split) : EvalSet{};
+      options_.run_math ? exec_.MakeEvalSet(dataset, split) : EvalSet{};
   std::vector<EmbeddingTable*> tables;
   for (EmbeddingTable& t : model_->tables()) tables.push_back(&t);
 
@@ -1140,7 +975,7 @@ StatusOr<TrainReport> Trainer::TrainModelParallel(
     }
     for (const TrainBatch& batch : batches) {
       accountant_.ChargeModelParallelStep(batch.work, report.timeline);
-      if (options_.run_math) MathStep(batch.view, tables, metric, window);
+      if (options_.run_math) exec_.MathStep(batch.view, tables, metric, window);
       ++report.num_batches;
     }
   }
@@ -1168,9 +1003,9 @@ TrainReport Trainer::TrainGpuCache(const Dataset& dataset,
   }
   const FlatDataset train_flat = dataset.flat().Gather(ids);
   std::vector<TrainBatch> batches =
-      MakeTrainBatches(train_flat, GlobalBatchSize(), /*hot=*/false);
+      exec_.MakeTrainBatches(train_flat, GlobalBatchSize(), /*hot=*/false);
   const EvalSet eval_set =
-      options_.run_math ? MakeEvalSet(dataset, split) : EvalSet{};
+      options_.run_math ? exec_.MakeEvalSet(dataset, split) : EvalSet{};
   std::vector<EmbeddingTable*> tables;
   for (EmbeddingTable& t : model_->tables()) tables.push_back(&t);
 
@@ -1219,7 +1054,7 @@ TrainReport Trainer::TrainGpuCache(const Dataset& dataset,
                                   cc.miss_lookups * row_bytes,
                                   cc.miss_touched * row_bytes,
                                   report.timeline);
-      if (options_.run_math) MathStep(batch.view, tables, metric, window);
+      if (options_.run_math) exec_.MathStep(batch.view, tables, metric, window);
       ++report.num_batches;
     }
   }

@@ -13,13 +13,11 @@
 #include "engine/checkpoint.h"
 #include "engine/metrics.h"
 #include "engine/step_accountant.h"
+#include "engine/step_executor.h"
 #include "models/rec_model.h"
 #include "sim/cost_model.h"
 #include "sim/fault_injector.h"
-#include "tensor/sgd.h"
-#include "embedding/sparse_sgd.h"
 #include "util/statusor.h"
-#include "util/thread_pool.h"
 
 namespace fae {
 
@@ -41,27 +39,6 @@ enum class SyncStrategy {
   /// identical to kFull; see bench/abl_sync_strategy.cc.
   kDirty,
 };
-
-/// Pipelined execution for the baseline and FAE drivers (comparator
-/// placements ignore it). Every mode runs the identical math in the
-/// identical order — pipelining changes only how input staging and device
-/// phases are scheduled (and modeled), never what is computed, so results
-/// are bit-exact across modes (tests/engine/pipeline_determinism_test.cc).
-enum class PipelineMode {
-  /// Fully serial: stage a batch, then step on it.
-  kOff,
-  /// Double-buffered staging (engine/batch_pipeline.h): a background
-  /// thread gathers/packs batch b+1 while batch b trains, hiding input
-  /// prep under compute. Prefetch never crosses an epoch or schedule-chunk
-  /// boundary (the pipeline's explicit sync points).
-  kPrefetch,
-  /// kPrefetch plus overlapped phases: the hybrid step's CPU and GPU lanes
-  /// run concurrently, and FAE's cold-CPU chunks overlap the subsequent
-  /// hot-GPU chunk (including the hot-slice DMA syncs).
-  kOverlap,
-};
-
-std::string_view PipelineModeName(PipelineMode mode);
 
 struct TrainOptions {
   /// Per-GPU mini-batch; the global batch is this times num_gpus (the
@@ -241,58 +218,21 @@ class Trainer {
   StatusOr<bool> DrainFaults(
       uint64_t iteration, TrainReport& report,
       const std::function<void(uint64_t)>& on_corrupt_sync);
-  void MaybeQuantizeTables();
-  /// One training step into the model's workspaces. The fused (non-fp16)
-  /// path performs zero heap allocations once warmed up: the apply functor
-  /// is a prebuilt member (single-pointer capture, so std::function's SBO
-  /// holds it), dense params are gathered once, and scatter + optimizer
-  /// run in SparseSgd's reusable scratch.
-  void MathStep(const BatchView& batch,
-                const std::vector<EmbeddingTable*>& tables,
-                RunningMetric& metric, RunningMetric& window);
-  /// Held-out eval data gathered once into a flat buffer; `views` are
-  /// zero-copy batches into `flat` (so the struct must stay alive while
-  /// they are in use; moves are safe — views point at heap buffers).
-  struct EvalSet {
-    FlatDataset flat;
-    std::vector<BatchView> views;
-  };
-  EvalSet MakeEvalSet(const Dataset& dataset,
-                      const Dataset::Split& split) const;
-  /// A training batch with its cost-model work units, computed once —
-  /// Work() is pure per batch, so the per-epoch loops only shuffle and
-  /// charge, never re-derive.
-  struct TrainBatch {
-    BatchView view;
-    BatchWork work;
-  };
-  std::vector<TrainBatch> MakeTrainBatches(const FlatDataset& flat,
-                                           size_t batch_size, bool hot) const;
+  /// The shared execution core (engine/step_executor.h) owns the math:
+  /// optimizers, thread pool, fused apply, eval/batch staging. The Trainer
+  /// keeps only the sequencing, cost accounting, and robustness logic.
+  using EvalSet = StepExecutor::EvalSet;
+  using TrainBatch = StepExecutor::TrainBatch;
   void FinishReport(TrainReport& report,
                     const std::vector<BatchView>& eval_batches,
                     RunningMetric& metric) const;
-
-  /// Context behind the prebuilt fused-apply functor: MathStep repoints
-  /// `tables` per call (master vs. replica), nothing is reallocated.
-  struct ApplyCtx {
-    SparseSgd* sgd = nullptr;
-    const std::vector<EmbeddingTable*>* tables = nullptr;
-    ThreadPool* pool = nullptr;
-  };
 
   RecModel* model_;
   SystemSpec system_;
   CostModel cost_;
   StepAccountant accountant_;
   TrainOptions options_;
-  Sgd dense_sgd_;
-  SparseSgd sparse_sgd_;
-  /// Kernel worker pool, shared with the model; null when num_threads <= 1.
-  std::unique_ptr<ThreadPool> pool_;
-  ApplyCtx apply_ctx_;
-  SparseApplyFn fused_apply_;
-  /// model_->DenseParams(), gathered on the first MathStep.
-  std::vector<Parameter*> dense_params_;
+  StepExecutor exec_;
 };
 
 }  // namespace fae

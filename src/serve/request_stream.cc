@@ -1,0 +1,44 @@
+#include "serve/request_stream.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace fae {
+
+RequestStream::RequestStream(const Dataset* dataset, size_t batch_size)
+    : dataset_(dataset), batch_size_(batch_size) {
+  FAE_CHECK(dataset != nullptr);
+  FAE_CHECK_GE(dataset->size(), 1u);
+  FAE_CHECK_GE(batch_size, 1u);
+  batch_ids_.reserve(batch_size);
+}
+
+std::span<const uint64_t> RequestStream::Next() {
+  const uint64_t n = dataset_->size();
+  const uint64_t count = std::min<uint64_t>(batch_size_, n - cursor_);
+  batch_ids_.resize(count);
+  for (uint64_t i = 0; i < count; ++i) batch_ids_[i] = cursor_ + i;
+  cursor_ += count;
+  if (cursor_ >= n) cursor_ = 0;  // wrap: drift phase restarts
+  served_ += count;
+  ++batches_;
+  return batch_ids_;
+}
+
+std::vector<uint64_t> RequestStream::RecentWindow(size_t count) const {
+  const uint64_t n = dataset_->size();
+  const uint64_t cap = std::min<uint64_t>({count, served_, n});
+  std::vector<uint64_t> out(cap);
+  // The window ends at the cursor and reaches back `cap` ids, wrapping.
+  for (uint64_t i = 0; i < cap; ++i) {
+    out[cap - 1 - i] = (cursor_ + n - 1 - i) % n;
+  }
+  return out;
+}
+
+double RequestStream::phase() const {
+  return static_cast<double>(cursor_) / static_cast<double>(dataset_->size());
+}
+
+}  // namespace fae

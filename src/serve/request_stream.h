@@ -1,0 +1,53 @@
+#ifndef FAE_SERVE_REQUEST_STREAM_H_
+#define FAE_SERVE_REQUEST_STREAM_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace fae {
+
+/// Streaming request generator: replays a dataset's samples in temporal
+/// order as embedding-lookup request batches. Dataset position doubles as
+/// time, so a dataset generated with SyntheticOptions::popularity_drift > 0
+/// produces request traffic whose hot set rotates as the stream advances —
+/// the drift regime the serving loop's continuous recalibration exists for.
+/// The stream wraps at the end of the dataset (drift phase restarts with
+/// it), so long soak runs just keep cycling.
+class RequestStream {
+ public:
+  /// `dataset` must outlive the stream.
+  RequestStream(const Dataset* dataset, size_t batch_size);
+
+  /// Sample ids of the next request batch (valid until the next call). The
+  /// final batch before a wrap may be short; batches never straddle the
+  /// wrap, so every id window is a contiguous time range.
+  std::span<const uint64_t> Next();
+
+  /// The most recent `count` served sample ids, oldest first — the sliding
+  /// window the recalibration pipeline re-samples. Capped at what has been
+  /// served (and at one dataset length after a wrap). Because replay is
+  /// sequential, this is pure cursor arithmetic: no per-request history.
+  std::vector<uint64_t> RecentWindow(size_t count) const;
+
+  /// Total requests served so far.
+  uint64_t served() const { return served_; }
+  /// Request batches served so far.
+  uint64_t batches() const { return batches_; }
+  /// Drift phase in [0, 1): position of the cursor within the dataset.
+  double phase() const;
+
+ private:
+  const Dataset* dataset_;
+  size_t batch_size_;
+  uint64_t cursor_ = 0;  // next sample id to serve
+  uint64_t served_ = 0;
+  uint64_t batches_ = 0;
+  std::vector<uint64_t> batch_ids_;
+};
+
+}  // namespace fae
+
+#endif  // FAE_SERVE_REQUEST_STREAM_H_

@@ -1,0 +1,117 @@
+#ifndef FAE_SERVE_SERVING_LOOP_H_
+#define FAE_SERVE_SERVING_LOOP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/fae_config.h"
+#include "core/fae_pipeline.h"
+#include "data/dataset.h"
+#include "engine/metrics.h"
+#include "engine/step_accountant.h"
+#include "engine/step_executor.h"
+#include "models/rec_model.h"
+#include "serve/serve_config.h"
+#include "sim/cost_model.h"
+#include "sim/fault_injector.h"
+#include "stats/histogram.h"
+#include "util/statusor.h"
+
+namespace fae {
+
+/// Everything one serving run reports: request/latency accounting, the
+/// drift-recalibration history, degraded-mode bookkeeping, and the
+/// continuous-training metrics.
+struct ServeReport {
+  size_t batches = 0;
+  uint64_t requests = 0;
+  uint64_t lookups = 0;
+
+  // --- Lookup accounting (honest: the three serving qualities are kept
+  // apart; they sum with `misses` to `lookups`) ---------------------------
+  /// Answered by a *fresh* (SLO-healthy) hot slice on the GPU.
+  uint64_t hot_hits = 0;
+  /// Answered by the hot slice while serving was degraded (a recalibration
+  /// failed or a swap was rejected, so the slice is known-stale).
+  uint64_t stale_hits = 0;
+  /// Hot-slice lookups answered from the CPU master while the lookup-path
+  /// GPU was lost (slower, never dropped).
+  uint64_t master_fallbacks = 0;
+  /// Cold lookups: CPU master + PCIe round trip, every mode.
+  uint64_t misses = 0;
+
+  /// hot_hits / lookups — the fresh-service hit rate the drift bench gates.
+  double hit_rate = 0.0;
+  /// Final EMA of per-batch hot-slice coverage (the drift detector's
+  /// signal); recovery returns it to ~its drift-free level.
+  double coverage_ema = 0.0;
+
+  // --- Tail latency (modeled nanoseconds per request) --------------------
+  Histogram latency_ns;
+  uint64_t p50_latency_ns = 0;
+  uint64_t p99_latency_ns = 0;
+
+  // --- Recalibration / hot-swap history ----------------------------------
+  size_t recal_attempts = 0;
+  /// Watchdog deadline misses (each one charged a retry backoff).
+  size_t deadline_misses = 0;
+  /// Attempts that exhausted the retry budget or failed the pipeline/swap.
+  size_t recal_failures = 0;
+  size_t swaps = 0;
+  /// All-or-nothing container loads that rejected a torn swap artifact.
+  size_t swap_rejects = 0;
+
+  // --- Degraded mode ------------------------------------------------------
+  size_t degraded_batches = 0;
+  bool degraded_at_exit = false;
+  /// An injected crash stopped serving early; the report covers the
+  /// batches served before it.
+  bool interrupted = false;
+
+  double modeled_seconds = 0.0;
+  Timeline timeline;
+  FaultStats faults;
+
+  // --- Continuous training ------------------------------------------------
+  size_t train_steps = 0;
+  double train_loss = 0.0;
+  double train_acc = 0.0;
+};
+
+/// Online serving with continuous recalibration (DESIGN.md §12): answers
+/// embedding-lookup request batches from the hot slice, watches the
+/// hit-rate EMA against the SLO, and when drift drags it under, re-runs the
+/// sampler/Rand-Em pipeline over a sliding window of recent traffic and
+/// atomically hot-swaps the refreshed hot set through the FaeFormat
+/// container (all-or-nothing: a torn artifact is rejected and the previous
+/// set stays active). A watchdog bounds recalibration with deadline +
+/// retry/backoff; when it gives up, serving degrades to the stale hot set —
+/// requests are answered (honestly counted as stale) and training continues.
+///
+/// Like the Trainer, math is real and time is modeled: every request is
+/// charged through the CostModel and per-request latency lands in a
+/// log-scale histogram (p50/p99). Fully deterministic — no wall clock.
+class ServingLoop {
+ public:
+  ServingLoop(RecModel* model, SystemSpec system, FaeConfig fae_config,
+              ServeOptions options);
+
+  /// Serves `dataset`'s request stream against `plan`'s hot set.
+  /// InvalidArgument on a config that fails Validate(); otherwise faults
+  /// degrade service but never fail the run (an injected crash returns a
+  /// partial report with `interrupted` set).
+  StatusOr<ServeReport> Serve(const Dataset& dataset, const FaePlan& plan);
+
+ private:
+  RecModel* model_;
+  SystemSpec system_;
+  CostModel cost_;
+  StepAccountant accountant_;
+  FaeConfig fae_config_;
+  ServeOptions options_;
+  StepExecutor exec_;
+};
+
+}  // namespace fae
+
+#endif  // FAE_SERVE_SERVING_LOOP_H_

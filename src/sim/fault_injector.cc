@@ -1,19 +1,25 @@
 #include "sim/fault_injector.h"
 
 #include <cstdlib>
+#include <limits>
 
 #include "util/string_util.h"
 
 namespace fae {
 namespace {
 
-// Parses a non-negative integer covering the whole of `text`.
+// Parses a non-negative integer covering the whole of `text`. Overflow
+// past uint64 is reported as failure, not silently wrapped.
 bool ParseU64(std::string_view text, uint64_t* out) {
   if (text.empty()) return false;
   uint64_t value = 0;
   for (char c : text) {
     if (c < '0' || c > '9') return false;
-    value = value * 10 + static_cast<uint64_t>(c - '0');
+    const uint64_t digit = static_cast<uint64_t>(c - '0');
+    if (value > (std::numeric_limits<uint64_t>::max() - digit) / 10) {
+      return false;  // overflow
+    }
+    value = value * 10 + digit;
   }
   *out = value;
   return true;
@@ -29,6 +35,15 @@ bool ParseDouble(std::string_view text, double* out) {
   return true;
 }
 
+bool KindTakesStall(FaultKind kind) {
+  return kind == FaultKind::kLinkStall || kind == FaultKind::kRecalStall;
+}
+
+bool KindTakesRepeat(FaultKind kind) {
+  return kind == FaultKind::kDeviceTransient ||
+         kind == FaultKind::kLookupLoss;
+}
+
 }  // namespace
 
 std::string_view FaultKindName(FaultKind kind) {
@@ -41,6 +56,12 @@ std::string_view FaultKindName(FaultKind kind) {
       return "corrupt";
     case FaultKind::kCrash:
       return "crash";
+    case FaultKind::kRecalStall:
+      return "recal-stall";
+    case FaultKind::kSwapCrash:
+      return "swap-crash";
+    case FaultKind::kLookupLoss:
+      return "lookup-loss";
   }
   return "unknown";
 }
@@ -49,9 +70,16 @@ FaultInjector::FaultInjector(std::vector<FaultEvent> events)
     : events_(std::move(events)), delivered_(events_.size(), false) {}
 
 StatusOr<FaultInjector> FaultInjector::Parse(const std::string& plan) {
+  if (plan.empty()) {
+    return Status::InvalidArgument(
+        "empty fault plan (omit the flag entirely to inject no faults)");
+  }
   std::vector<FaultEvent> events;
   for (const std::string& spec : Split(plan, ',')) {
-    if (spec.empty()) continue;
+    if (spec.empty()) {
+      return Status::InvalidArgument(
+          "fault plan has an empty spec (trailing or doubled comma?)");
+    }
     const size_t at = spec.find('@');
     if (at == std::string::npos) {
       return Status::InvalidArgument(
@@ -68,25 +96,36 @@ StatusOr<FaultInjector> FaultInjector::Parse(const std::string& plan) {
       event.kind = FaultKind::kCorruptSync;
     } else if (kind == "crash") {
       event.kind = FaultKind::kCrash;
+    } else if (kind == "recal-stall") {
+      event.kind = FaultKind::kRecalStall;
+      event.stall_seconds = 1.0;  // long enough to miss typical deadlines
+    } else if (kind == "swap-crash") {
+      event.kind = FaultKind::kSwapCrash;
+    } else if (kind == "lookup-loss") {
+      event.kind = FaultKind::kLookupLoss;
     } else {
       return Status::InvalidArgument(StrFormat(
-          "unknown fault kind '%s' (want device|stall|corrupt|crash)",
+          "unknown fault kind '%s' (want device|stall|corrupt|crash|"
+          "recal-stall|swap-crash|lookup-loss)",
           kind.c_str()));
     }
 
     std::string rest = spec.substr(at + 1);
-    // Optional 'xN' repeat suffix (device only).
+    // Optional 'xN' repeat suffix (device / lookup-loss only).
     const size_t x = rest.rfind('x');
     if (x != std::string::npos) {
       uint64_t times = 0;
       if (!ParseU64(std::string_view(rest).substr(x + 1), &times) ||
-          times == 0) {
+          times == 0 ||
+          times > std::numeric_limits<uint32_t>::max()) {
         return Status::InvalidArgument(StrFormat(
-            "fault spec '%s' has a bad repeat count", spec.c_str()));
+            "fault spec '%s' has a bad repeat count (want 1..2^32-1)",
+            spec.c_str()));
       }
-      if (event.kind != FaultKind::kDeviceTransient) {
+      if (!KindTakesRepeat(event.kind)) {
         return Status::InvalidArgument(StrFormat(
-            "fault spec '%s': 'xN' only applies to device faults",
+            "fault spec '%s': 'xN' only applies to device and lookup-loss "
+            "faults",
             spec.c_str()));
       }
       event.times = static_cast<uint32_t>(times);
@@ -95,9 +134,10 @@ StatusOr<FaultInjector> FaultInjector::Parse(const std::string& plan) {
     // Optional ':seconds' stall duration.
     const size_t colon = rest.find(':');
     if (colon != std::string::npos) {
-      if (event.kind != FaultKind::kLinkStall) {
+      if (!KindTakesStall(event.kind)) {
         return Status::InvalidArgument(StrFormat(
-            "fault spec '%s': ':seconds' only applies to stalls",
+            "fault spec '%s': ':seconds' only applies to stall and "
+            "recal-stall faults",
             spec.c_str()));
       }
       if (!ParseDouble(std::string_view(rest).substr(colon + 1),
@@ -111,6 +151,15 @@ StatusOr<FaultInjector> FaultInjector::Parse(const std::string& plan) {
     if (!ParseU64(rest, &event.step)) {
       return Status::InvalidArgument(
           StrFormat("fault spec '%s' has a bad step", spec.c_str()));
+    }
+    for (const FaultEvent& prior : events) {
+      if (prior.kind == event.kind && prior.step == event.step) {
+        return Status::InvalidArgument(StrFormat(
+            "duplicate fault '%s@%llu' (each kind fires at most once per "
+            "step)",
+            std::string(FaultKindName(event.kind)).c_str(),
+            static_cast<unsigned long long>(event.step)));
+      }
     }
     events.push_back(event);
   }

@@ -10,7 +10,7 @@
 namespace fae {
 
 /// Kinds of injected faults, each exercising a different recovery path in
-/// the trainer:
+/// the trainer or the online serving loop:
 ///   - kDeviceTransient: a GPU rejects the batch; the engine retries with
 ///     exponential backoff (bounded; a fault repeating past the retry cap
 ///     models a permanent device loss and fails the run with a Status).
@@ -21,24 +21,41 @@ namespace fae {
 ///     copy, which is always authoritative.
 ///   - kCrash: the whole job dies at this step; training stops and returns
 ///     a partial report (recovery is resuming from the last checkpoint).
+/// Serving-side kinds (delivered by the ServingLoop; batch training logs
+/// and ignores them — they have no meaning without a serving path):
+///   - kRecalStall: the in-flight hot-set recalibration stalls for the
+///     given modeled seconds, typically blowing its deadline; the watchdog
+///     aborts it and serving degrades to the stale hot set.
+///   - kSwapCrash: the recalibration worker dies mid-hot-swap, leaving a
+///     torn swap artifact; the all-or-nothing container load rejects it and
+///     the previous hot set stays active.
+///   - kLookupLoss: the GPU holding the hot slice is lost on the lookup
+///     path; the affected requests are answered from the CPU master copy
+///     (slower, never dropped) and the slice is re-replicated.
 enum class FaultKind : int {
   kDeviceTransient = 0,
   kLinkStall,
   kCorruptSync,
   kCrash,
+  kRecalStall,
+  kSwapCrash,
+  kLookupLoss,
 };
 
 std::string_view FaultKindName(FaultKind kind);
 
-/// One scheduled fault: fires when training reaches `step` completed
-/// iterations (global across epochs).
+/// One scheduled fault: fires when training (or serving) reaches `step`
+/// completed iterations (global across epochs; request batches for the
+/// serving loop).
 struct FaultEvent {
   FaultKind kind = FaultKind::kDeviceTransient;
   uint64_t step = 0;
-  /// kLinkStall: modeled stall seconds. Ignored by other kinds.
+  /// kLinkStall / kRecalStall: modeled stall seconds. Ignored by other
+  /// kinds.
   double stall_seconds = 0.0;
-  /// kDeviceTransient: how many consecutive attempts fail before the
-  /// device comes back. > the engine's retry cap means a permanent fault.
+  /// kDeviceTransient / kLookupLoss: how many consecutive attempts fail
+  /// before the device comes back. > the engine's retry cap means a
+  /// permanent fault.
   uint32_t times = 1;
 };
 
@@ -49,18 +66,31 @@ struct FaultStats {
   uint64_t link_stalls = 0;
   uint64_t corrupt_syncs = 0;
   uint64_t crashes = 0;
+  // Serving-side (ServingLoop):
+  uint64_t recal_stalls = 0;     // recalibration stalls delivered
+  uint64_t swap_crashes = 0;     // hot-swaps torn mid-write
+  uint64_t lookup_losses = 0;    // lookup-path device losses delivered
+  /// Times the serving loop restored full (fresh hot slice) service after
+  /// a fault degraded it — the "recovery counted" number the bench gates.
+  uint64_t recoveries = 0;
 };
 
 /// Deterministic fault-injection schedule for resilience testing (§ fault
 /// tolerance in DESIGN.md). Built from a plan string and drained by the
-/// trainer once per training iteration.
+/// trainer (or the serving loop) once per iteration.
 ///
 /// Plan grammar — comma-separated events, each `kind@step[:stall][xN]`:
-///   device@30        one transient device failure before iteration 30
-///   device@200x7     device fails 7 consecutive attempts at step 200
-///   stall@50:0.2     0.2 s link stall before iteration 50
-///   corrupt@75       corrupted hot-slice sync before iteration 75
-///   crash@120        hard crash before iteration 120
+///   device@30          one transient device failure before iteration 30
+///   device@200x7       device fails 7 consecutive attempts at step 200
+///   stall@50:0.2       0.2 s link stall before iteration 50
+///   corrupt@75         corrupted hot-slice sync before iteration 75
+///   crash@120          hard crash before iteration 120
+///   recal-stall@40:3   recalibration in flight at batch 40 stalls 3 s
+///   swap-crash@60      hot-swap at batch 60 tears mid-write
+///   lookup-loss@80x2   hot-slice lookups fail twice at batch 80
+/// Rejected with InvalidArgument (never a silent no-op): empty plans,
+/// empty specs (trailing/doubled commas), duplicate (kind, step) pairs,
+/// and numeric overflow in `step` or `xN`.
 class FaultInjector {
  public:
   /// Parses a plan string. InvalidArgument on malformed specs.

@@ -16,6 +16,7 @@
 #include "data/synthetic.h"
 #include "models/factory.h"
 #include "models/model_io.h"
+#include "serve/serve_config.h"
 #include "util/file_io.h"
 #include "util/random.h"
 
@@ -117,6 +118,37 @@ TEST(FuzzFormatsTest, CheckpointLoaderSurvivesByteFlips) {
     // any Status is acceptable, crashing is not.
     (void)ModelIo::Load(path, *target);
   });
+}
+
+TEST(FuzzFormatsTest, ServeConfigParserSurvivesByteFlips) {
+  // The serving config is text, so fuzz the text directly: any single-byte
+  // corruption must yield either a clean InvalidArgument or an options
+  // struct that still passes Validate (Parse runs it, so a parse that
+  // "succeeds" into out-of-range values would be a bug).
+  const std::string pristine = ServeOptions().Serialize();
+  Xoshiro256 rng(31);
+  for (int trial = 0; trial < 400; ++trial) {
+    std::string mutant = pristine;
+    const size_t offset = rng.NextBounded(mutant.size());
+    const char flip = static_cast<char>(1 + rng.NextBounded(255));
+    mutant[offset] ^= flip;
+    auto parsed = ServeOptions::Parse(mutant);
+    if (parsed.ok()) {
+      EXPECT_TRUE(parsed->Validate().ok());
+    }
+  }
+}
+
+TEST(FuzzFormatsTest, ServeConfigParserSurvivesTruncation) {
+  // Prefixes may be valid (keys are optional; defaults fill in) but must
+  // never crash, and whatever parses must validate.
+  const std::string pristine = ServeOptions().Serialize();
+  for (size_t len = 0; len < pristine.size(); ++len) {
+    auto parsed = ServeOptions::Parse(pristine.substr(0, len));
+    if (parsed.ok()) {
+      EXPECT_TRUE(parsed->Validate().ok());
+    }
+  }
 }
 
 TEST(FuzzFormatsTest, LoadersRejectTruncationAtEveryPrefix) {

@@ -1,0 +1,115 @@
+#include "serve/request_stream.h"
+
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+
+namespace fae {
+namespace {
+
+Dataset MakeTinyDataset(size_t n) {
+  DatasetSchema schema = MakeKaggleLikeSchema(DatasetScale::kTiny);
+  return SyntheticGenerator(schema, {.seed = 5}).Generate(n);
+}
+
+TEST(RequestStreamTest, ReplaysInTemporalOrder) {
+  Dataset dataset = MakeTinyDataset(10);
+  RequestStream stream(&dataset, 4);
+
+  auto b0 = stream.Next();
+  ASSERT_EQ(b0.size(), 4u);
+  EXPECT_EQ(b0[0], 0u);
+  EXPECT_EQ(b0[3], 3u);
+
+  auto b1 = stream.Next();
+  EXPECT_EQ(b1[0], 4u);
+
+  // The final batch before the wrap is short — batches never straddle it.
+  auto b2 = stream.Next();
+  ASSERT_EQ(b2.size(), 2u);
+  EXPECT_EQ(b2[0], 8u);
+  EXPECT_EQ(b2[1], 9u);
+
+  // Wrap: the drift phase restarts at the beginning.
+  auto b3 = stream.Next();
+  EXPECT_EQ(b3[0], 0u);
+
+  EXPECT_EQ(stream.served(), 14u);
+  EXPECT_EQ(stream.batches(), 4u);
+}
+
+TEST(RequestStreamTest, PhaseTracksCursor) {
+  Dataset dataset = MakeTinyDataset(10);
+  RequestStream stream(&dataset, 5);
+  EXPECT_DOUBLE_EQ(stream.phase(), 0.0);
+  stream.Next();
+  EXPECT_DOUBLE_EQ(stream.phase(), 0.5);
+  stream.Next();
+  EXPECT_DOUBLE_EQ(stream.phase(), 0.0);  // wrapped
+}
+
+TEST(RequestStreamTest, RecentWindowIsOldestFirst) {
+  Dataset dataset = MakeTinyDataset(20);
+  RequestStream stream(&dataset, 6);
+  stream.Next();  // 0..5
+  stream.Next();  // 6..11
+
+  const std::vector<uint64_t> window = stream.RecentWindow(4);
+  ASSERT_EQ(window.size(), 4u);
+  EXPECT_EQ(window.front(), 8u);
+  EXPECT_EQ(window.back(), 11u);
+}
+
+TEST(RequestStreamTest, RecentWindowCappedByServed) {
+  Dataset dataset = MakeTinyDataset(20);
+  RequestStream stream(&dataset, 6);
+  EXPECT_TRUE(stream.RecentWindow(4).empty());  // nothing served yet
+  stream.Next();
+  const std::vector<uint64_t> window = stream.RecentWindow(100);
+  ASSERT_EQ(window.size(), 6u);  // only 6 requests exist so far
+  EXPECT_EQ(window.front(), 0u);
+  EXPECT_EQ(window.back(), 5u);
+}
+
+TEST(RequestStreamTest, RecentWindowWrapsAcrossTheEnd) {
+  Dataset dataset = MakeTinyDataset(10);
+  RequestStream stream(&dataset, 4);
+  stream.Next();  // 0..3
+  stream.Next();  // 4..7
+  stream.Next();  // 8..9, wraps cursor to 0
+  stream.Next();  // 0..3 again
+
+  const std::vector<uint64_t> window = stream.RecentWindow(6);
+  const std::vector<uint64_t> expected = {8, 9, 0, 1, 2, 3};
+  EXPECT_EQ(window, expected);
+}
+
+TEST(RequestStreamTest, RecentWindowCappedAtOneDatasetLength) {
+  Dataset dataset = MakeTinyDataset(8);
+  RequestStream stream(&dataset, 8);
+  stream.Next();
+  stream.Next();  // full second pass
+  const std::vector<uint64_t> window = stream.RecentWindow(100);
+  std::vector<uint64_t> expected(8);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(window, expected);
+}
+
+TEST(RequestStreamTest, DeterministicAcrossInstances) {
+  Dataset dataset = MakeTinyDataset(30);
+  RequestStream a(&dataset, 7);
+  RequestStream b(&dataset, 7);
+  for (int i = 0; i < 12; ++i) {
+    auto ba = a.Next();
+    auto bb = b.Next();
+    ASSERT_EQ(std::vector<uint64_t>(ba.begin(), ba.end()),
+              std::vector<uint64_t>(bb.begin(), bb.end()));
+  }
+  EXPECT_EQ(a.RecentWindow(9), b.RecentWindow(9));
+}
+
+}  // namespace
+}  // namespace fae

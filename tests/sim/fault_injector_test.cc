@@ -31,6 +31,29 @@ TEST(FaultInjectorTest, ParsesFullGrammar) {
   EXPECT_EQ(events[4].times, 7u);
 }
 
+TEST(FaultInjectorTest, ParsesServingKinds) {
+  auto inj = FaultInjector::Parse(
+      "recal-stall@40:3.5,swap-crash@60,lookup-loss@80x2,recal-stall@90");
+  ASSERT_TRUE(inj.ok()) << inj.status().ToString();
+  const std::vector<FaultEvent>& events = inj->events();
+  ASSERT_EQ(events.size(), 4u);
+
+  EXPECT_EQ(events[0].kind, FaultKind::kRecalStall);
+  EXPECT_EQ(events[0].step, 40u);
+  EXPECT_DOUBLE_EQ(events[0].stall_seconds, 3.5);
+
+  EXPECT_EQ(events[1].kind, FaultKind::kSwapCrash);
+  EXPECT_EQ(events[1].step, 60u);
+
+  EXPECT_EQ(events[2].kind, FaultKind::kLookupLoss);
+  EXPECT_EQ(events[2].step, 80u);
+  EXPECT_EQ(events[2].times, 2u);
+
+  // recal-stall without ':seconds' gets a deadline-blowing default.
+  EXPECT_EQ(events[3].kind, FaultKind::kRecalStall);
+  EXPECT_GT(events[3].stall_seconds, 0.0);
+}
+
 TEST(FaultInjectorTest, StallGetsDefaultDuration) {
   auto inj = FaultInjector::Parse("stall@9");
   ASSERT_TRUE(inj.ok());
@@ -38,11 +61,57 @@ TEST(FaultInjectorTest, StallGetsDefaultDuration) {
   EXPECT_GT(inj->events()[0].stall_seconds, 0.0);
 }
 
-TEST(FaultInjectorTest, EmptyPlanIsEmpty) {
+TEST(FaultInjectorTest, EmptyPlanIsRejected) {
+  // An empty plan is an error, not a silent no-op: a caller that wants no
+  // faults omits the plan; an empty string usually means a flag-plumbing
+  // bug swallowed the schedule.
   auto inj = FaultInjector::Parse("");
-  ASSERT_TRUE(inj.ok());
-  EXPECT_TRUE(inj->empty());
-  EXPECT_TRUE(inj->Drain(0).empty());
+  ASSERT_FALSE(inj.ok());
+  EXPECT_EQ(inj.status().code(), StatusCode::kInvalidArgument);
+
+  // The default-constructed injector stays the explicit "no faults" spelling.
+  FaultInjector none;
+  EXPECT_TRUE(none.empty());
+  EXPECT_TRUE(none.Drain(0).empty());
+}
+
+TEST(FaultInjectorTest, TrailingAndDoubledCommasAreRejected) {
+  for (const char* bad : {"device@3,", ",device@3", "device@3,,crash@9"}) {
+    auto inj = FaultInjector::Parse(bad);
+    ASSERT_FALSE(inj.ok()) << "accepted: " << bad;
+    EXPECT_EQ(inj.status().code(), StatusCode::kInvalidArgument) << bad;
+  }
+}
+
+TEST(FaultInjectorTest, DuplicateKindAndStepIsRejected) {
+  auto inj = FaultInjector::Parse("device@3,device@3");
+  ASSERT_FALSE(inj.ok());
+  EXPECT_EQ(inj.status().code(), StatusCode::kInvalidArgument);
+  // Same step with different kinds stays legal (compound failures).
+  EXPECT_TRUE(FaultInjector::Parse("device@3,corrupt@3").ok());
+  // Same kind at different steps stays legal too.
+  EXPECT_TRUE(FaultInjector::Parse("device@3,device@4").ok());
+}
+
+TEST(FaultInjectorTest, NumericOverflowIsRejected) {
+  for (const char* bad : {
+           // step > 2^64-1 must not silently wrap.
+           "device@18446744073709551616",
+           // repeat count > 2^32-1 must not silently truncate.
+           "device@5x4294967296",
+           // repeat count > 2^64-1 must not silently wrap either.
+           "device@5x18446744073709551616",
+       }) {
+    auto inj = FaultInjector::Parse(bad);
+    ASSERT_FALSE(inj.ok()) << "accepted: " << bad;
+    EXPECT_EQ(inj.status().code(), StatusCode::kInvalidArgument) << bad;
+  }
+  // The extremes of both ranges still parse.
+  auto max_ok =
+      FaultInjector::Parse("device@18446744073709551615x4294967295");
+  ASSERT_TRUE(max_ok.ok()) << max_ok.status().ToString();
+  EXPECT_EQ(max_ok->events()[0].step, 18446744073709551615ull);
+  EXPECT_EQ(max_ok->events()[0].times, 4294967295u);
 }
 
 TEST(FaultInjectorTest, DrainDeliversAtMostOnce) {
@@ -69,12 +138,15 @@ TEST(FaultInjectorTest, RejectsMalformedSpecs) {
   for (const char* bad : {
            "device",          // missing @step
            "meteor@5",        // unknown kind
+           "recal@5",         // prefix of a known kind is still unknown
            "device@",         // empty step
            "device@abc",      // non-numeric step
            "device@5x0",      // zero repeat
            "device@5xq",      // non-numeric repeat
-           "crash@5x3",       // repeat on a non-device fault
+           "crash@5x3",       // repeat on a non-repeatable fault
+           "recal-stall@5x2", // ditto for the serving stall
            "device@5:0.2",    // stall duration on a non-stall fault
+           "swap-crash@5:1",  // ditto for the serving crash
            "stall@5:-1",      // negative duration
            "stall@5:oops",    // non-numeric duration
        }) {
@@ -89,6 +161,9 @@ TEST(FaultInjectorTest, KindNamesAreStable) {
   EXPECT_EQ(FaultKindName(FaultKind::kLinkStall), "stall");
   EXPECT_EQ(FaultKindName(FaultKind::kCorruptSync), "corrupt");
   EXPECT_EQ(FaultKindName(FaultKind::kCrash), "crash");
+  EXPECT_EQ(FaultKindName(FaultKind::kRecalStall), "recal-stall");
+  EXPECT_EQ(FaultKindName(FaultKind::kSwapCrash), "swap-crash");
+  EXPECT_EQ(FaultKindName(FaultKind::kLookupLoss), "lookup-loss");
 }
 
 }  // namespace

@@ -2,7 +2,7 @@
 //
 //   fae generate    --out=data.faed [--workload=kaggle|taobao|terabyte]
 //                   [--scale=tiny|small|medium] [--inputs=N] [--seed=S]
-//                   [--zipf=1.15]
+//                   [--zipf=1.15] [--drift=0.0]
 //   fae inspect     --data=data.faed
 //   fae preprocess  --data=data.faed --out=plan.faef [--budget-kb=384]
 //                   [--sample-rate=0.05] [--cutoff-kb=4]
@@ -13,12 +13,26 @@
 //                   [--pipeline=off|prefetch|overlap] [--pipeline-depth=2]
 //                   [--ckpt=run.faec] [--ckpt-every=100] [--resume]
 //                   [--fault-plan=device@30,stall@50:0.2,corrupt@75,crash@120]
+//   fae serve       --data=data.faed [--plan=plan.faef] [--swap=swap.faef]
+//                   [--batch=256] [--batches=N] [--slo=0.75]
+//                   [--ema-alpha=0.05] [--recal-window=8192]
+//                   [--recal-cooldown=32] [--deadline-ms=250]
+//                   [--recal-retries=3] [--backoff-ms=10] [--no-train]
+//                   [--threads=1] [--gpus=4] [--serve-config=serve.cfg]
+//                   [--fault-plan=recal-stall@40:3,swap-crash@60,lookup-loss@80x2]
 //
 // The `generate -> preprocess -> train` flow mirrors the paper's once-per-
-// dataset static pass followed by repeated training runs.
+// dataset static pass followed by repeated training runs; `serve` replays
+// the dataset as drifting online traffic against the preprocessed hot set
+// (DESIGN.md §12).
 
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <numeric>
+#include <sstream>
 #include <string>
 
 #include "bench/bench_util.h"
@@ -27,6 +41,7 @@
 #include "data/synthetic.h"
 #include "engine/trainer.h"
 #include "models/factory.h"
+#include "serve/serving_loop.h"
 #include "util/string_util.h"
 
 namespace fae {
@@ -39,9 +54,63 @@ int Fail(const Status& status) {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: fae <generate|inspect|preprocess|train> [--flags]\n"
+               "usage: fae <generate|inspect|preprocess|train|serve> "
+               "[--flags]\n"
                "see the header of tools/fae_cli.cc for the full flag list\n");
   return 2;
+}
+
+// Sentinel distinguishing an absent flag from one given an empty value
+// ("--threads=" must be rejected, not silently defaulted).
+constexpr const char kFlagAbsent[] = "\x01";
+
+/// Strict integer flag parsing. Args::GetInt is atol-based, so
+/// `--threads=x` or `--threads=-2` silently became a zero or negative
+/// resource count; flags that size resources reject anything that is not
+/// an integer >= `min_value` with an error naming the flag.
+bool StrictLongFlag(const bench::Args& args, const char* key, long fallback,
+                    long min_value, long* out) {
+  const std::string raw = args.GetString(key, kFlagAbsent);
+  if (raw == kFlagAbsent) {
+    *out = fallback;
+    return true;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const long value = std::strtol(raw.c_str(), &end, 10);
+  if (raw.empty() || errno != 0 || end != raw.c_str() + raw.size()) {
+    std::fprintf(stderr, "error: --%s='%s' is not an integer\n", key,
+                 raw.c_str());
+    return false;
+  }
+  if (value < min_value) {
+    std::fprintf(stderr, "error: --%s must be >= %ld (got %ld)\n", key,
+                 min_value, value);
+    return false;
+  }
+  *out = value;
+  return true;
+}
+
+/// Strict floating-point flag parsing: the whole value must be a number.
+/// Range checks stay with the consumer (ServeOptions::Validate), so the
+/// file and flag construction paths reject the same garbage.
+bool StrictDoubleFlag(const bench::Args& args, const char* key,
+                      double fallback, double* out) {
+  const std::string raw = args.GetString(key, kFlagAbsent);
+  if (raw == kFlagAbsent) {
+    *out = fallback;
+    return true;
+  }
+  char* end = nullptr;
+  const double value = std::strtod(raw.c_str(), &end);
+  if (raw.empty() || end != raw.c_str() + raw.size()) {
+    std::fprintf(stderr, "error: --%s='%s' is not a number\n", key,
+                 raw.c_str());
+    return false;
+  }
+  *out = value;
+  return true;
 }
 
 WorkloadKind ParseWorkload(const std::string& name) {
@@ -61,6 +130,10 @@ int Generate(const bench::Args& args) {
   SyntheticOptions options;
   options.seed = args.GetInt("seed", 42);
   options.zipf_exponent = args.GetDouble("zipf", options.zipf_exponent);
+  if (!StrictDoubleFlag(args, "drift", options.popularity_drift,
+                        &options.popularity_drift)) {
+    return 2;
+  }
   SyntheticGenerator generator(MakeSchema(kind, scale), options);
   Dataset dataset = generator.Generate(inputs);
   const Status status = DatasetIo::Save(out, dataset);
@@ -125,11 +198,17 @@ int Train(const bench::Args& args) {
   if (!dataset.ok()) return Fail(dataset.status());
   Dataset::Split split = dataset->MakeSplit(args.GetDouble("test-frac", 0.1));
 
+  long batch = 0, epochs = 0, threads = 0;
+  if (!StrictLongFlag(args, "batch", 1024, 1, &batch) ||
+      !StrictLongFlag(args, "epochs", 1, 1, &epochs) ||
+      !StrictLongFlag(args, "threads", 1, 1, &threads)) {
+    return 2;
+  }
   TrainOptions options;
-  options.per_gpu_batch = args.GetInt("batch", 1024);
-  options.epochs = args.GetInt("epochs", 1);
+  options.per_gpu_batch = static_cast<size_t>(batch);
+  options.epochs = static_cast<size_t>(epochs);
   options.run_math = !args.GetBool("cost-only", false);
-  options.num_threads = args.GetInt("threads", 1);
+  options.num_threads = static_cast<size_t>(threads);
   options.sync_strategy = args.GetBool("dirty-sync", false)
                               ? SyncStrategy::kDirty
                               : SyncStrategy::kFull;
@@ -143,14 +222,14 @@ int Train(const bench::Args& args) {
                  "(expected off|prefetch|overlap)\n", pipeline.c_str());
     return 2;
   }
-  const long pipeline_depth = args.GetInt("pipeline-depth", 2);
-  if (pipeline_depth < 1) {
-    std::fprintf(stderr, "error: --pipeline-depth must be >= 1\n");
+  long pipeline_depth = 0, ckpt_every = 0;
+  if (!StrictLongFlag(args, "pipeline-depth", 2, 1, &pipeline_depth) ||
+      !StrictLongFlag(args, "ckpt-every", 100, 1, &ckpt_every)) {
     return 2;
   }
   options.pipeline_depth = static_cast<size_t>(pipeline_depth);
   options.checkpoint.path = args.GetString("ckpt", "");
-  options.checkpoint.every_steps = args.GetInt("ckpt-every", 100);
+  options.checkpoint.every_steps = static_cast<size_t>(ckpt_every);
   options.checkpoint.resume = args.GetBool("resume", false);
 
   FaultInjector injector;
@@ -161,7 +240,9 @@ int Train(const bench::Args& args) {
     injector = std::move(parsed).value();
     options.fault_injector = &injector;
   }
-  const int gpus = static_cast<int>(args.GetInt("gpus", 4));
+  long gpus_flag = 0;
+  if (!StrictLongFlag(args, "gpus", 4, 1, &gpus_flag)) return 2;
+  const int gpus = static_cast<int>(gpus_flag);
   SystemSpec system = MakePaperServer(gpus);
 
   FaeConfig config;
@@ -266,6 +347,176 @@ int Train(const bench::Args& args) {
   return 0;
 }
 
+int Serve(const bench::Args& args) {
+  const std::string data_path = args.GetString("data", "");
+  if (data_path.empty()) return Usage();
+  auto dataset = DatasetIo::Load(data_path);
+  if (!dataset.ok()) return Fail(dataset.status());
+
+  // A --serve-config file seeds the options; flags override field by field,
+  // and both paths funnel through ServeOptions::Validate.
+  ServeOptions opts;
+  const std::string config_path = args.GetString("serve-config", "");
+  if (!config_path.empty()) {
+    std::ifstream in(config_path);
+    if (!in) {
+      std::fprintf(stderr, "error: cannot read --serve-config=%s\n",
+                   config_path.c_str());
+      return 1;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    auto parsed = ServeOptions::Parse(buf.str());
+    if (!parsed.ok()) return Fail(parsed.status());
+    opts = std::move(parsed).value();
+  }
+  long v = 0;
+  double d = 0.0;
+  if (!StrictLongFlag(args, "batch", static_cast<long>(opts.batch_size), 1,
+                      &v)) {
+    return 2;
+  }
+  opts.batch_size = static_cast<size_t>(v);
+  if (!StrictLongFlag(args, "batches", static_cast<long>(opts.num_batches),
+                      0, &v)) {
+    return 2;
+  }
+  opts.num_batches = static_cast<size_t>(v);
+  if (!StrictDoubleFlag(args, "slo", opts.slo_hit_rate, &d)) return 2;
+  opts.slo_hit_rate = d;
+  if (!StrictDoubleFlag(args, "ema-alpha", opts.ema_alpha, &d)) return 2;
+  opts.ema_alpha = d;
+  if (!StrictLongFlag(args, "recal-window",
+                      static_cast<long>(opts.recal_window), 1, &v)) {
+    return 2;
+  }
+  opts.recal_window = static_cast<size_t>(v);
+  if (!StrictLongFlag(args, "recal-cooldown",
+                      static_cast<long>(opts.recal_cooldown), 1, &v)) {
+    return 2;
+  }
+  opts.recal_cooldown = static_cast<size_t>(v);
+  if (!StrictDoubleFlag(args, "deadline-ms",
+                        opts.watchdog_deadline_seconds * 1e3, &d)) {
+    return 2;
+  }
+  opts.watchdog_deadline_seconds = d / 1e3;
+  if (!StrictLongFlag(args, "recal-retries",
+                      static_cast<long>(opts.max_recal_retries), 1, &v)) {
+    return 2;
+  }
+  opts.max_recal_retries = static_cast<uint32_t>(v);
+  if (!StrictDoubleFlag(args, "backoff-ms", opts.retry_backoff_seconds * 1e3,
+                        &d)) {
+    return 2;
+  }
+  opts.retry_backoff_seconds = d / 1e3;
+  if (!StrictLongFlag(args, "threads", static_cast<long>(opts.num_threads),
+                      1, &v)) {
+    return 2;
+  }
+  opts.num_threads = static_cast<size_t>(v);
+  if (!StrictLongFlag(args, "seed", static_cast<long>(opts.seed), 0, &v)) {
+    return 2;
+  }
+  opts.seed = static_cast<uint64_t>(v);
+  if (args.GetBool("no-train", false)) opts.continuous_training = false;
+  opts.swap_path = args.GetString("swap", "");
+  const Status valid = opts.Validate();
+  if (!valid.ok()) return Fail(valid);
+
+  FaultInjector injector;
+  const std::string fault_plan = args.GetString("fault-plan", "");
+  if (!fault_plan.empty()) {
+    auto parsed = FaultInjector::Parse(fault_plan);
+    if (!parsed.ok()) return Fail(parsed.status());
+    injector = std::move(parsed).value();
+    opts.fault_injector = &injector;
+  }
+
+  long gpus_flag = 0;
+  if (!StrictLongFlag(args, "gpus", 4, 1, &gpus_flag)) return 2;
+  SystemSpec system = MakePaperServer(static_cast<int>(gpus_flag));
+  FaeConfig config;
+  config.sample_rate = args.GetDouble("sample-rate", 0.05);
+  config.gpu_memory_budget = args.GetInt("budget-kb", 384) * 1024ull;
+  config.large_table_bytes = args.GetInt("cutoff-kb", 4) * 1024ull;
+  system.hot_embedding_budget = config.gpu_memory_budget;
+
+  // The offline plan the serving loop starts from (and recalibrates away
+  // from once the traffic drifts).
+  std::vector<uint64_t> train_ids(dataset->size());
+  std::iota(train_ids.begin(), train_ids.end(), 0);
+  FaePipeline pipeline(config);
+  StatusOr<FaePlan> plan = [&]() -> StatusOr<FaePlan> {
+    const std::string plan_path = args.GetString("plan", "");
+    if (!plan_path.empty()) {
+      return pipeline.PrepareCached(*dataset, train_ids, plan_path);
+    }
+    return pipeline.Prepare(*dataset, train_ids);
+  }();
+  if (!plan.ok()) return Fail(plan.status());
+
+  auto model = MakeModel(dataset->schema(),
+                         args.GetBool("full-model", false), 7);
+  ServingLoop loop(model.get(), system, config, opts);
+  auto report = loop.Serve(*dataset, *plan);
+  if (!report.ok()) return Fail(report.status());
+
+  std::printf("served %zu batches, %llu requests, %llu lookups\n",
+              report->batches,
+              static_cast<unsigned long long>(report->requests),
+              static_cast<unsigned long long>(report->lookups));
+  std::printf(
+      "hit rate %.1f%% (stale %.1f%%, master fallback %.1f%%, miss %.1f%%), "
+      "coverage ema %.3f\n",
+      100.0 * report->hit_rate,
+      report->lookups
+          ? 100.0 * report->stale_hits / static_cast<double>(report->lookups)
+          : 0.0,
+      report->lookups ? 100.0 * report->master_fallbacks /
+                            static_cast<double>(report->lookups)
+                      : 0.0,
+      report->lookups
+          ? 100.0 * report->misses / static_cast<double>(report->lookups)
+          : 0.0,
+      report->coverage_ema);
+  std::printf("latency p50 %.1fus  p99 %.1fus\n",
+              report->p50_latency_ns / 1e3, report->p99_latency_ns / 1e3);
+  std::printf(
+      "recal: %zu attempts, %zu deadline misses, %zu failures, %zu swaps, "
+      "%zu rejects\n",
+      report->recal_attempts, report->deadline_misses, report->recal_failures,
+      report->swaps, report->swap_rejects);
+  if (report->degraded_batches > 0 || report->degraded_at_exit) {
+    std::printf("degraded: %zu batches served stale%s\n",
+                report->degraded_batches,
+                report->degraded_at_exit ? " (still degraded at exit)" : "");
+  }
+  if (opts.continuous_training) {
+    std::printf("continuous training: %zu steps, loss %.4f, acc %.2f%%\n",
+                report->train_steps, report->train_loss,
+                100.0 * report->train_acc);
+  }
+  if (opts.fault_injector != nullptr) {
+    const FaultStats& fs = report->faults;
+    std::printf(
+        "faults: %llu recal stalls, %llu swap crashes, %llu lookup losses, "
+        "%llu recoveries\n",
+        static_cast<unsigned long long>(fs.recal_stalls),
+        static_cast<unsigned long long>(fs.swap_crashes),
+        static_cast<unsigned long long>(fs.lookup_losses),
+        static_cast<unsigned long long>(fs.recoveries));
+  }
+  if (report->interrupted) {
+    std::printf("serving interrupted by an injected crash at batch %zu\n",
+                report->batches);
+  }
+  std::printf("modeled time: %s\n",
+              HumanSeconds(report->modeled_seconds).c_str());
+  return 0;
+}
+
 int Run(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string command = argv[1];
@@ -274,6 +525,7 @@ int Run(int argc, char** argv) {
   if (command == "inspect") return Inspect(args);
   if (command == "preprocess") return Preprocess(args);
   if (command == "train") return Train(args);
+  if (command == "serve") return Serve(args);
   return Usage();
 }
 
