@@ -28,6 +28,7 @@ set(FAE_BENCHES
   ext_serving
   abl_popularity_drift
   abl_pipelined
+  abl_lookahead_cache
   abl_mixed_precision
   abl_randem_params
   pipeline_throughput
@@ -65,6 +66,13 @@ add_test(NAME bench_pipeline_smoke
 # wall. Deterministic (simulated time, cost-only), so smoke == full run.
 add_test(NAME bench_pipelined_smoke
   COMMAND abl_pipelined --smoke --out=${CMAKE_BINARY_DIR}/bench/BENCH_pipelined_smoke.json)
+
+# Lookahead-oracle-cache gate: pipelined FAE with the cache on vs the PR-4
+# overlap baseline. Fails unless the cache cuts the cold steps' effective
+# CPU<->GPU bytes >= 2x, beats the overlap baseline >= 1.15x end to end,
+# and leaves the phase-charge totals bit-identical cache on/off.
+add_test(NAME bench_cache_smoke
+  COMMAND abl_lookahead_cache --smoke --out=${CMAKE_BINARY_DIR}/bench/BENCH_cache_smoke.json)
 
 # Serving gate: drift-free vs drifting traffic, with and without the
 # SLO-triggered recalibration + hot-swap, plus an injected-fault run.

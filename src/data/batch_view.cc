@@ -40,6 +40,23 @@ BatchView MakeBatchView(const FlatDataset& flat, size_t begin, size_t end,
   return view;
 }
 
+void ForEachLookup(const BatchView& view,
+                   const std::function<void(size_t, uint32_t)>& fn) {
+  for (size_t t = 0; t < view.num_tables(); ++t) {
+    for (uint32_t row : view.indices(t)) fn(t, row);
+  }
+}
+
+void ForEachLookup(const FlatDataset& flat, std::span<const uint64_t> ids,
+                   const std::function<void(size_t, uint32_t)>& fn) {
+  const size_t num_tables = flat.schema().num_tables();
+  for (size_t t = 0; t < num_tables; ++t) {
+    for (uint64_t id : ids) {
+      for (uint32_t row : flat.lookups(t, id)) fn(t, row);
+    }
+  }
+}
+
 std::vector<BatchView> MakeBatchViews(const FlatDataset& flat,
                                       size_t batch_size, bool hot) {
   FAE_CHECK_GE(batch_size, 1u);

@@ -2,6 +2,7 @@
 #define FAE_DATA_BATCH_VIEW_H_
 
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <vector>
 
@@ -67,6 +68,19 @@ struct BatchView {
 /// Views samples [begin, end) of `flat` as one batch. Zero copies.
 BatchView MakeBatchView(const FlatDataset& flat, size_t begin, size_t end,
                         bool hot);
+
+/// Row-id extraction for the lookahead oracle: invokes fn(table, row) for
+/// every embedding lookup of a staged batch view, in table-major sample
+/// order — the exact reference sequence the trainer will issue, which is
+/// what makes the oracle window exact rather than predictive.
+void ForEachLookup(const BatchView& view,
+                   const std::function<void(size_t, uint32_t)>& fn);
+
+/// The same scan over samples `ids` of `flat` — the form the oracle uses
+/// to see *past* the staging ring (the window may be deeper than the ring,
+/// so it reads the CSR source directly instead of waiting for a slot).
+void ForEachLookup(const FlatDataset& flat, std::span<const uint64_t> ids,
+                   const std::function<void(size_t, uint32_t)>& fn);
 
 /// Splits `flat` into consecutive batches of `batch_size` (last may be
 /// smaller), all sharing `hot`. Zero copies — the flat-layout replacement

@@ -3,12 +3,13 @@
 #include <algorithm>
 #include <utility>
 
+#include "engine/ring_limits.h"
 #include "util/logging.h"
 
 namespace fae {
 
 BatchPipeline::BatchPipeline(size_t depth) {
-  slots_.resize(std::max<size_t>(1, depth));
+  slots_.resize(ClampRingDepth(depth));
   producer_ = std::thread([this] { ProducerLoop(); });
 }
 

@@ -1,0 +1,353 @@
+#include "engine/lookahead_cache.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "engine/ring_limits.h"
+#include "util/logging.h"
+
+namespace fae {
+
+std::string_view CacheModeName(CacheMode mode) {
+  switch (mode) {
+    case CacheMode::kOff:
+      return "off";
+    case CacheMode::kOracle:
+      return "oracle";
+  }
+  return "unknown";
+}
+
+void LookaheadCache::Init(const std::vector<uint64_t>& table_rows,
+                          const Options& options) {
+  FAE_CHECK_GE(options.budget_rows, 1u);
+  FAE_CHECK_GE(options.lookahead, kMinRingDepth);
+  FAE_CHECK_LE(options.lookahead, kMaxRingDepth);
+  FAE_CHECK_GE(options.row_bytes, 1u);
+  options_ = options;
+
+  const size_t num_tables = table_rows.size();
+  resident_.resize(num_tables);
+  dirty_.resize(num_tables);
+  stale_.resize(num_tables);
+  evict_flag_.resize(num_tables);
+  refs_.resize(num_tables);
+  for (size_t t = 0; t < num_tables; ++t) {
+    const size_t words = (table_rows[t] + 63) / 64;
+    resident_[t].assign(words, 0);
+    dirty_[t].assign(words, 0);
+    stale_[t].assign(words, 0);
+    evict_flag_[t].assign(words, 0);
+    refs_[t].assign(table_rows[t], 0);
+  }
+  resident_count_ = 0;
+  evictable_.clear();
+  evictable_.reserve(options_.budget_rows);
+  window_.resize(options_.lookahead);
+  head_seq_ = tail_seq_ = cursor_seq_ = 0;
+  cursor_idx_ = 0;
+  batch_seen_.Init(table_rows);
+  stats_ = Stats{};
+}
+
+void LookaheadCache::BeginSegment() {
+  // Drain whatever a previous segment left in flight (an abandoned chunk
+  // on a crash unwind): reference counts must return to the quiescent
+  // state before a new oracle window opens. Cache contents persist.
+  while (head_seq_ < tail_seq_) {
+    std::vector<uint64_t>& slot = window_[head_seq_ % window_.size()];
+    for (uint64_t key : slot) {
+      const size_t t = key >> 32;
+      const uint32_t row = static_cast<uint32_t>(key);
+      uint32_t& r = refs_[t][row];
+      FAE_CHECK_GE(r, 1u);
+      --r;
+      if (r == 0 && TestBit(resident_[t], row) &&
+          !TestBit(evict_flag_[t], row)) {
+        SetBit(evict_flag_[t], row);
+        evictable_.push_back(key);
+      }
+    }
+    slot.clear();
+    ++head_seq_;
+  }
+  head_seq_ = tail_seq_ = cursor_seq_ = 0;
+  cursor_idx_ = 0;
+}
+
+void LookaheadCache::PushKey(size_t table, uint32_t row,
+                             std::vector<uint64_t>& slot) {
+  if (IsPinned(table, row)) return;  // the pinned tier serves it
+  slot.push_back(Key(table, row));
+  ++refs_[table][row];
+}
+
+void LookaheadCache::PushBatch(const BatchView& view) {
+  FAE_CHECK_LT(tail_seq_ - head_seq_, window_.size())
+      << "PushBatch past the oracle window (lookahead batches in flight)";
+  std::vector<uint64_t>& slot = window_[tail_seq_ % window_.size()];
+  slot.clear();
+  for (size_t t = 0; t < view.num_tables(); ++t) {
+    for (uint32_t row : view.indices(t)) PushKey(t, row, slot);
+  }
+  ++tail_seq_;
+}
+
+void LookaheadCache::PushBatch(const FlatDataset& flat,
+                               std::span<const uint64_t> ids) {
+  FAE_CHECK_LT(tail_seq_ - head_seq_, window_.size())
+      << "PushBatch past the oracle window (lookahead batches in flight)";
+  std::vector<uint64_t>& slot = window_[tail_seq_ % window_.size()];
+  slot.clear();
+  const size_t num_tables = flat.schema().num_tables();
+  for (size_t t = 0; t < num_tables; ++t) {
+    for (uint64_t id : ids) {
+      for (uint32_t row : flat.lookups(t, id)) PushKey(t, row, slot);
+    }
+  }
+  ++tail_seq_;
+}
+
+bool LookaheadCache::PopEvictable(uint64_t* victim) {
+  while (!evictable_.empty()) {
+    const uint64_t key = evictable_.back();
+    evictable_.pop_back();
+    const size_t t = key >> 32;
+    const uint32_t row = static_cast<uint32_t>(key);
+    ClearBit(evict_flag_[t], row);
+    // Lazy validation: the row may have been re-referenced (a window push
+    // after it was flagged) or dropped since. Only a still-resident row
+    // with no upcoming reference may be evicted — the Belady guarantee.
+    if (TestBit(resident_[t], row) && refs_[t][row] == 0 &&
+        !IsPinned(t, row)) {
+      *victim = key;
+      return true;
+    }
+  }
+  return false;
+}
+
+void LookaheadCache::Evict(uint64_t key, uint64_t* writeback_bytes) {
+  const size_t t = key >> 32;
+  const uint32_t row = static_cast<uint32_t>(key);
+  ClearBit(resident_[t], row);
+  if (TestBit(dirty_[t], row)) {
+    ClearBit(dirty_[t], row);
+    *writeback_bytes += options_.row_bytes;
+    stats_.writeback_bytes += options_.row_bytes;
+  }
+  ClearBit(stale_[t], row);
+  --resident_count_;
+  ++stats_.evictions;
+}
+
+bool LookaheadCache::TryInsert(size_t table, uint32_t row, bool timely,
+                               StepCharge& c) {
+  if (resident_count_ >= options_.budget_rows) {
+    uint64_t victim = 0;
+    if (!PopEvictable(&victim)) return false;  // everything still referenced
+    Evict(victim, &c.writeback_bytes);
+  }
+  SetBit(resident_[table], row);
+  ClearBit(dirty_[table], row);
+  ClearBit(stale_[table], row);
+  ++resident_count_;
+  stats_.peak_resident_rows =
+      std::max<uint64_t>(stats_.peak_resident_rows, resident_count_);
+  (timely ? c.timely_prefetch_bytes : c.late_prefetch_bytes) +=
+      options_.row_bytes;
+  stats_.prefetch_bytes += options_.row_bytes;
+  return true;
+}
+
+LookaheadCache::StepCharge LookaheadCache::OnStep() {
+  FAE_CHECK_LT(head_seq_, tail_seq_) << "OnStep with no batch in the window";
+  StepCharge c;
+  std::vector<uint64_t>& slot = window_[head_seq_ % window_.size()];
+
+  // Late pass over the batch about to train: any row the cursor did not
+  // reach in time (segment starts, budget stalls) is fetched now, paying
+  // serial DMA; resident-but-stale rows refresh the same way. Unique rows
+  // are classified once; repeat occurrences follow their row's class.
+  batch_seen_.Clear();
+  for (uint64_t key : slot) {
+    const size_t t = key >> 32;
+    const uint32_t row = static_cast<uint32_t>(key);
+    if (IsPinned(t, row)) continue;  // a swap re-tiered it mid-window
+    if (!batch_seen_.IsDirty(t, row)) {
+      batch_seen_.Mark(t, row);
+      if (TestBit(resident_[t], row)) {
+        if (TestBit(stale_[t], row)) {
+          ClearBit(stale_[t], row);
+          c.late_prefetch_bytes += options_.row_bytes;
+          ++c.stale_refreshes;
+          ++stats_.stale_refreshes;
+          stats_.prefetch_bytes += options_.row_bytes;
+        }
+        ++c.hit_rows;
+        if (options_.track_dirty) SetBit(dirty_[t], row);
+      } else if (TryInsert(t, row, /*timely=*/false, c)) {
+        ++c.hit_rows;
+        if (options_.track_dirty) SetBit(dirty_[t], row);
+      } else {
+        ++c.miss_rows;
+      }
+    }
+    if (TestBit(resident_[t], row)) {
+      ++c.hit_lookups;
+    } else {
+      ++c.miss_lookups;
+    }
+  }
+
+  // Slide the window: this batch's references are spent. Rows dropping to
+  // zero upcoming references become eviction candidates.
+  for (uint64_t key : slot) {
+    const size_t t = key >> 32;
+    const uint32_t row = static_cast<uint32_t>(key);
+    uint32_t& r = refs_[t][row];
+    FAE_CHECK_GE(r, 1u);
+    --r;
+    if (r == 0 && TestBit(resident_[t], row) &&
+        !TestBit(evict_flag_[t], row)) {
+      SetBit(evict_flag_[t], row);
+      evictable_.push_back(key);
+    }
+  }
+  slot.clear();
+  ++head_seq_;
+
+  // Prefetch cursor: walk the remaining window in training order, at most
+  // once per window entry, fetching missing rows and refreshing stale
+  // ones ahead of their batch (timely — the DMA hides under this step's
+  // compute). A budget stall parks the cursor; it retries next step as
+  // pops free capacity, and anything it never reaches is caught by that
+  // batch's late pass.
+  if (cursor_seq_ < head_seq_) {
+    cursor_seq_ = head_seq_;
+    cursor_idx_ = 0;
+  }
+  while (cursor_seq_ < tail_seq_) {
+    const std::vector<uint64_t>& ahead = window_[cursor_seq_ % window_.size()];
+    while (cursor_idx_ < ahead.size()) {
+      const uint64_t key = ahead[cursor_idx_];
+      const size_t t = key >> 32;
+      const uint32_t row = static_cast<uint32_t>(key);
+      if (IsPinned(t, row)) {
+        ++cursor_idx_;
+        continue;
+      }
+      if (TestBit(resident_[t], row)) {
+        if (TestBit(stale_[t], row)) {
+          ClearBit(stale_[t], row);
+          c.timely_prefetch_bytes += options_.row_bytes;
+          ++c.stale_refreshes;
+          ++stats_.stale_refreshes;
+          stats_.prefetch_bytes += options_.row_bytes;
+        }
+        ++cursor_idx_;
+        continue;
+      }
+      if (!TryInsert(t, row, /*timely=*/true, c)) {
+        stats_.hits += c.hit_lookups;
+        stats_.misses += c.miss_lookups;
+        return c;  // capacity full of still-referenced rows: stall here
+      }
+      ++cursor_idx_;
+    }
+    cursor_idx_ = 0;
+    ++cursor_seq_;
+  }
+
+  stats_.hits += c.hit_lookups;
+  stats_.misses += c.miss_lookups;
+  return c;
+}
+
+template <typename Fn>
+void LookaheadCache::ForEachResident(Fn&& fn) {
+  for (size_t t = 0; t < resident_.size(); ++t) {
+    for (size_t w = 0; w < resident_[t].size(); ++w) {
+      uint64_t word = resident_[t][w];  // snapshot: fn may clear bits
+      while (word != 0) {
+        const int bit = std::countr_zero(word);
+        word &= word - 1;
+        fn(t, static_cast<uint32_t>((w << 6) + bit));
+      }
+    }
+  }
+}
+
+uint64_t LookaheadCache::FlushDirty(const HotSet& hot) {
+  uint64_t bytes = 0;
+  ForEachResident([&](size_t t, uint32_t row) {
+    if (hot.IsHot(t, row) && TestBit(dirty_[t], row)) {
+      ClearBit(dirty_[t], row);
+      bytes += options_.row_bytes;
+    }
+  });
+  stats_.writeback_bytes += bytes;
+  return bytes;
+}
+
+void LookaheadCache::InvalidateHot(const HotSet& hot) {
+  ForEachResident([&](size_t t, uint32_t row) {
+    // Dirty rows keep authority (the preceding FlushDirty already pushed
+    // them; a dirty row here holds updates newer than the master's).
+    if (hot.IsHot(t, row) && !TestBit(dirty_[t], row)) {
+      SetBit(stale_[t], row);
+    }
+  });
+}
+
+uint64_t LookaheadCache::FlushAllDirty() {
+  uint64_t bytes = 0;
+  ForEachResident([&](size_t t, uint32_t row) {
+    if (TestBit(dirty_[t], row)) {
+      ClearBit(dirty_[t], row);
+      bytes += options_.row_bytes;
+    }
+  });
+  stats_.writeback_bytes += bytes;
+  return bytes;
+}
+
+uint64_t LookaheadCache::RefreshUpdated(const FlatDataset& flat,
+                                        std::span<const uint64_t> ids) {
+  uint64_t bytes = 0;
+  batch_seen_.Clear();
+  const size_t num_tables = flat.schema().num_tables();
+  for (size_t t = 0; t < num_tables; ++t) {
+    for (uint64_t id : ids) {
+      for (uint32_t row : flat.lookups(t, id)) {
+        if (IsPinned(t, row)) continue;  // the hot slice refreshes via sync
+        if (batch_seen_.IsDirty(t, row)) continue;
+        batch_seen_.Mark(t, row);
+        if (!TestBit(resident_[t], row)) continue;
+        bytes += options_.row_bytes;
+        ++stats_.stale_refreshes;
+        stats_.prefetch_bytes += options_.row_bytes;
+      }
+    }
+  }
+  return bytes;
+}
+
+uint64_t LookaheadCache::DropPinned(const HotSet& pinned) {
+  uint64_t bytes = 0;
+  ForEachResident([&](size_t t, uint32_t row) {
+    if (!pinned.IsHot(t, row)) return;
+    if (TestBit(dirty_[t], row)) {
+      ClearBit(dirty_[t], row);
+      bytes += options_.row_bytes;
+    }
+    ClearBit(resident_[t], row);
+    ClearBit(stale_[t], row);
+    --resident_count_;
+    ++stats_.evictions;
+  });
+  stats_.writeback_bytes += bytes;
+  return bytes;
+}
+
+}  // namespace fae

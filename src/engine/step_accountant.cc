@@ -6,6 +6,11 @@
 
 namespace fae {
 
+/// Gathers through a GPU-side cache index (hash/indirection) run ~1.5x a
+/// direct gather. Shared by the transparent-cache baseline and the
+/// lookahead oracle cache so the two models stay comparable.
+constexpr double kCacheIndirection = 1.5;
+
 StepAccountant::BaselineParts StepAccountant::ChargeBaselineParts(
     const BatchWork& w, Timeline& tl) const {
   BaselineParts parts;
@@ -302,8 +307,7 @@ void StepAccountant::ChargeCacheStep(const BatchWork& w,
   const uint64_t shard = w.batch_size / g;
 
   // Cache hits: local HBM gathers on each GPU's shard, through the cache
-  // index (hash/indirection makes cached gathers ~1.5x a direct gather).
-  constexpr double kCacheIndirection = 1.5;
+  // index (see kCacheIndirection above).
   tl.ChargeGpu(Phase::kEmbeddingForward,
                kCacheIndirection *
                    cost_->GatherSeconds(hit_lookup_bytes / g, sys.gpu));
@@ -350,6 +354,107 @@ void StepAccountant::ChargeCacheStep(const BatchWork& w,
   tl.ChargeGpu(
       Phase::kOptimizerDense,
       cost_->StreamSeconds(3 * w.dense_param_count * sizeof(float), sys.gpu));
+}
+
+StepAccountant::OracleCacheParts StepAccountant::ChargeOracleCacheStep(
+    const BatchWork& w, const OracleCacheTraffic& t, Timeline& tl) const {
+  OracleCacheParts parts;
+  const SystemSpec& sys = cost_->system();
+  const int g = std::max(1, sys.num_gpus);
+  const int nodes = std::max(1, sys.num_nodes);
+  const int world = g * nodes;
+  const uint64_t shard = w.batch_size / world;
+
+  // Hit lookups: HBM gathers through the cache index, sharded over GPUs.
+  const double hit_fwd =
+      kCacheIndirection *
+      cost_->GatherSeconds(t.hit_lookup_bytes / world, sys.gpu);
+  tl.ChargeGpu(Phase::kEmbeddingForward, hit_fwd);
+  parts.gpu += hit_fwd;
+
+  // Miss lookups follow the plain hybrid path: CPU gathers, pooled
+  // activations over PCIe both ways scaled by the miss share of the
+  // batch's lookup traffic, CPU scatter + sparse optimizer on the way
+  // back. With a hit rate of 1 this whole block (the baseline's critical
+  // path) vanishes — that is the cache's entire win.
+  const uint64_t lookup_total = t.hit_lookup_bytes + t.miss_lookup_bytes;
+  if (t.miss_lookup_bytes > 0) {
+    const uint64_t miss_activation_bytes =
+        w.embedding_activation_bytes * t.miss_lookup_bytes / lookup_total;
+    const double miss_fwd =
+        cost_->GatherSeconds(t.miss_lookup_bytes / nodes, sys.cpu);
+    tl.ChargeCpu(Phase::kEmbeddingForward, miss_fwd);
+    const double xfer =
+        cost_->PcieTransferSeconds(miss_activation_bytes / world);
+    tl.Charge(Phase::kCpuGpuTransfer, xfer);
+    tl.Charge(Phase::kCpuGpuTransfer, xfer);
+    tl.AddPcieBytes(2 * miss_activation_bytes);
+    parts.serial += 2 * xfer;
+    parts.transfer_bytes += 2 * miss_activation_bytes;
+    const double miss_bwd =
+        cost_->GatherSeconds(t.miss_lookup_bytes / nodes, sys.cpu);
+    tl.ChargeCpu(Phase::kEmbeddingBackward, miss_bwd);
+    const double miss_opt =
+        sys.cpu.sparse_update_overhead *
+        cost_->GatherSeconds(3 * t.miss_touched_bytes / nodes, sys.cpu);
+    tl.ChargeCpu(Phase::kOptimizerSparse, miss_opt);
+    parts.cpu += miss_fwd + miss_bwd + miss_opt;
+  }
+
+  // Dense network: identical to every other placement.
+  const double mlp_fwd =
+      cost_->DenseComputeSeconds(w.forward_flops / world, shard, sys.gpu);
+  tl.ChargeGpu(Phase::kMlpForward, mlp_fwd);
+  const double mlp_bwd = cost_->DenseComputeSeconds(
+      2 * w.forward_flops / world, shard, sys.gpu);
+  tl.ChargeGpu(Phase::kMlpBackward, mlp_bwd);
+  parts.gpu += mlp_fwd + mlp_bwd;
+
+  // Hit rows: scatter + sparse optimizer on the GPUs; their gradients ride
+  // the dense all-reduce over NVLink (as in the FAE hot path).
+  const double hit_bwd =
+      kCacheIndirection *
+      cost_->GatherSeconds(t.hit_lookup_bytes / world, sys.gpu);
+  tl.ChargeGpu(Phase::kEmbeddingBackward, hit_bwd);
+  const double hit_opt =
+      sys.gpu.sparse_update_overhead *
+      cost_->GatherSeconds(3 * t.hit_touched_bytes, sys.gpu);
+  tl.ChargeGpu(Phase::kOptimizerSparse, hit_opt);
+  parts.gpu += hit_bwd + hit_opt;
+
+  const uint64_t grad_bytes =
+      w.dense_param_count * sizeof(float) + t.hit_touched_bytes;
+  const double allreduce = cost_->AllReduceSeconds(grad_bytes);
+  tl.Charge(Phase::kAllReduce, allreduce);
+  parts.serial += allreduce;
+  if (g > 1) tl.AddNvlinkBytes(2 * (g - 1) * grad_bytes / g * g);
+  if (nodes > 1) tl.AddNetworkBytes(2 * (nodes - 1) * grad_bytes / nodes);
+  const double dense_opt = cost_->StreamSeconds(
+      3 * w.dense_param_count * sizeof(float), sys.gpu);
+  tl.ChargeGpu(Phase::kOptimizerDense, dense_opt);
+  parts.gpu += dense_opt;
+
+  // Cache DMA, each GPU's shard over its own PCIe link in parallel. Late
+  // fetches and writebacks sit on the critical path (the batch waits);
+  // timely prefetch targets otherwise-idle PCIe and is returned in its own
+  // lane so the caller only pays what compute cannot hide.
+  if (t.late_prefetch_bytes + t.writeback_bytes > 0) {
+    const double sync = cost_->PcieTransferSeconds(
+        (t.late_prefetch_bytes + t.writeback_bytes) / world);
+    tl.Charge(Phase::kEmbeddingSync, sync);
+    tl.AddPcieBytes(t.late_prefetch_bytes + t.writeback_bytes);
+    parts.serial += sync;
+    parts.transfer_bytes += t.late_prefetch_bytes + t.writeback_bytes;
+  }
+  if (t.timely_prefetch_bytes > 0) {
+    const double dma =
+        cost_->PcieTransferSeconds(t.timely_prefetch_bytes / world);
+    tl.Charge(Phase::kEmbeddingSync, dma);
+    tl.AddPcieBytes(t.timely_prefetch_bytes);
+    parts.timely_dma = dma;
+    parts.transfer_bytes += t.timely_prefetch_bytes;
+  }
+  return parts;
 }
 
 }  // namespace fae

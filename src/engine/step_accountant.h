@@ -98,6 +98,57 @@ class StepAccountant {
                        uint64_t miss_lookup_bytes,
                        uint64_t miss_touched_bytes, Timeline& tl) const;
 
+  /// One cold step's byte traffic under the lookahead oracle cache
+  /// (engine/lookahead_cache.h), derived by the trainer from the cache's
+  /// StepCharge: lookup/touched bytes split by residency, plus the cache's
+  /// own DMA. Stale-refresh bytes ride inside the prefetch fields.
+  struct OracleCacheTraffic {
+    uint64_t hit_lookup_bytes = 0;
+    uint64_t miss_lookup_bytes = 0;
+    uint64_t miss_touched_bytes = 0;
+    uint64_t hit_touched_bytes = 0;
+    uint64_t timely_prefetch_bytes = 0;  // shipped >= 1 step ahead
+    uint64_t late_prefetch_bytes = 0;    // fetched at the step itself
+    uint64_t writeback_bytes = 0;        // dirty evictions
+  };
+
+  /// Lane split of an oracle-cached cold step. Unlike BaselineParts,
+  /// timely prefetch DMA is its own lane: it targets idle PCIe while both
+  /// devices compute, so the wall only sees whatever part of it compute
+  /// cannot cover.
+  struct OracleCacheParts {
+    double cpu = 0.0;     // miss-path embedding work
+    double gpu = 0.0;     // hit-path embedding work + dense network
+    double serial = 0.0;  // activation/late/writeback DMA + all-reduce
+    double timely_dma = 0.0;
+    /// Effective CPU<->GPU bytes this step (miss activations + cache DMA)
+    /// — the bench's transfer-reduction gate compares this against the
+    /// plain step's 2x pooled-activation round trip.
+    uint64_t transfer_bytes = 0;
+    double Total() const { return cpu + gpu + serial + timely_dma; }
+    /// Modeled wall: compute lanes (overlapped or not, matching the plain
+    /// step it replaces), plus serial DMA, plus timely DMA not hidden
+    /// under compute.
+    double EffectiveSeconds(bool overlap_lanes) const {
+      const double compute =
+          overlap_lanes ? std::max(cpu, gpu) : cpu + gpu;
+      const double unhidden =
+          timely_dma > compute ? timely_dma - compute : 0.0;
+      return compute + serial + unhidden;
+    }
+  };
+
+  /// Oracle-cached cold step (lookahead cache resident rows on the GPUs,
+  /// sharded like model-parallel tables; peer reads fold into the cache
+  /// indirection factor). Misses fall back to the plain hybrid path with
+  /// activation traffic scaled by the miss share. The trainer charges this
+  /// into a *scratch* timeline and prices it against the plain step —
+  /// the real timeline's phase charges never change with the cache, which
+  /// is what keeps checkpoints byte-identical cache on/off.
+  OracleCacheParts ChargeOracleCacheStep(const BatchWork& w,
+                                         const OracleCacheTraffic& t,
+                                         Timeline& tl) const;
+
   const CostModel& cost_model() const { return *cost_; }
 
  private:

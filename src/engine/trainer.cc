@@ -11,6 +11,7 @@
 #include "core/input_processor.h"
 #include "core/shuffle_scheduler.h"
 #include "engine/dirty_rows.h"
+#include "engine/ring_limits.h"
 #include "sim/partition.h"
 #include "util/logging.h"
 #include "util/random.h"
@@ -46,6 +47,96 @@ StepExecutor::Options ExecOptions(const TrainOptions& options) {
   exec.eval_batch = options.eval_batch;
   return exec;
 }
+
+/// The oracle cache's demands on the run configuration, shared by the
+/// baseline and FAE paths (and mirrored by the CLI's early rejection).
+Status ValidateCacheOptions(const TrainOptions& options) {
+  if (options.cache == CacheMode::kOff) return Status::OK();
+  if (options.pipeline == PipelineMode::kOff) {
+    return Status::InvalidArgument(
+        "--cache=oracle requires a pipelined run (--pipeline=prefetch or "
+        "overlap): the oracle window is the batch pipeline's forward "
+        "visibility into staged batches");
+  }
+  if (options.cache_budget_rows < 1) {
+    return Status::InvalidArgument(
+        "--cache-budget-rows must be at least 1");
+  }
+  if (options.cache_lookahead < kMinRingDepth ||
+      options.cache_lookahead > kMaxRingDepth) {
+    return Status::InvalidArgument(StrFormat(
+        "--cache-lookahead must be in [%zu, %zu]", kMinRingDepth,
+        kMaxRingDepth));
+  }
+  return Status::OK();
+}
+
+/// Drives a LookaheadCache as a cost-model overlay: prices each cold step
+/// under the cache against the plain hybrid step (both through the real
+/// StepAccountant, the cached variant into a scratch timeline) and credits
+/// the difference via Timeline::AddCacheSavedSeconds. The real timeline's
+/// phase charges never change — that is the bit-identical contract.
+struct OracleCacheRig {
+  LookaheadCache cache;
+  const StepAccountant* accountant = nullptr;
+  /// Whether the plain step the cache replaces runs its CPU/GPU lanes
+  /// overlapped (--pipeline=overlap) or serially (prefetch).
+  bool overlap_lanes = false;
+  /// Positive per-step savings accumulated in the current schedule chunk;
+  /// the FAE kOverlap pairing logic subtracts this from a cold chunk's
+  /// unhidden span so the same seconds are never credited twice.
+  double chunk_saved = 0.0;
+
+  double PriceStep(const BatchWork& w,
+                   const StepAccountant::BaselineParts& plain,
+                   const LookaheadCache::StepCharge& sc, Timeline& tl) {
+    StepAccountant::OracleCacheTraffic t;
+    const uint64_t lookups = sc.hit_lookups + sc.miss_lookups;
+    if (lookups > 0) {
+      t.hit_lookup_bytes =
+          w.embedding_read_bytes * sc.hit_lookups / lookups;
+      t.miss_lookup_bytes = w.embedding_read_bytes - t.hit_lookup_bytes;
+    }
+    const uint64_t rows = sc.hit_rows + sc.miss_rows;
+    if (rows > 0) {
+      t.hit_touched_bytes = w.touched_bytes * sc.hit_rows / rows;
+      t.miss_touched_bytes = w.touched_bytes - t.hit_touched_bytes;
+    }
+    t.timely_prefetch_bytes = sc.timely_prefetch_bytes;
+    t.late_prefetch_bytes = sc.late_prefetch_bytes;
+    t.writeback_bytes = sc.writeback_bytes;
+    Timeline scratch;
+    const StepAccountant::OracleCacheParts parts =
+        accountant->ChargeOracleCacheStep(w, t, scratch);
+    const double plain_eff =
+        overlap_lanes ? plain.Overlapped() : plain.Total();
+    const double saved = plain_eff - parts.EffectiveSeconds(overlap_lanes);
+    tl.AddCacheSavedSeconds(saved);
+    if (saved > 0.0) chunk_saved += saved;
+    Timeline::CacheCounters& cc = tl.cache_counters();
+    cc.hits += sc.hit_lookups;
+    cc.misses += sc.miss_lookups;
+    cc.stale_refreshes += sc.stale_refreshes;
+    cc.prefetch_bytes += sc.timely_prefetch_bytes + sc.late_prefetch_bytes;
+    cc.writeback_bytes += sc.writeback_bytes;
+    cc.plain_transfer_bytes += 2 * w.embedding_activation_bytes;
+    cc.effective_transfer_bytes += parts.transfer_bytes;
+    return saved;
+  }
+
+  /// Boundary writebacks (hot-chunk entry flush, end-of-run drain): real
+  /// DMA the plain run never pays, priced through the same sync path the
+  /// trainer charges and debited from the savings.
+  void ChargeWriteback(uint64_t bytes, Timeline& tl) {
+    if (bytes == 0) return;
+    Timeline scratch;
+    accountant->ChargeSyncToCpu(bytes, scratch);
+    tl.AddCacheSavedSeconds(-scratch.PhaseSumSeconds());
+    Timeline::CacheCounters& cc = tl.cache_counters();
+    cc.writeback_bytes += bytes;
+    cc.effective_transfer_bytes += bytes;
+  }
+};
 
 }  // namespace
 
@@ -96,7 +187,11 @@ uint64_t Trainer::OptionsFingerprint() const {
   // pipeline_depth are absent for the same reason — every pipeline mode
   // produces identical math, phase charges, and checkpoint bytes (the
   // overlap savings live outside Timeline::State), so a run may resume
-  // under a different pipeline configuration.
+  // under a different pipeline configuration. The cache knobs (cache,
+  // cache_budget_rows, cache_lookahead) are absent on the same contract:
+  // the oracle cache is a cost-model overlay whose savings and counters
+  // also live outside Timeline::State, so a resume may turn it on, off,
+  // or resize it freely.
   return h;
 }
 
@@ -185,6 +280,20 @@ void Trainer::FinishReport(TrainReport& report,
   report.prep_seconds = report.timeline.seconds(Phase::kInputPrep);
   report.overlap_saved_seconds = report.timeline.overlap_saved_seconds();
   report.overlap_fraction = report.timeline.OverlapFraction();
+  report.cache_saved_seconds = report.timeline.cache_saved_seconds();
+  const Timeline::CacheCounters& cc = report.timeline.cache_counters();
+  report.cache_hits = cc.hits;
+  report.cache_misses = cc.misses;
+  report.cache_hit_rate =
+      cc.hits + cc.misses > 0
+          ? static_cast<double>(cc.hits) /
+                static_cast<double>(cc.hits + cc.misses)
+          : 0.0;
+  report.cache_stale_refreshes = cc.stale_refreshes;
+  report.cache_prefetch_bytes = cc.prefetch_bytes;
+  report.cache_writeback_bytes = cc.writeback_bytes;
+  report.cache_plain_transfer_bytes = cc.plain_transfer_bytes;
+  report.cache_effective_transfer_bytes = cc.effective_transfer_bytes;
   report.avg_gpu_watts = cost_.AverageGpuWatts(
       report.modeled_seconds, report.timeline.gpu_busy_seconds(),
       report.timeline.seconds(Phase::kCpuGpuTransfer) +
@@ -213,10 +322,12 @@ StatusOr<TrainReport> Trainer::TrainBaselineResumable(
         "--pipeline and the legacy pipelined_baseline cost model are "
         "mutually exclusive (both model overlapped execution)");
   }
+  FAE_RETURN_IF_ERROR(ValidateCacheOptions(options_));
   exec_.MaybeQuantizeTables();
   TrainReport report;
   report.mode = TrainMode::kBaseline;
   const bool pipelined = options_.pipeline != PipelineMode::kOff;
+  const bool cache_on = options_.cache == CacheMode::kOracle;
 
   std::vector<uint64_t> ids = split.train;
   Xoshiro256 rng(options_.seed);
@@ -349,6 +460,31 @@ StatusOr<TrainReport> Trainer::TrainBaselineResumable(
   }
   OverlapTracker tracker(options_.pipeline, options_.pipeline_depth,
                          &report.timeline);
+  OracleCacheRig rig;
+  if (cache_on) {
+    LookaheadCache::Options copt;
+    copt.budget_rows = options_.cache_budget_rows;
+    copt.lookahead = options_.cache_lookahead;
+    // Same per-row payload the FAE sync machinery ships: the embedding
+    // vector plus the optimizer's row index word.
+    copt.row_bytes =
+        dataset.schema().embedding_dim * sizeof(float) + sizeof(uint32_t);
+    rig.cache.Init(dataset.schema().table_rows, copt);
+    rig.accountant = &accountant_;
+    rig.overlap_lanes = options_.pipeline == PipelineMode::kOverlap;
+  }
+  // The batch descriptors double as the cache's oracle feed: at a segment
+  // start the first `cache_lookahead` batches enter the window, and each
+  // step hands the next one over as it retires — the window stays exactly
+  // as far ahead as the configured lookahead permits.
+  auto cache_push = [&](size_t b) {
+    rig.cache.PushBatch(dataset.flat(), descs[b].ids);
+  };
+  auto cache_drain = [&] {
+    if (cache_on) {
+      rig.ChargeWriteback(rig.cache.FlushAllDirty(), report.timeline);
+    }
+  };
 
   for (size_t epoch = start_epoch; epoch < options_.epochs; ++epoch) {
     // Reshuffle batch order each epoch (already replayed for the epoch a
@@ -367,11 +503,18 @@ StatusOr<TrainReport> Trainer::TrainBaselineResumable(
       prefetcher->Begin(std::move(specs));
     }
     tracker.BeginSegment();
+    if (cache_on) {
+      rig.cache.BeginSegment();
+      const size_t ahead =
+          std::min(num_batches, first + options_.cache_lookahead);
+      for (size_t b = first; b < ahead; ++b) cache_push(b);
+    }
     for (size_t b = first; b < num_batches; ++b) {
       FAE_ASSIGN_OR_RETURN(const bool crashed,
                            DrainFaults(iteration, report, nullptr));
       if (crashed) {
         // ~BatchPipeline cancels the abandoned segment.
+        cache_drain();
         FinishReport(report, eval_set.views, metric);
         return report;
       }
@@ -401,6 +544,12 @@ StatusOr<TrainReport> Trainer::TrainBaselineResumable(
         const StepAccountant::BaselineParts parts =
             accountant_.ChargeBaselineStepParts(*work, report.timeline);
         tracker.OnStep(prep, parts.Total(), parts.Overlapped());
+        if (cache_on) {
+          const LookaheadCache::StepCharge sc = rig.cache.OnStep();
+          rig.PriceStep(*work, parts, sc, report.timeline);
+          const size_t ahead = b + options_.cache_lookahead;
+          if (ahead < num_batches) cache_push(ahead);
+        }
       }
       if (options_.run_math) exec_.MathStep(*view, tables, metric, window);
       if (pipelined) prefetcher->Release();
@@ -419,6 +568,7 @@ StatusOr<TrainReport> Trainer::TrainBaselineResumable(
       }
     }
   }
+  cache_drain();
   FinishReport(report, eval_set.views, metric);
   return report;
 }
@@ -444,6 +594,7 @@ StatusOr<TrainReport> Trainer::TrainFaeWithPlan(const Dataset& dataset,
         "--pipeline and the legacy pipelined_baseline cost model are "
         "mutually exclusive (both model overlapped execution)");
   }
+  FAE_RETURN_IF_ERROR(ValidateCacheOptions(options_));
   exec_.MaybeQuantizeTables();
   TrainReport report;
   report.mode = TrainMode::kFae;
@@ -556,6 +707,31 @@ StatusOr<TrainReport> Trainer::TrainFaeWithPlan(const Dataset& dataset,
   }
   bool replica_initialized = false;
 
+  // The oracle cache accelerates FAE's cold chunks (hot chunks already run
+  // entirely on the GPUs). It may cache hot rows too — cold batches touch
+  // them — so the chunk boundaries keep it coherent: dirty cached hot rows
+  // flush to the master before a hot chunk's pull sync, and a hot chunk's
+  // push sync marks cached copies stale on the way out.
+  const bool cache_on = options_.cache == CacheMode::kOracle;
+  OracleCacheRig rig;
+  if (cache_on) {
+    LookaheadCache::Options copt;
+    copt.budget_rows = options_.cache_budget_rows;
+    copt.lookahead = options_.cache_lookahead;
+    copt.row_bytes = row_bytes;
+    rig.cache.Init(dataset.schema().table_rows, copt);
+    rig.accountant = &accountant_;
+    rig.overlap_lanes = options_.pipeline == PipelineMode::kOverlap;
+  }
+  auto cold_cache_push = [&](size_t i) {
+    const size_t begin = i * GlobalBatchSize();
+    const size_t count =
+        std::min(GlobalBatchSize(), packed.cold.size() - begin);
+    rig.cache.PushBatch(
+        packed.cold,
+        std::span<const uint64_t>(stage_ids).subspan(begin, count));
+  };
+
   const CheckpointOptions& ckpt = options_.checkpoint;
   const uint64_t dataset_fp = FaeFormat::Fingerprint(dataset);
   const uint64_t options_fp = OptionsFingerprint();
@@ -655,6 +831,9 @@ StatusOr<TrainReport> Trainer::TrainFaeWithPlan(const Dataset& dataset,
   };
 
   auto finalize = [&] {
+    if (cache_on) {
+      rig.ChargeWriteback(rig.cache.FlushAllDirty(), report.timeline);
+    }
     report.transitions = scheduler.transitions();
     report.final_rate = scheduler.rate();
     FinishReport(report, eval_set.views, metric);
@@ -680,11 +859,19 @@ StatusOr<TrainReport> Trainer::TrainFaeWithPlan(const Dataset& dataset,
         prefetcher->Begin(std::move(specs));
       }
       tracker.BeginSegment();
+      rig.chunk_saved = 0.0;
       // The chunk window spans everything charged for this chunk —
       // including the hot-slice syncs — so kOverlap can pair a cold
       // chunk's CPU time against the next hot chunk's GPU+DMA time.
       if (tracker.mode() == PipelineMode::kOverlap) tracker.MarkChunkStart();
       if (chunk->hot) {
+        // Cold->hot boundary: dirty cached hot rows reach the master
+        // *before* the replicas pull, so the pull sees every cold-chunk
+        // update — the same coherence order the dirty-sync path enforces.
+        if (cache_on) {
+          rig.ChargeWriteback(rig.cache.FlushDirty(p.hot_set),
+                              report.timeline);
+        }
         // Hot phase: replicas pull the latest rows (cold batches may have
         // updated hot entries on the CPU master). The very first hot
         // phase replicates the whole slice regardless of strategy.
@@ -791,7 +978,17 @@ StatusOr<TrainReport> Trainer::TrainFaeWithPlan(const Dataset& dataset,
           }
           replica_dirty.Clear();
         }
+        // Hot->cold boundary: the push-to-masters just made every cached
+        // copy of a hot row stale; the next cold reference refetches it.
+        if (cache_on) rig.cache.InvalidateHot(p.hot_set);
       } else {
+        if (cache_on) {
+          rig.cache.BeginSegment();
+          const size_t ahead = std::min<size_t>(
+              chunk->begin + chunk->count,
+              chunk->begin + options_.cache_lookahead);
+          for (size_t i = chunk->begin; i < ahead; ++i) cold_cache_push(i);
+        }
         for (size_t i = chunk->begin; i < chunk->begin + chunk->count; ++i) {
           FAE_ASSIGN_OR_RETURN(
               const bool crashed,
@@ -816,6 +1013,13 @@ StatusOr<TrainReport> Trainer::TrainFaeWithPlan(const Dataset& dataset,
                 accountant_.ChargeBaselineStepParts(cold_batches[i].work,
                                                     report.timeline);
             tracker.OnStep(prep, parts.Total(), parts.Overlapped());
+            if (cache_on) {
+              const LookaheadCache::StepCharge sc = rig.cache.OnStep();
+              rig.PriceStep(cold_batches[i].work, parts, sc,
+                            report.timeline);
+              const size_t ahead = i + options_.cache_lookahead;
+              if (ahead < chunk->begin + chunk->count) cold_cache_push(ahead);
+            }
           }
           if (options_.run_math) {
             exec_.MathStep(*math_view, master_tables, metric, window);
@@ -845,7 +1049,10 @@ StatusOr<TrainReport> Trainer::TrainFaeWithPlan(const Dataset& dataset,
           if (hid > 0.0) report.timeline.AddOverlapSavedSeconds(hid);
           pending_cold_unhidden = 0.0;
         } else {
-          pending_cold_unhidden = unhidden;
+          // Seconds the cache already removed from this chunk no longer
+          // exist to hide under the next hot chunk — banking them too
+          // would credit the same time twice.
+          pending_cold_unhidden = std::max(0.0, unhidden - rig.chunk_saved);
         }
       }
       if (options_.run_math) {

@@ -11,6 +11,7 @@
 #include "data/batch_view.h"
 #include "data/dataset.h"
 #include "engine/checkpoint.h"
+#include "engine/lookahead_cache.h"
 #include "engine/metrics.h"
 #include "engine/step_accountant.h"
 #include "engine/step_executor.h"
@@ -98,6 +99,18 @@ struct TrainOptions {
   /// background producer but allows no lookahead (no prep is hidden);
   /// depth 2 is classic double buffering. Also fingerprint-exempt.
   size_t pipeline_depth = 2;
+  /// Lookahead oracle embedding cache fused into the batch pipeline
+  /// (engine/lookahead_cache.h). Requires pipeline != kOff: the oracle
+  /// window is the staging pipeline's forward visibility into upcoming
+  /// batches. Pure cost-model overlay — losses, tables, and checkpoint
+  /// bytes are bit-identical cache on/off, so all three knobs are
+  /// fingerprint-exempt like the pipeline's.
+  CacheMode cache = CacheMode::kOff;
+  /// Hard cache capacity in embedding rows (>= 1), across all tables.
+  size_t cache_budget_rows = 4096;
+  /// Oracle window depth in batches; bounds shared with the staging ring
+  /// (engine/ring_limits.h). 1 = no lead time (every first fetch is late).
+  size_t cache_lookahead = 8;
 };
 
 /// Everything a training run reports: the modeled timeline, the measured
@@ -123,6 +136,21 @@ struct TrainReport {
   /// modeled_seconds is higher than the uninterrupted run's.
   double overlap_saved_seconds = 0.0;
   double overlap_fraction = 0.0;
+  /// Lookahead-oracle-cache results (TrainOptions::cache; all zero when
+  /// off). Net seconds the cache removed from the modeled wall — may be
+  /// negative for a pathological budget (writeback-dominated). Like the
+  /// overlap savings, none of this is checkpointed.
+  double cache_saved_seconds = 0.0;
+  double cache_hit_rate = 0.0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_stale_refreshes = 0;
+  uint64_t cache_prefetch_bytes = 0;
+  uint64_t cache_writeback_bytes = 0;
+  /// Cold-step CPU<->GPU transfer, plain vs effective under the cache
+  /// (the bench's transfer-reduction gate).
+  uint64_t cache_plain_transfer_bytes = 0;
+  uint64_t cache_effective_transfer_bytes = 0;
   double avg_gpu_watts = 0.0;
   size_t num_batches = 0;
 

@@ -26,6 +26,21 @@ std::span<const uint64_t> RequestStream::Next() {
   return batch_ids_;
 }
 
+std::span<const uint64_t> RequestStream::Peek(size_t ahead) {
+  const uint64_t n = dataset_->size();
+  uint64_t cur = cursor_;
+  // Mirror Next's advance (batches never straddle the wrap) without
+  // serving anything.
+  for (size_t i = 0; i < ahead; ++i) {
+    cur += std::min<uint64_t>(batch_size_, n - cur);
+    if (cur >= n) cur = 0;
+  }
+  const uint64_t count = std::min<uint64_t>(batch_size_, n - cur);
+  peek_ids_.resize(count);
+  for (uint64_t i = 0; i < count; ++i) peek_ids_[i] = cur + i;
+  return peek_ids_;
+}
+
 std::vector<uint64_t> RequestStream::RecentWindow(size_t count) const {
   const uint64_t n = dataset_->size();
   const uint64_t cap = std::min<uint64_t>({count, served_, n});

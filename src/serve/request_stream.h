@@ -26,6 +26,13 @@ class RequestStream {
   /// wrap, so every id window is a contiguous time range.
   std::span<const uint64_t> Next();
 
+  /// Sample ids of the batch `ahead` calls of Next() in the future —
+  /// Peek(0) is exactly what the next Next() will return (valid until the
+  /// next Peek). Replay is sequential, so this is pure cursor arithmetic
+  /// with wrap and serves nothing: the oracle visibility the lookahead
+  /// embedding cache feeds on.
+  std::span<const uint64_t> Peek(size_t ahead);
+
   /// The most recent `count` served sample ids, oldest first — the sliding
   /// window the recalibration pipeline re-samples. Capped at what has been
   /// served (and at one dataset length after a wrap). Because replay is
@@ -46,6 +53,7 @@ class RequestStream {
   uint64_t served_ = 0;
   uint64_t batches_ = 0;
   std::vector<uint64_t> batch_ids_;
+  std::vector<uint64_t> peek_ids_;
 };
 
 }  // namespace fae

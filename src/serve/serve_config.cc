@@ -4,6 +4,7 @@
 #include <limits>
 #include <set>
 
+#include "engine/ring_limits.h"
 #include "util/string_util.h"
 
 namespace fae {
@@ -76,6 +77,15 @@ Status ServeOptions::Validate() const {
   }
   if (num_threads == 0) {
     return Status::InvalidArgument("serve config: num_threads must be >= 1");
+  }
+  if (cache == CacheMode::kOracle) {
+    if (cache_budget_rows == 0) {
+      return Status::InvalidArgument(
+          "serve config: cache_budget_rows must be >= 1");
+    }
+    const StatusOr<size_t> depth = ValidateRingDepth(
+        static_cast<long long>(cache_lookahead), "cache_lookahead");
+    if (!depth.ok()) return depth.status();
   }
   return Status::OK();
 }

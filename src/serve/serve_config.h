@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <string>
 
+#include "engine/lookahead_cache.h"
 #include "sim/fault_injector.h"
 #include "util/statusor.h"
 
@@ -68,6 +69,15 @@ struct ServeOptions {
   /// Optional fault schedule (sim/fault_injector.h); not owned. Steps are
   /// serving-batch indices.
   FaultInjector* fault_injector = nullptr;
+
+  // --- Lookahead oracle cache (runtime wiring, not serialized) ------------
+  /// Oracle cache for *cold* lookups: the hot slice is the pinned tier and
+  /// the cache prefetches upcoming cold rows by peeking the request
+  /// stream. Like swap_path, a deployment decision rather than a workload
+  /// parameter, so it stays out of the serialized form.
+  CacheMode cache = CacheMode::kOff;
+  size_t cache_budget_rows = 4096;
+  size_t cache_lookahead = 8;
 
   /// Range-checks every field (batch_size >= 1, rates in (0, 1], positive
   /// deadlines, ...). Parse calls this; the CLI calls it on flag-built

@@ -9,6 +9,7 @@
 
 #include "core/fae_format.h"
 #include "data/batch_view.h"
+#include "engine/lookahead_cache.h"
 #include "serve/request_stream.h"
 #include "util/logging.h"
 
@@ -21,6 +22,11 @@ namespace {
 /// batch trainer, serving has no "fail the run" escalation.
 constexpr uint32_t kMaxServeRetries = 5;
 constexpr double kServeRetryBackoffSeconds = 0.001;
+
+/// Oracle-cache hits read a replica sharded across the GPUs; the peer-link
+/// hop folds into one indirection factor, matching the trainer's cache
+/// steps (engine/step_accountant.cc).
+constexpr double kCacheIndirection = 1.5;
 
 StepExecutor::Options ExecOptions(const ServeOptions& options) {
   StepExecutor::Options exec;
@@ -87,6 +93,41 @@ StatusOr<ServeReport> ServingLoop::Serve(const Dataset& dataset,
   const double miss_gather = cost_.GatherSeconds(row_bytes, system_.cpu);
   const double miss_pcie = cost_.PcieTransferSeconds(row_bytes);
   const double miss_seconds = miss_gather + miss_pcie;
+
+  // Lookahead oracle cache over the *cold* traffic, with the hot slice as
+  // the pinned tier (engine/lookahead_cache.h). The request stream replays
+  // deterministically, so peeking `cache_lookahead` batches ahead gives
+  // the cache the same exact-future visibility the trainer's staging ring
+  // does. Unlike training there is no checkpoint-identity constraint, so
+  // cache traffic is charged into the timeline directly.
+  const bool cache_on = options_.cache == CacheMode::kOracle;
+  const double cache_hit_seconds = kCacheIndirection * hit_seconds;
+  LookaheadCache cache;
+  double cache_saved = 0.0;
+  if (cache_on) {
+    LookaheadCache::Options copt;
+    copt.budget_rows = options_.cache_budget_rows;
+    copt.lookahead = options_.cache_lookahead;
+    copt.row_bytes = row_bytes;
+    copt.track_dirty = false;  // read-only replica of the CPU master
+    cache.Init(dataset.schema().table_rows, copt);
+    cache.SetPinned(&active);
+    cache.BeginSegment();
+    for (size_t i = 0; i < std::min(total_batches, options_.cache_lookahead);
+         ++i) {
+      cache.PushBatch(flat, stream.Peek(i));
+    }
+  }
+  // Prefetch/refresh DMA targets idle PCIe, never the request path: it is
+  // wall time and bytes on the timeline, and a debit against the cache's
+  // reported saving.
+  auto charge_cache_dma = [&](uint64_t bytes) {
+    if (bytes == 0) return;
+    const double seconds = cost_.PcieTransferSeconds(bytes);
+    tl.Charge(Phase::kCpuGpuTransfer, seconds);
+    tl.AddPcieBytes(bytes);
+    cache_saved -= seconds;
+  };
 
   // Continuous-training machinery (training never pauses during
   // recalibration or degraded service).
@@ -164,8 +205,20 @@ StatusOr<ServeReport> ServingLoop::Serve(const Dataset& dataset,
 
     // --- Serve one request batch ----------------------------------------
     const std::span<const uint64_t> ids = stream.Next();
+    if (cache_on) {
+      // Advance the oracle: fetch/refresh this batch's still-missing cold
+      // rows, slide the window, run the prefetch cursor ahead, and extend
+      // the window by the next peeked batch. Residency is settled before
+      // any request below is priced.
+      const LookaheadCache::StepCharge sc = cache.OnStep();
+      charge_cache_dma(sc.timely_prefetch_bytes + sc.late_prefetch_bytes);
+      if (b + options_.cache_lookahead < total_batches) {
+        cache.PushBatch(flat, stream.Peek(options_.cache_lookahead - 1));
+      }
+    }
     uint64_t batch_hot = 0;
     uint64_t batch_miss = 0;
+    uint64_t batch_cache = 0;
     double gpu_seconds = 0.0;
     double cpu_seconds = 0.0;
     double pcie_seconds = 0.0;
@@ -180,6 +233,14 @@ StatusOr<ServeReport> ServingLoop::Serve(const Dataset& dataset,
           if (hot && !lookup_lost) {
             latency += hit_seconds;
             gpu_seconds += hit_seconds;
+          } else if (!hot && !lookup_lost && cache_on &&
+                     cache.IsResident(t, row)) {
+            // Cold lookup answered by the oracle cache's GPU replica (the
+            // replica rides the same lookup-path GPU as the hot slice, so
+            // a lost device takes both to the master).
+            ++batch_cache;
+            latency += cache_hit_seconds;
+            gpu_seconds += cache_hit_seconds;
           } else {
             // Cold lookup — or a hot one answered by the CPU master while
             // the lookup-path GPU is out. Slower, never dropped.
@@ -201,7 +262,10 @@ StatusOr<ServeReport> ServingLoop::Serve(const Dataset& dataset,
     ++report.batches;
     report.requests += ids.size();
     report.lookups += batch_hot + batch_miss;
-    report.misses += batch_miss;
+    report.misses += batch_miss - batch_cache;
+    report.cache_hits += batch_cache;
+    cache_saved += static_cast<double>(batch_cache) *
+                   (miss_seconds - cache_hit_seconds);
     if (lookup_lost) {
       report.master_fallbacks += batch_hot;
     } else if (degraded) {
@@ -223,6 +287,12 @@ StatusOr<ServeReport> ServingLoop::Serve(const Dataset& dataset,
       exec_.MathStep(view, master_tables, metric, window_metric);
       accountant_.ChargeBaselineStep(model_->Work(view), tl);
       ++report.train_steps;
+      if (cache_on) {
+        // The step just rewrote this batch's master rows: refresh the
+        // resident copies eagerly so the replica never answers a request
+        // from a superseded row.
+        charge_cache_dma(cache.RefreshUpdated(flat, ids));
+      }
     }
 
     // --- Drift detection -------------------------------------------------
@@ -327,6 +397,13 @@ StatusOr<ServeReport> ServingLoop::Serve(const Dataset& dataset,
     active = std::move(loaded->hot_set);
     active_hot_bytes = active.HotBytes(dim);
     accountant_.ChargeSyncToGpus(active_hot_bytes, tl);
+    if (cache_on) {
+      // Rows the swap promoted now live in the replicated hot slice:
+      // cached copies are dropped, freeing budget for the new cold tail.
+      // (The cache pins through `active`, which already holds the new
+      // set; demoted rows simply become cacheable again.)
+      cache.DropPinned(active);
+    }
     ++report.swaps;
     if (degraded) {
       degraded = false;
@@ -341,6 +418,16 @@ StatusOr<ServeReport> ServingLoop::Serve(const Dataset& dataset,
                       static_cast<double>(report.lookups);
   }
   report.coverage_ema = ema;
+  if (cache_on) {
+    const uint64_t cold_lookups = report.cache_hits + report.misses;
+    if (cold_lookups > 0) {
+      report.cache_hit_rate = static_cast<double>(report.cache_hits) /
+                              static_cast<double>(cold_lookups);
+    }
+    report.cache_saved_seconds = cache_saved;
+    report.cache_stale_refreshes = cache.stats().stale_refreshes;
+    report.cache_prefetch_bytes = cache.stats().prefetch_bytes;
+  }
   report.p50_latency_ns = report.latency_ns.ApproximateQuantile(0.50);
   report.p99_latency_ns = report.latency_ns.ApproximateQuantile(0.99);
   report.modeled_seconds = tl.TotalSeconds();

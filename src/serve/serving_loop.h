@@ -27,8 +27,8 @@ struct ServeReport {
   uint64_t requests = 0;
   uint64_t lookups = 0;
 
-  // --- Lookup accounting (honest: the three serving qualities are kept
-  // apart; they sum with `misses` to `lookups`) ---------------------------
+  // --- Lookup accounting (honest: the serving qualities are kept apart;
+  // they sum with `cache_hits` and `misses` to `lookups`) -----------------
   /// Answered by a *fresh* (SLO-healthy) hot slice on the GPU.
   uint64_t hot_hits = 0;
   /// Answered by the hot slice while serving was degraded (a recalibration
@@ -37,7 +37,10 @@ struct ServeReport {
   /// Hot-slice lookups answered from the CPU master while the lookup-path
   /// GPU was lost (slower, never dropped).
   uint64_t master_fallbacks = 0;
-  /// Cold lookups: CPU master + PCIe round trip, every mode.
+  /// Cold lookups answered by the lookahead oracle cache's GPU replica
+  /// (ServeOptions::cache) instead of the CPU master.
+  uint64_t cache_hits = 0;
+  /// Cold lookups on the CPU master + PCIe round trip, every mode.
   uint64_t misses = 0;
 
   /// hot_hits / lookups — the fresh-service hit rate the drift bench gates.
@@ -67,6 +70,17 @@ struct ServeReport {
   /// An injected crash stopped serving early; the report covers the
   /// batches served before it.
   bool interrupted = false;
+
+  // --- Lookahead oracle cache ---------------------------------------------
+  /// cache_hits / (cache_hits + misses): how much of the *cold* traffic
+  /// the oracle cache absorbed (the hot slice's coverage is `hit_rate`).
+  double cache_hit_rate = 0.0;
+  /// Modeled request-path seconds the cache removed, net of its own
+  /// prefetch/refresh DMA (negative means the cache cost more than it
+  /// saved — small budgets under heavy drift).
+  double cache_saved_seconds = 0.0;
+  uint64_t cache_stale_refreshes = 0;
+  uint64_t cache_prefetch_bytes = 0;
 
   double modeled_seconds = 0.0;
   Timeline timeline;

@@ -48,7 +48,8 @@ double Timeline::TotalSeconds() const {
 
 double Timeline::OverlappedTotalSeconds() const {
   const double total = TotalSeconds();
-  return overlap_saved_ < total ? total - overlap_saved_ : 0.0;
+  const double saved = overlap_saved_ + cache_saved_;
+  return saved < total ? total - saved : 0.0;
 }
 
 double Timeline::OverlapFraction() const {
@@ -63,6 +64,16 @@ void Timeline::Merge(const Timeline& other) {
   }
   wall_seconds_ += other.wall_seconds_;
   overlap_saved_ += other.overlap_saved_;
+  cache_saved_ += other.cache_saved_;
+  cache_counters_.hits += other.cache_counters_.hits;
+  cache_counters_.misses += other.cache_counters_.misses;
+  cache_counters_.stale_refreshes += other.cache_counters_.stale_refreshes;
+  cache_counters_.prefetch_bytes += other.cache_counters_.prefetch_bytes;
+  cache_counters_.writeback_bytes += other.cache_counters_.writeback_bytes;
+  cache_counters_.plain_transfer_bytes +=
+      other.cache_counters_.plain_transfer_bytes;
+  cache_counters_.effective_transfer_bytes +=
+      other.cache_counters_.effective_transfer_bytes;
   cpu_busy_ += other.cpu_busy_;
   gpu_busy_ += other.gpu_busy_;
   pcie_bytes_ += other.pcie_bytes_;
@@ -85,6 +96,17 @@ std::string Timeline::Report() const {
                      HumanSeconds(overlap_saved_).c_str(),
                      100.0 * OverlapFraction(),
                      HumanSeconds(OverlappedTotalSeconds()).c_str());
+  }
+  if (cache_counters_.hits + cache_counters_.misses > 0) {
+    const double looks = static_cast<double>(cache_counters_.hits +
+                                             cache_counters_.misses);
+    out += StrFormat(
+        "  lookahead cache: %.1f%% hit, saved %s, prefetch %s, "
+        "writeback %s\n",
+        100.0 * static_cast<double>(cache_counters_.hits) / looks,
+        HumanSeconds(cache_saved_).c_str(),
+        HumanBytes(cache_counters_.prefetch_bytes).c_str(),
+        HumanBytes(cache_counters_.writeback_bytes).c_str());
   }
   out += StrFormat("  pcie %s, nvlink %s, network %s\n",
                    HumanBytes(pcie_bytes_).c_str(),

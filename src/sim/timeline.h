@@ -104,9 +104,34 @@ class Timeline {
   void AddOverlapSavedSeconds(double seconds) { overlap_saved_ += seconds; }
   double overlap_saved_seconds() const { return overlap_saved_; }
 
-  /// TotalSeconds() minus the overlap savings: the modeled wall-clock of
-  /// the pipelined execution. Equals TotalSeconds() when nothing
-  /// overlapped.
+  /// Lookahead-oracle cache accounting (engine/lookahead_cache.h). Like the
+  /// overlap accumulator, all of it lives *outside* State: phase charges
+  /// are identical cache-on and cache-off, and the cache's effect on the
+  /// modeled wall is a separately-tracked credit — so checkpoints stay
+  /// byte-identical across cache modes and a resume may switch them.
+  /// The saving may go negative per event (boundary writebacks, an
+  /// undersized budget): the net is honest, not clamped per step.
+  struct CacheCounters {
+    uint64_t hits = 0;             // lookups served from the GPU cache
+    uint64_t misses = 0;           // lookups on the CPU fallback path
+    uint64_t stale_refreshes = 0;  // resident rows refetched after a
+                                   // master-side write invalidated them
+    uint64_t prefetch_bytes = 0;   // rows shipped ahead of use
+    uint64_t writeback_bytes = 0;  // dirty rows flushed on evict/boundary
+    /// Cold-step CPU<->GPU transfer, plain vs with the cache (activation
+    /// round trips scaled by the miss share, plus all cache DMA). The
+    /// bench's ">= 2x transfer reduction" gate reads these.
+    uint64_t plain_transfer_bytes = 0;
+    uint64_t effective_transfer_bytes = 0;
+  };
+  void AddCacheSavedSeconds(double seconds) { cache_saved_ += seconds; }
+  double cache_saved_seconds() const { return cache_saved_; }
+  CacheCounters& cache_counters() { return cache_counters_; }
+  const CacheCounters& cache_counters() const { return cache_counters_; }
+
+  /// TotalSeconds() minus the overlap and cache savings: the modeled
+  /// wall-clock of the pipelined execution. Equals TotalSeconds() when
+  /// nothing overlapped and no cache ran.
   double OverlappedTotalSeconds() const;
 
   /// Fraction of the serial wall-clock hidden by overlap, in [0, 1).
@@ -136,6 +161,9 @@ class Timeline {
   double wall_seconds_ = 0.0;
   /// Not part of State — see the State doc comment.
   double overlap_saved_ = 0.0;
+  /// Not part of State either — see the CacheCounters doc comment.
+  double cache_saved_ = 0.0;
+  CacheCounters cache_counters_;
   double cpu_busy_ = 0.0;
   double gpu_busy_ = 0.0;
   uint64_t pcie_bytes_ = 0;

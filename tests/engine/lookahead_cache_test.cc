@@ -1,0 +1,301 @@
+// Unit + property tests of the lookahead oracle cache (DESIGN.md §13).
+// The load-bearing guarantee is the Belady invariant: the cache never
+// evicts a row that any batch still in the oracle window references, and
+// the budget is a hard cap. The fuzz test drives random request streams
+// through random budget/window shapes and checks both after every step,
+// alongside the byte-conservation identity that keeps the cost charges
+// honest.
+
+#include <algorithm>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/fae_pipeline.h"
+#include "data/synthetic.h"
+#include "engine/lookahead_cache.h"
+
+namespace fae {
+namespace {
+
+struct CacheFixture {
+  CacheFixture()
+      : schema(MakeKaggleLikeSchema(DatasetScale::kTiny)),
+        dataset(SyntheticGenerator(schema, {.seed = 47}).Generate(1024)) {}
+
+  /// A random contiguous-id request batch (the serving stream's shape).
+  std::vector<uint64_t> RandomBatch(std::mt19937& rng, size_t count) {
+    std::uniform_int_distribution<uint64_t> pick(0, dataset.size() - count);
+    const uint64_t begin = pick(rng);
+    std::vector<uint64_t> ids(count);
+    for (size_t i = 0; i < count; ++i) ids[i] = begin + i;
+    return ids;
+  }
+
+  HotSet PreparedHotSet() {
+    FaeConfig cfg;
+    cfg.sample_rate = 0.25;
+    cfg.gpu_memory_budget = 64ULL << 10;
+    cfg.large_table_bytes = 1ULL << 12;
+    std::vector<uint64_t> train(dataset.size());
+    for (size_t i = 0; i < train.size(); ++i) train[i] = i;
+    auto plan = FaePipeline(cfg).Prepare(dataset, train);
+    EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+    return std::move(plan->hot_set);
+  }
+
+  LookaheadCache::Options Opts(size_t budget, size_t lookahead,
+                               bool track_dirty = true) {
+    LookaheadCache::Options o;
+    o.budget_rows = budget;
+    o.lookahead = lookahead;
+    o.row_bytes = schema.embedding_dim * sizeof(float) + sizeof(uint32_t);
+    o.track_dirty = track_dirty;
+    return o;
+  }
+
+  DatasetSchema schema;
+  Dataset dataset;
+};
+
+/// Byte-conservation identity: every resident row was fetched exactly once
+/// since its last eviction, so inserts (prefetched rows minus stale
+/// refreshes, which refetch in place) split exactly into the still-resident
+/// and the evicted.
+void ExpectConservation(const LookaheadCache& cache) {
+  const LookaheadCache::Stats& s = cache.stats();
+  const uint64_t row_bytes = cache.options().row_bytes;
+  ASSERT_EQ(s.prefetch_bytes % row_bytes, 0u);
+  const uint64_t inserts = s.prefetch_bytes / row_bytes - s.stale_refreshes;
+  EXPECT_EQ(inserts, s.evictions + cache.resident_rows());
+  EXPECT_LE(cache.resident_rows(), cache.options().budget_rows);
+  EXPECT_LE(s.peak_resident_rows, cache.options().budget_rows);
+}
+
+TEST(LookaheadCacheTest, OracleNeverEvictsAWindowedRowOrExceedsBudget) {
+  CacheFixture f;
+  const FlatDataset& flat = f.dataset.flat();
+  const std::vector<uint64_t>& rows = f.schema.table_rows;
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    for (size_t budget : {size_t{16}, size_t{200}, size_t{5000}}) {
+      for (size_t lookahead : {size_t{1}, size_t{3}, size_t{7}}) {
+        std::mt19937 rng(seed);
+        LookaheadCache cache;
+        cache.Init(rows, f.Opts(budget, lookahead));
+        cache.BeginSegment();
+
+        std::vector<std::vector<char>> was_resident(rows.size());
+        for (size_t t = 0; t < rows.size(); ++t) {
+          was_resident[t].assign(rows[t], 0);
+        }
+
+        const size_t steps = 24;
+        std::vector<std::vector<uint64_t>> stream;
+        for (size_t i = 0; i < steps; ++i) {
+          stream.push_back(f.RandomBatch(rng, 32));
+        }
+        size_t pushed = 0;
+        for (; pushed < std::min(lookahead, steps); ++pushed) {
+          cache.PushBatch(flat, stream[pushed]);
+        }
+        for (size_t i = 0; i < steps; ++i) {
+          cache.OnStep();
+          // Belady check, before the window moves again: a row that left
+          // residency during this step must have had no reference left in
+          // the window (refs only ever decrease inside OnStep).
+          for (size_t t = 0; t < rows.size(); ++t) {
+            for (uint32_t r = 0; r < rows[t]; ++r) {
+              if (was_resident[t][r] && !cache.IsResident(t, r)) {
+                EXPECT_EQ(cache.WindowRefs(t, r), 0u)
+                    << "evicted a windowed row: table " << t << " row " << r;
+              }
+              was_resident[t][r] = cache.IsResident(t, r) ? 1 : 0;
+            }
+          }
+          ExpectConservation(cache);
+          if (pushed < steps) cache.PushBatch(flat, stream[pushed++]);
+        }
+        EXPECT_EQ(cache.window_batches(), 0u);
+      }
+    }
+  }
+}
+
+TEST(LookaheadCacheTest, AmpleBudgetNeverMisses) {
+  // With room for every row, first occurrences late-fetch (still hits) and
+  // everything after is resident: zero misses, ever.
+  CacheFixture f;
+  const FlatDataset& flat = f.dataset.flat();
+  uint64_t total_rows = 0;
+  for (uint64_t r : f.schema.table_rows) total_rows += r;
+  std::mt19937 rng(9);
+  LookaheadCache cache;
+  cache.Init(f.schema.table_rows, f.Opts(total_rows, 4));
+  cache.BeginSegment();
+  std::vector<std::vector<uint64_t>> stream;
+  for (size_t i = 0; i < 16; ++i) stream.push_back(f.RandomBatch(rng, 64));
+  for (size_t i = 0; i < 4; ++i) cache.PushBatch(flat, stream[i]);
+  for (size_t i = 0; i < 16; ++i) {
+    const LookaheadCache::StepCharge c = cache.OnStep();
+    EXPECT_EQ(c.miss_lookups, 0u);
+    EXPECT_EQ(c.miss_rows, 0u);
+    if (i + 4 < 16) cache.PushBatch(flat, stream[i + 4]);
+  }
+  EXPECT_EQ(cache.stats().misses, 0u);
+  EXPECT_GT(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+}
+
+TEST(LookaheadCacheTest, IdenticalStreamsProduceIdenticalStats) {
+  CacheFixture f;
+  const FlatDataset& flat = f.dataset.flat();
+  auto run = [&]() {
+    std::mt19937 rng(13);
+    LookaheadCache cache;
+    cache.Init(f.schema.table_rows, f.Opts(300, 5));
+    cache.BeginSegment();
+    std::vector<std::vector<uint64_t>> stream;
+    for (size_t i = 0; i < 20; ++i) stream.push_back(f.RandomBatch(rng, 48));
+    for (size_t i = 0; i < 5; ++i) cache.PushBatch(flat, stream[i]);
+    for (size_t i = 0; i < 20; ++i) {
+      cache.OnStep();
+      if (i + 5 < 20) cache.PushBatch(flat, stream[i + 5]);
+    }
+    return cache.stats();
+  };
+  const LookaheadCache::Stats a = run();
+  const LookaheadCache::Stats b = run();
+  EXPECT_EQ(a.hits, b.hits);
+  EXPECT_EQ(a.misses, b.misses);
+  EXPECT_EQ(a.stale_refreshes, b.stale_refreshes);
+  EXPECT_EQ(a.prefetch_bytes, b.prefetch_bytes);
+  EXPECT_EQ(a.writeback_bytes, b.writeback_bytes);
+  EXPECT_EQ(a.evictions, b.evictions);
+  EXPECT_EQ(a.peak_resident_rows, b.peak_resident_rows);
+}
+
+TEST(LookaheadCacheTest, PinnedRowsNeverEnterTheCache) {
+  CacheFixture f;
+  const FlatDataset& flat = f.dataset.flat();
+  const HotSet hot = f.PreparedHotSet();
+  std::mt19937 rng(21);
+  LookaheadCache cache;
+  cache.Init(f.schema.table_rows, f.Opts(5000, 4, /*track_dirty=*/false));
+  cache.SetPinned(&hot);
+  cache.BeginSegment();
+  std::vector<std::vector<uint64_t>> stream;
+  for (size_t i = 0; i < 12; ++i) stream.push_back(f.RandomBatch(rng, 64));
+  for (size_t i = 0; i < 4; ++i) cache.PushBatch(flat, stream[i]);
+  for (size_t i = 0; i < 12; ++i) {
+    cache.OnStep();
+    for (size_t t = 0; t < f.schema.table_rows.size(); ++t) {
+      for (uint32_t r = 0; r < f.schema.table_rows[t]; ++r) {
+        if (hot.IsHot(t, r)) {
+          EXPECT_FALSE(cache.IsResident(t, r))
+              << "pinned row cached: table " << t << " row " << r;
+        }
+      }
+    }
+    if (i + 4 < 12) cache.PushBatch(flat, stream[i + 4]);
+  }
+  EXPECT_GT(cache.resident_rows(), 0u);  // cold rows still cache
+  // A clean (serving) cache drops re-tiered rows without writeback.
+  EXPECT_EQ(cache.DropPinned(hot), 0u);
+}
+
+TEST(LookaheadCacheTest, InvalidateHotForcesAChargedRefresh) {
+  CacheFixture f;
+  const FlatDataset& flat = f.dataset.flat();
+  const HotSet hot = f.PreparedHotSet();
+  // No pinned tier here: the cache may hold hot rows (the training cold
+  // chunks do exactly that), so a hot chunk's master push must stale them.
+  LookaheadCache cache;
+  cache.Init(f.schema.table_rows, f.Opts(100000, 2, /*track_dirty=*/false));
+  cache.BeginSegment();
+  std::vector<uint64_t> ids(64);
+  for (size_t i = 0; i < ids.size(); ++i) ids[i] = i;
+  cache.PushBatch(flat, ids);
+  cache.PushBatch(flat, ids);
+  cache.OnStep();  // caches the batch's rows
+  cache.InvalidateHot(hot);
+  const LookaheadCache::StepCharge c = cache.OnStep();  // same rows again
+  EXPECT_GT(c.stale_refreshes, 0u);
+  EXPECT_EQ(c.miss_lookups, 0u);  // refreshed, not evicted
+  EXPECT_EQ(cache.stats().stale_refreshes, c.stale_refreshes);
+}
+
+TEST(LookaheadCacheTest, DirtyRowsWriteBackExactlyOnce) {
+  CacheFixture f;
+  const FlatDataset& flat = f.dataset.flat();
+  LookaheadCache cache;
+  const LookaheadCache::Options opts = f.Opts(100000, 1);
+  cache.Init(f.schema.table_rows, opts);
+  cache.BeginSegment();
+  std::vector<uint64_t> ids(32);
+  for (size_t i = 0; i < ids.size(); ++i) ids[i] = i;
+  cache.PushBatch(flat, ids);
+  cache.OnStep();  // every touched row is now resident + dirty
+  const size_t resident = cache.resident_rows();
+  ASSERT_GT(resident, 0u);
+  const uint64_t flushed = cache.FlushAllDirty();
+  EXPECT_EQ(flushed, resident * opts.row_bytes);
+  EXPECT_EQ(cache.FlushAllDirty(), 0u);  // second flush finds nothing
+  EXPECT_EQ(cache.stats().writeback_bytes, flushed);
+  EXPECT_EQ(cache.resident_rows(), resident);  // flushing never evicts
+}
+
+TEST(LookaheadCacheTest, RefreshUpdatedTouchesOnlyResidentRows) {
+  CacheFixture f;
+  const FlatDataset& flat = f.dataset.flat();
+  LookaheadCache cache;
+  const LookaheadCache::Options opts = f.Opts(100000, 1, false);
+  cache.Init(f.schema.table_rows, opts);
+  cache.BeginSegment();
+  std::vector<uint64_t> ids(32);
+  for (size_t i = 0; i < ids.size(); ++i) ids[i] = i;
+  // Nothing resident yet: a master update refreshes nothing.
+  EXPECT_EQ(cache.RefreshUpdated(flat, ids), 0u);
+  cache.PushBatch(flat, ids);
+  cache.OnStep();
+  const uint64_t refreshed = cache.RefreshUpdated(flat, ids);
+  EXPECT_EQ(refreshed, cache.resident_rows() * opts.row_bytes);
+  std::vector<uint64_t> other(32);
+  for (size_t i = 0; i < other.size(); ++i) other[i] = 512 + i;
+  const uint64_t foreign = cache.RefreshUpdated(flat, other);
+  EXPECT_LE(foreign, refreshed);  // only the overlap is resident
+}
+
+TEST(LookaheadCacheTest, BeginSegmentDrainsAnAbandonedWindow) {
+  // A crash unwind abandons in-flight batches; the next segment must start
+  // from quiescent reference counts or the Belady guarantee rots.
+  CacheFixture f;
+  const FlatDataset& flat = f.dataset.flat();
+  LookaheadCache cache;
+  cache.Init(f.schema.table_rows, f.Opts(64, 4));
+  cache.BeginSegment();
+  std::mt19937 rng(33);
+  for (size_t i = 0; i < 4; ++i) {
+    cache.PushBatch(flat, f.RandomBatch(rng, 32));
+  }
+  cache.OnStep();  // leaves 3 batches in flight
+  cache.BeginSegment();
+  EXPECT_EQ(cache.window_batches(), 0u);
+  for (size_t t = 0; t < f.schema.table_rows.size(); ++t) {
+    for (uint32_t r = 0; r < f.schema.table_rows[t]; ++r) {
+      EXPECT_EQ(cache.WindowRefs(t, r), 0u);
+    }
+  }
+  // The drained window's rows are all evictable: a full 64-row budget
+  // turns over for the next segment instead of deadlocking on leaked refs.
+  ASSERT_EQ(cache.resident_rows(), cache.options().budget_rows);
+  std::vector<uint64_t> ids(64);
+  for (size_t i = 0; i < ids.size(); ++i) ids[i] = 900 + i;
+  cache.PushBatch(flat, ids);
+  cache.OnStep();
+  EXPECT_GT(cache.stats().evictions, 0u) << "stale refs blocked eviction";
+  ExpectConservation(cache);
+}
+
+}  // namespace
+}  // namespace fae

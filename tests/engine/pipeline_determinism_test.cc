@@ -3,7 +3,9 @@
 // produces bit-identical training results — final embedding tables, every
 // loss on the learning curve, and the exact bytes of periodic checkpoints.
 // The pipeline may only change the modeled wall-clock (overlap savings),
-// never what is computed or what a resume sees.
+// never what is computed or what a resume sees. The lookahead oracle cache
+// (DESIGN.md §13) extends the same contract: cache on/off, at any budget
+// and window, is a pure cost-model overlay.
 
 #include <cstdint>
 #include <filesystem>
@@ -69,12 +71,25 @@ struct Fixture {
     return cfg;
   }
 
-  RunResult RunBaseline(PipelineMode mode, size_t depth, size_t threads) {
+  /// Cache knobs applied on top of Options; budget 0 leaves the cache off.
+  static TrainOptions WithCache(TrainOptions opt, size_t budget,
+                                size_t lookahead) {
+    if (budget > 0) {
+      opt.cache = CacheMode::kOracle;
+      opt.cache_budget_rows = budget;
+      opt.cache_lookahead = lookahead;
+    }
+    return opt;
+  }
+
+  RunResult RunBaseline(PipelineMode mode, size_t depth, size_t threads,
+                        size_t cache_budget = 0, size_t cache_lookahead = 4) {
     const std::string ckpt = TempPath("pipe_det_base.faec");
     std::filesystem::remove(ckpt);
     auto model = MakeModel(schema, false, 5);
     Trainer trainer(model.get(), MakePaperServer(2),
-                    Options(mode, depth, threads, ckpt));
+                    WithCache(Options(mode, depth, threads, ckpt),
+                              cache_budget, cache_lookahead));
     RunResult r;
     r.report = trainer.TrainBaseline(dataset, split);
     for (const EmbeddingTable& t : model->tables()) {
@@ -86,12 +101,14 @@ struct Fixture {
   }
 
   RunResult RunFae(const FaePlan& plan, PipelineMode mode, size_t depth,
-                   size_t threads) {
+                   size_t threads, size_t cache_budget = 0,
+                   size_t cache_lookahead = 4) {
     const std::string ckpt = TempPath("pipe_det_fae.faec");
     std::filesystem::remove(ckpt);
     auto model = MakeModel(schema, false, 5);
     Trainer trainer(model.get(), MakePaperServer(2),
-                    Options(mode, depth, threads, ckpt));
+                    WithCache(Options(mode, depth, threads, ckpt),
+                              cache_budget, cache_lookahead));
     auto report = trainer.TrainFaeWithPlan(dataset, split, Config(), plan);
     EXPECT_TRUE(report.ok()) << report.status().ToString();
     RunResult r;
@@ -334,6 +351,143 @@ TEST(PipelineDeterminismTest, FaeCrashMidGatherTearsDownSafely) {
   EXPECT_TRUE(partial->interrupted);
   EXPECT_EQ(partial->num_batches, 0u);
   EXPECT_EQ(partial->faults.crashes, 1u);
+}
+
+TEST(PipelineDeterminismTest, CacheBitExactAcrossDepthsThreadsAndBudgets) {
+  // The oracle cache is a cost-model overlay: any budget/window, under any
+  // pipeline depth and thread count, leaves losses, tables, and checkpoint
+  // bytes bit-identical to the serial cache-off reference. A 48-row budget
+  // forces constant eviction pressure and misses; 100k rows caches
+  // everything — both must be invisible to the math.
+  Fixture f;
+  const RunResult ref = f.RunBaseline(PipelineMode::kOff, 1, 1);
+  for (PipelineMode mode :
+       {PipelineMode::kPrefetch, PipelineMode::kOverlap}) {
+    for (size_t depth : {size_t{1}, size_t{4}}) {
+      for (size_t threads : {size_t{1}, size_t{4}}) {
+        for (size_t budget : {size_t{48}, size_t{100000}}) {
+          const RunResult got =
+              f.RunBaseline(mode, depth, threads, budget, depth);
+          ExpectBitIdentical(
+              ref, got,
+              Label(mode, depth, threads) + " cache_budget=" +
+                  std::to_string(budget));
+          EXPECT_GT(got.report.cache_hits + got.report.cache_misses, 0u);
+        }
+      }
+    }
+  }
+}
+
+TEST(PipelineDeterminismTest, FaeCacheBitExactAndCoherentAcrossChunks) {
+  // FAE interleaves hot chunks (which rewrite the masters) with cached
+  // cold chunks, so this exercises the stale-invalidation and dirty-flush
+  // boundaries on top of the bit-identity contract.
+  Fixture f;
+  FaePipeline pipeline(Fixture::Config());
+  auto plan = pipeline.Prepare(f.dataset, f.split.train);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  const RunResult ref = f.RunFae(*plan, PipelineMode::kOff, 1, 1);
+  for (size_t budget : {size_t{128}, size_t{100000}}) {
+    for (size_t lookahead : {size_t{1}, size_t{8}}) {
+      const RunResult got =
+          f.RunFae(*plan, PipelineMode::kOverlap, 4, 4, budget, lookahead);
+      const std::string label = "fae cache budget=" +
+                                std::to_string(budget) +
+                                " lookahead=" + std::to_string(lookahead);
+      ExpectBitIdentical(ref, got, label);
+      EXPECT_EQ(ref.report.transitions, got.report.transitions) << label;
+      EXPECT_EQ(ref.report.sync_bytes, got.report.sync_bytes) << label;
+      EXPECT_GT(got.report.cache_hits, 0u) << label;
+    }
+  }
+}
+
+TEST(PipelineDeterminismTest, CacheOnlyShrinksTheModeledWall) {
+  // Phase totals never move with the cache; the modeled wall drops by
+  // exactly the accumulated cache saving (on top of any overlap saving),
+  // and the effective transfer bytes drop below the plain 2x round trip.
+  Fixture f;
+  const RunResult off = f.RunBaseline(PipelineMode::kPrefetch, 2, 1);
+  const RunResult on = f.RunBaseline(PipelineMode::kPrefetch, 2, 1, 100000, 8);
+  EXPECT_EQ(off.report.timeline.PhaseSumSeconds(),
+            on.report.timeline.PhaseSumSeconds());
+  EXPECT_EQ(off.report.overlap_saved_seconds, on.report.overlap_saved_seconds);
+  EXPECT_EQ(off.report.cache_saved_seconds, 0.0);
+  EXPECT_GT(on.report.cache_saved_seconds, 0.0);
+  EXPECT_NEAR(on.report.modeled_seconds,
+              off.report.modeled_seconds - on.report.cache_saved_seconds,
+              1e-12 * off.report.modeled_seconds);
+  EXPECT_GT(on.report.cache_plain_transfer_bytes, 0u);
+  EXPECT_LT(on.report.cache_effective_transfer_bytes,
+            on.report.cache_plain_transfer_bytes);
+}
+
+TEST(PipelineDeterminismTest, ResumeMaySwitchCacheModes) {
+  // The cache knobs are excluded from the options fingerprint on the same
+  // contract as the pipeline knobs: a run checkpointed with the cache off
+  // resumes with it on (different budget, different window) bit-exactly.
+  Fixture f;
+  const RunResult uninterrupted = f.RunBaseline(PipelineMode::kOff, 1, 1);
+
+  const std::string ckpt = TempPath("pipe_det_cache_switch.faec");
+  std::filesystem::remove(ckpt);
+  auto crash_plan = FaultInjector::Parse("crash@15");
+  ASSERT_TRUE(crash_plan.ok());
+  FaultInjector injector = std::move(crash_plan).value();
+  {
+    auto model = MakeModel(f.schema, false, 5);
+    TrainOptions opt = Fixture::Options(PipelineMode::kOff, 1, 1, ckpt);
+    opt.fault_injector = &injector;
+    Trainer trainer(model.get(), MakePaperServer(2), opt);
+    auto partial = trainer.TrainBaselineResumable(f.dataset, f.split);
+    ASSERT_TRUE(partial.ok()) << partial.status().ToString();
+    ASSERT_TRUE(partial->interrupted);
+  }
+  auto model = MakeModel(f.schema, false, 5);
+  TrainOptions opt = Fixture::WithCache(
+      Fixture::Options(PipelineMode::kOverlap, 4, 4, ckpt), 512, 4);
+  opt.checkpoint.resume = true;
+  Trainer trainer(model.get(), MakePaperServer(2), opt);
+  auto resumed = trainer.TrainBaselineResumable(f.dataset, f.split);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  EXPECT_TRUE(resumed->resumed);
+  EXPECT_EQ(resumed->final_train_loss, uninterrupted.report.final_train_loss);
+  EXPECT_EQ(resumed->final_test_loss, uninterrupted.report.final_test_loss);
+  std::vector<std::vector<float>> tables;
+  for (const EmbeddingTable& t : model->tables()) tables.push_back(t.raw());
+  ASSERT_EQ(tables.size(), uninterrupted.tables.size());
+  for (size_t t = 0; t < tables.size(); ++t) {
+    EXPECT_EQ(tables[t], uninterrupted.tables[t]) << "table " << t;
+  }
+  std::filesystem::remove(ckpt);
+}
+
+TEST(PipelineDeterminismTest, CacheRequiresAPipelinedRun) {
+  // Without the staging ring there is no oracle window to scan, so
+  // --cache=oracle with --pipeline=off is a configuration error, not a
+  // silent no-op — in both trainers.
+  Fixture f;
+  {
+    auto model = MakeModel(f.schema, false, 5);
+    TrainOptions opt = Fixture::WithCache(
+        Fixture::Options(PipelineMode::kOff, 1, 1, ""), 512, 4);
+    Trainer trainer(model.get(), MakePaperServer(2), opt);
+    auto report = trainer.TrainBaselineResumable(f.dataset, f.split);
+    EXPECT_FALSE(report.ok());
+  }
+  {
+    FaePipeline pipeline(Fixture::Config());
+    auto plan = pipeline.Prepare(f.dataset, f.split.train);
+    ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+    auto model = MakeModel(f.schema, false, 5);
+    TrainOptions opt = Fixture::WithCache(
+        Fixture::Options(PipelineMode::kOff, 1, 1, ""), 512, 4);
+    Trainer trainer(model.get(), MakePaperServer(2), opt);
+    auto report =
+        trainer.TrainFaeWithPlan(f.dataset, f.split, Fixture::Config(), *plan);
+    EXPECT_FALSE(report.ok());
+  }
 }
 
 TEST(PipelineDeterminismTest, PipelineRejectsLegacyPipelinedBaseline) {

@@ -11,6 +11,8 @@
 //                   [--gpus=4] [--batch=1024] [--epochs=1] [--cost-only]
 //                   [--threads=1] [--dirty-sync] [--full-model]
 //                   [--pipeline=off|prefetch|overlap] [--pipeline-depth=2]
+//                   [--cache=off|oracle] [--cache-budget-rows=4096]
+//                   [--cache-lookahead=8]
 //                   [--ckpt=run.faec] [--ckpt-every=100] [--resume]
 //                   [--fault-plan=device@30,stall@50:0.2,corrupt@75,crash@120]
 //   fae serve       --data=data.faed [--plan=plan.faef] [--swap=swap.faef]
@@ -18,6 +20,8 @@
 //                   [--ema-alpha=0.05] [--recal-window=8192]
 //                   [--recal-cooldown=32] [--deadline-ms=250]
 //                   [--recal-retries=3] [--backoff-ms=10] [--no-train]
+//                   [--cache=off|oracle] [--cache-budget-rows=4096]
+//                   [--cache-lookahead=8]
 //                   [--threads=1] [--gpus=4] [--serve-config=serve.cfg]
 //                   [--fault-plan=recal-stall@40:3,swap-crash@60,lookup-loss@80x2]
 //
@@ -39,6 +43,7 @@
 #include "core/fae_format.h"
 #include "data/dataset_io.h"
 #include "data/synthetic.h"
+#include "engine/ring_limits.h"
 #include "engine/trainer.h"
 #include "models/factory.h"
 #include "serve/serving_loop.h"
@@ -110,6 +115,35 @@ bool StrictDoubleFlag(const bench::Args& args, const char* key,
     return false;
   }
   *out = value;
+  return true;
+}
+
+/// Parses the --cache flag triple shared by `train` and `serve`. Bad input
+/// prints an error and returns false. Depth bounds come from the same
+/// ValidateRingDepth the staging ring uses (engine/ring_limits.h).
+bool ParseCacheFlags(const bench::Args& args, CacheMode* mode,
+                     size_t* budget_rows, size_t* lookahead) {
+  const std::string cache = args.GetString("cache", "off");
+  if (cache == "oracle") {
+    *mode = CacheMode::kOracle;
+  } else if (cache == "off") {
+    *mode = CacheMode::kOff;
+  } else {
+    std::fprintf(stderr,
+                 "error: unknown --cache mode '%s' (expected off|oracle)\n",
+                 cache.c_str());
+    return false;
+  }
+  long v = 0;
+  if (!StrictLongFlag(args, "cache-budget-rows", 4096, 1, &v)) return false;
+  *budget_rows = static_cast<size_t>(v);
+  if (!StrictLongFlag(args, "cache-lookahead", 8, 1, &v)) return false;
+  const StatusOr<size_t> depth = ValidateRingDepth(v, "--cache-lookahead");
+  if (!depth.ok()) {
+    std::fprintf(stderr, "error: %s\n", depth.status().ToString().c_str());
+    return false;
+  }
+  *lookahead = *depth;
   return true;
 }
 
@@ -227,7 +261,22 @@ int Train(const bench::Args& args) {
       !StrictLongFlag(args, "ckpt-every", 100, 1, &ckpt_every)) {
     return 2;
   }
-  options.pipeline_depth = static_cast<size_t>(pipeline_depth);
+  const StatusOr<size_t> depth =
+      ValidateRingDepth(pipeline_depth, "--pipeline-depth");
+  if (!depth.ok()) return Fail(depth.status());
+  options.pipeline_depth = *depth;
+  if (!ParseCacheFlags(args, &options.cache, &options.cache_budget_rows,
+                       &options.cache_lookahead)) {
+    return 2;
+  }
+  if (options.cache == CacheMode::kOracle &&
+      options.pipeline == PipelineMode::kOff) {
+    std::fprintf(stderr,
+                 "error: --cache=oracle requires --pipeline=prefetch or "
+                 "--pipeline=overlap (the oracle window is the staging "
+                 "pipeline's forward visibility)\n");
+    return 2;
+  }
   options.checkpoint.path = args.GetString("ckpt", "");
   options.checkpoint.every_steps = static_cast<size_t>(ckpt_every);
   options.checkpoint.resume = args.GetBool("resume", false);
@@ -256,6 +305,15 @@ int Train(const bench::Args& args) {
   Trainer trainer(model.get(), system, options);
 
   const std::string mode = args.GetString("mode", "fae");
+  if (options.cache == CacheMode::kOracle && mode != "baseline" &&
+      mode != "fae") {
+    std::fprintf(stderr,
+                 "error: --cache=oracle applies to --mode=baseline or "
+                 "--mode=fae only (mode '%s' has no pipelined hybrid "
+                 "path to accelerate)\n",
+                 mode.c_str());
+    return 2;
+  }
   TrainReport report;
   if (mode == "baseline") {
     auto r = trainer.TrainBaselineResumable(*dataset, split);
@@ -302,6 +360,19 @@ int Train(const bench::Args& args) {
         options.pipeline_depth, HumanSeconds(report.prep_seconds).c_str(),
         HumanSeconds(report.overlap_saved_seconds).c_str(),
         100 * report.overlap_fraction);
+  }
+  if (options.cache == CacheMode::kOracle) {
+    std::printf(
+        "cache %s (budget %zu rows, lookahead %zu): hit rate %.1f%%, "
+        "saved %s, prefetch %s, writeback %s, transfer %s -> %s\n",
+        std::string(CacheModeName(options.cache)).c_str(),
+        options.cache_budget_rows, options.cache_lookahead,
+        100 * report.cache_hit_rate,
+        HumanSeconds(report.cache_saved_seconds).c_str(),
+        HumanBytes(report.cache_prefetch_bytes).c_str(),
+        HumanBytes(report.cache_writeback_bytes).c_str(),
+        HumanBytes(report.cache_plain_transfer_bytes).c_str(),
+        HumanBytes(report.cache_effective_transfer_bytes).c_str());
   }
   if (options.run_math) {
     std::printf("train acc %.2f%%  test acc %.2f%%  test loss %.4f\n",
@@ -422,6 +493,10 @@ int Serve(const bench::Args& args) {
   opts.seed = static_cast<uint64_t>(v);
   if (args.GetBool("no-train", false)) opts.continuous_training = false;
   opts.swap_path = args.GetString("swap", "");
+  if (!ParseCacheFlags(args, &opts.cache, &opts.cache_budget_rows,
+                       &opts.cache_lookahead)) {
+    return 2;
+  }
   const Status valid = opts.Validate();
   if (!valid.ok()) return Fail(valid);
 
@@ -481,6 +556,19 @@ int Serve(const bench::Args& args) {
           ? 100.0 * report->misses / static_cast<double>(report->lookups)
           : 0.0,
       report->coverage_ema);
+  if (opts.cache == CacheMode::kOracle) {
+    std::printf(
+        "cold cache %s (budget %zu rows, lookahead %zu): absorbed %.1f%% of "
+        "cold lookups (%llu hits), %llu stale refreshes, %s prefetched, "
+        "saved %s\n",
+        std::string(CacheModeName(opts.cache)).c_str(),
+        opts.cache_budget_rows, opts.cache_lookahead,
+        100.0 * report->cache_hit_rate,
+        static_cast<unsigned long long>(report->cache_hits),
+        static_cast<unsigned long long>(report->cache_stale_refreshes),
+        HumanBytes(report->cache_prefetch_bytes).c_str(),
+        HumanSeconds(report->cache_saved_seconds).c_str());
+  }
   std::printf("latency p50 %.1fus  p99 %.1fus\n",
               report->p50_latency_ns / 1e3, report->p99_latency_ns / 1e3);
   std::printf(
