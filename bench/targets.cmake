@@ -74,6 +74,15 @@ add_test(NAME bench_pipelined_smoke
 add_test(NAME bench_cache_smoke
   COMMAND abl_lookahead_cache --smoke --out=${CMAKE_BINARY_DIR}/bench/BENCH_cache_smoke.json)
 
+# Quantized cold-store gate: the dim-64 Terabyte workload through the real
+# engine in every --cold-precision mode. Fails unless the int8 cold store
+# is >= 3x (fp16 >= 1.9x) smaller than the same rows at fp32, the int8
+# error stays under the per-row scale/2 bound, master tables are
+# bit-identical across modes when everything is hot, and the reclaimed
+# budget fed back to the calibrator buys >= 1.1x on the modeled wall.
+add_test(NAME bench_quant_smoke
+  COMMAND abl_mixed_precision --smoke --out=${CMAKE_BINARY_DIR}/bench/BENCH_quant_smoke.json)
+
 # Serving gate: drift-free vs drifting traffic, with and without the
 # SLO-triggered recalibration + hot-swap, plus an injected-fault run.
 # Fails unless recalibration recovers the hit rate to within 5 points of

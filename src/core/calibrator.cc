@@ -68,6 +68,12 @@ StatusOr<CalibrationResult> Calibrator::Calibrate(
                       config_.confidence, config_.seed + 1);
   const size_t dim_bytes = schema.embedding_dim * sizeof(float);
 
+  // Bytes a cold row gives back under the configured storage precision;
+  // zero at fp32, so the sweep below degenerates to the plain L check.
+  const uint64_t saved_per_cold_row =
+      static_cast<uint64_t>(dim_bytes) -
+      ColdRowBytes(schema.embedding_dim, config_.cold_precision);
+
   bool found = false;
   for (double t : config_.thresholds) {
     ThresholdPoint point;
@@ -76,6 +82,7 @@ StatusOr<CalibrationResult> Calibrator::Calibrate(
         1, static_cast<uint64_t>(std::llround(
                t * static_cast<double>(result.sampled_inputs))));  // Eq 1
     double hot_bytes = static_cast<double>(small_bytes);
+    double reclaimed = 0.0;
     for (size_t z = 0; z < schema.num_tables(); ++z) {
       // Partition by the *configured* cutoff — the same one the Embedding
       // Classifier will use — or the estimate and the realized hot slice
@@ -85,14 +92,28 @@ StatusOr<CalibrationResult> Calibrator::Calibrate(
           box.EstimateTable(logged.profile.counts(z), point.h_zt);
       hot_bytes += est.upper_hot_entries * static_cast<double>(dim_bytes);
       point.scanned_entries += est.scanned_entries;
+      // Cold-count lower bound (upper_hot is an upper bound), so the
+      // reclaimed credit is conservative.
+      const double rows = static_cast<double>(schema.table_rows[z]);
+      const double cold =
+          std::max(0.0, rows - static_cast<double>(est.upper_hot_entries));
+      reclaimed += cold * static_cast<double>(saved_per_cold_row);
     }
     point.estimated_hot_bytes = static_cast<uint64_t>(hot_bytes);
-    point.fits = point.estimated_hot_bytes <= config_.gpu_memory_budget;
+    point.reclaimed_bytes = static_cast<uint64_t>(reclaimed);
+    point.effective_budget = config_.gpu_memory_budget + point.reclaimed_bytes;
+    // Quantized cold storage stretches the budget: bytes the cold store no
+    // longer needs are credited to the hot slice. Both sides stay monotone
+    // in t (hot grows, reclaimed shrinks as t decreases), so the
+    // coarse-to-fine early stop below still holds.
+    point.fits = point.estimated_hot_bytes <= point.effective_budget;
     result.sweep.push_back(point);
     if (point.fits) {
       result.threshold = point.threshold;
       result.h_zt = point.h_zt;
       result.estimated_hot_bytes = point.estimated_hot_bytes;
+      result.effective_budget = point.effective_budget;
+      result.reclaimed_bytes = point.reclaimed_bytes;
       found = true;
     } else if (found) {
       // Sizes grow monotonically as t decreases; once we have a fit and

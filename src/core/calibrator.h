@@ -18,7 +18,12 @@ struct ThresholdPoint {
   uint64_t h_zt = 0;               // absolute access cutoff (Eq 1)
   uint64_t estimated_hot_bytes = 0;  // CI upper bound incl. small tables
   uint64_t scanned_entries = 0;    // Rand-Em Box work for this iteration
-  bool fits = false;               // estimated_hot_bytes <= L
+  /// Bytes the quantized cold store gives back at this threshold (zero at
+  /// fp32): cold rows shrink from dim*4 to ColdRowBytes, and the savings
+  /// are credited to the hot budget below.
+  uint64_t reclaimed_bytes = 0;
+  uint64_t effective_budget = 0;   // L + reclaimed_bytes
+  bool fits = false;               // estimated_hot_bytes <= effective_budget
 };
 
 /// Calibrate() output: the chosen knob plus everything downstream
@@ -27,6 +32,10 @@ struct CalibrationResult {
   double threshold = 0.0;
   uint64_t h_zt = 0;
   uint64_t estimated_hot_bytes = 0;
+  /// Budget the chosen threshold was admitted against: L plus the bytes the
+  /// quantized cold store reclaims at that threshold (equals L at fp32).
+  uint64_t effective_budget = 0;
+  uint64_t reclaimed_bytes = 0;
   size_t sampled_inputs = 0;
   /// Sampled access profile (Embedding Logger output), reused by the
   /// Embedding Classifier so the dataset is not re-scanned.

@@ -5,6 +5,8 @@
 #include <thread>
 #include <vector>
 
+#include "embedding/cold_precision.h"
+
 namespace fae {
 
 /// Knobs of the FAE framework's static (preprocessing) components,
@@ -39,6 +41,12 @@ struct FaeConfig {
   double min_rate = 1.0;       // R(1)
   double max_rate = 100.0;     // R(100)
   int loss_patience = 4;       // u
+
+  /// Storage precision of cold rows on the CPU master. Anything narrower
+  /// than fp32 shrinks the cold store, and the reclaimed host bytes are fed
+  /// back into the threshold sweep as extra effective budget — the hot
+  /// slice can grow beyond L by what the cold side gave up.
+  ColdPrecision cold_precision = ColdPrecision::kFp32;
 
   uint64_t seed = 0x5eed;
 

@@ -1,0 +1,77 @@
+#ifndef FAE_EMBEDDING_COLD_PRECISION_H_
+#define FAE_EMBEDDING_COLD_PRECISION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace fae {
+
+/// Storage precision of the *cold* embedding rows (ROADMAP item 4). Hot
+/// rows, gradients, and all optimizer state stay fp32 regardless, so the
+/// hot path is bit-identical across modes; only the rarely-touched cold
+/// majority pays the representation change.
+///
+///  - kFp32: plain float storage (the historical layout, no compression).
+///  - kFp16: IEEE binary16 per element (util/half.h), exact widening on
+///    read — 2x smaller, no per-row metadata.
+///  - kInt8: row-wise affine quantization — uint8 codes plus a per-row
+///    fp32 (scale, zero_point) pair, dequantized as zero + scale * q.
+///    ~4x smaller payload; reconstruction error is bounded by scale / 2
+///    per element, and a constant row reconstructs exactly (scale = 0,
+///    zero = the value).
+enum class ColdPrecision : uint8_t { kFp32 = 0, kFp16 = 1, kInt8 = 2 };
+
+inline std::string_view ColdPrecisionName(ColdPrecision p) {
+  switch (p) {
+    case ColdPrecision::kFp32:
+      return "fp32";
+    case ColdPrecision::kFp16:
+      return "fp16";
+    case ColdPrecision::kInt8:
+      return "int8";
+  }
+  return "?";
+}
+
+/// Strict parse: returns false on anything but "fp32" / "fp16" / "int8"
+/// (the CLI turns that into a usage error rather than defaulting).
+inline bool ParseColdPrecision(std::string_view name, ColdPrecision* out) {
+  if (name == "fp32") {
+    *out = ColdPrecision::kFp32;
+  } else if (name == "fp16") {
+    *out = ColdPrecision::kFp16;
+  } else if (name == "int8") {
+    *out = ColdPrecision::kInt8;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+/// Payload bytes per element in cold storage.
+inline size_t ColdElemBytes(ColdPrecision p) {
+  switch (p) {
+    case ColdPrecision::kFp32:
+      return 4;
+    case ColdPrecision::kFp16:
+      return 2;
+    case ColdPrecision::kInt8:
+      return 1;
+  }
+  return 4;
+}
+
+/// Bytes one cold row occupies, metadata included (int8 carries a per-row
+/// fp32 scale + zero_point pair). This is the number the calibrator's
+/// budget feedback, the cost model's cold-lookup charges, and the bench's
+/// compression gate all share.
+inline uint64_t ColdRowBytes(size_t dim, ColdPrecision p) {
+  uint64_t bytes = static_cast<uint64_t>(dim) * ColdElemBytes(p);
+  if (p == ColdPrecision::kInt8) bytes += 2 * sizeof(float);
+  return bytes;
+}
+
+}  // namespace fae
+
+#endif  // FAE_EMBEDDING_COLD_PRECISION_H_

@@ -134,7 +134,9 @@ void EmbeddingBag::ForwardInto(Tensor& out, const EmbeddingTable& table,
     for (size_t i = b0; i < b1; ++i) {
       float* orow = out.row(i);
       for (uint32_t p = offsets[i] - base; p < offsets[i + 1] - base; ++p) {
-        kernels::Add(dim, table.row(indices[p]), orow);
+        // Plain tables take the fp32 Add fast path; compressed tables
+        // dequantize cold rows on the fly (read-only, pool-safe).
+        table.AddRowTo(indices[p], orow);
       }
     }
   };

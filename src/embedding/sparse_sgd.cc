@@ -26,6 +26,14 @@ void SparseSgd::Step(EmbeddingTable& table, const SparseGrad& grad,
   FAE_CHECK_EQ(grad.dim, table.dim());
   const size_t dim = grad.dim;
   const float neg_lr = -lr_;
+  // Compressed tables: stage every touched cold row to fp32 up front
+  // (serial — EnsureResidentRow mutates the staging buffer), so the
+  // parallel update below works on stable, write-disjoint fp32 rows.
+  if (table.compressed()) {
+    for (size_t s = 0; s < grad.num_rows(); ++s) {
+      table.EnsureResidentRow(grad.row_id(s));
+    }
+  }
   RowRangeParallel(pool, grad.num_rows(), [&](size_t s0, size_t s1) {
     for (size_t s = s0; s < s1; ++s) {
       kernels::Axpy(dim, neg_lr, grad.row(s), table.row(grad.row_id(s)));
@@ -45,6 +53,11 @@ void SparseSgd::FusedBackwardStep(EmbeddingTable& table,
   const float neg_lr = -lr_;
   rg_.Rebuild(indices, offsets);
   const RowGroups& rg = rg_;
+  // Same staging pre-pass as Step: touched cold rows become fp32 before
+  // the (possibly pooled) update loop takes row pointers.
+  if (table.compressed()) {
+    for (uint64_t id : rg.row_ids) table.EnsureResidentRow(id);
+  }
   if (pool != nullptr && rg.num_rows() >= kMinRowsToParallelize) {
     pool->ParallelFor(rg.num_rows(), [&](size_t s0, size_t s1) {
       // Pooled path: per-task accumulator (threads must not share one).

@@ -8,7 +8,9 @@ namespace fae {
 namespace {
 
 constexpr uint32_t kMagic = 0x43454146;  // "FAEC"
-constexpr uint32_t kVersion = 1;
+// v2: the embedded model section gained the per-table storage-mode tag
+// (ModelIo v3) so quantized cold stores resume verbatim.
+constexpr uint32_t kVersion = 2;
 constexpr uint32_t kTrailer = 0x444e454b;  // "KEND"
 
 Status WriteMetricState(BinaryWriter& w, const RunningMetric::State& m) {

@@ -71,6 +71,27 @@ Status ValidateCacheOptions(const TrainOptions& options) {
   return Status::OK();
 }
 
+/// Demands of the quantized cold store (TrainOptions::cold_precision),
+/// mirrored by the CLI's early rejection. Combinations whose budget or
+/// traffic accounting assumes fp32 cold rows are errors, not silent
+/// fallbacks.
+Status ValidateColdOptions(const TrainOptions& options) {
+  if (options.cold_precision == ColdPrecision::kFp32) return Status::OK();
+  if (options.fp16_embeddings) {
+    return Status::InvalidArgument(
+        "--cold-precision and --fp16-embeddings are mutually exclusive: "
+        "fp16 emulation rounds rows through the fp32 tables that the "
+        "quantized cold store no longer holds");
+  }
+  if (options.cache != CacheMode::kOff) {
+    return Status::InvalidArgument(
+        "--cold-precision cannot be combined with --cache=oracle: the "
+        "cache's budget and transfer accounting assume fp32 cold rows, so "
+        "the two would double-count the reclaimed bytes");
+  }
+  return Status::OK();
+}
+
 /// Drives a LookaheadCache as a cost-model overlay: prices each cold step
 /// under the cache against the plain hybrid step (both through the real
 /// StepAccountant, the cached variant into a scratch timeline) and credits
@@ -191,7 +212,11 @@ uint64_t Trainer::OptionsFingerprint() const {
   // cache_budget_rows, cache_lookahead) are absent on the same contract:
   // the oracle cache is a cost-model overlay whose savings and counters
   // also live outside Timeline::State, so a resume may turn it on, off,
-  // or resize it freely.
+  // or resize it freely. cold_precision is absent for a different reason:
+  // the storage mode travels *inside* the model state (ModelIo v3 tags
+  // every table), and the resume path reconciles it explicitly — same
+  // precision resumes verbatim, fp32 widens exactly, anything else is
+  // rejected — so the fingerprint would only forbid the legal directions.
   return h;
 }
 
@@ -323,6 +348,11 @@ StatusOr<TrainReport> Trainer::TrainBaselineResumable(
         "mutually exclusive (both model overlapped execution)");
   }
   FAE_RETURN_IF_ERROR(ValidateCacheOptions(options_));
+  if (options_.cold_precision != ColdPrecision::kFp32) {
+    return Status::InvalidArgument(
+        "--cold-precision applies to the FAE placement only: the baseline "
+        "has no hot/cold partition, so there is no cold store to quantize");
+  }
   exec_.MaybeQuantizeTables();
   TrainReport report;
   report.mode = TrainMode::kBaseline;
@@ -595,24 +625,54 @@ StatusOr<TrainReport> Trainer::TrainFaeWithPlan(const Dataset& dataset,
         "mutually exclusive (both model overlapped execution)");
   }
   FAE_RETURN_IF_ERROR(ValidateCacheOptions(options_));
+  FAE_RETURN_IF_ERROR(ValidateColdOptions(options_));
+  if (config.cold_precision != options_.cold_precision) {
+    return Status::InvalidArgument(
+        "FaeConfig::cold_precision and TrainOptions::cold_precision "
+        "disagree: the calibrator's budget credit must match the storage "
+        "mode the trainer realizes");
+  }
   exec_.MaybeQuantizeTables();
   TrainReport report;
   report.mode = TrainMode::kFae;
 
+  // Bytes a quantized cold store gives back under `pl` — credited to the
+  // hot budget below with the same ColdRowBytes arithmetic the calibrator
+  // used, or degradation would undo the calibrator's budget feedback.
+  const DatasetSchema& schema = dataset.schema();
+  auto reclaimed_for = [&](const FaePlan& pl) -> uint64_t {
+    if (options_.cold_precision == ColdPrecision::kFp32) return 0;
+    const uint64_t saved_per_row =
+        schema.embedding_dim * sizeof(float) -
+        ColdRowBytes(schema.embedding_dim, options_.cold_precision);
+    uint64_t cold = 0;
+    for (size_t t = 0; t < schema.num_tables(); ++t) {
+      if (pl.hot_set.mask(t).empty()) continue;  // all-hot: nothing cold
+      cold += schema.table_rows[t] - pl.hot_set.HotCount(t);
+    }
+    return cold * saved_per_row;
+  };
+
   // Graceful degradation: when the hot slice no longer fits the per-GPU
   // budget (popularity drift after calibration, a smaller deployment GPU),
   // demote overflow entries and fall back toward the cold path instead of
-  // aborting — unless the caller opted into hard failure.
+  // aborting — unless the caller opted into hard failure. The budget is
+  // the *effective* one: L plus what the quantized cold store reclaims
+  // (demotions only grow the cold side, so the credit never shrinks under
+  // degradation and the recheck below is conservative).
   FaePlan shrunk;
   const FaePlan* active = &plan;
-  if (plan.hot_bytes > system_.hot_embedding_budget) {
+  uint64_t effective_budget =
+      system_.hot_embedding_budget + reclaimed_for(plan);
+  if (plan.hot_bytes > effective_budget) {
     if (!options_.degrade_on_overflow) {
       return Status::ResourceExhausted(
           "plan's hot slice exceeds the per-GPU hot-embedding budget");
     }
-    shrunk = DegradePlanToBudget(dataset, plan, system_.hot_embedding_budget,
+    shrunk = DegradePlanToBudget(dataset, plan, effective_budget,
                                  config.num_threads);
-    if (shrunk.hot_bytes > system_.hot_embedding_budget) {
+    effective_budget = system_.hot_embedding_budget + reclaimed_for(shrunk);
+    if (shrunk.hot_bytes > effective_budget) {
       return Status::ResourceExhausted(
           "hot slice still exceeds the per-GPU budget after demoting every "
           "demotable row");
@@ -620,6 +680,8 @@ StatusOr<TrainReport> Trainer::TrainFaeWithPlan(const Dataset& dataset,
     active = &shrunk;
   }
   const FaePlan& p = *active;
+  report.effective_hot_budget = effective_budget;
+  report.cold_reclaimed_bytes = reclaimed_for(p);
   report.threshold = p.threshold;
   report.hot_bytes = p.hot_bytes;
   report.hot_fraction = p.inputs.HotFraction();
@@ -768,6 +830,82 @@ StatusOr<TrainReport> Trainer::TrainFaeWithPlan(const Dataset& dataset,
                   << " at iteration " << ck.iteration << " (rate "
                   << scheduler.rate() << ")";
   }
+
+  // Cold-store reconciliation, after any resume restored the masters:
+  //  - fresh quantized run: compress each partitioned table's cold rows;
+  //  - resume at the same precision: keep the restored store *verbatim*
+  //    (requantizing would re-round; see model_io.h) after checking the
+  //    hot/cold partition still matches the plan;
+  //  - resume at fp32 from a quantized checkpoint: widen exactly;
+  //  - any other precision change: reject.
+  // Cost-only runs skip compression (the masters hold no numerics); the
+  // byte accounting below does not depend on it.
+  const ColdPrecision target = options_.cold_precision;
+  {
+    std::vector<EmbeddingTable>& ts = model_->tables();
+    for (size_t t = 0; t < ts.size(); ++t) {
+      EmbeddingTable& tab = ts[t];
+      const std::span<const uint8_t> mask = p.hot_set.mask(t);
+      if (tab.compressed()) {
+        if (tab.cold_precision() == target) {
+          if (mask.empty() || !tab.PartitionMatches(mask)) {
+            return Status::FailedPrecondition(StrFormat(
+                "checkpoint table %zu's hot/cold partition does not match "
+                "the current plan (popularity drift since the checkpoint?); "
+                "resume with --cold-precision=fp32 to widen and repartition",
+                t));
+          }
+        } else if (target == ColdPrecision::kFp32) {
+          tab.Decompress();
+        } else {
+          return Status::FailedPrecondition(StrFormat(
+              "checkpoint stores table %zu's cold rows as %s but the run "
+              "requests %s; resume at the same cold precision or at fp32",
+              t, std::string(ColdPrecisionName(tab.cold_precision())).c_str(),
+              std::string(ColdPrecisionName(target)).c_str()));
+        }
+      } else if (target != ColdPrecision::kFp32 && options_.run_math &&
+                 !mask.empty()) {
+        tab.CompressCold(mask, target);
+      }
+      report.cold_rows += tab.cold_rows();
+      report.cold_store_bytes += tab.ColdStoreBytes();
+    }
+  }
+
+  // Cold batches stream cold rows out of the quantized store, so their
+  // modeled read traffic shrinks to the quantized row width (hot rows a
+  // cold batch touches stay fp32, and updates write fp32 staging rows, so
+  // only the read side scales). One hot-mask pass per batch, computed once
+  // — chunks index cold_batches stably.
+  std::vector<BatchWork> cold_work_narrow;
+  const bool quantized_cost = target != ColdPrecision::kFp32;
+  if (quantized_cost) {
+    const uint64_t fp32_row = schema.embedding_dim * sizeof(float);
+    const uint64_t cold_row =
+        ColdRowBytes(schema.embedding_dim, target);
+    cold_work_narrow.reserve(cold_batches.size());
+    for (const TrainBatch& batch : cold_batches) {
+      uint64_t hot_lookups = 0;
+      uint64_t cold_lookups = 0;
+      for (size_t t = 0; t < schema.num_tables(); ++t) {
+        for (uint32_t row : batch.view.indices(t)) {
+          if (p.hot_set.IsHot(t, row)) {
+            ++hot_lookups;
+          } else {
+            ++cold_lookups;
+          }
+        }
+      }
+      BatchWork w = batch.work;
+      w.embedding_read_bytes =
+          hot_lookups * fp32_row + cold_lookups * cold_row;
+      cold_work_narrow.push_back(w);
+    }
+  }
+  auto cold_work = [&](size_t i) -> const BatchWork& {
+    return quantized_cost ? cold_work_narrow[i] : cold_batches[i].work;
+  };
 
   uint64_t next_save = 0;
   if (!ckpt.path.empty() && ckpt.every_steps > 0) {
@@ -1006,11 +1144,11 @@ StatusOr<TrainReport> Trainer::TrainFaeWithPlan(const Dataset& dataset,
               BatchInputBytes(cold_batches[i].view), report.timeline);
           if (options_.pipelined_baseline) {
             report.timeline.AddWallSeconds(prep);
-            accountant_.ChargeBaselineStepPipelined(cold_batches[i].work,
+            accountant_.ChargeBaselineStepPipelined(cold_work(i),
                                                     report.timeline);
           } else {
             const StepAccountant::BaselineParts parts =
-                accountant_.ChargeBaselineStepParts(cold_batches[i].work,
+                accountant_.ChargeBaselineStepParts(cold_work(i),
                                                     report.timeline);
             tracker.OnStep(prep, parts.Total(), parts.Overlapped());
             if (cache_on) {
@@ -1036,6 +1174,17 @@ StatusOr<TrainReport> Trainer::TrainFaeWithPlan(const Dataset& dataset,
           }
           ++iteration;
           ++report.num_batches;
+        }
+        // End of the cold chunk: requantize every staged cold row back
+        // into the store. Flushing *here* — before the boundary eval and
+        // any checkpoint — keeps the schedule deterministic (an eval or a
+        // resume always sees requantized cold rows, never a mix that
+        // depends on the checkpoint cadence) and restores the alloc-free
+        // steady state (the staging buffer keeps its capacity).
+        if (options_.run_math && target != ColdPrecision::kFp32) {
+          for (EmbeddingTable* t : master_tables) {
+            if (t->compressed()) t->FlushStaged();
+          }
         }
       }
       if (tracker.mode() == PipelineMode::kOverlap) {
@@ -1080,6 +1229,8 @@ TrainReport Trainer::TrainNvOpt(const Dataset& dataset,
                                 const Dataset::Split& split) {
   FAE_CHECK_EQ(system_.num_nodes, 1)
       << "the NvOPT comparator models a single node";
+  FAE_CHECK(options_.cold_precision == ColdPrecision::kFp32)
+      << "--cold-precision applies to the FAE placement only";
   exec_.MaybeQuantizeTables();
   TrainReport report;
   report.mode = TrainMode::kNvOpt;
@@ -1137,6 +1288,10 @@ StatusOr<TrainReport> Trainer::TrainModelParallel(
     const Dataset& dataset, const Dataset::Split& split) {
   FAE_CHECK_EQ(system_.num_nodes, 1)
       << "the model-parallel comparator models a single node";
+  if (options_.cold_precision != ColdPrecision::kFp32) {
+    return Status::InvalidArgument(
+        "--cold-precision applies to the FAE placement only");
+  }
   const DatasetSchema& schema = dataset.schema();
   const int g = std::max(1, system_.num_gpus);
   // Shard tables with the LPT heuristic; the *largest realized shard*
@@ -1195,6 +1350,8 @@ TrainReport Trainer::TrainGpuCache(const Dataset& dataset,
                                    const FaePlan& plan) {
   FAE_CHECK_EQ(system_.num_nodes, 1)
       << "the GPU-cache comparator models a single node";
+  FAE_CHECK(options_.cold_precision == ColdPrecision::kFp32)
+      << "--cold-precision applies to the FAE placement only";
   TrainReport report;
   report.mode = TrainMode::kGpuCache;
   report.hot_bytes = plan.hot_bytes;

@@ -111,6 +111,15 @@ struct TrainOptions {
   /// Oracle window depth in batches; bounds shared with the staging ring
   /// (engine/ring_limits.h). 1 = no lead time (every first fetch is late).
   size_t cache_lookahead = 8;
+  /// Storage precision of cold master rows (FAE only; see
+  /// embedding/cold_precision.h). Narrower than fp32 shrinks the cold
+  /// store's RSS, prices cold-row reads at the quantized width, and — via
+  /// FaeConfig::cold_precision in the calibrator — stretches the effective
+  /// hot budget by the reclaimed bytes. Hot rows, staged cold rows, and
+  /// all optimizer math stay fp32, so the hot path is bit-identical across
+  /// modes. Mutually exclusive with fp16_embeddings and the oracle cache
+  /// (their budget accounting assumes fp32 cold rows).
+  ColdPrecision cold_precision = ColdPrecision::kFp32;
 };
 
 /// Everything a training run reports: the modeled timeline, the measured
@@ -166,6 +175,16 @@ struct TrainReport {
   /// Total hot-slice payload shipped over PCIe for coherence (per
   /// direction-event, not multiplied by GPU count).
   uint64_t sync_bytes = 0;
+  /// Quantized cold-row storage (TrainOptions::cold_precision; all zero at
+  /// fp32 and in cost-only runs, where the masters hold no numerics).
+  uint64_t cold_rows = 0;
+  /// Bytes the compressed cold store occupies (codes + scale/zero-point).
+  uint64_t cold_store_bytes = 0;
+  /// fp32 bytes the cold store gave back — the calibrator's budget credit.
+  uint64_t cold_reclaimed_bytes = 0;
+  /// Budget the hot slice was admitted against: hot_embedding_budget plus
+  /// the realized plan's reclaimed bytes (equals the plain budget at fp32).
+  uint64_t effective_hot_budget = 0;
 
   // Robustness (graceful degradation, fault injection, resume):
   /// The hot slice was demoted to fit the budget (see DegradePlanToBudget).

@@ -8,9 +8,83 @@ namespace {
 
 constexpr uint32_t kMagic = 0x4d454146;  // "FAEM"
 // v2 added the crash-safety envelope: atomic temp+rename writes and the
-// whole-file CRC-32 footer.
-constexpr uint32_t kVersion = 2;
+// whole-file CRC-32 footer. v3 added the per-table storage-mode tag and
+// the verbatim quantized cold-store sections.
+constexpr uint32_t kVersion = 3;
 constexpr uint32_t kTrailer = 0x444e454d;  // "MEND"
+
+Status WriteTable(BinaryWriter& w, const EmbeddingTable& t) {
+  FAE_RETURN_IF_ERROR(w.WriteU64(t.rows()));
+  FAE_RETURN_IF_ERROR(w.WriteU64(t.dim()));
+  FAE_RETURN_IF_ERROR(
+      w.WriteU32(static_cast<uint32_t>(t.cold_precision())));
+  if (!t.compressed()) {
+    return w.WriteBytes(t.raw().data(), t.raw().size() * sizeof(float));
+  }
+  if (t.staged_count() != 0) {
+    return Status::FailedPrecondition(
+        "cannot checkpoint a table with staged cold rows (FlushStaged "
+        "before saving)");
+  }
+  // Verbatim quantized sections (see the header comment on bit-stability),
+  // all fed through the writer's running CRC like every other artifact.
+  FAE_RETURN_IF_ERROR(w.WriteVector(t.slot_map()));
+  FAE_RETURN_IF_ERROR(w.WriteVector(t.resident_data()));
+  FAE_RETURN_IF_ERROR(w.WriteVector(t.cold_codes_i8()));
+  FAE_RETURN_IF_ERROR(w.WriteVector(t.cold_half()));
+  FAE_RETURN_IF_ERROR(w.WriteVector(t.cold_scale()));
+  return w.WriteVector(t.cold_zero());
+}
+
+Status ReadTable(BinaryReader& r, EmbeddingTable& t) {
+  FAE_ASSIGN_OR_RETURN(uint64_t rows, r.ReadU64());
+  FAE_ASSIGN_OR_RETURN(uint64_t dim, r.ReadU64());
+  if (rows != t.rows() || dim != t.dim()) {
+    return Status::FailedPrecondition("checkpoint table shape mismatch");
+  }
+  FAE_ASSIGN_OR_RETURN(uint32_t mode, r.ReadU32());
+  if (mode > static_cast<uint32_t>(ColdPrecision::kInt8)) {
+    return Status::DataLoss("unknown table storage mode");
+  }
+  if (t.compressed()) {
+    return Status::FailedPrecondition(
+        "cannot restore into a compressed table");
+  }
+  const ColdPrecision precision = static_cast<ColdPrecision>(mode);
+  if (precision == ColdPrecision::kFp32) {
+    return r.ReadBytes(t.raw().data(), t.raw().size() * sizeof(float));
+  }
+  FAE_ASSIGN_OR_RETURN(std::vector<uint32_t> slot, r.ReadVector<uint32_t>());
+  FAE_ASSIGN_OR_RETURN(std::vector<float> resident, r.ReadVector<float>());
+  FAE_ASSIGN_OR_RETURN(std::vector<uint8_t> codes, r.ReadVector<uint8_t>());
+  FAE_ASSIGN_OR_RETURN(std::vector<uint16_t> half, r.ReadVector<uint16_t>());
+  FAE_ASSIGN_OR_RETURN(std::vector<float> scale, r.ReadVector<float>());
+  FAE_ASSIGN_OR_RETURN(std::vector<float> zero, r.ReadVector<float>());
+  // Section-size validation before any state is adopted (the CRC already
+  // rules out corruption; this guards against writer/reader skew).
+  if (slot.size() != rows) {
+    return Status::DataLoss("slot map size mismatch");
+  }
+  uint64_t hot = 0;
+  for (uint32_t s : slot) hot += (s & 0x80000000u) == 0 ? 1 : 0;
+  const uint64_t cold = rows - hot;
+  if (resident.size() != hot * dim) {
+    return Status::DataLoss("resident section size mismatch");
+  }
+  const bool int8 = precision == ColdPrecision::kInt8;
+  if (int8 && (codes.size() != cold * dim || scale.size() != cold ||
+               zero.size() != cold || !half.empty())) {
+    return Status::DataLoss("int8 cold-store section size mismatch");
+  }
+  if (!int8 && (half.size() != cold * dim || !codes.empty() ||
+                !scale.empty() || !zero.empty())) {
+    return Status::DataLoss("fp16 cold-store section size mismatch");
+  }
+  t.RestoreCompressed(precision, std::move(slot), std::move(resident),
+                      std::move(codes), std::move(half), std::move(scale),
+                      std::move(zero));
+  return Status::OK();
+}
 
 }  // namespace
 
@@ -28,10 +102,7 @@ Status ModelIo::WriteModelState(BinaryWriter& w, RecModel& model) {
   const std::vector<EmbeddingTable>& tables = model.tables();
   FAE_RETURN_IF_ERROR(w.WriteU64(tables.size()));
   for (const EmbeddingTable& t : tables) {
-    FAE_RETURN_IF_ERROR(w.WriteU64(t.rows()));
-    FAE_RETURN_IF_ERROR(w.WriteU64(t.dim()));
-    FAE_RETURN_IF_ERROR(
-        w.WriteBytes(t.raw().data(), t.raw().size() * sizeof(float)));
+    FAE_RETURN_IF_ERROR(WriteTable(w, t));
   }
   return Status::OK();
 }
@@ -67,13 +138,7 @@ Status ModelIo::ReadModelState(BinaryReader& r, RecModel& model) {
     return Status::FailedPrecondition("checkpoint table count mismatch");
   }
   for (EmbeddingTable& t : tables) {
-    FAE_ASSIGN_OR_RETURN(uint64_t rows, r.ReadU64());
-    FAE_ASSIGN_OR_RETURN(uint64_t dim, r.ReadU64());
-    if (rows != t.rows() || dim != t.dim()) {
-      return Status::FailedPrecondition("checkpoint table shape mismatch");
-    }
-    FAE_RETURN_IF_ERROR(
-        r.ReadBytes(t.raw().data(), t.raw().size() * sizeof(float)));
+    FAE_RETURN_IF_ERROR(ReadTable(r, t));
   }
   return Status::OK();
 }

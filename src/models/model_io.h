@@ -21,6 +21,18 @@ namespace fae {
 /// Load restores *into* an existing model of the same architecture; the
 /// file records parameter names and shapes and refuses mismatches, so a
 /// checkpoint cannot be silently loaded into the wrong model.
+///
+/// Format v3 records a per-table storage mode: plain fp32 tables are
+/// written raw as before, compressed tables (EmbeddingTable::CompressCold)
+/// persist their quantized sections *verbatim* — slot map, resident fp32
+/// rows, int8 codes + scale/zero_point arrays or binary16 payload — under
+/// the same whole-file CRC. Verbatim matters: requantizing a dequantized
+/// row re-rounds the scale, so round-tripping through fp32 would not be
+/// bit-stable. A compressed section read into a plain table restores the
+/// compressed state; the trainer then keeps it (same cold_precision),
+/// widens it exactly via Decompress (resuming at fp32), or rejects the
+/// combination. Tables must have no staged rows at save time (checkpoints
+/// are taken at flushed sync boundaries).
 class ModelIo {
  public:
   /// `model` is non-const only because parameter access goes through the

@@ -77,11 +77,11 @@ Tensor Tbsm::ForwardImpl(const BatchView& batch,
   const std::span<const uint32_t> item_idx = batch.indices(0);
   size_t row = 0;
   for (size_t i = 0; i < b; ++i) {
-    const float* trow = item_table.row(item_idx[seq[i].target]);
-    std::copy(trow, trow + d, query.row(i));
+    // ReadRowInto rather than a raw row pointer: with a compressed master
+    // table the item rows may live in the quantized cold store.
+    item_table.ReadRowInto(item_idx[seq[i].target], query.row(i));
     for (uint32_t j = 0; j < seq[i].history_len; ++j) {
-      const float* hrow = item_table.row(item_idx[seq[i].begin + j]);
-      std::copy(hrow, hrow + d, stacked.row(row++));
+      item_table.ReadRowInto(item_idx[seq[i].begin + j], stacked.row(row++));
     }
   }
   // Per-timestep transform, then split back into per-sample matrices. The

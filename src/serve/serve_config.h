@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <string>
 
+#include "embedding/cold_precision.h"
 #include "engine/lookahead_cache.h"
 #include "sim/fault_injector.h"
 #include "util/statusor.h"
@@ -78,6 +79,16 @@ struct ServeOptions {
   CacheMode cache = CacheMode::kOff;
   size_t cache_budget_rows = 4096;
   size_t cache_lookahead = 8;
+
+  /// Storage precision of cold master rows (embedding/cold_precision.h):
+  /// the CPU-master fallback path answers storage-cold lookups out of the
+  /// quantized store, so misses stream quantized bytes. The storage
+  /// partition is the *offline plan's* and stays fixed across hot-swaps
+  /// (requantizing on every swap would re-round; a swap only changes which
+  /// rows are served from the GPU). Like the cache knobs, a deployment
+  /// decision — runtime wiring, not serialized. Mutually exclusive with
+  /// the oracle cache, whose accounting assumes fp32 cold rows.
+  ColdPrecision cold_precision = ColdPrecision::kFp32;
 
   /// Range-checks every field (batch_size >= 1, rates in (0, 1], positive
   /// deadlines, ...). Parse calls this; the CLI calls it on flag-built

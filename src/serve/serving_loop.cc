@@ -63,6 +63,12 @@ ServingLoop::ServingLoop(RecModel* model, SystemSpec system,
 StatusOr<ServeReport> ServingLoop::Serve(const Dataset& dataset,
                                          const FaePlan& plan) {
   FAE_RETURN_IF_ERROR(options_.Validate());
+  const bool quantized = options_.cold_precision != ColdPrecision::kFp32;
+  if (quantized && options_.cache != CacheMode::kOff) {
+    return Status::InvalidArgument(
+        "--cold-precision cannot be combined with --cache=oracle: the "
+        "cache's budget and transfer accounting assume fp32 cold rows");
+  }
 
   const size_t dim = dataset.schema().embedding_dim;
   const uint64_t row_bytes = dim * sizeof(float);
@@ -82,17 +88,51 @@ StatusOr<ServeReport> ServingLoop::Serve(const Dataset& dataset,
   uint64_t active_hot_bytes = active.HotBytes(dim);
   accountant_.ChargeSyncToGpus(active_hot_bytes, tl);  // initial replication
 
+  // Quantized cold store: compress the masters against the *offline*
+  // plan's partition. This storage partition stays fixed for the whole
+  // serving run — hot-swaps change which rows the GPU answers, not how the
+  // master stores them (requantizing per swap would re-round the codes).
+  // A model restored from a v3 container may arrive compressed already; it
+  // must then match the requested precision and the plan's partition.
+  if (quantized ||
+      (!model_->tables().empty() && model_->tables().front().compressed())) {
+    std::vector<EmbeddingTable>& ts = model_->tables();
+    for (size_t t = 0; t < ts.size(); ++t) {
+      EmbeddingTable& tab = ts[t];
+      const std::span<const uint8_t> mask = plan.hot_set.mask(t);
+      if (tab.compressed()) {
+        if (!quantized) {
+          tab.Decompress();
+        } else if (tab.cold_precision() != options_.cold_precision ||
+                   mask.empty() || !tab.PartitionMatches(mask)) {
+          return Status::FailedPrecondition(
+              "model's compressed cold store does not match the requested "
+              "cold precision and the serving plan's hot/cold partition");
+        }
+      } else if (quantized && !mask.empty()) {
+        tab.CompressCold(mask, options_.cold_precision);
+      }
+    }
+  }
+
   RequestStream stream(&dataset, options_.batch_size);
   const size_t total_batches =
       options_.num_batches > 0
           ? options_.num_batches
           : (dataset.size() + options_.batch_size - 1) / options_.batch_size;
 
-  // Per-lookup modeled costs are loop invariants of the cost model.
+  // Per-lookup modeled costs are loop invariants of the cost model. A
+  // storage-cold miss streams the quantized row out of the CPU master
+  // (fewer bytes gathered); the dequantized fp32 row crosses PCIe either
+  // way. Rows hot in the *storage* partition keep the fp32 gather even
+  // when a lost lookup device sends them to the master.
   const double hit_seconds = cost_.GatherSeconds(row_bytes, system_.gpu);
   const double miss_gather = cost_.GatherSeconds(row_bytes, system_.cpu);
   const double miss_pcie = cost_.PcieTransferSeconds(row_bytes);
   const double miss_seconds = miss_gather + miss_pcie;
+  const double miss_gather_q = cost_.GatherSeconds(
+      ColdRowBytes(dim, options_.cold_precision), system_.cpu);
+  const double miss_seconds_q = miss_gather_q + miss_pcie;
 
   // Lookahead oracle cache over the *cold* traffic, with the hot slice as
   // the pinned tier (engine/lookahead_cache.h). The request stream replays
@@ -243,9 +283,13 @@ StatusOr<ServeReport> ServingLoop::Serve(const Dataset& dataset,
             gpu_seconds += cache_hit_seconds;
           } else {
             // Cold lookup — or a hot one answered by the CPU master while
-            // the lookup-path GPU is out. Slower, never dropped.
-            latency += miss_seconds;
-            cpu_seconds += miss_gather;
+            // the lookup-path GPU is out. Slower, never dropped. The
+            // *storage* partition (the offline plan's, fixed across swaps)
+            // decides whether the master read is quantized.
+            const bool storage_cold =
+                quantized && !plan.hot_set.IsHot(t, row);
+            latency += storage_cold ? miss_seconds_q : miss_seconds;
+            cpu_seconds += storage_cold ? miss_gather_q : miss_gather;
             pcie_seconds += miss_pcie;
             pcie_bytes += row_bytes;
           }
@@ -287,6 +331,15 @@ StatusOr<ServeReport> ServingLoop::Serve(const Dataset& dataset,
       exec_.MathStep(view, master_tables, metric, window_metric);
       accountant_.ChargeBaselineStep(model_->Work(view), tl);
       ++report.train_steps;
+      if (quantized) {
+        // Serving has no chunk boundaries, so the sync point is every
+        // continuous-training step: requantize the rows the step staged
+        // before the next request batch reads them. The staging buffer
+        // keeps its capacity, so steady state stays allocation-free.
+        for (EmbeddingTable* t : master_tables) {
+          if (t->compressed()) t->FlushStaged();
+        }
+      }
       if (cache_on) {
         // The step just rewrote this batch's master rows: refresh the
         // resident copies eagerly so the replica never answers a request

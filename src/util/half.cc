@@ -11,12 +11,6 @@ uint32_t FloatBits(float f) {
   return u;
 }
 
-float BitsToFloat(uint32_t u) {
-  float f;
-  std::memcpy(&f, &u, sizeof(f));
-  return f;
-}
-
 }  // namespace
 
 uint16_t FloatToHalf(float value) {
@@ -62,30 +56,6 @@ uint16_t FloatToHalf(float value) {
   }
   // Underflow to signed zero.
   return static_cast<uint16_t>(sign);
-}
-
-float HalfToFloat(uint16_t half) {
-  const uint32_t sign = static_cast<uint32_t>(half & 0x8000u) << 16;
-  const uint32_t exp16 = (half >> 10) & 0x1fu;
-  uint32_t mant = half & 0x3ffu;
-
-  if (exp16 == 0x1fu) {  // inf / nan
-    return BitsToFloat(sign | 0x7f800000u | (mant << 13));
-  }
-  if (exp16 == 0) {
-    if (mant == 0) return BitsToFloat(sign);  // signed zero
-    // Subnormal half: normalize.
-    int exp = -14;
-    while ((mant & 0x400u) == 0) {
-      mant <<= 1;
-      --exp;
-    }
-    mant &= 0x3ffu;
-    const uint32_t exp32 = static_cast<uint32_t>(exp + 127) << 23;
-    return BitsToFloat(sign | exp32 | (mant << 13));
-  }
-  const uint32_t exp32 = (exp16 + 127 - 15) << 23;
-  return BitsToFloat(sign | exp32 | (mant << 13));
 }
 
 }  // namespace fae

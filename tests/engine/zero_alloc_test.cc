@@ -109,5 +109,70 @@ TEST(ZeroAllocTest, FusedDlrmStepIsAllocationFreeAfterWarmup) {
       << "the fused steady-state step touched the heap";
 }
 
+// Same property with quantized cold storage: once a full sync interval has
+// staged the touched cold rows and FlushStaged has sized the staging
+// buffers, the dequantize-gather / stage / update / requantize cycle must
+// not touch the heap either (the --cold-precision path rides the same
+// fused step).
+TEST(ZeroAllocTest, QuantizedFusedStepIsAllocationFreeAfterWarmup) {
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+  GTEST_SKIP() << "sanitizer runtimes allocate behind the hook";
+#endif
+  const DatasetSchema schema =
+      MakeSchema(WorkloadKind::kKaggleDlrm, DatasetScale::kTiny);
+  const Dataset dataset = SyntheticGenerator(schema, {.seed = 43}).Generate(64);
+  std::vector<uint64_t> ids(64);
+  for (size_t i = 0; i < ids.size(); ++i) ids[i] = i;
+  const FlatDataset gathered = dataset.flat().Gather(ids);
+  const std::vector<BatchView> views = MakeBatchViews(gathered, 16, false);
+
+  std::unique_ptr<RecModel> model =
+      MakeModel(schema, /*full_size=*/false, /*seed=*/2);
+  std::vector<EmbeddingTable*> tables;
+  for (EmbeddingTable& t : model->tables()) {
+    // Every 4th row hot, the rest int8-quantized — each step then gathers
+    // and updates a real mix of resident and cold rows.
+    std::vector<uint8_t> mask(t.rows(), 0);
+    for (uint64_t r = 0; r < t.rows(); r += 4) mask[r] = 1;
+    t.CompressCold(mask, ColdPrecision::kInt8);
+    tables.push_back(&t);
+  }
+  const std::vector<Parameter*> dense_params = model->DenseParams();
+
+  Sgd dense_sgd(0.1f);
+  SparseSgd sparse_sgd(0.1f);
+  struct Ctx {
+    SparseSgd* sgd;
+    std::vector<EmbeddingTable*>* tables;
+  } ctx{&sparse_sgd, &tables};
+  const SparseApplyFn apply = [c = &ctx](size_t t, const Tensor& grad_out,
+                                         std::span<const uint32_t> indices,
+                                         std::span<const uint32_t> offsets) {
+    c->sgd->FusedBackwardStep(*(*c->tables)[t], grad_out, indices, offsets,
+                              nullptr);
+  };
+
+  // One "sync interval" = the four batches, then the cold-row writeback.
+  auto interval = [&] {
+    for (const BatchView& view : views) {
+      StepResult r = model->ForwardBackwardFusedOn(view, tables, apply);
+      dense_sgd.Step(dense_params);
+      ASSERT_TRUE(r.table_grads.empty());
+    }
+    for (EmbeddingTable* t : tables) t->FlushStaged();
+  };
+
+  // Warm-up: sizes the step workspaces and grows every staging buffer to
+  // the interval's full staged set.
+  for (int rep = 0; rep < 2; ++rep) interval();
+
+  g_allocs.store(0);
+  g_track.store(true);
+  for (int rep = 0; rep < 3; ++rep) interval();
+  g_track.store(false);
+  EXPECT_EQ(g_allocs.load(), 0u)
+      << "the quantized steady-state step touched the heap";
+}
+
 }  // namespace
 }  // namespace fae

@@ -14,6 +14,7 @@
 #include "core/fae_pipeline.h"
 #include "data/dataset_io.h"
 #include "data/synthetic.h"
+#include "embedding/embedding_table.h"
 #include "models/factory.h"
 #include "models/model_io.h"
 #include "serve/serve_config.h"
@@ -118,6 +119,39 @@ TEST(FuzzFormatsTest, CheckpointLoaderSurvivesByteFlips) {
     // any Status is acceptable, crashing is not.
     (void)ModelIo::Load(path, *target);
   });
+}
+
+TEST(FuzzFormatsTest, QuantizedCheckpointRejectsSectionFlips) {
+  // A compressed model's quantized sections — slot map, int8 codes, the
+  // per-row scale/zero-point arrays — live under the same whole-file CRC
+  // as everything else, so any single-byte flip must be rejected up
+  // front, never silently dequantized into the target model.
+  DatasetSchema schema = MakeKaggleLikeSchema(DatasetScale::kTiny);
+  auto model = MakeModel(schema, false, 7);
+  EmbeddingTable& big = model->tables().front();
+  std::vector<uint8_t> mask(big.rows(), 0);
+  for (uint64_t r = 0; r < big.rows(); r += 4) mask[r] = 1;
+  big.CompressCold(mask, ColdPrecision::kInt8);
+  const std::string path = TempPath("fuzz_quant_ckpt.faem");
+  ASSERT_TRUE(ModelIo::Save(path, *model).ok());
+  const std::vector<char> pristine = ReadAll(path);
+
+  auto target = MakeModel(schema, false, 8);
+  Xoshiro256 rng(37);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<char> mutant = pristine;
+    // Half the trials land anywhere; the other half target the back half
+    // of the file, where the quantized payloads live.
+    const size_t half = mutant.size() / 2;
+    const size_t offset = trial % 2 == 0
+                              ? rng.NextBounded(mutant.size())
+                              : half + rng.NextBounded(mutant.size() - half);
+    mutant[offset] ^= static_cast<char>(1 + rng.NextBounded(255));
+    WriteAll(path, mutant);
+    EXPECT_FALSE(ModelIo::Load(path, *target).ok())
+        << "flip at offset " << offset << " accepted";
+  }
+  (void)RemoveFile(path);
 }
 
 TEST(FuzzFormatsTest, ServeConfigParserSurvivesByteFlips) {

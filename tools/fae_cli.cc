@@ -12,7 +12,7 @@
 //                   [--threads=1] [--dirty-sync] [--full-model]
 //                   [--pipeline=off|prefetch|overlap] [--pipeline-depth=2]
 //                   [--cache=off|oracle] [--cache-budget-rows=4096]
-//                   [--cache-lookahead=8]
+//                   [--cache-lookahead=8] [--cold-precision=fp32|fp16|int8]
 //                   [--ckpt=run.faec] [--ckpt-every=100] [--resume]
 //                   [--fault-plan=device@30,stall@50:0.2,corrupt@75,crash@120]
 //   fae serve       --data=data.faed [--plan=plan.faef] [--swap=swap.faef]
@@ -21,7 +21,7 @@
 //                   [--recal-cooldown=32] [--deadline-ms=250]
 //                   [--recal-retries=3] [--backoff-ms=10] [--no-train]
 //                   [--cache=off|oracle] [--cache-budget-rows=4096]
-//                   [--cache-lookahead=8]
+//                   [--cache-lookahead=8] [--cold-precision=fp32|fp16|int8]
 //                   [--threads=1] [--gpus=4] [--serve-config=serve.cfg]
 //                   [--fault-plan=recal-stall@40:3,swap-crash@60,lookup-loss@80x2]
 //
@@ -41,6 +41,7 @@
 
 #include "bench/bench_util.h"
 #include "core/fae_format.h"
+#include "embedding/cold_precision.h"
 #include "data/dataset_io.h"
 #include "data/synthetic.h"
 #include "engine/ring_limits.h"
@@ -144,6 +145,20 @@ bool ParseCacheFlags(const bench::Args& args, CacheMode* mode,
     return false;
   }
   *lookahead = *depth;
+  return true;
+}
+
+/// Parses --cold-precision for `train` and `serve`. An unknown value is an
+/// error naming the expected set, never a silent fp32 fallback.
+bool ParseColdPrecisionFlag(const bench::Args& args, ColdPrecision* out) {
+  const std::string raw = args.GetString("cold-precision", "fp32");
+  if (!ParseColdPrecision(raw, out)) {
+    std::fprintf(stderr,
+                 "error: unknown --cold-precision '%s' (expected "
+                 "fp32|fp16|int8)\n",
+                 raw.c_str());
+    return false;
+  }
   return true;
 }
 
@@ -277,6 +292,17 @@ int Train(const bench::Args& args) {
                  "pipeline's forward visibility)\n");
     return 2;
   }
+  if (!ParseColdPrecisionFlag(args, &options.cold_precision)) return 2;
+  if (options.cold_precision != ColdPrecision::kFp32 &&
+      options.cache == CacheMode::kOracle) {
+    std::fprintf(stderr,
+                 "error: --cold-precision=%s cannot be combined with "
+                 "--cache=oracle (the cache's budget accounting assumes "
+                 "fp32 cold rows)\n",
+                 std::string(ColdPrecisionName(options.cold_precision))
+                     .c_str());
+    return 2;
+  }
   options.checkpoint.path = args.GetString("ckpt", "");
   options.checkpoint.every_steps = static_cast<size_t>(ckpt_every);
   options.checkpoint.resume = args.GetBool("resume", false);
@@ -298,6 +324,7 @@ int Train(const bench::Args& args) {
   config.sample_rate = args.GetDouble("sample-rate", 0.05);
   config.gpu_memory_budget = args.GetInt("budget-kb", 384) * 1024ull;
   config.large_table_bytes = args.GetInt("cutoff-kb", 4) * 1024ull;
+  config.cold_precision = options.cold_precision;
   system.hot_embedding_budget = config.gpu_memory_budget;
 
   auto model = MakeModel(dataset->schema(),
@@ -305,6 +332,14 @@ int Train(const bench::Args& args) {
   Trainer trainer(model.get(), system, options);
 
   const std::string mode = args.GetString("mode", "fae");
+  if (options.cold_precision != ColdPrecision::kFp32 && mode != "fae") {
+    std::fprintf(stderr,
+                 "error: --cold-precision applies to --mode=fae only "
+                 "(mode '%s' has no hot/cold partition, so there is no "
+                 "cold store to quantize)\n",
+                 mode.c_str());
+    return 2;
+  }
   if (options.cache == CacheMode::kOracle && mode != "baseline" &&
       mode != "fae") {
     std::fprintf(stderr,
@@ -384,6 +419,16 @@ int Train(const bench::Args& args) {
         "fae: hot inputs %.1f%%, %zu transitions, synced %s, final R(%.0f)\n",
         100 * report.hot_fraction, report.transitions,
         HumanBytes(report.sync_bytes).c_str(), report.final_rate);
+    if (options.cold_precision != ColdPrecision::kFp32) {
+      std::printf(
+          "cold store %s: %llu rows in %s, reclaimed %s, effective hot "
+          "budget %s\n",
+          std::string(ColdPrecisionName(options.cold_precision)).c_str(),
+          static_cast<unsigned long long>(report.cold_rows),
+          HumanBytes(report.cold_store_bytes).c_str(),
+          HumanBytes(report.cold_reclaimed_bytes).c_str(),
+          HumanBytes(report.effective_hot_budget).c_str());
+    }
   }
   if (report.resumed) {
     std::printf("resumed from %s at iteration %llu\n",
@@ -497,6 +542,16 @@ int Serve(const bench::Args& args) {
                        &opts.cache_lookahead)) {
     return 2;
   }
+  if (!ParseColdPrecisionFlag(args, &opts.cold_precision)) return 2;
+  if (opts.cold_precision != ColdPrecision::kFp32 &&
+      opts.cache == CacheMode::kOracle) {
+    std::fprintf(stderr,
+                 "error: --cold-precision=%s cannot be combined with "
+                 "--cache=oracle (the cache's budget accounting assumes "
+                 "fp32 cold rows)\n",
+                 std::string(ColdPrecisionName(opts.cold_precision)).c_str());
+    return 2;
+  }
   const Status valid = opts.Validate();
   if (!valid.ok()) return Fail(valid);
 
@@ -568,6 +623,19 @@ int Serve(const bench::Args& args) {
         static_cast<unsigned long long>(report->cache_stale_refreshes),
         HumanBytes(report->cache_prefetch_bytes).c_str(),
         HumanSeconds(report->cache_saved_seconds).c_str());
+  }
+  if (opts.cold_precision != ColdPrecision::kFp32) {
+    uint64_t cold_rows = 0;
+    uint64_t cold_bytes = 0;
+    for (const EmbeddingTable& t : model->tables()) {
+      cold_rows += t.cold_rows();
+      cold_bytes += t.ColdStoreBytes();
+    }
+    std::printf("cold store %s: %llu rows in %s (partition fixed across "
+                "swaps)\n",
+                std::string(ColdPrecisionName(opts.cold_precision)).c_str(),
+                static_cast<unsigned long long>(cold_rows),
+                HumanBytes(cold_bytes).c_str());
   }
   std::printf("latency p50 %.1fus  p99 %.1fus\n",
               report->p50_latency_ns / 1e3, report->p99_latency_ns / 1e3);
