@@ -145,17 +145,17 @@ int Run(int argc, char** argv) {
   bench::Args args(argc, argv);
   Suite s;
   const bool smoke = args.GetBool("smoke", false);
-  s.inputs = static_cast<size_t>(args.GetInt("inputs", (long)s.inputs));
-  s.batch = static_cast<size_t>(args.GetInt("batch", (long)s.batch));
-  s.epochs = static_cast<size_t>(args.GetInt("epochs", (long)s.epochs));
-  s.gpus = static_cast<int>(args.GetInt("gpus", s.gpus));
+  s.inputs = static_cast<size_t>(args.GetNonNegativeInt("inputs", (long)s.inputs));
+  s.batch = static_cast<size_t>(args.GetPositiveInt("batch", (long)s.batch));
+  s.epochs = static_cast<size_t>(args.GetPositiveInt("epochs", (long)s.epochs));
+  s.gpus = static_cast<int>(args.GetPositiveInt("gpus", s.gpus));
   s.zipf = args.GetDouble("zipf", s.zipf);
-  s.budget_bytes = args.GetInt("budget-kb", 1024) * 1024ull;
-  s.depth = static_cast<size_t>(args.GetInt("depth", (long)s.depth));
+  s.budget_bytes = args.GetPositiveInt("budget-kb", 1024) * 1024ull;
+  s.depth = static_cast<size_t>(args.GetPositiveInt("depth", (long)s.depth));
   s.cache_budget_rows = static_cast<size_t>(
-      args.GetInt("cache-budget-rows", (long)s.cache_budget_rows));
+      args.GetPositiveInt("cache-budget-rows", (long)s.cache_budget_rows));
   s.cache_lookahead = static_cast<size_t>(
-      args.GetInt("cache-lookahead", (long)s.cache_lookahead));
+      args.GetPositiveInt("cache-lookahead", (long)s.cache_lookahead));
 
   bench::PrintHeader(
       "Ablation: lookahead oracle cache (--cache) on the pipelined trainer");

@@ -215,15 +215,15 @@ int Run(int argc, char** argv) {
   bench::Args args(argc, argv);
   const bool smoke = args.GetBool("smoke", false);
   const size_t inputs =
-      static_cast<size_t>(args.GetInt("inputs", smoke ? 1200 : 4000));
+      static_cast<size_t>(args.GetNonNegativeInt("inputs", smoke ? 1200 : 4000));
   const size_t plan_inputs =
-      static_cast<size_t>(args.GetInt("plan-inputs", smoke ? 2500 : 8000));
-  const size_t batch = static_cast<size_t>(args.GetInt("batch", 128));
-  const int gpus = static_cast<int>(args.GetInt("gpus", 4));
-  const size_t epochs = static_cast<size_t>(args.GetInt("epochs", 2));
+      static_cast<size_t>(args.GetPositiveInt("plan-inputs", smoke ? 2500 : 8000));
+  const size_t batch = static_cast<size_t>(args.GetPositiveInt("batch", 128));
+  const int gpus = static_cast<int>(args.GetPositiveInt("gpus", 4));
+  const size_t epochs = static_cast<size_t>(args.GetPositiveInt("epochs", 2));
   // Default sits where the feedback loop is visible: fp32 planning only
   // fits a coarse threshold, the int8 reclaimed credit admits a fine one.
-  const uint64_t budget_bytes = args.GetInt("budget-kb", 224) * 1024ull;
+  const uint64_t budget_bytes = args.GetPositiveInt("budget-kb", 224) * 1024ull;
 
   bench::PrintHeader(
       "Ablation: quantized cold-row storage (--cold-precision)");

@@ -124,13 +124,13 @@ int Run(int argc, char** argv) {
   bench::Args args(argc, argv);
   Suite s;
   const bool smoke = args.GetBool("smoke", false);
-  s.inputs = static_cast<size_t>(args.GetInt("inputs", (long)s.inputs));
-  s.batch = static_cast<size_t>(args.GetInt("batch", (long)s.batch));
-  s.epochs = static_cast<size_t>(args.GetInt("epochs", (long)s.epochs));
-  s.gpus = static_cast<int>(args.GetInt("gpus", s.gpus));
+  s.inputs = static_cast<size_t>(args.GetNonNegativeInt("inputs", (long)s.inputs));
+  s.batch = static_cast<size_t>(args.GetPositiveInt("batch", (long)s.batch));
+  s.epochs = static_cast<size_t>(args.GetPositiveInt("epochs", (long)s.epochs));
+  s.gpus = static_cast<int>(args.GetPositiveInt("gpus", s.gpus));
   s.zipf = args.GetDouble("zipf", s.zipf);
-  s.budget_bytes = args.GetInt("budget-kb", 1024) * 1024ull;
-  s.depth = static_cast<size_t>(args.GetInt("depth", (long)s.depth));
+  s.budget_bytes = args.GetPositiveInt("budget-kb", 1024) * 1024ull;
+  s.depth = static_cast<size_t>(args.GetPositiveInt("depth", (long)s.depth));
 
   bench::PrintHeader(
       "Ablation: pipelined trainer (--pipeline) vs serial execution");

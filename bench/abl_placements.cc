@@ -21,8 +21,8 @@ namespace {
 void Run(const bench::Args& args) {
   const DatasetScale scale =
       bench::ParseScale(args.GetString("scale", "tiny"));
-  const size_t inputs = args.GetInt("inputs", 60000);
-  const int gpus = static_cast<int>(args.GetInt("gpus", 4));
+  const size_t inputs = args.GetNonNegativeInt("inputs", 60000);
+  const int gpus = static_cast<int>(args.GetPositiveInt("gpus", 4));
   const std::string workload = args.GetString("workload", "kaggle");
   const WorkloadKind kind = workload == "taobao"
                                 ? WorkloadKind::kTaobaoTbsm

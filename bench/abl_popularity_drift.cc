@@ -22,8 +22,8 @@ namespace fae {
 namespace {
 
 void Run(const bench::Args& args) {
-  const size_t inputs = args.GetInt("inputs", 60000);
-  const int gpus = static_cast<int>(args.GetInt("gpus", 4));
+  const size_t inputs = args.GetNonNegativeInt("inputs", 60000);
+  const int gpus = static_cast<int>(args.GetPositiveInt("gpus", 4));
   const DatasetScale scale = DatasetScale::kTiny;
 
   bench::PrintHeader("Ablation: FAE under popularity drift");

@@ -16,10 +16,10 @@ namespace fae {
 namespace {
 
 void Run(const bench::Args& args) {
-  const uint64_t rows = args.GetInt("rows", 500000);
-  const uint64_t accesses = args.GetInt("accesses", 3000000);
-  const uint64_t h_zt = args.GetInt("h", 10);
-  const int trials = static_cast<int>(args.GetInt("trials", 40));
+  const uint64_t rows = args.GetPositiveInt("rows", 500000);
+  const uint64_t accesses = args.GetPositiveInt("accesses", 3000000);
+  const uint64_t h_zt = args.GetPositiveInt("h", 10);
+  const int trials = static_cast<int>(args.GetPositiveInt("trials", 40));
 
   bench::PrintHeader("Ablation: Rand-Em Box sample count n and chunk size m");
 

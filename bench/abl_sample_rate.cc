@@ -24,7 +24,7 @@ namespace {
 void Run(const bench::Args& args) {
   const DatasetScale scale =
       bench::ParseScale(args.GetString("scale", "tiny"));
-  const size_t inputs = args.GetInt("inputs", 60000);
+  const size_t inputs = args.GetNonNegativeInt("inputs", 60000);
   const double t = args.GetDouble("threshold", 1e-3);
 
   bench::PrintHeader("Ablation: input-sampler rate x");

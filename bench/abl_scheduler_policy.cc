@@ -17,8 +17,8 @@ namespace fae {
 namespace {
 
 void Run(const bench::Args& args) {
-  const size_t inputs = args.GetInt("inputs", 6000);
-  const size_t epochs = args.GetInt("epochs", 2);
+  const size_t inputs = args.GetNonNegativeInt("inputs", 6000);
+  const size_t epochs = args.GetPositiveInt("epochs", 2);
   const DatasetScale scale = DatasetScale::kTiny;
 
   bench::PrintHeader("Ablation: adaptive vs fixed scheduler rates");

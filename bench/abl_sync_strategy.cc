@@ -20,8 +20,8 @@ namespace {
 void Run(const bench::Args& args) {
   const DatasetScale scale =
       bench::ParseScale(args.GetString("scale", "tiny"));
-  const size_t inputs = args.GetInt("inputs", 60000);
-  const int gpus = static_cast<int>(args.GetInt("gpus", 4));
+  const size_t inputs = args.GetNonNegativeInt("inputs", 60000);
+  const int gpus = static_cast<int>(args.GetPositiveInt("gpus", 4));
 
   bench::PrintHeader("Ablation: full vs dirty-row embedding sync");
   std::printf("%d GPUs\n\n", gpus);

@@ -5,6 +5,7 @@
 // binary regenerates one table or figure of the paper (see DESIGN.md §4)
 // and prints the same rows/series the paper reports.
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
@@ -47,6 +48,44 @@ class Args {
   long GetInt(const std::string& key, long fallback) const {
     auto it = values_.find(key);
     return it == values_.end() ? fallback : std::atol(it->second.c_str());
+  }
+
+  /// Strict signed-integer flag: the whole value must parse, and it must
+  /// be >= `min_value`. GetInt is atol-based, so `--gpus=x` or `--gpus=-2`
+  /// silently became a zero or negative resource count and the bench
+  /// "ran" a nonsense cluster; resource-sizing flags reject that with an
+  /// error naming the flag instead.
+  long GetCheckedInt(const std::string& key, long fallback,
+                     long min_value) const {
+    auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    const std::string& raw = it->second;
+    errno = 0;
+    char* end = nullptr;
+    const long value = std::strtol(raw.c_str(), &end, 10);
+    if (raw.empty() || errno != 0 || end != raw.c_str() + raw.size()) {
+      std::fprintf(stderr, "error: --%s='%s' is not an integer\n",
+                   key.c_str(), raw.c_str());
+      std::exit(2);
+    }
+    if (value < min_value) {
+      std::fprintf(stderr, "error: --%s must be >= %ld (got %ld)\n",
+                   key.c_str(), min_value, value);
+      std::exit(2);
+    }
+    return value;
+  }
+
+  /// GetCheckedInt for counts that must be >= 1 (gpus, nodes, batch,
+  /// epochs, depth...).
+  long GetPositiveInt(const std::string& key, long fallback) const {
+    return GetCheckedInt(key, fallback, 1);
+  }
+
+  /// GetCheckedInt for knobs where 0 means "use the default" (inputs,
+  /// seeds).
+  long GetNonNegativeInt(const std::string& key, long fallback) const {
+    return GetCheckedInt(key, fallback, 0);
   }
 
   double GetDouble(const std::string& key, double fallback) const {

@@ -148,8 +148,8 @@ int Run(int argc, char** argv) {
   // Deterministic cost-model time + seeded traffic: smoke and full runs
   // are the identical workload (as with abl_pipelined).
   (void)smoke;
-  const size_t inputs = static_cast<size_t>(args.GetInt("inputs", 12000));
-  const size_t batch = static_cast<size_t>(args.GetInt("batch", 128));
+  const size_t inputs = static_cast<size_t>(args.GetNonNegativeInt("inputs", 12000));
+  const size_t batch = static_cast<size_t>(args.GetPositiveInt("batch", 128));
   // Drift 0.3 rotates ~a third of each table's popularity over the run —
   // past the acceptance floor of 0.2, slow enough per batch that a
   // sliding-window snapshot can track it (real logs drift over days, not

@@ -19,7 +19,7 @@ namespace {
 void Run(const bench::Args& args) {
   const DatasetScale scale =
       bench::ParseScale(args.GetString("scale", "small"));
-  const size_t inputs = args.GetInt("inputs", 0);
+  const size_t inputs = args.GetNonNegativeInt("inputs", 0);
   const double threshold = args.GetDouble("threshold", 1e-4);
 
   bench::PrintHeader(

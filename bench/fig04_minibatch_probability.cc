@@ -16,8 +16,8 @@ namespace fae {
 namespace {
 
 void Run(const bench::Args& args) {
-  const int trials = static_cast<int>(args.GetInt("trials", 20000));
-  Xoshiro256 rng(args.GetInt("seed", 9));
+  const int trials = static_cast<int>(args.GetPositiveInt("trials", 20000));
+  Xoshiro256 rng(args.GetNonNegativeInt("seed", 9));
 
   bench::PrintHeader(
       "Fig 4: probability of an all-hot mini-batch vs mini-batch size");

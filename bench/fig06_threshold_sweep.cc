@@ -18,7 +18,7 @@ namespace {
 void Run(const bench::Args& args) {
   const DatasetScale scale =
       bench::ParseScale(args.GetString("scale", "small"));
-  const size_t inputs = args.GetInt("inputs", 0);
+  const size_t inputs = args.GetNonNegativeInt("inputs", 0);
   const std::string workload = args.GetString("workload", "kaggle");
   const WorkloadKind kind = workload == "taobao"
                                 ? WorkloadKind::kTaobaoTbsm

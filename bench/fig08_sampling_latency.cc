@@ -25,9 +25,9 @@ void Run(const bench::Args& args) {
       bench::ParseScale(args.GetString("scale", "small"));
   // Enough inputs that the profiling pass dominates constant-time
   // allocation overheads (the paper profiles 10M-80M inputs).
-  const size_t inputs = args.GetInt("inputs", 100000);
+  const size_t inputs = args.GetNonNegativeInt("inputs", 100000);
   const double rate = args.GetDouble("rate", 0.05);
-  const int reps = static_cast<int>(args.GetInt("reps", 5));
+  const int reps = static_cast<int>(args.GetPositiveInt("reps", 5));
 
   bench::PrintHeader("Fig 8: profiling latency, full scan vs 5% sample");
   std::printf("%-22s %12s %12s %12s %10s %10s\n", "workload", "full(seed)",

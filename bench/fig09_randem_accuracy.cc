@@ -17,7 +17,7 @@ namespace {
 void Run(const bench::Args& args) {
   const DatasetScale scale =
       bench::ParseScale(args.GetString("scale", "small"));
-  const size_t inputs = args.GetInt("inputs", 0);
+  const size_t inputs = args.GetNonNegativeInt("inputs", 0);
 
   bench::PrintHeader("Fig 9: Rand-Em Box size estimates vs measured");
   std::printf("%-22s %-10s %12s %12s %12s %8s\n", "workload", "threshold",

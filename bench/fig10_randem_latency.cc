@@ -18,8 +18,8 @@ namespace {
 void Run(const bench::Args& args) {
   const DatasetScale scale =
       bench::ParseScale(args.GetString("scale", "medium"));
-  const size_t inputs = args.GetInt("inputs", 20000);
-  const int reps = static_cast<int>(args.GetInt("reps", 5));
+  const size_t inputs = args.GetNonNegativeInt("inputs", 20000);
+  const int reps = static_cast<int>(args.GetPositiveInt("reps", 5));
 
   bench::PrintHeader(
       "Fig 10: per-iteration latency, full scan vs Rand-Em Box");

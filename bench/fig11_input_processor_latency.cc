@@ -24,8 +24,8 @@ namespace {
 void Run(const bench::Args& args) {
   const DatasetScale scale =
       bench::ParseScale(args.GetString("scale", "small"));
-  const size_t inputs = args.GetInt("inputs", 30000);
-  const size_t threads = args.GetInt("threads", 4);
+  const size_t inputs = args.GetNonNegativeInt("inputs", 30000);
+  const size_t threads = args.GetPositiveInt("threads", 4);
 
   bench::PrintHeader("Fig 11: input-processor classification latency");
   std::printf("%zu worker threads\n\n", threads);

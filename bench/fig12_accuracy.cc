@@ -17,8 +17,8 @@ namespace {
 void Run(const bench::Args& args) {
   const DatasetScale scale =
       bench::ParseScale(args.GetString("scale", "tiny"));
-  const size_t inputs = args.GetInt("inputs", 12000);
-  const size_t epochs = args.GetInt("epochs", 2);
+  const size_t inputs = args.GetNonNegativeInt("inputs", 12000);
+  const size_t epochs = args.GetPositiveInt("epochs", 2);
   const bool full_model = args.GetBool("full_model", false);
 
   bench::PrintHeader("Fig 12 + Table III: accuracy, baseline vs FAE");

@@ -22,8 +22,8 @@ void Run(const bench::Args& args) {
       bench::ParseScale(args.GetString("scale", "tiny"));
   // Default to inputs >> table rows, the regime of the paper's datasets
   // (45M-80M inputs vs <=10M-row tables).
-  const size_t inputs = args.GetInt("inputs", 60000);
-  const size_t epochs = args.GetInt("epochs", 1);
+  const size_t inputs = args.GetNonNegativeInt("inputs", 60000);
+  const size_t epochs = args.GetPositiveInt("epochs", 1);
 
   bench::PrintHeader(
       "Fig 13 + Table IV: training time, baseline vs FAE (1/2/4 GPUs)");

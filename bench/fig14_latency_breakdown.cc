@@ -35,7 +35,7 @@ void Run(const bench::Args& args) {
       bench::ParseScale(args.GetString("scale", "tiny"));
   // Default to inputs >> table rows, the regime of the paper's datasets
   // (45M-80M inputs vs <=10M-row tables).
-  const size_t inputs = args.GetInt("inputs", 60000);
+  const size_t inputs = args.GetNonNegativeInt("inputs", 60000);
 
   bench::PrintHeader("Fig 14: latency breakdown; Table V: CPU-GPU comms");
 

@@ -509,7 +509,7 @@ int main(int argc, char** argv) {
     cfg.threads = {1, 4};
     cfg.batch = 2048;
     cfg.table_rows = 100000;
-    cfg.timing.reps = static_cast<int>(args.GetInt("reps", 5));
+    cfg.timing.reps = static_cast<int>(args.GetPositiveInt("reps", 5));
     cfg.timing.target_seconds = 0.02;
   }
 

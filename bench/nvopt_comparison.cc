@@ -22,8 +22,8 @@ void Run(const bench::Args& args) {
       bench::ParseScale(args.GetString("scale", "tiny"));
   // Default to inputs >> table rows, the regime of the paper's datasets
   // (45M-80M inputs vs <=10M-row tables).
-  const size_t inputs = args.GetInt("inputs", 60000);
-  const size_t batch = args.GetInt("batch", 4096);
+  const size_t inputs = args.GetNonNegativeInt("inputs", 60000);
+  const size_t batch = args.GetPositiveInt("batch", 4096);
   // Shrink the modeled GPU memory so the fp16 tables do not all fit, as on
   // the paper's Terabyte dataset (30 GB fp16 vs 16 GB V100). Scaled-down
   // tables need a scaled-down capacity for the same regime.

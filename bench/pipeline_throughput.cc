@@ -394,10 +394,10 @@ int Run(int argc, char** argv) {
     cfg.reps = 1;
   }
   cfg.num_inputs =
-      static_cast<size_t>(args.GetInt("inputs", (long)cfg.num_inputs));
-  cfg.batch = static_cast<size_t>(args.GetInt("batch", (long)cfg.batch));
-  cfg.epochs = static_cast<size_t>(args.GetInt("epochs", (long)cfg.epochs));
-  cfg.reps = static_cast<int>(args.GetInt("reps", cfg.reps));
+      static_cast<size_t>(args.GetNonNegativeInt("inputs", (long)cfg.num_inputs));
+  cfg.batch = static_cast<size_t>(args.GetPositiveInt("batch", (long)cfg.batch));
+  cfg.epochs = static_cast<size_t>(args.GetPositiveInt("epochs", (long)cfg.epochs));
+  cfg.reps = static_cast<int>(args.GetPositiveInt("reps", cfg.reps));
 
   bench::PrintHeader(
       "Data-pipeline throughput: seed AoS layout vs flat SoA layout");

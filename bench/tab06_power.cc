@@ -19,8 +19,8 @@ void Run(const bench::Args& args) {
       bench::ParseScale(args.GetString("scale", "tiny"));
   // Default to inputs >> table rows, the regime of the paper's datasets
   // (45M-80M inputs vs <=10M-row tables).
-  const size_t inputs = args.GetInt("inputs", 60000);
-  const int gpus = static_cast<int>(args.GetInt("gpus", 4));
+  const size_t inputs = args.GetNonNegativeInt("inputs", 60000);
+  const int gpus = static_cast<int>(args.GetPositiveInt("gpus", 4));
 
   bench::PrintHeader("Table VI: per-GPU power, baseline vs FAE");
   std::printf("%d GPUs, paper per-GPU batch sizes (1K Criteo, 256 Taobao)\n\n",

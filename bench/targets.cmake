@@ -83,6 +83,15 @@ add_test(NAME bench_cache_smoke
 add_test(NAME bench_quant_smoke
   COMMAND abl_mixed_precision --smoke --out=${CMAKE_BINARY_DIR}/bench/BENCH_quant_smoke.json)
 
+# Multi-node sharding gate: the FAE engine in every --sharding mode over
+# {1,4} nodes (full run sweeps {1,2,4,8}). Fails unless the statistical
+# placement beats whole-table LPT >= 1.3x on the modeled step time at 4
+# nodes, its imbalance stays <= 1.15, and losses plus the per-phase charge
+# totals are bit-identical across all three modes.
+add_test(NAME bench_multinode_smoke
+  COMMAND ext_multinode --smoke
+    --out=${CMAKE_BINARY_DIR}/bench/BENCH_multinode_smoke.json)
+
 # Serving gate: drift-free vs drifting traffic, with and without the
 # SLO-triggered recalibration + hot-swap, plus an injected-fault run.
 # Fails unless recalibration recovers the hit rate to within 5 points of

@@ -1,0 +1,292 @@
+#include "core/shard_planner.h"
+
+#include <algorithm>
+#include <numeric>
+#include <tuple>
+
+#include "util/file_io.h"
+#include "util/string_util.h"
+
+namespace fae {
+namespace {
+
+constexpr uint32_t kMagic = 0x53454146;  // "FAES"
+constexpr uint32_t kVersion = 1;
+constexpr uint32_t kTrailer = 0x444e4546;  // "FEND"
+
+Status CheckShapes(const AccessProfile& profile, const HotSet& hot_set,
+                   int num_devices) {
+  if (num_devices < 1) {
+    return Status::InvalidArgument("sharding needs num_devices >= 1");
+  }
+  if (profile.num_tables() == 0) {
+    return Status::InvalidArgument(
+        "sharding needs a calibration access profile with per-row counts "
+        "(cached plans carry none — re-run calibration)");
+  }
+  if (profile.num_tables() != hot_set.num_tables()) {
+    return Status::InvalidArgument(
+        StrFormat("profile has %zu tables but the hot set has %zu",
+                  profile.num_tables(), hot_set.num_tables()));
+  }
+  return Status::OK();
+}
+
+/// Cuts `table`'s warm rows (hot, not replicated) into num_devices
+/// contiguous id-order ranges of ~equal mass, appending each range's mass
+/// and row count to the device accumulators. Zero-mass warm sets fall back
+/// to equal row-count cuts so every warm row still gets exactly one owner.
+void CutWarmRows(const std::vector<uint64_t>& counts,
+                 const std::vector<uint8_t>& warm, ShardedPlacement* p,
+                 size_t table) {
+  const int n = p->num_devices;
+  uint64_t warm_mass = 0;
+  uint64_t warm_rows = 0;
+  for (size_t r = 0; r < warm.size(); ++r) {
+    if (!warm[r]) continue;
+    warm_mass += counts[r];
+    ++warm_rows;
+  }
+  if (warm_rows == 0) return;
+
+  std::vector<uint32_t>& c = p->cuts[table];
+  c.assign(n + 1, 0);
+  c[n] = static_cast<uint32_t>(warm.size());
+  const bool by_rows = warm_mass == 0;
+  const uint64_t total = by_rows ? warm_rows : warm_mass;
+  uint64_t cum = 0;
+  int d = 0;
+  uint64_t dev_mass = 0;
+  uint64_t dev_rows = 0;
+  for (size_t r = 0; r < warm.size(); ++r) {
+    if (warm[r]) {
+      cum += by_rows ? 1 : counts[r];
+      dev_mass += counts[r];
+      ++dev_rows;
+    }
+    // Close device d once its cumulative target is met; remaining devices
+    // cover later (rarer) id ranges. 128-bit to dodge overflow on huge
+    // profiles.
+    while (d < n - 1 &&
+           static_cast<unsigned __int128>(cum) * n >=
+               static_cast<unsigned __int128>(total) * (d + 1)) {
+      c[d + 1] = static_cast<uint32_t>(r + 1);
+      p->device_mass[d] += dev_mass;
+      p->device_rows[d] += dev_rows;
+      dev_mass = 0;
+      dev_rows = 0;
+      ++d;
+    }
+  }
+  for (int rest = d + 1; rest < n; ++rest) {
+    c[rest] = static_cast<uint32_t>(warm.size());
+  }
+  p->device_mass[d] += dev_mass;
+  p->device_rows[d] += dev_rows;
+}
+
+}  // namespace
+
+StatusOr<ShardedPlacement> ShardPlanner::PlanStatistical(
+    const AccessProfile& profile, const HotSet& hot_set,
+    const ShardPlannerOptions& options) {
+  FAE_RETURN_IF_ERROR(CheckShapes(profile, hot_set, options.num_devices));
+  const size_t num_tables = profile.num_tables();
+  ShardedPlacement p;
+  p.mode = ShardingMode::kStatistical;
+  p.num_devices = options.num_devices;
+  p.cuts.resize(num_tables);
+  p.replicated.resize(num_tables);
+  p.all_replicated.assign(num_tables, 0);
+  p.device_mass.assign(options.num_devices, 0);
+  p.device_rows.assign(options.num_devices, 0);
+
+  // Small all-hot tables are replicated outright (they are de-facto hot,
+  // §III-A1); masked tables contribute their hot rows as candidates.
+  struct Candidate {
+    uint64_t count;
+    uint32_t table;
+    uint32_t row;
+  };
+  std::vector<Candidate> candidates;
+  uint64_t masked_hot_mass = 0;
+  for (size_t t = 0; t < num_tables; ++t) {
+    if (hot_set.table_all_hot(t)) {
+      p.all_replicated[t] = 1;
+      p.replicated_rows += profile.table_rows(t);
+      p.replicated_mass += profile.table_total(t);
+      continue;
+    }
+    const std::vector<uint64_t>& counts = profile.counts(t);
+    const std::span<const uint8_t> mask = hot_set.mask(t);
+    for (size_t r = 0; r < mask.size(); ++r) {
+      if (!mask[r]) continue;
+      candidates.push_back({counts[r], static_cast<uint32_t>(t),
+                            static_cast<uint32_t>(r)});
+      masked_hot_mass += counts[r];
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.count != b.count) return a.count > b.count;
+              return std::tie(a.table, a.row) < std::tie(b.table, b.row);
+            });
+
+  const uint64_t row_bytes = options.embedding_dim * sizeof(float);
+  const double target =
+      std::clamp(options.replicate_mass_fraction, 0.0, 1.0) *
+      static_cast<double>(masked_hot_mass);
+  uint64_t replicated_masked_mass = 0;
+  for (const Candidate& cand : candidates) {
+    if (static_cast<double>(replicated_masked_mass) >= target) break;
+    if (options.replicate_byte_cap > 0 &&
+        (p.replicated_rows + 1) * row_bytes > options.replicate_byte_cap) {
+      break;
+    }
+    std::vector<uint8_t>& mask = p.replicated[cand.table];
+    if (mask.empty()) mask.assign(profile.table_rows(cand.table), 0);
+    mask[cand.row] = 1;
+    replicated_masked_mass += cand.count;
+    p.replicated_mass += cand.count;
+    ++p.replicated_rows;
+  }
+
+  for (size_t t = 0; t < num_tables; ++t) {
+    if (p.all_replicated[t]) continue;
+    const std::span<const uint8_t> hot = hot_set.mask(t);
+    const std::vector<uint8_t>& rep = p.replicated[t];
+    std::vector<uint8_t> warm(hot.begin(), hot.end());
+    if (!rep.empty()) {
+      for (size_t r = 0; r < warm.size(); ++r) {
+        if (rep[r]) warm[r] = 0;
+      }
+    }
+    CutWarmRows(profile.counts(t), warm, &p, t);
+  }
+  return p;
+}
+
+StatusOr<ShardedPlacement> ShardPlanner::PlanLpt(const AccessProfile& profile,
+                                                 const HotSet& hot_set,
+                                                 int num_devices) {
+  FAE_RETURN_IF_ERROR(CheckShapes(profile, hot_set, num_devices));
+  const size_t num_tables = profile.num_tables();
+  ShardedPlacement p;
+  p.mode = ShardingMode::kLpt;
+  p.num_devices = num_devices;
+  p.cuts.resize(num_tables);
+  p.replicated.resize(num_tables);
+  p.all_replicated.assign(num_tables, 0);
+  p.device_mass.assign(num_devices, 0);
+  p.device_rows.assign(num_devices, 0);
+
+  // Weight = expected lookup mass on the table's hot rows; sharding by
+  // bytes would balance capacity but leave traffic wherever the skew put
+  // it (the exact failure mode the statistical planner exists to fix).
+  std::vector<uint64_t> weights(num_tables, 0);
+  std::vector<uint64_t> hot_rows(num_tables, 0);
+  for (size_t t = 0; t < num_tables; ++t) {
+    if (hot_set.table_all_hot(t)) {
+      weights[t] = profile.table_total(t);
+      hot_rows[t] = profile.table_rows(t);
+      continue;
+    }
+    const std::vector<uint64_t>& counts = profile.counts(t);
+    const std::span<const uint8_t> mask = hot_set.mask(t);
+    for (size_t r = 0; r < mask.size(); ++r) {
+      if (!mask[r]) continue;
+      weights[t] += counts[r];
+      ++hot_rows[t];
+    }
+  }
+  const Partition part = PartitionLpt(weights, num_devices);
+  for (size_t t = 0; t < num_tables; ++t) {
+    if (hot_rows[t] == 0) continue;  // fully cold: nothing to place
+    const int d = part.bin_of[t];
+    std::vector<uint32_t>& c = p.cuts[t];
+    c.assign(num_devices + 1, 0);
+    const uint32_t rows = static_cast<uint32_t>(profile.table_rows(t));
+    for (int i = d + 1; i <= num_devices; ++i) c[i] = rows;
+    p.device_mass[d] += weights[t];
+    p.device_rows[d] += hot_rows[t];
+  }
+  return p;
+}
+
+Status ShardPlanner::Save(const std::string& path,
+                          const ShardedPlacement& p) {
+  FAE_ASSIGN_OR_RETURN(BinaryWriter w, BinaryWriter::OpenAtomic(path));
+  FAE_RETURN_IF_ERROR(w.WriteU32(kMagic));
+  FAE_RETURN_IF_ERROR(w.WriteU32(kVersion));
+  FAE_RETURN_IF_ERROR(w.WriteU32(static_cast<uint32_t>(p.mode)));
+  FAE_RETURN_IF_ERROR(w.WriteU32(static_cast<uint32_t>(p.num_devices)));
+  FAE_RETURN_IF_ERROR(w.WriteU64(p.num_tables()));
+  for (size_t t = 0; t < p.num_tables(); ++t) {
+    FAE_RETURN_IF_ERROR(w.WriteU32(p.all_replicated[t]));
+    FAE_RETURN_IF_ERROR(w.WriteVector(p.cuts[t]));
+    FAE_RETURN_IF_ERROR(w.WriteVector(p.replicated[t]));
+  }
+  FAE_RETURN_IF_ERROR(w.WriteVector(p.device_mass));
+  FAE_RETURN_IF_ERROR(w.WriteVector(p.device_rows));
+  FAE_RETURN_IF_ERROR(w.WriteU64(p.replicated_mass));
+  FAE_RETURN_IF_ERROR(w.WriteU64(p.replicated_rows));
+  FAE_RETURN_IF_ERROR(w.WriteU32(kTrailer));
+  FAE_RETURN_IF_ERROR(w.WriteU32(w.crc()));
+  return w.Commit();
+}
+
+StatusOr<ShardedPlacement> ShardPlanner::Load(const std::string& path) {
+  FAE_RETURN_IF_ERROR(VerifyFileIntegrity(path));
+  FAE_ASSIGN_OR_RETURN(BinaryReader r, BinaryReader::Open(path));
+  FAE_ASSIGN_OR_RETURN(uint32_t magic, r.ReadU32());
+  if (magic != kMagic) {
+    return Status::DataLoss("not a sharded placement file: " + path);
+  }
+  FAE_ASSIGN_OR_RETURN(uint32_t version, r.ReadU32());
+  if (version != kVersion) {
+    return Status::DataLoss(
+        StrFormat("unsupported placement version %u", version));
+  }
+  ShardedPlacement p;
+  FAE_ASSIGN_OR_RETURN(uint32_t mode, r.ReadU32());
+  if (mode > static_cast<uint32_t>(ShardingMode::kStatistical)) {
+    return Status::DataLoss("unknown sharding mode in placement file");
+  }
+  p.mode = static_cast<ShardingMode>(mode);
+  FAE_ASSIGN_OR_RETURN(uint32_t devices, r.ReadU32());
+  if (devices < 1) {
+    return Status::DataLoss("placement file has no devices");
+  }
+  p.num_devices = static_cast<int>(devices);
+  FAE_ASSIGN_OR_RETURN(uint64_t num_tables, r.ReadU64());
+  p.cuts.resize(num_tables);
+  p.replicated.resize(num_tables);
+  p.all_replicated.resize(num_tables);
+  for (size_t t = 0; t < num_tables; ++t) {
+    FAE_ASSIGN_OR_RETURN(uint32_t all_rep, r.ReadU32());
+    p.all_replicated[t] = static_cast<uint8_t>(all_rep);
+    FAE_ASSIGN_OR_RETURN(p.cuts[t], r.ReadVector<uint32_t>());
+    FAE_ASSIGN_OR_RETURN(p.replicated[t], r.ReadVector<uint8_t>());
+    if (!p.cuts[t].empty()) {
+      if (p.cuts[t].size() != static_cast<size_t>(p.num_devices) + 1 ||
+          !std::is_sorted(p.cuts[t].begin(), p.cuts[t].end())) {
+        return Status::DataLoss("malformed shard cuts in placement file");
+      }
+    }
+  }
+  FAE_ASSIGN_OR_RETURN(p.device_mass, r.ReadVector<uint64_t>());
+  FAE_ASSIGN_OR_RETURN(p.device_rows, r.ReadVector<uint64_t>());
+  if (p.device_mass.size() != static_cast<size_t>(p.num_devices) ||
+      p.device_rows.size() != static_cast<size_t>(p.num_devices)) {
+    return Status::DataLoss("device accounting mismatch in placement file");
+  }
+  FAE_ASSIGN_OR_RETURN(p.replicated_mass, r.ReadU64());
+  FAE_ASSIGN_OR_RETURN(p.replicated_rows, r.ReadU64());
+  FAE_ASSIGN_OR_RETURN(uint32_t trailer, r.ReadU32());
+  if (trailer != kTrailer) {
+    return Status::DataLoss("placement file trailer missing (truncated?)");
+  }
+  return p;
+}
+
+}  // namespace fae

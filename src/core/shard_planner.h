@@ -1,0 +1,63 @@
+#ifndef FAE_CORE_SHARD_PLANNER_H_
+#define FAE_CORE_SHARD_PLANNER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "core/embedding_classifier.h"
+#include "sim/partition.h"
+#include "stats/access_profile.h"
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace fae {
+
+/// Statistical multi-GPU placement of the hot embedding slice, in the
+/// RecShard mold: the same per-row access-frequency CDFs Rand-Em consumes
+/// decide which rows every device should hold (replicate the head, shard
+/// the warm body by expected traffic) instead of hashing or whole-table
+/// LPT. Cold rows are not placed — they stay CPU-resident behind the cold
+/// store, exactly as in replicate mode.
+struct ShardPlannerOptions {
+  int num_devices = 1;
+  /// Fraction of the masked tables' hot access mass to replicate on every
+  /// device. Replicated lookups are always local (no all-to-all); the cost
+  /// is their gradient rows riding the all-reduce, so most of the head is
+  /// worth replicating but the tail is not.
+  double replicate_mass_fraction = 0.75;
+  /// Hard cap on replicated rows' bytes per device (0 = no cap). The hot
+  /// slice already fits the calibrated GPU budget fully replicated, so the
+  /// cap only matters for callers planning against a tighter budget.
+  uint64_t replicate_byte_cap = 0;
+  size_t embedding_dim = 0;
+};
+
+class ShardPlanner {
+ public:
+  /// CDF-driven plan: small all-hot tables and the globally hottest masked
+  /// rows (by access count, deterministic (table, row) tie-break) are
+  /// replicated until `replicate_mass_fraction` of the masked hot mass is
+  /// covered; each table's remaining warm rows are cut into num_devices
+  /// contiguous id-order ranges of equal access mass. Requires a profile
+  /// with per-row counts (a fresh calibration; cached plans carry none).
+  static StatusOr<ShardedPlacement> PlanStatistical(
+      const AccessProfile& profile, const HotSet& hot_set,
+      const ShardPlannerOptions& options);
+
+  /// Whole-table comparator: tables LPT-partitioned by expected hot lookup
+  /// mass, nothing replicated. What a placement-unaware trainer would do,
+  /// and what the statistical plan is benched against.
+  static StatusOr<ShardedPlacement> PlanLpt(const AccessProfile& profile,
+                                            const HotSet& hot_set,
+                                            int num_devices);
+
+  /// FaeFormat-style container (magic/version/CRC-32/trailer, atomic
+  /// temp+rename write, integrity verified before parsing).
+  static Status Save(const std::string& path, const ShardedPlacement& p);
+  static StatusOr<ShardedPlacement> Load(const std::string& path);
+};
+
+}  // namespace fae
+
+#endif  // FAE_CORE_SHARD_PLANNER_H_

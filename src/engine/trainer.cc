@@ -9,6 +9,7 @@
 #include "core/fae_format.h"
 #include "engine/batch_pipeline.h"
 #include "core/input_processor.h"
+#include "core/shard_planner.h"
 #include "core/shuffle_scheduler.h"
 #include "engine/dirty_rows.h"
 #include "engine/ring_limits.h"
@@ -159,6 +160,77 @@ struct OracleCacheRig {
   }
 };
 
+/// Prices hot steps and hot-slice syncs under a sharded placement
+/// (TrainOptions::sharding) against the replicate-mode charges the real
+/// timeline always carries, crediting the difference through
+/// Timeline::AddShardingSavedSeconds — the OracleCacheRig overlay contract
+/// applied to the hot side. The credit is signed: whole-table LPT usually
+/// *loses* to replication and the modeled wall must show it.
+struct ShardingRig {
+  ShardedPlacement placement;
+  const StepAccountant* accountant = nullptr;
+  /// Per-hot-batch traffic splits, precomputed once from each batch's
+  /// actual lookups against the placement (indexed like hot_batches).
+  std::vector<StepAccountant::ShardedStepTraffic> traffic;
+  /// Placement byte totals for scaling sync events that ship fewer bytes
+  /// than the whole slice (dirty sync assumes uniform dirtiness).
+  uint64_t hot_bytes = 0;
+  uint64_t replicated_bytes = 0;
+  uint64_t shard_bytes_total = 0;
+  uint64_t max_shard_bytes = 0;
+  /// Positive savings accumulated in the current schedule chunk; the
+  /// kOverlap pairing subtracts this from a hot chunk's unhidden span,
+  /// mirroring OracleCacheRig::chunk_saved on the cold side.
+  double chunk_saved = 0.0;
+
+  void Credit(double plain_seconds, double sharded_seconds, Timeline& tl) {
+    const double saved = plain_seconds - sharded_seconds;
+    tl.AddShardingSavedSeconds(saved);
+    if (saved > 0.0) chunk_saved += saved;
+  }
+
+  void PriceHotStep(const BatchWork& w, size_t batch, double plain_seconds,
+                    Timeline& tl) {
+    Timeline scratch;
+    accountant->ChargeShardedHotStep(w, traffic[batch], scratch);
+    Credit(plain_seconds, scratch.PhaseSumSeconds(), tl);
+  }
+
+  void PriceSyncToGpus(uint64_t shipped_bytes, Timeline& tl) {
+    const double frac =
+        hot_bytes > 0
+            ? static_cast<double>(shipped_bytes) / static_cast<double>(
+                                                       hot_bytes)
+            : 0.0;
+    Timeline plain;
+    accountant->ChargeSyncToGpus(shipped_bytes, plain);
+    Timeline scratch;
+    accountant->ChargeShardedSyncToGpus(
+        static_cast<uint64_t>(static_cast<double>(replicated_bytes) * frac),
+        static_cast<uint64_t>(static_cast<double>(shard_bytes_total) * frac),
+        static_cast<uint64_t>(static_cast<double>(max_shard_bytes) * frac),
+        scratch);
+    Credit(plain.PhaseSumSeconds(), scratch.PhaseSumSeconds(), tl);
+  }
+
+  void PriceSyncToCpu(uint64_t shipped_bytes, Timeline& tl) {
+    const double frac =
+        hot_bytes > 0
+            ? static_cast<double>(shipped_bytes) / static_cast<double>(
+                                                       hot_bytes)
+            : 0.0;
+    Timeline plain;
+    accountant->ChargeSyncToCpu(shipped_bytes, plain);
+    Timeline scratch;
+    accountant->ChargeShardedSyncToCpu(
+        static_cast<uint64_t>(static_cast<double>(replicated_bytes) * frac),
+        static_cast<uint64_t>(static_cast<double>(shard_bytes_total) * frac),
+        static_cast<uint64_t>(static_cast<double>(max_shard_bytes) * frac),
+        scratch);
+    Credit(plain.PhaseSumSeconds(), scratch.PhaseSumSeconds(), tl);
+  }
+};
+
 }  // namespace
 
 std::string_view TrainModeName(TrainMode mode) {
@@ -217,6 +289,10 @@ uint64_t Trainer::OptionsFingerprint() const {
   // every table), and the resume path reconciles it explicitly — same
   // precision resumes verbatim, fp32 widens exactly, anything else is
   // rejected — so the fingerprint would only forbid the legal directions.
+  // sharding is absent on the cache contract: a sharded placement is a
+  // pure cost-model overlay (math always reads the CPU master and the
+  // savings live outside Timeline::State), so a resume may switch
+  // --sharding freely.
   return h;
 }
 
@@ -306,6 +382,7 @@ void Trainer::FinishReport(TrainReport& report,
   report.overlap_saved_seconds = report.timeline.overlap_saved_seconds();
   report.overlap_fraction = report.timeline.OverlapFraction();
   report.cache_saved_seconds = report.timeline.cache_saved_seconds();
+  report.sharding_saved_seconds = report.timeline.sharding_saved_seconds();
   const Timeline::CacheCounters& cc = report.timeline.cache_counters();
   report.cache_hits = cc.hits;
   report.cache_misses = cc.misses;
@@ -352,6 +429,11 @@ StatusOr<TrainReport> Trainer::TrainBaselineResumable(
     return Status::InvalidArgument(
         "--cold-precision applies to the FAE placement only: the baseline "
         "has no hot/cold partition, so there is no cold store to quantize");
+  }
+  if (options_.sharding != ShardingMode::kReplicate) {
+    return Status::InvalidArgument(
+        "--sharding applies to the FAE placement only: the baseline keeps "
+        "every embedding on the CPU, so there is no hot slice to shard");
   }
   exec_.MaybeQuantizeTables();
   TrainReport report;
@@ -700,6 +782,97 @@ StatusOr<TrainReport> Trainer::TrainFaeWithPlan(const Dataset& dataset,
   report.hot_batches = hot_batches.size();
   report.cold_batches = cold_batches.size();
 
+  // Sharded hot-slice placement (TrainOptions::sharding): plan it from the
+  // calibration access profile against the *post-degrade* hot set, then
+  // precompute each hot batch's traffic split once — the overlay prices
+  // every hot step against it below. Pure cost model: the replicas keep
+  // holding the full slice and math never changes.
+  const bool sharded = options_.sharding != ShardingMode::kReplicate;
+  ShardingRig shard_rig;
+  if (sharded) {
+    const AccessProfile& profile = p.calibration.profile;
+    if (profile.num_tables() != schema.num_tables()) {
+      return Status::InvalidArgument(
+          "--sharding=lpt|statistical needs a fresh plan: plans loaded "
+          "from the FAE-format cache carry no per-row access profile for "
+          "the planner to consume (re-run calibration without --plan)");
+    }
+    const int world = std::max(1, system_.WorldSize());
+    StatusOr<ShardedPlacement> placement =
+        options_.sharding == ShardingMode::kLpt
+            ? ShardPlanner::PlanLpt(profile, p.hot_set, world)
+            : ShardPlanner::PlanStatistical(
+                  profile, p.hot_set,
+                  ShardPlannerOptions{world, /*replicate_mass_fraction=*/0.85,
+                                      /*replicate_byte_cap=*/0,
+                                      schema.embedding_dim});
+    FAE_RETURN_IF_ERROR(placement.status());
+    shard_rig.placement = std::move(placement).value();
+    shard_rig.accountant = &accountant_;
+    shard_rig.hot_bytes = p.hot_bytes;
+    shard_rig.replicated_bytes =
+        shard_rig.placement.ReplicatedBytes(schema.embedding_dim);
+    uint64_t shard_rows_total = 0;
+    for (uint64_t r : shard_rig.placement.device_rows) shard_rows_total += r;
+    shard_rig.shard_bytes_total =
+        shard_rows_total * schema.embedding_dim * sizeof(float);
+    shard_rig.max_shard_bytes =
+        shard_rig.placement.MaxShardBytes(schema.embedding_dim);
+    report.sharding_imbalance = shard_rig.placement.Imbalance();
+    report.sharding_replicated_rows = shard_rig.placement.replicated_rows;
+    report.sharding_replicated_bytes = shard_rig.replicated_bytes;
+    report.sharding_max_shard_bytes = shard_rig.max_shard_bytes;
+
+    // Per-batch traffic splits. Lookups count every reference; the touched
+    // splits count unique rows (the sparse-optimizer payload), mirroring
+    // BatchWork's lookup/touched distinction.
+    const uint64_t row_b = schema.embedding_dim * sizeof(float);
+    std::vector<uint64_t> dev_lookups(world);
+    std::vector<uint64_t> dev_touched(world);
+    std::vector<uint32_t> uniq;
+    shard_rig.traffic.reserve(hot_batches.size());
+    for (const TrainBatch& batch : hot_batches) {
+      std::fill(dev_lookups.begin(), dev_lookups.end(), 0);
+      std::fill(dev_touched.begin(), dev_touched.end(), 0);
+      uint64_t rep_lookups = 0;
+      uint64_t rep_touched = 0;
+      for (size_t t = 0; t < schema.num_tables(); ++t) {
+        const std::span<const uint32_t> rows = batch.view.indices(t);
+        for (uint32_t row : rows) {
+          if (shard_rig.placement.IsReplicated(t, row)) {
+            ++rep_lookups;
+          } else {
+            const int d = shard_rig.placement.DeviceOf(t, row);
+            ++dev_lookups[d < 0 ? 0 : d];
+          }
+        }
+        uniq.assign(rows.begin(), rows.end());
+        std::sort(uniq.begin(), uniq.end());
+        uniq.erase(std::unique(uniq.begin(), uniq.end()), uniq.end());
+        for (uint32_t row : uniq) {
+          if (shard_rig.placement.IsReplicated(t, row)) {
+            ++rep_touched;
+          } else {
+            const int d = shard_rig.placement.DeviceOf(t, row);
+            ++dev_touched[d < 0 ? 0 : d];
+          }
+        }
+      }
+      StepAccountant::ShardedStepTraffic traffic;
+      traffic.replicated_lookup_bytes = rep_lookups * row_b;
+      traffic.replicated_touched_bytes = rep_touched * row_b;
+      for (int d = 0; d < world; ++d) {
+        traffic.sharded_lookup_bytes += dev_lookups[d] * row_b;
+        traffic.sharded_touched_bytes += dev_touched[d] * row_b;
+        traffic.max_device_lookup_bytes = std::max(
+            traffic.max_device_lookup_bytes, dev_lookups[d] * row_b);
+        traffic.max_device_touched_bytes = std::max(
+            traffic.max_device_touched_bytes, dev_touched[d] * row_b);
+      }
+      shard_rig.traffic.push_back(traffic);
+    }
+  }
+
   const EvalSet eval_set =
       options_.run_math ? exec_.MakeEvalSet(dataset, split) : EvalSet{};
 
@@ -998,6 +1171,7 @@ StatusOr<TrainReport> Trainer::TrainFaeWithPlan(const Dataset& dataset,
       }
       tracker.BeginSegment();
       rig.chunk_saved = 0.0;
+      shard_rig.chunk_saved = 0.0;
       // The chunk window spans everything charged for this chunk —
       // including the hot-slice syncs — so kOverlap can pair a cold
       // chunk's CPU time against the next hot chunk's GPU+DMA time.
@@ -1017,6 +1191,9 @@ StatusOr<TrainReport> Trainer::TrainFaeWithPlan(const Dataset& dataset,
           charge_serial([&] {
             accountant_.ChargeSyncToGpus(p.hot_bytes, report.timeline);
           });
+          if (sharded) {
+            shard_rig.PriceSyncToGpus(p.hot_bytes, report.timeline);
+          }
           report.sync_bytes += p.hot_bytes;
           if (options_.run_math) replicator.PullFromMasters(model_->tables());
           if (dirty_sync) master_dirty.Clear();
@@ -1031,6 +1208,7 @@ StatusOr<TrainReport> Trainer::TrainFaeWithPlan(const Dataset& dataset,
             charge_serial([&] {
               accountant_.ChargeSyncToGpus(bytes, report.timeline);
             });
+            if (sharded) shard_rig.PriceSyncToGpus(bytes, report.timeline);
             report.sync_bytes += bytes;
             if (options_.run_math) {
               replicator.PullFromMasters(model_->tables());
@@ -1039,6 +1217,7 @@ StatusOr<TrainReport> Trainer::TrainFaeWithPlan(const Dataset& dataset,
             charge_serial([&] {
               accountant_.ChargeSyncToGpus(bytes, report.timeline);
             });
+            if (sharded) shard_rig.PriceSyncToGpus(bytes, report.timeline);
             report.sync_bytes += bytes;
             if (options_.run_math) {
               replicator.PullRowsFromMasters(model_->tables(),
@@ -1073,6 +1252,10 @@ StatusOr<TrainReport> Trainer::TrainFaeWithPlan(const Dataset& dataset,
           const double step_seconds =
               report.timeline.PhaseSumSeconds() - before;
           tracker.OnStep(prep, step_seconds, step_seconds);
+          if (sharded) {
+            shard_rig.PriceHotStep(hot_batches[i].work, i, step_seconds,
+                                   report.timeline);
+          }
           if (options_.run_math) {
             exec_.MathStep(*math_view, replica_tables, metric, window);
           }
@@ -1091,6 +1274,9 @@ StatusOr<TrainReport> Trainer::TrainFaeWithPlan(const Dataset& dataset,
           charge_serial([&] {
             accountant_.ChargeSyncToCpu(p.hot_bytes, report.timeline);
           });
+          if (sharded) {
+            shard_rig.PriceSyncToCpu(p.hot_bytes, report.timeline);
+          }
           report.sync_bytes += p.hot_bytes;
           if (options_.run_math) replicator.PushToMasters(model_->tables());
         } else {
@@ -1100,6 +1286,7 @@ StatusOr<TrainReport> Trainer::TrainFaeWithPlan(const Dataset& dataset,
             charge_serial([&] {
               accountant_.ChargeSyncToCpu(bytes, report.timeline);
             });
+            if (sharded) shard_rig.PriceSyncToCpu(bytes, report.timeline);
             report.sync_bytes += bytes;
             if (options_.run_math) {
               replicator.PushToMasters(model_->tables());
@@ -1108,6 +1295,7 @@ StatusOr<TrainReport> Trainer::TrainFaeWithPlan(const Dataset& dataset,
             charge_serial([&] {
               accountant_.ChargeSyncToCpu(bytes, report.timeline);
             });
+            if (sharded) shard_rig.PriceSyncToCpu(bytes, report.timeline);
             report.sync_bytes += bytes;
             if (options_.run_math) {
               replicator.PushRowsToMasters(model_->tables(),
@@ -1194,7 +1382,12 @@ StatusOr<TrainReport> Trainer::TrainFaeWithPlan(const Dataset& dataset,
         // overlapped hot/cold schedule the pipelined trainer models.
         const double unhidden = tracker.ChunkUnhiddenSeconds();
         if (chunk->hot) {
-          const double hid = std::min(pending_cold_unhidden, unhidden);
+          // Mirror of the cold-side cache guard below: seconds the sharded
+          // placement already removed from this hot chunk cannot also hide
+          // banked cold seconds.
+          const double hid = std::min(
+              pending_cold_unhidden,
+              std::max(0.0, unhidden - shard_rig.chunk_saved));
           if (hid > 0.0) report.timeline.AddOverlapSavedSeconds(hid);
           pending_cold_unhidden = 0.0;
         } else {

@@ -18,6 +18,7 @@
 #include "models/rec_model.h"
 #include "sim/cost_model.h"
 #include "sim/fault_injector.h"
+#include "sim/partition.h"
 #include "util/statusor.h"
 
 namespace fae {
@@ -120,6 +121,16 @@ struct TrainOptions {
   /// modes. Mutually exclusive with fp16_embeddings and the oracle cache
   /// (their budget accounting assumes fp32 cold rows).
   ColdPrecision cold_precision = ColdPrecision::kFp32;
+  /// Multi-GPU layout of the hot embedding slice (FAE only; see
+  /// core/shard_planner.h). kReplicate is the paper's scheme; kLpt and
+  /// kStatistical shard the slice across the cluster's GPUs and reprice
+  /// every hot step and sync against the placement. Pure cost-model
+  /// overlay like the cache knobs — math always reads the CPU master, so
+  /// losses, tables, and checkpoint bytes are bit-identical across modes
+  /// and the knob is fingerprint-exempt. Non-replicate modes need a fresh
+  /// plan (the planner consumes the calibration access profile, which
+  /// cached plans do not carry).
+  ShardingMode sharding = ShardingMode::kReplicate;
 };
 
 /// Everything a training run reports: the modeled timeline, the measured
@@ -185,6 +196,18 @@ struct TrainReport {
   /// Budget the hot slice was admitted against: hot_embedding_budget plus
   /// the realized plan's reclaimed bytes (equals the plain budget at fp32).
   uint64_t effective_hot_budget = 0;
+  /// Sharded hot-slice placement (TrainOptions::sharding; all zero and
+  /// imbalance 0 when kReplicate). Net seconds the placement removed from
+  /// the modeled wall vs full replication — negative when it lost (LPT
+  /// usually does). Like the overlap/cache savings, not checkpointed.
+  double sharding_saved_seconds = 0.0;
+  /// Expected per-device lookup-mass imbalance of the placement (max/mean,
+  /// >= 1.0; ShardedPlacement::Imbalance).
+  double sharding_imbalance = 0.0;
+  uint64_t sharding_replicated_rows = 0;
+  uint64_t sharding_replicated_bytes = 0;
+  /// Largest single-device shard (rows the bottleneck owner holds).
+  uint64_t sharding_max_shard_bytes = 0;
 
   // Robustness (graceful degradation, fault injection, resume):
   /// The hot slice was demoted to fit the budget (see DegradePlanToBudget).

@@ -48,7 +48,7 @@ double Timeline::TotalSeconds() const {
 
 double Timeline::OverlappedTotalSeconds() const {
   const double total = TotalSeconds();
-  const double saved = overlap_saved_ + cache_saved_;
+  const double saved = overlap_saved_ + cache_saved_ + sharding_saved_;
   return saved < total ? total - saved : 0.0;
 }
 
@@ -65,6 +65,7 @@ void Timeline::Merge(const Timeline& other) {
   wall_seconds_ += other.wall_seconds_;
   overlap_saved_ += other.overlap_saved_;
   cache_saved_ += other.cache_saved_;
+  sharding_saved_ += other.sharding_saved_;
   cache_counters_.hits += other.cache_counters_.hits;
   cache_counters_.misses += other.cache_counters_.misses;
   cache_counters_.stale_refreshes += other.cache_counters_.stale_refreshes;
@@ -107,6 +108,13 @@ std::string Timeline::Report() const {
         HumanSeconds(cache_saved_).c_str(),
         HumanBytes(cache_counters_.prefetch_bytes).c_str(),
         HumanBytes(cache_counters_.writeback_bytes).c_str());
+  }
+  if (sharding_saved_ != 0.0) {
+    out += StrFormat("  sharded placement %s %s vs replicate\n",
+                     sharding_saved_ > 0.0 ? "saved" : "cost",
+                     HumanSeconds(sharding_saved_ > 0.0 ? sharding_saved_
+                                                        : -sharding_saved_)
+                         .c_str());
   }
   out += StrFormat("  pcie %s, nvlink %s, network %s\n",
                    HumanBytes(pcie_bytes_).c_str(),

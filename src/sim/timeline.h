@@ -129,9 +129,21 @@ class Timeline {
   CacheCounters& cache_counters() { return cache_counters_; }
   const CacheCounters& cache_counters() const { return cache_counters_; }
 
-  /// TotalSeconds() minus the overlap and cache savings: the modeled
-  /// wall-clock of the pipelined execution. Equals TotalSeconds() when
-  /// nothing overlapped and no cache ran.
+  /// Sharded-placement accounting (--sharding=lpt|statistical): the real
+  /// timeline always carries the replicate-mode charges; the trainer
+  /// prices the sharded variant of each hot step and sync into a scratch
+  /// timeline and records the difference here. Outside State like the
+  /// overlap and cache accumulators, so checkpoints stay byte-identical
+  /// across sharding modes and a resume may switch them. Negative totals
+  /// are expected — whole-table LPT typically *loses* to replication (the
+  /// all-to-all it adds dwarfs the sync it saves) and that loss must show
+  /// in the modeled wall.
+  void AddShardingSavedSeconds(double seconds) { sharding_saved_ += seconds; }
+  double sharding_saved_seconds() const { return sharding_saved_; }
+
+  /// TotalSeconds() minus the overlap, cache, and sharding savings: the
+  /// modeled wall-clock of the pipelined execution. Equals TotalSeconds()
+  /// when nothing overlapped and no cache or sharded placement ran.
   double OverlappedTotalSeconds() const;
 
   /// Fraction of the serial wall-clock hidden by overlap, in [0, 1).
@@ -163,6 +175,8 @@ class Timeline {
   double overlap_saved_ = 0.0;
   /// Not part of State either — see the CacheCounters doc comment.
   double cache_saved_ = 0.0;
+  /// Not part of State either — see AddShardingSavedSeconds.
+  double sharding_saved_ = 0.0;
   CacheCounters cache_counters_;
   double cpu_busy_ = 0.0;
   double gpu_busy_ = 0.0;

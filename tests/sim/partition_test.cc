@@ -95,5 +95,100 @@ TEST(PartitionTest, EmptyInput) {
   EXPECT_DOUBLE_EQ(p.Imbalance(), 1.0);
 }
 
+TEST(PartitionTest, ImbalanceNeverBelowOneFuzzed) {
+  // max/mean >= 1 by construction; a value below 1 would mean the mean
+  // was computed over the wrong device count.
+  Xoshiro256 rng(41);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<uint64_t> weights(1 + rng.NextBounded(64));
+    for (auto& w : weights) w = rng.NextBounded(10000);
+    const int bins = 1 + static_cast<int>(rng.NextBounded(12));
+    EXPECT_GE(PartitionLpt(weights, bins).Imbalance(), 1.0);
+  }
+}
+
+// Exhaustive optimal makespan for small inputs: every assignment of
+// `weights` to `bins` enumerated as a base-`bins` counter.
+uint64_t BruteForceOptimal(const std::vector<uint64_t>& weights, int bins) {
+  const size_t n = weights.size();
+  uint64_t best = ~uint64_t{0};
+  size_t combos = 1;
+  for (size_t i = 0; i < n; ++i) combos *= bins;
+  std::vector<uint64_t> load(bins);
+  for (size_t a = 0; a < combos; ++a) {
+    std::fill(load.begin(), load.end(), 0);
+    size_t code = a;
+    for (size_t i = 0; i < n; ++i) {
+      load[code % bins] += weights[i];
+      code /= bins;
+    }
+    best = std::min(best, *std::max_element(load.begin(), load.end()));
+  }
+  return best;
+}
+
+TEST(PartitionTest, WithinFourThirdsOfBruteForceOptimal) {
+  // Graham's bound against the *true* optimum, not just the total/m lower
+  // bound: LPT makespan <= (4/3 - 1/(3m)) * OPT.
+  Xoshiro256 rng(17);
+  for (int trial = 0; trial < 40; ++trial) {
+    std::vector<uint64_t> weights(2 + rng.NextBounded(7));  // <= 8 items
+    for (auto& w : weights) w = 1 + rng.NextBounded(100);
+    const int bins = 2 + static_cast<int>(rng.NextBounded(2));  // 2 or 3
+    const uint64_t opt = BruteForceOptimal(weights, bins);
+    const uint64_t lpt = PartitionLpt(weights, bins).MaxWeight();
+    EXPECT_GE(lpt, opt);
+    EXPECT_LE(static_cast<double>(lpt),
+              (4.0 / 3.0 - 1.0 / (3.0 * bins)) * static_cast<double>(opt) +
+                  1e-9)
+        << "trial " << trial;
+  }
+}
+
+TEST(ShardingModeTest, NamesRoundTrip) {
+  for (ShardingMode mode : {ShardingMode::kReplicate, ShardingMode::kLpt,
+                            ShardingMode::kStatistical}) {
+    ShardingMode parsed;
+    ASSERT_TRUE(ParseShardingMode(ShardingModeName(mode), &parsed));
+    EXPECT_EQ(parsed, mode);
+  }
+  ShardingMode parsed;
+  EXPECT_FALSE(ParseShardingMode("hash", &parsed));
+  EXPECT_FALSE(ParseShardingMode("", &parsed));
+}
+
+TEST(ShardedPlacementTest, DeviceOfFollowsCuts) {
+  ShardedPlacement p;
+  p.mode = ShardingMode::kStatistical;
+  p.num_devices = 3;
+  p.cuts = {{0, 4, 10, 20}};
+  p.replicated = {{}};
+  p.all_replicated = {0};
+  EXPECT_EQ(p.DeviceOf(0, 0), 0);
+  EXPECT_EQ(p.DeviceOf(0, 3), 0);
+  EXPECT_EQ(p.DeviceOf(0, 4), 1);
+  EXPECT_EQ(p.DeviceOf(0, 9), 1);
+  EXPECT_EQ(p.DeviceOf(0, 10), 2);
+  EXPECT_EQ(p.DeviceOf(0, 19), 2);
+}
+
+TEST(ShardedPlacementTest, ImbalanceCountsReplicatedShare) {
+  ShardedPlacement p;
+  p.num_devices = 2;
+  p.device_mass = {30, 10};
+  p.replicated_mass = 0;
+  EXPECT_DOUBLE_EQ(p.Imbalance(), 1.5);  // 30 / 20
+  // A large replicated mass is served 1/N per device, evening things out.
+  p.replicated_mass = 120;
+  EXPECT_DOUBLE_EQ(p.Imbalance(), 90.0 / 80.0);  // (30+60) / (20+60)
+}
+
+TEST(ShardedPlacementTest, EmptyPlacementIsBalanced) {
+  ShardedPlacement p;
+  p.num_devices = 4;
+  p.device_mass = {0, 0, 0, 0};
+  EXPECT_DOUBLE_EQ(p.Imbalance(), 1.0);
+}
+
 }  // namespace
 }  // namespace fae

@@ -8,7 +8,9 @@
 //                   [--sample-rate=0.05] [--cutoff-kb=4]
 //   fae train       --data=data.faed [--plan=plan.faef]
 //                   [--mode=baseline|fae|nvopt|model-parallel|cache]
-//                   [--gpus=4] [--batch=1024] [--epochs=1] [--cost-only]
+//                   [--gpus=4] [--nodes=1] [--batch=1024] [--epochs=1]
+//                   [--cost-only]
+//                   [--sharding=replicate|lpt|statistical]
 //                   [--threads=1] [--dirty-sync] [--full-model]
 //                   [--pipeline=off|prefetch|overlap] [--pipeline-depth=2]
 //                   [--cache=off|oracle] [--cache-budget-rows=4096]
@@ -162,6 +164,20 @@ bool ParseColdPrecisionFlag(const bench::Args& args, ColdPrecision* out) {
   return true;
 }
 
+/// Parses --sharding for `train`. An unknown value is an error naming the
+/// expected set, never a silent replicate fallback.
+bool ParseShardingFlag(const bench::Args& args, ShardingMode* out) {
+  const std::string raw = args.GetString("sharding", "replicate");
+  if (!ParseShardingMode(raw, out)) {
+    std::fprintf(stderr,
+                 "error: unknown --sharding '%s' (expected "
+                 "replicate|lpt|statistical)\n",
+                 raw.c_str());
+    return false;
+  }
+  return true;
+}
+
 WorkloadKind ParseWorkload(const std::string& name) {
   if (name == "taobao") return WorkloadKind::kTaobaoTbsm;
   if (name == "terabyte") return WorkloadKind::kTerabyteDlrm;
@@ -173,11 +189,11 @@ int Generate(const bench::Args& args) {
   if (out.empty()) return Usage();
   const WorkloadKind kind = ParseWorkload(args.GetString("workload", "kaggle"));
   const DatasetScale scale = bench::ParseScale(args.GetString("scale", "tiny"));
-  const size_t inputs = args.GetInt(
+  const size_t inputs = args.GetPositiveInt(
       "inputs", static_cast<long>(DefaultNumInputs(kind, scale)));
 
   SyntheticOptions options;
-  options.seed = args.GetInt("seed", 42);
+  options.seed = args.GetNonNegativeInt("seed", 42);
   options.zipf_exponent = args.GetDouble("zipf", options.zipf_exponent);
   if (!StrictDoubleFlag(args, "drift", options.popularity_drift,
                         &options.popularity_drift)) {
@@ -225,8 +241,8 @@ int Preprocess(const bench::Args& args) {
 
   FaeConfig config;
   config.sample_rate = args.GetDouble("sample-rate", 0.05);
-  config.gpu_memory_budget = args.GetInt("budget-kb", 384) * 1024ull;
-  config.large_table_bytes = args.GetInt("cutoff-kb", 4) * 1024ull;
+  config.gpu_memory_budget = args.GetPositiveInt("budget-kb", 384) * 1024ull;
+  config.large_table_bytes = args.GetPositiveInt("cutoff-kb", 4) * 1024ull;
 
   std::vector<uint64_t> train_ids(dataset->size());
   for (size_t i = 0; i < train_ids.size(); ++i) train_ids[i] = i;
@@ -315,15 +331,21 @@ int Train(const bench::Args& args) {
     injector = std::move(parsed).value();
     options.fault_injector = &injector;
   }
-  long gpus_flag = 0;
-  if (!StrictLongFlag(args, "gpus", 4, 1, &gpus_flag)) return 2;
+  long gpus_flag = 0, nodes_flag = 0;
+  if (!StrictLongFlag(args, "gpus", 4, 1, &gpus_flag) ||
+      !StrictLongFlag(args, "nodes", 1, 1, &nodes_flag)) {
+    return 2;
+  }
   const int gpus = static_cast<int>(gpus_flag);
-  SystemSpec system = MakePaperServer(gpus);
+  const int nodes = static_cast<int>(nodes_flag);
+  SystemSpec system = nodes > 1 ? MakeMultiNodeCluster(nodes, gpus)
+                                : MakePaperServer(gpus);
+  if (!ParseShardingFlag(args, &options.sharding)) return 2;
 
   FaeConfig config;
   config.sample_rate = args.GetDouble("sample-rate", 0.05);
-  config.gpu_memory_budget = args.GetInt("budget-kb", 384) * 1024ull;
-  config.large_table_bytes = args.GetInt("cutoff-kb", 4) * 1024ull;
+  config.gpu_memory_budget = args.GetPositiveInt("budget-kb", 384) * 1024ull;
+  config.large_table_bytes = args.GetPositiveInt("cutoff-kb", 4) * 1024ull;
   config.cold_precision = options.cold_precision;
   system.hot_embedding_budget = config.gpu_memory_budget;
 
@@ -337,6 +359,13 @@ int Train(const bench::Args& args) {
                  "error: --cold-precision applies to --mode=fae only "
                  "(mode '%s' has no hot/cold partition, so there is no "
                  "cold store to quantize)\n",
+                 mode.c_str());
+    return 2;
+  }
+  if (options.sharding != ShardingMode::kReplicate && mode != "fae") {
+    std::fprintf(stderr,
+                 "error: --sharding applies to --mode=fae only (mode '%s' "
+                 "has no planner-owned hot slice to shard)\n",
                  mode.c_str());
     return 2;
   }
@@ -419,6 +448,22 @@ int Train(const bench::Args& args) {
         "fae: hot inputs %.1f%%, %zu transitions, synced %s, final R(%.0f)\n",
         100 * report.hot_fraction, report.transitions,
         HumanBytes(report.sync_bytes).c_str(), report.final_rate);
+    if (options.sharding != ShardingMode::kReplicate) {
+      std::printf(
+          "sharding %s over %d device(s): %s %s vs replicate, imbalance "
+          "%.3f, replicated %llu rows (%s), max shard %s\n",
+          std::string(ShardingModeName(options.sharding)).c_str(),
+          system.WorldSize(),
+          report.sharding_saved_seconds >= 0.0 ? "saved" : "cost",
+          HumanSeconds(report.sharding_saved_seconds >= 0.0
+                           ? report.sharding_saved_seconds
+                           : -report.sharding_saved_seconds)
+              .c_str(),
+          report.sharding_imbalance,
+          static_cast<unsigned long long>(report.sharding_replicated_rows),
+          HumanBytes(report.sharding_replicated_bytes).c_str(),
+          HumanBytes(report.sharding_max_shard_bytes).c_str());
+    }
     if (options.cold_precision != ColdPrecision::kFp32) {
       std::printf(
           "cold store %s: %llu rows in %s, reclaimed %s, effective hot "
@@ -569,8 +614,8 @@ int Serve(const bench::Args& args) {
   SystemSpec system = MakePaperServer(static_cast<int>(gpus_flag));
   FaeConfig config;
   config.sample_rate = args.GetDouble("sample-rate", 0.05);
-  config.gpu_memory_budget = args.GetInt("budget-kb", 384) * 1024ull;
-  config.large_table_bytes = args.GetInt("cutoff-kb", 4) * 1024ull;
+  config.gpu_memory_budget = args.GetPositiveInt("budget-kb", 384) * 1024ull;
+  config.large_table_bytes = args.GetPositiveInt("cutoff-kb", 4) * 1024ull;
   system.hot_embedding_budget = config.gpu_memory_budget;
 
   // The offline plan the serving loop starts from (and recalibrates away
