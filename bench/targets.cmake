@@ -29,6 +29,7 @@ set(FAE_BENCHES
   abl_popularity_drift
   abl_pipelined
   abl_lookahead_cache
+  abl_stale_skip
   abl_mixed_precision
   abl_randem_params
   pipeline_throughput
@@ -73,6 +74,15 @@ add_test(NAME bench_pipelined_smoke
 # and leaves the phase-charge totals bit-identical cache on/off.
 add_test(NAME bench_cache_smoke
   COMMAND abl_lookahead_cache --smoke --out=${CMAKE_BINARY_DIR}/bench/BENCH_cache_smoke.json)
+
+# Stale-update-skipping gate: the real engine (math ON) sweeping freeze
+# thresholds. Fails unless --stale-threshold=0 is bit-identical to
+# --stale-skip=off, and the best threshold whose final test loss stays
+# within 0.5% of the exact run cuts the modeled wall >= 1.15x (modeled
+# time-to-accuracy at comparable accuracy).
+add_test(NAME bench_stale_skip_smoke
+  COMMAND abl_stale_skip --smoke
+    --out=${CMAKE_BINARY_DIR}/bench/BENCH_stale_skip_smoke.json)
 
 # Quantized cold-store gate: the dim-64 Terabyte workload through the real
 # engine in every --cold-precision mode. Fails unless the int8 cold store

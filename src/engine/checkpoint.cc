@@ -10,7 +10,10 @@ namespace {
 constexpr uint32_t kMagic = 0x43454146;  // "FAEC"
 // v2: the embedded model section gained the per-table storage-mode tag
 // (ModelIo v3) so quantized cold stores resume verbatim.
-constexpr uint32_t kVersion = 2;
+// v3: a staleness-tracker section (per-row EMA/visit/streak arrays plus
+// the accuracy guard's adapted threshold) so stale-skip runs resume
+// bit-exact. Always present; an empty section costs one word.
+constexpr uint32_t kVersion = 3;
 constexpr uint32_t kTrailer = 0x444e454b;  // "KEND"
 
 Status WriteMetricState(BinaryWriter& w, const RunningMetric::State& m) {
@@ -80,6 +83,21 @@ Status CheckpointIo::Save(const std::string& path,
     FAE_RETURN_IF_ERROR(w.WriteF64(p.train_acc));
     FAE_RETURN_IF_ERROR(w.WriteF64(p.test_loss));
     FAE_RETURN_IF_ERROR(w.WriteF64(p.test_acc));
+  }
+
+  FAE_RETURN_IF_ERROR(w.WriteU32(ck.has_staleness ? 1 : 0));
+  if (ck.has_staleness) {
+    FAE_RETURN_IF_ERROR(w.WriteF64(ck.staleness.threshold));
+    FAE_RETURN_IF_ERROR(w.WriteU32(ck.staleness.has_prev_loss ? 1 : 0));
+    FAE_RETURN_IF_ERROR(w.WriteF64(ck.staleness.prev_loss));
+    FAE_RETURN_IF_ERROR(w.WriteU32(
+        static_cast<uint32_t>(ck.staleness.consecutive_decreases)));
+    FAE_RETURN_IF_ERROR(w.WriteU64(ck.staleness.tables.size()));
+    for (const StalenessTracker::TableState& t : ck.staleness.tables) {
+      FAE_RETURN_IF_ERROR(w.WriteVector(t.ema));
+      FAE_RETURN_IF_ERROR(w.WriteVector(t.visits));
+      FAE_RETURN_IF_ERROR(w.WriteVector(t.streak));
+    }
   }
 
   FAE_RETURN_IF_ERROR(ModelIo::WriteModelState(w, model));
@@ -183,6 +201,29 @@ StatusOr<TrainerCheckpoint> CheckpointIo::Load(const std::string& path,
     FAE_ASSIGN_OR_RETURN(p.train_acc, r.ReadF64());
     FAE_ASSIGN_OR_RETURN(p.test_loss, r.ReadF64());
     FAE_ASSIGN_OR_RETURN(p.test_acc, r.ReadF64());
+  }
+
+  FAE_ASSIGN_OR_RETURN(uint32_t has_staleness, r.ReadU32());
+  ck.has_staleness = has_staleness != 0;
+  if (ck.has_staleness) {
+    FAE_ASSIGN_OR_RETURN(ck.staleness.threshold, r.ReadF64());
+    FAE_ASSIGN_OR_RETURN(uint32_t st_prev, r.ReadU32());
+    ck.staleness.has_prev_loss = st_prev != 0;
+    FAE_ASSIGN_OR_RETURN(ck.staleness.prev_loss, r.ReadF64());
+    FAE_ASSIGN_OR_RETURN(uint32_t st_dec, r.ReadU32());
+    ck.staleness.consecutive_decreases = static_cast<int32_t>(st_dec);
+    FAE_ASSIGN_OR_RETURN(uint64_t st_tables, r.ReadU64());
+    // Each table serializes at least three length words; bounding the
+    // count against the remainder caps the allocation like the curve's.
+    if (st_tables > r.RemainingBytes() / (3 * sizeof(uint64_t))) {
+      return Status::DataLoss("staleness table count exceeds file remainder");
+    }
+    ck.staleness.tables.resize(st_tables);
+    for (StalenessTracker::TableState& t : ck.staleness.tables) {
+      FAE_ASSIGN_OR_RETURN(t.ema, r.ReadVector<float>());
+      FAE_ASSIGN_OR_RETURN(t.visits, r.ReadVector<uint32_t>());
+      FAE_ASSIGN_OR_RETURN(t.streak, r.ReadVector<uint32_t>());
+    }
   }
 
   FAE_RETURN_IF_ERROR(ModelIo::ReadModelState(r, model));

@@ -7,6 +7,7 @@
 
 #include "core/shuffle_scheduler.h"
 #include "engine/metrics.h"
+#include "engine/staleness_tracker.h"
 #include "models/rec_model.h"
 #include "sim/timeline.h"
 #include "util/random.h"
@@ -57,6 +58,14 @@ struct TrainerCheckpoint {
   ShuffleScheduler::State scheduler;  // FAE-only
   Timeline::State timeline;
   std::vector<CurvePoint> curve;
+  /// Staleness-tracker state when stale-update skipping was active at save
+  /// time (TrainOptions::stale_skip != off), empty tables otherwise. The
+  /// knob itself is fingerprint-exempt: a resume that keeps skipping on
+  /// restores this verbatim (bit-exact continuation), a resume that turns
+  /// it off ignores it, and a resume that turns it on starts a fresh
+  /// tracker — all three reconcile explicitly in the trainer.
+  bool has_staleness = false;
+  StalenessTracker::State staleness;
 };
 
 /// Serializes a TrainerCheckpoint plus the full model state (dense

@@ -1,0 +1,194 @@
+#include "engine/staleness_tracker.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace fae {
+
+std::string_view StaleSkipModeName(StaleSkipMode mode) {
+  switch (mode) {
+    case StaleSkipMode::kOff:
+      return "off";
+    case StaleSkipMode::kCold:
+      return "cold";
+    case StaleSkipMode::kAll:
+      return "all";
+  }
+  return "unknown";
+}
+
+/// Guard cap: the threshold may widen to at most 8x its configured value
+/// before further decreases stop helping (mirrors the scheduler's R(100)
+/// ceiling). A configured threshold of 0 makes the cap 0 too, so the guard
+/// can never turn skipping on by itself.
+constexpr double kMaxThresholdFactor = 8.0;
+
+/// Avoids division blow-ups on near-zero rows (a freshly zero-initialized
+/// row must still measure as "moving" when its gradients are non-zero).
+constexpr double kNormEpsilon = 1e-12;
+
+void StalenessTracker::Init(const std::vector<uint64_t>& table_rows,
+                            const Options& options) {
+  options_ = options;
+  FAE_CHECK_GE(options_.threshold, 0.0);
+  FAE_CHECK_GT(options_.revisit_period, 1u);
+  threshold_ = options_.threshold;
+  max_threshold_ = options_.threshold * kMaxThresholdFactor;
+  has_prev_loss_ = false;
+  prev_loss_ = 0.0;
+  consecutive_decreases_ = 0;
+  tables_.assign(table_rows.size(), PerTable{});
+  filters_.clear();
+  filters_.reserve(table_rows.size());
+  for (size_t t = 0; t < table_rows.size(); ++t) {
+    tables_[t].ema.assign(table_rows[t], 0.0f);
+    tables_[t].visits.assign(table_rows[t], 0u);
+    tables_[t].streak.assign(table_rows[t], 0u);
+    filters_.emplace_back(this, t);
+  }
+  BeginStep();
+  total_skipped_rows_.store(0, std::memory_order_relaxed);
+  total_updated_rows_.store(0, std::memory_order_relaxed);
+  total_reactivated_rows_.store(0, std::memory_order_relaxed);
+  guard_tightens_ = 0;
+  guard_widens_ = 0;
+}
+
+void StalenessTracker::SetAlwaysUpdate(size_t table,
+                                       std::span<const uint32_t> rows) {
+  FAE_CHECK_LT(table, tables_.size());
+  PerTable& pt = tables_[table];
+  pt.always_update.assign(pt.ema.size(), 0u);
+  for (uint32_t r : rows) {
+    FAE_CHECK_LT(r, pt.ema.size());
+    pt.always_update[r] = 1u;
+  }
+}
+
+bool StalenessTracker::BeginVisit(size_t table, uint64_t row,
+                                  uint32_t lookups) {
+  PerTable& pt = tables_[table];
+  if (!pt.always_update.empty() && pt.always_update[row] != 0) return false;
+  if (pt.visits[row] < options_.min_visits) return false;
+  if (!(static_cast<double>(pt.ema[row]) < threshold_)) return false;
+  if (pt.streak[row] + 1 >= options_.revisit_period) return false;
+  pt.streak[row] += 1;
+  step_skipped_rows_.fetch_add(1, std::memory_order_relaxed);
+  step_skipped_lookups_.fetch_add(lookups, std::memory_order_relaxed);
+  total_skipped_rows_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void StalenessTracker::RecordUpdate(size_t table, uint64_t row,
+                                    uint32_t lookups, double update_sq,
+                                    double row_sq) {
+  PerTable& pt = tables_[table];
+  const double rel =
+      std::sqrt(update_sq) / (std::sqrt(row_sq) + kNormEpsilon);
+  const float prev = pt.ema[row];
+  const float next =
+      pt.visits[row] == 0
+          ? static_cast<float>(rel)
+          : static_cast<float>(prev + options_.ema_alpha * (rel - prev));
+  pt.ema[row] = next;
+  if (pt.visits[row] < UINT32_MAX) pt.visits[row] += 1;
+  // A row re-measured out of a skip streak whose EMA climbed back above the
+  // threshold has thawed on its own — its access pattern resumed.
+  if (pt.streak[row] > 0 &&
+      !(static_cast<double>(next) < threshold_)) {
+    total_reactivated_rows_.fetch_add(1, std::memory_order_relaxed);
+  }
+  pt.streak[row] = 0;
+  step_updated_rows_.fetch_add(1, std::memory_order_relaxed);
+  step_live_lookups_.fetch_add(lookups, std::memory_order_relaxed);
+  total_updated_rows_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void StalenessTracker::OnTestLoss(double loss) {
+  if (has_prev_loss_) {
+    if (loss > prev_loss_) {
+      // Loss degraded: skip less, and give every frozen row a clean slate —
+      // it must re-earn min_visits measured updates before freezing again.
+      threshold_ /= 2.0;
+      ++guard_tightens_;
+      consecutive_decreases_ = 0;
+      uint64_t reactivated = 0;
+      for (PerTable& pt : tables_) {
+        for (size_t r = 0; r < pt.ema.size(); ++r) {
+          if (pt.visits[r] >= options_.min_visits &&
+              static_cast<double>(pt.ema[r]) < threshold_ * 2.0 &&
+              (pt.always_update.empty() || pt.always_update[r] == 0)) {
+            pt.visits[r] = 0;
+            pt.streak[r] = 0;
+            ++reactivated;
+          }
+        }
+      }
+      total_reactivated_rows_.fetch_add(reactivated,
+                                        std::memory_order_relaxed);
+    } else if (loss < prev_loss_) {
+      if (++consecutive_decreases_ >= options_.patience) {
+        threshold_ = std::min(max_threshold_, threshold_ * 2.0);
+        ++guard_widens_;
+        consecutive_decreases_ = 0;
+      }
+    } else {
+      consecutive_decreases_ = 0;
+    }
+  }
+  has_prev_loss_ = true;
+  prev_loss_ = loss;
+}
+
+void StalenessTracker::BeginStep() {
+  step_skipped_rows_.store(0, std::memory_order_relaxed);
+  step_updated_rows_.store(0, std::memory_order_relaxed);
+  step_skipped_lookups_.store(0, std::memory_order_relaxed);
+  step_live_lookups_.store(0, std::memory_order_relaxed);
+}
+
+bool StalenessTracker::IsFrozen(size_t table, uint64_t row) const {
+  const PerTable& pt = tables_[table];
+  if (!pt.always_update.empty() && pt.always_update[row] != 0) return false;
+  return pt.visits[row] >= options_.min_visits &&
+         static_cast<double>(pt.ema[row]) < threshold_;
+}
+
+StalenessTracker::State StalenessTracker::state() const {
+  State s;
+  s.threshold = threshold_;
+  s.has_prev_loss = has_prev_loss_;
+  s.prev_loss = prev_loss_;
+  s.consecutive_decreases = static_cast<int32_t>(consecutive_decreases_);
+  s.tables.resize(tables_.size());
+  for (size_t t = 0; t < tables_.size(); ++t) {
+    s.tables[t].ema = tables_[t].ema;
+    s.tables[t].visits = tables_[t].visits;
+    s.tables[t].streak = tables_[t].streak;
+  }
+  return s;
+}
+
+void StalenessTracker::Restore(const State& s) {
+  FAE_CHECK_EQ(s.tables.size(), tables_.size());
+  threshold_ = s.threshold;
+  has_prev_loss_ = s.has_prev_loss;
+  prev_loss_ = s.prev_loss;
+  consecutive_decreases_ = s.consecutive_decreases;
+  for (size_t t = 0; t < tables_.size(); ++t) {
+    FAE_CHECK_EQ(s.tables[t].ema.size(), tables_[t].ema.size());
+    tables_[t].ema = s.tables[t].ema;
+    tables_[t].visits = s.tables[t].visits;
+    tables_[t].streak = s.tables[t].streak;
+  }
+  BeginStep();
+  total_skipped_rows_.store(0, std::memory_order_relaxed);
+  total_updated_rows_.store(0, std::memory_order_relaxed);
+  total_reactivated_rows_.store(0, std::memory_order_relaxed);
+  guard_tightens_ = 0;
+  guard_widens_ = 0;
+}
+
+}  // namespace fae

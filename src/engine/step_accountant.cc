@@ -494,6 +494,75 @@ void StepAccountant::ChargeCacheStep(const BatchWork& w,
       cost_->StreamSeconds(3 * w.dense_param_count * sizeof(float), sys.gpu));
 }
 
+StepAccountant::BaselineParts StepAccountant::ChargeStaleSkipStep(
+    const BatchWork& w, const StaleSkipTraffic& t, Timeline& tl) const {
+  BaselineParts parts;
+  const SystemSpec& sys = cost_->system();
+  const int g = std::max(1, sys.num_gpus);
+  const int nodes = std::max(1, sys.num_nodes);
+  const int world = g * nodes;
+
+  // Forward path: identical to ChargeBaselineParts. Frozen rows are still
+  // read — skipping only elides their *update*.
+  const double emb_fwd =
+      cost_->GatherSeconds(w.embedding_read_bytes / nodes, sys.cpu);
+  tl.ChargeCpu(Phase::kEmbeddingForward, emb_fwd);
+  parts.cpu += emb_fwd;
+  if (nodes > 1) {
+    const uint64_t remote =
+        w.embedding_activation_bytes * (nodes - 1) / nodes;
+    const double hop = cost_->NetworkTransferSeconds(remote / nodes);
+    tl.Charge(Phase::kNetwork, hop);
+    tl.Charge(Phase::kNetwork, hop);
+    parts.serial += 2 * hop;
+    tl.AddNetworkBytes(2 * remote);
+  }
+
+  const double xfer =
+      cost_->PcieTransferSeconds(w.embedding_activation_bytes / world);
+  tl.Charge(Phase::kCpuGpuTransfer, xfer);
+  parts.serial += xfer;
+  tl.AddPcieBytes(w.embedding_activation_bytes);
+
+  const uint64_t shard = w.batch_size / world;
+  const double mlp_fwd = cost_->DenseComputeSeconds(w.forward_flops / world,
+                                                    shard, sys.gpu);
+  tl.ChargeGpu(Phase::kMlpForward, mlp_fwd);
+  const double mlp_bwd = cost_->DenseComputeSeconds(
+      2 * w.forward_flops / world, shard, sys.gpu);
+  tl.ChargeGpu(Phase::kMlpBackward, mlp_bwd);
+  parts.gpu += mlp_fwd + mlp_bwd;
+
+  // Gradients still cross back in full: the pooled gradient tensor is
+  // batch-shaped, not row-count-shaped, and the skip decision is made on
+  // the CPU after it arrives.
+  tl.Charge(Phase::kCpuGpuTransfer, xfer);
+  parts.serial += xfer;
+  tl.AddPcieBytes(w.embedding_activation_bytes);
+
+  // The win: scatter only the live rows' gradients, then run the sparse
+  // optimizer over only the live touched bytes.
+  const double emb_bwd =
+      cost_->GatherSeconds(t.live_lookup_bytes / nodes, sys.cpu);
+  tl.ChargeCpu(Phase::kEmbeddingBackward, emb_bwd);
+  const double sparse_opt =
+      sys.cpu.sparse_update_overhead *
+      cost_->GatherSeconds(3 * t.live_touched_bytes / nodes, sys.cpu);
+  tl.ChargeCpu(Phase::kOptimizerSparse, sparse_opt);
+  parts.cpu += emb_bwd + sparse_opt;
+
+  const uint64_t dense_bytes = w.dense_param_count * sizeof(float);
+  const double allreduce = cost_->AllReduceSeconds(dense_bytes);
+  tl.Charge(Phase::kAllReduce, allreduce);
+  parts.serial += allreduce;
+  if (g > 1) tl.AddNvlinkBytes(2 * (g - 1) * dense_bytes / g * g);
+  if (nodes > 1) tl.AddNetworkBytes(2 * (nodes - 1) * dense_bytes / nodes);
+  const double dense_opt = cost_->StreamSeconds(3 * dense_bytes, sys.gpu);
+  tl.ChargeGpu(Phase::kOptimizerDense, dense_opt);
+  parts.gpu += dense_opt;
+  return parts;
+}
+
 StepAccountant::OracleCacheParts StepAccountant::ChargeOracleCacheStep(
     const BatchWork& w, const OracleCacheTraffic& t, Timeline& tl) const {
   OracleCacheParts parts;

@@ -182,6 +182,31 @@ class StepAccountant {
     }
   };
 
+  /// One CPU step's row traffic under stale-embedding update skipping
+  /// (engine/staleness_tracker.h), derived by the trainer from the
+  /// tracker's per-step decisions: the batch's gather/optimizer traffic
+  /// split between rows that still update and rows frozen by the tracker.
+  /// Forward gathers always read every row (frozen rows keep serving
+  /// lookups); only the backward scatter and the sparse optimizer shrink.
+  struct StaleSkipTraffic {
+    uint64_t live_lookup_bytes = 0;      // gradient scatter still performed
+    uint64_t skipped_lookup_bytes = 0;   // scatter elided (row frozen)
+    uint64_t live_touched_bytes = 0;     // rows the optimizer still visits
+    uint64_t skipped_touched_bytes = 0;  // rows whose update was skipped
+  };
+
+  /// Baseline step with the frozen rows' backward scatter and sparse
+  /// optimizer work removed (--stale-skip). Phase structure mirrors
+  /// ChargeBaselineParts: the forward gathers, activation transfers, dense
+  /// network, and all-reduce are untouched — skipping a row's update never
+  /// changes what the forward pass reads or ships. The trainer charges
+  /// this into a *scratch* timeline and prices it against the plain step;
+  /// the real timeline's charges never change with the knob, keeping
+  /// checkpoints byte-equal across stale-skip modes.
+  BaselineParts ChargeStaleSkipStep(const BatchWork& w,
+                                    const StaleSkipTraffic& t,
+                                    Timeline& tl) const;
+
   /// Oracle-cached cold step (lookahead cache resident rows on the GPUs,
   /// sharded like model-parallel tables; peer reads fold into the cache
   /// indirection factor). Misses fall back to the plain hybrid path with

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "engine/staleness_tracker.h"
 #include "util/half.h"
 #include "util/logging.h"
 
@@ -73,8 +74,9 @@ StepExecutor::StepExecutor(RecModel* model, const Options& options)
   fused_apply_ = [ctx = &apply_ctx_](size_t t, const Tensor& grad_out,
                                      std::span<const uint32_t> indices,
                                      std::span<const uint32_t> offsets) {
-    ctx->sgd->FusedBackwardStep(*(*ctx->tables)[t], grad_out, indices,
-                                offsets, ctx->pool);
+    ctx->sgd->FusedBackwardStep(
+        *(*ctx->tables)[t], grad_out, indices, offsets, ctx->pool,
+        ctx->tracker != nullptr ? ctx->tracker->filter(t) : nullptr);
   };
 }
 
@@ -89,9 +91,11 @@ void StepExecutor::MaybeQuantizeTables() {
 
 void StepExecutor::MathStep(const BatchView& batch,
                             const std::vector<EmbeddingTable*>& tables,
-                            RunningMetric& metric, RunningMetric& window) {
+                            RunningMetric& metric, RunningMetric& window,
+                            StalenessTracker* tracker) {
   ThreadPool* pool = pool_.get();
   if (dense_params_.empty()) dense_params_ = model_->DenseParams();
+  if (tracker != nullptr) tracker->BeginStep();
   if (!options_.fp16_embeddings) {
     // Fast path: each table's backward scatter and optimizer update run as
     // one fused pass over the batch's lookup list — the SparseGrad is
@@ -101,6 +105,7 @@ void StepExecutor::MathStep(const BatchView& batch,
     // scratch, the prebuilt apply functor — zero heap allocations at
     // steady state.
     apply_ctx_.tables = &tables;
+    apply_ctx_.tracker = tracker;
     StepResult step =
         model_->ForwardBackwardFusedOn(batch, tables, fused_apply_);
     dense_sgd_.Step(dense_params_);

@@ -16,6 +16,8 @@
 
 namespace fae {
 
+class StalenessTracker;
+
 /// Pipelined execution for the baseline and FAE drivers (comparator
 /// placements ignore it). Every mode runs the identical math in the
 /// identical order — pipelining changes only how input staging and device
@@ -137,9 +139,14 @@ class StepExecutor {
   /// is a prebuilt member (single-pointer capture, so std::function's SBO
   /// holds it), dense params are gathered once, and scatter + optimizer
   /// run in SparseSgd's reusable scratch.
+  /// With a tracker, each table's fused apply consults it per row
+  /// (stale-update skipping; engine/staleness_tracker.h). Only the drivers
+  /// that own a tracker pass one — the FAE hot replicas and the
+  /// ServingLoop never do, so their steps are untouched.
   void MathStep(const BatchView& batch,
                 const std::vector<EmbeddingTable*>& tables,
-                RunningMetric& metric, RunningMetric& window);
+                RunningMetric& metric, RunningMetric& window,
+                StalenessTracker* tracker = nullptr);
 
   EvalSet MakeEvalSet(const Dataset& dataset,
                       const Dataset::Split& split) const;
@@ -153,11 +160,13 @@ class StepExecutor {
 
  private:
   /// Context behind the prebuilt fused-apply functor: MathStep repoints
-  /// `tables` per call (master vs. replica), nothing is reallocated.
+  /// `tables` and `tracker` per call (master vs. replica), nothing is
+  /// reallocated.
   struct ApplyCtx {
     SparseSgd* sgd = nullptr;
     const std::vector<EmbeddingTable*>* tables = nullptr;
     ThreadPool* pool = nullptr;
+    StalenessTracker* tracker = nullptr;
   };
 
   RecModel* model_;

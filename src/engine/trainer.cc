@@ -93,6 +93,43 @@ Status ValidateColdOptions(const TrainOptions& options) {
   return Status::OK();
 }
 
+/// Demands of stale-update skipping (TrainOptions::stale_skip), mirrored
+/// by the CLI's early rejection. The mode restriction (kCold needs the FAE
+/// placement) is checked per driver — it depends on which trainer runs.
+Status ValidateStaleOptions(const TrainOptions& options) {
+  if (options.stale_skip == StaleSkipMode::kOff) return Status::OK();
+  if (!options.run_math) {
+    return Status::InvalidArgument(
+        "--stale-skip requires real math: skip decisions read measured "
+        "per-row update magnitudes, which cost-only runs never produce");
+  }
+  if (options.fp16_embeddings) {
+    return Status::InvalidArgument(
+        "--stale-skip and --fp16-embeddings are mutually exclusive: fp16 "
+        "emulation materializes gradients outside the fused path that "
+        "measures per-row update magnitudes");
+  }
+  if (options.pipelined_baseline) {
+    return Status::InvalidArgument(
+        "--stale-skip cannot be combined with the legacy "
+        "pipelined_baseline cost model: the overlay prices against the "
+        "per-step part charges its wall accumulator does not produce");
+  }
+  if (options.cache != CacheMode::kOff) {
+    return Status::InvalidArgument(
+        "--stale-skip cannot be combined with --cache=oracle: both "
+        "reprice the same cold-step charges against the plain step, so "
+        "their savings would double-count");
+  }
+  if (options.stale_threshold < 0.0) {
+    return Status::InvalidArgument("--stale-threshold must be >= 0");
+  }
+  if (options.stale_min_visits < 1) {
+    return Status::InvalidArgument("--stale-min-visits must be at least 1");
+  }
+  return Status::OK();
+}
+
 /// Drives a LookaheadCache as a cost-model overlay: prices each cold step
 /// under the cache against the plain hybrid step (both through the real
 /// StepAccountant, the cached variant into a scratch timeline) and credits
@@ -231,6 +268,61 @@ struct ShardingRig {
   }
 };
 
+/// Prices each CPU step under stale-update skipping against the plain
+/// hybrid step the real timeline always carries, crediting the elided
+/// backward-gather and optimizer work through
+/// Timeline::AddStaleSkipSavedSeconds — the OracleCacheRig overlay
+/// contract applied to the fused sparse step. Reads the traffic split the
+/// StalenessTracker counted during MathStep, so it must run *after* the
+/// math (the real charges already landed before it, which is fine: the
+/// overlay only moves the savings accumulator).
+struct StaleSkipRig {
+  const StepAccountant* accountant = nullptr;
+  /// Whether the plain step runs its CPU/GPU lanes overlapped
+  /// (--pipeline=overlap) or serially.
+  bool overlap_lanes = false;
+  /// Positive per-step savings accumulated in the current schedule chunk;
+  /// the FAE kOverlap pairing subtracts this from a cold chunk's unhidden
+  /// span, mirroring OracleCacheRig::chunk_saved.
+  double chunk_saved = 0.0;
+
+  void PriceStep(const BatchWork& w,
+                 const StepAccountant::BaselineParts& plain,
+                 const StalenessTracker& tracker, Timeline& tl) {
+    const uint64_t skipped_rows = tracker.step_skipped_rows();
+    const uint64_t updated_rows = tracker.step_updated_rows();
+    Timeline::StaleSkipCounters& sc = tl.stale_skip_counters();
+    sc.skipped_rows += skipped_rows;
+    sc.updated_rows += updated_rows;
+    // Nothing elided: the skipped step is the plain step (no scratch
+    // pricing, and crediting an exact 0.0 would only accumulate noise).
+    if (skipped_rows == 0) return;
+    StepAccountant::StaleSkipTraffic t;
+    const uint64_t lookups =
+        tracker.step_skipped_lookups() + tracker.step_live_lookups();
+    if (lookups > 0) {
+      t.live_lookup_bytes =
+          w.embedding_read_bytes * tracker.step_live_lookups() / lookups;
+      t.skipped_lookup_bytes = w.embedding_read_bytes - t.live_lookup_bytes;
+    } else {
+      t.live_lookup_bytes = w.embedding_read_bytes;
+    }
+    const uint64_t rows = skipped_rows + updated_rows;
+    t.live_touched_bytes = w.touched_bytes * updated_rows / rows;
+    t.skipped_touched_bytes = w.touched_bytes - t.live_touched_bytes;
+    Timeline scratch;
+    const StepAccountant::BaselineParts skipped =
+        accountant->ChargeStaleSkipStep(w, t, scratch);
+    const double plain_eff =
+        overlap_lanes ? plain.Overlapped() : plain.Total();
+    const double skip_eff =
+        overlap_lanes ? skipped.Overlapped() : skipped.Total();
+    const double saved = plain_eff - skip_eff;
+    tl.AddStaleSkipSavedSeconds(saved);
+    if (saved > 0.0) chunk_saved += saved;
+  }
+};
+
 }  // namespace
 
 std::string_view TrainModeName(TrainMode mode) {
@@ -292,7 +384,13 @@ uint64_t Trainer::OptionsFingerprint() const {
   // sharding is absent on the cache contract: a sharded placement is a
   // pure cost-model overlay (math always reads the CPU master and the
   // savings live outside Timeline::State), so a resume may switch
-  // --sharding freely.
+  // --sharding freely. The stale-skip triple (stale_skip, stale_threshold,
+  // stale_min_visits) is absent on the cold_precision contract: the
+  // tracker's per-row state travels *inside* the checkpoint (v3's
+  // staleness section) and the resume path reconciles it explicitly —
+  // same-mode resume restores it verbatim (bit-exact), turning skipping
+  // off ignores it, turning it on starts a fresh tracker — so the
+  // fingerprint would only forbid the legal directions.
   return h;
 }
 
@@ -396,6 +494,17 @@ void Trainer::FinishReport(TrainReport& report,
   report.cache_writeback_bytes = cc.writeback_bytes;
   report.cache_plain_transfer_bytes = cc.plain_transfer_bytes;
   report.cache_effective_transfer_bytes = cc.effective_transfer_bytes;
+  // The guard counters reach the timeline in the drivers' finalize step
+  // (the tracker lives there); stale_final_threshold is set there too.
+  report.stale_skip_saved_seconds =
+      report.timeline.stale_skip_saved_seconds();
+  const Timeline::StaleSkipCounters& ssc =
+      report.timeline.stale_skip_counters();
+  report.stale_skipped_rows = ssc.skipped_rows;
+  report.stale_updated_rows = ssc.updated_rows;
+  report.stale_reactivated_rows = ssc.reactivated_rows;
+  report.stale_guard_tightens = ssc.guard_tightens;
+  report.stale_guard_widens = ssc.guard_widens;
   report.avg_gpu_watts = cost_.AverageGpuWatts(
       report.modeled_seconds, report.timeline.gpu_busy_seconds(),
       report.timeline.seconds(Phase::kCpuGpuTransfer) +
@@ -434,6 +543,12 @@ StatusOr<TrainReport> Trainer::TrainBaselineResumable(
     return Status::InvalidArgument(
         "--sharding applies to the FAE placement only: the baseline keeps "
         "every embedding on the CPU, so there is no hot slice to shard");
+  }
+  FAE_RETURN_IF_ERROR(ValidateStaleOptions(options_));
+  if (options_.stale_skip == StaleSkipMode::kCold) {
+    return Status::InvalidArgument(
+        "--stale-skip=cold applies to the FAE placement only: the baseline "
+        "has no hot/cold partition, so there is no hot set to pin live");
   }
   exec_.MaybeQuantizeTables();
   TrainReport report;
@@ -498,6 +613,30 @@ StatusOr<TrainReport> Trainer::TrainBaselineResumable(
   std::vector<EmbeddingTable*> tables;
   for (EmbeddingTable& t : model_->tables()) tables.push_back(&t);
 
+  // Stale-update skipping (kAll only here; kCold was rejected above). The
+  // tracker rides inside every fused step; the rig prices what it elided.
+  const bool stale_on = options_.stale_skip != StaleSkipMode::kOff;
+  StalenessTracker staleness;
+  StaleSkipRig stale_rig;
+  if (stale_on) {
+    StalenessTracker::Options sopt;
+    sopt.threshold = options_.stale_threshold;
+    sopt.min_visits = static_cast<uint32_t>(options_.stale_min_visits);
+    staleness.Init(dataset.schema().table_rows, sopt);
+    stale_rig.accountant = &accountant_;
+    stale_rig.overlap_lanes = options_.pipeline == PipelineMode::kOverlap;
+  }
+  // Guard counters live in the tracker until a report is finished; the
+  // per-step skip/update counts reach the timeline in PriceStep.
+  auto stale_finalize = [&] {
+    if (!stale_on) return;
+    Timeline::StaleSkipCounters& sc = report.timeline.stale_skip_counters();
+    sc.reactivated_rows += staleness.total_reactivated_rows();
+    sc.guard_tightens += staleness.guard_tightens();
+    sc.guard_widens += staleness.guard_widens();
+    report.stale_final_threshold = staleness.threshold();
+  };
+
   RunningMetric metric;
   RunningMetric window;
   const size_t eval_every =
@@ -533,6 +672,11 @@ StatusOr<TrainReport> Trainer::TrainBaselineResumable(
     window.Restore(ck.window);
     report.timeline.set_state(ck.timeline);
     report.curve = ck.curve;
+    // Stale-skip reconciliation (the knob is fingerprint-exempt): resuming
+    // with skipping on restores the tracker verbatim when the checkpoint
+    // carries one (bit-exact continuation) and starts fresh otherwise;
+    // resuming with it off ignores any stored section.
+    if (stale_on && ck.has_staleness) staleness.Restore(ck.staleness);
     iteration = ck.iteration;
     report.num_batches = ck.iteration;
     start_epoch = ck.epoch;
@@ -563,6 +707,10 @@ StatusOr<TrainReport> Trainer::TrainBaselineResumable(
     ck.window = window.state();
     ck.timeline = report.timeline.state();
     ck.curve = report.curve;
+    if (stale_on) {
+      ck.has_staleness = true;
+      ck.staleness = staleness.state();
+    }
     return CheckpointIo::Save(ckpt.path, ck, *model_);
   };
 
@@ -627,6 +775,7 @@ StatusOr<TrainReport> Trainer::TrainBaselineResumable(
       if (crashed) {
         // ~BatchPipeline cancels the abandoned segment.
         cache_drain();
+        stale_finalize();
         FinishReport(report, eval_set.views, metric);
         return report;
       }
@@ -649,12 +798,12 @@ StatusOr<TrainReport> Trainer::TrainBaselineResumable(
       // hybrid step; pipelined modes then credit back what overlap hid.
       const double prep = accountant_.ChargeInputPrep(BatchInputBytes(*view),
                                                       report.timeline);
+      StepAccountant::BaselineParts parts{};
       if (options_.pipelined_baseline) {
         report.timeline.AddWallSeconds(prep);
         accountant_.ChargeBaselineStepPipelined(*work, report.timeline);
       } else {
-        const StepAccountant::BaselineParts parts =
-            accountant_.ChargeBaselineStepParts(*work, report.timeline);
+        parts = accountant_.ChargeBaselineStepParts(*work, report.timeline);
         tracker.OnStep(prep, parts.Total(), parts.Overlapped());
         if (cache_on) {
           const LookaheadCache::StepCharge sc = rig.cache.OnStep();
@@ -663,7 +812,16 @@ StatusOr<TrainReport> Trainer::TrainBaselineResumable(
           if (ahead < num_batches) cache_push(ahead);
         }
       }
-      if (options_.run_math) exec_.MathStep(*view, tables, metric, window);
+      if (options_.run_math) {
+        exec_.MathStep(*view, tables, metric, window,
+                       stale_on ? &staleness : nullptr);
+        // After the math: the tracker's step counters now hold this step's
+        // skip/update split (stale_on implies !pipelined_baseline, so
+        // `parts` carries the plain charges to price against).
+        if (stale_on) {
+          stale_rig.PriceStep(*work, parts, staleness, report.timeline);
+        }
+      }
       if (pipelined) prefetcher->Release();
       ++iteration;
       ++report.num_batches;
@@ -673,6 +831,7 @@ StatusOr<TrainReport> Trainer::TrainBaselineResumable(
         point.test_loss = eval.loss;
         point.test_acc = eval.accuracy;
         report.curve.push_back(point);
+        if (stale_on) staleness.OnTestLoss(eval.loss);
       }
       if (next_save != 0 && iteration >= next_save) {
         FAE_RETURN_IF_ERROR(save_checkpoint(epoch, b + 1));
@@ -681,6 +840,7 @@ StatusOr<TrainReport> Trainer::TrainBaselineResumable(
     }
   }
   cache_drain();
+  stale_finalize();
   FinishReport(report, eval_set.views, metric);
   return report;
 }
@@ -708,6 +868,7 @@ StatusOr<TrainReport> Trainer::TrainFaeWithPlan(const Dataset& dataset,
   }
   FAE_RETURN_IF_ERROR(ValidateCacheOptions(options_));
   FAE_RETURN_IF_ERROR(ValidateColdOptions(options_));
+  FAE_RETURN_IF_ERROR(ValidateStaleOptions(options_));
   if (config.cold_precision != options_.cold_precision) {
     return Status::InvalidArgument(
         "FaeConfig::cold_precision and TrainOptions::cold_precision "
@@ -879,6 +1040,29 @@ StatusOr<TrainReport> Trainer::TrainFaeWithPlan(const Dataset& dataset,
   std::vector<EmbeddingTable*> master_tables;
   for (EmbeddingTable& t : model_->tables()) master_tables.push_back(&t);
 
+  // Stale-update skipping rides the CPU master path only (cold batches);
+  // the GPU replicas' hot steps never consult the tracker. kCold pins the
+  // hot set live — cold batches touch hot rows on the master, and those
+  // must keep updating or the next pull sync would ship frozen rows as if
+  // they were fresh. The always-update set comes from the *post-degrade*
+  // hot set, matching what the replicas actually hold.
+  const bool stale_on = options_.stale_skip != StaleSkipMode::kOff;
+  StalenessTracker staleness;
+  StaleSkipRig stale_rig;
+  if (stale_on) {
+    StalenessTracker::Options sopt;
+    sopt.threshold = options_.stale_threshold;
+    sopt.min_visits = static_cast<uint32_t>(options_.stale_min_visits);
+    staleness.Init(schema.table_rows, sopt);
+    if (options_.stale_skip == StaleSkipMode::kCold) {
+      for (size_t t = 0; t < schema.num_tables(); ++t) {
+        staleness.SetAlwaysUpdate(t, p.hot_set.HotRows(t));
+      }
+    }
+    stale_rig.accountant = &accountant_;
+    stale_rig.overlap_lanes = options_.pipeline == PipelineMode::kOverlap;
+  }
+
   // The replica stands for every GPU's copy (they stay bit-identical under
   // synchronous data parallelism).
   EmbeddingReplicator replicator(model_->tables(), p.hot_set);
@@ -990,6 +1174,10 @@ StatusOr<TrainReport> Trainer::TrainFaeWithPlan(const Dataset& dataset,
     window.Restore(ck.window);
     report.timeline.set_state(ck.timeline);
     report.curve = ck.curve;
+    // Stale-skip reconciliation (the knob is fingerprint-exempt): keep-on
+    // restores the tracker verbatim, turn-on starts fresh, turn-off
+    // ignores the stored section. See TrainBaselineResumable.
+    if (stale_on && ck.has_staleness) staleness.Restore(ck.staleness);
     iteration = ck.iteration;
     report.num_batches = ck.iteration;
     report.sync_bytes = ck.sync_bytes;
@@ -1097,6 +1285,10 @@ StatusOr<TrainReport> Trainer::TrainFaeWithPlan(const Dataset& dataset,
     ck.scheduler = scheduler.state();
     ck.timeline = report.timeline.state();
     ck.curve = report.curve;
+    if (stale_on) {
+      ck.has_staleness = true;
+      ck.staleness = staleness.state();
+    }
     return CheckpointIo::Save(ckpt.path, ck, *model_);
   };
 
@@ -1145,6 +1337,14 @@ StatusOr<TrainReport> Trainer::TrainFaeWithPlan(const Dataset& dataset,
     if (cache_on) {
       rig.ChargeWriteback(rig.cache.FlushAllDirty(), report.timeline);
     }
+    if (stale_on) {
+      Timeline::StaleSkipCounters& sc =
+          report.timeline.stale_skip_counters();
+      sc.reactivated_rows += staleness.total_reactivated_rows();
+      sc.guard_tightens += staleness.guard_tightens();
+      sc.guard_widens += staleness.guard_widens();
+      report.stale_final_threshold = staleness.threshold();
+    }
     report.transitions = scheduler.transitions();
     report.final_rate = scheduler.rate();
     FinishReport(report, eval_set.views, metric);
@@ -1172,6 +1372,7 @@ StatusOr<TrainReport> Trainer::TrainFaeWithPlan(const Dataset& dataset,
       tracker.BeginSegment();
       rig.chunk_saved = 0.0;
       shard_rig.chunk_saved = 0.0;
+      stale_rig.chunk_saved = 0.0;
       // The chunk window spans everything charged for this chunk —
       // including the hot-slice syncs — so kOverlap can pair a cold
       // chunk's CPU time against the next hot chunk's GPU+DMA time.
@@ -1330,14 +1531,14 @@ StatusOr<TrainReport> Trainer::TrainFaeWithPlan(const Dataset& dataset,
           }
           const double prep = accountant_.ChargeInputPrep(
               BatchInputBytes(cold_batches[i].view), report.timeline);
+          StepAccountant::BaselineParts parts{};
           if (options_.pipelined_baseline) {
             report.timeline.AddWallSeconds(prep);
             accountant_.ChargeBaselineStepPipelined(cold_work(i),
                                                     report.timeline);
           } else {
-            const StepAccountant::BaselineParts parts =
-                accountant_.ChargeBaselineStepParts(cold_work(i),
-                                                    report.timeline);
+            parts = accountant_.ChargeBaselineStepParts(cold_work(i),
+                                                        report.timeline);
             tracker.OnStep(prep, parts.Total(), parts.Overlapped());
             if (cache_on) {
               const LookaheadCache::StepCharge sc = rig.cache.OnStep();
@@ -1348,7 +1549,15 @@ StatusOr<TrainReport> Trainer::TrainFaeWithPlan(const Dataset& dataset,
             }
           }
           if (options_.run_math) {
-            exec_.MathStep(*math_view, master_tables, metric, window);
+            exec_.MathStep(*math_view, master_tables, metric, window,
+                           stale_on ? &staleness : nullptr);
+            // After the math: the tracker counted this step's skip/update
+            // split (stale_on implies !pipelined_baseline, so `parts`
+            // carries the plain charges to price against).
+            if (stale_on) {
+              stale_rig.PriceStep(cold_work(i), parts, staleness,
+                                  report.timeline);
+            }
           }
           if (pipelined) prefetcher->Release();
           if (dirty_sync) {
@@ -1391,10 +1600,11 @@ StatusOr<TrainReport> Trainer::TrainFaeWithPlan(const Dataset& dataset,
           if (hid > 0.0) report.timeline.AddOverlapSavedSeconds(hid);
           pending_cold_unhidden = 0.0;
         } else {
-          // Seconds the cache already removed from this chunk no longer
-          // exist to hide under the next hot chunk — banking them too
-          // would credit the same time twice.
-          pending_cold_unhidden = std::max(0.0, unhidden - rig.chunk_saved);
+          // Seconds the cache or the stale-skip overlay already removed
+          // from this chunk no longer exist to hide under the next hot
+          // chunk — banking them too would credit the same time twice.
+          pending_cold_unhidden = std::max(
+              0.0, unhidden - rig.chunk_saved - stale_rig.chunk_saved);
         }
       }
       if (options_.run_math) {
@@ -1404,6 +1614,7 @@ StatusOr<TrainReport> Trainer::TrainFaeWithPlan(const Dataset& dataset,
         point.test_acc = eval.accuracy;
         report.curve.push_back(point);
         scheduler.ReportTestLoss(eval.loss);
+        if (stale_on) staleness.OnTestLoss(eval.loss);
       }
       // Chunk boundaries are the FAE save points: the masters have just
       // absorbed every GPU update, so the checkpoint needs no replica

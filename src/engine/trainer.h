@@ -13,6 +13,7 @@
 #include "engine/checkpoint.h"
 #include "engine/lookahead_cache.h"
 #include "engine/metrics.h"
+#include "engine/staleness_tracker.h"
 #include "engine/step_accountant.h"
 #include "engine/step_executor.h"
 #include "models/rec_model.h"
@@ -131,6 +132,26 @@ struct TrainOptions {
   /// plan (the planner consumes the calibration access profile, which
   /// cached plans do not carry).
   ShardingMode sharding = ShardingMode::kReplicate;
+  /// Stale-embedding update skipping (engine/staleness_tracker.h,
+  /// ROADMAP item 1 / arXiv 2404.04270): rows whose relative-update EMA
+  /// settles below stale_threshold freeze — their scatter + optimizer
+  /// visit is elided and the skipped CPU work credited as a cost-overlay
+  /// saving, with an Eq-7-style guard adapting the threshold to the loss
+  /// trend. kCold freezes only cold rows (requires the FAE placement —
+  /// the baseline has no hot set); kAll may freeze any row. Requires
+  /// run_math (skip decisions read real update magnitudes) and the fused
+  /// fp32 path (mutually exclusive with fp16_embeddings). Like the
+  /// cache/sharding knobs, the real timeline's charges never change with
+  /// the knob and tracker state travels inside the checkpoint, so all
+  /// three fields are fingerprint-exempt: a resume may switch modes, and
+  /// same-mode resume is bit-exact.
+  StaleSkipMode stale_skip = StaleSkipMode::kOff;
+  /// EMA freeze threshold (>= 0). 0 never skips — the guard only scales
+  /// the threshold, so a zero stays zero and the run is bit-identical to
+  /// stale_skip=off.
+  double stale_threshold = 0.0;
+  /// Measured updates a row needs before it may freeze (>= 1).
+  size_t stale_min_visits = 8;
 };
 
 /// Everything a training run reports: the modeled timeline, the measured
@@ -208,6 +229,18 @@ struct TrainReport {
   uint64_t sharding_replicated_bytes = 0;
   /// Largest single-device shard (rows the bottleneck owner holds).
   uint64_t sharding_max_shard_bytes = 0;
+  /// Stale-update skipping (TrainOptions::stale_skip; all zero when off).
+  /// Net seconds the elided scatter/optimizer work removed from the
+  /// modeled wall. Like the overlap/cache/sharding savings, not
+  /// checkpointed — a resumed run counts savings from the restore point.
+  double stale_skip_saved_seconds = 0.0;
+  uint64_t stale_skipped_rows = 0;
+  uint64_t stale_updated_rows = 0;
+  uint64_t stale_reactivated_rows = 0;
+  /// Guard state at the end of the run (threshold after adaptation).
+  double stale_final_threshold = 0.0;
+  uint64_t stale_guard_tightens = 0;
+  uint64_t stale_guard_widens = 0;
 
   // Robustness (graceful degradation, fault injection, resume):
   /// The hot slice was demoted to fit the budget (see DegradePlanToBudget).

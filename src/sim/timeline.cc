@@ -48,7 +48,8 @@ double Timeline::TotalSeconds() const {
 
 double Timeline::OverlappedTotalSeconds() const {
   const double total = TotalSeconds();
-  const double saved = overlap_saved_ + cache_saved_ + sharding_saved_;
+  const double saved =
+      overlap_saved_ + cache_saved_ + sharding_saved_ + stale_skip_saved_;
   return saved < total ? total - saved : 0.0;
 }
 
@@ -66,6 +67,14 @@ void Timeline::Merge(const Timeline& other) {
   overlap_saved_ += other.overlap_saved_;
   cache_saved_ += other.cache_saved_;
   sharding_saved_ += other.sharding_saved_;
+  stale_skip_saved_ += other.stale_skip_saved_;
+  stale_skip_counters_.skipped_rows += other.stale_skip_counters_.skipped_rows;
+  stale_skip_counters_.updated_rows += other.stale_skip_counters_.updated_rows;
+  stale_skip_counters_.reactivated_rows +=
+      other.stale_skip_counters_.reactivated_rows;
+  stale_skip_counters_.guard_tightens +=
+      other.stale_skip_counters_.guard_tightens;
+  stale_skip_counters_.guard_widens += other.stale_skip_counters_.guard_widens;
   cache_counters_.hits += other.cache_counters_.hits;
   cache_counters_.misses += other.cache_counters_.misses;
   cache_counters_.stale_refreshes += other.cache_counters_.stale_refreshes;
@@ -115,6 +124,19 @@ std::string Timeline::Report() const {
                      HumanSeconds(sharding_saved_ > 0.0 ? sharding_saved_
                                                         : -sharding_saved_)
                          .c_str());
+  }
+  if (stale_skip_counters_.skipped_rows + stale_skip_counters_.updated_rows >
+      0) {
+    const double touched =
+        static_cast<double>(stale_skip_counters_.skipped_rows +
+                            stale_skip_counters_.updated_rows);
+    out += StrFormat(
+        "  stale skip: %.1f%% of row-updates skipped, saved %s, "
+        "reactivated %llu\n",
+        100.0 * static_cast<double>(stale_skip_counters_.skipped_rows) /
+            touched,
+        HumanSeconds(stale_skip_saved_).c_str(),
+        static_cast<unsigned long long>(stale_skip_counters_.reactivated_rows));
   }
   out += StrFormat("  pcie %s, nvlink %s, network %s\n",
                    HumanBytes(pcie_bytes_).c_str(),

@@ -141,9 +141,32 @@ class Timeline {
   void AddShardingSavedSeconds(double seconds) { sharding_saved_ += seconds; }
   double sharding_saved_seconds() const { return sharding_saved_; }
 
-  /// TotalSeconds() minus the overlap, cache, and sharding savings: the
-  /// modeled wall-clock of the pipelined execution. Equals TotalSeconds()
-  /// when nothing overlapped and no cache or sharded placement ran.
+  /// Stale-skip accounting (--stale-skip=cold|all): per-row optimizer
+  /// updates skipped for rows whose update-magnitude EMA fell below the
+  /// guard threshold (engine/staleness_tracker.h). The real timeline
+  /// always carries the full backward+step charges; the trainer prices
+  /// the skipped variant of each CPU step into a scratch timeline and
+  /// records the difference here. Outside State like the other overlay
+  /// accumulators, so checkpoints stay byte-identical across stale-skip
+  /// modes and a resume may switch them — and so a second saved by the
+  /// pipeline overlap is never hidden twice.
+  struct StaleSkipCounters {
+    uint64_t skipped_rows = 0;      // row-updates elided this run
+    uint64_t updated_rows = 0;      // row-updates applied this run
+    uint64_t reactivated_rows = 0;  // rows un-frozen by the accuracy guard
+    uint64_t guard_tightens = 0;    // guard halved the threshold (loss rose)
+    uint64_t guard_widens = 0;      // guard doubled it (steady improvement)
+  };
+  void AddStaleSkipSavedSeconds(double seconds) { stale_skip_saved_ += seconds; }
+  double stale_skip_saved_seconds() const { return stale_skip_saved_; }
+  StaleSkipCounters& stale_skip_counters() { return stale_skip_counters_; }
+  const StaleSkipCounters& stale_skip_counters() const {
+    return stale_skip_counters_;
+  }
+
+  /// TotalSeconds() minus the overlap, cache, sharding, and stale-skip
+  /// savings: the modeled wall-clock of the pipelined execution. Equals
+  /// TotalSeconds() when nothing overlapped and no overlay feature ran.
   double OverlappedTotalSeconds() const;
 
   /// Fraction of the serial wall-clock hidden by overlap, in [0, 1).
@@ -177,7 +200,10 @@ class Timeline {
   double cache_saved_ = 0.0;
   /// Not part of State either — see AddShardingSavedSeconds.
   double sharding_saved_ = 0.0;
+  /// Not part of State either — see AddStaleSkipSavedSeconds.
+  double stale_skip_saved_ = 0.0;
   CacheCounters cache_counters_;
+  StaleSkipCounters stale_skip_counters_;
   double cpu_busy_ = 0.0;
   double gpu_busy_ = 0.0;
   uint64_t pcie_bytes_ = 0;

@@ -45,6 +45,63 @@ TEST(DirtyRowsTest, ClearResetsEverythingSparsely) {
   EXPECT_EQ(dirty.TotalTouched(), 1u);
 }
 
+// A delta sync may consume one table's touched list while another table's
+// rows stay pending; the Clear that follows must reset both without
+// leaving stale bits behind — including bits that shared a bitmap word
+// with a cleared neighbor (Clear zeroes whole words, which is only safe
+// because every set bit is also in a touched list).
+TEST(DirtyRowsTest, ClearAfterPartialFlushLeavesNoStaleBits) {
+  DirtyRows dirty({128, 128});
+  dirty.MarkAll(0, std::vector<uint32_t>{3, 5, 6});  // one bitmap word
+  dirty.Mark(0, 64);
+  dirty.Mark(1, 70);
+  // "Flush" table 0: the replicator reads its list; table 1 stays pending.
+  const std::vector<uint32_t> flushed = dirty.touched()[0];
+  EXPECT_EQ(flushed, (std::vector<uint32_t>{3, 5, 6, 64}));
+  dirty.Clear();
+  EXPECT_EQ(dirty.TotalTouched(), 0u);
+  for (size_t t = 0; t < 2; ++t) {
+    for (uint32_t r = 0; r < 128; ++r) {
+      EXPECT_FALSE(dirty.IsDirty(t, r)) << "table " << t << " row " << r;
+    }
+  }
+  // Re-marking one row of a previously shared word must not resurrect its
+  // old neighbors.
+  dirty.Mark(0, 5);
+  EXPECT_TRUE(dirty.IsDirty(0, 5));
+  EXPECT_FALSE(dirty.IsDirty(0, 3));
+  EXPECT_FALSE(dirty.IsDirty(0, 6));
+  EXPECT_EQ(dirty.touched()[0], (std::vector<uint32_t>{5}));
+  EXPECT_EQ(dirty.TotalTouched(), 1u);
+}
+
+// Touched lists grow past whatever capacity earlier sync intervals left
+// behind, and the grown capacity is then reused allocation-free: marking
+// the same working set after a Clear must not reallocate the list.
+TEST(DirtyRowsTest, GrowthPastCapacityThenSteadyStateReuse) {
+  DirtyRows dirty({10000});
+  for (uint32_t r = 0; r < 100; ++r) dirty.Mark(0, r);
+  dirty.Clear();
+  ASSERT_GE(dirty.touched()[0].capacity(), 100u);
+
+  // A much larger interval: grows far past the 100-row capacity.
+  for (uint32_t r = 0; r < 10000; r += 2) dirty.Mark(0, r);
+  EXPECT_EQ(dirty.TotalTouched(), 5000u);
+  EXPECT_TRUE(dirty.IsDirty(0, 4998));
+  EXPECT_FALSE(dirty.IsDirty(0, 4999));
+  dirty.Clear();
+  EXPECT_EQ(dirty.TotalTouched(), 0u);
+
+  // Steady state: the same working set re-marks into the retained buffer.
+  const size_t grown_capacity = dirty.touched()[0].capacity();
+  ASSERT_GE(grown_capacity, 5000u);
+  const uint32_t* buffer = dirty.touched()[0].data();
+  for (uint32_t r = 0; r < 10000; r += 2) dirty.Mark(0, r);
+  EXPECT_EQ(dirty.TotalTouched(), 5000u);
+  EXPECT_EQ(dirty.touched()[0].capacity(), grown_capacity);
+  EXPECT_EQ(dirty.touched()[0].data(), buffer);
+}
+
 TEST(DirtyRowsTest, InitResizesAndResets) {
   DirtyRows dirty;
   dirty.Init({10});

@@ -18,6 +18,7 @@
 #include "data/batch_view.h"
 #include "data/synthetic.h"
 #include "embedding/sparse_sgd.h"
+#include "engine/staleness_tracker.h"
 #include "models/factory.h"
 #include "tensor/sgd.h"
 
@@ -172,6 +173,76 @@ TEST(ZeroAllocTest, QuantizedFusedStepIsAllocationFreeAfterWarmup) {
   g_track.store(false);
   EXPECT_EQ(g_allocs.load(), 0u)
       << "the quantized steady-state step touched the heap";
+}
+
+// Same property with the staleness tracker riding the fused step: Init
+// preallocates all per-row state, BeginVisit/RecordUpdate are plain array
+// walks, and the skip-verdict scratch inside SparseSgd is sized by the
+// warm-up — so stale-update skipping adds zero steady-state allocations.
+TEST(ZeroAllocTest, StaleSkipFusedStepIsAllocationFreeAfterWarmup) {
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+  GTEST_SKIP() << "sanitizer runtimes allocate behind the hook";
+#endif
+  const DatasetSchema schema =
+      MakeSchema(WorkloadKind::kKaggleDlrm, DatasetScale::kTiny);
+  const Dataset dataset = SyntheticGenerator(schema, {.seed = 47}).Generate(64);
+  std::vector<uint64_t> ids(64);
+  for (size_t i = 0; i < ids.size(); ++i) ids[i] = i;
+  const FlatDataset gathered = dataset.flat().Gather(ids);
+  const std::vector<BatchView> views = MakeBatchViews(gathered, 16, false);
+
+  std::unique_ptr<RecModel> model =
+      MakeModel(schema, /*full_size=*/false, /*seed=*/3);
+  std::vector<EmbeddingTable*> tables;
+  std::vector<uint64_t> table_rows;
+  for (EmbeddingTable& t : model->tables()) {
+    tables.push_back(&t);
+    table_rows.push_back(t.rows());
+  }
+  const std::vector<Parameter*> dense_params = model->DenseParams();
+
+  StalenessTracker tracker;
+  // An aggressive threshold with min_visits 1: rows start freezing during
+  // the warm-up, so the tracked reps exercise both the skip and the
+  // measure paths of BeginVisit/RecordUpdate.
+  tracker.Init(table_rows, {.threshold = 0.5, .min_visits = 1});
+
+  Sgd dense_sgd(0.1f);
+  SparseSgd sparse_sgd(0.1f);
+  struct Ctx {
+    SparseSgd* sgd;
+    std::vector<EmbeddingTable*>* tables;
+    StalenessTracker* tracker;
+  } ctx{&sparse_sgd, &tables, &tracker};
+  const SparseApplyFn apply = [c = &ctx](size_t t, const Tensor& grad_out,
+                                         std::span<const uint32_t> indices,
+                                         std::span<const uint32_t> offsets) {
+    c->sgd->FusedBackwardStep(*(*c->tables)[t], grad_out, indices, offsets,
+                              nullptr, c->tracker->filter(t));
+  };
+
+  auto step = [&](const BatchView& view) {
+    tracker.BeginStep();
+    StepResult r = model->ForwardBackwardFusedOn(view, tables, apply);
+    dense_sgd.Step(dense_params);
+    ASSERT_TRUE(r.table_grads.empty());
+  };
+
+  for (int rep = 0; rep < 2; ++rep) {
+    for (const BatchView& view : views) step(view);
+  }
+  ASSERT_GT(tracker.total_skipped_rows(), 0u)
+      << "warm-up froze no rows; the tracked reps would not cover the "
+         "skip path";
+
+  g_allocs.store(0);
+  g_track.store(true);
+  for (int rep = 0; rep < 3; ++rep) {
+    for (const BatchView& view : views) step(view);
+  }
+  g_track.store(false);
+  EXPECT_EQ(g_allocs.load(), 0u)
+      << "the stale-skip steady-state step touched the heap";
 }
 
 }  // namespace

@@ -1,0 +1,85 @@
+#!/usr/bin/env bash
+# Line-coverage build + report for the FAE repo, using only what gcc ships
+# with (gcov; no lcov/gcovr dependency):
+#
+#   tools/coverage.sh [build-dir]         # default build dir: build-cov
+#
+# Configures the build dir with -DFAE_COVERAGE=ON (only if it is not
+# already configured), builds, runs the full ctest suite, then aggregates
+# gcov's per-file "Lines executed" numbers for everything under src/ into
+#   <build-dir>/coverage_summary.txt
+# — one line per source file plus a TOTAL, worst-covered first. CI uploads
+# that file as the coverage artifact.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${1:-build-cov}"
+case "$BUILD_DIR" in
+  /*) ;;
+  *) BUILD_DIR="$ROOT/$BUILD_DIR" ;;
+esac
+
+if [ ! -f "$BUILD_DIR/CMakeCache.txt" ]; then
+  cmake -B "$BUILD_DIR" -S "$ROOT" -DFAE_COVERAGE=ON
+elif ! grep -q '^FAE_COVERAGE:BOOL=ON$' "$BUILD_DIR/CMakeCache.txt"; then
+  echo "error: $BUILD_DIR is configured without -DFAE_COVERAGE=ON" >&2
+  exit 2
+fi
+
+cmake --build "$BUILD_DIR" -j"$(nproc)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"
+
+SUMMARY="$BUILD_DIR/coverage_summary.txt"
+cd "$BUILD_DIR"
+
+GCDA_LIST="$(find . -name '*.gcda')"
+if [ -z "$GCDA_LIST" ]; then
+  echo "error: no .gcda files under $BUILD_DIR — did the tests run?" >&2
+  exit 2
+fi
+
+# gcov -n: report only (no .gcov files). Each header is reported once per
+# including TU, so the awk below keeps the best-covered occurrence per
+# file — the union the TU-local counters approximate — and sums src/ files
+# into the TOTAL.
+# shellcheck disable=SC2086
+gcov -n $GCDA_LIST 2>/dev/null | awk -v root="$ROOT/" '
+  /^File /{
+    f = $2
+    gsub(/\x27/, "", f)
+    sub(root, "", f)
+  }
+  /^Lines executed:/{
+    if (f == "") next
+    pct = $0
+    sub(/^Lines executed:/, "", pct)
+    split(pct, parts, "% of ")
+    covered = parts[1] / 100.0 * parts[2]
+    if (f ~ /^src\// && covered >= best_cov[f]) {
+      best_cov[f] = covered
+      best_tot[f] = parts[2]
+    }
+    f = ""
+  }
+  END{
+    total_cov = 0
+    total_lines = 0
+    for (f in best_tot) {
+      total_cov += best_cov[f]
+      total_lines += best_tot[f]
+      printf "%6.1f%% %6d  %s\n", 100.0 * best_cov[f] / best_tot[f],
+             best_tot[f], f
+    }
+    if (total_lines == 0) {
+      print "error: gcov reported no src/ lines" > "/dev/stderr"
+      exit 2
+    }
+    printf "%6.1f%% %6d  TOTAL\n", 100.0 * total_cov / total_lines,
+           total_lines
+  }' | sort -n > "$SUMMARY"
+
+echo
+echo "=== line coverage (worst first; full report: $SUMMARY) ==="
+head -n 15 "$SUMMARY"
+echo "..."
+grep ' TOTAL$' "$SUMMARY"

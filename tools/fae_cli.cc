@@ -15,6 +15,8 @@
 //                   [--pipeline=off|prefetch|overlap] [--pipeline-depth=2]
 //                   [--cache=off|oracle] [--cache-budget-rows=4096]
 //                   [--cache-lookahead=8] [--cold-precision=fp32|fp16|int8]
+//                   [--stale-skip=off|cold|all] [--stale-threshold=T]
+//                   [--stale-min-visits=8]
 //                   [--ckpt=run.faec] [--ckpt-every=100] [--resume]
 //                   [--fault-plan=device@30,stall@50:0.2,corrupt@75,crash@120]
 //   fae serve       --data=data.faed [--plan=plan.faef] [--swap=swap.faef]
@@ -178,6 +180,53 @@ bool ParseShardingFlag(const bench::Args& args, ShardingMode* out) {
   return true;
 }
 
+/// Parses the --stale-skip triple for `train`. An unknown mode is an
+/// error; so is giving a tuning flag while skipping stays off — a
+/// silently ignored threshold would look like a working experiment.
+bool ParseStaleFlags(const bench::Args& args, StaleSkipMode* mode,
+                     double* threshold, size_t* min_visits) {
+  const std::string raw = args.GetString("stale-skip", "off");
+  if (raw == "off") {
+    *mode = StaleSkipMode::kOff;
+  } else if (raw == "cold") {
+    *mode = StaleSkipMode::kCold;
+  } else if (raw == "all") {
+    *mode = StaleSkipMode::kAll;
+  } else {
+    std::fprintf(stderr,
+                 "error: unknown --stale-skip mode '%s' (expected "
+                 "off|cold|all)\n",
+                 raw.c_str());
+    return false;
+  }
+  if (*mode == StaleSkipMode::kOff) {
+    const bool threshold_given =
+        args.GetString("stale-threshold", kFlagAbsent) != kFlagAbsent;
+    const bool visits_given =
+        args.GetString("stale-min-visits", kFlagAbsent) != kFlagAbsent;
+    if (threshold_given || visits_given) {
+      std::fprintf(stderr,
+                   "error: --%s requires --stale-skip=cold or "
+                   "--stale-skip=all (with skipping off it would be "
+                   "silently ignored)\n",
+                   threshold_given ? "stale-threshold" : "stale-min-visits");
+      return false;
+    }
+  }
+  double t = 0.0;
+  if (!StrictDoubleFlag(args, "stale-threshold", 0.0, &t)) return false;
+  if (t < 0.0) {
+    std::fprintf(stderr, "error: --stale-threshold must be >= 0 (got %g)\n",
+                 t);
+    return false;
+  }
+  long v = 0;
+  if (!StrictLongFlag(args, "stale-min-visits", 8, 1, &v)) return false;
+  *threshold = t;
+  *min_visits = static_cast<size_t>(v);
+  return true;
+}
+
 WorkloadKind ParseWorkload(const std::string& name) {
   if (name == "taobao") return WorkloadKind::kTaobaoTbsm;
   if (name == "terabyte") return WorkloadKind::kTerabyteDlrm;
@@ -319,6 +368,25 @@ int Train(const bench::Args& args) {
                      .c_str());
     return 2;
   }
+  if (!ParseStaleFlags(args, &options.stale_skip, &options.stale_threshold,
+                       &options.stale_min_visits)) {
+    return 2;
+  }
+  if (options.stale_skip != StaleSkipMode::kOff && !options.run_math) {
+    std::fprintf(stderr,
+                 "error: --stale-skip requires real math; it cannot be "
+                 "combined with --cost-only (skip decisions read measured "
+                 "per-row update magnitudes)\n");
+    return 2;
+  }
+  if (options.stale_skip != StaleSkipMode::kOff &&
+      options.cache == CacheMode::kOracle) {
+    std::fprintf(stderr,
+                 "error: --stale-skip cannot be combined with "
+                 "--cache=oracle (both reprice the same cold-step charges, "
+                 "so their savings would double-count)\n");
+    return 2;
+  }
   options.checkpoint.path = args.GetString("ckpt", "");
   options.checkpoint.every_steps = static_cast<size_t>(ckpt_every);
   options.checkpoint.resume = args.GetBool("resume", false);
@@ -375,6 +443,23 @@ int Train(const bench::Args& args) {
                  "error: --cache=oracle applies to --mode=baseline or "
                  "--mode=fae only (mode '%s' has no pipelined hybrid "
                  "path to accelerate)\n",
+                 mode.c_str());
+    return 2;
+  }
+  if (options.stale_skip == StaleSkipMode::kCold && mode != "fae") {
+    std::fprintf(stderr,
+                 "error: --stale-skip=cold applies to --mode=fae only "
+                 "(mode '%s' has no hot/cold partition, so there is no hot "
+                 "set to pin live; use --stale-skip=all)\n",
+                 mode.c_str());
+    return 2;
+  }
+  if (options.stale_skip != StaleSkipMode::kOff && mode != "baseline" &&
+      mode != "fae") {
+    std::fprintf(stderr,
+                 "error: --stale-skip applies to --mode=baseline or "
+                 "--mode=fae only (mode '%s' runs no fused CPU sparse "
+                 "step for the tracker to ride)\n",
                  mode.c_str());
     return 2;
   }
@@ -474,6 +559,26 @@ int Train(const bench::Args& args) {
           HumanBytes(report.cold_reclaimed_bytes).c_str(),
           HumanBytes(report.effective_hot_budget).c_str());
     }
+  }
+  if (options.stale_skip != StaleSkipMode::kOff) {
+    const uint64_t visits =
+        report.stale_skipped_rows + report.stale_updated_rows;
+    std::printf(
+        "stale skip %s (threshold %g, min visits %zu): skipped %.1f%% of "
+        "row-updates (%llu of %llu), saved %s, reactivated %llu, guard "
+        "-%llu/+%llu, final threshold %g\n",
+        std::string(StaleSkipModeName(options.stale_skip)).c_str(),
+        options.stale_threshold, options.stale_min_visits,
+        visits > 0 ? 100.0 * static_cast<double>(report.stale_skipped_rows) /
+                         static_cast<double>(visits)
+                   : 0.0,
+        static_cast<unsigned long long>(report.stale_skipped_rows),
+        static_cast<unsigned long long>(visits),
+        HumanSeconds(report.stale_skip_saved_seconds).c_str(),
+        static_cast<unsigned long long>(report.stale_reactivated_rows),
+        static_cast<unsigned long long>(report.stale_guard_tightens),
+        static_cast<unsigned long long>(report.stale_guard_widens),
+        report.stale_final_threshold);
   }
   if (report.resumed) {
     std::printf("resumed from %s at iteration %llu\n",
